@@ -1,0 +1,1 @@
+bench/ablation.ml: Comm Compiler Cost_model Decisions Dgefa Expansion Fig_examples Fmt Hpf_analysis Hpf_benchmarks Hpf_comm Hpf_spmd Init List Phpf_core Reduction_map Tomcatv Trace_sim Variants

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fmt Hpf_benchmarks List Micro String Sys Tables

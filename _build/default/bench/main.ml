@@ -1,0 +1,104 @@
+(* Benchmark harness: regenerates the paper's Tables 1-3 on the machine
+   simulator, and runs Bechamel microbenchmarks of the compiler passes.
+
+   Usage:
+     bench/main.exe                  -- all three tables, scaled sizes
+     bench/main.exe table1|table2|table3 [--full]
+     bench/main.exe micro            -- bechamel compiler-pass benches
+     bench/main.exe ablation         -- design-choice ablations
+*)
+
+open Hpf_benchmarks
+
+let size_of_args args =
+  if List.mem "--full" args then `Full
+  else if List.mem "--medium" args then `Medium
+  else `Scaled
+
+(* optional --procs=1,4,16 filter *)
+let procs_of_args ~default args =
+  List.fold_left
+    (fun acc a ->
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "--procs" ->
+          String.sub a (i + 1) (String.length a - i - 1)
+          |> String.split_on_char ','
+          |> List.map int_of_string
+      | _ -> acc)
+    default args
+
+let run_table1 args =
+  let procs = procs_of_args ~default:[ 1; 2; 4; 8; 16 ] args in
+  let t = Tables.table1 ~size:(size_of_args args) ~procs () in
+  Fmt.pr "%a@." Tables.pp_table t;
+  (match
+     ( Tables.ratio t ~procs:16 ~worse:"Replication"
+         ~better:"Selected Alignment",
+       Tables.ratio t ~procs:16 ~worse:"Producer Alignment"
+         ~better:"Selected Alignment",
+       Tables.speedup t ~column:"Selected Alignment" ~from_procs:1
+         ~to_procs:16 )
+   with
+  | Some r, Some rp, Some s ->
+      Fmt.pr
+        "  paper: selected alignment wins by >= 2 orders of magnitude at P=16; only it yields speedups@.";
+      Fmt.pr
+        "  measured: replication/selected = %.1fx, producer/selected = %.1fx, selected speedup P1->P16 = %.2fx@."
+        r rp s
+  | _ -> ());
+  Fmt.pr "@."
+
+let run_table2 args =
+  let procs = procs_of_args ~default:[ 1; 2; 4; 8; 16 ] args in
+  let t = Tables.table2 ~size:(size_of_args args) ~procs () in
+  Fmt.pr "%a@." Tables.pp_table t;
+  (match
+     ( Tables.ratio t ~procs:16 ~worse:"Default" ~better:"Alignment",
+       Tables.ratio t ~procs:2 ~worse:"Default" ~better:"Alignment" )
+   with
+  | Some r16, Some r2 ->
+      Fmt.pr
+        "  paper: replicated reduction scalar costs a roughly constant overhead, a growing fraction as P rises@.";
+      Fmt.pr "  measured: default/alignment = %.2fx at P=2, %.2fx at P=16@."
+        r2 r16
+  | _ -> ());
+  Fmt.pr "@."
+
+let run_table3 args =
+  let procs = procs_of_args ~default:[ 2; 4; 8; 16 ] args in
+  let t = Tables.table3 ~size:(size_of_args args) ~procs () in
+  Fmt.pr "%a@." Tables.pp_table t;
+  (match
+     ( Tables.ratio t ~procs:4 ~worse:"1-D, No Array Priv."
+         ~better:"1-D, Priv.",
+       Tables.ratio t ~procs:4 ~worse:"2-D, No Partial Priv."
+         ~better:"2-D, Partial Priv." )
+   with
+  | Some r1, Some r2 ->
+      Fmt.pr
+        "  paper: without (partial) privatization both distributions are far slower (1-D aborted after a day)@.";
+      Fmt.pr
+        "  measured at P=4: no-priv/priv = %.1fx (1-D), no-partial/partial = %.1fx (2-D)@."
+        r1 r2
+  | _ -> ());
+  Fmt.pr "@."
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let which =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  match which with
+  | [] ->
+      run_table1 args;
+      run_table2 args;
+      run_table3 args
+  | [ "table1" ] -> run_table1 args
+  | [ "table2" ] -> run_table2 args
+  | [ "table3" ] -> run_table3 args
+  | [ "micro" ] -> Micro.run ()
+  | [ "ablation" ] -> Ablation.run ()
+  | _ ->
+      prerr_endline
+        "usage: main.exe [table1|table2|table3|micro|ablation] [--full|--medium] [--procs=1,4,16]";
+      exit 2

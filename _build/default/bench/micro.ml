@@ -1,0 +1,100 @@
+(* Bechamel microbenchmarks of the compiler passes themselves (parse,
+   SSA construction, privatization mapping, communication analysis,
+   whole-pipeline compile), measured on the TOMCATV and DGEFA inputs. *)
+
+open Bechamel
+open Toolkit
+open Hpf_lang
+open Hpf_analysis
+open Phpf_core
+open Hpf_benchmarks
+
+let tomcatv = lazy (Sema.check (Tomcatv.program ~n:66 ~niter:10 ~p:4))
+let dgefa = lazy (Sema.check (Dgefa.program ~n:64 ~p:4))
+
+let source =
+  lazy (Pp.program_to_string (Lazy.force tomcatv))
+
+let test_parse =
+  Test.make ~name:"parse tomcatv"
+    (Staged.stage (fun () ->
+         ignore (Parser.parse_string (Lazy.force source))))
+
+let test_ssa =
+  Test.make ~name:"cfg+ssa tomcatv"
+    (Staged.stage (fun () ->
+         ignore (Ssa.build (Cfg.build (Lazy.force tomcatv)))))
+
+let test_compile_tomcatv =
+  Test.make ~name:"compile tomcatv"
+    (Staged.stage (fun () ->
+         ignore (Compiler.compile (Lazy.force tomcatv))))
+
+let test_compile_dgefa =
+  Test.make ~name:"compile dgefa"
+    (Staged.stage (fun () -> ignore (Compiler.compile (Lazy.force dgefa))))
+
+let test_mapping =
+  Test.make ~name:"mapping pass tomcatv"
+    (Staged.stage (fun () ->
+         let d = Decisions.create (Lazy.force tomcatv) in
+         Ctrl_priv.run d;
+         Reduction_map.run d;
+         Array_priv.run d;
+         Mapping_alg.run d))
+
+let small_tomcatv = lazy (Compiler.compile (Tomcatv.program ~n:18 ~niter:2 ~p:4))
+
+let test_trace_sim =
+  Test.make ~name:"trace-sim tomcatv n=18"
+    (Staged.stage (fun () ->
+         let c = Lazy.force small_tomcatv in
+         ignore
+           (Hpf_spmd.Trace_sim.run
+              ~init:(Hpf_spmd.Init.init c.Compiler.prog)
+              c)))
+
+let test_spmd_interp =
+  Test.make ~name:"spmd-interp tomcatv n=18"
+    (Staged.stage (fun () ->
+         let c = Lazy.force small_tomcatv in
+         ignore
+           (Hpf_spmd.Spmd_interp.run
+              ~init:(Hpf_spmd.Init.init c.Compiler.prog)
+              c)))
+
+let benchmark () =
+  let tests =
+    [
+      test_parse;
+      test_ssa;
+      test_mapping;
+      test_compile_tomcatv;
+      test_compile_dgefa;
+      test_trace_sim;
+      test_spmd_interp;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:true
+          ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "  %-26s %12.1f ns/run@." name est
+          | _ -> Fmt.pr "  %-26s (no estimate)@." name)
+        results)
+    tests
+
+let run () =
+  Fmt.pr "Compiler-pass microbenchmarks (Bechamel):@.";
+  benchmark ()

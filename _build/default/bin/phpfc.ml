@@ -1,0 +1,234 @@
+(* phpfc — compile kernel-language (HPF subset) programs, report the
+   privatization mapping decisions and communication schedule, and run
+   them on the SP2-like machine simulator. *)
+
+open Cmdliner
+open Hpf_lang
+open Phpf_core
+open Hpf_spmd
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let parse_program path =
+  try Parser.parse_file path with
+  | Lexer.Lex_error (loc, msg) ->
+      Fmt.epr "lexical error at %a: %s@." Loc.pp loc msg;
+      exit 1
+  | Parser.Parse_error (loc, msg) ->
+      Fmt.epr "syntax error at %a: %s@." Loc.pp loc msg;
+      exit 1
+
+let compile_program ?grid_override ?options path =
+  let p = parse_program path in
+  try Compiler.compile ?grid_override ?options p with
+  | Sema.Sema_error msg ->
+      Fmt.epr "semantic error: %s@." msg;
+      exit 1
+  | Hpf_mapping.Layout.Mapping_error msg ->
+      Fmt.epr "mapping error: %s@." msg;
+      exit 1
+
+(* ---------------- common options ---------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Kernel-language source file (.hpfk).")
+
+let procs_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "procs"; "p" ] ~docv:"P1,P2,..."
+        ~doc:
+          "Override the processor grid extents declared by the program's \
+           PROCESSORS directive.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
+
+let opt_flags =
+  let no_scalar =
+    Arg.(
+      value & flag
+      & info [ "no-scalar-priv" ]
+          ~doc:"Disable scalar privatization (replicate all scalars).")
+  in
+  let producer =
+    Arg.(
+      value & flag
+      & info [ "producer-align" ]
+          ~doc:
+            "Always align privatized scalars with a producer reference \
+             (skip consumer selection).")
+  in
+  let no_red =
+    Arg.(
+      value & flag
+      & info [ "no-reduction-align" ]
+          ~doc:"Disable the reduction-accumulator mapping of paper §2.3.")
+  in
+  let no_arr =
+    Arg.(
+      value & flag
+      & info [ "no-array-priv" ] ~doc:"Disable array privatization.")
+  in
+  let no_partial =
+    Arg.(
+      value & flag
+      & info [ "no-partial-priv" ] ~doc:"Disable partial privatization.")
+  in
+  let no_ctrl =
+    Arg.(
+      value & flag
+      & info [ "no-ctrl-priv" ]
+          ~doc:"Disable privatized execution of control flow.")
+  in
+  let auto_arr =
+    Arg.(
+      value & flag
+      & info [ "auto-array-priv" ]
+          ~doc:
+            "Enable automatic (directive-free) array privatization — the \
+             paper's future-work extension.")
+  in
+  let combine =
+    Arg.(
+      value & flag
+      & info [ "combine-messages" ]
+          ~doc:
+            "Enable global message combining (communications sharing a \
+             placement point pay the startup latency once) — the \
+             optimization the paper notes phpf lacked.")
+  in
+  let mk no_scalar producer no_red no_arr no_partial no_ctrl auto_arr
+      combine =
+    {
+      Decisions.privatize_scalars = not no_scalar;
+      force_producer_alignment = producer;
+      reduction_alignment = not no_red;
+      privatize_arrays = not no_arr;
+      partial_privatization = not no_partial;
+      privatize_control = not no_ctrl;
+      auto_array_priv = auto_arr;
+      combine_messages = combine;
+    }
+  in
+  Term.(
+    const mk $ no_scalar $ producer $ no_red $ no_arr $ no_partial $ no_ctrl
+    $ auto_arr $ combine)
+
+(* ---------------- commands ---------------- *)
+
+let compile_cmd =
+  let run file procs options annotate verbose =
+    setup_logs verbose;
+    let c = compile_program ?grid_override:procs ~options file in
+    if annotate then Fmt.pr "%a@?" Report.pp_annotated c
+    else Fmt.pr "%a@?" Report.pp_compiled c
+  in
+  let annotate_arg =
+    Arg.(
+      value & flag
+      & info [ "annotate" ]
+          ~doc:
+            "Print the program source annotated with each statement's \
+             guard and communications instead of the summary report.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile and report mapping decisions.")
+    Term.(
+      const run $ file_arg $ procs_arg $ opt_flags $ annotate_arg
+      $ verbose_arg)
+
+let simulate_cmd =
+  let run file procs options verbose =
+    setup_logs verbose;
+    let c = compile_program ?grid_override:procs ~options file in
+    let result, _mem = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
+    Fmt.pr "%a@." Trace_sim.pp_result result
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run on the SP2-like timing simulator and report times.")
+    Term.(const run $ file_arg $ procs_arg $ opt_flags $ verbose_arg)
+
+let validate_cmd =
+  let run file procs options verbose =
+    setup_logs verbose;
+    let c = compile_program ?grid_override:procs ~options file in
+    let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+    match Spmd_interp.validate st with
+    | [] ->
+        Fmt.pr "OK: SPMD execution matches sequential reference (%d element transfers)@."
+          st.Spmd_interp.transfers;
+    | ms ->
+        List.iter (fun m -> Fmt.pr "MISMATCH %a@." Spmd_interp.pp_mismatch m) ms;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Execute per-processor with explicit data movement and check \
+          owned data against the sequential reference.")
+    Term.(const run $ file_arg $ procs_arg $ opt_flags $ verbose_arg)
+
+let sweep_cmd =
+  let run file procs_list options verbose =
+    setup_logs verbose;
+    Fmt.pr "%6s %12s %10s %12s %10s@." "P" "time (s)" "speedup" "efficiency"
+      "comm (s)";
+    let base = ref None in
+    List.iter
+      (fun p ->
+        let c = compile_program ~grid_override:[ p ] ~options file in
+        let r, _ =
+          Hpf_spmd.Trace_sim.run
+            ~init:(Hpf_spmd.Init.init c.Compiler.prog)
+            c
+        in
+        let t = r.Hpf_spmd.Trace_sim.time in
+        let t1 =
+          match !base with
+          | None ->
+              base := Some t;
+              t
+          | Some t1 -> t1
+        in
+        Fmt.pr "%6d %12.4f %10.2f %11.0f%% %10.4f@." p t (t1 /. t)
+          (100.0 *. t1 /. t /. float_of_int p)
+          r.Hpf_spmd.Trace_sim.comm_time)
+      procs_list
+  in
+  let procs_list =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "sweep-procs" ] ~docv:"P1,P2,..."
+          ~doc:"Processor counts to sweep (1-D grid).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Simulate across processor counts and print a scaling table.")
+    Term.(const run $ file_arg $ procs_list $ opt_flags $ verbose_arg)
+
+let print_cmd =
+  let run file =
+    let p = parse_program file in
+    let p = Sema.check p in
+    Fmt.pr "%s@?" (Pp.program_to_string p)
+  in
+  Cmd.v
+    (Cmd.info "print" ~doc:"Parse, check and pretty-print a program.")
+    Term.(const run $ file_arg)
+
+let () =
+  let doc = "prototype HPF compiler with privatization of variables" in
+  let info = Cmd.info "phpfc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; simulate_cmd; validate_cmd; sweep_cmd; print_cmd ]))

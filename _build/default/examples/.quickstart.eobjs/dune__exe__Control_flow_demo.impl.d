@@ -1,0 +1,1 @@
+examples/control_flow_demo.ml: Ast Builder Compiler Decisions Fig_examples Fmt Hpf_benchmarks Hpf_comm Hpf_lang Hpf_spmd Init List Phpf_core Spmd_interp

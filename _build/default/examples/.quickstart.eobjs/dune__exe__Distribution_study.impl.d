@@ -1,0 +1,1 @@
+examples/distribution_study.ml: Array Ast Compiler Fmt Hpf_benchmarks Hpf_lang Hpf_spmd Init List Phpf_core Sys Trace_sim

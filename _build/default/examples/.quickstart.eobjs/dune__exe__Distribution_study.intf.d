@@ -1,0 +1,1 @@
+examples/distribution_study.mli:

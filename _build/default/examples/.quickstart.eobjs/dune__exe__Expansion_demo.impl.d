@@ -1,0 +1,1 @@
+examples/expansion_demo.ml: Compiler Expansion Fig_examples Fmt Hpf_benchmarks Hpf_lang Hpf_spmd Init List Phpf_core Pp Report Sema Spmd_interp Trace_sim

@@ -1,0 +1,1 @@
+examples/pivoting_demo.ml: Array Compiler Decisions Dgefa Fmt Hpf_analysis Hpf_benchmarks Hpf_spmd Init List Phpf_core Reduction Reduction_map Spmd_interp Sys Trace_sim Variants

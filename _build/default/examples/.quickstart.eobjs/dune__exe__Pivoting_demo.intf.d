@@ -1,0 +1,1 @@
+examples/pivoting_demo.mli:

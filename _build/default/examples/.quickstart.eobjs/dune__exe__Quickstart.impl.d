@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Decisions Fmt Hpf_lang Hpf_spmd Init List Parser Phpf_core Pp Report Sema Spmd_interp Trace_sim

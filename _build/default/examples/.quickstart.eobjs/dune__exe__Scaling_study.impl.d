@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Appsp Array Ast Compiler Dgefa Fmt Hpf_benchmarks Hpf_lang Hpf_mapping Hpf_spmd Init List Phpf_core Sys Tomcatv Trace_sim Variants

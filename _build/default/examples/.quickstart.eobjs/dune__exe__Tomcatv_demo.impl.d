@@ -1,0 +1,1 @@
+examples/tomcatv_demo.ml: Array Ast Compiler Decisions Fmt Hpf_benchmarks Hpf_comm Hpf_lang Hpf_spmd Init List Nest Phpf_core Sys Tomcatv Trace_sim Variants

@@ -1,0 +1,1 @@
+examples/tomcatv_demo.mli:

@@ -1,0 +1,56 @@
+(* Distribution study: why DGEFA distributes columns CYCLICally.
+
+   Gaussian elimination works on a shrinking trailing submatrix: under a
+   BLOCK column distribution the processors owning leading columns go
+   idle, while CYCLIC keeps the active columns spread across the whole
+   machine.  The simulator's per-processor clocks expose the imbalance.
+
+     dune exec examples/distribution_study.exe [-- P]
+*)
+
+open Hpf_lang
+open Phpf_core
+open Hpf_spmd
+
+let procs () =
+  if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8
+
+(* DGEFA with a configurable column distribution *)
+let dgefa_with ~(fmt : Ast.dist_format) ~(n : int) ~(p : int) : Ast.program =
+  let base = Hpf_benchmarks.Dgefa.program ~n ~p in
+  let directives =
+    List.map
+      (function
+        | Ast.Distribute { array = "a"; onto; _ } ->
+            Ast.Distribute { array = "a"; fmts = [ Ast.Star; fmt ]; onto }
+        | d -> d)
+      base.Ast.directives
+  in
+  { base with Ast.directives }
+
+let () =
+  let n = 96 and p = procs () in
+  Fmt.pr "DGEFA n = %d on %d processors: column distribution formats@.@." n p;
+  Fmt.pr "%-12s %12s %14s %14s %12s@." "format" "time (s)" "compute max"
+    "compute total" "imbalance";
+  List.iter
+    (fun (name, fmt) ->
+      let prog = dgefa_with ~fmt ~n ~p in
+      let c = Compiler.compile prog in
+      let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
+      let ideal =
+        r.Trace_sim.compute_total /. float_of_int r.Trace_sim.nprocs
+      in
+      Fmt.pr "%-12s %12.4f %14.4f %14.4f %11.2fx@." name r.Trace_sim.time
+        r.Trace_sim.compute_max r.Trace_sim.compute_total
+        (r.Trace_sim.compute_max /. ideal))
+    [
+      ("block", Ast.Block);
+      ("cyclic", Ast.Cyclic);
+      ("cyclic(4)", Ast.Block_cyclic 4);
+    ];
+  Fmt.pr
+    "@.BLOCK leaves the owners of leading columns idle once eliminated;@.";
+  Fmt.pr
+    "CYCLIC keeps every processor busy on the shrinking trailing matrix —@.";
+  Fmt.pr "which is why the paper (and LINPACK practice) uses it.@."

@@ -1,0 +1,22 @@
+(* Regenerates the textual benchmark programs under examples/programs/
+   from the builder definitions (run from the repository root):
+
+     dune exec examples/gen/gen_programs.exe
+*)
+
+open Hpf_lang
+open Hpf_benchmarks
+
+let write path prog =
+  let p = Sema.check prog in
+  let oc = open_out path in
+  output_string oc (Pp.program_to_string p);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let () =
+  write "examples/programs/tomcatv.hpfk" (Tomcatv.program ~n:66 ~niter:10 ~p:8);
+  write "examples/programs/dgefa.hpfk" (Dgefa.program ~n:96 ~p:8);
+  write "examples/programs/appsp2d.hpfk"
+    (Appsp.program_2d ~n:18 ~niter:2 ~p1:2 ~p2:2);
+  write "examples/programs/appsp1d.hpfk" (Appsp.program_1d ~n:18 ~niter:2 ~p:4)

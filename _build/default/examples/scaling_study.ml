@@ -1,0 +1,53 @@
+(* Scaling study: sweep processor counts and problem sizes for one of
+   the benchmarks, printing a speedup table — the kind of data behind
+   the paper's Tables 1-3, but parameterized.
+
+     dune exec examples/scaling_study.exe -- [tomcatv|dgefa|appsp] [n]
+*)
+
+open Hpf_lang
+open Phpf_core
+open Hpf_spmd
+open Hpf_benchmarks
+
+let time prog options =
+  let c = Compiler.compile ~options prog in
+  let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
+  r.Trace_sim.time
+
+let sweep name (mk : int -> Ast.program) =
+  Fmt.pr "%s: scaling with selected alignment@." name;
+  Fmt.pr "%6s %12s %10s %12s@." "P" "time (s)" "speedup" "efficiency";
+  let t1 = time (mk 1) Variants.selected in
+  List.iter
+    (fun p ->
+      let t = time (mk p) Variants.selected in
+      Fmt.pr "%6d %12.4f %10.2f %11.0f%%@." p t (t1 /. t)
+        (100.0 *. t1 /. t /. float_of_int p))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "tomcatv" in
+  let n =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0
+  in
+  match which with
+  | "tomcatv" ->
+      let n = if n = 0 then 66 else n in
+      sweep
+        (Fmt.str "TOMCATV n=%d niter=10" n)
+        (fun p -> Tomcatv.program ~n ~niter:10 ~p)
+  | "dgefa" ->
+      let n = if n = 0 then 96 else n in
+      sweep (Fmt.str "DGEFA n=%d" n) (fun p -> Dgefa.program ~n ~p)
+  | "appsp" ->
+      let n = if n = 0 then 18 else n in
+      sweep
+        (Fmt.str "APPSP 2-D n=%d niter=2" n)
+        (fun p ->
+          match Hpf_mapping.Grid.factorize ~rank:2 p with
+          | [ p1; p2 ] -> Appsp.program_2d ~n ~niter:2 ~p1 ~p2
+          | _ -> assert false)
+  | other ->
+      Fmt.epr "unknown benchmark %s (tomcatv|dgefa|appsp)@." other;
+      exit 2

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Ast Fmt Hpf_lang List Option

@@ -1,0 +1,1 @@
+lib/analysis/aref.ml: Ast Fmt Hpf_lang List Pp String

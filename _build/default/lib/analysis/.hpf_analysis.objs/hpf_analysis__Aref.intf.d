@@ -1,0 +1,1 @@
+lib/analysis/aref.mli: Ast Format Hpf_lang

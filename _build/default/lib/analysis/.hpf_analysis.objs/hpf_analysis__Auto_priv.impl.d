@@ -1,0 +1,1 @@
+lib/analysis/auto_priv.ml: Affine Ast Cfg Hpf_lang List Liveness Nest Option String

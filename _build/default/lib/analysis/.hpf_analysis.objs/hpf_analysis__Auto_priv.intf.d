@@ -1,0 +1,1 @@
+lib/analysis/auto_priv.mli: Ast Hpf_lang Nest

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Ast Fmt Hashtbl Hpf_lang List String

@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Ast Format Hashtbl Hpf_lang

@@ -1,0 +1,1 @@
+lib/analysis/constprop.ml: Array Ast Cfg Float Fmt Hpf_lang List Ssa

@@ -1,0 +1,1 @@
+lib/analysis/constprop.mli: Ast Format Hpf_lang Ssa

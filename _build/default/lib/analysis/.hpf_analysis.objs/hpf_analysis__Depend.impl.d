@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Affine Ast Hpf_lang List Nest String

@@ -1,0 +1,1 @@
+lib/analysis/depend.mli: Affine Ast Hpf_lang Nest

@@ -1,0 +1,1 @@
+lib/analysis/induction.ml: Affine Array Ast Cfg Constprop Dom Hashtbl Hpf_lang List Option Ssa String

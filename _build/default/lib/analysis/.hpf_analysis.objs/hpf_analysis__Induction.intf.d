@@ -1,0 +1,1 @@
+lib/analysis/induction.mli: Ast Constprop Hpf_lang Ssa

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Ast Cfg Hpf_lang List Set String

@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Ast Cfg Hpf_lang Set

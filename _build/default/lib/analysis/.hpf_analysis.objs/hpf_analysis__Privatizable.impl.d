@@ -1,0 +1,1 @@
+lib/analysis/privatizable.ml: Affine Ast Cfg Hpf_lang List Nest Ssa

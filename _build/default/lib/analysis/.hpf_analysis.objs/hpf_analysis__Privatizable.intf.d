@@ -1,0 +1,1 @@
+lib/analysis/privatizable.mli: Ast Hpf_lang Nest Ssa

@@ -1,0 +1,1 @@
+lib/analysis/reduction.ml: Ast Fmt Hashtbl Hpf_lang List Nest

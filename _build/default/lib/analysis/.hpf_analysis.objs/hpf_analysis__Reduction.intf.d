@@ -1,0 +1,1 @@
+lib/analysis/reduction.mli: Ast Format Hpf_lang

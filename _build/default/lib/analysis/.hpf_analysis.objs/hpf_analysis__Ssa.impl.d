@@ -1,0 +1,1 @@
+lib/analysis/ssa.ml: Array Cfg Dom Fmt Hashtbl Int List Queue Set String

@@ -1,0 +1,1 @@
+lib/analysis/ssa.mli: Cfg Dom Format Hashtbl

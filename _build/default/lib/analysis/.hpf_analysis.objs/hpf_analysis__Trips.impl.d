@@ -1,0 +1,1 @@
+lib/analysis/trips.ml: Ast Hpf_lang List Nest

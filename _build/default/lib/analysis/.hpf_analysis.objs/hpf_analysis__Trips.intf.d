@@ -1,0 +1,1 @@
+lib/analysis/trips.mli: Ast Hpf_lang Nest

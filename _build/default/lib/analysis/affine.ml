@@ -1,0 +1,148 @@
+(** Affine forms of subscript expressions over loop-index variables.
+
+    A subscript [e] in the context of enclosing loop indices
+    [i1, ..., ik] is {e affine} when it can be written
+    [c0 + c1*i1 + ... + ck*ik] with integer constants [cj] (program
+    parameters count as constants).  Affine forms drive the dependence
+    tests ({!Depend}), ownership computation ({!Hpf_mapping.Ownership})
+    and the paper's [SubscriptAlignLevel] ({!Phpf_core.Align_level}). *)
+
+open Hpf_lang
+
+type t = {
+  const : int;
+  terms : (string * int) list;
+      (** [(index_var, coeff)] with nonzero coeff, in index order *)
+}
+
+let constant c = { const = c; terms = [] }
+
+let is_constant a = a.terms = []
+
+let coeff (a : t) (v : string) : int =
+  match List.assoc_opt v a.terms with Some c -> c | None -> 0
+
+(** Variables with nonzero coefficient. *)
+let vars (a : t) : string list = List.map fst a.terms
+
+let add (a : t) (b : t) : t =
+  let keys =
+    List.map fst a.terms
+    @ List.filter (fun v -> not (List.mem_assoc v a.terms)) (List.map fst b.terms)
+  in
+  let terms =
+    List.filter_map
+      (fun v ->
+        let c = coeff a v + coeff b v in
+        if c = 0 then None else Some (v, c))
+      keys
+  in
+  { const = a.const + b.const; terms }
+
+let scale (k : int) (a : t) : t =
+  if k = 0 then constant 0
+  else
+    {
+      const = k * a.const;
+      terms = List.map (fun (v, c) -> (v, k * c)) a.terms;
+    }
+
+let sub a b = add a (scale (-1) b)
+
+let equal (a : t) (b : t) =
+  let d = sub a b in
+  d.const = 0 && d.terms = []
+
+let pp ppf (a : t) =
+  let pp_term ppf (v, c) =
+    if c = 1 then Fmt.string ppf v
+    else if c = -1 then Fmt.pf ppf "-%s" v
+    else Fmt.pf ppf "%d*%s" c v
+  in
+  match a.terms with
+  | [] -> Fmt.int ppf a.const
+  | ts ->
+      Fmt.pf ppf "%a" Fmt.(list ~sep:(any " + ") pp_term) ts;
+      if a.const <> 0 then Fmt.pf ppf " + %d" a.const
+
+(** Extract the affine form of [e] where [is_index v] identifies the loop
+    index variables and [const_of v] resolves other variables that are
+    compile-time constants (parameters).  Returns [None] when [e] is not
+    affine (contains array refs, non-index non-constant scalars,
+    multiplication of two index terms, division, ...). *)
+let of_expr ~(is_index : string -> bool) ~(const_of : string -> int option)
+    (e : Ast.expr) : t option =
+  let ( let* ) = Option.bind in
+  let rec go (e : Ast.expr) : t option =
+    match e with
+    | Int n -> Some (constant n)
+    | Var v ->
+        if is_index v then Some { const = 0; terms = [ (v, 1) ] }
+        else
+          let* c = const_of v in
+          Some (constant c)
+    | Bin (Add, a, b) ->
+        let* a = go a in
+        let* b = go b in
+        Some (add a b)
+    | Bin (Sub, a, b) ->
+        let* a = go a in
+        let* b = go b in
+        Some (sub a b)
+    | Bin (Mul, a, b) -> (
+        let* a = go a in
+        let* b = go b in
+        match (is_constant a, is_constant b) with
+        | true, _ -> Some (scale a.const b)
+        | _, true -> Some (scale b.const a)
+        | false, false -> None)
+    | Bin (Div, a, b) -> (
+        let* a = go a in
+        let* b = go b in
+        (* only exact constant division *)
+        match (is_constant a, is_constant b) with
+        | true, true when b.const <> 0 && a.const mod b.const = 0 ->
+            Some (constant (a.const / b.const))
+        | _ -> None)
+    | Un (Neg, a) ->
+        let* a = go a in
+        Some (scale (-1) a)
+    | Intrin (op, a, b) -> (
+        let* a = go a in
+        let* b = go b in
+        match (op, is_constant a, is_constant b) with
+        | Min2, true, true -> Some (constant (min a.const b.const))
+        | Max2, true, true -> Some (constant (max a.const b.const))
+        | Mod2, true, true when b.const <> 0 ->
+            Some (constant (a.const mod b.const))
+        | _ -> None)
+    | Real _ | Bool _ | Arr _ | Bin _ | Un _ -> None
+  in
+  go e
+
+(** Affine form in the context of a program and a statement's enclosing
+    loop indices. *)
+let of_subscript (p : Ast.program) ~(indices : string list) (e : Ast.expr) :
+    t option =
+  of_expr
+    ~is_index:(fun v -> List.mem v indices)
+    ~const_of:(fun v -> Ast.param_value p v)
+    e
+
+(** Convert back to an expression (canonical form, for reporting and for
+    induction-variable rewriting). *)
+let to_expr (a : t) : Ast.expr =
+  let term (v, c) : Ast.expr =
+    if c = 1 then Var v
+    else if c = -1 then Un (Neg, Var v)
+    else Bin (Mul, Int c, Var v)
+  in
+  match a.terms with
+  | [] -> Int a.const
+  | t0 :: rest ->
+      let base =
+        List.fold_left (fun acc t -> Ast.Bin (Add, acc, term t)) (term t0) rest
+      in
+      if a.const = 0 then base
+      else if a.const > 0 then Bin (Add, base, Int a.const)
+      else Bin (Sub, base, Int (-a.const))

@@ -1,0 +1,44 @@
+(** Affine forms of subscript expressions over loop-index variables:
+    [c0 + c1*i1 + ... + ck*ik] with integer coefficients (program
+    parameters fold into the constant).  Drives the dependence tests,
+    ownership computation and the paper's [SubscriptAlignLevel]. *)
+
+open Hpf_lang
+
+type t = {
+  const : int;
+  terms : (string * int) list;
+      (** (index variable, coefficient), nonzero coefficients only *)
+}
+
+val constant : int -> t
+val is_constant : t -> bool
+
+(** Coefficient of a variable (0 when absent). *)
+val coeff : t -> string -> int
+
+(** Variables with nonzero coefficient. *)
+val vars : t -> string list
+
+val add : t -> t -> t
+val scale : int -> t -> t
+val sub : t -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Extract the affine form of an expression, where [is_index] identifies
+    loop indices and [const_of] resolves other compile-time-constant
+    variables.  [None] when not affine. *)
+val of_expr :
+  is_index:(string -> bool) ->
+  const_of:(string -> int option) ->
+  Ast.expr ->
+  t option
+
+(** {!of_expr} in the context of a program (parameters as constants) and
+    a statement's enclosing loop indices. *)
+val of_subscript : Ast.program -> indices:string list -> Ast.expr -> t option
+
+(** Canonical expression form (inverse of {!of_subscript} up to
+    normalization). *)
+val to_expr : t -> Ast.expr

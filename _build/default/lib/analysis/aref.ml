@@ -1,0 +1,90 @@
+(** A reference — an array element or scalar occurrence at a statement.
+
+    Alignment targets, producer/consumer references and communication
+    descriptors are all values of this type. *)
+
+open Hpf_lang
+
+type t = {
+  sid : Ast.stmt_id;  (** statement the reference occurs in *)
+  base : string;
+  subs : Ast.expr list;  (** [[]] for scalars *)
+}
+
+let scalar sid base = { sid; base; subs = [] }
+
+let of_lhs (s : Ast.stmt) : t option =
+  match s.node with
+  | Assign (LVar v, _) -> Some { sid = s.sid; base = v; subs = [] }
+  | Assign (LArr (a, subs), _) -> Some { sid = s.sid; base = a; subs }
+  | If _ | Do _ | Exit _ | Cycle _ -> None
+
+(** All rhs references of an assignment (array refs and scalar variables
+    appearing in the rhs or in lhs subscripts), left to right.
+    [include_lhs_subs] adds references appearing in the lhs subscripts. *)
+let rhs_refs ?(include_lhs_subs = false) (prog : Ast.program)
+    (s : Ast.stmt) : t list =
+  let acc = ref [] in
+  let add r = acc := r :: !acc in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Int _ | Real _ | Bool _ -> ()
+    | Var v ->
+        if Ast.param_value prog v = None then
+          add { sid = s.sid; base = v; subs = [] }
+    | Arr (a, subs) ->
+        add { sid = s.sid; base = a; subs };
+        List.iter expr subs
+    | Bin (_, a, b) | Intrin (_, a, b) ->
+        expr a;
+        expr b
+    | Un (_, a) -> expr a
+  in
+  (match s.node with
+  | Assign (lhs, rhs) ->
+      expr rhs;
+      if include_lhs_subs then begin
+        match lhs with
+        | LArr (_, subs) -> List.iter expr subs
+        | LVar _ -> ()
+      end
+  | If (c, _, _) -> expr c
+  | Do d ->
+      expr d.lo;
+      expr d.hi;
+      expr d.step
+  | Exit _ | Cycle _ -> ());
+  List.rev !acc
+
+(** Variables (not loop indices) used as subscripts of rhs array
+    references of a statement, with the reference they subscript. *)
+let subscript_uses (prog : Ast.program) (s : Ast.stmt) :
+    (string * t) list =
+  let out = ref [] in
+  List.iter
+    (fun (r : t) ->
+      List.iter
+        (fun sub ->
+          List.iter
+            (fun v ->
+              if Ast.param_value prog v = None && not (Ast.is_array prog v)
+              then out := (v, r) :: !out)
+            (Ast.expr_vars sub))
+        r.subs)
+    (rhs_refs ~include_lhs_subs:true prog s);
+  List.rev !out
+
+let is_scalar (r : t) = r.subs = []
+
+let equal (a : t) (b : t) =
+  a.sid = b.sid
+  && String.equal a.base b.base
+  && List.length a.subs = List.length b.subs
+  && List.for_all2 Ast.equal_expr a.subs b.subs
+
+let pp ppf (r : t) =
+  if r.subs = [] then Fmt.pf ppf "%s@@s%d" r.base r.sid
+  else
+    Fmt.pf ppf "%s(%a)@@s%d" r.base
+      Fmt.(list ~sep:(any ", ") Pp.pp_expr)
+      r.subs r.sid

@@ -1,0 +1,29 @@
+(** A reference — an array element or scalar occurrence at a statement.
+    Alignment targets, producer/consumer references and communication
+    descriptors are all values of this type. *)
+
+open Hpf_lang
+
+type t = {
+  sid : Ast.stmt_id;  (** the statement the reference occurs in *)
+  base : string;
+  subs : Ast.expr list;  (** [[]] for scalars *)
+}
+
+val scalar : Ast.stmt_id -> string -> t
+
+(** The lhs reference of an assignment, if any. *)
+val of_lhs : Ast.stmt -> t option
+
+(** Read references of a statement (rhs array refs and scalars; [If]
+    predicates; [Do] bounds), left to right; [include_lhs_subs] adds the
+    references inside lhs subscripts. *)
+val rhs_refs : ?include_lhs_subs:bool -> Ast.program -> Ast.stmt -> t list
+
+(** Scalar variables used as subscripts of rhs array references, paired
+    with the reference they subscript. *)
+val subscript_uses : Ast.program -> Ast.stmt -> (string * t) list
+
+val is_scalar : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

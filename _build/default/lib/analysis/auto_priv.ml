@@ -1,0 +1,203 @@
+(** Automatic array privatization — the paper's stated future work
+    ("we plan to integrate our mapping techniques with automatic array
+    privatization", §7), in the style of Tu & Padua (the paper's [18]).
+
+    An array [A] is automatically privatizable with respect to loop [L]
+    when, in every iteration of [L],
+
+    + every read of [A] inside [L] is {e covered} by writes performed
+      earlier in the same iteration (no upward-exposed reads), and
+    + [A]'s value is dead after [L] (no copy-out needed).
+
+    Coverage is established region-wise per dimension: an unconditional
+    write nest [A(f1..fk) = ...] whose subscripts are dense (unit
+    coefficient) affine functions of its enclosing loops covers, in one
+    [L]-iteration, the rectangular region spanned by those loops; a read
+    is covered when its per-dimension value range is contained in a
+    preceding write's region.  Ranges come from constant loop bounds —
+    anything non-constant or non-dense falls back to "not privatizable"
+    (the analysis is conservative). *)
+
+open Hpf_lang
+
+(* Per-dimension integer range. *)
+type range = { lo : int; hi : int }
+
+let contains (outer : range) (inner : range) =
+  outer.lo <= inner.lo && inner.hi <= outer.hi
+
+(* Range of an affine subscript over the loops between the target loop
+   and the statement (exclusive of the target loop's own index, which
+   must not appear).  Returns None when any needed bound is unknown or
+   the target loop's index occurs. *)
+let subscript_range (prog : Ast.program) (nest : Nest.t)
+    ~(sid : Ast.stmt_id) ~(outer_index : string) (sub : Ast.expr) :
+    range option =
+  let indices = Nest.enclosing_indices nest sid in
+  match Affine.of_subscript prog ~indices sub with
+  | None -> None
+  | Some a ->
+      if Affine.coeff a outer_index <> 0 then None
+      else begin
+        let loops = Nest.enclosing_loops nest sid in
+        let bounds_of v =
+          List.find_map
+            (fun (li : Nest.loop_info) ->
+              if String.equal li.loop.index v then
+                match
+                  ( Ast.const_int_opt prog li.loop.lo,
+                    Ast.const_int_opt prog li.loop.hi,
+                    Ast.const_int_opt prog li.loop.step )
+                with
+                | Some lo, Some hi, Some 1 when lo <= hi ->
+                    Some (lo, hi)
+                | _ -> Some (1, 0) (* unknown: poison *)
+              else None)
+            loops
+        in
+        let lo = ref a.Affine.const and hi = ref a.Affine.const in
+        let ok = ref true in
+        List.iter
+          (fun (v, c) ->
+            match bounds_of v with
+            | Some (l, h) when l <= h ->
+                if c > 0 then begin
+                  lo := !lo + (c * l);
+                  hi := !hi + (c * h)
+                end
+                else begin
+                  lo := !lo + (c * h);
+                  hi := !hi + (c * l)
+                end
+            | _ -> ok := false)
+          a.Affine.terms;
+        if !ok then Some { lo = !lo; hi = !hi } else None
+      end
+
+(* Is the write subscript dense (covers every integer of its range)?
+   True for constants and for affine forms with exactly one varying
+   index of coefficient +-1. *)
+let dense (prog : Ast.program) (nest : Nest.t) ~(sid : Ast.stmt_id)
+    (sub : Ast.expr) : bool =
+  let indices = Nest.enclosing_indices nest sid in
+  match Affine.of_subscript prog ~indices sub with
+  | None -> false
+  | Some a -> (
+      match a.Affine.terms with
+      | [] -> true
+      | [ (_, c) ] -> abs c = 1
+      | _ -> false)
+
+(* Is statement [sid] inside an If within [body]?  (Conditional writes
+   do not establish coverage.) *)
+let unconditional_in (body : Ast.stmt list) (sid : Ast.stmt_id) : bool =
+  let rec go ~under_if stmts =
+    List.exists
+      (fun (s : Ast.stmt) ->
+        (s.sid = sid && not under_if)
+        ||
+        match s.node with
+        | Ast.If (_, t, e) ->
+            go ~under_if:true t || go ~under_if:true e
+        | Ast.Do d -> go ~under_if d.body
+        | _ -> false)
+      stmts
+  in
+  go ~under_if:false body
+
+(** Arrays written inside loop [li] whose reads are all covered by
+    earlier same-iteration writes and that are dead after the loop. *)
+let privatizable_in_loop (prog : Ast.program) (nest : Nest.t)
+    (liveness_dead_after : string -> bool) (li : Nest.loop_info) :
+    string list =
+  let outer_index = li.loop.index in
+  (* collect writes and reads of each array inside the loop, in textual
+     order *)
+  let events = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      (match s.node with
+      | Ast.Assign (Ast.LArr (a, subs), _) ->
+          events := (`Write, s.sid, a, subs) :: !events
+      | _ -> ());
+      List.iter
+        (fun e ->
+          Ast.iter_expr
+            (function
+              | Ast.Arr (a, subs) ->
+                  events := (`Read, s.sid, a, subs) :: !events
+              | _ -> ())
+            e)
+        (Ast.own_exprs s))
+    li.loop.body;
+  let events = List.rev !events in
+  let arrays =
+    List.filter_map
+      (fun (k, _, a, _) -> if k = `Write then Some a else None)
+      events
+    |> List.sort_uniq String.compare
+  in
+  List.filter
+    (fun a ->
+      liveness_dead_after a
+      &&
+      (* every read of a is covered by an earlier write region *)
+      let written_regions = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (kind, sid, base, subs) ->
+          if String.equal base a && !ok then
+            match kind with
+            | `Write ->
+                let region =
+                  List.map
+                    (fun sub ->
+                      if
+                        dense prog nest ~sid sub
+                        && unconditional_in li.loop.body sid
+                      then
+                        subscript_range prog nest ~sid ~outer_index sub
+                      else None)
+                    subs
+                in
+                if List.for_all Option.is_some region then
+                  written_regions :=
+                    List.map Option.get region :: !written_regions
+            | `Read -> (
+                let read_region =
+                  List.map
+                    (fun sub ->
+                      subscript_range prog nest ~sid ~outer_index sub)
+                    subs
+                in
+                match
+                  List.map (function Some r -> r | None -> { lo = 1; hi = 0 })
+                    read_region
+                with
+                | rr
+                  when List.for_all Option.is_some read_region
+                       && List.exists
+                            (fun wr ->
+                              List.length wr = List.length rr
+                              && List.for_all2 contains wr rr)
+                            !written_regions ->
+                    ()
+                | _ -> ok := false))
+        events;
+      !ok)
+    arrays
+
+(** Automatically privatizable (loop, array) pairs of a whole program. *)
+let analyze (prog : Ast.program) : (Ast.stmt_id * string) list =
+  let nest = Nest.build prog in
+  let g = Cfg.build prog in
+  let lv = Liveness.compute g in
+  List.concat_map
+    (fun (li : Nest.loop_info) ->
+      let dead_after a =
+        not (Liveness.live_after_loop g lv ~loop_sid:li.loop_sid ~var:a)
+      in
+      List.map
+        (fun a -> (li.loop_sid, a))
+        (privatizable_in_loop prog nest dead_after li))
+    nest.Nest.loops

@@ -1,0 +1,19 @@
+(** Automatic array privatization — the paper's §7 future work, in the
+    style of Tu & Padua (its [18]): an array is privatizable w.r.t. a
+    loop when every read inside is covered, region-wise, by earlier
+    unconditional same-iteration writes, and the array is dead after the
+    loop.  Conservative: non-constant bounds or non-dense writes reject. *)
+
+open Hpf_lang
+
+type range = { lo : int; hi : int }
+
+val contains : range -> range -> bool
+
+(** Arrays automatically privatizable with respect to the given loop
+    ([liveness_dead_after] answers the copy-out question). *)
+val privatizable_in_loop :
+  Ast.program -> Nest.t -> (string -> bool) -> Nest.loop_info -> string list
+
+(** All automatically privatizable (loop, array) pairs of a program. *)
+val analyze : Ast.program -> (Ast.stmt_id * string) list

@@ -1,0 +1,16 @@
+(** Dominator tree and dominance frontiers (Cooper-Harvey-Kennedy
+    iterative dominators; Cytron et al. frontiers) — the prerequisites
+    for SSA construction. *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator; [idom.(entry) = entry]; -1 unreachable *)
+  rpo_index : int array;  (** reverse-postorder number; -1 unreachable *)
+  frontiers : int list array;  (** dominance frontier per node *)
+  children : int list array;  (** dominator-tree children *)
+}
+
+val compute : Cfg.t -> t
+
+(** Does [a] dominate [b]?  (Reflexive.) *)
+val dominates : t -> int -> int -> bool

@@ -1,0 +1,30 @@
+(** Induction-variable recognition and closed-form rewriting (paper
+    Fig. 1's [m]): a scalar with a loop-header φ merging a constant
+    initial value with one unconditional constant-step increment is
+    rewritten — definition {e and} uses — to its closed form over the
+    loop index, after which the mapping pass naturally privatizes it
+    without alignment. *)
+
+open Hpf_lang
+
+type iv = {
+  var : string;
+  loop_sid : Ast.stmt_id;  (** the loop stepping the variable *)
+  incr_sid : Ast.stmt_id;  (** the [v = v + c] statement *)
+  phi_def : Ssa.def_id;
+  incr_def : Ssa.def_id;
+  step_const : int;
+  init_value : int;
+  closed_form : Ast.expr;  (** value {e after} the increment *)
+  closed_before : Ast.expr;  (** value {e before} the increment *)
+}
+
+(** Recognize the induction variables of a program in SSA form. *)
+val analyze : Ssa.t -> Constprop.t -> iv list
+
+(** Rewrite increments and uses to closed forms (statement ids
+    preserved). *)
+val rewrite : Ast.program -> Ssa.t -> iv list -> Ast.program
+
+(** Build SSA, recognize, rewrite. *)
+val run : Ast.program -> Ast.program * iv list

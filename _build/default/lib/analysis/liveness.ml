@@ -1,0 +1,62 @@
+(** Classic backward liveness analysis on the CFG.
+
+    Used to answer "is variable [v] live at the exit of loop [L]" — a
+    scalar definition cannot be privatized without copy-out when its value
+    is observed after the loop.  (The SSA reached-uses walk answers the
+    same question definition-by-definition; liveness gives the
+    variable-level view and serves as a cross-check in tests.) *)
+
+open Hpf_lang
+
+module SS = Set.Make (String)
+
+type t = {
+  live_in : SS.t array;
+  live_out : SS.t array;
+}
+
+let compute (g : Cfg.t) : t =
+  let n = Cfg.n_nodes g in
+  let live_in = Array.make n SS.empty in
+  let live_out = Array.make n SS.empty in
+  let uses = Array.init n (fun i -> SS.of_list (Cfg.uses g i)) in
+  let defs = Array.init n (fun i -> SS.of_list (Cfg.defs g i)) in
+  let order = List.rev (Cfg.reverse_postorder g) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        let out =
+          List.fold_left
+            (fun acc s -> SS.union acc live_in.(s))
+            SS.empty (Cfg.node g i).succs
+        in
+        let inn = SS.union uses.(i) (SS.diff out defs.(i)) in
+        if not (SS.equal out live_out.(i) && SS.equal inn live_in.(i))
+        then begin
+          live_out.(i) <- out;
+          live_in.(i) <- inn;
+          changed := true
+        end)
+      order
+  done;
+  { live_in; live_out }
+
+(** Is [var] live at the exit of the loop whose header statement id is
+    [loop_sid]?  (I.e. live-in at the loop's exit join node.) *)
+let live_after_loop (g : Cfg.t) (t : t) ~(loop_sid : Ast.stmt_id)
+    ~(var : string) : bool =
+  let joins =
+    List.filter
+      (fun i ->
+        match (Cfg.node g i).kind with
+        | Cfg.Join (Some sid) -> sid = loop_sid
+        | _ -> false)
+      (Cfg.nodes_of_sid g loop_sid)
+  in
+  List.exists (fun j -> SS.mem var t.live_in.(j)) joins
+
+(** Is [var] live on entry to the program? (Reads an undefined value.) *)
+let live_at_entry (g : Cfg.t) (t : t) ~(var : string) : bool =
+  SS.mem var t.live_in.(g.entry)

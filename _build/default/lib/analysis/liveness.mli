@@ -1,0 +1,17 @@
+(** Classic backward liveness on the CFG — "is this variable live at the
+    loop exit" is the copy-out question of privatization. *)
+
+open Hpf_lang
+
+module SS : Set.S with type elt = string
+
+type t = { live_in : SS.t array; live_out : SS.t array }
+
+val compute : Cfg.t -> t
+
+(** Is the variable live at the exit of the given loop? *)
+val live_after_loop :
+  Cfg.t -> t -> loop_sid:Ast.stmt_id -> var:string -> bool
+
+(** Is the variable live on program entry (read before any write)? *)
+val live_at_entry : Cfg.t -> t -> var:string -> bool

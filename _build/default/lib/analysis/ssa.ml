@@ -1,0 +1,320 @@
+(** Static single assignment form (Cytron et al., the paper's [5]).
+
+    Minimal SSA over the CFG of {!Cfg}: φ-functions are placed on the
+    iterated dominance frontier of each variable's definition sites, and a
+    dominator-tree walk renames uses to point at their unique reaching
+    definition.  Arrays participate with update semantics (an element
+    assignment both defines and uses the array name).
+
+    The paper's mapping algorithm works in terms of the {e original}
+    variables: "reached uses of a definition" and "reaching definitions of
+    a use" with φ-functions collapsed.  {!reached_uses} and
+    {!reaching_defs} implement that collapse, additionally reporting
+    whether the value flowed across a loop back edge (needed by the
+    privatizability test). *)
+
+type def_id = int
+
+type def_site =
+  | Entry_def of string
+      (** the variable's value on entry to the program (version 0) *)
+  | Node_def of { node : int; var : string }  (** a real definition *)
+  | Phi of { node : int; var : string; mutable args : (int * def_id) list }
+      (** [args] maps each CFG predecessor to the incoming definition *)
+
+type t = {
+  cfg : Cfg.t;
+  dom : Dom.t;
+  defs : def_site array;
+  use_def : (int * string, def_id) Hashtbl.t;
+      (** (node, var) -> reaching definition at that use site *)
+  def_real_uses : (def_id, (int * string) list) Hashtbl.t;
+      (** real (non-φ) uses of each definition *)
+  def_phi_uses : (def_id, (def_id * int) list) Hashtbl.t;
+      (** φ-functions using each definition, with the incoming pred node *)
+  node_def : (int * string, def_id) Hashtbl.t;
+  phi_at : (int * string, def_id) Hashtbl.t;
+}
+
+let def_var (t : t) (d : def_id) : string =
+  match t.defs.(d) with
+  | Entry_def v -> v
+  | Node_def { var; _ } -> var
+  | Phi { var; _ } -> var
+
+let def_node (t : t) (d : def_id) : int option =
+  match t.defs.(d) with
+  | Entry_def _ -> None
+  | Node_def { node; _ } | Phi { node; _ } -> Some node
+
+let is_phi (t : t) (d : def_id) : bool =
+  match t.defs.(d) with Phi _ -> true | Entry_def _ | Node_def _ -> false
+
+(** Is the CFG edge [pred -> node] a loop back edge?  In our structured
+    CFGs the only back edges are [Loop_step -> Loop_head] of the same
+    loop. *)
+let is_back_edge (g : Cfg.t) ~(pred : int) ~(node : int) : bool =
+  match ((Cfg.node g pred).kind, (Cfg.node g node).kind) with
+  | Cfg.Loop_step s1, Cfg.Loop_head s2 -> s1.sid = s2.sid
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build (g : Cfg.t) : t =
+  let dom = Dom.compute g in
+  let n = Cfg.n_nodes g in
+  let reachable = Cfg.is_reachable g in
+  let vars = Cfg.variables g in
+  let defs_tbl : def_site list ref = ref [] in
+  let n_defs = ref 0 in
+  let new_def site =
+    let id = !n_defs in
+    incr n_defs;
+    defs_tbl := site :: !defs_tbl;
+    id
+  in
+  let node_def = Hashtbl.create 128 in
+  let phi_at = Hashtbl.create 64 in
+  (* entry defs for all variables *)
+  let entry_def = Hashtbl.create 32 in
+  List.iter (fun v -> Hashtbl.replace entry_def v (new_def (Entry_def v))) vars;
+  (* real defs *)
+  for i = 0 to n - 1 do
+    if reachable.(i) then
+      List.iter
+        (fun v ->
+          Hashtbl.replace node_def (i, v) (new_def (Node_def { node = i; var = v })))
+        (Cfg.defs g i)
+  done;
+  (* φ placement: iterated dominance frontier of def sites (incl. entry) *)
+  List.iter
+    (fun v ->
+      let work = Queue.create () in
+      let on_work = Array.make n false in
+      for i = 0 to n - 1 do
+        if reachable.(i) && List.mem v (Cfg.defs g i) then begin
+          Queue.add i work;
+          on_work.(i) <- true
+        end
+      done;
+      (* entry node is also a def site (Entry_def) *)
+      if not on_work.(g.entry) then begin
+        Queue.add g.entry work;
+        on_work.(g.entry) <- true
+      end;
+      let has_phi = Array.make n false in
+      while not (Queue.is_empty work) do
+        let x = Queue.pop work in
+        List.iter
+          (fun y ->
+            if (not has_phi.(y)) && reachable.(y) then begin
+              has_phi.(y) <- true;
+              Hashtbl.replace phi_at (y, v)
+                (new_def (Phi { node = y; var = v; args = [] }));
+              if not on_work.(y) then begin
+                Queue.add y work;
+                on_work.(y) <- true
+              end
+            end)
+          dom.frontiers.(x)
+      done)
+    vars;
+  let defs = Array.of_list (List.rev !defs_tbl) in
+  (* renaming *)
+  let use_def = Hashtbl.create 256 in
+  let stacks : (string, def_id list ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun v -> Hashtbl.replace stacks v (ref [ Hashtbl.find entry_def v ]))
+    vars;
+  let top v =
+    match !(Hashtbl.find stacks v) with
+    | d :: _ -> d
+    | [] -> Hashtbl.find entry_def v
+  in
+  let push v d =
+    let s = Hashtbl.find stacks v in
+    s := d :: !s
+  in
+  let pop v =
+    let s = Hashtbl.find stacks v in
+    match !s with [] -> () | _ :: tl -> s := tl
+  in
+  let rec rename (i : int) =
+    let pushed = ref [] in
+    (* φ defs first *)
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt phi_at (i, v) with
+        | Some d ->
+            push v d;
+            pushed := v :: !pushed
+        | None -> ())
+      vars;
+    (* uses see pre-def values (after φ) *)
+    List.iter (fun v -> Hashtbl.replace use_def (i, v) (top v)) (Cfg.uses g i);
+    (* real defs *)
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt node_def (i, v) with
+        | Some d ->
+            push v d;
+            pushed := v :: !pushed
+        | None -> ())
+      (Cfg.defs g i);
+    (* fill φ args of successors *)
+    List.iter
+      (fun s ->
+        List.iter
+          (fun v ->
+            match Hashtbl.find_opt phi_at (s, v) with
+            | Some d -> (
+                match defs.(d) with
+                | Phi p ->
+                    if not (List.mem_assoc i p.args) then
+                      p.args <- (i, top v) :: p.args
+                | Entry_def _ | Node_def _ -> assert false)
+            | None -> ())
+          vars)
+      (Cfg.node g i).succs;
+    (* recurse into dominator-tree children *)
+    List.iter rename dom.children.(i);
+    List.iter pop !pushed
+  in
+  rename g.entry;
+  (* invert use_def into def -> uses, and collect φ arg uses *)
+  let def_real_uses = Hashtbl.create 128 in
+  let def_phi_uses = Hashtbl.create 128 in
+  Hashtbl.iter
+    (fun (node, var) d ->
+      let cur =
+        match Hashtbl.find_opt def_real_uses d with Some l -> l | None -> []
+      in
+      Hashtbl.replace def_real_uses d ((node, var) :: cur))
+    use_def;
+  Array.iteri
+    (fun phi_id site ->
+      match site with
+      | Phi { args; _ } ->
+          List.iter
+            (fun (pred, d) ->
+              let cur =
+                match Hashtbl.find_opt def_phi_uses d with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace def_phi_uses d ((phi_id, pred) :: cur))
+            args
+      | Entry_def _ | Node_def _ -> ())
+    defs;
+  { cfg = g; dom; defs; use_def; def_real_uses; def_phi_uses; node_def; phi_at }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The SSA definition reaching the use of [var] at CFG node [node]. *)
+let reaching_def_at (t : t) ~(node : int) ~(var : string) : def_id option =
+  Hashtbl.find_opt t.use_def (node, var)
+
+(** The real definition of [var] at [node], if that node defines it. *)
+let def_at (t : t) ~(node : int) ~(var : string) : def_id option =
+  Hashtbl.find_opt t.node_def (node, var)
+
+(** A use of a definition's value, after collapsing φ-functions.
+
+    [back_edges] lists the loop-head CFG nodes whose back edge the value
+    crossed on the way to this use (i.e. loops that carry this flow into
+    a later iteration). *)
+type use_info = { use_node : int; use_var : string; back_edges : int list }
+
+(** All real uses transitively reached by definition [d] through
+    φ-functions. *)
+let reached_uses (t : t) (d : def_id) : use_info list =
+  let module S = Set.Make (Int) in
+  (* state: (def, set of crossed back-edge heads); fixpoint on growing sets *)
+  let visited : (def_id, S.t list) Hashtbl.t = Hashtbl.create 32 in
+  let results : (int * string, S.t) Hashtbl.t = Hashtbl.create 32 in
+  let rec go d crossed =
+    let seen =
+      match Hashtbl.find_opt visited d with Some l -> l | None -> []
+    in
+    if List.exists (fun s -> S.subset crossed s) seen then ()
+    else begin
+      Hashtbl.replace visited d (crossed :: seen);
+      (match Hashtbl.find_opt t.def_real_uses d with
+      | Some uses ->
+          List.iter
+            (fun (node, var) ->
+              let cur =
+                match Hashtbl.find_opt results (node, var) with
+                | Some s -> s
+                | None -> S.empty
+              in
+              Hashtbl.replace results (node, var) (S.union cur crossed))
+            uses
+      | None -> ());
+      match Hashtbl.find_opt t.def_phi_uses d with
+      | Some phis ->
+          List.iter
+            (fun (phi_id, pred) ->
+              match def_node t phi_id with
+              | Some phi_node ->
+                  let crossed' =
+                    if is_back_edge t.cfg ~pred ~node:phi_node then
+                      S.add phi_node crossed
+                    else crossed
+                  in
+                  go phi_id crossed'
+              | None -> ())
+            phis
+      | None -> ()
+    end
+  in
+  go d S.empty;
+  Hashtbl.fold
+    (fun (node, var) crossed acc ->
+      { use_node = node; use_var = var; back_edges = S.elements crossed }
+      :: acc)
+    results []
+  |> List.sort compare
+
+(** All real (or entry) definitions whose value may reach the use of
+    [var] at [node], collapsing φ-functions. *)
+let reaching_defs (t : t) ~(node : int) ~(var : string) : def_id list =
+  match reaching_def_at t ~node ~var with
+  | None -> []
+  | Some d0 ->
+      let visited = Hashtbl.create 16 in
+      let out = ref [] in
+      let rec go d =
+        if not (Hashtbl.mem visited d) then begin
+          Hashtbl.replace visited d ();
+          match t.defs.(d) with
+          | Entry_def _ | Node_def _ -> out := d :: !out
+          | Phi { args; _ } -> List.iter (fun (_, a) -> go a) args
+        end
+      in
+      go d0;
+      List.sort compare !out
+
+(** All real definitions of variable [var] (excluding the entry def). *)
+let defs_of_var (t : t) (var : string) : def_id list =
+  let out = ref [] in
+  Array.iteri
+    (fun i site ->
+      match site with
+      | Node_def { var = v; _ } when String.equal v var -> out := i :: !out
+      | Node_def _ | Entry_def _ | Phi _ -> ())
+    t.defs;
+  List.rev !out
+
+let pp_def (t : t) ppf (d : def_id) =
+  match t.defs.(d) with
+  | Entry_def v -> Fmt.pf ppf "%s@@entry" v
+  | Node_def { node; var } -> Fmt.pf ppf "%s@@n%d" var node
+  | Phi { node; var; args } ->
+      Fmt.pf ppf "%s@@phi%d(%a)" var node
+        Fmt.(list ~sep:comma (pair ~sep:(any ":") int int))
+        args

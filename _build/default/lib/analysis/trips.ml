@@ -1,0 +1,36 @@
+(** Loop trip counts, used by the communication cost model and the timing
+    simulator.  Constant bounds (after parameter substitution) give exact
+    counts; unknown bounds fall back to a configurable default. *)
+
+open Hpf_lang
+
+let default_trip = 16
+
+(** Trip count of a loop, when its bounds are compile-time constants. *)
+let const_trip (prog : Ast.program) (d : Ast.do_loop) : int option =
+  match
+    (Ast.const_int_opt prog d.lo, Ast.const_int_opt prog d.hi,
+     Ast.const_int_opt prog d.step)
+  with
+  | Some lo, Some hi, Some step when step <> 0 ->
+      let n = ((hi - lo) / step) + 1 in
+      Some (max 0 n)
+  | _ -> None
+
+(** Trip count with fallback. *)
+let trip ?(default = default_trip) (prog : Ast.program) (d : Ast.do_loop) :
+    int =
+  match const_trip prog d with Some n -> n | None -> default
+
+(** Product of the trip counts of the given loops. *)
+let product ?default (prog : Ast.program) (loops : Nest.loop_info list) :
+    int =
+  List.fold_left (fun acc li -> acc * trip ?default prog li.Nest.loop) 1 loops
+
+(** Iterations executed at nesting level [lv] around statement [sid]:
+    the product of trips of loops at levels 1..lv. *)
+let iterations_at_level ?default (prog : Ast.program) (nest : Nest.t)
+    ~(sid : Ast.stmt_id) (lv : int) : int =
+  let loops = Nest.enclosing_loops nest sid in
+  let upto = List.filteri (fun i _ -> i < lv) loops in
+  product ?default prog upto

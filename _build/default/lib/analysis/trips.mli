@@ -1,0 +1,20 @@
+(** Loop trip counts for the communication cost model and the timing
+    simulator: constant bounds give exact counts, unknown bounds a
+    configurable default. *)
+
+open Hpf_lang
+
+val default_trip : int
+
+(** Exact trip count when the bounds are compile-time constants. *)
+val const_trip : Ast.program -> Ast.do_loop -> int option
+
+(** Trip count with fallback. *)
+val trip : ?default:int -> Ast.program -> Ast.do_loop -> int
+
+(** Product of the trips of the given loops. *)
+val product : ?default:int -> Ast.program -> Nest.loop_info list -> int
+
+(** Iterations executed at nesting level [lv] around a statement. *)
+val iterations_at_level :
+  ?default:int -> Ast.program -> Nest.t -> sid:Ast.stmt_id -> int -> int

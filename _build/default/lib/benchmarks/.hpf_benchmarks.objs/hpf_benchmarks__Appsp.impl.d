@@ -1,0 +1,1 @@
+lib/benchmarks/appsp.ml: Ast Builder Hpf_lang

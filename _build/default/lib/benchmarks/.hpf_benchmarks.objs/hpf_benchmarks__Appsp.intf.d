@@ -1,0 +1,1 @@
+lib/benchmarks/appsp.mli: Ast Hpf_lang

@@ -1,0 +1,1 @@
+lib/benchmarks/dgefa.ml: Ast Builder Hpf_lang

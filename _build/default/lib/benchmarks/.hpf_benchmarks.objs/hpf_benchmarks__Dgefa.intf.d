@@ -1,0 +1,1 @@
+lib/benchmarks/dgefa.mli: Ast Hpf_lang

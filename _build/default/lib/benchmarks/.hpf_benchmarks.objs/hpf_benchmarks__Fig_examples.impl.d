@@ -1,0 +1,1 @@
+lib/benchmarks/fig_examples.ml: Appsp Ast Builder Hpf_lang

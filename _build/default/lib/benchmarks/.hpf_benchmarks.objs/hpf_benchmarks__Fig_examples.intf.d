@@ -1,0 +1,1 @@
+lib/benchmarks/fig_examples.mli: Ast Hpf_lang

@@ -1,0 +1,1 @@
+lib/benchmarks/tables.ml: Appsp Ast Compiler Decisions Dgefa Fmt Hpf_comm Hpf_lang Hpf_mapping Hpf_spmd Init List Option Phpf_core String Tomcatv Trace_sim Variants

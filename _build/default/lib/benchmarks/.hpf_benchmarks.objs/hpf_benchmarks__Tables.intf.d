@@ -1,0 +1,1 @@
+lib/benchmarks/tables.mli: Format Hpf_spmd Trace_sim

@@ -1,0 +1,1 @@
+lib/benchmarks/tomcatv.ml: Ast Builder Hpf_lang List

@@ -1,0 +1,1 @@
+lib/benchmarks/tomcatv.mli: Ast Hpf_lang

@@ -1,0 +1,1 @@
+lib/benchmarks/variants.ml: Decisions Phpf_core

@@ -1,0 +1,1 @@
+lib/benchmarks/variants.mli: Decisions Phpf_core

@@ -1,0 +1,181 @@
+(** APPSP (NAS benchmarks) — the pseudo-application solving five coupled
+    PDEs, reduced to the sweep structure that drives Table 3 and Fig. 6
+    of the paper.
+
+    Each solver iteration:
+
+    + an xy-sweep over planes [k]: a work array [c] is recomputed per
+      plane and consumed with a [j-1] offset — [c] is privatizable with
+      respect to the [k] loop ([INDEPENDENT, NEW(c)], paper Fig. 6) but
+      {e not} with respect to the [j] loop;
+    + a z-sweep with a first-order recurrence along [k];
+    + a pointwise update of [u].
+
+    Two program versions mirror the paper's two HPF variants:
+
+    - {!program_1d}: arrays distributed (star, star, BLOCK) over [k]; the
+      z-sweep runs on a transposed copy [ut] distributed
+      (star, BLOCK, star) so the recurrence is local (the paper's
+      "redistribution of data in the sweepz subroutine").  [c] carries no
+      distribution directive; without array privatization it is
+      replicated and the [k] loop's work and operands land on every
+      processor — the configuration the paper had to abort after a day.
+    - {!program_2d}: arrays distributed (star, BLOCK, BLOCK) on a 2-D
+      grid; [c]'s own directive partitions its second dimension on the
+      first grid dimension only.  Exploiting both parallel dimensions
+      requires {e partial privatization} of [c] along the grid dimension
+      that carries [k]. *)
+
+open Hpf_lang
+open Builder
+
+let i = var "i"
+let j = var "j"
+let k = var "k"
+
+let u subs : Ast.expr = "u" $. subs
+let rsd subs : Ast.expr = "rsd" $. subs
+let c subs : Ast.expr = "c" $. subs
+
+(* the xy sweep: recompute c per plane k, then consume it with a j-1
+   offset (paper Fig. 6 shape) *)
+let xy_sweep ~n1 =
+  indep_do ~new_vars:[ "c" ] "k" (int 2) n1
+    [
+      do_ "j" (int 2) n1
+        [
+          do_ "i" (int 2) n1
+            [
+              ("c" $. [ i; j ])
+              <-- (rlit 0.2 * u [ i; j; k ])
+                  + (rlit 0.1 * u [ i; j; k - int 1 ])
+                  + (rlit 0.1 * u [ i; j - int 1; k ]);
+            ];
+        ];
+      do_ "j" (int 3) n1
+        [
+          do_ "i" (int 2) n1
+            [
+              ("rsd" $. [ i; j; k ])
+              <-- c [ i; j - int 1 ]
+                  + (rlit 0.5 * c [ i; j ])
+                  + (rlit 0.3 * u [ i; j; k ]);
+            ];
+        ];
+    ]
+
+(* pointwise update of u from rsd *)
+let update ~n1 =
+  do_ "k" (int 2) n1
+    [
+      do_ "j" (int 2) n1
+        [
+          do_ "i" (int 2) n1
+            [
+              ("u" $. [ i; j; k ])
+              <-- u [ i; j; k ] + (rlit 0.1 * rsd [ i; j; k ]);
+            ];
+        ];
+    ]
+
+(** 2-D distributed version: z-sweep recurrence runs in place (per-plane
+    pipeline communication along the [k]-distributed dimension). *)
+let program_2d ~(n : int) ~(niter : int) ~(p1 : int) ~(p2 : int) :
+    Ast.program =
+  let n1 = var "n" - int 1 in
+  program "appsp2d"
+    ~params:[ ("n", n); ("niter", niter) ]
+    ~decls:
+      [
+        real_arr "u" [ 1 -- n; 1 -- n; 1 -- n ];
+        real_arr "rsd" [ 1 -- n; 1 -- n; 1 -- n ];
+        real_arr "c" [ 1 -- n; 1 -- n ];
+      ]
+    ~directives:
+      [
+        processors "p" [ p1; p2 ];
+        distribute "u" [ star; block; block ];
+        distribute "rsd" [ star; block; block ];
+        distribute "c" [ star; block ];
+      ]
+    [
+      do_ "it" (int 1) (var "niter")
+        [
+          xy_sweep ~n1;
+          (* z sweep: first-order recurrence along the distributed k *)
+          do_ "k" (int 3) n1
+            [
+              do_ "j" (int 2) n1
+                [
+                  do_ "i" (int 2) n1
+                    [
+                      ("rsd" $. [ i; j; k ])
+                      <-- rsd [ i; j; k ]
+                          - (rlit 0.2 * rsd [ i; j; k - int 1 ]);
+                    ];
+                ];
+            ];
+          update ~n1;
+        ];
+    ]
+
+(** 1-D distributed version with transpose-based z-sweep. *)
+let program_1d ~(n : int) ~(niter : int) ~(p : int) : Ast.program =
+  let n1 = var "n" - int 1 in
+  let ut subs : Ast.expr = "ut" $. subs in
+  program "appsp1d"
+    ~params:[ ("n", n); ("niter", niter) ]
+    ~decls:
+      [
+        real_arr "u" [ 1 -- n; 1 -- n; 1 -- n ];
+        real_arr "rsd" [ 1 -- n; 1 -- n; 1 -- n ];
+        real_arr "ut" [ 1 -- n; 1 -- n; 1 -- n ];
+        real_arr "c" [ 1 -- n; 1 -- n ];
+      ]
+    ~directives:
+      [
+        processors "p" [ p ];
+        distribute "u" [ star; star; block ];
+        distribute "rsd" [ star; star; block ];
+        (* the transposed copy is distributed over j so the k recurrence
+           is local *)
+        distribute "ut" [ star; block; star ];
+      ]
+    [
+      do_ "it" (int 1) (var "niter")
+        [
+          xy_sweep ~n1;
+          (* transpose rsd into ut *)
+          do_ "k" (int 2) n1
+            [
+              do_ "j" (int 2) n1
+                [
+                  do_ "i" (int 2) n1
+                    [ ("ut" $. [ i; j; k ]) <-- rsd [ i; j; k ] ];
+                ];
+            ];
+          (* z sweep: recurrence along k, local under ut's distribution *)
+          do_ "k" (int 3) n1
+            [
+              do_ "j" (int 2) n1
+                [
+                  do_ "i" (int 2) n1
+                    [
+                      ("ut" $. [ i; j; k ])
+                      <-- ut [ i; j; k ]
+                          - (rlit 0.2 * ut [ i; j; k - int 1 ]);
+                    ];
+                ];
+            ];
+          (* transpose back *)
+          do_ "k" (int 2) n1
+            [
+              do_ "j" (int 2) n1
+                [
+                  do_ "i" (int 2) n1
+                    [ ("rsd" $. [ i; j; k ]) <-- ut [ i; j; k ] ];
+                ];
+            ];
+          update ~n1;
+        ];
+    ]

@@ -1,0 +1,20 @@
+(** APPSP (NAS) — the sweep structure behind Table 3 and Fig. 6.
+
+    Each solver iteration recomputes a per-plane work array [c]
+    (privatizable w.r.t. the [k] loop but not [j] — paper Fig. 6), runs a
+    z-recurrence, and updates the solution.  Two HPF variants mirror the
+    paper's: a 1-D distribution with transpose-based z-sweep, and a 2-D
+    distribution that needs {e partial privatization} of [c]. *)
+
+open Hpf_lang
+
+(** 2-D (star, BLOCK, BLOCK) distribution on a [p1]×[p2] grid; the
+    z-recurrence pipelines along the distributed [k]. *)
+val program_2d : n:int -> niter:int -> p1:int -> p2:int -> Ast.program
+
+(** 1-D (star, star, BLOCK) distribution over [k]; the z-sweep runs on a
+    transposed copy so the recurrence is local (the paper's
+    "redistribution of data in the sweepz subroutine").  [c] carries no
+    directives: without array privatization it is replicated — the
+    configuration the paper aborted after a day. *)
+val program_1d : n:int -> niter:int -> p:int -> Ast.program

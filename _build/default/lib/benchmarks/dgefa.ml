@@ -1,0 +1,71 @@
+(** DGEFA (LINPACK) — Gaussian elimination with partial pivoting, as used
+    for Table 2 of the paper.
+
+    The matrix is distributed column-wise in a CYCLIC manner.  In each
+    elimination step [k], partial pivoting performs a maxloc reduction
+    down column [k] — which lives on a single processor.  The paper's
+    §2.3 optimization aligns the reduction scalars ([t], [l]) with
+    [a(i,k)] in the dimensions not involved in the reduction: since the
+    1-D column distribution leaves the reduction spanning {e no} grid
+    dimension, the pivot search is confined to the owning processor and
+    needs no broadcast of the column.  With the optimization disabled the
+    scalars stay replicated, every processor executes the search, and the
+    column is broadcast in every step — the roughly constant overhead of
+    Table 2's "Default" column. *)
+
+open Hpf_lang
+open Builder
+
+(** Build DGEFA for an [n]x[n] matrix on [p] processors. *)
+let program ~(n : int) ~(p : int) : Ast.program =
+  let i = var "i" and j = var "j" and k = var "k" and l = var "l" in
+  let a subs : Ast.expr = "a" $. subs in
+  program "dgefa"
+    ~params:[ ("n", n) ]
+    ~decls:
+      [
+        real_arr "a" [ 1 -- n; 1 -- n ];
+        int_arr "ipvt" [ 1 -- n ];
+        real "t";
+        real "t2";
+        real "t3";
+        integer "l";
+      ]
+    ~directives:
+      [
+        processors "p" [ p ];
+        distribute "a" [ star; cyclic ];
+        (* ipvt(k) lives with column k *)
+        align "ipvt" "a" [ align_star; align_dim 0 ];
+      ]
+    [
+      do_ "k" (int 1) (var "n" - int 1)
+        [
+          (* partial pivoting: maxloc over column k *)
+          var "t" <-- rlit 0.0;
+          var "l" <-- k;
+          do_ "i" k (var "n")
+            [
+              if_then
+                (abs_ (a [ i; k ]) > var "t")
+                [ var "t" <-- abs_ (a [ i; k ]); var "l" <-- i ];
+            ];
+          ("ipvt" $. [ k ]) <-- l;
+          (* scale column k by the pivot *)
+          var "t2" <-- rlit (-1.0) / a [ l; k ];
+          do_ "i" (k + int 1) (var "n")
+            [ ("a" $. [ i; k ]) <-- a [ i; k ] * var "t2" ];
+          (* row interchange + rank-1 update of the trailing matrix *)
+          do_ "j" (k + int 1) (var "n")
+            [
+              var "t3" <-- a [ l; j ];
+              ("a" $. [ l; j ]) <-- a [ k; j ];
+              ("a" $. [ k; j ]) <-- var "t3";
+              do_ "i" (k + int 1) (var "n")
+                [
+                  ("a" $. [ i; j ])
+                  <-- a [ i; j ] + (var "t3" * a [ i; k ]);
+                ];
+            ];
+        ];
+    ]

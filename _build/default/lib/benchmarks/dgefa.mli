@@ -1,0 +1,14 @@
+(** DGEFA (LINPACK) — Gaussian elimination with partial pivoting, used
+    for Table 2.
+
+    Columns are CYCLIC-distributed; each elimination step runs a maxloc
+    reduction down one column.  With the paper's §2.3 mapping the pivot
+    scalars live with that column's owner (no broadcast, combine group of
+    one processor); replicated, every processor searches and the column
+    is broadcast each step. *)
+
+open Hpf_lang
+
+(** DGEFA for an [n]×[n] matrix on [p] processors.  The paper ran
+    n = 512. *)
+val program : n:int -> p:int -> Ast.program

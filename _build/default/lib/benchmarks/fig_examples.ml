@@ -1,0 +1,186 @@
+(** The paper's code examples (Figs. 1, 2, 4, 5, 6, 7) as kernel-language
+    programs.  Tests assert that the compiler reproduces the mapping
+    decisions the paper derives for each of them. *)
+
+open Hpf_lang
+open Builder
+
+(** Fig. 1: different alignments of privatized scalars ([m] induction,
+    [x] consumer-aligned, [y] producer-aligned, [z] no alignment). *)
+let fig1 ?(n = 100) ?(p = 4) () : Ast.program =
+  let i = var "i" in
+  program "fig1"
+    ~params:[ ("n", n) ]
+    ~decls:
+      [
+        real_arr "a" [ 1 -- n ];
+        real_arr "b" [ 1 -- n ];
+        real_arr "c" [ 1 -- n ];
+        real_arr "d" [ 1 -- n ];
+        real_arr "e" [ 1 -- n ];
+        real_arr "f" [ 1 -- n ];
+        real "x";
+        real "y";
+        real "z";
+        integer "m";
+      ]
+    ~directives:
+      [
+        processors "p" [ p ];
+        distribute "a" [ block ];
+        align_identity "b" "a" 1;
+        align_identity "c" "a" 1;
+        align_identity "d" "a" 1;
+        align "e" "a" [ align_star ];
+        align "f" "a" [ align_star ];
+      ]
+    [
+      assign_var "m" (int 2);
+      do_ "i" (int 2) (var "n" - int 1)
+        [
+          var "m" <-- var "m" + int 1;
+          var "x" <-- ("b" $. [ i ]) + ("c" $. [ i ]);
+          var "y" <-- ("a" $. [ i ]) + ("b" $. [ i ]);
+          var "z" <-- ("e" $. [ i ]) + ("f" $. [ i ]);
+          ("a" $. [ i + int 1 ]) <-- var "y" / var "z";
+          ("d" $. [ var "m" ]) <-- var "x" / var "z";
+        ];
+    ]
+
+(** Fig. 2: availability requirements for subscripts ([p] consumed only
+    by the executing processor, [q] needed by all). *)
+let fig2 ?(n = 64) ?(np = 4) () : Ast.program =
+  let i = var "i" in
+  program "fig2"
+    ~params:[ ("n", n) ]
+    ~decls:
+      [
+        real_arr "h" [ 1 -- n; 1 -- n ];
+        real_arr "g" [ 1 -- n; 1 -- n ];
+        real_arr "a" [ 1 -- n ];
+        int_arr "b" [ 1 -- n ];
+        int_arr "c" [ 1 -- n ];
+        integer "p";
+        integer "q";
+      ]
+    ~directives:
+      [
+        processors "procs" [ np ];
+        distribute "h" [ block; star ];
+        align_identity "g" "h" 2;
+        align "a" "h" [ align_dim 0; align_star ];
+        (* subscript sources live with the rows *)
+        align "b" "h" [ align_dim 0; align_star ];
+        align "c" "h" [ align_dim 0; align_star ];
+      ]
+    [
+      do_ "i" (int 1) (var "n")
+        [
+          var "p" <-- ("b" $. [ i ]);
+          var "q" <-- ("c" $. [ i ]);
+          ("a" $. [ i ]) <-- ("h" $. [ i; var "p" ]) + ("g" $. [ var "q"; i ]);
+        ];
+    ]
+
+(** Fig. 4: AlignLevel of [a(i,j,k)] is 2 and of [b(s,j,k)] is 3. *)
+let fig4 ?(n = 16) ?(p1 = 2) ?(p2 = 2) () : Ast.program =
+  let i = var "i" and j = var "j" and k = var "k" in
+  program "fig4"
+    ~params:[ ("n", n) ]
+    ~decls:
+      [
+        real_arr "a" [ 1 -- n; 1 -- n; 1 -- n ];
+        real_arr "b" [ 1 -- n; 1 -- n; 1 -- n ];
+        int_arr "w" [ 1 -- n ];
+        integer "s";
+      ]
+    ~directives:
+      [
+        processors "p" [ p1; p2 ];
+        distribute "a" [ block; block; star ];
+        align_identity "b" "a" 3;
+        align "w" "a" [ align_dim 0; align_star; align_star ];
+      ]
+    [
+      do_ "i" (int 1) (var "n")
+        [
+          do_ "j" (int 1) (var "n")
+            [
+              var "s" <-- min_ (("w" $. [ i ]) + ("w" $. [ j ])) (var "n");
+              do_ "k" (int 1) (var "n")
+                [
+                  ("a" $. [ i; j; k ]) <-- rlit 1.0;
+                  ("b" $. [ var "s"; j; k ]) <-- rlit 2.0;
+                ];
+            ];
+        ];
+    ]
+
+(** Fig. 5: scalar involved in a sum reduction across the second grid
+    dimension. *)
+let fig5 ?(n = 32) ?(p1 = 2) ?(p2 = 2) () : Ast.program =
+  let i = var "i" and j = var "j" in
+  program "fig5"
+    ~params:[ ("n", n) ]
+    ~decls:
+      [
+        real_arr "a" [ 1 -- n; 1 -- n ];
+        real_arr "b" [ 1 -- n ];
+        real "s";
+      ]
+    ~directives:
+      [
+        processors "p" [ p1; p2 ];
+        distribute "a" [ block; block ];
+        align "b" "a" [ align_dim 0; align_star ];
+      ]
+    [
+      do_ "i" (int 1) (var "n")
+        [
+          var "s" <-- rlit 0.0;
+          do_ "j" (int 1) (var "n")
+            [ var "s" <-- var "s" + ("a" $. [ i; j ]) ];
+          ("b" $. [ i ]) <-- var "s";
+        ];
+    ]
+
+(** Fig. 6: the APPSP fragment motivating partial privatization — the
+    work array [c] is privatizable w.r.t. the [k] loop but not [j]. *)
+let fig6 ?(n = 12) ?(p1 = 2) ?(p2 = 2) () : Ast.program =
+  Appsp.program_2d ~n ~niter:1 ~p1 ~p2
+
+(** Fig. 7: privatized execution of control flow statements. *)
+let fig7 ?(n = 64) ?(p = 4) () : Ast.program =
+  let i = var "i" in
+  program "fig7"
+    ~params:[ ("n", n) ]
+    ~decls:
+      [
+        real_arr "a" [ 1 -- n ];
+        real_arr "b" [ 1 -- n ];
+        real_arr "c" [ 1 -- n ];
+      ]
+    ~directives:
+      [
+        processors "p" [ p ];
+        distribute "a" [ block ];
+        align_identity "b" "a" 1;
+        align_identity "c" "a" 1;
+      ]
+    [
+      do_ "i" (int 1) (var "n")
+        [
+          if_
+            (("b" $. [ i ]) <> rlit 0.0)
+            [
+              ("a" $. [ i ]) <-- ("a" $. [ i ]) / ("b" $. [ i ]);
+              (* the paper's "go to 100" lands on the final continue of
+                 the loop body: a CYCLE *)
+              if_then (("b" $. [ i ]) < rlit 0.0) [ cycle () ];
+            ]
+            [
+              ("a" $. [ i ]) <-- ("c" $. [ i ]);
+              ("c" $. [ i ]) <-- ("c" $. [ i ]) * ("c" $. [ i ]);
+            ];
+        ];
+    ]

@@ -1,0 +1,28 @@
+(** The paper's code examples (Figs. 1, 2, 4, 5, 6, 7) as kernel-language
+    programs; tests assert the compiler reproduces the mapping decisions
+    the paper derives for each. *)
+
+open Hpf_lang
+
+(** Fig. 1: different alignments of privatized scalars ([m] induction
+    variable, [x] consumer-aligned with [d(m)], [y] producer-aligned with
+    [a(i)], [z] privatized without alignment). *)
+val fig1 : ?n:int -> ?p:int -> unit -> Ast.program
+
+(** Fig. 2: availability requirements for subscripts — [p] is needed only
+    by the executing processor, [q] by all. *)
+val fig2 : ?n:int -> ?np:int -> unit -> Ast.program
+
+(** Fig. 4: AlignLevel of [a(i,j,k)] is 2 and of [b(s,j,k)] is 3. *)
+val fig4 : ?n:int -> ?p1:int -> ?p2:int -> unit -> Ast.program
+
+(** Fig. 5: a sum reduction across the second grid dimension; [s] is
+    replicated there and aligned with row [i] of [a] elsewhere. *)
+val fig5 : ?n:int -> ?p1:int -> ?p2:int -> unit -> Ast.program
+
+(** Fig. 6: the APPSP fragment motivating partial privatization. *)
+val fig6 : ?n:int -> ?p1:int -> ?p2:int -> unit -> Ast.program
+
+(** Fig. 7: privatized execution of control-flow statements (the
+    intra-loop goto becomes a CYCLE). *)
+val fig7 : ?n:int -> ?p:int -> unit -> Ast.program

@@ -1,0 +1,197 @@
+(** Drivers that regenerate the paper's Tables 1-3 on the machine
+    simulator.
+
+    Absolute seconds depend on the SP2 cost constants and the (scaled)
+    problem sizes; the claims under reproduction are the {e relative}
+    ones — column ordering, approximate ratios, and scaling trends.
+    [`Full] sizes match the paper (slow: hundreds of millions of
+    interpreted statement instances); [`Scaled] keeps the loop structure
+    with smaller extents. *)
+
+open Hpf_lang
+open Phpf_core
+open Hpf_spmd
+
+type entry = {
+  variant : string;
+  time : float;
+  result : Trace_sim.result;
+}
+
+type row = { procs : int; entries : entry list }
+
+type table = {
+  title : string;
+  columns : string list;
+  rows : row list;
+}
+
+let run_one ?(model = Hpf_comm.Cost_model.sp2) (prog : Ast.program)
+    (options : Decisions.options) ~(variant : string) : entry =
+  let grid =
+    (* the program's own PROCESSORS directive fixes the grid *)
+    None
+  in
+  let c = Compiler.compile ?grid_override:grid ~options prog in
+  let result, _ = Trace_sim.run ~model ~init:(Init.init c.Compiler.prog) c in
+  { variant; time = result.Trace_sim.time; result }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: TOMCATV                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let table1_sizes = function
+  | `Full -> (258, 100)
+  | `Medium -> (130, 20)
+  | `Scaled -> (66, 10)
+
+(** Table 1: TOMCATV with replication / producer alignment / selected
+    alignment. *)
+let table1 ?(size = `Scaled) ?(procs = [ 1; 2; 4; 8; 16 ]) () : table =
+  let n, niter = table1_sizes size in
+  let rows =
+    List.map
+      (fun p ->
+        let prog = Tomcatv.program ~n ~niter ~p in
+        {
+          procs = p;
+          entries =
+            [
+              run_one prog Variants.replication ~variant:"Replication";
+              run_one prog Variants.producer_alignment
+                ~variant:"Producer Alignment";
+              run_one prog Variants.selected ~variant:"Selected Alignment";
+            ];
+        })
+      procs
+  in
+  {
+    title = Fmt.str "Table 1: TOMCATV (*,block), n = %d, niter = %d" n niter;
+    columns = [ "Replication"; "Producer Alignment"; "Selected Alignment" ];
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: DGEFA                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table2_sizes = function `Full -> 512 | `Medium -> 192 | `Scaled -> 96
+
+(** Table 2: DGEFA with the reduction mapping off ("Default") and on
+    ("Alignment"). *)
+let table2 ?(size = `Scaled) ?(procs = [ 1; 2; 4; 8; 16 ]) () : table =
+  let n = table2_sizes size in
+  let rows =
+    List.map
+      (fun p ->
+        let prog = Dgefa.program ~n ~p in
+        {
+          procs = p;
+          entries =
+            [
+              run_one prog Variants.no_reduction_alignment
+                ~variant:"Default";
+              run_one prog Variants.selected ~variant:"Alignment";
+            ];
+        })
+      procs
+  in
+  {
+    title = Fmt.str "Table 2: DGEFA (*,cyclic), n = %d" n;
+    columns = [ "Default"; "Alignment" ];
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: APPSP                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table3_sizes = function
+  | `Full -> (64, 50)
+  | `Medium -> (34, 5)
+  | `Scaled -> (18, 2)
+
+(** Table 3: APPSP — 1-D distribution with/without array privatization,
+    2-D distribution with/without partial privatization. *)
+let table3 ?(size = `Scaled) ?(procs = [ 2; 4; 8; 16 ]) () : table =
+  let n, niter = table3_sizes size in
+  let rows =
+    List.map
+      (fun p ->
+        let prog1 = Appsp.program_1d ~n ~niter ~p in
+        let p1, p2 =
+          match Hpf_mapping.Grid.factorize ~rank:2 p with
+          | [ a; b ] -> (a, b)
+          | _ -> (p, 1)
+        in
+        let prog2 = Appsp.program_2d ~n ~niter ~p1 ~p2 in
+        {
+          procs = p;
+          entries =
+            [
+              run_one prog1 Variants.no_array_priv
+                ~variant:"1-D, No Array Priv.";
+              run_one prog1 Variants.selected ~variant:"1-D, Priv.";
+              run_one prog2 Variants.no_partial_priv
+                ~variant:"2-D, No Partial Priv.";
+              run_one prog2 Variants.selected ~variant:"2-D, Partial Priv.";
+            ];
+        })
+      procs
+  in
+  {
+    title =
+      Fmt.str "Table 3: APPSP, n = %d, niter = %d (2-D grid: near-square)"
+        n niter;
+    columns =
+      [
+        "1-D, No Array Priv.";
+        "1-D, Priv.";
+        "2-D, No Partial Priv.";
+        "2-D, Partial Priv.";
+      ];
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_table ppf (t : table) =
+  Fmt.pf ppf "%s@." t.title;
+  let width = 22 in
+  Fmt.pf ppf "%6s" "#Procs";
+  List.iter (fun c -> Fmt.pf ppf " | %*s" width c) t.columns;
+  Fmt.pf ppf "@.";
+  Fmt.pf ppf "%s@." (String.make (7 + ((width + 3) * List.length t.columns)) '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%6d" r.procs;
+      List.iter
+        (fun e -> Fmt.pf ppf " | %*.3f" width e.time)
+        r.entries;
+      Fmt.pf ppf "@.")
+    t.rows
+
+(** Headline comparisons the paper reports, as checkable facts (used by
+    tests and by the EXPERIMENTS.md generator). *)
+let speedup (t : table) ~(column : string) ~(from_procs : int)
+    ~(to_procs : int) : float option =
+  let find p =
+    List.find_opt (fun r -> r.procs = p) t.rows
+    |> Option.map (fun r ->
+           List.find (fun e -> e.variant = column) r.entries)
+  in
+  match (find from_procs, find to_procs) with
+  | Some a, Some b -> Some (a.time /. b.time)
+  | _ -> None
+
+let ratio (t : table) ~(procs : int) ~(worse : string) ~(better : string) :
+    float option =
+  match List.find_opt (fun r -> r.procs = procs) t.rows with
+  | None -> None
+  | Some r -> (
+      let f c = List.find_opt (fun e -> e.variant = c) r.entries in
+      match (f worse, f better) with
+      | Some w, Some b -> Some (w.time /. b.time)
+      | _ -> None)

@@ -1,0 +1,41 @@
+(** Drivers that regenerate the paper's Tables 1-3 on the machine
+    simulator.
+
+    Absolute seconds depend on the SP2 cost constants and problem sizes;
+    the reproduced claims are relative: column ordering, approximate
+    ratios, scaling trends.  Sizes: [`Full] = the paper's (slow),
+    [`Medium] = the EXPERIMENTS.md record, [`Scaled] = fast default. *)
+
+open Hpf_spmd
+
+type entry = { variant : string; time : float; result : Trace_sim.result }
+
+type row = { procs : int; entries : entry list }
+
+type table = { title : string; columns : string list; rows : row list }
+
+(** Table 1: TOMCATV with replication / producer alignment / selected
+    alignment. *)
+val table1 :
+  ?size:[ `Full | `Medium | `Scaled ] -> ?procs:int list -> unit -> table
+
+(** Table 2: DGEFA with the §2.3 reduction mapping off ("Default") and
+    on ("Alignment"). *)
+val table2 :
+  ?size:[ `Full | `Medium | `Scaled ] -> ?procs:int list -> unit -> table
+
+(** Table 3: APPSP — 1-D distribution with/without array privatization,
+    2-D distribution with/without partial privatization. *)
+val table3 :
+  ?size:[ `Full | `Medium | `Scaled ] -> ?procs:int list -> unit -> table
+
+val pp_table : Format.formatter -> table -> unit
+
+(** [speedup t ~column ~from_procs ~to_procs] = time ratio of the column
+    between two machine sizes. *)
+val speedup :
+  table -> column:string -> from_procs:int -> to_procs:int -> float option
+
+(** [ratio t ~procs ~worse ~better] = how much slower [worse] is than
+    [better] at the given machine size. *)
+val ratio : table -> procs:int -> worse:string -> better:string -> float option

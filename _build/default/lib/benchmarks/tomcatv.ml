@@ -1,0 +1,114 @@
+(** TOMCATV (SPEC92FP) — the mesh-generation kernel with Thomson's
+    solver, as used for Table 1 of the paper.
+
+    The main computational loop nest computes a dozen scalar temporaries
+    per point from 9-point stencils over the coordinate arrays [x], [y]
+    and stores coefficients and residuals.  With the paper's
+    (star, BLOCK) distribution every column is local, so
+
+    - aligning each temporary with its {e consumer} (the column-local
+      lhs) leaves only vectorizable ±1-column shifts for [x(i,j±1)];
+    - aligning with a {e producer} such as [x(i,j+1)] strands temporaries
+      one column away from their consumers and forces one message per
+      inner iteration;
+    - replicating the temporaries makes every processor execute the whole
+      nest and broadcasts the stencil operands.
+
+    The program is size-parametrized; the paper ran n = 258. *)
+
+open Hpf_lang
+open Builder
+
+(** Build the TOMCATV kernel for an [n]x[n] mesh, [niter] solver
+    iterations, on [p] processors (1-D grid over columns). *)
+let program ~(n : int) ~(niter : int) ~(p : int) : Ast.program =
+  let nn = n in
+  let arr2 name = real_arr name [ 1 -- nn; 1 -- nn ] in
+  let i = var "i" and j = var "j" in
+  let x = "x" and y = "y" in
+  let sub a di dj =
+    (a $. [ i + int di; j + int dj ] : Ast.expr)
+  in
+  program "tomcatv"
+    ~params:[ ("n", n); ("niter", niter) ]
+    ~decls:
+      [
+        arr2 "x";
+        arr2 "y";
+        arr2 "aa";
+        arr2 "dd";
+        arr2 "rx";
+        arr2 "ry";
+        real "xx";
+        real "yx";
+        real "xy";
+        real "yy";
+        real "a";
+        real "b";
+        real "c";
+        real "pxx";
+        real "qxx";
+        real "pyy";
+        real "qyy";
+      ]
+    ~directives:
+      ([ processors "p" [ p ]; distribute "x" [ star; block ] ]
+      @ List.map
+          (fun a -> align_identity a "x" 2)
+          [ "y"; "aa"; "dd"; "rx"; "ry" ])
+    [
+      do_ "it" (int 1) (var "niter")
+        [
+          do_ "j" (int 2) (var "n" - int 1)
+            [
+              do_ "i" (int 2) (var "n" - int 1)
+                [
+                  var "xx" <-- sub x 1 0 - sub x (-1) 0;
+                  var "yx" <-- sub y 1 0 - sub y (-1) 0;
+                  var "xy" <-- sub x 0 1 - sub x 0 (-1);
+                  var "yy" <-- sub y 0 1 - sub y 0 (-1);
+                  var "a"
+                  <-- rlit 0.25
+                      * ((var "xx" * var "xx") + (var "yx" * var "yx"));
+                  var "b"
+                  <-- rlit 0.25
+                      * ((var "xy" * var "xy") + (var "yy" * var "yy"));
+                  var "c"
+                  <-- rlit 0.125
+                      * ((var "xx" * var "xy") + (var "yx" * var "yy"));
+                  ("aa" $. [ i; j ]) <-- neg (var "b");
+                  ("dd" $. [ i; j ])
+                  <-- var "b" + var "b" + (var "a" * rlit 0.9);
+                  var "pxx"
+                  <-- sub x 1 0 - (rlit 2.0 * sub x 0 0) + sub x (-1) 0;
+                  var "qxx"
+                  <-- sub y 1 0 - (rlit 2.0 * sub y 0 0) + sub y (-1) 0;
+                  var "pyy"
+                  <-- sub x 0 1 - (rlit 2.0 * sub x 0 0) + sub x 0 (-1);
+                  var "qyy"
+                  <-- sub y 0 1 - (rlit 2.0 * sub y 0 0) + sub y 0 (-1);
+                  ("rx" $. [ i; j ])
+                  <-- (var "a" * var "pxx")
+                      + (var "b" * var "pyy")
+                      - (var "c" * var "xx");
+                  ("ry" $. [ i; j ])
+                  <-- (var "a" * var "qxx")
+                      + (var "b" * var "qyy")
+                      - (var "c" * var "yy");
+                ];
+            ];
+          (* SOR-style correction sweep: feeds x, y for the next solver
+             iteration so the stencil communication cannot be hoisted out
+             of the iteration loop *)
+          do_ "j" (int 2) (var "n" - int 1)
+            [
+              do_ "i" (int 2) (var "n" - int 1)
+                [
+                  ("x" $. [ i; j ])
+                  <-- ("x" $. [ i; j ]) + (rlit 0.05 * ("rx" $. [ i; j ]));
+                  ("y" $. [ i; j ])
+                  <-- ("y" $. [ i; j ]) + (rlit 0.05 * ("ry" $. [ i; j ]));
+                ];
+            ];
+        ];
+    ]

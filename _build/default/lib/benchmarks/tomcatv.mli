@@ -1,0 +1,15 @@
+(** TOMCATV (SPEC92FP) — the mesh-generation kernel used for Table 1.
+
+    The main loop nest computes a dozen scalar temporaries per mesh point
+    from 9-point stencils; with the paper's (star, BLOCK) column
+    distribution, consumer alignment of the temporaries leaves only
+    vectorizable ±1-column shifts, producer alignment strands them one
+    column from their consumers (one message per inner iteration), and
+    replication forfeits all parallelism. *)
+
+open Hpf_lang
+
+(** TOMCATV for an [n]×[n] mesh, [niter] solver iterations, on a 1-D
+    grid of [p] processors over columns.  The paper ran n = 258,
+    niter = 100. *)
+val program : n:int -> niter:int -> p:int -> Ast.program

@@ -1,0 +1,33 @@
+(** The compiler configurations of the paper's evaluation. *)
+
+open Phpf_core
+
+(** Everything on — the paper's "Selected Alignment" compiler. *)
+let selected : Decisions.options = Decisions.default_options
+
+(** Table 1, column 1: no scalar privatization, every scalar replicated. *)
+let replication : Decisions.options =
+  { selected with Decisions.privatize_scalars = false }
+
+(** Table 1, column 2: privatize, but always align with a producer
+    reference. *)
+let producer_alignment : Decisions.options =
+  { selected with Decisions.force_producer_alignment = true }
+
+(** Table 2, column 1: reduction scalars keep the default replicated
+    mapping. *)
+let no_reduction_alignment : Decisions.options =
+  { selected with Decisions.reduction_alignment = false }
+
+(** Table 3: array privatization disabled entirely. *)
+let no_array_priv : Decisions.options =
+  { selected with Decisions.privatize_arrays = false }
+
+(** Table 3: full-array privatization only (no partial privatization). *)
+let no_partial_priv : Decisions.options =
+  { selected with Decisions.partial_privatization = false }
+
+(** Add the global-message-combining extension (the optimization the
+    paper notes phpf lacked) to any configuration. *)
+let with_message_combining (o : Decisions.options) : Decisions.options =
+  { o with Decisions.combine_messages = true }

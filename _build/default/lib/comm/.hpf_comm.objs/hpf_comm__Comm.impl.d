@@ -1,0 +1,1 @@
+lib/comm/comm.ml: Aref Cost_model Fmt Hpf_analysis List

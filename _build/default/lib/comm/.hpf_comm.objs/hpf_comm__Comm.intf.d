@@ -1,0 +1,1 @@
+lib/comm/comm.mli: Aref Cost_model Format Hpf_analysis

@@ -1,0 +1,1 @@
+lib/comm/comm_analysis.ml: Affine Aref Array Ast Comm Float Hpf_analysis Hpf_lang Hpf_mapping List Nest Ownership Reduction Trips Vectorize

@@ -1,0 +1,1 @@
+lib/comm/comm_analysis.mli: Aref Ast Comm Hpf_analysis Hpf_lang Hpf_mapping Nest Ownership Reduction

@@ -1,0 +1,1 @@
+lib/comm/cost_model.mli:

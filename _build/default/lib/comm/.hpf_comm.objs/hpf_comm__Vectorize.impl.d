@@ -1,0 +1,1 @@
+lib/comm/vectorize.ml: Affine Align_level Aref Ast Depend Hpf_analysis Hpf_lang Hpf_mapping List Nest String Trips

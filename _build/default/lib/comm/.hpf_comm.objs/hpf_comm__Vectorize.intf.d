@@ -1,0 +1,1 @@
+lib/comm/vectorize.mli: Aref Ast Hpf_analysis Hpf_lang Nest

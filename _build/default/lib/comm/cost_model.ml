@@ -1,0 +1,64 @@
+(** Communication and computation cost model, calibrated to the paper's
+    platform (IBM SP2 thin nodes, user-space MPL, 1995-97 era).
+
+    Point-to-point messages follow the linear model [alpha + beta * bytes];
+    collectives pay a [log2 p] factor.  Absolute constants only set the
+    scale — the reproduction targets the {e relative} behaviour of the
+    paper's tables, which depends on the ratio of message latency to
+    per-element compute cost (about 3 orders of magnitude on the SP2,
+    which is why replicated scalars are catastrophic). *)
+
+type t = {
+  alpha : float;  (** message startup latency, seconds *)
+  beta : float;  (** per-byte transfer time, seconds *)
+  flop : float;  (** time per floating-point operation, seconds *)
+  elem_bytes : int;  (** bytes per array element (REAL*8) *)
+  copy : float;  (** per-element pack/unpack cost, seconds *)
+}
+
+(** IBM SP2 thin node, user-space MPL: ~40 us latency, ~35 MB/s
+    point-to-point bandwidth, ~25 Mflop/s sustained. *)
+let sp2 : t =
+  {
+    alpha = 40e-6;
+    beta = 1.0 /. 35e6;
+    flop = 40e-9;
+    elem_bytes = 8;
+    copy = 60e-9;
+  }
+
+(** An idealized zero-latency network — used by ablation benches to show
+    that the mapping choices only matter when latency is real. *)
+let zero_latency : t = { sp2 with alpha = 0.0; beta = 0.0; copy = 0.0 }
+
+let log2i p = if p <= 1 then 0 else int_of_float (ceil (log (float_of_int p) /. log 2.0))
+
+(** Time for one point-to-point message of [elems] elements. *)
+let ptp (m : t) ~(elems : int) : float =
+  m.alpha
+  +. (m.beta *. float_of_int (elems * m.elem_bytes))
+  +. (m.copy *. float_of_int elems)
+
+(** One-to-all broadcast of [elems] elements among [p] processors
+    (binomial tree). *)
+let bcast (m : t) ~(p : int) ~(elems : int) : float =
+  float_of_int (log2i p) *. ptp m ~elems
+
+(** Reduction (combine) of [elems] elements among [p] processors. *)
+let reduce (m : t) ~(p : int) ~(elems : int) : float =
+  float_of_int (log2i p) *. (ptp m ~elems +. (m.flop *. float_of_int elems))
+
+(** Collective shift: every processor exchanges [elems] elements with a
+    neighbour — one message time (they proceed in parallel). *)
+let shift (m : t) ~(elems : int) : float = ptp m ~elems
+
+(** All-to-all transpose of [total_elems] distributed over [p]
+    processors. *)
+let transpose (m : t) ~(p : int) ~(total_elems : int) : float =
+  if p <= 1 then 0.0
+  else
+    let per_pair = total_elems / (p * p) in
+    float_of_int (p - 1) *. ptp m ~elems:(max 1 per_pair)
+
+(** Computation time for [n] floating-point operations. *)
+let compute (m : t) ~(flops : int) : float = m.flop *. float_of_int flops

@@ -1,0 +1,44 @@
+(** Communication and computation cost model, calibrated to the paper's
+    platform (IBM SP2 thin nodes, user-space MPL, 1995-97 era).
+
+    Point-to-point messages follow [alpha + beta * bytes]; collectives pay
+    a [log2 p] factor.  The constants only set the scale — the
+    reproduction targets relative behaviour, which depends on the
+    latency-to-flop ratio (about three orders of magnitude on the SP2). *)
+
+type t = {
+  alpha : float;  (** message startup latency, seconds *)
+  beta : float;  (** per-byte transfer time, seconds *)
+  flop : float;  (** time per floating-point operation, seconds *)
+  elem_bytes : int;  (** bytes per array element (REAL*8) *)
+  copy : float;  (** per-element pack/unpack cost, seconds *)
+}
+
+(** IBM SP2 thin node: ~40 us latency, ~35 MB/s bandwidth, ~25 Mflop/s
+    sustained. *)
+val sp2 : t
+
+(** An idealized free network — ablation benches use it to show the
+    mapping choice only matters when communication costs are real. *)
+val zero_latency : t
+
+(** [log2i p] = ceil(log2 p), 0 for p <= 1. *)
+val log2i : int -> int
+
+(** One point-to-point message of [elems] elements. *)
+val ptp : t -> elems:int -> float
+
+(** One-to-all broadcast among [p] processors (binomial tree). *)
+val bcast : t -> p:int -> elems:int -> float
+
+(** Combining reduction among [p] processors. *)
+val reduce : t -> p:int -> elems:int -> float
+
+(** Collective nearest-neighbour shift (all pairs exchange in parallel). *)
+val shift : t -> elems:int -> float
+
+(** All-to-all transpose of [total_elems] spread over [p] processors. *)
+val transpose : t -> p:int -> total_elems:int -> float
+
+(** Arithmetic time for [flops] floating-point operations. *)
+val compute : t -> flops:int -> float

@@ -1,0 +1,1 @@
+lib/core/array_priv.ml: Affine Align_level Aref Array Ast Auto_priv Consumer Decisions Fmt Hashtbl Hpf_analysis Hpf_lang Hpf_mapping Layout List Logs Nest Option Ownership Privatizable String

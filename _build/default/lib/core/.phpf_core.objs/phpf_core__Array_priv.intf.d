@@ -1,0 +1,1 @@
+lib/core/array_priv.mli: Decisions

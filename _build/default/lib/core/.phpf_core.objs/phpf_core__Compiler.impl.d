@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Array_priv Ast Comm Comm_analysis Consumer Cost_model Ctrl_priv Decisions Hpf_analysis Hpf_comm Hpf_lang Hpf_mapping Induction List Mapping_alg Reduction_map Sema

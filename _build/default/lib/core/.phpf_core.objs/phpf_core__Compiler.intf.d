@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Ast Comm Cost_model Decisions Hpf_analysis Hpf_comm Hpf_lang Induction

@@ -1,0 +1,1 @@
+lib/core/consumer.ml: Aref Ast Comm_analysis Decisions Hpf_analysis Hpf_comm Hpf_lang Hpf_mapping List Nest Ownership Reduction

@@ -1,0 +1,1 @@
+lib/core/consumer.mli: Aref Ast Comm_analysis Decisions Hpf_analysis Hpf_comm Hpf_lang

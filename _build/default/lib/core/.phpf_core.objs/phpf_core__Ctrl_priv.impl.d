@@ -1,0 +1,1 @@
+lib/core/ctrl_priv.ml: Ast Decisions Hashtbl Hpf_lang List Nest

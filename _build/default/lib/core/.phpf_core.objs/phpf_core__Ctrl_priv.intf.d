@@ -1,0 +1,1 @@
+lib/core/ctrl_priv.mli: Ast Decisions Hpf_lang Nest

@@ -1,0 +1,1 @@
+lib/core/decisions.ml: Affine Aref Array Ast Cfg Fmt Hashtbl Hpf_analysis Hpf_lang Hpf_mapping Layout List Nest Ownership Privatizable Reduction Ssa

@@ -1,0 +1,1 @@
+lib/core/decisions.mli: Aref Ast Format Hashtbl Hpf_analysis Hpf_lang Hpf_mapping Layout Nest Ownership Privatizable Reduction Ssa

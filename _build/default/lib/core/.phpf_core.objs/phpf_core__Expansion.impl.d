@@ -1,0 +1,1 @@
+lib/core/expansion.ml: Affine Align_level Aref Ast Compiler Decisions Fmt Hashtbl Hpf_analysis Hpf_lang Hpf_mapping List Nest String Types

@@ -1,0 +1,1 @@
+lib/core/expansion.mli: Ast Decisions Format Hpf_lang

@@ -1,0 +1,1 @@
+lib/core/mapping_alg.mli: Decisions Hpf_analysis Hpf_lang Ssa

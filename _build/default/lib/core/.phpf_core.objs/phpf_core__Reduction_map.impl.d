@@ -1,0 +1,1 @@
+lib/core/reduction_map.ml: Affine Aref Array Ast Cfg Decisions Grid Hpf_analysis Hpf_lang Hpf_mapping Layout List Mapping_alg Nest Option Ownership Privatizable Reduction Ssa

@@ -1,0 +1,1 @@
+lib/core/reduction_map.mli: Decisions Hpf_analysis Reduction

@@ -1,0 +1,1 @@
+lib/core/report.ml: Aref Ast Comm Compiler Decisions Fmt Hashtbl Hpf_analysis Hpf_comm Hpf_lang Hpf_mapping Induction List Pp Reduction String

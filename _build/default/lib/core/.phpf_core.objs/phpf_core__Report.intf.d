@@ -1,0 +1,1 @@
+lib/core/report.mli: Comm Compiler Decisions Format Hpf_analysis Hpf_comm Induction

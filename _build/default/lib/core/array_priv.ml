@@ -1,0 +1,183 @@
+(** Mapping of privatizable arrays — paper §3.1, and partial
+    privatization §3.2.
+
+    For every loop carrying a [NEW] clause (or an [INDEPENDENT] assertion
+    from which privatizability is inferred, cf. {!Privatizable}):
+
+    - the alignment target is selected exactly as for scalars: the
+      computation-partition references of the statements {e using} the
+      array inside the loop, partitioned ones preferred;
+    - full privatization requires [AlignLevel(target) <= level(loop)];
+    - when that fails on a multi-dimensional distribution, {e partial
+      privatization} restricts the [AlignLevel] computation to the grid
+      dimensions for which it does hold: the array is privatized (follows
+      the target's owner) along those dimensions and stays partitioned by
+      its own directives along the rest — Fig. 6's work array [c];
+    - an array whose own mapping is fully replicated is privatized
+      without alignment (each processor keeps a local instance). *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_mapping
+
+let src = Logs.Src.create "phpf.array-priv" ~doc:"array privatization"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Candidate targets: partition references of statements inside [li]
+   that read array [a]. *)
+let candidates (d : Decisions.t) (li : Nest.loop_info) (a : string) :
+    Aref.t list =
+  let out = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      let reads_a =
+        Consumer.classify_refs d.Decisions.prog s
+        |> List.exists (fun ((r : Aref.t), role) ->
+               String.equal r.Aref.base a
+               &&
+               match role with
+               | Consumer.R_value | Consumer.R_sub_of _ -> true
+               | _ -> false)
+      in
+      if reads_a then
+        match s.node with
+        | Ast.Assign (Ast.LArr (b, subs), _) when not (String.equal b a) ->
+            out := { Aref.sid = s.sid; base = b; subs } :: !out
+        | _ -> ())
+    li.Nest.loop.body;
+  List.rev !out
+
+(* Best candidate: partitioned, preferring one traversing a distributed
+   dimension in the loop (same heuristic as Mapping_alg). *)
+let select_target (d : Decisions.t) (li : Nest.loop_info) (a : string) :
+    Aref.t option =
+  let cands =
+    candidates d li a
+    |> List.filter (fun r ->
+           Ownership.is_partitioned_spec (Decisions.owner_spec d r))
+  in
+  let score (c : Aref.t) =
+    let indices = Nest.enclosing_indices d.Decisions.nest c.Aref.sid in
+    let part_dims =
+      Align_level.partitioned_array_dims d.Decisions.env c.Aref.base
+    in
+    let traverses idx =
+      List.exists
+        (fun dim ->
+          match List.nth_opt c.Aref.subs dim with
+          | Some sub -> (
+              match Affine.of_subscript d.Decisions.prog ~indices sub with
+              | Some af -> Affine.coeff af idx <> 0
+              | None -> false)
+          | None -> false)
+        part_dims
+    in
+    if traverses li.Nest.loop.index then 1 else 0
+  in
+  List.fold_left
+    (fun acc c ->
+      match acc with
+      | Some (s, _) when s >= score c -> acc
+      | _ -> Some (score c, c))
+    None cands
+  |> Option.map snd
+
+(* Grid dimensions of [target]'s layout for which the restricted
+   AlignLevel is within [level]. *)
+let privatizable_grid_dims (d : Decisions.t) (target : Aref.t)
+    ~(level : int) : int list =
+  let env = d.Decisions.env and nest = d.Decisions.nest in
+  let l = Layout.layout_of env target.Aref.base in
+  let out = ref [] in
+  Array.iteri
+    (fun g b ->
+      match b with
+      | Layout.Mapped m -> (
+          match List.nth_opt target.Aref.subs m.array_dim with
+          | Some sub ->
+              if
+                Align_level.subscript_align_level d.Decisions.prog nest
+                  ~sid:target.Aref.sid sub
+                <= level
+              then out := g :: !out
+          | None -> ())
+      | Layout.Repl | Layout.Fixed _ -> ())
+    l.Layout.bindings;
+  List.rev !out
+
+(** Decide the mapping of every privatizable array of every loop. *)
+let run (d : Decisions.t) : unit =
+  let auto =
+    if d.Decisions.options.Decisions.auto_array_priv then
+      Auto_priv.analyze d.Decisions.prog
+    else []
+  in
+  List.iter
+    (fun (li : Nest.loop_info) ->
+      let candidates =
+        Privatizable.privatizable_arrays d.Decisions.priv li
+        @ (List.filter_map
+             (fun (loop_sid, a) ->
+               if loop_sid = li.Nest.loop_sid then
+                 Some (a, Privatizable.Auto)
+               else None)
+             auto
+          |> List.filter (fun (a, _) ->
+                 not
+                   (List.mem_assoc a
+                      (Privatizable.privatizable_arrays d.Decisions.priv li))))
+      in
+      List.iter
+        (fun (a, _source) ->
+          let key = (a, li.Nest.loop_sid) in
+          if not (Hashtbl.mem d.Decisions.arrays key) then begin
+            let own_layout = Layout.layout_of d.Decisions.env a in
+            match select_target d li a with
+            | None ->
+                if Layout.is_fully_replicated own_layout then begin
+                  Log.debug (fun f ->
+                      f "%s @ loop s%d: privatized without alignment" a
+                        li.Nest.loop_sid);
+                  Hashtbl.replace d.Decisions.arrays key
+                    (Decisions.Arr_priv { target = None })
+                end
+            | Some target ->
+                let level = li.Nest.level in
+                let al =
+                  Align_level.align_level d.Decisions.env d.Decisions.nest
+                    target
+                in
+                if al <= level then begin
+                  Log.debug (fun f ->
+                      f "%s @ loop s%d: fully privatized, aligned with %a"
+                        a li.Nest.loop_sid Aref.pp target);
+                  Hashtbl.replace d.Decisions.arrays key
+                    (Decisions.Arr_priv { target = Some target })
+                end
+                else if
+                  d.Decisions.options.Decisions.partial_privatization
+                then begin
+                  (* try partial privatization *)
+                  let priv_dims = privatizable_grid_dims d target ~level in
+                  let all_dims =
+                    Layout.mapped_dims
+                      (Layout.layout_of d.Decisions.env target.Aref.base)
+                  in
+                  if priv_dims <> [] && priv_dims <> all_dims then begin
+                    Log.debug (fun f ->
+                        f "%s @ loop s%d: partial privatization on {%a}" a
+                          li.Nest.loop_sid
+                          Fmt.(list ~sep:(any ", ") int)
+                          priv_dims);
+                    Hashtbl.replace d.Decisions.arrays key
+                      (Decisions.Arr_partial_priv
+                         { target; priv_grid_dims = priv_dims })
+                  end
+                  else if priv_dims = all_dims && priv_dims <> [] then
+                    Hashtbl.replace d.Decisions.arrays key
+                      (Decisions.Arr_priv { target = Some target })
+                end
+          end)
+        candidates)
+    d.Decisions.nest.Nest.loops

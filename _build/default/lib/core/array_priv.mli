@@ -1,0 +1,11 @@
+(** Mapping of privatizable arrays — paper §3.1, and partial
+    privatization §3.2: alignment-target selection as for scalars; full
+    privatization gated by [AlignLevel <= loop level]; on failure under a
+    multi-dimensional distribution, privatize along exactly the grid
+    dimensions where the restricted AlignLevel holds and stay partitioned
+    elsewhere (Fig. 6's work array). *)
+
+(** Decide the mapping of every privatizable array of every loop
+    (from [NEW] clauses, §3.1 inference, and — when enabled — the
+    automatic analysis). *)
+val run : Decisions.t -> unit

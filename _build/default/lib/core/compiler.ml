@@ -1,0 +1,65 @@
+(** The phpf-style compilation pipeline.
+
+    {!compile} runs, in order:
+
+    + semantic checking and statement-id normalization ({!Hpf_lang.Sema});
+    + induction-variable recognition and closed-form rewriting
+      ({!Hpf_analysis.Induction}) — the program analysis phase that
+      precedes mapping decisions in phpf;
+    + construction of SSA, privatizability information, layouts and
+      reduction records ({!Decisions.create});
+    + control-flow privatization ({!Ctrl_priv});
+    + reduction-accumulator mapping ({!Reduction_map});
+    + array privatization, full and partial ({!Array_priv});
+    + the scalar mapping pass ({!Mapping_alg}, paper Fig. 3);
+    + communication analysis with message vectorization
+      ({!Hpf_comm.Comm_analysis}) under the resulting decisions.
+
+    [options] turns individual phases off to reproduce the paper's
+    less-optimized compiler versions; [grid_override] replaces the
+    declared processor arrangement to sweep machine sizes. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_comm
+
+type compiled = {
+  prog : Ast.program;  (** after semantic checks and IV rewriting *)
+  decisions : Decisions.t;
+  comms : Comm.t list;
+  ivs : Induction.iv list;
+}
+
+let compile ?grid_override ?(options = Decisions.default_options)
+    (input : Ast.program) : compiled =
+  let checked = Sema.check input in
+  let prog, ivs = Induction.run checked in
+  let d = Decisions.create ?grid_override ~options prog in
+  if options.Decisions.privatize_control then Ctrl_priv.run d;
+  if options.Decisions.reduction_alignment then Reduction_map.run d;
+  if options.Decisions.privatize_arrays then Array_priv.run d;
+  if options.Decisions.privatize_scalars then Mapping_alg.run d;
+  let comms =
+    Comm_analysis.analyze prog d.Decisions.nest (Consumer.oracle d)
+      ~reductions:d.Decisions.reductions
+      ~red_group:(Reduction_map.combine_group d) ()
+  in
+  { prog; decisions = d; comms; ivs }
+
+(** Estimated communication time under a machine model (the mapping
+    algorithm's view of the program; the timing simulator in
+    {!Hpf_spmd.Trace_sim} gives the measured view). *)
+let estimated_comm_cost ?(model = Cost_model.sp2) (c : compiled) : float =
+  let nprocs =
+    Hpf_mapping.Grid.size c.decisions.Decisions.env.Hpf_mapping.Layout.grid
+  in
+  Comm.total_cost model ~nprocs c.comms
+
+(** Communications that could not be vectorized out of their innermost
+    loop. *)
+let inner_loop_comms (c : compiled) : Comm.t list =
+  List.filter
+    (fun (cm : Comm.t) ->
+      cm.Comm.stmt_level > 0
+      && cm.Comm.placement_level >= cm.Comm.stmt_level)
+    c.comms

@@ -1,0 +1,41 @@
+(** The phpf-style compilation pipeline — the main entry point of the
+    library.
+
+    {!compile} runs semantic checking, induction-variable rewriting, SSA
+    construction, the privatization passes of the paper (control flow,
+    reductions, arrays incl. partial privatization, the Fig. 3 scalar
+    mapping algorithm) and communication analysis with message
+    vectorization. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_comm
+
+type compiled = {
+  prog : Ast.program;  (** after semantic checks and IV rewriting *)
+  decisions : Decisions.t;  (** every privatization/mapping decision *)
+  comms : Comm.t list;  (** the communication schedule *)
+  ivs : Induction.iv list;  (** recognized induction variables *)
+}
+
+(** Compile a program.
+
+    @param grid_override replaces the extents of the declared [PROCESSORS]
+    arrangement (to sweep machine sizes without editing the program).
+    @param options disables individual phases, reproducing the paper's
+    less-optimized compiler versions (see {!Decisions.options}).
+    @raise Sema.Sema_error on semantic errors.
+    @raise Hpf_mapping.Layout.Mapping_error on inconsistent directives. *)
+val compile :
+  ?grid_override:int list ->
+  ?options:Decisions.options ->
+  Ast.program ->
+  compiled
+
+(** Estimated communication time of the schedule under a machine model
+    (static view; {!Hpf_spmd.Trace_sim} gives the measured view). *)
+val estimated_comm_cost : ?model:Cost_model.t -> compiled -> float
+
+(** Communications that could not be vectorized out of their innermost
+    loop — the paper's expensive case. *)
+val inner_loop_comms : compiled -> Comm.t list

@@ -1,0 +1,170 @@
+(** Consumer-reference determination (paper §2.1, Fig. 2).
+
+    For every read reference of a statement, decide {e whose owner} needs
+    its value:
+
+    - an ordinary rhs value reference: the statement's computation
+      partition (usually the lhs under owner-computes) — after the lhs's
+      own privatized mapping has been applied;
+    - a reference in a loop bound: the dummy replicated reference (all
+      processors evaluate bounds);
+    - a reference in the subscript of an rhs array reference: the lhs when
+      that rhs reference needs no communication (only the executing
+      processor must evaluate the subscript), the dummy replicated
+      reference otherwise (paper's example: [p] vs [q] in Fig. 2);
+    - a reference in an lhs subscript: the dummy replicated reference
+      (the value determines {e where} the statement executes);
+    - a predicate reference of a privatized [If]: the union of the owners
+      executing the control-dependent statements (paper §4). *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_mapping
+open Hpf_comm
+
+(** Syntactic role of a read reference within its statement. *)
+type role =
+  | R_value  (** direct rhs value *)
+  | R_sub_of of Aref.t  (** inside a subscript of this rhs reference *)
+  | R_lhs_sub  (** inside a subscript of the lhs *)
+  | R_bound  (** inside a DO bound *)
+  | R_cond  (** inside an IF predicate *)
+
+(** All read references of a statement with their roles.  A scalar used
+    both as a value and inside a subscript appears twice. *)
+let classify_refs (prog : Ast.program) (s : Ast.stmt) : (Aref.t * role) list
+    =
+  let out = ref [] in
+  let add base subs role =
+    if Ast.param_value prog base = None then
+      out := ({ Aref.sid = s.sid; base; subs }, role) :: !out
+  in
+  let rec expr (e : Ast.expr) (role : role) =
+    match e with
+    | Int _ | Real _ | Bool _ -> ()
+    | Var v -> add v [] role
+    | Arr (a, subs) ->
+        let r = { Aref.sid = s.sid; base = a; subs } in
+        add a subs role;
+        List.iter (fun sub -> expr sub (R_sub_of r)) subs
+    | Bin (_, a, b) | Intrin (_, a, b) ->
+        expr a role;
+        expr b role
+    | Un (_, a) -> expr a role
+  in
+  (match s.node with
+  | Assign (lhs, rhs) ->
+      expr rhs R_value;
+      (match lhs with
+      | LArr (_, subs) -> List.iter (fun sub -> expr sub R_lhs_sub) subs
+      | LVar _ -> ())
+  | If (c, _, _) -> expr c R_cond
+  | Do d ->
+      expr d.lo R_bound;
+      expr d.hi R_bound;
+      expr d.step R_bound
+  | Exit _ | Cycle _ -> ());
+  List.rev !out
+
+(* The reference whose owner partitions the computation of an
+   assignment: the lhs, redirected through its privatized mapping. *)
+let partition_ref (d : Decisions.t) (s : Ast.stmt) : Aref.t option =
+  match Reduction.reduction_of_stmt d.Decisions.reductions s.sid with
+  | Some red -> (
+      (* reduction: partitioned by the special array reference chosen by
+         Reduction_map (recorded as the accumulator's target).  For a
+         conditional reduction the accumulator's definition sits on the
+         assignment inside the If. *)
+      let assign_sid =
+        match s.node with
+        | Assign _ -> Some s.sid
+        | If (_, t, e) ->
+            List.find_map
+              (fun (st : Ast.stmt) ->
+                match st.node with
+                | Assign (LVar v, _) when v = red.Reduction.var ->
+                    Some st.sid
+                | _ -> None)
+              (t @ e)
+        | Do _ | Exit _ | Cycle _ -> None
+      in
+      match assign_sid with
+      | None -> None
+      | Some sid -> (
+          match Decisions.def_of_stmt d ~sid ~var:red.Reduction.var with
+          | Some def -> (
+              match Decisions.scalar_mapping_of_def d def with
+              | Decisions.Priv_reduction { target; _ }
+              | Decisions.Priv_aligned { target; _ } ->
+                  Some target
+              | Decisions.Replicated | Decisions.Priv_no_align -> None)
+          | None -> None))
+  | None -> (
+      match s.node with
+      | Assign (LArr (a, subs), _) -> Some { Aref.sid = s.sid; base = a; subs }
+      | Assign (LVar v, _) -> (
+          match Decisions.def_of_stmt d ~sid:s.sid ~var:v with
+          | Some def -> (
+              match Decisions.scalar_mapping_of_def d def with
+              | Decisions.Priv_aligned { target; _ }
+              | Decisions.Priv_reduction { target; _ } ->
+                  Some target
+              | Decisions.Replicated | Decisions.Priv_no_align -> None)
+          | None -> None)
+      | If _ | Do _ | Exit _ | Cycle _ -> None)
+
+(** Should this reference be skipped by communication analysis
+    altogether?  Loop indices are materialized on every processor by the
+    SPMD loop structure. *)
+let skip_ref (d : Decisions.t) (r : Aref.t) : bool =
+  Aref.is_scalar r
+  && Nest.is_enclosing_index d.Decisions.nest r.Aref.sid r.Aref.base
+
+(** Consumer of reference [r] having [role] within statement [s]. *)
+let consumer_for (d : Decisions.t) (s : Ast.stmt) (_r : Aref.t)
+    (role : role) : Comm_analysis.consumer =
+  let dummy_replicated =
+    { Comm_analysis.cref = None; spec = Decisions.all_procs d }
+  in
+  let partition_consumer () =
+    match partition_ref d s with
+    | Some pr ->
+        {
+          Comm_analysis.cref = Some pr;
+          spec = Decisions.guard_spec d s;
+        }
+    | None -> { Comm_analysis.cref = None; spec = Decisions.guard_spec d s }
+  in
+  match role with
+  | R_bound | R_lhs_sub -> dummy_replicated
+  | R_cond ->
+      if Decisions.ctrl_privatized d s.sid then begin
+        (* needed by the union of processors executing the
+           control-dependent statements *)
+        let branches =
+          match s.node with If (_, t, e) -> t @ e | _ -> []
+        in
+        let specs = List.map (Decisions.guard_spec d) branches in
+        { Comm_analysis.cref = None; spec = Decisions.spec_union d specs }
+      end
+      else dummy_replicated
+  | R_sub_of outer ->
+      (* paper Fig. 2: if the subscripted rhs reference needs no
+         communication, only the executing processor needs the subscript *)
+      let outer_owner = Decisions.owner_spec d outer in
+      let guard = Decisions.guard_spec d s in
+      let rels = Ownership.relate outer_owner guard in
+      if Ownership.no_comm rels then partition_consumer ()
+      else dummy_replicated
+  | R_value -> partition_consumer ()
+
+(** The communication-analysis oracle for a set of decisions. *)
+let oracle (d : Decisions.t) : Comm_analysis.oracle =
+  {
+    Comm_analysis.owner_of = (fun r -> Decisions.owner_spec d r);
+    stmt_refs =
+      (fun s ->
+        classify_refs d.Decisions.prog s
+        |> List.filter (fun (r, _) -> not (skip_ref d r))
+        |> List.map (fun (r, role) -> (r, consumer_for d s r role)));
+  }

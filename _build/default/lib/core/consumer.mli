@@ -1,0 +1,38 @@
+(** Consumer-reference determination (paper §2.1, Fig. 2): for every
+    read reference of a statement, whose owner needs its value — the
+    statement's computation partition for ordinary operands, the dummy
+    replicated reference for loop bounds / lhs subscripts / subscripts of
+    references that themselves need communication, and the union of the
+    control-dependent statements' owners for privatized predicates. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_comm
+
+(** Syntactic role of a read reference within its statement. *)
+type role =
+  | R_value  (** direct rhs value *)
+  | R_sub_of of Aref.t  (** inside a subscript of this rhs reference *)
+  | R_lhs_sub  (** inside a subscript of the lhs *)
+  | R_bound  (** inside a DO bound *)
+  | R_cond  (** inside an IF predicate *)
+
+(** All read references of a statement with their roles (a scalar used in
+    several roles appears once per role). *)
+val classify_refs : Ast.program -> Ast.stmt -> (Aref.t * role) list
+
+(** The reference whose owner partitions the statement's computation
+    (lhs under owner-computes, redirected through privatized mappings
+    and reduction targets); [None] for replicated/no-align/union cases. *)
+val partition_ref : Decisions.t -> Ast.stmt -> Aref.t option
+
+(** Skip communication analysis for this reference (loop indices are
+    materialized everywhere by the SPMD loop structure). *)
+val skip_ref : Decisions.t -> Aref.t -> bool
+
+(** Consumer of a reference with the given role. *)
+val consumer_for :
+  Decisions.t -> Ast.stmt -> Aref.t -> role -> Comm_analysis.consumer
+
+(** The communication-analysis oracle for a set of decisions. *)
+val oracle : Decisions.t -> Comm_analysis.oracle

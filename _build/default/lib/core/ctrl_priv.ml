@@ -1,0 +1,86 @@
+(** Privatized execution of control-flow statements — paper §4.
+
+    An [If] statement [S] inside loop [L] is privatized when it cannot
+    transfer control to a target outside the body of [L]: it then
+    contributes no computation-partitioning guard for [L], is executed by
+    the union of the processors executing any other statement of the
+    iteration, and its predicate data is communicated only to the union
+    of the processors executing the control-dependent statements.
+
+    In the kernel language the only control transfers are [EXIT] (to just
+    after a loop — outside its body) and [CYCLE] (to the end of a loop's
+    body — inside it).  [S] is therefore privatizable w.r.t. its
+    innermost loop [L] unless some [EXIT]/[CYCLE] in its branches targets
+    [L] or an outer loop — except [CYCLE L] itself, whose target (the end
+    of [L]'s body, the paper's [100 continue]) is still inside [L]. *)
+
+open Hpf_lang
+
+(* Loops declared inside the subtree of statement [s] (their EXITs stay
+   local to [s]). *)
+let loops_inside (s : Ast.stmt) : Ast.stmt_id list =
+  let out = ref [] in
+  let body = match s.node with Ast.If (_, t, e) -> t @ e | _ -> [] in
+  Ast.iter_stmts
+    (fun st -> match st.node with Ast.Do _ -> out := st.sid :: !out | _ -> ())
+    body;
+  !out
+
+(* Resolve the loop an EXIT/CYCLE inside [s] targets.  [stack] is the
+   stack of loops enclosing the transfer statement (innermost first),
+   starting from the loops inside [s], then [s]'s own enclosing loops. *)
+let target_loop (nest : Nest.t) (transfer_sid : Ast.stmt_id)
+    (name : string option) : Ast.stmt_id option =
+  let enclosing = List.rev (Nest.enclosing_loops nest transfer_sid) in
+  match name with
+  | None -> (
+      match enclosing with [] -> None | li :: _ -> Some li.Nest.loop_sid)
+  | Some n ->
+      List.find_map
+        (fun (li : Nest.loop_info) ->
+          if li.Nest.loop.loop_name = Some n then Some li.Nest.loop_sid
+          else None)
+        enclosing
+
+(** Can [s] (an [If]) transfer control outside the body of its innermost
+    enclosing loop [l_sid]? *)
+let escapes (nest : Nest.t) (s : Ast.stmt) ~(l_sid : Ast.stmt_id) : bool =
+  let inside = loops_inside s in
+  let body = match s.node with Ast.If (_, t, e) -> t @ e | _ -> [] in
+  let escaped = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.node with
+      | Ast.Exit name -> (
+          match target_loop nest st.sid name with
+          | Some t when List.mem t inside -> ()
+          | Some _ | None -> escaped := true)
+      | Ast.Cycle name -> (
+          match target_loop nest st.sid name with
+          | Some t when List.mem t inside -> ()
+          | Some t when t = l_sid ->
+              (* CYCLE of the innermost loop: target is the end of the
+                 loop body — still inside *)
+              ()
+          | Some _ | None -> escaped := true)
+      | _ -> ())
+    body;
+  !escaped
+
+(** Decide privatized execution for every [If] statement. *)
+let run (d : Decisions.t) : unit =
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.If _ -> (
+          match Nest.innermost_loop d.Decisions.nest s.sid with
+          | None ->
+              (* outside all loops: executed by all processors *)
+              Hashtbl.replace d.Decisions.ctrl s.sid false
+          | Some li ->
+              let ok =
+                not (escapes d.Decisions.nest s ~l_sid:li.Nest.loop_sid)
+              in
+              Hashtbl.replace d.Decisions.ctrl s.sid ok)
+      | _ -> ())
+    d.Decisions.prog

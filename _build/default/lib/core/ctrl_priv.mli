@@ -1,0 +1,16 @@
+(** Privatized execution of control-flow statements — paper §4: an [If]
+    that cannot transfer control outside the body of its innermost loop
+    contributes no computation-partitioning guard, executes on the union
+    of the iteration's executors, and its predicate is communicated only
+    to the owners of the control-dependent statements. *)
+
+open Hpf_lang
+
+(** Can the [If] statement [s] transfer control outside the body of the
+    loop with header [l_sid]?  ([EXIT] of that loop or an outer one can;
+    [CYCLE] of the innermost loop, or any transfer targeting a loop
+    nested within [s], cannot.) *)
+val escapes : Nest.t -> Ast.stmt -> l_sid:Ast.stmt_id -> bool
+
+(** Decide privatized execution for every [If] statement. *)
+val run : Decisions.t -> unit

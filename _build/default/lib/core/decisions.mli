@@ -1,0 +1,142 @@
+(** Mapping decisions for privatized variables, and their translation
+    into ownership specs for communication analysis and SPMD execution.
+
+    Holds the state the paper's algorithms populate: per scalar
+    definition one of the four mappings (replication / alignment /
+    no-alignment privatization / the reduction mapping), per (array,
+    loop) a full or partial privatization, per [If] a privatized-control
+    bit — plus the evaluation rule "the mapping at a use is the one
+    recorded with its first reaching definition". *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_mapping
+
+type scalar_mapping =
+  | Replicated  (** default: every processor computes and stores it *)
+  | Priv_no_align
+      (** computed redundantly by the iteration's executors; viewed as
+          replicated by communication analysis (paper §2.1) *)
+  | Priv_aligned of { target : Aref.t; level : int }
+      (** owned by the owner of [target]; valid within the loop at
+          nesting [level] *)
+  | Priv_reduction of {
+      target : Aref.t;
+      repl_grid_dims : int list;
+      level : int;
+    }
+      (** reduction accumulator: replicated along the grid dimensions the
+          reduction spans, aligned with [target] elsewhere (paper §2.3) *)
+
+val pp_scalar_mapping : Format.formatter -> scalar_mapping -> unit
+
+type array_mapping =
+  | Arr_priv of { target : Aref.t option }
+      (** fully privatized; [None] = without alignment *)
+  | Arr_partial_priv of { target : Aref.t; priv_grid_dims : int list }
+      (** privatized along [priv_grid_dims], partitioned by the array's
+          own directives elsewhere (paper §3.2) *)
+
+val pp_array_mapping : Format.formatter -> array_mapping -> unit
+
+(** Knobs matching the compiler versions of the paper's evaluation. *)
+type options = {
+  privatize_scalars : bool;  (** off = Table 1 "Replication" *)
+  force_producer_alignment : bool;  (** Table 1 "Producer Alignment" *)
+  reduction_alignment : bool;  (** off = Table 2 "Default" *)
+  privatize_arrays : bool;  (** off = Table 3 "No Array Priv." *)
+  partial_privatization : bool;  (** off = Table 3 "No Partial Priv." *)
+  privatize_control : bool;  (** paper §4 *)
+  auto_array_priv : bool;
+      (** the future-work extension ({!Hpf_analysis.Auto_priv}); off by
+          default to stay faithful to phpf *)
+  combine_messages : bool;
+      (** global message combining — the optimization the paper names as
+          missing from phpf (§5.3); communications sharing a placement
+          point pay the startup latency once.  Off by default *)
+}
+
+(** Everything on — the paper's "Selected Alignment" compiler. *)
+val default_options : options
+
+type t = {
+  prog : Ast.program;
+  nest : Nest.t;
+  ssa : Ssa.t;
+  priv : Privatizable.t;
+  env : Layout.env;
+  reductions : Reduction.red list;
+  options : options;
+  scalar : (Ssa.def_id, scalar_mapping) Hashtbl.t;
+  arrays : (string * Ast.stmt_id, array_mapping) Hashtbl.t;
+      (** keyed by (array, loop header sid) *)
+  ctrl : (Ast.stmt_id, bool) Hashtbl.t;  (** If sid -> privatized *)
+  no_align_exam : Ssa.def_id list ref;  (** paper Fig. 3's deferred list *)
+}
+
+(** Build the analysis state for a (checked, IV-rewritten) program:
+    SSA, privatizability, layouts, reduction records. *)
+val create : ?grid_override:int list -> ?options:options -> Ast.program -> t
+
+(** {2 Decision lookup} *)
+
+val scalar_mapping_of_def : t -> Ssa.def_id -> scalar_mapping
+val set_scalar_mapping : t -> Ssa.def_id -> scalar_mapping -> unit
+
+(** CFG node at which statement [sid] touches [var]. *)
+val stmt_node_for_var : t -> Ast.stmt_id -> string -> int option
+
+(** Mapping of [var] as {e used} at [sid]: its first reaching
+    definition's mapping. *)
+val scalar_mapping_of_use : t -> sid:Ast.stmt_id -> var:string -> scalar_mapping
+
+(** The SSA definition created by statement [sid] for scalar [var]. *)
+val def_of_stmt : t -> sid:Ast.stmt_id -> var:string -> Ssa.def_id option
+
+(** Innermost array privatization applying at a statement. *)
+val array_mapping_at :
+  t -> sid:Ast.stmt_id -> base:string -> (Nest.loop_info * array_mapping) option
+
+val ctrl_privatized : t -> Ast.stmt_id -> bool
+
+(** {2 Owner specs under the current decisions} *)
+
+val all_procs : t -> Ownership.spec
+
+(** Owner spec from the HPF directives alone (no privatization). *)
+val directive_spec : t -> Aref.t -> Ownership.spec
+
+(** Widen the given grid dimensions of a spec to [O_all]. *)
+val replicate_dims : Ownership.spec -> int list -> Ownership.spec
+
+(** Owner spec of a reference under the current decisions.  [as_def]
+    selects the definition-side mapping for a scalar lhs. *)
+val owner_spec : t -> ?as_def:bool -> Aref.t -> Ownership.spec
+
+val spec_of_scalar_mapping : t -> scalar_mapping -> Ownership.spec
+
+(** Pointwise union (equal dimensions kept, anything else widened). *)
+val spec_union : t -> Ownership.spec list -> Ownership.spec
+
+(** {2 Computation-partitioning guards} *)
+
+type guard =
+  | G_all  (** executed by every processor *)
+  | G_ref of Aref.t  (** owner-computes: the owner of this reference *)
+  | G_ref_repl of Aref.t * int list
+      (** owner of the reference widened along the given grid dims *)
+  | G_union
+      (** union of the processors executing the other statements of the
+          surrounding iteration *)
+
+val pp_guard : Format.formatter -> guard -> unit
+
+(** Guard of a statement under the current decisions. *)
+val guard_of_stmt : t -> Ast.stmt -> guard
+
+(** The guard as an owner spec ([G_union] resolved against the sibling
+    statements of the innermost enclosing loop). *)
+val guard_spec : t -> Ast.stmt -> Ownership.spec
+
+(** All statements of a body, in preorder. *)
+val all_stmts_in : Ast.stmt list -> Ast.stmt list

@@ -1,0 +1,236 @@
+(** Scalar expansion — the classical alternative to privatization that
+    the paper contrasts in §6 (Padua & Wolfe's scalar expansion [16],
+    Feautrier's array expansion [7], Knobe & Dally's subspace model
+    [12]).
+
+    Where privatization gives each processor a {e private} copy of a
+    loop temporary, expansion materializes one copy {e per iteration}:
+    the scalar [x] becomes an array [x_x(lo:hi)] indexed by the loop
+    variable, and data-parallel execution falls out of the ordinary
+    array machinery.  The mapping problem does not disappear — the
+    expanded array still needs an alignment, which we derive from the
+    decision the privatization algorithm would have made — and the
+    transformation pays for one array element per iteration where
+    privatization pays one scalar per processor.
+
+    {!run} expands every scalar the mapping pass aligned
+    ([Priv_aligned]) whose privatization loop has constant bounds and
+    whose alignment target traverses a partitioned dimension with the
+    loop index; everything else is left alone.  The result compiles
+    through the normal pipeline and is compared against privatization in
+    [bench/main.exe -- ablation]. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_mapping
+
+type expansion = {
+  var : string;
+  array_name : string;
+  loop_sid : Ast.stmt_id;
+  index : string;
+  lo : int;
+  hi : int;
+  align_directive : Ast.directive;
+}
+
+let pp_expansion ppf (e : expansion) =
+  Fmt.pf ppf "%s -> %s(%d:%d) indexed by %s" e.var e.array_name e.lo e.hi
+    e.index
+
+(* Alignment directive for the expanded array from the scalar's chosen
+   target: find a partitioned target dimension whose subscript is
+   [index + c]; other dimensions become constants or '*'. *)
+let alignment_for (d : Decisions.t) (array_name : string) (target : Aref.t)
+    (index : string) : Ast.directive option =
+  let prog = d.Decisions.prog in
+  let part_dims =
+    Align_level.partitioned_array_dims d.Decisions.env target.Aref.base
+  in
+  let indices = Nest.enclosing_indices d.Decisions.nest target.Aref.sid in
+  let classify dim sub =
+    match Affine.of_subscript prog ~indices sub with
+    | Some a
+      when List.mem dim part_dims
+           && Affine.coeff a index = 1
+           && List.for_all
+                (fun (v, _) -> String.equal v index)
+                a.Affine.terms ->
+        `Driving a.Affine.const
+    | Some a when a.Affine.terms = [] -> `Const a.Affine.const
+    | _ -> `Star
+  in
+  let classified = List.mapi classify target.Aref.subs in
+  if
+    List.exists (function `Driving _ -> true | _ -> false) classified
+  then
+    Some
+      (Ast.Align
+         {
+           alignee = array_name;
+           target = target.Aref.base;
+           subs =
+             List.map
+               (function
+                 | `Driving c ->
+                     Ast.A_dim { dum = 0; stride = 1; offset = c }
+                 | `Const c -> Ast.A_const c
+                 | `Star -> Ast.A_star)
+               classified;
+         })
+  else None
+
+(* Replace scalar occurrences of [var] by [array(index)] within a
+   statement list. *)
+let rewrite_stmts (var : string) (array_name : string) (index : string)
+    (stmts : Ast.stmt list) : Ast.stmt list =
+  let ref_ : Ast.expr = Arr (array_name, [ Var index ]) in
+  let rec expr (e : Ast.expr) : Ast.expr =
+    match e with
+    | Var v when String.equal v var -> ref_
+    | Int _ | Real _ | Bool _ | Var _ -> e
+    | Arr (a, subs) -> Arr (a, List.map expr subs)
+    | Bin (op, a, b) -> Bin (op, expr a, expr b)
+    | Un (op, a) -> Un (op, expr a)
+    | Intrin (op, a, b) -> Intrin (op, expr a, expr b)
+  in
+  let rec stmt (s : Ast.stmt) : Ast.stmt =
+    let node : Ast.stmt_node =
+      match s.node with
+      | Assign (LVar v, rhs) when String.equal v var ->
+          Assign (LArr (array_name, [ Var index ]), expr rhs)
+      | Assign (LVar v, rhs) -> Assign (LVar v, expr rhs)
+      | Assign (LArr (a, subs), rhs) ->
+          Assign (LArr (a, List.map expr subs), expr rhs)
+      | If (c, t, e) -> If (expr c, List.map stmt t, List.map stmt e)
+      | Do dl ->
+          Do
+            {
+              dl with
+              lo = expr dl.lo;
+              hi = expr dl.hi;
+              step = expr dl.step;
+              body = List.map stmt dl.body;
+            }
+      | Exit _ | Cycle _ -> s.node
+    in
+    { s with node }
+  in
+  List.map stmt stmts
+
+(* All loops (sids) whose bodies mention [var]. *)
+let loops_mentioning (d : Decisions.t) (var : string) : Ast.stmt_id list =
+  List.filter_map
+    (fun (li : Nest.loop_info) ->
+      let found = ref false in
+      Ast.iter_stmts
+        (fun s ->
+          List.iter
+            (fun e -> if List.mem var (Ast.expr_vars e) then found := true)
+            (Ast.own_exprs s))
+        li.Nest.loop.body;
+      if !found then Some li.Nest.loop_sid else None)
+    d.Decisions.nest.Nest.loops
+
+(** Expand the aligned privatizable scalars of [prog].  Returns the
+    transformed program (unchecked: run it through the compiler) and the
+    expansions performed. *)
+let run ?options (prog : Ast.program) : Ast.program * expansion list =
+  let c = Compiler.compile ?options prog in
+  let d = c.Compiler.decisions in
+  let prog = c.Compiler.prog in
+  (* candidate scalars: one aligned in-loop definition class, a single
+     mentioning loop with constant bounds *)
+  let candidates : (string, expansion) Hashtbl.t = Hashtbl.create 8 in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Assign (LVar v, _) when not (Hashtbl.mem candidates v) -> (
+          match Decisions.def_of_stmt d ~sid:s.sid ~var:v with
+          | Some def -> (
+              match Decisions.scalar_mapping_of_def d def with
+              | Decisions.Priv_aligned { target; level } -> (
+                  match
+                    ( Nest.loop_at_level d.Decisions.nest s.sid level,
+                      loops_mentioning d v )
+                  with
+                  | Some li, [ only_loop ]
+                    when only_loop = li.Nest.loop_sid -> (
+                      let dl = li.Nest.loop in
+                      match
+                        ( Ast.const_int_opt prog dl.lo,
+                          Ast.const_int_opt prog dl.hi,
+                          Ast.const_int_opt prog dl.step )
+                      with
+                      | Some lo, Some hi, Some 1 when lo <= hi -> (
+                          let array_name = v ^ "_x" in
+                          if Ast.find_decl prog array_name <> None then ()
+                          else
+                            match
+                              alignment_for d array_name target dl.index
+                            with
+                            | Some align_directive ->
+                                Hashtbl.replace candidates v
+                                  {
+                                    var = v;
+                                    array_name;
+                                    loop_sid = li.Nest.loop_sid;
+                                    index = dl.index;
+                                    lo;
+                                    hi;
+                                    align_directive;
+                                  }
+                            | None -> ())
+                      | _ -> ())
+                  | _ -> ())
+              | _ -> ())
+          | None -> ())
+      | _ -> ())
+    prog;
+  let expansions =
+    Hashtbl.fold (fun _ e acc -> e :: acc) candidates []
+    |> List.sort compare
+  in
+  (* apply: new decls + align directives + rewritten loop bodies *)
+  let ty_of v =
+    match Ast.find_decl prog v with
+    | Some dc -> dc.Ast.ty
+    | None -> Types.TReal
+  in
+  let decls =
+    prog.decls
+    @ List.map
+        (fun e ->
+          {
+            Ast.dname = e.array_name;
+            ty = ty_of e.var;
+            shape = [ Types.bounds e.lo e.hi ];
+          })
+        expansions
+  in
+  let directives =
+    prog.directives @ List.map (fun e -> e.align_directive) expansions
+  in
+  let rec apply_loops (stmts : Ast.stmt list) : Ast.stmt list =
+    List.map
+      (fun (s : Ast.stmt) ->
+        let node : Ast.stmt_node =
+          match s.node with
+          | Do dl ->
+              let body = apply_loops dl.body in
+              let body =
+                List.fold_left
+                  (fun body e ->
+                    if e.loop_sid = s.sid then
+                      rewrite_stmts e.var e.array_name e.index body
+                    else body)
+                  body expansions
+              in
+              Do { dl with body }
+          | If (c, t, e) -> If (c, apply_loops t, apply_loops e)
+          | Assign _ | Exit _ | Cycle _ -> s.node
+        in
+        { s with node })
+      stmts
+  in
+  ({ prog with decls; directives; body = apply_loops prog.body }, expansions)

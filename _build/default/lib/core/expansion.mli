@@ -1,0 +1,30 @@
+(** Scalar expansion — the classical alternative to privatization the
+    paper contrasts in §6: each aligned loop temporary becomes an array
+    indexed by the loop variable, aligned where the privatization
+    algorithm would have placed the scalar.  Same communication
+    structure, one array element per iteration instead of one scalar per
+    processor. *)
+
+open Hpf_lang
+
+type expansion = {
+  var : string;
+  array_name : string;  (** [var ^ "_x"] *)
+  loop_sid : Ast.stmt_id;
+  index : string;
+  lo : int;
+  hi : int;
+  align_directive : Ast.directive;
+}
+
+val pp_expansion : Format.formatter -> expansion -> unit
+
+(** Expand the aligned privatizable scalars of a program (those with a
+    single mentioning loop with constant unit-step bounds and a target
+    traversing a partitioned dimension by the loop index).  Returns the
+    transformed program — run it through {!Compiler.compile} — and the
+    expansions performed. *)
+val run :
+  ?options:Decisions.options ->
+  Ast.program ->
+  Ast.program * expansion list

@@ -1,0 +1,25 @@
+(** The mapping algorithm for privatized scalars — paper §2.2, Fig. 3
+    ([DetermineMapping]): per scalar definition, choose replication,
+    consumer alignment, producer alignment (when consumer alignment would
+    leave inner-loop communication), or privatization without alignment
+    (deferred [NoAlignExam] list), with the mapping recorded identically
+    on every reaching definition of every reached use. *)
+
+open Hpf_analysis
+
+(** Run the pass over every scalar definition in program order, then the
+    deferred no-alignment examination.  Idempotent per definition:
+    already-decided definitions are not re-decided. *)
+val run : Decisions.t -> unit
+
+(** Record [m] on the whole equivalence class of definitions connected
+    to [def] through shared uses (the paper's consistency requirement).
+    Aborts silently when the class's uses can also observe the entry
+    (uninitialized) value, or a member lies outside the loop [within]
+    which the alignment is valid.  Exposed for {!Reduction_map}. *)
+val mark_alignment :
+  ?within:Hpf_lang.Ast.stmt_id ->
+  Decisions.t ->
+  Ssa.def_id ->
+  Decisions.scalar_mapping ->
+  unit

@@ -1,0 +1,154 @@
+(** Mapping of scalars involved in reductions — paper §2.3.
+
+    For each recognized reduction over loop [L] with accumulator [s]:
+
+    - verify that [s]'s definitions are privatizable (without copy-out)
+      with respect to the loop immediately surrounding [L];
+    - the alignment target is the {e special array reference} whose
+      ownership governs the partitioning of the partial reduction — the
+      partitioned array reference in the contributed expression;
+    - [s] is replicated along exactly the grid dimensions across which the
+      reduction accumulates (those where the target's owner varies with
+      [L]'s index) and aligned with the target in the remaining
+      dimensions;
+    - the mapping is propagated to every reaching definition of every
+      reached use (so the initialisation [s = 0] before the loop and the
+      consumers after it agree).
+
+    When the reduction spans {e no} grid dimension (DGEFA: the pivot
+    search runs down one cyclically-mapped column), the accumulator ends
+    up simply aligned with the column's owner — the paper's optimization
+    that confines partial pivoting to the relevant processor. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_mapping
+
+(* Partitioned array reference inside the contributed expression. *)
+let target_of_contrib (d : Decisions.t) (sid : Ast.stmt_id)
+    (contrib : Ast.expr) : Aref.t option =
+  let cands = ref [] in
+  Ast.iter_expr
+    (function
+      | Ast.Arr (a, subs) ->
+          cands := { Aref.sid; base = a; subs } :: !cands
+      | _ -> ())
+    contrib;
+  List.rev !cands
+  |> List.find_opt (fun r ->
+         Ownership.is_partitioned_spec (Decisions.owner_spec d r))
+
+(* Grid dimensions across which the reduction accumulates: where the
+   target's owner position varies with the reduction loop's index. *)
+let reduction_grid_dims (d : Decisions.t) (target : Aref.t)
+    (loop_index : string) : int list =
+  let spec = Decisions.owner_spec d target in
+  let out = ref [] in
+  Array.iteri
+    (fun g o ->
+      match o with
+      | Ownership.O_affine { pos; _ } when Affine.coeff pos loop_index <> 0
+        ->
+          out := g :: !out
+      | Ownership.O_affine _ | Ownership.O_all | Ownership.O_fixed _
+      | Ownership.O_unknown ->
+          (* a dimension along which the target is replicated needs no
+             combine: every coordinate accumulates the full local result *)
+          ())
+    spec;
+  List.rev !out
+
+(* All real definitions of [var] lying inside the loop [li]. *)
+let defs_in_loop (d : Decisions.t) (var : string) (li : Nest.loop_info) :
+    Ssa.def_id list =
+  Ssa.defs_of_var d.Decisions.ssa var
+  |> List.filter (fun def ->
+         match Ssa.def_node d.Decisions.ssa def with
+         | Some node -> (
+             match Cfg.sid_of_node d.Decisions.ssa.Ssa.cfg node with
+             | Some sid ->
+                 Nest.loop_encloses d.Decisions.nest
+                   ~loop_sid:li.Nest.loop_sid sid
+             | None -> false)
+         | None -> false)
+
+(** Number of processors the combine collective of [red] spans under the
+    current decisions (1 = no collective needed). *)
+let combine_group (d : Decisions.t) (red : Reduction.red) : int =
+  let accum_def =
+    Ssa.defs_of_var d.Decisions.ssa red.Reduction.var
+    |> List.find_opt (fun def ->
+           match Decisions.scalar_mapping_of_def d def with
+           | Decisions.Priv_reduction _ -> true
+           | _ -> false)
+  in
+  match accum_def with
+  | Some def -> (
+      match Decisions.scalar_mapping_of_def d def with
+      | Decisions.Priv_reduction { repl_grid_dims; _ } ->
+          List.fold_left
+            (fun acc g -> acc * Grid.extent d.Decisions.env.Layout.grid g)
+            1 repl_grid_dims
+      | _ -> Grid.size d.Decisions.env.Layout.grid)
+  | None ->
+      (* replicated accumulator: the combine spans the whole machine *)
+      Grid.size d.Decisions.env.Layout.grid
+
+(** Map the accumulators of all recognized reductions. *)
+let run (d : Decisions.t) : unit =
+  List.iter
+    (fun (red : Reduction.red) ->
+      match Nest.find_loop d.Decisions.nest red.Reduction.loop_sid with
+      | None -> ()
+      | Some red_loop -> (
+          (* the loop immediately surrounding the reduction loop *)
+          let surrounding =
+            Nest.innermost_loop d.Decisions.nest red.Reduction.loop_sid
+          in
+          let privatizable_ok =
+            match surrounding with
+            | None -> false (* top level: result is live after; replicate *)
+            | Some outer ->
+                List.for_all
+                  (fun def ->
+                    Privatizable.scalar_def_privatizable d.Decisions.priv
+                      ~def ~loop_sid:outer.Nest.loop_sid)
+                  (defs_in_loop d red.Reduction.var outer)
+          in
+          if privatizable_ok then
+            match
+              target_of_contrib d red.Reduction.stmt_sid
+                red.Reduction.contrib
+            with
+            | None -> ()
+            | Some target ->
+                let repl_grid_dims =
+                  reduction_grid_dims d target red_loop.Nest.loop.index
+                in
+                let level =
+                  match surrounding with
+                  | Some outer -> outer.Nest.level
+                  | None -> 0
+                in
+                let m =
+                  Decisions.Priv_reduction
+                    { target; repl_grid_dims; level }
+                in
+                (* the accumulating def and, through it, every reaching
+                   def of every reached use (incl. the initialisation);
+                   validity is scoped to the surrounding loop *)
+                let within =
+                  Option.map (fun o -> o.Nest.loop_sid) surrounding
+                in
+                List.iter
+                  (fun def -> Mapping_alg.mark_alignment ?within d def m)
+                  (defs_in_loop d red.Reduction.var red_loop);
+                (* companion location variables of maxloc/minloc *)
+                List.iter
+                  (fun (lv, _) ->
+                    List.iter
+                      (fun def ->
+                        Mapping_alg.mark_alignment ?within d def m)
+                      (defs_in_loop d lv red_loop))
+                  red.Reduction.loc_vars))
+    d.Decisions.reductions

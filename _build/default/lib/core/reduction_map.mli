@@ -1,0 +1,17 @@
+(** Mapping of scalars involved in reductions — paper §2.3: the
+    accumulator (and any maxloc location companions) is replicated along
+    exactly the grid dimensions the reduction spans and aligned with the
+    partitioned reference of the contributed expression elsewhere. *)
+
+open Hpf_analysis
+
+(** Map the accumulators of all recognized reductions (requires the
+    accumulator to be privatizable w.r.t. the loop surrounding the
+    reduction loop; otherwise it stays replicated — Table 2's
+    "Default"). *)
+val run : Decisions.t -> unit
+
+(** Number of processors the combine collective spans under the current
+    decisions (1 = the partial result is already where it is needed, no
+    collective). *)
+val combine_group : Decisions.t -> Reduction.red -> int

@@ -1,0 +1,169 @@
+(** Human-readable report of a compilation: the mapping decision for every
+    scalar definition, array privatization, control-flow privatization,
+    and the communication schedule.  Used by the [phpfc] CLI and the
+    examples. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_comm
+
+let pp_scalar_decisions ppf (d : Decisions.t) =
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.Assign (Ast.LVar v, _) -> (
+          match Decisions.def_of_stmt d ~sid:s.sid ~var:v with
+          | Some def ->
+              Fmt.pf ppf "  s%-3d %-12s : %a@." s.sid v
+                Decisions.pp_scalar_mapping
+                (Decisions.scalar_mapping_of_def d def)
+          | None -> ())
+      | _ -> ())
+    d.Decisions.prog
+
+let pp_array_decisions ppf (d : Decisions.t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.Decisions.arrays []
+  |> List.sort compare
+  |> List.iter (fun ((a, loop_sid), m) ->
+         Fmt.pf ppf "  %-8s w.r.t. loop s%-3d : %a@." a loop_sid
+           Decisions.pp_array_mapping m)
+
+let pp_ctrl_decisions ppf (d : Decisions.t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.Decisions.ctrl []
+  |> List.sort compare
+  |> List.iter (fun (sid, priv) ->
+         Fmt.pf ppf "  if s%-3d : %s@." sid
+           (if priv then "privatized execution" else "executed by all"))
+
+let pp_comms ppf (comms : Comm.t list) =
+  List.iter (fun c -> Fmt.pf ppf "  %a@." Comm.pp c) comms
+
+let pp_ivs ppf (ivs : Induction.iv list) =
+  List.iter
+    (fun (iv : Induction.iv) ->
+      Fmt.pf ppf "  %s at s%d : closed form %a@." iv.Induction.var
+        iv.Induction.incr_sid Pp.pp_expr iv.Induction.closed_form)
+    ivs
+
+let pp_compiled ppf (c : Compiler.compiled) =
+  let d = c.Compiler.decisions in
+  Fmt.pf ppf "program %s on grid %a@." c.Compiler.prog.Ast.pname
+    Hpf_mapping.Grid.pp d.Decisions.env.Hpf_mapping.Layout.grid;
+  if c.Compiler.ivs <> [] then begin
+    Fmt.pf ppf "induction variables:@.";
+    pp_ivs ppf c.Compiler.ivs
+  end;
+  Fmt.pf ppf "scalar mappings:@.";
+  pp_scalar_decisions ppf d;
+  if Hashtbl.length d.Decisions.arrays > 0 then begin
+    Fmt.pf ppf "array privatization:@.";
+    pp_array_decisions ppf d
+  end;
+  if Hashtbl.length d.Decisions.ctrl > 0 then begin
+    Fmt.pf ppf "control flow:@.";
+    pp_ctrl_decisions ppf d
+  end;
+  if d.Decisions.reductions <> [] then begin
+    Fmt.pf ppf "reductions:@.";
+    List.iter
+      (fun (r : Reduction.red) ->
+        Fmt.pf ppf "  %s (%a) over loop s%d@." r.Reduction.var
+          Reduction.pp_red_op r.Reduction.op r.Reduction.loop_sid)
+      d.Decisions.reductions
+  end;
+  Fmt.pf ppf "communication schedule (%d):@." (List.length c.Compiler.comms);
+  pp_comms ppf c.Compiler.comms;
+  Fmt.pf ppf "estimated communication time: %.6f s@."
+    (Compiler.estimated_comm_cost c)
+
+let to_string (c : Compiler.compiled) = Fmt.str "%a" pp_compiled c
+
+(* ------------------------------------------------------------------ *)
+(* Annotated source                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Communications attached to each statement. *)
+let comms_by_sid (comms : Comm.t list) :
+    (Ast.stmt_id, Comm.t list) Hashtbl.t =
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun (cm : Comm.t) ->
+      let sid = cm.Comm.data.Aref.sid in
+      let cur = match Hashtbl.find_opt h sid with Some l -> l | None -> [] in
+      Hashtbl.replace h sid (cm :: cur))
+    comms;
+  h
+
+(** Print the program source with, per statement, its
+    computation-partitioning guard and the communications it requires —
+    the [phpfc compile --annotate] view. *)
+let pp_annotated ppf (c : Compiler.compiled) =
+  let d = c.Compiler.decisions in
+  let by_sid = comms_by_sid c.Compiler.comms in
+  let annotate indent (s : Ast.stmt) =
+    let pad = String.make indent ' ' in
+    (match Hashtbl.find_opt by_sid s.Ast.sid with
+    | Some comms ->
+        List.iter
+          (fun cm -> Fmt.pf ppf "%s! comm: %a@." pad Comm.pp cm)
+          (List.rev comms)
+    | None -> ());
+    match s.Ast.node with
+    | Ast.Assign _ | Ast.If _ ->
+        Fmt.pf ppf "%s! guard: %a@." pad Decisions.pp_guard
+          (Decisions.guard_of_stmt d s)
+    | Ast.Do _ | Ast.Exit _ | Ast.Cycle _ -> ()
+  in
+  let rec stmt indent (s : Ast.stmt) =
+    annotate indent s;
+    match s.Ast.node with
+    | Ast.Assign _ | Ast.Exit _ | Ast.Cycle _ ->
+        Pp.pp_stmt ~indent ppf s
+    | Ast.If (cond, t, e) ->
+        Fmt.pf ppf "%sif (%a) then@." (String.make indent ' ') Pp.pp_expr
+          cond;
+        List.iter (stmt (indent + 2)) t;
+        if e <> [] then begin
+          Fmt.pf ppf "%selse@." (String.make indent ' ');
+          List.iter (stmt (indent + 2)) e
+        end;
+        Fmt.pf ppf "%send if@." (String.make indent ' ')
+    | Ast.Do dl ->
+        (match
+           Hashtbl.fold
+             (fun (a, loop_sid) m acc ->
+               if loop_sid = s.Ast.sid then (a, m) :: acc else acc)
+             d.Decisions.arrays []
+         with
+        | [] -> ()
+        | decisions ->
+            List.iter
+              (fun (a, m) ->
+                Fmt.pf ppf "%s! array %s: %a@."
+                  (String.make indent ' ')
+                  a Decisions.pp_array_mapping m)
+              (List.sort compare decisions));
+        let name_prefix =
+          match dl.Ast.loop_name with None -> "" | Some n -> n ^ ": "
+        in
+        (match dl.Ast.step with
+        | Ast.Int 1 ->
+            Fmt.pf ppf "%s%sdo %s = %a, %a@."
+              (String.make indent ' ')
+              name_prefix dl.Ast.index Pp.pp_expr dl.Ast.lo Pp.pp_expr
+              dl.Ast.hi
+        | _ ->
+            Fmt.pf ppf "%s%sdo %s = %a, %a, %a@."
+              (String.make indent ' ')
+              name_prefix dl.Ast.index Pp.pp_expr dl.Ast.lo Pp.pp_expr
+              dl.Ast.hi Pp.pp_expr dl.Ast.step);
+        List.iter (stmt (indent + 2)) dl.Ast.body;
+        Fmt.pf ppf "%send do@." (String.make indent ' ')
+  in
+  let p = c.Compiler.prog in
+  Fmt.pf ppf "program %s@." p.Ast.pname;
+  List.iter (fun (n, v) -> Fmt.pf ppf "parameter %s = %d@." n v) p.Ast.params;
+  List.iter (Pp.pp_decl ppf) p.Ast.decls;
+  List.iter (Pp.pp_directive ppf) p.Ast.directives;
+  List.iter (stmt 0) p.Ast.body;
+  Fmt.pf ppf "end program@."

@@ -1,0 +1,23 @@
+(** Human-readable report of a compilation: scalar/array/control-flow
+    mapping decisions, recognized induction variables and reductions,
+    and the communication schedule — the [phpfc compile] output. *)
+
+open Hpf_analysis
+open Hpf_comm
+
+val pp_scalar_decisions : Format.formatter -> Decisions.t -> unit
+val pp_array_decisions : Format.formatter -> Decisions.t -> unit
+val pp_ctrl_decisions : Format.formatter -> Decisions.t -> unit
+val pp_comms : Format.formatter -> Comm.t list -> unit
+val pp_ivs : Format.formatter -> Induction.iv list -> unit
+
+(** The full report. *)
+val pp_compiled : Format.formatter -> Compiler.compiled -> unit
+
+val to_string : Compiler.compiled -> string
+
+(** Print the program source with, per statement, its
+    computation-partitioning guard, attached communications, and per-loop
+    array-privatization decisions — the [phpfc compile --annotate]
+    view. *)
+val pp_annotated : Format.formatter -> Compiler.compiled -> unit

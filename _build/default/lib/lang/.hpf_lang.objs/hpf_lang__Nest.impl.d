@@ -1,0 +1,1 @@
+lib/lang/nest.ml: Ast Hashtbl List String

@@ -1,0 +1,1 @@
+lib/lang/nest.mli: Ast Hashtbl

@@ -1,0 +1,1 @@
+lib/lang/sema.ml: Ast Fmt Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/lang/types.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/lang/types.mli: Format

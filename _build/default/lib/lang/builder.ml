@@ -1,0 +1,137 @@
+(** Combinator DSL for constructing kernel-language programs in OCaml.
+
+    Used by the benchmark generators ({!Hpf_benchmarks}) and by tests.  The
+    operators mirror Fortran reading order:
+
+    {[
+      let open Hpf_lang.Builder in
+      program "axpy"
+        ~params:[ ("n", 100) ]
+        ~decls:[ real_arr "x" [ 1 -- 100 ]; real "a" ]
+        ~directives:[ distribute "x" [ block ] ]
+        [ do_ "i" (int 1) (var "n")
+            [ "x" $. [ var "i" ] <-- (var "a" * x_ [ var "i" ]) ] ]
+    ]} *)
+
+open Ast
+
+(* ---------- expressions ---------- *)
+
+let int n = Int n
+
+(** Real literal ([real] is the declaration combinator below). *)
+let rlit f = Real f
+
+let bool b = Bool b
+let var v = Var v
+let arr a subs = Arr (a, subs)
+
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( ** ) a b = Bin (Pow, a, b)
+let ( = ) a b = Bin (Eq, a, b)
+let ( <> ) a b = Bin (Ne, a, b)
+let ( < ) a b = Bin (Lt, a, b)
+let ( <= ) a b = Bin (Le, a, b)
+let ( > ) a b = Bin (Gt, a, b)
+let ( >= ) a b = Bin (Ge, a, b)
+let ( && ) a b = Bin (And, a, b)
+let ( || ) a b = Bin (Or, a, b)
+let neg a = Un (Neg, a)
+let not_ a = Un (Not, a)
+let abs_ a = Un (Abs, a)
+let sqrt_ a = Un (Sqrt, a)
+let exp_ a = Un (Exp, a)
+let log_ a = Un (Log, a)
+let sign_ a = Un (Sign, a)
+let min_ a b = Intrin (Min2, a, b)
+let max_ a b = Intrin (Max2, a, b)
+let mod_ a b = Intrin (Mod2, a, b)
+
+(** [a $. subs] builds an array reference expression; sugar for {!arr}. *)
+let ( $. ) a subs = Arr (a, subs)
+
+(* ---------- statements ---------- *)
+
+let assign_var v e = mk (Assign (LVar v, e))
+let assign_arr a subs e = mk (Assign (LArr (a, subs), e))
+
+(** [lhs <-- rhs] where [lhs] is an expression of shape [Var v] or
+    [Arr (a, subs)].  Raises [Invalid_argument] otherwise. *)
+let ( <-- ) lhs rhs =
+  match lhs with
+  | Var v -> assign_var v rhs
+  | Arr (a, subs) -> assign_arr a subs rhs
+  | _ -> invalid_arg "Builder.(<--): lhs must be a variable or array ref"
+
+let if_ cond then_ else_ = mk (If (cond, then_, else_))
+let if_then cond then_ = mk (If (cond, then_, []))
+let exit_ ?name () = mk (Exit name)
+let cycle ?name () = mk (Cycle name)
+
+let do_ ?(step = Int 1) ?(independent = false) ?(new_vars = [])
+    ?name index lo hi body =
+  mk
+    (Do
+       {
+         index;
+         lo;
+         hi;
+         step;
+         body;
+         independent;
+         new_vars;
+         loop_name = name;
+       })
+
+(** An [INDEPENDENT, NEW(vars)] loop. *)
+let indep_do ?(step = Int 1) ?(new_vars = []) ?name index lo hi body =
+  do_ ~step ~independent:true ~new_vars ?name index lo hi body
+
+(* ---------- declarations ---------- *)
+
+let ( -- ) lo hi = Types.bounds lo hi
+
+let scalar ty name = { dname = name; ty; shape = [] }
+let real name = scalar Types.TReal name
+let integer name = scalar Types.TInt name
+let logical name = scalar Types.TBool name
+
+let array ty name shape = { dname = name; ty; shape }
+let real_arr name shape = array Types.TReal name shape
+let int_arr name shape = array Types.TInt name shape
+
+(* ---------- directives ---------- *)
+
+let block = Block
+let cyclic = Cyclic
+let block_cyclic k = Block_cyclic k
+let star = Star
+
+let processors grid extents =
+  Processors { grid; extents = List.map (fun n -> Int n) extents }
+
+let distribute ?onto array fmts = Distribute { array; fmts; onto }
+
+(** [align_dim d] = the alignee's [d]-th (0-based) dummy, identity. *)
+let align_dim d = A_dim { dum = d; stride = 1; offset = 0 }
+
+(** [align_dim_off d c] = alignee dummy [d] shifted by [c]. *)
+let align_dim_off d c = A_dim { dum = d; stride = 1; offset = c }
+
+let align_const c = A_const c
+let align_star = A_star
+
+let align alignee target subs = Align { alignee; target; subs }
+
+(** [align_identity b a r] aligns rank-[r] array [b] identically with [a]:
+    [ALIGN b(i1..ir) WITH a(i1..ir)]. *)
+let align_identity alignee target r =
+  align alignee target (List.init r align_dim)
+
+(* ---------- program ---------- *)
+
+let program ?(params = []) ?(decls = []) ?(directives = []) pname body =
+  { pname; params; decls; directives; body }

@@ -1,0 +1,126 @@
+(** Combinator DSL for constructing kernel-language programs in OCaml —
+    used by the benchmark generators and tests.  Note that the arithmetic
+    and comparison operators are shadowed to build {!Ast.expr} values;
+    open the module locally. *)
+
+open Ast
+
+(** {2 Expressions} *)
+
+val int : int -> expr
+
+(** Real literal ([real] is the declaration combinator below). *)
+val rlit : float -> expr
+
+val bool : bool -> expr
+val var : string -> expr
+val arr : string -> expr list -> expr
+
+(** [a $. subs] builds an array reference; sugar for {!arr}. *)
+val ( $. ) : string -> expr list -> expr
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( ** ) : expr -> expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( && ) : expr -> expr -> expr
+val ( || ) : expr -> expr -> expr
+val neg : expr -> expr
+val not_ : expr -> expr
+val abs_ : expr -> expr
+val sqrt_ : expr -> expr
+val exp_ : expr -> expr
+val log_ : expr -> expr
+val sign_ : expr -> expr
+val min_ : expr -> expr -> expr
+val max_ : expr -> expr -> expr
+val mod_ : expr -> expr -> expr
+
+(** {2 Statements} *)
+
+val assign_var : string -> expr -> stmt
+val assign_arr : string -> expr list -> expr -> stmt
+
+(** [lhs <-- rhs] where [lhs] is a [Var] or [Arr] expression.
+    @raise Invalid_argument otherwise. *)
+val ( <-- ) : expr -> expr -> stmt
+
+val if_ : expr -> stmt list -> stmt list -> stmt
+val if_then : expr -> stmt list -> stmt
+val exit_ : ?name:string -> unit -> stmt
+val cycle : ?name:string -> unit -> stmt
+
+val do_ :
+  ?step:expr ->
+  ?independent:bool ->
+  ?new_vars:string list ->
+  ?name:string ->
+  string ->
+  expr ->
+  expr ->
+  stmt list ->
+  stmt
+
+(** An [INDEPENDENT, NEW(vars)] loop. *)
+val indep_do :
+  ?step:expr ->
+  ?new_vars:string list ->
+  ?name:string ->
+  string ->
+  expr ->
+  expr ->
+  stmt list ->
+  stmt
+
+(** {2 Declarations} *)
+
+(** [lo -- hi] builds dimension bounds. *)
+val ( -- ) : int -> int -> Types.bounds
+
+val scalar : Types.elt_type -> string -> decl
+val real : string -> decl
+val integer : string -> decl
+val logical : string -> decl
+val array : Types.elt_type -> string -> Types.shape -> decl
+val real_arr : string -> Types.shape -> decl
+val int_arr : string -> Types.shape -> decl
+
+(** {2 Directives} *)
+
+val block : dist_format
+val cyclic : dist_format
+val block_cyclic : int -> dist_format
+val star : dist_format
+val processors : string -> int list -> directive
+val distribute : ?onto:string -> string -> dist_format list -> directive
+
+(** [align_dim d]: the alignee's [d]-th (0-based) dummy, identity. *)
+val align_dim : int -> align_sub
+
+(** [align_dim_off d c]: alignee dummy [d] shifted by [c]. *)
+val align_dim_off : int -> int -> align_sub
+
+val align_const : int -> align_sub
+val align_star : align_sub
+val align : string -> string -> align_sub list -> directive
+
+(** [align_identity b a r]: align rank-[r] array [b] identically with
+    [a]. *)
+val align_identity : string -> string -> int -> directive
+
+(** {2 Programs} *)
+
+val program :
+  ?params:(string * int) list ->
+  ?decls:decl list ->
+  ?directives:directive list ->
+  string ->
+  stmt list ->
+  program

@@ -1,0 +1,277 @@
+(** Hand-written lexer for the kernel language.
+
+    Newlines are significant (Fortran statements are line-based) and are
+    emitted as {!Token.NEWLINE}.  Plain [!] comments run to end of line;
+    [!hpf$] introduces a directive whose remaining tokens are lexed
+    normally after an {!Token.HPF} marker. *)
+
+type token =
+  | IDENT of string
+  | INT_LIT of int
+  | REAL_LIT of float
+  | TRUE
+  | FALSE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW  (** [**] *)
+  | EQEQ
+  | NEQ  (** [/=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ASSIGN  (** [=] *)
+  | COLON
+  | DOLLAR of int  (** [$k]: positional alignee dummy in ALIGN subs *)
+  | HPF  (** start of a [!hpf$] directive *)
+  | NEWLINE
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | REAL_LIT f -> Printf.sprintf "real %g" f
+  | TRUE -> ".true."
+  | FALSE -> ".false."
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | POW -> "**"
+  | EQEQ -> "=="
+  | NEQ -> "/="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | AND -> ".and."
+  | OR -> ".or."
+  | NOT -> ".not."
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | COLON -> ":"
+  | DOLLAR k -> Printf.sprintf "$%d" k
+  | HPF -> "!hpf$"
+  | NEWLINE -> "<newline>"
+  | EOF -> "<eof>"
+
+exception Lex_error of Loc.t * string
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let create ?(file = "<string>") src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc lx =
+  Loc.make ~file:lx.file ~line:lx.line ~col:(lx.pos - lx.bol + 1)
+
+let error lx msg = raise (Lex_error (loc lx, msg))
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek_char2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1]
+  else None
+
+let advance lx = lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let read_while lx pred =
+  let start = lx.pos in
+  let rec go () =
+    match peek_char lx with
+    | Some c when pred c ->
+        advance lx;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub lx.src start (lx.pos - start)
+
+(* Dotted words: .and. .or. .not. .true. .false. *)
+let read_dotted lx =
+  advance lx (* consume '.' *);
+  let word = read_while lx is_alpha in
+  (match peek_char lx with
+  | Some '.' -> advance lx
+  | _ -> error lx (Printf.sprintf "unterminated dotted word .%s" word));
+  match String.lowercase_ascii word with
+  | "and" -> AND
+  | "or" -> OR
+  | "not" -> NOT
+  | "true" -> TRUE
+  | "false" -> FALSE
+  | w -> error lx (Printf.sprintf "unknown dotted word .%s." w)
+
+let read_number lx =
+  let intpart = read_while lx is_digit in
+  let is_real = ref false in
+  let frac =
+    match (peek_char lx, peek_char2 lx) with
+    | Some '.', Some c when is_digit c ->
+        is_real := true;
+        advance lx;
+        "." ^ read_while lx is_digit
+    | Some '.', (Some ' ' | Some '\n' | None | Some ')' | Some ',') ->
+        (* "1." style real *)
+        is_real := true;
+        advance lx;
+        "."
+    | _ -> ""
+  in
+  let expo =
+    match peek_char lx with
+    | Some ('e' | 'E' | 'd' | 'D') -> (
+        (* exponent only if followed by digits or sign+digits *)
+        let save = lx.pos in
+        advance lx;
+        let sign =
+          match peek_char lx with
+          | Some (('+' | '-') as s) ->
+              advance lx;
+              String.make 1 s
+          | _ -> ""
+        in
+        let digits = read_while lx is_digit in
+        if digits = "" then begin
+          lx.pos <- save;
+          ""
+        end
+        else begin
+          is_real := true;
+          "e" ^ sign ^ digits
+        end)
+    | _ -> ""
+  in
+  if !is_real then REAL_LIT (float_of_string (intpart ^ frac ^ expo))
+  else INT_LIT (int_of_string intpart)
+
+(** Read the next token. *)
+let rec next lx : token * Loc.t =
+  let l = loc lx in
+  match peek_char lx with
+  | None -> (EOF, l)
+  | Some ' ' | Some '\t' | Some '\r' ->
+      advance lx;
+      next lx
+  | Some '\n' ->
+      advance lx;
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos;
+      (NEWLINE, l)
+  | Some '!' ->
+      (* directive or comment *)
+      let rest_len = String.length lx.src - lx.pos in
+      let is_hpf =
+        rest_len >= 5
+        && String.lowercase_ascii (String.sub lx.src lx.pos 5) = "!hpf$"
+      in
+      if is_hpf then begin
+        lx.pos <- lx.pos + 5;
+        (HPF, l)
+      end
+      else begin
+        (* skip to end of line *)
+        let _ = read_while lx (fun c -> c <> '\n') in
+        next lx
+      end
+  | Some c when is_digit c -> (read_number lx, l)
+  | Some '.' -> (
+      match peek_char2 lx with
+      | Some c when is_digit c ->
+          (* .5 style real *)
+          advance lx;
+          let digits = read_while lx is_digit in
+          (REAL_LIT (float_of_string ("0." ^ digits)), l)
+      | _ -> (read_dotted lx, l))
+  | Some c when is_alpha c ->
+      let word = read_while lx is_alnum in
+      (IDENT (String.lowercase_ascii word), l)
+  | Some '$' ->
+      advance lx;
+      let digits = read_while lx is_digit in
+      if digits = "" then error lx "expected digits after $"
+      else (DOLLAR (int_of_string digits), l)
+  | Some '+' ->
+      advance lx;
+      (PLUS, l)
+  | Some '-' ->
+      advance lx;
+      (MINUS, l)
+  | Some '*' ->
+      advance lx;
+      if peek_char lx = Some '*' then begin
+        advance lx;
+        (POW, l)
+      end
+      else (STAR, l)
+  | Some '/' ->
+      advance lx;
+      if peek_char lx = Some '=' then begin
+        advance lx;
+        (NEQ, l)
+      end
+      else (SLASH, l)
+  | Some '=' ->
+      advance lx;
+      if peek_char lx = Some '=' then begin
+        advance lx;
+        (EQEQ, l)
+      end
+      else (ASSIGN, l)
+  | Some '<' ->
+      advance lx;
+      if peek_char lx = Some '=' then begin
+        advance lx;
+        (LE, l)
+      end
+      else (LT, l)
+  | Some '>' ->
+      advance lx;
+      if peek_char lx = Some '=' then begin
+        advance lx;
+        (GE, l)
+      end
+      else (GT, l)
+  | Some '(' ->
+      advance lx;
+      (LPAREN, l)
+  | Some ')' ->
+      advance lx;
+      (RPAREN, l)
+  | Some ',' ->
+      advance lx;
+      (COMMA, l)
+  | Some ':' ->
+      advance lx;
+      (COLON, l)
+  | Some c -> error lx (Printf.sprintf "unexpected character %C" c)
+
+(** Lex the whole input into a token list (with locations), ending in
+    [EOF]. *)
+let tokenize ?file src : (token * Loc.t) list =
+  let lx = create ?file src in
+  let rec go acc =
+    let t, l = next lx in
+    if t = EOF then List.rev ((t, l) :: acc) else go ((t, l) :: acc)
+  in
+  go []

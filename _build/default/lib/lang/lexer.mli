@@ -1,0 +1,48 @@
+(** Hand-written lexer for the kernel language.  Newlines are
+    significant (statements are line-based); [!] comments run to end of
+    line; [!hpf$] introduces a directive. *)
+
+type token =
+  | IDENT of string  (** lowercased *)
+  | INT_LIT of int
+  | REAL_LIT of float
+  | TRUE
+  | FALSE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ASSIGN
+  | COLON
+  | DOLLAR of int  (** [$k]: positional alignee dummy in ALIGN subs *)
+  | HPF  (** start of a [!hpf$] directive *)
+  | NEWLINE
+  | EOF
+
+val token_to_string : token -> string
+
+exception Lex_error of Loc.t * string
+
+type t
+
+val create : ?file:string -> string -> t
+
+(** Read the next token with its location.
+    @raise Lex_error on invalid input. *)
+val next : t -> token * Loc.t
+
+(** Lex the whole input (ends in [EOF]). *)
+val tokenize : ?file:string -> string -> (token * Loc.t) list

@@ -1,0 +1,21 @@
+(** Source locations for the kernel-language front end.
+
+    Locations are tracked by the lexer and attached to parse errors and
+    semantic diagnostics.  AST nodes themselves do not carry locations to
+    keep pattern matching in the analysis passes lightweight; diagnostics
+    that need positions are emitted while the textual form is still at
+    hand. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+
+let to_string l = Fmt.str "%a" pp l

@@ -1,0 +1,9 @@
+(** Source locations (file, 1-based line/column) for front-end
+    diagnostics. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+val make : file:string -> line:int -> col:int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

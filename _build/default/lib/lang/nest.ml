@@ -1,0 +1,105 @@
+(** Loop-nest structure: enclosing-loop context for every statement.
+
+    The paper's analyses constantly ask "what loops surround this
+    statement, outermost first?" and "what is the nesting level of loop
+    [l]?".  Nesting levels follow the paper's convention: the outermost
+    loop of a nest is level 1, level 0 denotes "outside all loops". *)
+
+open Ast
+
+type loop_info = {
+  loop_sid : stmt_id;
+  loop : do_loop;
+  level : int;  (** 1-based nesting depth *)
+}
+
+type t = {
+  enclosing : (stmt_id, loop_info list) Hashtbl.t;
+      (** per statement: enclosing loops, outermost first; for a [Do]
+          statement this does {e not} include the loop itself *)
+  loops : loop_info list;  (** all loops in preorder *)
+  parent : (stmt_id, stmt_id) Hashtbl.t;
+      (** innermost enclosing structured statement (loop or if) *)
+}
+
+let build (p : program) : t =
+  let enclosing = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  let loops = ref [] in
+  let rec go ctx parent_sid stmts =
+    List.iter
+      (fun s ->
+        Hashtbl.replace enclosing s.sid (List.rev ctx);
+        (match parent_sid with
+        | Some psid -> Hashtbl.replace parent s.sid psid
+        | None -> ());
+        match s.node with
+        | Assign _ | Exit _ | Cycle _ -> ()
+        | If (_, t, e) ->
+            go ctx (Some s.sid) t;
+            go ctx (Some s.sid) e
+        | Do d ->
+            let info =
+              { loop_sid = s.sid; loop = d; level = List.length ctx + 1 }
+            in
+            loops := info :: !loops;
+            go (info :: ctx) (Some s.sid) d.body)
+      stmts
+  in
+  go [] None p.body;
+  { enclosing; loops = List.rev !loops; parent }
+
+(** Enclosing loops of a statement, outermost first. *)
+let enclosing_loops (t : t) (sid : stmt_id) : loop_info list =
+  match Hashtbl.find_opt t.enclosing sid with Some l -> l | None -> []
+
+(** Nesting level of a statement = number of enclosing loops. *)
+let level (t : t) (sid : stmt_id) : int =
+  List.length (enclosing_loops t sid)
+
+(** The loop at nesting level [lv] (1-based) around statement [sid]. *)
+let loop_at_level (t : t) (sid : stmt_id) (lv : int) : loop_info option =
+  List.nth_opt (enclosing_loops t sid) (lv - 1)
+
+(** The innermost enclosing loop of [sid], if any. *)
+let innermost_loop (t : t) (sid : stmt_id) : loop_info option =
+  match List.rev (enclosing_loops t sid) with [] -> None | l :: _ -> Some l
+
+let find_loop (t : t) (loop_sid : stmt_id) : loop_info option =
+  List.find_opt (fun li -> li.loop_sid = loop_sid) t.loops
+
+(** Does the loop with statement id [loop_sid] enclose statement [sid]?
+    True also when [sid] {e is} the loop's own header statement?  No: a
+    loop does not enclose itself. *)
+let loop_encloses (t : t) ~(loop_sid : stmt_id) (sid : stmt_id) : bool =
+  List.exists (fun li -> li.loop_sid = loop_sid) (enclosing_loops t sid)
+
+(** Indices of the loops enclosing [sid], outermost first. *)
+let enclosing_indices (t : t) (sid : stmt_id) : string list =
+  List.map (fun li -> li.loop.index) (enclosing_loops t sid)
+
+(** Innermost common enclosing loop of two statements, if any. *)
+let common_loop (t : t) (a : stmt_id) (b : stmt_id) : loop_info option =
+  let la = enclosing_loops t a and lb = enclosing_loops t b in
+  let rec go last = function
+    | x :: xs, y :: ys when x.loop_sid = y.loop_sid -> go (Some x) (xs, ys)
+    | _ -> last
+  in
+  go None (la, lb)
+
+(** Number of common enclosing loops of two statements. *)
+let common_level (t : t) (a : stmt_id) (b : stmt_id) : int =
+  match common_loop t a b with Some li -> li.level | None -> 0
+
+(** Does loop variable [v] belong to a loop enclosing [sid]? *)
+let is_enclosing_index (t : t) (sid : stmt_id) (v : string) : bool =
+  List.mem v (enclosing_indices t sid)
+
+(** Level of the loop with index variable [v] around [sid] (0 if none). *)
+let index_level (t : t) (sid : stmt_id) (v : string) : int =
+  let rec go n = function
+    | [] -> 0
+    | li :: _ when String.equal li.loop.index v -> n
+    | _ :: tl -> go (n + 1) tl
+  in
+  go 1 (enclosing_loops t sid)

@@ -1,0 +1,782 @@
+(** Recursive-descent parser for the kernel language.
+
+    Grammar (Fortran-flavoured, line oriented):
+
+    {v
+    program   ::= 'program' IDENT NL { header-item } { stmt } 'end' ['program'] NL*
+    header    ::= 'parameter' IDENT '=' INT NL
+                | type IDENT [shape] { ',' IDENT [shape] } NL
+                | '!hpf$' directive NL
+    type      ::= 'real' | 'integer' | 'logical'
+    shape     ::= '(' bounds { ',' bounds } ')'
+    bounds    ::= INT [':' INT]
+    directive ::= 'processors' IDENT '(' expr { ',' expr } ')'
+                | 'distribute' IDENT '(' fmt { ',' fmt } ')' ['onto' IDENT]
+                | 'distribute' '(' fmt { ',' fmt } ')' ['onto' IDENT] '::' IDENT { ',' IDENT }
+                | 'align' IDENT '(' dummies ')' 'with' IDENT '(' asubs ')'
+                | 'align' '(' dummies ')' 'with' IDENT '(' asubs ')' '::' IDENT { ',' IDENT }
+                | 'independent' [',' 'new' '(' IDENT { ',' IDENT } ')']
+    stmt      ::= lhs '=' expr NL
+                | 'if' '(' expr ')' 'then' NL { stmt } ['else' NL { stmt }] 'end' 'if' NL
+                | 'if' '(' expr ')' simple-stmt NL
+                | [IDENT ':'] 'do' IDENT '=' expr ',' expr [',' expr] NL { stmt } 'end' 'do' NL
+                | 'exit' [IDENT] NL | 'cycle' [IDENT] NL
+    v}
+
+    The [!hpf$ independent] directive may appear in the statement part and
+    attaches to the next [do] loop. *)
+
+open Ast
+
+exception Parse_error of Loc.t * string
+
+type t = {
+  toks : (Lexer.token * Loc.t) array;
+  mutable pos : int;
+  mutable pending_independent : (bool * string list) option;
+      (** set by a [!hpf$ independent] directive, consumed by the next DO *)
+}
+
+let create toks = { toks = Array.of_list toks; pos = 0; pending_independent = None }
+
+let peek ps = fst ps.toks.(ps.pos)
+let peek_loc ps = snd ps.toks.(ps.pos)
+
+let peek2 ps =
+  if ps.pos + 1 < Array.length ps.toks then fst ps.toks.(ps.pos + 1)
+  else Lexer.EOF
+
+let advance ps = if ps.pos < Array.length ps.toks - 1 then ps.pos <- ps.pos + 1
+
+let error ps msg = raise (Parse_error (peek_loc ps, msg))
+
+let expect ps tok =
+  if peek ps = tok then advance ps
+  else
+    error ps
+      (Printf.sprintf "expected %s but found %s"
+         (Lexer.token_to_string tok)
+         (Lexer.token_to_string (peek ps)))
+
+let expect_ident ps =
+  match peek ps with
+  | Lexer.IDENT s ->
+      advance ps;
+      s
+  | t ->
+      error ps
+        (Printf.sprintf "expected identifier but found %s"
+           (Lexer.token_to_string t))
+
+let expect_keyword ps kw =
+  match peek ps with
+  | Lexer.IDENT s when s = kw -> advance ps
+  | t ->
+      error ps
+        (Printf.sprintf "expected %S but found %s" kw
+           (Lexer.token_to_string t))
+
+let at_keyword ps kw =
+  match peek ps with Lexer.IDENT s -> s = kw | _ -> false
+
+let expect_int ps =
+  match peek ps with
+  | Lexer.INT_LIT n ->
+      advance ps;
+      n
+  | Lexer.MINUS -> (
+      advance ps;
+      match peek ps with
+      | Lexer.INT_LIT n ->
+          advance ps;
+          -n
+      | t ->
+          error ps
+            (Printf.sprintf "expected integer but found %s"
+               (Lexer.token_to_string t)))
+  | t ->
+      error ps
+        (Printf.sprintf "expected integer but found %s"
+           (Lexer.token_to_string t))
+
+let skip_newlines ps =
+  while peek ps = Lexer.NEWLINE do
+    advance ps
+  done
+
+let expect_newline ps =
+  match peek ps with
+  | Lexer.NEWLINE | Lexer.EOF -> skip_newlines ps
+  | t ->
+      error ps
+        (Printf.sprintf "expected end of line but found %s"
+           (Lexer.token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                     *)
+(* ------------------------------------------------------------------ *)
+
+let intrinsic1 = function
+  | "abs" -> Some Abs
+  | "sqrt" -> Some Sqrt
+  | "exp" -> Some Exp
+  | "log" -> Some Log
+  | "sign" -> Some Sign
+  | _ -> None
+
+let intrinsic2 = function
+  | "min" -> Some Min2
+  | "max" -> Some Max2
+  | "mod" -> Some Mod2
+  | _ -> None
+
+let rec parse_expr ps = parse_binary ps 1
+
+and parse_binary ps min_prec =
+  let lhs = ref (parse_unary ps) in
+  let continue_ = ref true in
+  while !continue_ do
+    let op_prec =
+      match peek ps with
+      | Lexer.OR -> Some (Or, 1)
+      | Lexer.AND -> Some (And, 2)
+      | Lexer.EQEQ -> Some (Eq, 3)
+      | Lexer.NEQ -> Some (Ne, 3)
+      | Lexer.LT -> Some (Lt, 3)
+      | Lexer.LE -> Some (Le, 3)
+      | Lexer.GT -> Some (Gt, 3)
+      | Lexer.GE -> Some (Ge, 3)
+      | Lexer.PLUS -> Some (Add, 4)
+      | Lexer.MINUS -> Some (Sub, 4)
+      | Lexer.STAR -> Some (Mul, 5)
+      | Lexer.SLASH -> Some (Div, 5)
+      | Lexer.POW -> Some (Pow, 6)
+      | _ -> None
+    in
+    match op_prec with
+    | Some (op, prec) when prec >= min_prec ->
+        advance ps;
+        (* all our binary ops associate left *)
+        let rhs = parse_binary ps (prec + 1) in
+        lhs := Bin (op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary ps =
+  match peek ps with
+  | Lexer.MINUS ->
+      advance ps;
+      Un (Neg, parse_unary ps)
+  | Lexer.NOT ->
+      advance ps;
+      Un (Not, parse_unary ps)
+  | Lexer.PLUS ->
+      advance ps;
+      parse_unary ps
+  | _ -> parse_primary ps
+
+and parse_primary ps =
+  match peek ps with
+  | Lexer.INT_LIT n ->
+      advance ps;
+      Int n
+  | Lexer.REAL_LIT f ->
+      advance ps;
+      Real f
+  | Lexer.TRUE ->
+      advance ps;
+      Bool true
+  | Lexer.FALSE ->
+      advance ps;
+      Bool false
+  | Lexer.LPAREN ->
+      advance ps;
+      let e = parse_expr ps in
+      expect ps Lexer.RPAREN;
+      e
+  | Lexer.DOLLAR k ->
+      (* positional alignee dummy, only meaningful inside ALIGN subs *)
+      advance ps;
+      Var (Printf.sprintf "$%d" k)
+  | Lexer.IDENT name -> (
+      advance ps;
+      match peek ps with
+      | Lexer.LPAREN -> (
+          advance ps;
+          let args = parse_expr_list ps in
+          expect ps Lexer.RPAREN;
+          match (intrinsic1 name, intrinsic2 name, args) with
+          | Some op, _, [ a ] -> Un (op, a)
+          | _, Some op, [ a; b ] -> Intrin (op, a, b)
+          | Some _, _, _ ->
+              error ps (Printf.sprintf "intrinsic %s takes 1 argument" name)
+          | _, Some _, _ ->
+              error ps (Printf.sprintf "intrinsic %s takes 2 arguments" name)
+          | None, None, _ -> Arr (name, args))
+      | _ -> Var name)
+  | t ->
+      error ps
+        (Printf.sprintf "expected expression but found %s"
+           (Lexer.token_to_string t))
+
+and parse_expr_list ps =
+  let e = parse_expr ps in
+  if peek ps = Lexer.COMMA then begin
+    advance ps;
+    e :: parse_expr_list ps
+  end
+  else [ e ]
+
+(* ------------------------------------------------------------------ *)
+(* Directives                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ident_list ps =
+  let rec go acc =
+    let id = expect_ident ps in
+    if peek ps = Lexer.COMMA then begin
+      advance ps;
+      go (id :: acc)
+    end
+    else List.rev (id :: acc)
+  in
+  go []
+
+let parse_dist_format ps =
+  match peek ps with
+  | Lexer.STAR ->
+      advance ps;
+      Star
+  | Lexer.IDENT "block" ->
+      advance ps;
+      Block
+  | Lexer.IDENT "cyclic" ->
+      advance ps;
+      if peek ps = Lexer.LPAREN then begin
+        advance ps;
+        let k = expect_int ps in
+        expect ps Lexer.RPAREN;
+        Block_cyclic k
+      end
+      else Cyclic
+  | t ->
+      error ps
+        (Printf.sprintf "expected distribution format but found %s"
+           (Lexer.token_to_string t))
+
+let parse_fmt_list ps =
+  expect ps Lexer.LPAREN;
+  let rec go acc =
+    let f = parse_dist_format ps in
+    if peek ps = Lexer.COMMA then begin
+      advance ps;
+      go (f :: acc)
+    end
+    else List.rev (f :: acc)
+  in
+  let fmts = go [] in
+  expect ps Lexer.RPAREN;
+  fmts
+
+(* Alignee dummies: identifiers or $k positional markers. *)
+let parse_dummies ps =
+  expect ps Lexer.LPAREN;
+  let rec go acc k =
+    let d =
+      match peek ps with
+      | Lexer.IDENT name ->
+          advance ps;
+          name
+      | Lexer.DOLLAR n ->
+          advance ps;
+          Printf.sprintf "$%d" n
+      | Lexer.STAR ->
+          (* collapsed alignee dim: unnamed *)
+          advance ps;
+          Printf.sprintf "$unused%d" k
+      | t ->
+          error ps
+            (Printf.sprintf "expected alignment dummy but found %s"
+               (Lexer.token_to_string t))
+    in
+    if peek ps = Lexer.COMMA then begin
+      advance ps;
+      go (d :: acc) (k + 1)
+    end
+    else List.rev (d :: acc)
+  in
+  let ds = go [] 0 in
+  expect ps Lexer.RPAREN;
+  ds
+
+(* Convert an affine expression over dummies into an align_sub. *)
+let align_sub_of_expr ps dummies (e : expr) : align_sub =
+  (* Positional $k dummies may appear without being declared in an alignee
+     dummy list; add them on the fly. *)
+  let dollar_vars =
+    List.filter
+      (fun v -> String.length v > 1 && v.[0] = '$' && not (List.mem v dummies))
+      (expr_vars e)
+  in
+  let dummies = dummies @ dollar_vars in
+  (* compute (coeffs per dummy, constant) *)
+  let n = List.length dummies in
+  let index_of d =
+    let rec go i = function
+      | [] -> None
+      | x :: _ when String.equal x d -> Some i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 dummies
+  in
+  let rec affine e : (int array * int) option =
+    match e with
+    | Int c -> Some (Array.make n 0, c)
+    | Var v -> (
+        match index_of v with
+        | Some i ->
+            let a = Array.make n 0 in
+            a.(i) <- 1;
+            Some (a, 0)
+        | None -> None)
+    | Bin (Add, x, y) -> (
+        match (affine x, affine y) with
+        | Some (ax, cx), Some (ay, cy) ->
+            Some (Array.init n (fun i -> ax.(i) + ay.(i)), cx + cy)
+        | _ -> None)
+    | Bin (Sub, x, y) -> (
+        match (affine x, affine y) with
+        | Some (ax, cx), Some (ay, cy) ->
+            Some (Array.init n (fun i -> ax.(i) - ay.(i)), cx - cy)
+        | _ -> None)
+    | Bin (Mul, Int k, y) | Bin (Mul, y, Int k) -> (
+        match affine y with
+        | Some (ay, cy) ->
+            Some (Array.map (fun c -> k * c) ay, k * cy)
+        | None -> None)
+    | Un (Neg, x) -> (
+        match affine x with
+        | Some (ax, cx) -> Some (Array.map (fun c -> -c) ax, -cx)
+        | None -> None)
+    | _ -> None
+  in
+  (* dummies beginning with '$' that look like $k map to position k *)
+  let dum_position i =
+    let name = List.nth dummies i in
+    if String.length name > 1 && name.[0] = '$' then
+      match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+      | Some k -> k
+      | None -> i
+    else i
+  in
+  match affine e with
+  | None -> error ps "alignment subscript must be affine in one dummy"
+  | Some (coeffs, const) -> (
+      let nonzero =
+        Array.to_list coeffs
+        |> List.mapi (fun i c -> (i, c))
+        |> List.filter (fun (_, c) -> c <> 0)
+      in
+      match nonzero with
+      | [] -> A_const const
+      | [ (i, c) ] -> A_dim { dum = dum_position i; stride = c; offset = const }
+      | _ -> error ps "alignment subscript uses more than one dummy")
+
+let parse_align_subs ps dummies =
+  expect ps Lexer.LPAREN;
+  let rec go acc =
+    let sub =
+      match peek ps with
+      | Lexer.STAR ->
+          advance ps;
+          A_star
+      | Lexer.DOLLAR k ->
+          (* allow "$k [+|- c]" shorthand directly *)
+          advance ps;
+          let off =
+            match peek ps with
+            | Lexer.PLUS ->
+                advance ps;
+                expect_int ps
+            | Lexer.MINUS ->
+                advance ps;
+                -(expect_int ps)
+            | _ -> 0
+          in
+          A_dim { dum = k; stride = 1; offset = off }
+      | _ ->
+          let e = parse_expr ps in
+          align_sub_of_expr ps dummies e
+    in
+    if peek ps = Lexer.COMMA then begin
+      advance ps;
+      go (sub :: acc)
+    end
+    else List.rev (sub :: acc)
+  in
+  let subs = go [] in
+  expect ps Lexer.RPAREN;
+  subs
+
+(* Parse a directive after the !hpf$ marker.  Returns global directives;
+   INDEPENDENT is recorded in [ps.pending_independent] and returns []. *)
+let parse_directive ps : directive list =
+  match peek ps with
+  | Lexer.IDENT "processors" ->
+      advance ps;
+      let grid = expect_ident ps in
+      expect ps Lexer.LPAREN;
+      let extents = parse_expr_list ps in
+      expect ps Lexer.RPAREN;
+      [ Processors { grid; extents } ]
+  | Lexer.IDENT "distribute" ->
+      advance ps;
+      if peek ps = Lexer.LPAREN then begin
+        (* distribute (fmts) [onto g] :: a, b *)
+        let fmts = parse_fmt_list ps in
+        let onto =
+          if at_keyword ps "onto" then begin
+            advance ps;
+            Some (expect_ident ps)
+          end
+          else None
+        in
+        expect ps Lexer.COLON;
+        expect ps Lexer.COLON;
+        let arrays = parse_ident_list ps in
+        List.map (fun array -> Distribute { array; fmts; onto }) arrays
+      end
+      else begin
+        let array = expect_ident ps in
+        let fmts = parse_fmt_list ps in
+        let onto =
+          if at_keyword ps "onto" then begin
+            advance ps;
+            Some (expect_ident ps)
+          end
+          else None
+        in
+        [ Distribute { array; fmts; onto } ]
+      end
+  | Lexer.IDENT "align" ->
+      advance ps;
+      if peek ps = Lexer.LPAREN then begin
+        (* align (dummies) with target(subs) :: a, b *)
+        let dummies = parse_dummies ps in
+        expect_keyword ps "with";
+        let target = expect_ident ps in
+        let subs = parse_align_subs ps dummies in
+        expect ps Lexer.COLON;
+        expect ps Lexer.COLON;
+        let arrays = parse_ident_list ps in
+        List.map (fun alignee -> Align { alignee; target; subs }) arrays
+      end
+      else begin
+        let alignee = expect_ident ps in
+        let dummies =
+          if peek ps = Lexer.LPAREN then parse_dummies ps else []
+        in
+        expect_keyword ps "with";
+        let target = expect_ident ps in
+        let subs =
+          if peek ps = Lexer.LPAREN then parse_align_subs ps dummies
+          else []
+        in
+        [ Align { alignee; target; subs } ]
+      end
+  | Lexer.IDENT "independent" ->
+      advance ps;
+      let new_vars =
+        if peek ps = Lexer.COMMA then begin
+          advance ps;
+          expect_keyword ps "new";
+          expect ps Lexer.LPAREN;
+          let vs = parse_ident_list ps in
+          expect ps Lexer.RPAREN;
+          vs
+        end
+        else []
+      in
+      ps.pending_independent <- Some (true, new_vars);
+      []
+  | Lexer.IDENT "new" ->
+      (* standalone NEW(...) treated as independent+new *)
+      advance ps;
+      expect ps Lexer.LPAREN;
+      let vs = parse_ident_list ps in
+      expect ps Lexer.RPAREN;
+      ps.pending_independent <- Some (true, vs);
+      []
+  | t ->
+      error ps
+        (Printf.sprintf "unknown !hpf$ directive starting with %s"
+           (Lexer.token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_stmt_start ps =
+  match peek ps with
+  | Lexer.IDENT "end" -> false
+  | Lexer.IDENT "else" -> false
+  | Lexer.IDENT _ | Lexer.HPF -> true
+  | _ -> false
+
+let rec parse_stmts ps : stmt list =
+  skip_newlines ps;
+  if is_stmt_start ps then
+    match parse_stmt ps with
+    | Some s -> s :: parse_stmts ps
+    | None -> parse_stmts ps
+  else []
+
+(* Returns None for directive-only lines (e.g. independent). *)
+and parse_stmt ps : stmt option =
+  match peek ps with
+  | Lexer.HPF ->
+      advance ps;
+      let ds = parse_directive ps in
+      if ds <> [] then
+        error ps "mapping directives must appear before executable statements";
+      expect_newline ps;
+      None
+  | Lexer.IDENT "if" -> Some (parse_if ps)
+  | Lexer.IDENT "do" -> Some (parse_do ps None)
+  | Lexer.IDENT "exit" ->
+      advance ps;
+      let name =
+        match peek ps with
+        | Lexer.IDENT n ->
+            advance ps;
+            Some n
+        | _ -> None
+      in
+      expect_newline ps;
+      Some (mk (Exit name))
+  | Lexer.IDENT "cycle" ->
+      advance ps;
+      let name =
+        match peek ps with
+        | Lexer.IDENT n ->
+            advance ps;
+            Some n
+        | _ -> None
+      in
+      expect_newline ps;
+      Some (mk (Cycle name))
+  | Lexer.IDENT name when peek2 ps = Lexer.COLON ->
+      (* named loop *)
+      advance ps;
+      advance ps;
+      expect_keyword ps "do" |> ignore;
+      (* un-consume 'do': parse_do expects to consume it *)
+      ps.pos <- ps.pos - 1;
+      Some (parse_do ps (Some name))
+  | Lexer.IDENT _ -> Some (parse_assign ps)
+  | t ->
+      error ps
+        (Printf.sprintf "expected statement but found %s"
+           (Lexer.token_to_string t))
+
+and parse_assign ps =
+  let name = expect_ident ps in
+  let lhs =
+    if peek ps = Lexer.LPAREN then begin
+      advance ps;
+      let subs = parse_expr_list ps in
+      expect ps Lexer.RPAREN;
+      LArr (name, subs)
+    end
+    else LVar name
+  in
+  expect ps Lexer.ASSIGN;
+  let rhs = parse_expr ps in
+  expect_newline ps;
+  mk (Assign (lhs, rhs))
+
+and parse_if ps =
+  expect_keyword ps "if";
+  expect ps Lexer.LPAREN;
+  let cond = parse_expr ps in
+  expect ps Lexer.RPAREN;
+  if at_keyword ps "then" then begin
+    advance ps;
+    expect_newline ps;
+    let then_branch = parse_stmts ps in
+    skip_newlines ps;
+    let else_branch =
+      if at_keyword ps "else" then begin
+        advance ps;
+        expect_newline ps;
+        parse_stmts ps
+      end
+      else []
+    in
+    skip_newlines ps;
+    expect_keyword ps "end";
+    expect_keyword ps "if";
+    expect_newline ps;
+    mk (If (cond, then_branch, else_branch))
+  end
+  else begin
+    (* one-line if *)
+    match parse_stmt ps with
+    | Some s -> mk (If (cond, [ s ], []))
+    | None -> error ps "expected statement after one-line if"
+  end
+
+and parse_do ps loop_name =
+  let independent, new_vars =
+    match ps.pending_independent with
+    | Some (i, nv) ->
+        ps.pending_independent <- None;
+        (i, nv)
+    | None -> (false, [])
+  in
+  expect_keyword ps "do";
+  let index = expect_ident ps in
+  expect ps Lexer.ASSIGN;
+  let lo = parse_expr ps in
+  expect ps Lexer.COMMA;
+  let hi = parse_expr ps in
+  let step =
+    if peek ps = Lexer.COMMA then begin
+      advance ps;
+      parse_expr ps
+    end
+    else Int 1
+  in
+  expect_newline ps;
+  let body = parse_stmts ps in
+  skip_newlines ps;
+  expect_keyword ps "end";
+  expect_keyword ps "do";
+  expect_newline ps;
+  mk (Do { index; lo; hi; step; body; independent; new_vars; loop_name })
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and program                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_bounds ps : Types.bounds =
+  let a = expect_int ps in
+  if peek ps = Lexer.COLON then begin
+    advance ps;
+    let b = expect_int ps in
+    Types.bounds a b
+  end
+  else Types.bounds 1 a
+
+let parse_shape ps : Types.shape =
+  expect ps Lexer.LPAREN;
+  let rec go acc =
+    let b = parse_bounds ps in
+    if peek ps = Lexer.COMMA then begin
+      advance ps;
+      go (b :: acc)
+    end
+    else List.rev (b :: acc)
+  in
+  let s = go [] in
+  expect ps Lexer.RPAREN;
+  s
+
+let parse_decl_line ps ty : decl list =
+  let rec go acc =
+    let name = expect_ident ps in
+    let shape = if peek ps = Lexer.LPAREN then parse_shape ps else [] in
+    let d = { dname = name; ty; shape } in
+    if peek ps = Lexer.COMMA then begin
+      advance ps;
+      go (d :: acc)
+    end
+    else List.rev (d :: acc)
+  in
+  let ds = go [] in
+  expect_newline ps;
+  ds
+
+let parse_program ps : program =
+  skip_newlines ps;
+  expect_keyword ps "program";
+  let pname = expect_ident ps in
+  expect_newline ps;
+  let params = ref [] in
+  let decls = ref [] in
+  let directives = ref [] in
+  let rec header () =
+    skip_newlines ps;
+    match peek ps with
+    | Lexer.IDENT "parameter" ->
+        advance ps;
+        let name = expect_ident ps in
+        expect ps Lexer.ASSIGN;
+        let v = expect_int ps in
+        expect_newline ps;
+        params := (name, v) :: !params;
+        header ()
+    | Lexer.IDENT ("real" | "integer" | "logical") ->
+        let ty =
+          match peek ps with
+          | Lexer.IDENT "real" -> Types.TReal
+          | Lexer.IDENT "integer" -> Types.TInt
+          | _ -> Types.TBool
+        in
+        advance ps;
+        decls := !decls @ parse_decl_line ps ty;
+        header ()
+    | Lexer.HPF when peek2 ps <> Lexer.IDENT "independent"
+                     && peek2 ps <> Lexer.IDENT "new" ->
+        advance ps;
+        directives := !directives @ parse_directive ps;
+        expect_newline ps;
+        header ()
+    | _ -> ()
+  in
+  header ();
+  let body = parse_stmts ps in
+  skip_newlines ps;
+  expect_keyword ps "end";
+  if at_keyword ps "program" then advance ps;
+  (match peek ps with Lexer.IDENT _ -> advance ps | _ -> ());
+  skip_newlines ps;
+  {
+    pname;
+    params = List.rev !params;
+    decls = !decls;
+    directives = !directives;
+    body;
+  }
+
+(** Parse a complete program from a string.
+    @raise Lexer.Lex_error on lexical errors
+    @raise Parse_error on syntax errors *)
+let parse_string ?file src : program =
+  let toks = Lexer.tokenize ?file src in
+  let ps = create toks in
+  let p = parse_program ps in
+  skip_newlines ps;
+  (match peek ps with
+  | Lexer.EOF -> ()
+  | t ->
+      error ps
+        (Printf.sprintf "trailing input: %s" (Lexer.token_to_string t)));
+  p
+
+(** Parse a program from a file on disk. *)
+let parse_file path : program =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_string ~file:path src
+
+(** Parse a single statement block (for tests). *)
+let parse_stmts_string src : stmt list =
+  let toks = Lexer.tokenize src in
+  let ps = create toks in
+  let stmts = parse_stmts ps in
+  skip_newlines ps;
+  stmts

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the kernel language (Fortran-flavoured,
+    line-oriented; see the grammar comment in the implementation).
+
+    The [!hpf$ independent [, new(...)]] directive may appear among
+    executable statements and attaches to the next [do] loop; mapping
+    directives ([processors] / [distribute] / [align]) belong to the
+    header. *)
+
+open Ast
+
+exception Parse_error of Loc.t * string
+
+(** Parse a complete program from a string.
+    @param file name used in error locations.
+    @raise Lexer.Lex_error on lexical errors.
+    @raise Parse_error on syntax errors. *)
+val parse_string : ?file:string -> string -> program
+
+(** Parse a program from a file on disk. *)
+val parse_file : string -> program
+
+(** Parse a bare statement sequence (for tests). *)
+val parse_stmts_string : string -> stmt list

@@ -1,0 +1,178 @@
+(** Pretty-printer for the kernel language.
+
+    Output round-trips through {!Parser.parse_string} (tested by a qcheck
+    property), and is also the human-readable report format used by the
+    [phpfc] CLI. *)
+
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+  | Eq -> "=="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> ".and."
+  | Or -> ".or."
+
+let unop_str = function
+  | Neg -> "-"
+  | Not -> ".not."
+  | Abs -> "abs"
+  | Sqrt -> "sqrt"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Sign -> "sign"
+
+let intrin2_str = function Min2 -> "min" | Max2 -> "max" | Mod2 -> "mod"
+
+(* Precedence levels, higher binds tighter. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div -> 5
+  | Pow -> 6
+
+let rec pp_expr_prec prec ppf (e : expr) =
+  match e with
+  | Int n -> if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.int ppf n
+  | Real f ->
+      (* Ensure a decimal point so the lexer reads it back as a real, and
+         parenthesize negatives so printing reaches a fixpoint (the parser
+         reads [-1.0] as a negation). *)
+      let s = Fmt.str "%.17g" (Float.abs f) in
+      let s =
+        if
+          String.contains s '.'
+          || String.contains s 'e'
+          || String.contains s 'n' (* nan/inf *)
+        then s
+        else s ^ ".0"
+      in
+      if f < 0.0 then Fmt.pf ppf "(-%s)" s else Fmt.string ppf s
+  | Bool true -> Fmt.string ppf ".true."
+  | Bool false -> Fmt.string ppf ".false."
+  | Var v -> Fmt.string ppf v
+  | Arr (a, subs) ->
+      Fmt.pf ppf "%s(%a)" a Fmt.(list ~sep:(any ", ") (pp_expr_prec 0)) subs
+  | Bin (op, a, b) ->
+      let p = binop_prec op in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a" (pp_expr_prec p) a (binop_str op)
+          (pp_expr_prec (p + 1))
+          b
+      in
+      if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Un (Neg, a) -> Fmt.pf ppf "(-%a)" (pp_expr_prec 7) a
+  | Un (Not, a) -> Fmt.pf ppf "(.not. %a)" (pp_expr_prec 7) a
+  | Un (op, a) -> Fmt.pf ppf "%s(%a)" (unop_str op) (pp_expr_prec 0) a
+  | Intrin (op, a, b) ->
+      Fmt.pf ppf "%s(%a, %a)" (intrin2_str op) (pp_expr_prec 0) a
+        (pp_expr_prec 0) b
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_lhs ppf = function
+  | LVar v -> Fmt.string ppf v
+  | LArr (a, subs) ->
+      Fmt.pf ppf "%s(%a)" a Fmt.(list ~sep:(any ", ") pp_expr) subs
+
+let rec pp_stmt ~indent ppf (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s.node with
+  | Assign (lhs, rhs) ->
+      Fmt.pf ppf "%s%a = %a@." pad pp_lhs lhs pp_expr rhs
+  | Exit None -> Fmt.pf ppf "%sexit@." pad
+  | Exit (Some n) -> Fmt.pf ppf "%sexit %s@." pad n
+  | Cycle None -> Fmt.pf ppf "%scycle@." pad
+  | Cycle (Some n) -> Fmt.pf ppf "%scycle %s@." pad n
+  | If (c, t, []) ->
+      Fmt.pf ppf "%sif (%a) then@." pad pp_expr c;
+      List.iter (pp_stmt ~indent:(indent + 2) ppf) t;
+      Fmt.pf ppf "%send if@." pad
+  | If (c, t, e) ->
+      Fmt.pf ppf "%sif (%a) then@." pad pp_expr c;
+      List.iter (pp_stmt ~indent:(indent + 2) ppf) t;
+      Fmt.pf ppf "%selse@." pad;
+      List.iter (pp_stmt ~indent:(indent + 2) ppf) e;
+      Fmt.pf ppf "%send if@." pad
+  | Do d ->
+      if d.independent then begin
+        if d.new_vars = [] then Fmt.pf ppf "%s!hpf$ independent@." pad
+        else
+          Fmt.pf ppf "%s!hpf$ independent, new(%a)@." pad
+            Fmt.(list ~sep:(any ", ") string)
+            d.new_vars
+      end;
+      let name_prefix =
+        match d.loop_name with None -> "" | Some n -> n ^ ": "
+      in
+      (match d.step with
+      | Int 1 ->
+          Fmt.pf ppf "%s%sdo %s = %a, %a@." pad name_prefix d.index pp_expr
+            d.lo pp_expr d.hi
+      | _ ->
+          Fmt.pf ppf "%s%sdo %s = %a, %a, %a@." pad name_prefix d.index
+            pp_expr d.lo pp_expr d.hi pp_expr d.step);
+      List.iter (pp_stmt ~indent:(indent + 2) ppf) d.body;
+      Fmt.pf ppf "%send do@." pad
+
+let pp_dist_format ppf = function
+  | Block -> Fmt.string ppf "block"
+  | Cyclic -> Fmt.string ppf "cyclic"
+  | Block_cyclic k -> Fmt.pf ppf "cyclic(%d)" k
+  | Star -> Fmt.string ppf "*"
+
+let pp_align_sub ppf = function
+  | A_dim { dum; stride; offset } ->
+      let base =
+        if stride = 1 then Fmt.str "$%d" dum
+        else Fmt.str "%d * $%d" stride dum
+      in
+      if offset = 0 then Fmt.string ppf base
+      else if offset > 0 then Fmt.pf ppf "%s + %d" base offset
+      else Fmt.pf ppf "%s - %d" base (-offset)
+  | A_const c -> Fmt.int ppf c
+  | A_star -> Fmt.string ppf "*"
+
+let pp_directive ppf = function
+  | Processors { grid; extents } ->
+      Fmt.pf ppf "!hpf$ processors %s(%a)@." grid
+        Fmt.(list ~sep:(any ", ") pp_expr)
+        extents
+  | Distribute { array; fmts; onto } ->
+      Fmt.pf ppf "!hpf$ distribute %s(%a)%a@." array
+        Fmt.(list ~sep:(any ", ") pp_dist_format)
+        fmts
+        Fmt.(option (fun ppf g -> Fmt.pf ppf " onto %s" g))
+        onto
+  | Align { alignee; target; subs } ->
+      Fmt.pf ppf "!hpf$ align %s with %s(%a)@." alignee target
+        Fmt.(list ~sep:(any ", ") pp_align_sub)
+        subs
+
+let pp_decl ppf (d : decl) =
+  Fmt.pf ppf "%a %s%a@." Types.pp_elt_type d.ty d.dname Types.pp_shape
+    d.shape
+
+let pp_program ppf (p : program) =
+  Fmt.pf ppf "program %s@." p.pname;
+  List.iter
+    (fun (n, v) -> Fmt.pf ppf "parameter %s = %d@." n v)
+    p.params;
+  List.iter (pp_decl ppf) p.decls;
+  List.iter (pp_directive ppf) p.directives;
+  List.iter (pp_stmt ~indent:0 ppf) p.body;
+  Fmt.pf ppf "end program@."
+
+let program_to_string p = Fmt.str "%a" pp_program p
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let stmt_to_string s = Fmt.str "%a" (pp_stmt ~indent:0) s

@@ -1,0 +1,20 @@
+(** Pretty-printer for the kernel language.
+
+    Printing reaches a fixpoint through the parser
+    ([print (parse (print p)) = print p], qcheck-tested), and is the
+    report format of the [phpfc] CLI. *)
+
+open Ast
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_lhs : Format.formatter -> lhs -> unit
+val pp_stmt : indent:int -> Format.formatter -> stmt -> unit
+val pp_dist_format : Format.formatter -> dist_format -> unit
+val pp_align_sub : Format.formatter -> align_sub -> unit
+val pp_directive : Format.formatter -> directive -> unit
+val pp_decl : Format.formatter -> decl -> unit
+val pp_program : Format.formatter -> program -> unit
+
+val program_to_string : program -> string
+val expr_to_string : expr -> string
+val stmt_to_string : stmt -> string

@@ -1,0 +1,197 @@
+(** Semantic checks and normalization for kernel-language programs.
+
+    {!check} validates a program and returns it with statement ids
+    renumbered deterministically.  Checks performed:
+
+    - every referenced variable is declared, a parameter, or an enclosing
+      loop index;
+    - array references have as many subscripts as the declared rank, and
+      scalars are not subscripted;
+    - loop indices are not assigned inside their loop;
+    - directives refer to declared arrays/grids with matching ranks;
+    - [NEW] variables are declared;
+    - [EXIT]/[CYCLE] name an enclosing loop (when named) and appear inside
+      a loop. *)
+
+open Ast
+
+exception Sema_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Sema_error s)) fmt
+
+type env = {
+  prog : program;
+  grids : (string * int) list;  (** grid name -> rank *)
+}
+
+let decl_rank env name =
+  match find_decl env.prog name with
+  | Some d -> Some (Types.rank d.shape)
+  | None -> None
+
+let rec check_expr env ~indices (e : expr) =
+  match e with
+  | Int _ | Real _ | Bool _ -> ()
+  | Var v ->
+      if
+        (not (List.mem v indices))
+        && param_value env.prog v = None
+        && find_decl env.prog v = None
+      then err "undeclared variable %s" v;
+      (match decl_rank env v with
+      | Some r when r > 0 ->
+          err "array %s referenced without subscripts" v
+      | _ -> ())
+  | Arr (a, subs) -> (
+      List.iter (check_expr env ~indices) subs;
+      match decl_rank env a with
+      | None -> err "undeclared array %s" a
+      | Some 0 -> err "scalar %s referenced with subscripts" a
+      | Some r when r <> List.length subs ->
+          err "array %s has rank %d but %d subscripts given" a r
+            (List.length subs)
+      | Some _ -> ())
+  | Bin (_, x, y) | Intrin (_, x, y) ->
+      check_expr env ~indices x;
+      check_expr env ~indices y;
+  | Un (_, x) -> check_expr env ~indices x
+
+let check_lhs env ~indices = function
+  | LVar v -> (
+      if List.mem v indices then err "assignment to loop index %s" v;
+      if param_value env.prog v <> None then
+        err "assignment to parameter %s" v;
+      match decl_rank env v with
+      | None -> err "undeclared variable %s" v
+      | Some r when r > 0 -> err "array %s assigned without subscripts" v
+      | Some _ -> ())
+  | LArr (a, subs) -> (
+      List.iter (check_expr env ~indices) subs;
+      match decl_rank env a with
+      | None -> err "undeclared array %s" a
+      | Some 0 -> err "scalar %s assigned with subscripts" a
+      | Some r when r <> List.length subs ->
+          err "array %s has rank %d but %d subscripts given" a r
+            (List.length subs)
+      | Some _ -> ())
+
+let rec check_stmt env ~indices ~loops (s : stmt) =
+  match s.node with
+  | Assign (lhs, rhs) ->
+      check_lhs env ~indices lhs;
+      check_expr env ~indices rhs
+  | If (c, t, e) ->
+      check_expr env ~indices c;
+      List.iter (check_stmt env ~indices ~loops) t;
+      List.iter (check_stmt env ~indices ~loops) e
+  | Exit name | Cycle name -> (
+      if loops = [] then err "exit/cycle outside any loop";
+      match name with
+      | None -> ()
+      | Some n ->
+          if not (List.mem (Some n) loops) then
+            err "exit/cycle names unknown loop %s" n)
+  | Do d ->
+      if List.mem d.index indices then
+        err "loop index %s reused by nested loop" d.index;
+      check_expr env ~indices d.lo;
+      check_expr env ~indices d.hi;
+      check_expr env ~indices d.step;
+      List.iter
+        (fun v ->
+          if find_decl env.prog v = None then
+            err "NEW variable %s is not declared" v)
+        d.new_vars;
+      let indices = d.index :: indices in
+      let loops = d.loop_name :: loops in
+      List.iter (check_stmt env ~indices ~loops) d.body
+
+let check_directive env = function
+  | Processors { grid = _; extents } ->
+      List.iter
+        (fun e ->
+          match const_int_opt env.prog e with
+          | Some n when n >= 1 -> ()
+          | Some n -> err "processors extent %d must be >= 1" n
+          | None -> err "processors extents must be constant")
+        extents
+  | Distribute { array; fmts; onto } -> (
+      (match onto with
+      | Some g when not (List.mem_assoc g env.grids) ->
+          err "distribute onto unknown grid %s" g
+      | Some g ->
+          let grid_rank = List.assoc g env.grids in
+          let mapped =
+            List.length (List.filter (fun f -> f <> Star) fmts)
+          in
+          if mapped > grid_rank then
+            err "distribute of %s maps %d dims onto rank-%d grid %s" array
+              mapped grid_rank g
+      | None -> ());
+      match decl_rank env array with
+      | None -> err "distribute of undeclared array %s" array
+      | Some r when r <> List.length fmts ->
+          err "distribute of %s: %d formats for rank %d" array
+            (List.length fmts) r
+      | Some 0 -> err "cannot distribute scalar %s" array
+      | Some _ -> ())
+  | Align { alignee; target; subs } -> (
+      (match decl_rank env alignee with
+      | None -> err "align of undeclared variable %s" alignee
+      | Some _ -> ());
+      match decl_rank env target with
+      | None -> err "align with undeclared array %s" target
+      | Some r when r <> List.length subs ->
+          err "align with %s: %d subscripts for rank %d" target
+            (List.length subs) r
+      | Some _ ->
+          let alignee_rank =
+            match decl_rank env alignee with Some r -> r | None -> 0
+          in
+          List.iter
+            (function
+              | A_dim { dum; _ } when dum < 0 || dum >= max 1 alignee_rank ->
+                  err "align of %s: dummy $%d out of range" alignee dum
+              | A_dim { stride = 0; _ } ->
+                  err "align of %s: zero stride" alignee
+              | A_dim _ | A_const _ | A_star -> ())
+            subs)
+
+(** Check for duplicate declarations and declaration/parameter clashes. *)
+let check_decls (p : program) =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem seen d.dname then err "duplicate declaration of %s" d.dname;
+      if param_value p d.dname <> None then
+        err "%s declared both as parameter and variable" d.dname;
+      Hashtbl.add seen d.dname ())
+    p.decls;
+  let pseen = Hashtbl.create 16 in
+  List.iter
+    (fun (n, _) ->
+      if Hashtbl.mem pseen n then err "duplicate parameter %s" n;
+      Hashtbl.add pseen n ())
+    p.params
+
+(** Validate [p]; return it with deterministic statement ids.
+    @raise Sema_error on any violation. *)
+let check (p : program) : program =
+  check_decls p;
+  let grids =
+    List.filter_map
+      (function
+        | Processors { grid; extents } -> Some (grid, List.length extents)
+        | Distribute _ | Align _ -> None)
+      p.directives
+  in
+  let env = { prog = p; grids } in
+  List.iter (check_directive env) p.directives;
+  List.iter (check_stmt env ~indices:[] ~loops:[]) p.body;
+  renumber p
+
+(** [check] then return, or raise [Sema_error] with the program name
+    prepended for context. *)
+let check_named (p : program) : program =
+  try check p
+  with Sema_error m -> raise (Sema_error (p.pname ^ ": " ^ m))

@@ -1,0 +1,14 @@
+(** Semantic checks and normalization.
+
+    {!check} validates declarations, reference ranks, directive
+    consistency, loop-index discipline and [EXIT]/[CYCLE] targets, and
+    returns the program with statement ids renumbered deterministically
+    (preorder 1, 2, 3, ...), which every analysis relies on. *)
+
+exception Sema_error of string
+
+(** @raise Sema_error describing the first violation found. *)
+val check : Ast.program -> Ast.program
+
+(** Like {!check} with the program name prefixed to error messages. *)
+val check_named : Ast.program -> Ast.program

@@ -1,0 +1,38 @@
+(** Element types and array shapes for the kernel language.
+
+    The language is a small Fortran-like subset: scalars and arrays of
+    integers, reals (modelled as OCaml floats, i.e. Fortran REAL*8) and
+    booleans (Fortran LOGICAL). *)
+
+type elt_type = TInt | TReal | TBool
+
+let pp_elt_type ppf = function
+  | TInt -> Fmt.string ppf "integer"
+  | TReal -> Fmt.string ppf "real"
+  | TBool -> Fmt.string ppf "logical"
+
+let equal_elt_type (a : elt_type) (b : elt_type) = a = b
+
+(** One array dimension, [lo..hi] inclusive, Fortran style. *)
+type bounds = { lo : int; hi : int }
+
+let bounds lo hi =
+  if hi < lo then invalid_arg "Types.bounds: hi < lo";
+  { lo; hi }
+
+(** Number of elements in a dimension. *)
+let extent { lo; hi } = hi - lo + 1
+
+let pp_bounds ppf { lo; hi } =
+  if lo = 1 then Fmt.pf ppf "%d" hi else Fmt.pf ppf "%d:%d" lo hi
+
+(** Shape of a variable: [[]] denotes a scalar. *)
+type shape = bounds list
+
+let rank (s : shape) = List.length s
+
+let size (s : shape) = List.fold_left (fun acc b -> acc * extent b) 1 s
+
+let pp_shape ppf = function
+  | [] -> ()
+  | dims -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_bounds) dims

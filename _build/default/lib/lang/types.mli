@@ -1,0 +1,24 @@
+(** Element types and array shapes: scalars and arrays of integers,
+    reals (OCaml floats, i.e. REAL*8) and logicals, with explicit
+    Fortran-style per-dimension bounds. *)
+
+type elt_type = TInt | TReal | TBool
+
+val pp_elt_type : Format.formatter -> elt_type -> unit
+val equal_elt_type : elt_type -> elt_type -> bool
+
+(** One dimension, [lo..hi] inclusive. *)
+type bounds = { lo : int; hi : int }
+
+(** @raise Invalid_argument when [hi < lo]. *)
+val bounds : int -> int -> bounds
+
+val extent : bounds -> int
+val pp_bounds : Format.formatter -> bounds -> unit
+
+(** [[]] denotes a scalar. *)
+type shape = bounds list
+
+val rank : shape -> int
+val size : shape -> int
+val pp_shape : Format.formatter -> shape -> unit

@@ -1,0 +1,1 @@
+lib/mapping/align_level.ml: Affine Aref Array Ast Hpf_analysis Hpf_lang Layout List Nest String

@@ -1,0 +1,1 @@
+lib/mapping/align_level.mli: Aref Ast Hpf_analysis Hpf_lang Layout Nest

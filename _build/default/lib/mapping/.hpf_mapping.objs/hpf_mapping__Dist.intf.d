@@ -1,0 +1,1 @@
+lib/mapping/dist.mli: Format Hpf_lang

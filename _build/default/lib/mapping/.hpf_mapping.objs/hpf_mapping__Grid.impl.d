@@ -1,0 +1,1 @@
+lib/mapping/grid.ml: Array Float Fmt List

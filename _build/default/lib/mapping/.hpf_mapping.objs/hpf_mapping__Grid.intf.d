@@ -1,0 +1,1 @@
+lib/mapping/grid.mli: Format

@@ -1,0 +1,1 @@
+lib/mapping/layout.ml: Array Ast Dist Fmt Fun Grid Hashtbl Hpf_lang List String Types

@@ -1,0 +1,1 @@
+lib/mapping/layout.mli: Ast Dist Format Grid Hashtbl Hpf_lang

@@ -1,0 +1,1 @@
+lib/mapping/ownership.ml: Affine Array Ast Dist Fmt Grid Hpf_analysis Hpf_lang Layout List

@@ -1,0 +1,1 @@
+lib/mapping/ownership.mli: Affine Ast Dist Format Hpf_analysis Hpf_lang Layout

@@ -1,0 +1,29 @@
+(** [VarLevel], [SubscriptAlignLevel] and [AlignLevel] (paper §2.2,
+    Fig. 4): the loop-nesting scope within which an alignment with a
+    given reference is well defined. *)
+
+open Hpf_lang
+open Hpf_analysis
+
+(** Innermost enclosing-loop level at which variable [v] varies at
+    statement [sid]: its own level for a loop index, the level of the
+    deepest enclosing loop assigning it for a scalar, 0 when it never
+    varies (constants, parameters). *)
+val var_level : Ast.program -> Nest.t -> sid:Ast.stmt_id -> string -> int
+
+(** [VarLevel(s)] when [s] is affine in the loop indices,
+    [VarLevel(s) + 1] otherwise. *)
+val subscript_align_level :
+  Ast.program -> Nest.t -> sid:Ast.stmt_id -> Ast.expr -> int
+
+(** Array dimensions of [base] selected by [Mapped] bindings; with
+    [grid_dims], only bindings on those grid dimensions count (partial
+    privatization restricts the computation this way, paper §3.2). *)
+val partitioned_array_dims :
+  ?grid_dims:int list -> Layout.env -> string -> int list
+
+(** Max [SubscriptAlignLevel] over the subscripts in partitioned
+    dimensions of the reference (0 when none are partitioned).  An
+    alignment with the reference is valid only inside the loop at this
+    level. *)
+val align_level : ?grid_dims:int list -> Layout.env -> Nest.t -> Aref.t -> int

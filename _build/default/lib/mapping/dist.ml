@@ -1,0 +1,55 @@
+(** Distribution formats and the index → processor-coordinate maps.
+
+    Implements the HPF element-mapping functions for BLOCK, CYCLIC and
+    CYCLIC(k) over a 0-based {e position} within a dimension (callers
+    subtract the dimension's lower bound first). *)
+
+type format = Block of int | Cyclic | Block_cyclic of int
+(** [Block bsize]: contiguous blocks of [bsize] elements per processor.
+    The block size is fixed at resolution time as
+    [ceil(extent / nprocs)]. *)
+
+let of_ast_format ~(extent : int) ~(nprocs : int) (f : Hpf_lang.Ast.dist_format) :
+    format option =
+  match f with
+  | Hpf_lang.Ast.Block -> Some (Block ((extent + nprocs - 1) / nprocs))
+  | Hpf_lang.Ast.Cyclic -> Some Cyclic
+  | Hpf_lang.Ast.Block_cyclic k -> Some (Block_cyclic k)
+  | Hpf_lang.Ast.Star -> None
+
+(** Processor coordinate owning 0-based position [pos] among [nprocs]
+    processors. *)
+let owner_coord (f : format) ~(nprocs : int) (pos : int) : int =
+  match f with
+  | Block bsize -> min (pos / bsize) (nprocs - 1)
+  | Cyclic -> ((pos mod nprocs) + nprocs) mod nprocs
+  | Block_cyclic k -> ((pos / k) mod nprocs + nprocs) mod nprocs
+
+(** Number of positions in [0 .. extent-1] owned by coordinate [c]. *)
+let local_count (f : format) ~(nprocs : int) ~(extent : int) (c : int) : int =
+  match f with
+  | Block bsize ->
+      let lo = c * bsize and hi = min extent ((c + 1) * bsize) in
+      (* the last processor also holds any overflow *)
+      let hi = if c = nprocs - 1 then extent else hi in
+      max 0 (hi - lo)
+  | Cyclic ->
+      let full = extent / nprocs in
+      full + if extent mod nprocs > c then 1 else 0
+  | Block_cyclic k ->
+      let nblocks = (extent + k - 1) / k in
+      let full = nblocks / nprocs in
+      let mine = full + if nblocks mod nprocs > c then 1 else 0 in
+      (* last block may be partial; approximate by block count * k capped *)
+      min (mine * k) extent
+
+(** Are two 0-based positions owned by the same coordinate for every
+    choice within the dimension?  Only exact position equality guarantees
+    this symbolically; this helper answers for {e concrete} positions. *)
+let same_owner (f : format) ~(nprocs : int) (a : int) (b : int) : bool =
+  owner_coord f ~nprocs a = owner_coord f ~nprocs b
+
+let pp ppf = function
+  | Block b -> Fmt.pf ppf "block(%d)" b
+  | Cyclic -> Fmt.string ppf "cyclic"
+  | Block_cyclic k -> Fmt.pf ppf "cyclic(%d)" k

@@ -1,0 +1,25 @@
+(** Distribution formats and the index → processor-coordinate maps
+    (HPF BLOCK / CYCLIC / CYCLIC(k)), over 0-based positions within a
+    dimension. *)
+
+(** [Block bsize] holds contiguous blocks of [bsize] positions per
+    coordinate (fixed at resolution time as ceil(extent / nprocs)). *)
+type format = Block of int | Cyclic | Block_cyclic of int
+
+(** Resolve an AST format against a dimension extent and processor
+    count; [None] for [*] (collapsed). *)
+val of_ast_format :
+  extent:int -> nprocs:int -> Hpf_lang.Ast.dist_format -> format option
+
+(** Coordinate owning 0-based position [pos] (BLOCK clamps overflow to
+    the last coordinate; CYCLIC is total on negatives too). *)
+val owner_coord : format -> nprocs:int -> int -> int
+
+(** Number of positions of [0..extent-1] owned by coordinate [c]
+    (approximate for a trailing partial block under CYCLIC(k)). *)
+val local_count : format -> nprocs:int -> extent:int -> int -> int
+
+(** Do two concrete positions share an owner? *)
+val same_owner : format -> nprocs:int -> int -> int -> bool
+
+val pp : Format.formatter -> format -> unit

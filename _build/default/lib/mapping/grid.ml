@@ -1,0 +1,78 @@
+(** Processor grids (HPF [PROCESSORS] arrangements).
+
+    A grid is a rectangular arrangement of processors; coordinates are
+    0-based per dimension.  Processors are numbered 0..size-1 in
+    row-major order of coordinates. *)
+
+type t = { name : string; extents : int array }
+
+let make ?(name = "procs") extents =
+  if List.exists (fun e -> e < 1) extents then
+    invalid_arg "Grid.make: extents must be >= 1";
+  { name; extents = Array.of_list extents }
+
+let rank (g : t) = Array.length g.extents
+
+let size (g : t) = Array.fold_left ( * ) 1 g.extents
+
+let extent (g : t) (dim : int) = g.extents.(dim)
+
+(** Linear processor id of a coordinate vector (row-major). *)
+let linearize (g : t) (coord : int array) : int =
+  let r = rank g in
+  assert (Array.length coord = r);
+  let id = ref 0 in
+  for d = 0 to r - 1 do
+    assert (coord.(d) >= 0 && coord.(d) < g.extents.(d));
+    id := (!id * g.extents.(d)) + coord.(d)
+  done;
+  !id
+
+(** Coordinates of a linear processor id. *)
+let coords (g : t) (pid : int) : int array =
+  let r = rank g in
+  let c = Array.make r 0 in
+  let rem = ref pid in
+  for d = r - 1 downto 0 do
+    c.(d) <- !rem mod g.extents.(d);
+    rem := !rem / g.extents.(d)
+  done;
+  c
+
+(** All coordinate vectors, in linear-id order. *)
+let all_coords (g : t) : int array list =
+  List.init (size g) (coords g)
+
+(** Processors sharing coordinates with [coord] in all dimensions except
+    [dim] — the "line" of the grid along [dim] through [coord]. *)
+let line (g : t) (coord : int array) (dim : int) : int list =
+  List.init (extent g dim) (fun k ->
+      let c = Array.copy coord in
+      c.(dim) <- k;
+      linearize g c)
+
+(** A near-square factorization of [p] into [rank] extents (largest dim
+    first), used when an experiment wants "P processors" on a
+    multi-dimensional grid. *)
+let factorize ~(rank : int) (p : int) : int list =
+  if rank <= 0 then invalid_arg "Grid.factorize: rank must be >= 1";
+  if p < 1 then invalid_arg "Grid.factorize: p must be >= 1";
+  let rec split rank p =
+    if rank = 1 then [ p ]
+    else begin
+      (* largest divisor of p that is <= ceil(p^(1/rank)) ... simple scan
+         from the integer root downward *)
+      let target =
+        int_of_float (Float.round (Float.pow (float_of_int p) (1.0 /. float_of_int rank)))
+      in
+      let rec find d = if d <= 1 then 1 else if p mod d = 0 then d else find (d - 1) in
+      let d = find (max target 1) in
+      d :: split (rank - 1) (p / d)
+    end
+  in
+  List.sort (fun a b -> compare b a) (split rank p)
+
+let pp ppf (g : t) =
+  Fmt.pf ppf "%s(%a)" g.name
+    Fmt.(list ~sep:(any ", ") int)
+    (Array.to_list g.extents)

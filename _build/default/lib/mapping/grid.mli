@@ -1,0 +1,31 @@
+(** Processor grids (HPF [PROCESSORS] arrangements): rectangular
+    arrangements with 0-based per-dimension coordinates, numbered
+    row-major. *)
+
+type t = { name : string; extents : int array }
+
+(** @raise Invalid_argument when an extent is < 1. *)
+val make : ?name:string -> int list -> t
+
+val rank : t -> int
+val size : t -> int
+val extent : t -> int -> int
+
+(** Linear processor id of a coordinate vector (row-major). *)
+val linearize : t -> int array -> int
+
+(** Coordinates of a linear processor id (inverse of {!linearize}). *)
+val coords : t -> int -> int array
+
+(** All coordinate vectors, in linear-id order. *)
+val all_coords : t -> int array list
+
+(** Processors sharing coordinates with [coord] everywhere except
+    dimension [dim] — the grid "line" along [dim]. *)
+val line : t -> int array -> int -> int list
+
+(** A near-square factorization of [p] into [rank] extents, largest
+    first — for "P processors" on a multi-dimensional grid. *)
+val factorize : rank:int -> int -> int list
+
+val pp : Format.formatter -> t -> unit

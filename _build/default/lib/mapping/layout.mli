@@ -1,0 +1,66 @@
+(** Resolution of HPF mapping directives into per-array layouts.
+
+    A {e layout} states, per processor-grid dimension, how an array's
+    elements choose a coordinate: replicated, pinned, or mapped through a
+    distribution format applied to an affine function of one subscript.
+    ALIGN chains compose into a single such description. *)
+
+open Hpf_lang
+
+type binding =
+  | Repl  (** present at every coordinate along this grid dimension *)
+  | Fixed of int  (** single fixed coordinate *)
+  | Mapped of {
+      array_dim : int;  (** which subscript position selects the coord *)
+      fmt : Dist.format;
+      stride : int;
+      offset : int;  (** position = stride * index + offset - dim_lo *)
+      dim_lo : int;  (** lower bound of the ultimate target dimension *)
+      nprocs : int;
+    }
+
+type t = { grid : Grid.t; bindings : binding array }
+
+(** Fully replicated layout (default for scalars and unmapped arrays). *)
+val replicated : Grid.t -> t
+
+val is_fully_replicated : t -> bool
+
+(** Mapped along at least one grid dimension? *)
+val is_partitioned : t -> bool
+
+(** Grid dimensions with a [Mapped] binding. *)
+val mapped_dims : t -> int list
+
+val pp_binding : Format.formatter -> binding -> unit
+val pp : Format.formatter -> t -> unit
+
+type env = {
+  prog : Ast.program;
+  grid : Grid.t;
+  layouts : (string, t) Hashtbl.t;
+}
+
+exception Mapping_error of string
+
+(** Layout of a name ({!replicated} when it has no directives). *)
+val layout_of : env -> string -> t
+
+(** The declared [PROCESSORS] grid, with [grid_override] replacing its
+    extents.  @raise Mapping_error on non-constant extents. *)
+val declared_grid : ?grid_override:int list -> Ast.program -> Grid.t option
+
+(** Resolve every directive of a program (a 1-processor grid is assumed
+    when none is declared or supplied).
+    @raise Mapping_error on rank mismatches, over-mapped grids or cyclic
+    ALIGN chains. *)
+val resolve : ?grid_override:int list -> Ast.program -> env
+
+(** Number of elements of a variable stored by the processor at the
+    given grid coordinates (mapped dimensions contribute local counts;
+    collapsed/replicated dimensions full extents; scalars 1). *)
+val local_elems : env -> string -> int array -> int
+
+(** Per-processor memory footprint in elements: max over processors of
+    the sum over all declared variables. *)
+val max_local_elems : env -> int

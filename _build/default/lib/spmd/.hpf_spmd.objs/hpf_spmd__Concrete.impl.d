@@ -1,0 +1,1 @@
+lib/spmd/concrete.ml: Aref Array Ast Decisions Dist Eval Fun Grid Hpf_analysis Hpf_lang Hpf_mapping Layout List Memory Nest Ownership Phpf_core

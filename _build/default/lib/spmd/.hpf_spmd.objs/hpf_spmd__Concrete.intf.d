@@ -1,0 +1,1 @@
+lib/spmd/concrete.mli: Aref Ast Decisions Hpf_analysis Hpf_lang Hpf_mapping Layout Memory Ownership Phpf_core

@@ -1,0 +1,1 @@
+lib/spmd/eval.ml: Ast Float Hpf_lang List Memory Value

@@ -1,0 +1,1 @@
+lib/spmd/eval.mli: Ast Hpf_lang Memory Value

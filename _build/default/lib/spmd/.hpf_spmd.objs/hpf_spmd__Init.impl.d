@@ -1,0 +1,1 @@
+lib/spmd/init.ml: Ast Char Hpf_lang List Memory String Types Value

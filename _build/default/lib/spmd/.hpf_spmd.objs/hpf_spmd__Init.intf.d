@@ -1,0 +1,1 @@
+lib/spmd/init.mli: Ast Hpf_lang Memory

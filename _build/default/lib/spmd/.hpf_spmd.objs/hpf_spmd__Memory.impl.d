@@ -1,0 +1,1 @@
+lib/spmd/memory.ml: Array Ast Fmt Hashtbl Hpf_lang List Types Value

@@ -1,0 +1,1 @@
+lib/spmd/memory.mli: Ast Format Hashtbl Hpf_lang Types Value

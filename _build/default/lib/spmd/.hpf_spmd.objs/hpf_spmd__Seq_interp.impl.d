@@ -1,0 +1,1 @@
+lib/spmd/seq_interp.ml: Ast Eval Hpf_lang List Memory Value

@@ -1,0 +1,1 @@
+lib/spmd/seq_interp.mli: Ast Hpf_lang Memory

@@ -1,0 +1,1 @@
+lib/spmd/spmd_interp.ml: Aref Array Ast Compiler Concrete Decisions Eval Fmt Hashtbl Hpf_analysis Hpf_comm Hpf_lang Hpf_mapping List Memory Nest Phpf_core Reduction Seq_interp Ssa String Value

@@ -1,0 +1,1 @@
+lib/spmd/spmd_interp.mli: Compiler Format Memory Phpf_core Value

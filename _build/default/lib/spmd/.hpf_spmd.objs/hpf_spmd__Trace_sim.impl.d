@@ -1,0 +1,1 @@
+lib/spmd/trace_sim.ml: Aref Array Ast Comm Compiler Concrete Cost_model Decisions Eval Float Fmt Hashtbl Hpf_analysis Hpf_comm Hpf_lang Hpf_mapping List Memory Nest Phpf_core Seq_interp Value

@@ -1,0 +1,1 @@
+lib/spmd/trace_sim.mli: Compiler Format Hpf_comm Memory Phpf_core

@@ -1,0 +1,1 @@
+lib/spmd/value.ml: Float Fmt Hpf_lang

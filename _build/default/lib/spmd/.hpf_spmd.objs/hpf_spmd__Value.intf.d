@@ -1,0 +1,1 @@
+lib/spmd/value.mli: Format Hpf_lang

@@ -1,0 +1,96 @@
+(** Expression evaluation over a {!Memory}.
+
+    Numeric semantics follow Fortran: integer arithmetic on two integers,
+    promotion to real otherwise; [/] truncates on integers. *)
+
+open Hpf_lang
+
+let binop (op : Ast.binop) (a : Value.t) (b : Value.t) : Value.t =
+  let arith fi ff : Value.t =
+    match (a, b) with
+    | Value.I x, Value.I y -> Value.I (fi x y)
+    | _ -> Value.R (ff (Value.to_float a) (Value.to_float b))
+  in
+  let cmp f : Value.t =
+    match (a, b) with
+    | Value.I x, Value.I y -> Value.B (f (compare x y) 0)
+    | _ -> Value.B (f (compare (Value.to_float a) (Value.to_float b)) 0)
+  in
+  match op with
+  | Ast.Add -> arith ( + ) ( +. )
+  | Ast.Sub -> arith ( - ) ( -. )
+  | Ast.Mul -> arith ( * ) ( *. )
+  | Ast.Div -> (
+      match (a, b) with
+      | Value.I x, Value.I y ->
+          if y = 0 then Memory.rerr "integer division by zero"
+          else Value.I (x / y)
+      | _ -> Value.R (Value.to_float a /. Value.to_float b))
+  | Ast.Pow -> (
+      match (a, b) with
+      | Value.I x, Value.I y when y >= 0 ->
+          let rec pow acc n = if n = 0 then acc else pow (acc * x) (n - 1) in
+          Value.I (pow 1 y)
+      | _ -> Value.R (Float.pow (Value.to_float a) (Value.to_float b)))
+  | Ast.Eq -> cmp ( = )
+  | Ast.Ne -> cmp ( <> )
+  | Ast.Lt -> cmp ( < )
+  | Ast.Le -> cmp ( <= )
+  | Ast.Gt -> cmp ( > )
+  | Ast.Ge -> cmp ( >= )
+  | Ast.And -> Value.B (Value.to_bool a && Value.to_bool b)
+  | Ast.Or -> Value.B (Value.to_bool a || Value.to_bool b)
+
+let unop (op : Ast.unop) (a : Value.t) : Value.t =
+  match (op, a) with
+  | Ast.Neg, Value.I n -> Value.I (-n)
+  | Ast.Neg, _ -> Value.R (-.Value.to_float a)
+  | Ast.Not, _ -> Value.B (not (Value.to_bool a))
+  | Ast.Abs, Value.I n -> Value.I (abs n)
+  | Ast.Abs, _ -> Value.R (Float.abs (Value.to_float a))
+  | Ast.Sqrt, _ -> Value.R (sqrt (Value.to_float a))
+  | Ast.Exp, _ -> Value.R (exp (Value.to_float a))
+  | Ast.Log, _ -> Value.R (log (Value.to_float a))
+  | Ast.Sign, Value.I n -> Value.I (compare n 0)
+  | Ast.Sign, _ -> Value.R (if Value.to_float a >= 0.0 then 1.0 else -1.0)
+
+let intrin (op : Ast.intrin2) (a : Value.t) (b : Value.t) : Value.t =
+  match (op, a, b) with
+  | Ast.Min2, Value.I x, Value.I y -> Value.I (min x y)
+  | Ast.Max2, Value.I x, Value.I y -> Value.I (max x y)
+  | Ast.Mod2, Value.I x, Value.I y ->
+      if y = 0 then Memory.rerr "mod by zero" else Value.I (x mod y)
+  | Ast.Min2, _, _ -> Value.R (Float.min (Value.to_float a) (Value.to_float b))
+  | Ast.Max2, _, _ -> Value.R (Float.max (Value.to_float a) (Value.to_float b))
+  | Ast.Mod2, _, _ ->
+      Value.R (Float.rem (Value.to_float a) (Value.to_float b))
+
+let rec expr (m : Memory.t) (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Int n -> Value.I n
+  | Ast.Real f -> Value.R f
+  | Ast.Bool b -> Value.B b
+  | Ast.Var v -> Memory.get_scalar m v
+  | Ast.Arr (a, subs) ->
+      Memory.get_elem m a (List.map (fun s -> Value.to_int (expr m s)) subs)
+  | Ast.Bin (op, a, b) -> binop op (expr m a) (expr m b)
+  | Ast.Un (op, a) -> unop op (expr m a)
+  | Ast.Intrin (op, a, b) -> intrin op (expr m a) (expr m b)
+
+let int_expr (m : Memory.t) (e : Ast.expr) : int = Value.to_int (expr m e)
+
+let bool_expr (m : Memory.t) (e : Ast.expr) : bool =
+  Value.to_bool (expr m e)
+
+(** Static count of arithmetic operations in an expression (for the
+    timing model). *)
+let rec flops (e : Ast.expr) : int =
+  match e with
+  | Ast.Int _ | Ast.Real _ | Ast.Bool _ | Ast.Var _ -> 0
+  | Ast.Arr (_, subs) -> List.fold_left (fun a s -> a + flops s) 1 subs
+  | Ast.Bin (_, a, b) | Ast.Intrin (_, a, b) -> 1 + flops a + flops b
+  | Ast.Un (_, a) -> 1 + flops a
+
+(** Flop count of a statement's own expressions. *)
+let stmt_flops (s : Ast.stmt) : int =
+  List.fold_left (fun acc e -> acc + flops e) 1 (Ast.own_exprs s)

@@ -1,0 +1,23 @@
+(** Expression evaluation over a {!Memory} (Fortran numeric semantics:
+    integer arithmetic on two integers, promotion to real otherwise,
+    truncating integer division). *)
+
+open Hpf_lang
+
+val binop : Ast.binop -> Value.t -> Value.t -> Value.t
+val unop : Ast.unop -> Value.t -> Value.t
+val intrin : Ast.intrin2 -> Value.t -> Value.t -> Value.t
+
+(** @raise Memory.Runtime_error on unbound names, bad subscripts,
+    division by zero. *)
+val expr : Memory.t -> Ast.expr -> Value.t
+
+val int_expr : Memory.t -> Ast.expr -> int
+val bool_expr : Memory.t -> Ast.expr -> bool
+
+(** Static count of arithmetic operations (for the timing model). *)
+val flops : Ast.expr -> int
+
+(** Flop count of a statement's own expressions (nested statements not
+    included). *)
+val stmt_flops : Ast.stmt -> int

@@ -1,0 +1,46 @@
+(** Deterministic seeding of program memory for simulations and
+    validation runs.
+
+    Every array element gets a value derived from a hash of its name and
+    index vector, so any stale or misplaced element is distinguishable;
+    declared scalars keep their zero initialization (programs are
+    expected to define them before use). *)
+
+open Hpf_lang
+
+(* A small deterministic mixer (no Random: runs must be reproducible). *)
+let mix (seed : int) (xs : int list) : int =
+  List.fold_left
+    (fun acc x ->
+      let acc = acc lxor (x + 0x9e3779b9 + (acc lsl 6) + (acc lsr 2)) in
+      acc land 0x3FFFFFFF)
+    seed xs
+
+let hash_name (s : string) : int =
+  String.fold_left (fun acc c -> mix acc [ Char.code c ]) 17 s
+
+(** Fill every declared array with deterministic values.  Reals land in
+    (0, 2); integers in [1, 8] (safe as subscript offsets is {e not}
+    guaranteed — integer arrays used as subscripts should be written by
+    the program). *)
+let seed ?(seed = 42) (prog : Ast.program) (m : Memory.t) : unit =
+  List.iter
+    (fun (d : Ast.decl) ->
+      if d.shape <> [] then begin
+        let h0 = mix seed [ hash_name d.dname ] in
+        Memory.iter_elems m d.dname (fun idx _ ->
+            let h = mix h0 idx in
+            let v =
+              match d.ty with
+              | Types.TInt -> Value.I (1 + (h mod 8))
+              | Types.TReal ->
+                  Value.R (0.0625 +. (float_of_int (h land 0xFFFF) /. 32768.0))
+              | Types.TBool -> Value.B (h land 1 = 1)
+            in
+            Memory.set_elem m d.dname idx v)
+      end)
+    prog.decls
+
+(** An [init] function for {!Seq_interp.run} / {!Spmd_interp.run}. *)
+let init ?seed:(s = 42) (prog : Ast.program) : Memory.t -> unit =
+ fun m -> seed ~seed:s prog m

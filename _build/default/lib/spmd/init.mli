@@ -1,0 +1,14 @@
+(** Deterministic seeding of program memory for simulations and
+    validation runs: every array element gets a value derived from a hash
+    of its name and index vector, so stale or misplaced elements are
+    distinguishable.  No global randomness — runs are reproducible. *)
+
+open Hpf_lang
+
+(** Fill every declared array of [prog] in [m] with deterministic values
+    (reals in (0, 2); integers in [1, 8]; booleans from the low bit). *)
+val seed : ?seed:int -> Ast.program -> Memory.t -> unit
+
+(** [init prog] is [seed prog] packaged as an [init] argument for
+    {!Seq_interp.run} / {!Spmd_interp.run} / {!Trace_sim.run}. *)
+val init : ?seed:int -> Ast.program -> Memory.t -> unit

@@ -1,0 +1,96 @@
+(** Program memory: scalar bindings and dense Fortran-style arrays.
+
+    Arrays are stored flat in row-major order of the (lo..hi) dimension
+    ranges.  Loop indices live in the scalar table like any other
+    integer scalar. *)
+
+open Hpf_lang
+
+type array_cell = { data : Value.t array; shape : Types.shape }
+
+type t = {
+  scalars : (string, Value.t) Hashtbl.t;
+  arrays : (string, array_cell) Hashtbl.t;
+}
+
+exception Runtime_error of string
+
+let rerr fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+(** Fresh memory with every declared variable zero-initialized. *)
+let create (prog : Ast.program) : t =
+  let m = { scalars = Hashtbl.create 16; arrays = Hashtbl.create 16 } in
+  List.iter
+    (fun (d : Ast.decl) ->
+      if d.shape = [] then
+        Hashtbl.replace m.scalars d.dname (Value.zero d.ty)
+      else
+        Hashtbl.replace m.arrays d.dname
+          {
+            data = Array.make (Types.size d.shape) (Value.zero d.ty);
+            shape = d.shape;
+          })
+    prog.decls;
+  (* parameters are readable as integer scalars *)
+  List.iter (fun (n, v) -> Hashtbl.replace m.scalars n (Value.I v)) prog.params;
+  m
+
+let copy (m : t) : t =
+  {
+    scalars = Hashtbl.copy m.scalars;
+    arrays =
+      (let h = Hashtbl.create (Hashtbl.length m.arrays) in
+       Hashtbl.iter
+         (fun k c -> Hashtbl.add h k { c with data = Array.copy c.data })
+         m.arrays;
+       h);
+  }
+
+let get_scalar (m : t) (v : string) : Value.t =
+  match Hashtbl.find_opt m.scalars v with
+  | Some x -> x
+  | None -> rerr "read of unbound scalar %s" v
+
+let set_scalar (m : t) (v : string) (x : Value.t) =
+  Hashtbl.replace m.scalars v x
+
+let linear_index (shape : Types.shape) (idx : int list) : int =
+  let rec go shape idx acc =
+    match (shape, idx) with
+    | [], [] -> acc
+    | (b : Types.bounds) :: bs, i :: is ->
+        if i < b.Types.lo || i > b.Types.hi then
+          rerr "subscript %d out of bounds %d:%d" i b.Types.lo b.Types.hi;
+        go bs is ((acc * Types.extent b) + (i - b.Types.lo))
+    | _ -> rerr "rank mismatch in array access"
+  in
+  go shape idx 0
+
+let get_elem (m : t) (a : string) (idx : int list) : Value.t =
+  match Hashtbl.find_opt m.arrays a with
+  | Some c -> c.data.(linear_index c.shape idx)
+  | None -> rerr "read of unbound array %s" a
+
+let set_elem (m : t) (a : string) (idx : int list) (x : Value.t) =
+  match Hashtbl.find_opt m.arrays a with
+  | Some c -> c.data.(linear_index c.shape idx) <- x
+  | None -> rerr "write of unbound array %s" a
+
+let array_cell (m : t) (a : string) : array_cell =
+  match Hashtbl.find_opt m.arrays a with
+  | Some c -> c
+  | None -> rerr "unknown array %s" a
+
+(** Iterate all (multi-index, value) pairs of an array. *)
+let iter_elems (m : t) (a : string) (f : int list -> Value.t -> unit) =
+  let c = array_cell m a in
+  let rec go shape prefix offset =
+    match shape with
+    | [] -> f (List.rev prefix) c.data.(offset)
+    | (b : Types.bounds) :: bs ->
+        let inner = Types.size bs in
+        for i = b.Types.lo to b.Types.hi do
+          go bs (i :: prefix) (offset + ((i - b.Types.lo) * inner))
+        done
+  in
+  go c.shape [] 0

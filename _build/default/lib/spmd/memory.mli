@@ -1,0 +1,38 @@
+(** Program memory: scalar bindings and dense Fortran-style arrays
+    (row-major over the declared lo..hi ranges). *)
+
+open Hpf_lang
+
+type array_cell = { data : Value.t array; shape : Types.shape }
+
+type t = {
+  scalars : (string, Value.t) Hashtbl.t;
+  arrays : (string, array_cell) Hashtbl.t;
+}
+
+exception Runtime_error of string
+
+(** Raise {!Runtime_error} with a formatted message. *)
+val rerr : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Fresh memory with every declared variable zero-initialized and
+    parameters bound as integer scalars. *)
+val create : Ast.program -> t
+
+(** Deep copy (array contents included). *)
+val copy : t -> t
+
+(** @raise Runtime_error on unbound names or out-of-bounds subscripts. *)
+val get_scalar : t -> string -> Value.t
+
+val set_scalar : t -> string -> Value.t -> unit
+val get_elem : t -> string -> int list -> Value.t
+val set_elem : t -> string -> int list -> Value.t -> unit
+val array_cell : t -> string -> array_cell
+
+(** Row-major linearization of a (Fortran) index vector.
+    @raise Runtime_error when out of the declared bounds. *)
+val linear_index : Types.shape -> int list -> int
+
+(** Iterate all (multi-index, value) pairs of an array. *)
+val iter_elems : t -> string -> (int list -> Value.t -> unit) -> unit

@@ -1,0 +1,77 @@
+(** Reference sequential interpreter for the kernel language.
+
+    Executes a program with Fortran semantics over a single {!Memory};
+    serves as the gold standard the SPMD interpreter is validated
+    against, and as the execution driver for the timing simulator
+    (callers can observe every statement instance via [on_stmt]). *)
+
+open Hpf_lang
+
+exception Exit_loop of string option
+exception Cycle_loop of string option
+
+(** Maximum statement instances executed before aborting (guards against
+    runaway loops in tests). *)
+let default_fuel = 200_000_000
+
+type config = {
+  fuel : int;
+  on_stmt : (Ast.stmt -> Memory.t -> unit) option;
+      (** called before each executed statement instance *)
+}
+
+let default_config = { fuel = default_fuel; on_stmt = None }
+
+let run ?(config = default_config) ?(init : (Memory.t -> unit) option)
+    (prog : Ast.program) : Memory.t =
+  let m = Memory.create prog in
+  (match init with Some f -> f m | None -> ());
+  let fuel = ref config.fuel in
+  let tick s =
+    decr fuel;
+    if !fuel <= 0 then Memory.rerr "out of fuel (infinite loop?)";
+    match config.on_stmt with Some f -> f s m | None -> ()
+  in
+  let rec stmts ss = List.iter stmt ss
+  and stmt (s : Ast.stmt) =
+    match s.node with
+    | Ast.Assign (lhs, rhs) -> (
+        tick s;
+        let v = Eval.expr m rhs in
+        match lhs with
+        | Ast.LVar x -> Memory.set_scalar m x v
+        | Ast.LArr (a, subs) ->
+            Memory.set_elem m a
+              (List.map (fun e -> Eval.int_expr m e) subs)
+              v)
+    | Ast.If (c, t, e) ->
+        tick s;
+        if Eval.bool_expr m c then stmts t else stmts e
+    | Ast.Exit name ->
+        tick s;
+        raise (Exit_loop name)
+    | Ast.Cycle name ->
+        tick s;
+        raise (Cycle_loop name)
+    | Ast.Do d ->
+        tick s;
+        let lo = Eval.int_expr m d.lo in
+        let hi = Eval.int_expr m d.hi in
+        let step = Eval.int_expr m d.step in
+        if step = 0 then Memory.rerr "zero loop step";
+        let continue_ i = if step > 0 then i <= hi else i >= hi in
+        let i = ref lo in
+        (try
+           while continue_ !i do
+             Memory.set_scalar m d.index (Value.I !i);
+             (try stmts d.body with
+             | Cycle_loop None -> ()
+             | Cycle_loop (Some n) when d.loop_name = Some n -> ());
+             i := !i + step
+           done
+         with
+        | Exit_loop None -> ()
+        | Exit_loop (Some n) when d.loop_name = Some n -> ())
+  in
+  stmts prog.body;
+  m

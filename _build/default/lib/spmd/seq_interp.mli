@@ -1,0 +1,26 @@
+(** Reference sequential interpreter for the kernel language (Fortran
+    semantics).  The gold standard the SPMD interpreter is validated
+    against, and the execution driver of the timing simulator. *)
+
+open Hpf_lang
+
+exception Exit_loop of string option
+exception Cycle_loop of string option
+
+(** Default statement-instance budget before aborting (guards against
+    runaway loops). *)
+val default_fuel : int
+
+type config = {
+  fuel : int;
+  on_stmt : (Ast.stmt -> Memory.t -> unit) option;
+      (** called before each executed statement instance *)
+}
+
+val default_config : config
+
+(** Execute a program.  [init] seeds the fresh memory (e.g. {!Init.init});
+    returns the final memory.
+    @raise Memory.Runtime_error on runtime faults or fuel exhaustion. *)
+val run :
+  ?config:config -> ?init:(Memory.t -> unit) -> Ast.program -> Memory.t

@@ -1,0 +1,339 @@
+(** Per-processor SPMD execution with explicit data movement — the
+    correctness cross-check for the compilation.
+
+    Every processor gets its own full-size shadow memory, but only writes
+    to it when the computation-partitioning guard says it executes the
+    statement, and only {e sees} remote values when the compiler's
+    communication schedule moves them.  A reference memory runs in
+    lockstep and provides control-flow decisions and subscript addresses
+    (the guards and consumer rules are supposed to make these locally
+    available; the final validation catches them if they are not).
+
+    After the run, {!validate} checks that every processor's copy of each
+    array element {e it owns} equals the reference value — a missing or
+    misplaced communication, or a wrong guard, makes some owner compute
+    with stale operands and fail the check. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Phpf_core
+
+type t = {
+  compiled : Compiler.compiled;
+  mutable reference : Memory.t;  (** lockstep reference memory *)
+  procs : Memory.t array;  (** one shadow memory per processor *)
+  mutable transfers : int;  (** elements copied between processors *)
+}
+
+(* Communications indexed by the statement they serve. *)
+let comms_by_sid (c : Compiler.compiled) :
+    (Ast.stmt_id, Hpf_comm.Comm.t list) Hashtbl.t =
+  let h = Hashtbl.create 32 in
+  List.iter
+    (fun (cm : Hpf_comm.Comm.t) ->
+      let sid = cm.Hpf_comm.Comm.data.Aref.sid in
+      let cur = match Hashtbl.find_opt h sid with Some l -> l | None -> [] in
+      Hashtbl.replace h sid (cm :: cur))
+    c.Compiler.comms;
+  h
+
+(* Copy the current value of reference [r] from an owning processor's
+   memory into the memories of [dests].  Addresses come from the
+   reference memory. *)
+let transfer (st : t) (m_ref : Memory.t) (r : Aref.t) (dests : int list) =
+  let d = st.compiled.Compiler.decisions in
+  let owners = Concrete.owner_pids d m_ref r in
+  match owners with
+  | [] -> ()
+  | src :: _ ->
+      let msrc = st.procs.(src) in
+      if Aref.is_scalar r then begin
+        if not (Ast.is_array d.Decisions.prog r.Aref.base) then begin
+          let v = Memory.get_scalar msrc r.Aref.base in
+          List.iter
+            (fun p ->
+              if p <> src then begin
+                Memory.set_scalar st.procs.(p) r.Aref.base v;
+                st.transfers <- st.transfers + 1
+              end)
+            dests
+        end
+      end
+      else begin
+        let idx =
+          List.map (fun e -> Eval.int_expr m_ref e) r.Aref.subs
+        in
+        let v = Memory.get_elem msrc r.Aref.base idx in
+        List.iter
+          (fun p ->
+            if p <> src then begin
+              Memory.set_elem st.procs.(p) r.Aref.base idx v;
+              st.transfers <- st.transfers + 1
+            end)
+          dests
+      end
+
+(** Run the compiled program in SPMD fashion.  [init] seeds the reference
+    memory and every processor memory identically (initial data is
+    assumed globally available, as the paper's benchmarks read their
+    input on every node). *)
+let run ?(init : (Memory.t -> unit) option) (c : Compiler.compiled) : t =
+  let d = c.Compiler.decisions in
+  let nprocs =
+    Hpf_mapping.Grid.size d.Decisions.env.Hpf_mapping.Layout.grid
+  in
+  let st =
+    {
+      compiled = c;
+      reference = Memory.create c.Compiler.prog;
+      procs = Array.init nprocs (fun _ -> Memory.create c.Compiler.prog);
+      transfers = 0;
+    }
+  in
+  (match init with
+  | Some f ->
+      f st.reference;
+      Array.iter f st.procs
+  | None -> ());
+  let by_sid = comms_by_sid c in
+  let all_pids = List.init nprocs (fun p -> p) in
+  (* --- reduction combining ------------------------------------------
+     Each processor accumulates a partial result into its private copy of
+     a reduction variable; before any other statement consumes it the
+     partials must be combined across the grid dimensions the reduction
+     spans (paper §2.3's "global reduction operation").  We track a dirty
+     flag per reduction and combine lazily on first consumption. *)
+  let grid = d.Decisions.env.Hpf_mapping.Layout.grid in
+  let reduction_info =
+    (* (variable, accumulating sids, op, loc vars, repl dims) *)
+    List.filter_map
+      (fun (red : Reduction.red) ->
+        let acc_sids =
+          match Ast.find_stmt c.Compiler.prog red.Reduction.stmt_sid with
+          | Some { node = Ast.If (_, t, e); sid; _ } ->
+              sid :: List.map (fun (s : Ast.stmt) -> s.sid)
+                       (Decisions.all_stmts_in (t @ e))
+          | Some { sid; _ } -> [ sid ]
+          | None -> []
+        in
+        let repl_dims =
+          Ssa.defs_of_var d.Decisions.ssa red.Reduction.var
+          |> List.find_map (fun def ->
+                 match Decisions.scalar_mapping_of_def d def with
+                 | Decisions.Priv_reduction { repl_grid_dims; _ } ->
+                     Some repl_grid_dims
+                 | _ -> None)
+        in
+        match repl_dims with
+        | Some dims when dims <> [] ->
+            Some (red.Reduction.var, acc_sids, red, dims)
+        | _ -> None)
+      d.Decisions.reductions
+  in
+  let dirty : (string, bool) Hashtbl.t = Hashtbl.create 4 in
+  let combine (var, _, (red : Reduction.red), repl_dims) =
+    if Hashtbl.find_opt dirty var = Some true then begin
+      Hashtbl.replace dirty var false;
+      (* group processors into lines sharing coords outside repl_dims *)
+      let lines : (int list, int list) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun pid ->
+          let coords = Hpf_mapping.Grid.coords grid pid in
+          let key =
+            List.filteri
+              (fun g _ -> not (List.mem g repl_dims))
+              (Array.to_list coords)
+          in
+          let cur =
+            match Hashtbl.find_opt lines key with Some l -> l | None -> []
+          in
+          Hashtbl.replace lines key (pid :: cur))
+        all_pids;
+      Hashtbl.iter
+        (fun _ members ->
+          let values =
+            List.map
+              (fun p -> (p, Memory.get_scalar st.procs.(p) var))
+              members
+          in
+          let better (p1, v1) (p2, v2) =
+            let f1 = Value.to_float v1 and f2 = Value.to_float v2 in
+            match red.Reduction.op with
+            | Reduction.Rmax -> if f2 > f1 then (p2, v2) else (p1, v1)
+            | Reduction.Rmin -> if f2 < f1 then (p2, v2) else (p1, v1)
+            | Reduction.Rsum | Reduction.Rprod -> (p1, v1)
+          in
+          let total =
+            match red.Reduction.op with
+            | Reduction.Rsum ->
+                let s =
+                  List.fold_left
+                    (fun acc (_, v) -> acc +. Value.to_float v)
+                    0.0 values
+                in
+                (List.hd members, Value.R s)
+            | Reduction.Rprod ->
+                let s =
+                  List.fold_left
+                    (fun acc (_, v) -> acc *. Value.to_float v)
+                    1.0 values
+                in
+                (List.hd members, Value.R s)
+            | Reduction.Rmax | Reduction.Rmin ->
+                List.fold_left better (List.hd values) (List.tl values)
+          in
+          let winner, total_v = total in
+          st.transfers <- st.transfers + List.length members - 1;
+          List.iter
+            (fun p ->
+              Memory.set_scalar st.procs.(p) var total_v;
+              (* maxloc/minloc: the location companions follow the
+                 winning processor's values *)
+              List.iter
+                (fun (lv, _) ->
+                  Memory.set_scalar st.procs.(p) lv
+                    (Memory.get_scalar st.procs.(winner) lv))
+                red.Reduction.loc_vars)
+            members)
+        lines
+    end
+  in
+  let on_stmt (s : Ast.stmt) (m_ref : Memory.t) =
+    (* 0. reduction bookkeeping: combine partials before any consumer
+       reads the accumulator; mark dirty on accumulation *)
+    List.iter
+      (fun ((var, acc_sids, _, _) as info) ->
+        if List.mem s.sid acc_sids then Hashtbl.replace dirty var true
+        else begin
+          let reads =
+            List.exists
+              (fun e -> List.mem var (Ast.expr_vars e))
+              (Ast.own_exprs s)
+          in
+          if reads then combine info
+        end)
+      reduction_info;
+    (* 1. perform the communications attached to this statement *)
+    (match Hashtbl.find_opt by_sid s.sid with
+    | Some comms ->
+        List.iter
+          (fun (cm : Hpf_comm.Comm.t) ->
+            match cm.Hpf_comm.Comm.kind with
+            | Hpf_comm.Comm.Reduce ->
+                (* combining is performed by the lazy reduction logic
+                   above, not by a value copy *)
+                ()
+            | Hpf_comm.Comm.Broadcast ->
+                transfer st m_ref cm.Hpf_comm.Comm.data all_pids
+            | Hpf_comm.Comm.Shift _ | Hpf_comm.Comm.Point_to_point
+            | Hpf_comm.Comm.Gather ->
+                transfer st m_ref cm.Hpf_comm.Comm.data
+                  (Concrete.executing_pids d m_ref s))
+          comms
+    | None -> ());
+    (* 2. execute the statement on the processors its guard selects *)
+    match s.node with
+    | Ast.Assign (lhs, rhs) ->
+        let execs = Concrete.executing_pids d m_ref s in
+        List.iter
+          (fun p ->
+            let mp = st.procs.(p) in
+            let v = Eval.expr mp rhs in
+            match lhs with
+            | Ast.LVar x -> Memory.set_scalar mp x v
+            | Ast.LArr (a, subs) ->
+                (* addresses from the reference memory: subscript values
+                   are guaranteed available by the consumer rules *)
+                let idx = List.map (fun e -> Eval.int_expr m_ref e) subs in
+                Memory.set_elem mp a idx v)
+          execs
+    | Ast.Do dl ->
+        (* every processor tracks loop indices (SPMD loop structure) *)
+        let i0 = Eval.int_expr m_ref dl.lo in
+        Array.iter
+          (fun mp -> Memory.set_scalar mp dl.index (Value.I i0))
+          st.procs
+    | Ast.If _ | Ast.Exit _ | Ast.Cycle _ -> ()
+  in
+  (* loop indices must stay in lockstep on every processor (the SPMD
+     loop structure materializes them locally); mirror them from the
+     reference memory before each statement *)
+  let nest = d.Decisions.nest in
+  let indices_of : (Ast.stmt_id, string list) Hashtbl.t = Hashtbl.create 64 in
+  Ast.iter_program
+    (fun s ->
+      Hashtbl.replace indices_of s.sid (Nest.enclosing_indices nest s.sid))
+    c.Compiler.prog;
+  let on_stmt_mirrored (s : Ast.stmt) (m_ref : Memory.t) =
+    List.iter
+      (fun v ->
+        let x = Memory.get_scalar m_ref v in
+        Array.iter (fun mp -> Memory.set_scalar mp v x) st.procs)
+      (Hashtbl.find indices_of s.sid);
+    on_stmt s m_ref
+  in
+  let config =
+    {
+      Seq_interp.fuel = Seq_interp.default_fuel;
+      on_stmt = Some on_stmt_mirrored;
+    }
+  in
+  st.reference <- Seq_interp.run ~config ?init c.Compiler.prog;
+  st
+
+(** A divergence between a processor's owned copy and the reference. *)
+type mismatch = {
+  pid : int;
+  array : string;
+  index : int list;
+  got : Value.t;
+  expected : Value.t;
+}
+
+let pp_mismatch ppf (m : mismatch) =
+  Fmt.pf ppf "proc %d: %s(%a) = %a, expected %a" m.pid m.array
+    Fmt.(list ~sep:(any ", ") int)
+    m.index Value.pp m.got Value.pp m.expected
+
+(** Check every processor's owned elements of every distributed array
+    against the reference memory.  Returns the mismatches (empty = the
+    SPMD execution is consistent).
+
+    Privatized arrays are skipped: the [NEW] clause declares their values
+    dead after the loop, and each processor's instance legitimately holds
+    the values of the iterations {e it} executed. *)
+let validate ?(max_mismatches = 10) (st : t) : mismatch list =
+  let d = st.compiled.Compiler.decisions in
+  let env = d.Decisions.env in
+  let privatized a =
+    Hashtbl.fold
+      (fun (name, _) _ acc -> acc || String.equal name a)
+      d.Decisions.arrays false
+  in
+  let out = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (decl : Ast.decl) ->
+      if decl.shape <> [] && (not (privatized decl.dname))
+         && !count < max_mismatches then
+        Memory.iter_elems st.reference decl.dname (fun idx expected ->
+            if !count < max_mismatches then begin
+              let owners =
+                Hpf_mapping.Ownership.owner_pids env decl.dname
+                  (Array.of_list idx)
+              in
+              List.iter
+                (fun pid ->
+                  if !count < max_mismatches then begin
+                    let got = Memory.get_elem st.procs.(pid) decl.dname idx in
+                    if not (Value.close got expected) then begin
+                      incr count;
+                      out :=
+                        { pid; array = decl.dname; index = idx; got; expected }
+                        :: !out
+                    end
+                  end)
+                owners
+            end))
+    st.compiled.Compiler.prog.Ast.decls;
+  List.rev !out

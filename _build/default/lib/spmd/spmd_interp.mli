@@ -1,0 +1,38 @@
+(** Per-processor SPMD execution with explicit data movement — the
+    correctness cross-check for the compilation.
+
+    Every processor owns a full-size shadow memory, writes only under its
+    computation-partitioning guard, and sees remote values only when the
+    compiler's communication schedule moves them (reductions combine
+    partial results across the grid dimensions they span).  {!validate}
+    compares every processor's owned elements with the sequential
+    reference; a missing or misplaced communication, or a wrong guard,
+    fails the check. *)
+
+open Phpf_core
+
+type t = {
+  compiled : Compiler.compiled;
+  mutable reference : Memory.t;  (** the sequential reference memory *)
+  procs : Memory.t array;  (** one shadow memory per processor *)
+  mutable transfers : int;  (** elements copied between processors *)
+}
+
+(** Execute the compiled program in SPMD fashion.  [init] seeds the
+    reference and every processor memory identically. *)
+val run : ?init:(Memory.t -> unit) -> Compiler.compiled -> t
+
+(** A divergence between a processor's owned copy and the reference. *)
+type mismatch = {
+  pid : int;
+  array : string;
+  index : int list;
+  got : Value.t;
+  expected : Value.t;
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+(** Check every processor's owned elements of every non-privatized array
+    against the reference.  Empty result = consistent execution. *)
+val validate : ?max_mismatches:int -> t -> mismatch list

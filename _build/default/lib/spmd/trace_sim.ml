@@ -1,0 +1,214 @@
+(** Trace-driven timing simulation of a compiled program on an SP2-like
+    machine.
+
+    The program is executed once with reference (sequential) semantics;
+    at every statement instance the set of executing processors is
+    resolved concretely from the computation-partitioning guards, and the
+    statement's arithmetic cost is charged to each of their clocks.
+    Communication time is charged from the compiler's communication
+    schedule, with instance counts and message sizes {e measured} from
+    the same trace (distinct enclosing-iteration prefixes at the
+    placement level), so triangular loops and early exits are priced
+    exactly rather than from static bound guesses.
+
+    The reported time is [max over processors of compute + total
+    communication] — a bulk-synchronous approximation that preserves the
+    paper's relative comparisons: replicated execution shows no compute
+    speedup, and badly mapped variables show communication that grows
+    with iteration count instead of being vectorized away. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_comm
+open Phpf_core
+
+type result = {
+  nprocs : int;
+  time : float;  (** compute_max + comm_time *)
+  compute_max : float;
+  compute_total : float;
+  comm_time : float;
+  comm_messages : int;  (** total communication instances *)
+  comm_elems : int;  (** total elements moved *)
+  stmt_instances : int;
+  mem_elems_max : int;
+      (** per-processor memory footprint (elements), max over
+          processors — exposes the cost of expansion-style
+          transformations *)
+}
+
+let pp_result ppf (r : result) =
+  Fmt.pf ppf
+    "P=%d time=%.4fs (compute max %.4fs, total %.4fs; comm %.4fs in %d msgs, %d elems; mem %d elems/proc)"
+    r.nprocs r.time r.compute_max r.compute_total r.comm_time
+    r.comm_messages r.comm_elems r.mem_elems_max
+
+(* Per-statement prefix-change counters: counts.(lv) = number of distinct
+   iteration prefixes of length lv seen at this statement. *)
+type stmt_stats = {
+  mutable execs : int;
+  mutable last : int list;  (** last enclosing-index value vector *)
+  counts : int array;  (** length = nest level + 1 *)
+}
+
+let run ?(model = Cost_model.sp2) ?init (c : Compiler.compiled) :
+    result * Memory.t =
+  let d = c.Compiler.decisions in
+  let prog = c.Compiler.prog in
+  let nest = d.Decisions.nest in
+  let env = d.Decisions.env in
+  let nprocs = Hpf_mapping.Grid.size env.Hpf_mapping.Layout.grid in
+  let clocks = Array.make nprocs 0.0 in
+  let stats : (Ast.stmt_id, stmt_stats) Hashtbl.t = Hashtbl.create 64 in
+  let flops_of : (Ast.stmt_id, int) Hashtbl.t = Hashtbl.create 64 in
+  let indices_of : (Ast.stmt_id, string list) Hashtbl.t = Hashtbl.create 64 in
+  Ast.iter_program
+    (fun s ->
+      Hashtbl.replace flops_of s.sid (Eval.stmt_flops s);
+      Hashtbl.replace indices_of s.sid (Nest.enclosing_indices nest s.sid))
+    prog;
+  let total_instances = ref 0 in
+  let compute_total = ref 0.0 in
+  (* guards that do not depend on iteration state can be cached *)
+  let static_guard : (Ast.stmt_id, int list option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let on_stmt (s : Ast.stmt) (m : Memory.t) =
+    incr total_instances;
+    let level = List.length (Hashtbl.find indices_of s.sid) in
+    let st =
+      match Hashtbl.find_opt stats s.sid with
+      | Some st -> st
+      | None ->
+          let st = { execs = 0; last = []; counts = Array.make (level + 1) 0 } in
+          Hashtbl.replace stats s.sid st;
+          st
+    in
+    (* measure iteration prefixes *)
+    let cur =
+      List.map
+        (fun v -> Value.to_int (Memory.get_scalar m v))
+        (Hashtbl.find indices_of s.sid)
+    in
+    let first_diff =
+      if st.execs = 0 then 0
+      else begin
+        let rec fd k a b =
+          match (a, b) with
+          | x :: xs, y :: ys -> if x <> y then k else fd (k + 1) xs ys
+          | _ -> level + 1
+        in
+        fd 1 cur st.last
+      end
+    in
+    for lv = 0 to level do
+      if lv >= first_diff || st.execs = 0 then
+        st.counts.(lv) <- st.counts.(lv) + 1
+    done;
+    st.execs <- st.execs + 1;
+    st.last <- cur;
+    (* charge compute to executing processors *)
+    let execs =
+      match Hashtbl.find_opt static_guard s.sid with
+      | Some (Some pids) -> pids
+      | Some None -> Concrete.executing_pids d m s
+      | None ->
+          (* decide cachability: G_all with no dependence on memory *)
+          let g = Decisions.guard_of_stmt d s in
+          let cacheable = match g with Decisions.G_all -> true | _ -> false in
+          let pids = Concrete.executing_pids d m s in
+          Hashtbl.replace static_guard s.sid
+            (if cacheable then Some pids else None);
+          pids
+    in
+    let t = Cost_model.compute model ~flops:(Hashtbl.find flops_of s.sid) in
+    List.iter (fun p -> clocks.(p) <- clocks.(p) +. t) execs;
+    compute_total := !compute_total +. (t *. float_of_int (List.length execs))
+  in
+  let config = { Seq_interp.fuel = Seq_interp.default_fuel; on_stmt = Some on_stmt } in
+  let mem = Seq_interp.run ~config ?init prog in
+  (* price the communication schedule from the measured trace *)
+  let comm_time = ref 0.0 in
+  let comm_messages = ref 0 in
+  let comm_elems = ref 0 in
+  (* global message combining (when enabled): communications anchored at
+     the same placement point share one startup latency — members after
+     the first are priced under a zero-latency model *)
+  let combine = d.Decisions.options.Decisions.combine_messages in
+  let zero_alpha = { model with Cost_model.alpha = 0.0 } in
+  let groups : (int * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let kind_tag = function
+    | Comm.Shift _ -> 0
+    | Comm.Broadcast -> 1
+    | Comm.Reduce -> 2
+    | Comm.Point_to_point -> 3
+    | Comm.Gather -> 4
+  in
+  let model_for (cm : Comm.t) =
+    if not combine then model
+    else begin
+      let anchor =
+        match Nest.loop_at_level nest cm.Comm.data.Aref.sid
+                cm.Comm.placement_level
+        with
+        | Some li -> li.Nest.loop_sid
+        | None -> 0
+      in
+      let key = (cm.Comm.placement_level, anchor, kind_tag cm.Comm.kind) in
+      if Hashtbl.mem groups key then zero_alpha
+      else begin
+        Hashtbl.replace groups key ();
+        model
+      end
+    end
+  in
+  List.iter
+    (fun (cm : Comm.t) ->
+      let sid = cm.Comm.data.Aref.sid in
+      match Hashtbl.find_opt stats sid with
+      | None -> () (* statement never executed *)
+      | Some st ->
+          let level = Array.length st.counts - 1 in
+          let placement = min cm.Comm.placement_level level in
+          let instances = st.counts.(placement) in
+          (* message size: product of measured average trips of the
+             crossed loops over which the message aggregates, times the
+             shift-boundary scale *)
+          let loops = Nest.enclosing_loops nest sid in
+          let elems =
+            List.fold_left
+              (fun acc (li : Nest.loop_info) ->
+                let lv = li.Nest.level in
+                if
+                  lv > placement && lv <= level
+                  && List.mem li.Nest.loop.index cm.Comm.agg_vars
+                  && st.counts.(lv - 1) > 0
+                then
+                  acc
+                  *. (float_of_int st.counts.(lv)
+                     /. float_of_int st.counts.(lv - 1))
+                else acc)
+              (float_of_int cm.Comm.scale)
+              loops
+          in
+          let elems = max 1 (int_of_float (Float.round elems)) in
+          let cm' =
+            { cm with Comm.instances; elems_per_instance = elems }
+          in
+          comm_time := !comm_time +. Comm.cost (model_for cm) ~nprocs cm';
+          comm_messages := !comm_messages + instances;
+          comm_elems := !comm_elems + (instances * elems))
+    c.Compiler.comms;
+  let compute_max = Array.fold_left Float.max 0.0 clocks in
+  ( {
+      nprocs;
+      time = compute_max +. !comm_time;
+      compute_max;
+      compute_total = !compute_total;
+      comm_time = !comm_time;
+      comm_messages = !comm_messages;
+      comm_elems = !comm_elems;
+      stmt_instances = !total_instances;
+      mem_elems_max = Hpf_mapping.Layout.max_local_elems env;
+    },
+    mem )

@@ -1,0 +1,36 @@
+(** Trace-driven timing simulation of a compiled program on an SP2-like
+    machine.
+
+    The program executes once with reference semantics; every statement
+    instance is charged to the processors its computation-partitioning
+    guard selects, and the communication schedule is priced with instance
+    counts and message sizes measured from the same trace.  Reported time
+    is [max-processor compute + total communication] — a bulk-synchronous
+    approximation that preserves the paper's relative comparisons. *)
+
+open Phpf_core
+
+type result = {
+  nprocs : int;
+  time : float;  (** compute_max + comm_time *)
+  compute_max : float;  (** busiest processor's arithmetic time *)
+  compute_total : float;  (** summed over processors *)
+  comm_time : float;
+  comm_messages : int;  (** total communication instances *)
+  comm_elems : int;  (** total elements moved *)
+  stmt_instances : int;  (** interpreted statement instances *)
+  mem_elems_max : int;
+      (** per-processor memory footprint in elements (max over
+          processors) *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Run the simulation.  [init] seeds the memory (see {!Init});
+    [model] defaults to {!Hpf_comm.Cost_model.sp2}.  Returns the timing
+    result and the final (reference) memory. *)
+val run :
+  ?model:Hpf_comm.Cost_model.t ->
+  ?init:(Memory.t -> unit) ->
+  Compiler.compiled ->
+  result * Memory.t

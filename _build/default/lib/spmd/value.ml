@@ -1,0 +1,46 @@
+(** Runtime values of the kernel language. *)
+
+type t = I of int | R of float | B of bool
+
+let zero (ty : Hpf_lang.Types.elt_type) : t =
+  match ty with
+  | Hpf_lang.Types.TInt -> I 0
+  | Hpf_lang.Types.TReal -> R 0.0
+  | Hpf_lang.Types.TBool -> B false
+
+let to_float = function
+  | I n -> float_of_int n
+  | R f -> f
+  | B _ -> invalid_arg "Value.to_float: boolean"
+
+let to_int = function
+  | I n -> n
+  | R f -> int_of_float f
+  | B _ -> invalid_arg "Value.to_int: boolean"
+
+let to_bool = function
+  | B b -> b
+  | I n -> n <> 0
+  | R _ -> invalid_arg "Value.to_bool: real"
+
+let equal (a : t) (b : t) =
+  match (a, b) with
+  | I x, I y -> x = y
+  | R x, R y -> Float.equal x y
+  | B x, B y -> x = y
+  | (I _ | R _ | B _), _ -> false
+
+(** Approximate equality for cross-checking SPMD against sequential
+    execution (identical operation order is enforced, so exact equality
+    normally holds; the tolerance guards against platform quirks). *)
+let close ?(eps = 1e-12) (a : t) (b : t) =
+  match (a, b) with
+  | R x, R y ->
+      Float.equal x y
+      || Float.abs (x -. y) <= eps *. Float.max 1.0 (Float.abs x)
+  | _ -> equal a b
+
+let pp ppf = function
+  | I n -> Fmt.int ppf n
+  | R f -> Fmt.pf ppf "%.17g" f
+  | B b -> Fmt.bool ppf b

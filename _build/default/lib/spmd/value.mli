@@ -1,0 +1,21 @@
+(** Runtime values of the kernel language. *)
+
+type t = I of int | R of float | B of bool
+
+(** Zero value of a declared element type. *)
+val zero : Hpf_lang.Types.elt_type -> t
+
+(** Numeric coercions (Fortran promotion rules).
+    @raise Invalid_argument on booleans where a number is required. *)
+val to_float : t -> float
+
+val to_int : t -> int
+val to_bool : t -> bool
+
+val equal : t -> t -> bool
+
+(** Approximate equality used by the SPMD-vs-sequential cross-check
+    (operation order is identical, so exact equality normally holds). *)
+val close : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Array Ast Cfg Constprop Depend Dom Fmt Hashtbl Hpf_analysis Hpf_benchmarks Hpf_lang Induction List Liveness Nest Parser Pp Privatizable Reduction Sema Ssa Trips

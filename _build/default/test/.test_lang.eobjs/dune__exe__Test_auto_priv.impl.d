@@ -1,0 +1,1 @@
+test/test_auto_priv.ml: Alcotest Aref Auto_priv Compiler Decisions Fmt Hashtbl Hpf_analysis Hpf_lang Hpf_spmd List Parser Phpf_core Sema

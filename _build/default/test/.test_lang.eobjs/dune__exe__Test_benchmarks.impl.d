@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Dgefa Float Fmt Hpf_benchmarks Hpf_spmd Lazy List Phpf_core Tables Tomcatv

@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Aref Ast Comm Cost_model Fmt Hpf_analysis Hpf_benchmarks Hpf_comm Hpf_lang List Nest Parser Phpf_core Sema Vectorize

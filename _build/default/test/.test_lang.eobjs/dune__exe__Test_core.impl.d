@@ -1,0 +1,1 @@
+test/test_core.ml: Affine Alcotest Align_level Aref Array Ast Compiler Decisions Fmt Hashtbl Hpf_analysis Hpf_benchmarks Hpf_lang Hpf_mapping List Ownership Parser Phpf_core Report Sema Ssa String

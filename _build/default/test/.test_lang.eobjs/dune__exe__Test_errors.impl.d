@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Float Grid Hpf_benchmarks Hpf_lang Hpf_mapping Hpf_spmd Init Layout List Memory Parser Phpf_core Sema Seq_interp Trace_sim Value

@@ -1,0 +1,1 @@
+test/test_expansion.ml: Alcotest Ast Compiler Expansion Fig_examples Fmt Hpf_benchmarks Hpf_lang Hpf_spmd Init List Memory Parser Phpf_core Sema Seq_interp Spmd_interp Trace_sim Types Value

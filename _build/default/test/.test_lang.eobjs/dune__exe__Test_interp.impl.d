@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ast Eval Fmt Hpf_lang Hpf_spmd Init List Memory Parser Sema Seq_interp Value

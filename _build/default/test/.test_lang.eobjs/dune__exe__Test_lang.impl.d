@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Fmt Hpf_benchmarks Hpf_lang Lexer List Loc Nest Parser Pp Sema

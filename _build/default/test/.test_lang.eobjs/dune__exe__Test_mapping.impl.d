@@ -1,0 +1,1 @@
+test/test_mapping.ml: Affine Alcotest Align_level Aref Array Ast Dist Fmt Grid Hpf_analysis Hpf_benchmarks Hpf_lang Hpf_mapping Layout List Nest Ownership Parser Sema

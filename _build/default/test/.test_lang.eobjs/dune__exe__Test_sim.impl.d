@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Compiler Fmt Hpf_benchmarks Hpf_lang Hpf_spmd Init List Parser Phpf_core Sema Trace_sim Variants

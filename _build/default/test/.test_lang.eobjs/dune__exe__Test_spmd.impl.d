@@ -1,0 +1,1 @@
+test/test_spmd.ml: Alcotest Appsp Compiler Dgefa Fig_examples Fmt Hpf_benchmarks Hpf_lang Hpf_spmd Init List Phpf_core Sema Spmd_interp Tomcatv Variants

@@ -1,0 +1,17 @@
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --producer-align | grep 'x  '
+  $ ../../bin/phpfc.exe validate ../../examples/programs/fig1.hpfk
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig7.hpfk | tail -n 4
+  $ ../../bin/phpfc.exe compile ../../examples/programs/workspace.hpfk | grep -c broadcast
+  $ ../../bin/phpfc.exe compile ../../examples/programs/workspace.hpfk --auto-array-priv | grep -c broadcast
+  $ ../../bin/phpfc.exe print ../../examples/programs/fig7.hpfk
+  $ cat > bad.hpfk <<'SRC'
+  > program bad
+  > x = 1.0
+  > end
+  > SRC
+  $ ../../bin/phpfc.exe compile bad.hpfk
+  $ ../../bin/phpfc.exe sweep ../../examples/programs/stencil.hpfk --sweep-procs 1,4
+  $ ../../bin/phpfc.exe compile ../../examples/programs/stencil.hpfk --annotate | sed -n '9,20p'
+  $ ../../bin/phpfc.exe compile ../../examples/programs/appsp2d.hpfk | grep -A1 'array privatization'
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig2.hpfk --annotate | sed -n '16,25p'

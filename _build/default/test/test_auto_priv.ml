@@ -1,0 +1,226 @@
+(* Tests for the automatic array privatization analysis (Auto_priv) and
+   its integration into the compilation pipeline — the paper's §7
+   future-work extension. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Phpf_core
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let parse src = Sema.check (Parser.parse_string src)
+
+let auto src = Auto_priv.analyze (parse src)
+
+let workspace_src =
+  {|
+program t
+parameter n = 16
+real a(16,16), w(16)
+!hpf$ processors p(4)
+!hpf$ distribute a(*, block) onto p
+do k = 2, n - 1
+  do i = 1, n
+    w(i) = a(i, k) * 0.5
+  end do
+  do i = 2, n
+    a(i, k) = w(i) + w(i - 1)
+  end do
+end do
+end
+|}
+
+let test_workspace_detected () =
+  match auto workspace_src with
+  | [ (_, "w") ] -> ()
+  | l -> fail (Fmt.str "%d results" (List.length l))
+
+let test_live_after_rejected () =
+  (* w read after the loop: copy-out would be needed *)
+  let src =
+    {|
+program t
+parameter n = 16
+real a(16,16), w(16), x
+do k = 2, n - 1
+  do i = 1, n
+    w(i) = a(i, k)
+  end do
+  do i = 1, n
+    a(i, k) = w(i)
+  end do
+end do
+x = w(3)
+end
+|}
+  in
+  check Alcotest.int "live-out rejected" 0 (List.length (auto src))
+
+let test_uncovered_read_rejected () =
+  (* read of w(i+1) exceeds the written range 1..n *)
+  let src =
+    {|
+program t
+parameter n = 16
+real a(16,16), w(18)
+do k = 2, n - 1
+  do i = 1, n
+    w(i) = a(i, k)
+  end do
+  do i = 1, n
+    a(i, k) = w(i + 1)
+  end do
+end do
+end
+|}
+  in
+  check Alcotest.int "uncovered read rejected" 0 (List.length (auto src))
+
+let test_read_before_write_rejected () =
+  let src =
+    {|
+program t
+parameter n = 16
+real a(16,16), w(16)
+do k = 2, n - 1
+  do i = 1, n
+    a(i, k) = w(i)
+  end do
+  do i = 1, n
+    w(i) = a(i, k)
+  end do
+end do
+end
+|}
+  in
+  check Alcotest.int "upward-exposed read rejected" 0
+    (List.length (auto src))
+
+let test_conditional_write_rejected () =
+  let src =
+    {|
+program t
+parameter n = 16
+real a(16,16), w(16)
+do k = 2, n - 1
+  do i = 1, n
+    if (a(i, k) > 0.0) then
+      w(i) = a(i, k)
+    end if
+  end do
+  do i = 1, n
+    a(i, k) = w(i)
+  end do
+end do
+end
+|}
+  in
+  check Alcotest.int "conditional write does not cover" 0
+    (List.length (auto src))
+
+let test_loop_index_in_subscript_rejected () =
+  (* w(k) carries values across k iterations *)
+  let src =
+    {|
+program t
+parameter n = 16
+real a(16,16), w(16)
+do k = 2, n - 1
+  w(k) = a(1, k)
+  a(2, k) = w(k)
+end do
+end
+|}
+  in
+  check Alcotest.int "outer-index subscript rejected" 0
+    (List.length (auto src))
+
+let test_interior_offset_read_covered () =
+  (* the Fig. 6 shape: reads shifted by -1 within the written range *)
+  let src =
+    {|
+program t
+parameter n = 16
+real a(16,16), w(16)
+do k = 2, n - 1
+  do i = 1, n
+    w(i) = a(i, k)
+  end do
+  do i = 2, n
+    a(i, k) = w(i - 1)
+  end do
+end do
+end
+|}
+  in
+  match auto src with
+  | [ (_, "w") ] -> ()
+  | l -> fail (Fmt.str "%d results" (List.length l))
+
+let test_pipeline_integration () =
+  let prog = parse workspace_src in
+  let options =
+    { Decisions.default_options with Decisions.auto_array_priv = true }
+  in
+  let c = Compiler.compile ~options prog in
+  let d = c.Compiler.decisions in
+  let found =
+    Hashtbl.fold
+      (fun (a, _) m acc -> if a = "w" then Some m else acc)
+      d.Decisions.arrays None
+  in
+  (match found with
+  | Some (Decisions.Arr_priv { target = Some t }) ->
+      check Alcotest.string "aligned with a(i,k)" "a" t.Aref.base
+  | Some m -> fail (Fmt.str "w: %a" Decisions.pp_array_mapping m)
+  | None -> fail "w not privatized by the pipeline");
+  (* and the broadcast of a's column disappears *)
+  check Alcotest.int "no communication" 0 (List.length c.Compiler.comms);
+  (* default options: analysis off, broadcast present *)
+  let c0 = Compiler.compile prog in
+  check Alcotest.bool "without the option: comm remains" true
+    (c0.Compiler.comms <> [])
+
+let test_pipeline_validates () =
+  let prog = parse workspace_src in
+  let options =
+    { Decisions.default_options with Decisions.auto_array_priv = true }
+  in
+  let c = Compiler.compile ~options prog in
+  let st =
+    Hpf_spmd.Spmd_interp.run
+      ~init:(Hpf_spmd.Init.init c.Compiler.prog)
+      c
+  in
+  match Hpf_spmd.Spmd_interp.validate st with
+  | [] -> ()
+  | m :: _ ->
+      fail (Fmt.str "mismatch: %a" Hpf_spmd.Spmd_interp.pp_mismatch m)
+
+let () =
+  Alcotest.run "auto-priv"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "workspace detected" `Quick
+            test_workspace_detected;
+          Alcotest.test_case "live-out rejected" `Quick
+            test_live_after_rejected;
+          Alcotest.test_case "uncovered read rejected" `Quick
+            test_uncovered_read_rejected;
+          Alcotest.test_case "read-before-write rejected" `Quick
+            test_read_before_write_rejected;
+          Alcotest.test_case "conditional write rejected" `Quick
+            test_conditional_write_rejected;
+          Alcotest.test_case "outer-index subscript rejected" `Quick
+            test_loop_index_in_subscript_rejected;
+          Alcotest.test_case "offset read covered" `Quick
+            test_interior_offset_read_covered;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "integration" `Quick test_pipeline_integration;
+          Alcotest.test_case "SPMD validates" `Quick test_pipeline_validates;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Shape tests on the table reproductions, at small sizes so the suite
+   stays fast.  These encode the paper's qualitative claims:
+
+   Table 1 — only selected alignment speeds TOMCATV up; replication and
+             producer alignment are much slower at P=16.
+   Table 2 — DGEFA's reduction-alignment gap grows with P.
+   Table 3 — privatization (full or partial) beats its absence under both
+             distributions. *)
+
+open Hpf_benchmarks
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let entry (t : Tables.table) ~procs ~column =
+  match List.find_opt (fun (r : Tables.row) -> r.Tables.procs = procs) t.Tables.rows with
+  | None -> fail "row"
+  | Some r -> (
+      match
+        List.find_opt (fun (e : Tables.entry) -> e.Tables.variant = column) r.Tables.entries
+      with
+      | Some e -> e.Tables.time
+      | None -> fail "column")
+
+let table1 =
+  lazy (Tables.table1 ~size:`Scaled ~procs:[ 1; 4; 16 ] ())
+
+let test_table1_selected_speeds_up () =
+  let t = Lazy.force table1 in
+  let t1 = entry t ~procs:1 ~column:"Selected Alignment" in
+  let t16 = entry t ~procs:16 ~column:"Selected Alignment" in
+  check Alcotest.bool "speedup >= 4x at P=16" true (t1 /. t16 >= 4.0)
+
+let test_table1_replication_no_speedup () =
+  let t = Lazy.force table1 in
+  let t1 = entry t ~procs:1 ~column:"Replication" in
+  let t16 = entry t ~procs:16 ~column:"Replication" in
+  check Alcotest.bool "replication does not speed up" true (t16 >= t1 *. 0.9)
+
+let test_table1_selected_wins_big () =
+  let t = Lazy.force table1 in
+  let sel = entry t ~procs:16 ~column:"Selected Alignment" in
+  let rep = entry t ~procs:16 ~column:"Replication" in
+  let prod = entry t ~procs:16 ~column:"Producer Alignment" in
+  check Alcotest.bool "one order of magnitude vs replication" true
+    (rep /. sel >= 10.0);
+  check Alcotest.bool "producer alignment is far worse" true
+    (prod /. sel >= 10.0)
+
+let test_table1_p1_identical () =
+  (* with one processor the mapping cannot matter much: same compute,
+     and single-processor "communication" is only model noise *)
+  let t = Lazy.force table1 in
+  let sel = entry t ~procs:1 ~column:"Selected Alignment" in
+  let rep = entry t ~procs:1 ~column:"Replication" in
+  check Alcotest.bool "within 20%" true
+    (Float.abs (sel -. rep) /. sel < 0.2)
+
+let table2 = lazy (Tables.table2 ~size:`Scaled ~procs:[ 2; 16 ] ())
+
+let test_table2_gap_grows () =
+  let t = Lazy.force table2 in
+  let gap p =
+    entry t ~procs:p ~column:"Default" /. entry t ~procs:p ~column:"Alignment"
+  in
+  check Alcotest.bool "gap at 16 > gap at 2" true (gap 16 > gap 2);
+  check Alcotest.bool "alignment never worse" true (gap 2 >= 0.99)
+
+let table3 = lazy (Tables.table3 ~size:`Scaled ~procs:[ 4; 16 ] ())
+
+let test_table3_priv_wins_1d () =
+  let t = Lazy.force table3 in
+  List.iter
+    (fun p ->
+      let nop = entry t ~procs:p ~column:"1-D, No Array Priv." in
+      let priv = entry t ~procs:p ~column:"1-D, Priv." in
+      check Alcotest.bool (Fmt.str "P=%d: priv wins" p) true
+        (nop /. priv >= 1.5))
+    [ 4; 16 ]
+
+let test_table3_partial_wins_2d () =
+  let t = Lazy.force table3 in
+  List.iter
+    (fun p ->
+      let nop = entry t ~procs:p ~column:"2-D, No Partial Priv." in
+      let priv = entry t ~procs:p ~column:"2-D, Partial Priv." in
+      check Alcotest.bool (Fmt.str "P=%d: partial wins" p) true
+        (nop /. priv >= 1.5))
+    [ 4; 16 ]
+
+let test_table3_gaps_grow_with_p () =
+  let t = Lazy.force table3 in
+  let gap p =
+    entry t ~procs:p ~column:"2-D, No Partial Priv."
+    /. entry t ~procs:p ~column:"2-D, Partial Priv."
+  in
+  check Alcotest.bool "gap grows" true (gap 16 >= gap 4 *. 0.9)
+
+let test_table3_2d_starts_better () =
+  (* "the program version using 2-D distribution starts out at fewer
+     processors with better performance, mainly due to the absence of
+     global transpose operations in the sweepz subroutine" *)
+  let t = Lazy.force table3 in
+  ignore t;
+  let t2 = Tables.table3 ~size:`Scaled ~procs:[ 2 ] () in
+  let one_d = entry t2 ~procs:2 ~column:"1-D, Priv." in
+  let two_d = entry t2 ~procs:2 ~column:"2-D, Partial Priv." in
+  check Alcotest.bool "2-D better at P=2" true (two_d <= one_d)
+
+(* the timing simulator's bookkeeping *)
+let test_sim_accounting () =
+  let prog = Tomcatv.program ~n:18 ~niter:2 ~p:4 in
+  let c = Phpf_core.Compiler.compile prog in
+  let r, _ = Hpf_spmd.Trace_sim.run ~init:(Hpf_spmd.Init.init c.Phpf_core.Compiler.prog) c in
+  check Alcotest.bool "time = compute + comm" true
+    (Float.abs (r.Hpf_spmd.Trace_sim.time
+               -. (r.Hpf_spmd.Trace_sim.compute_max +. r.Hpf_spmd.Trace_sim.comm_time))
+    < 1e-12);
+  check Alcotest.bool "instances counted" true
+    (r.Hpf_spmd.Trace_sim.stmt_instances > 1000);
+  check Alcotest.bool "compute parallel" true
+    (r.Hpf_spmd.Trace_sim.compute_max < r.Hpf_spmd.Trace_sim.compute_total)
+
+let test_sim_deterministic () =
+  let prog = Dgefa.program ~n:24 ~p:4 in
+  let c = Phpf_core.Compiler.compile prog in
+  let run () =
+    let r, _ = Hpf_spmd.Trace_sim.run ~init:(Hpf_spmd.Init.init c.Phpf_core.Compiler.prog) c in
+    r.Hpf_spmd.Trace_sim.time
+  in
+  check (Alcotest.float 0.0) "deterministic" (run ()) (run ())
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "selected speeds up" `Slow
+            test_table1_selected_speeds_up;
+          Alcotest.test_case "replication no speedup" `Slow
+            test_table1_replication_no_speedup;
+          Alcotest.test_case "selected wins big" `Slow
+            test_table1_selected_wins_big;
+          Alcotest.test_case "P=1 identical" `Slow test_table1_p1_identical;
+        ] );
+      ( "table2",
+        [ Alcotest.test_case "gap grows with P" `Slow test_table2_gap_grows ] );
+      ( "table3",
+        [
+          Alcotest.test_case "1-D priv wins" `Slow test_table3_priv_wins_1d;
+          Alcotest.test_case "2-D partial wins" `Slow
+            test_table3_partial_wins_2d;
+          Alcotest.test_case "gap grows" `Slow test_table3_gaps_grow_with_p;
+          Alcotest.test_case "2-D starts better" `Slow
+            test_table3_2d_starts_better;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "accounting" `Quick test_sim_accounting;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        ] );
+    ]

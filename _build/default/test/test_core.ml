@@ -1,0 +1,581 @@
+(* Tests for phpf_core: the decision store, the Fig. 3 mapping algorithm's
+   structural guarantees, guards, and the privatization passes. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_mapping
+open Phpf_core
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let parse src = Sema.check (Parser.parse_string src)
+let compile ?options src = Compiler.compile ?options (parse src)
+
+let all_scalar_defs (d : Decisions.t) (var : string) : Ssa.def_id list =
+  Ssa.defs_of_var d.Decisions.ssa var
+
+(* ------------------------------------------------------------------ *)
+(* Consistency: all reaching definitions of a use share one mapping     *)
+(* ------------------------------------------------------------------ *)
+
+let test_consistent_reaching_defs () =
+  let c =
+    compile
+      {|
+program t
+parameter n = 16
+real a(16), b(16), d(16)
+real x
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+!hpf$ align d(i) with a(i)
+do i = 1, n
+  if (a(i) > 0.0) then
+    x = a(i)
+  else
+    x = b(i)
+  end if
+  d(i) = x
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  (* both defs of x must carry the same (aligned) mapping *)
+  match all_scalar_defs d "x" with
+  | [ d1; d2 ] ->
+      let m1 = Decisions.scalar_mapping_of_def d d1 in
+      let m2 = Decisions.scalar_mapping_of_def d d2 in
+      check Alcotest.string "identical mappings"
+        (Fmt.str "%a" Decisions.pp_scalar_mapping m1)
+        (Fmt.str "%a" Decisions.pp_scalar_mapping m2);
+      (match m1 with
+      | Decisions.Priv_aligned { target; _ } ->
+          check Alcotest.string "aligned with consumer d(i)" "d"
+            target.Aref.base
+      | m -> fail (Fmt.str "x: %a" Decisions.pp_scalar_mapping m))
+  | l -> fail (Fmt.str "%d defs of x" (List.length l))
+
+let test_not_unique_def_still_aligned () =
+  (* the old phpf (paper §6) refused to privatize a def that was not the
+     only reaching definition; the paper's algorithm handles it through
+     the consistency marking *)
+  let c =
+    compile
+      {|
+program t
+parameter n = 16
+real a(16), d(16)
+real x
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align d(i) with a(i)
+do i = 1, n
+  if (a(i) > 0.0) then
+    x = a(i) * 2.0
+  else
+    x = a(i) * 3.0
+  end if
+  d(i) = x
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  List.iter
+    (fun def ->
+      match Decisions.scalar_mapping_of_def d def with
+      | Decisions.Priv_aligned _ -> ()
+      | m -> fail (Fmt.str "x: %a" Decisions.pp_scalar_mapping m))
+    (all_scalar_defs d "x")
+
+(* ------------------------------------------------------------------ *)
+(* NoAlignExam deferral                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_align_requires_unique_def () =
+  (* rhs replicated but two reaching defs: cannot privatize without
+     alignment (each use must see the privately computed value) *)
+  let c =
+    compile
+      {|
+program t
+parameter n = 16
+real a(16), e(16)
+real z
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+do i = 1, n
+  if (e(i) > 0.0) then
+    z = e(i)
+  else
+    z = 1.0
+  end if
+  a(i) = z
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  List.iter
+    (fun def ->
+      match Decisions.scalar_mapping_of_def d def with
+      | Decisions.Priv_no_align -> fail "must not be no-align (two defs)"
+      | _ -> ())
+    (all_scalar_defs d "z")
+
+let test_no_align_defer_flips () =
+  (* w = z * 2 where z is itself later privatized-without-alignment: the
+     deferred examination must still see w's rhs as replicated and make w
+     no-align too *)
+  let c =
+    compile
+      {|
+program t
+parameter n = 16
+real a(16), e(16)
+real z, w
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+do i = 1, n
+  z = e(i)
+  w = z * 2.0
+  a(i) = w + z
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun def ->
+          match Decisions.scalar_mapping_of_def d def with
+          | Decisions.Priv_no_align -> ()
+          | m -> fail (Fmt.str "%s: %a" v Decisions.pp_scalar_mapping m))
+        (all_scalar_defs d v))
+    [ "z"; "w" ]
+
+let test_no_align_reverts_when_rhs_becomes_partitioned () =
+  (* u = v where v ends up aligned (partitioned): u cannot stay in the
+     no-align list *)
+  let c =
+    compile
+      {|
+program t
+parameter n = 16
+real a(16), b(16), d(16)
+real v, u
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+!hpf$ align d(i) with a(i)
+do i = 1, n
+  v = b(i) * 2.0
+  u = v + 1.0
+  d(i) = u
+  a(i) = v
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  List.iter
+    (fun def ->
+      match Decisions.scalar_mapping_of_def d def with
+      | Decisions.Priv_no_align ->
+          fail "u reads aligned v: no-align must be reverted"
+      | _ -> ())
+    (all_scalar_defs d "u")
+
+(* ------------------------------------------------------------------ *)
+(* AlignLevel validity check                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_alignment_rejected_outside_validity () =
+  (* x is privatizable only w.r.t. the OUTER loop (used after the inner
+     loop), but the candidate target traverses the inner loop index:
+     AlignLevel 2 > privatization level 1, alignment must be rejected *)
+  let c =
+    compile
+      {|
+program t
+parameter n = 16
+real a(16,16), d(16)
+real x
+!hpf$ processors p(4)
+!hpf$ distribute a(*, block) onto p
+!hpf$ align d(i) with a(1, i)
+do i = 1, n
+  x = 0.0
+  do j = 1, n
+    a(i, j) = x + 1.0
+  end do
+  d(i) = x
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  List.iter
+    (fun def ->
+      match Decisions.scalar_mapping_of_def d def with
+      | Decisions.Priv_aligned { target; level } ->
+          check Alcotest.bool "align level within validity" true
+            (Align_level.align_level d.Decisions.env d.Decisions.nest target
+            <= level)
+      | _ -> ())
+    (all_scalar_defs d "x")
+
+(* ------------------------------------------------------------------ *)
+(* Guards                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_guard_owner_computes () =
+  let c =
+    compile
+      {|
+program t
+parameter n = 16
+real a(16), b(16)
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+do i = 1, n
+  a(i) = b(i)
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.Assign (Ast.LArr ("a", _), _) -> (
+          match Decisions.guard_of_stmt d s with
+          | Decisions.G_ref r -> check Alcotest.string "guard a(i)" "a" r.Aref.base
+          | _ -> fail "owner-computes guard")
+      | _ -> ())
+    c.Compiler.prog
+
+let test_guard_replicated_scalar_all () =
+  let c =
+    compile ~options:Hpf_benchmarks.Variants.replication
+      {|
+program t
+parameter n = 16
+real a(16)
+real x
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+do i = 1, n
+  x = a(i)
+  a(i) = x
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.Assign (Ast.LVar "x", _) ->
+          check Alcotest.bool "replicated lhs -> all" true
+            (Decisions.guard_of_stmt d s = Decisions.G_all)
+      | _ -> ())
+    c.Compiler.prog
+
+let test_guard_spec_union () =
+  let d = (compile ~options:Hpf_benchmarks.Variants.selected
+    {|
+program t
+parameter n = 16
+real a(16), b(16)
+real z
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+do i = 1, n
+  z = 1.0
+  a(i) = z
+  b(i) = z
+end do
+end
+|}).Compiler.decisions
+  in
+  (* z is no-align; its guard spec must be the union of the a(i)/b(i)
+     owners = owner of a(i) *)
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.Assign (Ast.LVar "z", _) ->
+          let spec = Decisions.guard_spec d s in
+          check Alcotest.bool "union is partitioned" true
+            (Ownership.is_partitioned_spec spec)
+      | _ -> ())
+    d.Decisions.prog
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_option_no_scalar_priv () =
+  let c =
+    Compiler.compile ~options:Hpf_benchmarks.Variants.replication
+      (Hpf_benchmarks.Fig_examples.fig1 ())
+  in
+  check Alcotest.int "no scalar decisions recorded" 0
+    (Hashtbl.length c.Compiler.decisions.Decisions.scalar)
+
+let test_option_no_array_priv () =
+  let c =
+    Compiler.compile ~options:Hpf_benchmarks.Variants.no_array_priv
+      (Hpf_benchmarks.Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2)
+  in
+  check Alcotest.int "no array decisions" 0
+    (Hashtbl.length c.Compiler.decisions.Decisions.arrays)
+
+(* ------------------------------------------------------------------ *)
+(* Array privatization details                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_array_priv_no_align_for_replicated () =
+  (* a NEW array with no mapping directives: privatized without
+     alignment when no partitioned consumer exists *)
+  let c =
+    compile
+      {|
+program t
+parameter n = 8
+real w(8)
+real e(8)
+real x
+!hpf$ independent, new(w)
+do k = 1, n
+  do i = 1, n
+    w(i) = e(i) * 2.0
+  end do
+  do i = 1, n
+    x = w(i)
+  end do
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  let found =
+    Hashtbl.fold
+      (fun (a, _) m acc -> if a = "w" then Some m else acc)
+      d.Decisions.arrays None
+  in
+  match found with
+  | Some (Decisions.Arr_priv { target = None }) -> ()
+  | Some m -> fail (Fmt.str "w: %a" Decisions.pp_array_mapping m)
+  | None -> fail "w not privatized"
+
+let test_array_priv_full_alignment () =
+  let c =
+    compile
+      {|
+program t
+parameter n = 8
+real a(8,8), w(8)
+!hpf$ processors p(2)
+!hpf$ distribute a(*, block) onto p
+!hpf$ independent, new(w)
+do j = 1, n
+  do i = 1, n
+    w(i) = 1.0
+  end do
+  do i = 1, n
+    a(i, j) = w(i)
+  end do
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  let found =
+    Hashtbl.fold
+      (fun (a, _) m acc -> if a = "w" then Some m else acc)
+      d.Decisions.arrays None
+  in
+  match found with
+  | Some (Decisions.Arr_priv { target = Some t }) ->
+      check Alcotest.string "aligned with a(i,j)" "a" t.Aref.base
+  | Some m -> fail (Fmt.str "w: %a" Decisions.pp_array_mapping m)
+  | None -> fail "w not privatized"
+
+let test_array_priv_owner_spec () =
+  (* under partial privatization the owner spec of c(i,j) must follow its
+     own layout on grid dim 0 and the target on grid dim 1 *)
+  let c =
+    Compiler.compile (Hpf_benchmarks.Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2)
+  in
+  let d = c.Compiler.decisions in
+  let csid = ref 0 in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.Assign (Ast.LArr ("c", _), _) -> csid := s.sid
+      | _ -> ())
+    c.Compiler.prog;
+  let spec =
+    Decisions.owner_spec d
+      { Aref.sid = !csid; base = "c"; subs = [ Ast.Var "i"; Ast.Var "j" ] }
+  in
+  (match spec.(0) with
+  | Ownership.O_affine { pos; _ } ->
+      check Alcotest.int "dim0 follows j" 1 (Affine.coeff pos "j")
+  | _ -> fail "dim0 affine");
+  match spec.(1) with
+  | Ownership.O_affine { pos; _ } ->
+      check Alcotest.int "dim1 follows k (target)" 1 (Affine.coeff pos "k")
+  | _ -> fail "dim1 affine"
+
+(* ------------------------------------------------------------------ *)
+(* Control-flow privatization details                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_ctrl_nested_loop_exit_ok () =
+  (* an EXIT of a loop nested inside the If stays inside the If *)
+  let c =
+    compile
+      {|
+program t
+parameter n = 16
+real a(16), b(16)
+real x
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+do i = 1, n
+  if (b(i) > 0.0) then
+    do j = 1, 4
+      x = x + 1.0
+      if (x > 10.0) exit
+    end do
+  end if
+  a(i) = b(i)
+end do
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  (* the outer if (first one in program order) is privatizable: the inner
+     exit targets the j loop which lives inside the if *)
+  let outer_if = ref None in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.If _ when !outer_if = None -> outer_if := Some s.sid
+      | _ -> ())
+    c.Compiler.prog;
+  match !outer_if with
+  | Some sid ->
+      check Alcotest.bool "outer if privatized" true
+        (Decisions.ctrl_privatized d sid)
+  | None -> fail "no if"
+
+let test_ctrl_top_level_if_all () =
+  let c =
+    compile
+      {|
+program t
+real x
+x = 1.0
+if (x > 0.0) then
+  x = 2.0
+end if
+end
+|}
+  in
+  let d = c.Compiler.decisions in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.If _ ->
+          check Alcotest.bool "top-level if not privatized" false
+            (Decisions.ctrl_privatized d s.sid)
+      | _ -> ())
+    c.Compiler.prog
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_report_renders () =
+  let c = Compiler.compile (Hpf_benchmarks.Fig_examples.fig1 ()) in
+  let s = Report.to_string c in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("report mentions " ^ needle) true
+        (contains_substring s needle))
+    [ "aligned with"; "private (no alignment)"; "shift"; "induction" ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "consistency",
+        [
+          Alcotest.test_case "reaching defs share mapping" `Quick
+            test_consistent_reaching_defs;
+          Alcotest.test_case "non-unique def aligned" `Quick
+            test_not_unique_def_still_aligned;
+        ] );
+      ( "no-align",
+        [
+          Alcotest.test_case "requires unique def" `Quick
+            test_no_align_requires_unique_def;
+          Alcotest.test_case "defer flips" `Quick test_no_align_defer_flips;
+          Alcotest.test_case "reverts when rhs partitioned" `Quick
+            test_no_align_reverts_when_rhs_becomes_partitioned;
+        ] );
+      ( "align-level",
+        [
+          Alcotest.test_case "validity enforced" `Quick
+            test_alignment_rejected_outside_validity;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "owner computes" `Quick test_guard_owner_computes;
+          Alcotest.test_case "replicated scalar" `Quick
+            test_guard_replicated_scalar_all;
+          Alcotest.test_case "union spec" `Quick test_guard_spec_union;
+        ] );
+      ( "options",
+        [
+          Alcotest.test_case "no scalar priv" `Quick test_option_no_scalar_priv;
+          Alcotest.test_case "no array priv" `Quick test_option_no_array_priv;
+        ] );
+      ( "array-priv",
+        [
+          Alcotest.test_case "no-align for replicated" `Quick
+            test_array_priv_no_align_for_replicated;
+          Alcotest.test_case "full alignment" `Quick
+            test_array_priv_full_alignment;
+          Alcotest.test_case "partial owner spec" `Quick
+            test_array_priv_owner_spec;
+        ] );
+      ( "ctrl-priv",
+        [
+          Alcotest.test_case "nested exit ok" `Quick
+            test_ctrl_nested_loop_exit_ok;
+          Alcotest.test_case "top-level if" `Quick test_ctrl_top_level_if_all;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "renders" `Quick test_report_renders ] );
+    ]

@@ -1,0 +1,245 @@
+(* Failure-injection and error-path tests: mapping errors, runtime
+   faults, malformed grids, and front-end corner cases — a production
+   compiler must fail loudly and precisely, not silently miscompile. *)
+
+open Hpf_lang
+open Hpf_mapping
+open Hpf_spmd
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let parse src = Sema.check (Parser.parse_string src)
+
+(* ------------------------------------------------------------------ *)
+(* Layout / mapping errors                                             *)
+(* ------------------------------------------------------------------ *)
+
+let expect_mapping_error src =
+  match Layout.resolve (parse src) with
+  | exception Layout.Mapping_error _ -> ()
+  | _ -> fail "expected Mapping_error"
+
+let test_cyclic_align_chain () =
+  expect_mapping_error
+    {|
+program t
+real a(8), b(8)
+!hpf$ processors p(2)
+!hpf$ align a(i) with b(i)
+!hpf$ align b(i) with a(i)
+end
+|}
+
+let test_too_many_mapped_dims () =
+  (* with an explicit ONTO the front end already rejects it; without,
+     layout resolution must *)
+  (match
+     parse
+       {|
+program t
+real a(8,8)
+!hpf$ processors p(2)
+!hpf$ distribute a(block, block) onto p
+end
+|}
+   with
+  | exception Sema.Sema_error _ -> ()
+  | _ -> fail "sema should reject explicit onto");
+  expect_mapping_error
+    {|
+program t
+real a(8,8)
+!hpf$ processors p(2)
+!hpf$ distribute a(block, block)
+end
+|}
+
+let test_grid_invalid_extent () =
+  match Grid.make [ 0; 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "expected Invalid_argument"
+
+let test_grid_override_bad () =
+  let p =
+    parse
+      {|
+program t
+real a(8)
+!hpf$ processors p(2)
+!hpf$ distribute a(block) onto p
+end
+|}
+  in
+  match Layout.resolve ~grid_override:[ -1 ] p with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "negative extents rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Runtime faults                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run src = Seq_interp.run (parse src)
+
+let expect_runtime_error src =
+  match run src with
+  | exception Memory.Runtime_error _ -> ()
+  | _ -> fail "expected Runtime_error"
+
+let test_out_of_bounds () =
+  expect_runtime_error
+    {|
+program t
+real a(4)
+real x
+x = a(5)
+end
+|}
+
+let test_division_by_zero_int () =
+  expect_runtime_error {|
+program t
+integer k
+k = 1 / 0
+end
+|}
+
+let test_mod_zero () =
+  expect_runtime_error {|
+program t
+integer k
+k = mod(3, 0)
+end
+|}
+
+let test_zero_step_loop () =
+  expect_runtime_error
+    {|
+program t
+real x
+do i = 1, 4, 0
+  x = 1.0
+end do
+end
+|}
+
+let test_real_division_by_zero_is_inf () =
+  (* Fortran REAL division by zero yields infinity, not an error *)
+  let m = run {|
+program t
+real x
+x = 1.0 / 0.0
+end
+|} in
+  match Memory.get_scalar m "x" with
+  | Value.R f -> check Alcotest.bool "inf" true (Float.is_integer f = false || f = infinity)
+  | _ -> fail "real"
+
+(* ------------------------------------------------------------------ *)
+(* Front-end corner cases                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_loop_body () =
+  let p = parse {|
+program t
+real x
+do i = 1, 4
+end do
+x = 1.0
+end
+|} in
+  let c = Phpf_core.Compiler.compile p in
+  let r, _ = Trace_sim.run c in
+  check Alcotest.bool "runs" true (r.Trace_sim.stmt_instances >= 1)
+
+let test_deeply_nested () =
+  let p =
+    parse
+      {|
+program t
+real x
+do a = 1, 2
+  do b = 1, 2
+    do c = 1, 2
+      do d = 1, 2
+        do e = 1, 2
+          x = x + 1.0
+        end do
+      end do
+    end do
+  end do
+end do
+end
+|}
+  in
+  let m = Seq_interp.run p in
+  check Alcotest.bool "2^5 iterations" true
+    (Memory.get_scalar m "x" = Value.R 32.0)
+
+let test_negative_bounds_array () =
+  let p =
+    parse
+      {|
+program t
+real a(-3:3)
+real s
+s = 0.0
+do i = -3, 3
+  a(i) = 1.0
+  s = s + a(i)
+end do
+end
+|}
+  in
+  let m = Seq_interp.run p in
+  check Alcotest.bool "7 elements" true (Memory.get_scalar m "s" = Value.R 7.0)
+
+let test_compile_empty_program () =
+  let p = parse "program t\nend" in
+  let c = Phpf_core.Compiler.compile p in
+  check Alcotest.int "no comms" 0 (List.length c.Phpf_core.Compiler.comms)
+
+let test_simulate_on_one_proc_grid () =
+  (* degenerate machine: everything local, zero comm time *)
+  let prog = Hpf_benchmarks.Fig_examples.fig1 ~n:40 ~p:1 () in
+  let c = Phpf_core.Compiler.compile prog in
+  let r, _ = Trace_sim.run ~init:(Init.init c.Phpf_core.Compiler.prog) c in
+  check Alcotest.int "one proc" 1 r.Trace_sim.nprocs;
+  check Alcotest.bool "no comm" true (r.Trace_sim.comm_elems = 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "errors"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "cyclic align chain" `Quick
+            test_cyclic_align_chain;
+          Alcotest.test_case "too many mapped dims" `Quick
+            test_too_many_mapped_dims;
+          Alcotest.test_case "grid invalid extent" `Quick
+            test_grid_invalid_extent;
+          Alcotest.test_case "grid override bad" `Quick test_grid_override_bad;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+          Alcotest.test_case "integer div by zero" `Quick
+            test_division_by_zero_int;
+          Alcotest.test_case "mod zero" `Quick test_mod_zero;
+          Alcotest.test_case "zero step" `Quick test_zero_step_loop;
+          Alcotest.test_case "real div by zero = inf" `Quick
+            test_real_division_by_zero_is_inf;
+        ] );
+      ( "corner-cases",
+        [
+          Alcotest.test_case "empty loop body" `Quick test_empty_loop_body;
+          Alcotest.test_case "deep nesting" `Quick test_deeply_nested;
+          Alcotest.test_case "negative bounds" `Quick
+            test_negative_bounds_array;
+          Alcotest.test_case "empty program" `Quick test_compile_empty_program;
+          Alcotest.test_case "one-proc grid" `Quick
+            test_simulate_on_one_proc_grid;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* Tests for scalar expansion (the paper's §6 related-work contrast):
+   the transformation, its equivalence to the original semantics, and
+   its cost relative to privatization. *)
+
+open Hpf_lang
+open Phpf_core
+open Hpf_spmd
+open Hpf_benchmarks
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let test_fig1_expansion () =
+  let expanded, exps = Expansion.run (Fig_examples.fig1 ()) in
+  let vars = List.map (fun e -> e.Expansion.var) exps in
+  (* x and y were aligned; z and m were privatized without alignment *)
+  check (Alcotest.list Alcotest.string) "expanded vars" [ "x"; "y" ] vars;
+  let p = Sema.check expanded in
+  (* x_x and y_x are declared with the loop's range 2..n-1 *)
+  (match Ast.find_decl p "x_x" with
+  | Some { shape = [ b ]; _ } ->
+      check Alcotest.int "lo" 2 b.Types.lo;
+      check Alcotest.int "hi" 99 b.Types.hi
+  | _ -> fail "x_x decl");
+  (* x_x is aligned with d, y_x with a *)
+  let align_target name =
+    List.find_map
+      (function
+        | Ast.Align { alignee; target; _ } when alignee = name -> Some target
+        | _ -> None)
+      p.Ast.directives
+  in
+  check (Alcotest.option Alcotest.string) "x_x with d" (Some "d")
+    (align_target "x_x");
+  check (Alcotest.option Alcotest.string) "y_x with a" (Some "a")
+    (align_target "y_x")
+
+let test_expansion_preserves_semantics () =
+  let original = Sema.check (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  let expanded, _ = Expansion.run original in
+  let run prog array =
+    let m = Seq_interp.run ~init:(Init.init prog) prog in
+    List.init 40 (fun i -> Memory.get_elem m array [ i + 1 ])
+  in
+  let a1 = run original "a" and a2 = run (Sema.check expanded) "a" in
+  let d1 = run original "d" and d2 = run (Sema.check expanded) "d" in
+  check Alcotest.bool "a equal" true (List.for_all2 Value.equal a1 a2);
+  check Alcotest.bool "d equal" true (List.for_all2 Value.equal d1 d2)
+
+let test_expanded_program_validates () =
+  let expanded, _ = Expansion.run (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  let c = Compiler.compile expanded in
+  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+  match Spmd_interp.validate st with
+  | [] -> ()
+  | m :: _ -> fail (Fmt.str "mismatch: %a" Spmd_interp.pp_mismatch m)
+
+let test_expansion_vs_privatization_cost () =
+  (* same communication structure, strictly more memory *)
+  let prog = Fig_examples.fig1 ~n:100 ~p:4 () in
+  let priv = Compiler.compile prog in
+  let expanded, exps = Expansion.run prog in
+  check Alcotest.bool "something expanded" true (exps <> []);
+  let exp = Compiler.compile expanded in
+  let sim c =
+    fst (Trace_sim.run ~init:(Init.init c.Compiler.prog) c)
+  in
+  let rp = sim priv and re = sim exp in
+  check Alcotest.bool "similar time (within 2x)" true
+    (re.Trace_sim.time < 2.0 *. rp.Trace_sim.time);
+  check Alcotest.bool "expansion uses more memory" true
+    (re.Trace_sim.mem_elems_max > rp.Trace_sim.mem_elems_max)
+
+let test_no_expansion_without_alignment () =
+  (* a program whose scalars are all no-align: nothing to expand *)
+  let prog =
+    Sema.check
+      (Parser.parse_string
+         {|
+program t
+parameter n = 16
+real e(16), f(16)
+real z
+real a(16)
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+do i = 1, n
+  z = e(i) + f(i)
+  a(i) = z
+end do
+end
+|})
+  in
+  let _, exps = Expansion.run prog in
+  (* z's consumer a(i) is partitioned: z is aligned and expanded; the
+     replicated-operand scalar in fig1 (z there) is no-align because it
+     feeds TWO different owners.  Here there is one consumer, so
+     alignment (and thus expansion) applies. *)
+  ignore exps;
+  let prog2 =
+    Sema.check
+      (Parser.parse_string
+         {|
+program t
+parameter n = 16
+integer m
+real a(16)
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+m = 0
+do i = 1, n
+  m = m + 1
+  a(m) = 1.0
+end do
+end
+|})
+  in
+  let _, exps2 = Expansion.run prog2 in
+  check Alcotest.int "induction variable not expanded" 0 (List.length exps2)
+
+let () =
+  Alcotest.run "expansion"
+    [
+      ( "transform",
+        [
+          Alcotest.test_case "fig1 expansion" `Quick test_fig1_expansion;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_expansion_preserves_semantics;
+          Alcotest.test_case "SPMD validates" `Quick
+            test_expanded_program_validates;
+          Alcotest.test_case "cost vs privatization" `Quick
+            test_expansion_vs_privatization_cost;
+          Alcotest.test_case "nothing to expand" `Quick
+            test_no_expansion_without_alignment;
+        ] );
+    ]

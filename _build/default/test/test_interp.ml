@@ -1,0 +1,359 @@
+(* Tests for the hpf_spmd runtime substrate: values, memory, expression
+   evaluation and the sequential reference interpreter. *)
+
+open Hpf_lang
+open Hpf_spmd
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let parse src = Sema.check (Parser.parse_string src)
+let run ?init src = Seq_interp.run ?init (parse src)
+
+let get_r m v =
+  match Memory.get_scalar m v with
+  | Value.R f -> f
+  | x -> fail (Fmt.str "expected real, got %a" Value.pp x)
+
+let get_i m v =
+  match Memory.get_scalar m v with
+  | Value.I n -> n
+  | x -> fail (Fmt.str "expected int, got %a" Value.pp x)
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_zero_init () =
+  let p = parse "program t\nreal a(4,4)\ninteger k\nreal x\nx = 1.0\nend" in
+  let m = Memory.create p in
+  check Alcotest.bool "scalar zero" true
+    (Memory.get_scalar m "x" = Value.R 0.0);
+  check Alcotest.bool "int zero" true (Memory.get_scalar m "k" = Value.I 0);
+  check Alcotest.bool "array zero" true
+    (Memory.get_elem m "a" [ 3; 2 ] = Value.R 0.0)
+
+let test_memory_bounds_check () =
+  let p = parse "program t\nreal a(2:5)\nreal x\nx = 1.0\nend" in
+  let m = Memory.create p in
+  Memory.set_elem m "a" [ 2 ] (Value.R 7.0);
+  Memory.set_elem m "a" [ 5 ] (Value.R 8.0);
+  check Alcotest.bool "lo" true (Memory.get_elem m "a" [ 2 ] = Value.R 7.0);
+  (match Memory.get_elem m "a" [ 1 ] with
+  | exception Memory.Runtime_error _ -> ()
+  | _ -> fail "below lo must fail");
+  match Memory.get_elem m "a" [ 6 ] with
+  | exception Memory.Runtime_error _ -> ()
+  | _ -> fail "above hi must fail"
+
+let test_memory_row_major_distinct () =
+  let p = parse "program t\nreal a(3,3)\nreal x\nx = 1.0\nend" in
+  let m = Memory.create p in
+  Memory.set_elem m "a" [ 1; 2 ] (Value.R 1.0);
+  Memory.set_elem m "a" [ 2; 1 ] (Value.R 2.0);
+  check Alcotest.bool "distinct cells" true
+    (Memory.get_elem m "a" [ 1; 2 ] = Value.R 1.0
+    && Memory.get_elem m "a" [ 2; 1 ] = Value.R 2.0)
+
+let test_memory_copy_isolated () =
+  let p = parse "program t\nreal a(4)\nreal x\nx = 1.0\nend" in
+  let m = Memory.create p in
+  Memory.set_elem m "a" [ 1 ] (Value.R 5.0);
+  let m2 = Memory.copy m in
+  Memory.set_elem m2 "a" [ 1 ] (Value.R 9.0);
+  check Alcotest.bool "original unchanged" true
+    (Memory.get_elem m "a" [ 1 ] = Value.R 5.0)
+
+let test_memory_iter_elems () =
+  let p = parse "program t\nreal a(2,3)\nreal x\nx = 1.0\nend" in
+  let m = Memory.create p in
+  let count = ref 0 in
+  Memory.iter_elems m "a" (fun idx _ ->
+      incr count;
+      check Alcotest.int "rank" 2 (List.length idx));
+  check Alcotest.int "6 elements" 6 !count
+
+(* ------------------------------------------------------------------ *)
+(* Sequential interpreter                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_arith () =
+  let m =
+    run
+      {|
+program t
+real x, y
+integer k
+x = 2.0 ** 3 + 1.0
+y = min(x, 5.0) / 2.0
+k = mod(17, 5)
+end
+|}
+  in
+  check (Alcotest.float 1e-12) "x" 9.0 (get_r m "x");
+  check (Alcotest.float 1e-12) "y" 2.5 (get_r m "y");
+  check Alcotest.int "k" 2 (get_i m "k")
+
+let test_interp_int_division () =
+  let m = run "program t\ninteger k\nk = 7 / 2\nend" in
+  check Alcotest.int "truncates" 3 (get_i m "k")
+
+let test_interp_loop_sum () =
+  let m =
+    run
+      {|
+program t
+parameter n = 10
+real s
+s = 0.0
+do i = 1, n
+  s = s + 1.5
+end do
+end
+|}
+  in
+  check (Alcotest.float 1e-12) "sum" 15.0 (get_r m "s")
+
+let test_interp_strided_and_downward () =
+  let m =
+    run
+      {|
+program t
+integer c1, c2
+c1 = 0
+c2 = 0
+do i = 1, 10, 3
+  c1 = c1 + 1
+end do
+do i = 10, 1, -2
+  c2 = c2 + 1
+end do
+end
+|}
+  in
+  check Alcotest.int "1,4,7,10" 4 (get_i m "c1");
+  check Alcotest.int "10,8,6,4,2" 5 (get_i m "c2")
+
+let test_interp_zero_trip () =
+  let m =
+    run
+      {|
+program t
+integer c
+c = 0
+do i = 5, 4
+  c = c + 1
+end do
+end
+|}
+  in
+  check Alcotest.int "zero trips" 0 (get_i m "c")
+
+let test_interp_if_else () =
+  let m =
+    run
+      {|
+program t
+real a(4)
+integer pos, neg
+a(1) = 1.0
+a(2) = -1.0
+a(3) = 2.0
+a(4) = -2.0
+pos = 0
+neg = 0
+do i = 1, 4
+  if (a(i) > 0.0) then
+    pos = pos + 1
+  else
+    neg = neg + 1
+  end if
+end do
+end
+|}
+  in
+  check Alcotest.int "pos" 2 (get_i m "pos");
+  check Alcotest.int "neg" 2 (get_i m "neg")
+
+let test_interp_exit_cycle () =
+  let m =
+    run
+      {|
+program t
+integer c, d
+c = 0
+d = 0
+do i = 1, 10
+  if (i == 4) exit
+  c = c + 1
+end do
+do i = 1, 10
+  if (mod(i, 2) == 0) cycle
+  d = d + 1
+end do
+end
+|}
+  in
+  check Alcotest.int "exit at 4" 3 (get_i m "c");
+  check Alcotest.int "odd only" 5 (get_i m "d")
+
+let test_interp_named_exit () =
+  let m =
+    run
+      {|
+program t
+integer c
+c = 0
+outer: do i = 1, 5
+  do j = 1, 5
+    c = c + 1
+    if (c == 7) exit outer
+  end do
+end do
+end
+|}
+  in
+  check Alcotest.int "exited outer" 7 (get_i m "c")
+
+let test_interp_gauss_small () =
+  (* 2x2 elimination: a = [[2,1],[4,3]]; after dgefa-style elimination the
+     multiplier lives in a(2,1) and the trailing update in a(2,2) *)
+  let src =
+    {|
+program t
+real a(2,2)
+real t3, t2
+integer l
+real tt
+a(1,1) = 4.0
+a(1,2) = 3.0
+a(2,1) = 2.0
+a(2,2) = 1.0
+do k = 1, 1
+  tt = 0.0
+  l = k
+  do i = k, 2
+    if (abs(a(i,k)) > tt) then
+      tt = abs(a(i,k))
+      l = i
+    end if
+  end do
+  t2 = -1.0 / a(l,k)
+  do i = k + 1, 2
+    a(i,k) = a(i,k) * t2
+  end do
+  do j = k + 1, 2
+    t3 = a(l,j)
+    a(l,j) = a(k,j)
+    a(k,j) = t3
+    do i = k + 1, 2
+      a(i,j) = a(i,j) + t3 * a(i,k)
+    end do
+  end do
+end do
+end
+|}
+  in
+  let m = run src in
+  (* pivot row 1 (value 4): l = 1, multiplier = -2/4 = -0.5,
+     a(2,2) = 1 + 3 * (-0.5) = -0.5 *)
+  check Alcotest.int "pivot" 1 (get_i m "l");
+  check (Alcotest.float 1e-12) "multiplier" (-0.5)
+    (match Memory.get_elem m "a" [ 2; 1 ] with Value.R f -> f | _ -> nan);
+  check (Alcotest.float 1e-12) "update" (-0.5)
+    (match Memory.get_elem m "a" [ 2; 2 ] with Value.R f -> f | _ -> nan)
+
+let test_interp_fuel () =
+  let p =
+    parse
+      {|
+program t
+integer c
+c = 0
+do i = 1, 100000
+  c = c + 1
+end do
+end
+|}
+  in
+  match
+    Seq_interp.run
+      ~config:{ Seq_interp.fuel = 1000; on_stmt = None }
+      p
+  with
+  | exception Memory.Runtime_error _ -> ()
+  | _ -> fail "fuel must run out"
+
+let test_interp_on_stmt_counts () =
+  let p =
+    parse
+      {|
+program t
+real x
+do i = 1, 5
+  x = x + 1.0
+end do
+end
+|}
+  in
+  let count = ref 0 in
+  let _ =
+    Seq_interp.run
+      ~config:
+        {
+          Seq_interp.fuel = Seq_interp.default_fuel;
+          on_stmt = Some (fun _ _ -> incr count);
+        }
+      p
+  in
+  (* 1 Do + 5 assigns *)
+  check Alcotest.int "instances" 6 !count
+
+let test_interp_init_seeding () =
+  let p = parse "program t\nreal a(8)\nreal x\nx = a(3)\nend" in
+  let m = Seq_interp.run ~init:(Init.init p) p in
+  check Alcotest.bool "seeded nonzero" true (get_r m "x" <> 0.0);
+  (* deterministic *)
+  let m2 = Seq_interp.run ~init:(Init.init p) p in
+  check (Alcotest.float 0.0) "deterministic" (get_r m "x") (get_r m2 "x")
+
+let test_flops_counting () =
+  let e : Ast.expr =
+    Bin (Add, Bin (Mul, Var "a", Var "b"), Un (Neg, Var "c"))
+  in
+  check Alcotest.int "3 ops" 3 (Eval.flops e)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "zero init" `Quick test_memory_zero_init;
+          Alcotest.test_case "bounds check" `Quick test_memory_bounds_check;
+          Alcotest.test_case "distinct cells" `Quick
+            test_memory_row_major_distinct;
+          Alcotest.test_case "copy isolated" `Quick test_memory_copy_isolated;
+          Alcotest.test_case "iter elems" `Quick test_memory_iter_elems;
+        ] );
+      ( "seq-interp",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_interp_arith;
+          Alcotest.test_case "integer division" `Quick
+            test_interp_int_division;
+          Alcotest.test_case "loop sum" `Quick test_interp_loop_sum;
+          Alcotest.test_case "strided/downward" `Quick
+            test_interp_strided_and_downward;
+          Alcotest.test_case "zero trip" `Quick test_interp_zero_trip;
+          Alcotest.test_case "if/else" `Quick test_interp_if_else;
+          Alcotest.test_case "exit/cycle" `Quick test_interp_exit_cycle;
+          Alcotest.test_case "named exit" `Quick test_interp_named_exit;
+          Alcotest.test_case "small gauss" `Quick test_interp_gauss_small;
+          Alcotest.test_case "fuel" `Quick test_interp_fuel;
+          Alcotest.test_case "on_stmt counts" `Quick
+            test_interp_on_stmt_counts;
+          Alcotest.test_case "init seeding" `Quick test_interp_init_seeding;
+          Alcotest.test_case "flops" `Quick test_flops_counting;
+        ] );
+    ]

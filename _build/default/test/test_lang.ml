@@ -1,0 +1,610 @@
+(* Tests for the hpf_lang front end: lexer, parser, pretty-printer,
+   semantic checks, AST utilities and the loop-nest structure. *)
+
+open Hpf_lang
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tokens src =
+  List.map fst (Lexer.tokenize src)
+  |> List.filter (fun t -> t <> Lexer.EOF)
+
+let test_lex_operators () =
+  let open Lexer in
+  check (Alcotest.list Alcotest.string) "operators"
+    [ "+"; "-"; "*"; "/"; "**"; "=="; "/="; "<"; "<="; ">"; ">="; "=" ]
+    (List.map token_to_string (tokens "+ - * / ** == /= < <= > >= ="))
+
+let test_lex_numbers () =
+  let open Lexer in
+  (match tokens "42 3.5 1. .25 1e3 2.5e-2 1d0" with
+  | [ INT_LIT 42; REAL_LIT a; REAL_LIT b; REAL_LIT c; REAL_LIT d;
+      REAL_LIT e; REAL_LIT f ] ->
+      check (Alcotest.float 1e-9) "3.5" 3.5 a;
+      check (Alcotest.float 1e-9) "1." 1.0 b;
+      check (Alcotest.float 1e-9) ".25" 0.25 c;
+      check (Alcotest.float 1e-9) "1e3" 1000.0 d;
+      check (Alcotest.float 1e-9) "2.5e-2" 0.025 e;
+      check (Alcotest.float 1e-9) "1d0" 1.0 f
+  | ts ->
+      fail
+        (Fmt.str "unexpected tokens: %a"
+           Fmt.(list ~sep:sp string)
+           (List.map token_to_string ts)))
+
+let test_lex_dotted () =
+  let open Lexer in
+  check Alcotest.bool "dotted words" true
+    (tokens ".and. .or. .not. .true. .false."
+    = [ AND; OR; NOT; TRUE; FALSE ])
+
+let test_lex_comments () =
+  check Alcotest.int "plain comment skipped" 1
+    (List.length (tokens "x ! this is a comment"));
+  match tokens "!hpf$ align" with
+  | [ Lexer.HPF; Lexer.IDENT "align" ] -> ()
+  | _ -> fail "hpf directive marker"
+
+let test_lex_case_insensitive () =
+  match tokens "DO I = 1, N" with
+  | [ Lexer.IDENT "do"; Lexer.IDENT "i"; Lexer.ASSIGN; Lexer.INT_LIT 1;
+      Lexer.COMMA; Lexer.IDENT "n" ] ->
+      ()
+  | _ -> fail "identifiers lowercased"
+
+let test_lex_error () =
+  match Lexer.tokenize "x # y" with
+  | exception Lexer.Lex_error (_, _) -> ()
+  | _ -> fail "expected lexical error for #"
+
+let test_lex_dollar () =
+  match tokens "$0 $12" with
+  | [ Lexer.DOLLAR 0; Lexer.DOLLAR 12 ] -> ()
+  | _ -> fail "dollar tokens"
+
+let test_lex_locations () =
+  let toks = Lexer.tokenize "x\ny z" in
+  match toks with
+  | (_, l1) :: (_, _) :: (_, l3) :: _ ->
+      check Alcotest.int "first line" 1 l1.Loc.line;
+      check Alcotest.int "third line" 2 l3.Loc.line
+  | _ -> fail "token stream shape"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse src = Sema.check (Parser.parse_string src)
+
+let simple_src =
+  {|
+program t
+parameter n = 10
+real a(10), b(10)
+real x
+!hpf$ processors p(2)
+!hpf$ distribute a(block) onto p
+!hpf$ align b with a($0)
+do i = 1, n
+  x = b(i) * 2.0
+  a(i) = x + 1.0
+end do
+end program
+|}
+
+let test_parse_simple () =
+  let p = parse simple_src in
+  check Alcotest.string "name" "t" p.Ast.pname;
+  check Alcotest.int "decls" 3 (List.length p.Ast.decls);
+  check Alcotest.int "directives" 3 (List.length p.Ast.directives);
+  check Alcotest.int "params" 1 (List.length p.Ast.params);
+  match p.Ast.body with
+  | [ { node = Ast.Do d; _ } ] ->
+      check Alcotest.string "index" "i" d.Ast.index;
+      check Alcotest.int "body" 2 (List.length d.Ast.body)
+  | _ -> fail "body shape"
+
+let test_parse_precedence () =
+  let p = parse {|
+program t
+real x, y
+x = 1.0 + 2.0 * 3.0
+y = (1.0 + 2.0) * 3.0
+end
+|} in
+  match p.Ast.body with
+  | [ { node = Assign (_, Bin (Add, Real 1.0, Bin (Mul, Real 2.0, Real 3.0))); _ };
+      { node = Assign (_, Bin (Mul, Bin (Add, Real 1.0, Real 2.0), Real 3.0)); _ } ] ->
+      ()
+  | _ -> fail "precedence"
+
+let test_parse_if_else () =
+  let p =
+    parse
+      {|
+program t
+real a(5)
+real x
+do i = 1, 5
+  if (a(i) > 0.0) then
+    x = 1.0
+  else
+    x = 2.0
+  end if
+end do
+end
+|}
+  in
+  match p.Ast.body with
+  | [ { node = Do { body = [ { node = If (_, [ _ ], [ _ ]); _ } ]; _ }; _ } ]
+    ->
+      ()
+  | _ -> fail "if/else shape"
+
+let test_parse_one_line_if () =
+  let p =
+    parse
+      {|
+program t
+real x
+do i = 1, 5
+  if (x > 0.0) exit
+  x = x + 1.0
+end do
+end
+|}
+  in
+  match p.Ast.body with
+  | [ { node = Do { body = [ { node = If (_, [ { node = Exit None; _ } ], []); _ }; _ ]; _ }; _ } ]
+    ->
+      ()
+  | _ -> fail "one-line if"
+
+let test_parse_named_loop () =
+  let p =
+    parse
+      {|
+program t
+real x
+outer: do i = 1, 5
+  do j = 1, 5
+    if (x > 0.0) exit outer
+  end do
+end do
+end
+|}
+  in
+  match p.Ast.body with
+  | [ { node = Do { loop_name = Some "outer"; _ }; _ } ] -> ()
+  | _ -> fail "named loop"
+
+let test_parse_independent_new () =
+  let p =
+    parse
+      {|
+program t
+real c(8)
+!hpf$ independent, new(c)
+do k = 1, 8
+  c(k) = 1.0
+end do
+end
+|}
+  in
+  match p.Ast.body with
+  | [ { node = Do { independent = true; new_vars = [ "c" ]; _ }; _ } ] -> ()
+  | _ -> fail "independent/new"
+
+let test_parse_distribute_list_form () =
+  let p =
+    parse
+      {|
+program t
+real a(4,4), b(4,4)
+!hpf$ processors p(2,2)
+!hpf$ distribute (block, block) onto p :: a, b
+end
+|}
+  in
+  let dists =
+    List.filter (function Ast.Distribute _ -> true | _ -> false) p.Ast.directives
+  in
+  check Alcotest.int "two distributes" 2 (List.length dists)
+
+let test_parse_align_list_form () =
+  let p =
+    parse
+      {|
+program t
+real a(6), b(6), c(6)
+!hpf$ distribute a(block)
+!hpf$ align (i) with a(i) :: b, c
+end
+|}
+  in
+  let aligns =
+    List.filter (function Ast.Align _ -> true | _ -> false) p.Ast.directives
+  in
+  check Alcotest.int "two aligns" 2 (List.length aligns)
+
+let test_parse_align_offset () =
+  let p =
+    parse
+      {|
+program t
+real a(8), b(8)
+!hpf$ distribute a(block)
+!hpf$ align b(i) with a(i + 2)
+end
+|}
+  in
+  match
+    List.find_opt (function Ast.Align _ -> true | _ -> false) p.Ast.directives
+  with
+  | Some (Ast.Align { subs = [ Ast.A_dim { dum = 0; stride = 1; offset = 2 } ]; _ })
+    ->
+      ()
+  | _ -> fail "align offset"
+
+let test_parse_align_star_and_const () =
+  let p =
+    parse
+      {|
+program t
+real a(8,8), b(8)
+!hpf$ distribute a(block,block)
+!hpf$ align b(i) with a(*, 3)
+end
+|}
+  in
+  match
+    List.find_opt (function Ast.Align _ -> true | _ -> false) p.Ast.directives
+  with
+  | Some (Ast.Align { subs = [ Ast.A_star; Ast.A_const 3 ]; _ }) -> ()
+  | _ -> fail "align star/const"
+
+let test_parse_cyclic_k () =
+  let p =
+    parse
+      {|
+program t
+real a(8,8)
+!hpf$ distribute a(cyclic(2), *)
+end
+|}
+  in
+  match
+    List.find_opt
+      (function Ast.Distribute _ -> true | _ -> false)
+      p.Ast.directives
+  with
+  | Some (Ast.Distribute { fmts = [ Ast.Block_cyclic 2; Ast.Star ]; _ }) -> ()
+  | _ -> fail "cyclic(2)"
+
+let test_parse_step_loop () =
+  let p = parse {|
+program t
+real x
+do i = 10, 2, -2
+  x = x + 1.0
+end do
+end
+|} in
+  match p.Ast.body with
+  | [ { node = Do { step = Un (Neg, Int 2); _ }; _ } ]
+  | [ { node = Do { step = Int (-2); _ }; _ } ] ->
+      ()
+  | _ -> fail "step loop"
+
+let test_parse_intrinsics () =
+  let p =
+    parse
+      {|
+program t
+real x
+x = min(max(abs(x), 1.0), sqrt(2.0)) + mod(7, 3)
+end
+|}
+  in
+  match p.Ast.body with
+  | [ { node = Assign (_, Bin (Add, Intrin (Min2, _, _), Intrin (Mod2, _, _))); _ } ]
+    ->
+      ()
+  | _ -> fail "intrinsics"
+
+let test_parse_error_reports_location () =
+  match Parser.parse_string "program t\nx = = 1\nend" with
+  | exception Parser.Parse_error (loc, _) ->
+      check Alcotest.int "error on line 2" 2 loc.Loc.line
+  | _ -> fail "expected parse error"
+
+let test_parse_trailing_garbage () =
+  match Parser.parse_string "program t\nend\n42" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> fail "expected trailing-input error"
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer roundtrip                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_simple () =
+  let p = parse simple_src in
+  let printed = Pp.program_to_string p in
+  let p2 = Sema.check (Parser.parse_string printed) in
+  check Alcotest.string "stable print" printed (Pp.program_to_string p2)
+
+let test_roundtrip_benchmarks () =
+  List.iter
+    (fun prog ->
+      let p = Sema.check prog in
+      let printed = Pp.program_to_string p in
+      let p2 = Sema.check (Parser.parse_string printed) in
+      check Alcotest.string
+        ("roundtrip " ^ p.Ast.pname)
+        printed (Pp.program_to_string p2))
+    [
+      Hpf_benchmarks.Tomcatv.program ~n:10 ~niter:2 ~p:2;
+      Hpf_benchmarks.Dgefa.program ~n:8 ~p:2;
+      Hpf_benchmarks.Appsp.program_1d ~n:8 ~niter:1 ~p:2;
+      Hpf_benchmarks.Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2;
+      Hpf_benchmarks.Fig_examples.fig1 ();
+      Hpf_benchmarks.Fig_examples.fig2 ();
+      Hpf_benchmarks.Fig_examples.fig4 ();
+      Hpf_benchmarks.Fig_examples.fig5 ();
+      Hpf_benchmarks.Fig_examples.fig7 ();
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Sema                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let expect_sema_error src =
+  match parse src with
+  | exception Sema.Sema_error _ -> ()
+  | _ -> fail "expected semantic error"
+
+let test_sema_undeclared () =
+  expect_sema_error {|
+program t
+x = 1.0
+end
+|}
+
+let test_sema_rank_mismatch () =
+  expect_sema_error
+    {|
+program t
+real a(4,4)
+a(1) = 0.0
+end
+|}
+
+let test_sema_scalar_subscripted () =
+  expect_sema_error {|
+program t
+real x
+x(3) = 0.0
+end
+|}
+
+let test_sema_assign_loop_index () =
+  expect_sema_error
+    {|
+program t
+integer k
+do i = 1, 4
+  i = 2
+end do
+end
+|}
+
+let test_sema_exit_outside_loop () =
+  expect_sema_error {|
+program t
+exit
+end
+|}
+
+let test_sema_unknown_loop_name () =
+  expect_sema_error
+    {|
+program t
+do i = 1, 4
+  exit foo
+end do
+end
+|}
+
+let test_sema_duplicate_decl () =
+  expect_sema_error {|
+program t
+real x
+real x
+end
+|}
+
+let test_sema_distribute_rank () =
+  expect_sema_error
+    {|
+program t
+real a(4,4)
+!hpf$ distribute a(block)
+end
+|}
+
+let test_sema_new_undeclared () =
+  expect_sema_error
+    {|
+program t
+real x
+!hpf$ independent, new(zz)
+do i = 1, 4
+  x = 1.0
+end do
+end
+|}
+
+let test_sema_renumber_deterministic () =
+  let p1 = parse simple_src and p2 = parse simple_src in
+  let sids p = List.map (fun s -> s.Ast.sid) (Ast.all_stmts p) in
+  check (Alcotest.list Alcotest.int) "same sids" (sids p1) (sids p2);
+  check (Alcotest.list Alcotest.int) "1..n" [ 1; 2; 3 ] (sids p1)
+
+(* ------------------------------------------------------------------ *)
+(* AST utilities                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_vars () =
+  let e =
+    Ast.Bin (Add, Arr ("a", [ Var "i" ]), Bin (Mul, Var "x", Var "i"))
+  in
+  check (Alcotest.list Alcotest.string) "vars" [ "a"; "i"; "x" ]
+    (Ast.expr_vars e)
+
+let test_const_int_opt () =
+  let p = parse simple_src in
+  check (Alcotest.option Alcotest.int) "n-1" (Some 9)
+    (Ast.const_int_opt p (Bin (Sub, Var "n", Int 1)));
+  check (Alcotest.option Alcotest.int) "non-const" None
+    (Ast.const_int_opt p (Var "x"))
+
+let test_subst_params () =
+  let p = parse simple_src in
+  match Ast.subst_params p (Bin (Add, Var "n", Var "x")) with
+  | Bin (Add, Int 10, Var "x") -> ()
+  | _ -> fail "subst_params"
+
+let test_find_stmt () =
+  let p = parse simple_src in
+  check Alcotest.bool "sid 2 exists" true (Ast.find_stmt p 2 <> None);
+  check Alcotest.bool "sid 99 missing" true (Ast.find_stmt p 99 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Nest                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let nested_src =
+  {|
+program t
+real a(4,4,4)
+real s
+do i = 1, 4
+  do j = 1, 4
+    s = 1.0
+    do k = 1, 4
+      a(i,j,k) = s
+    end do
+  end do
+end do
+end
+|}
+
+let test_nest_levels () =
+  let p = parse nested_src in
+  let nest = Nest.build p in
+  (* statement ids: 1=do i, 2=do j, 3=s, 4=do k, 5=a *)
+  check Alcotest.int "s at level 2" 2 (Nest.level nest 3);
+  check Alcotest.int "a at level 3" 3 (Nest.level nest 5);
+  check Alcotest.int "do i at level 0" 0 (Nest.level nest 1);
+  check
+    (Alcotest.list Alcotest.string)
+    "indices around a" [ "i"; "j"; "k" ]
+    (Nest.enclosing_indices nest 5)
+
+let test_nest_common () =
+  let p = parse nested_src in
+  let nest = Nest.build p in
+  check Alcotest.int "common of s and a" 2 (Nest.common_level nest 3 5);
+  check Alcotest.int "index level of j around a" 2
+    (Nest.index_level nest 5 "j")
+
+let test_nest_loops () =
+  let p = parse nested_src in
+  let nest = Nest.build p in
+  check Alcotest.int "3 loops" 3 (List.length nest.Nest.loops);
+  check Alcotest.bool "loop i encloses a" true
+    (Nest.loop_encloses nest ~loop_sid:1 5);
+  check Alcotest.bool "loop k does not enclose s" false
+    (Nest.loop_encloses nest ~loop_sid:4 3)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "numbers" `Quick test_lex_numbers;
+          Alcotest.test_case "dotted words" `Quick test_lex_dotted;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "case insensitive" `Quick test_lex_case_insensitive;
+          Alcotest.test_case "error" `Quick test_lex_error;
+          Alcotest.test_case "dollar" `Quick test_lex_dollar;
+          Alcotest.test_case "locations" `Quick test_lex_locations;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple program" `Quick test_parse_simple;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "if/else" `Quick test_parse_if_else;
+          Alcotest.test_case "one-line if" `Quick test_parse_one_line_if;
+          Alcotest.test_case "named loop" `Quick test_parse_named_loop;
+          Alcotest.test_case "independent/new" `Quick test_parse_independent_new;
+          Alcotest.test_case "distribute list form" `Quick
+            test_parse_distribute_list_form;
+          Alcotest.test_case "align list form" `Quick test_parse_align_list_form;
+          Alcotest.test_case "align offset" `Quick test_parse_align_offset;
+          Alcotest.test_case "align star/const" `Quick
+            test_parse_align_star_and_const;
+          Alcotest.test_case "cyclic(k)" `Quick test_parse_cyclic_k;
+          Alcotest.test_case "step loop" `Quick test_parse_step_loop;
+          Alcotest.test_case "intrinsics" `Quick test_parse_intrinsics;
+          Alcotest.test_case "error location" `Quick
+            test_parse_error_reports_location;
+          Alcotest.test_case "trailing garbage" `Quick
+            test_parse_trailing_garbage;
+        ] );
+      ( "pretty-printer",
+        [
+          Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+          Alcotest.test_case "roundtrip benchmarks" `Quick
+            test_roundtrip_benchmarks;
+        ] );
+      ( "sema",
+        [
+          Alcotest.test_case "undeclared" `Quick test_sema_undeclared;
+          Alcotest.test_case "rank mismatch" `Quick test_sema_rank_mismatch;
+          Alcotest.test_case "scalar subscripted" `Quick
+            test_sema_scalar_subscripted;
+          Alcotest.test_case "assign loop index" `Quick
+            test_sema_assign_loop_index;
+          Alcotest.test_case "exit outside loop" `Quick
+            test_sema_exit_outside_loop;
+          Alcotest.test_case "unknown loop name" `Quick
+            test_sema_unknown_loop_name;
+          Alcotest.test_case "duplicate decl" `Quick test_sema_duplicate_decl;
+          Alcotest.test_case "distribute rank" `Quick test_sema_distribute_rank;
+          Alcotest.test_case "new undeclared" `Quick test_sema_new_undeclared;
+          Alcotest.test_case "renumber deterministic" `Quick
+            test_sema_renumber_deterministic;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "expr_vars" `Quick test_expr_vars;
+          Alcotest.test_case "const_int_opt" `Quick test_const_int_opt;
+          Alcotest.test_case "subst_params" `Quick test_subst_params;
+          Alcotest.test_case "find_stmt" `Quick test_find_stmt;
+        ] );
+      ( "nest",
+        [
+          Alcotest.test_case "levels" `Quick test_nest_levels;
+          Alcotest.test_case "common loop" `Quick test_nest_common;
+          Alcotest.test_case "loops" `Quick test_nest_loops;
+        ] );
+    ]

@@ -1,0 +1,383 @@
+(* The paper's worked examples, asserted end-to-end: compiling each of
+   Figs. 1, 2, 4, 5, 6, 7 must reproduce the mapping decisions the paper
+   derives in prose. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Phpf_core
+open Hpf_benchmarks
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let compile ?options prog = Compiler.compile ?options prog
+
+let scalar_mapping (c : Compiler.compiled) var =
+  (* the first assignment to [var] inside a loop *)
+  let d = c.Compiler.decisions in
+  let found = ref None in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.Assign (Ast.LVar v, _)
+        when v = var && !found = None
+             && Nest.level d.Decisions.nest s.sid > 0 -> (
+          match Decisions.def_of_stmt d ~sid:s.sid ~var with
+          | Some def -> found := Some (Decisions.scalar_mapping_of_def d def)
+          | None -> ())
+      | _ -> ())
+    c.Compiler.prog;
+  match !found with Some m -> m | None -> fail ("no in-loop def of " ^ var)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_compiled = lazy (compile (Fig_examples.fig1 ()))
+
+let test_fig1_m_no_align () =
+  (* "Any scalar variable recognized as an induction variable ... should
+     be privatized without alignment" *)
+  match scalar_mapping (Lazy.force fig1_compiled) "m" with
+  | Decisions.Priv_no_align -> ()
+  | m -> fail (Fmt.str "m: %a" Decisions.pp_scalar_mapping m)
+
+let test_fig1_x_consumer () =
+  (* x is aligned with the consumer reference D(m) (= d(i+1) after
+     induction-variable substitution) *)
+  match scalar_mapping (Lazy.force fig1_compiled) "x" with
+  | Decisions.Priv_aligned { target; _ } ->
+      check Alcotest.string "target base" "d" target.Aref.base;
+      check Alcotest.string "target sub" "i + 1"
+        (Pp.expr_to_string (List.hd target.Aref.subs))
+  | m -> fail (Fmt.str "x: %a" Decisions.pp_scalar_mapping m)
+
+let test_fig1_y_producer () =
+  (* aligning y with the consumer a(i+1) would leave inner-loop
+     communication for a(i); the producer a(i) is selected instead *)
+  match scalar_mapping (Lazy.force fig1_compiled) "y" with
+  | Decisions.Priv_aligned { target; _ } ->
+      check Alcotest.string "target base" "a" target.Aref.base;
+      check Alcotest.string "target sub" "i"
+        (Pp.expr_to_string (List.hd target.Aref.subs))
+  | m -> fail (Fmt.str "y: %a" Decisions.pp_scalar_mapping m)
+
+let test_fig1_z_no_align () =
+  (* z's operands are replicated: privatization without alignment *)
+  match scalar_mapping (Lazy.force fig1_compiled) "z" with
+  | Decisions.Priv_no_align -> ()
+  | m -> fail (Fmt.str "z: %a" Decisions.pp_scalar_mapping m)
+
+let test_fig1_comm_schedule () =
+  (* exactly: vectorized shifts for b(i), c(i) toward d(i+1), and an
+     inner-loop shift of y toward a(i+1) *)
+  let c = Lazy.force fig1_compiled in
+  let comms = c.Compiler.comms in
+  check Alcotest.int "three comms" 3 (List.length comms);
+  let vectorized, inner =
+    List.partition Hpf_comm.Comm.vectorized comms
+  in
+  check Alcotest.int "two vectorized" 2 (List.length vectorized);
+  check
+    (Alcotest.list Alcotest.string)
+    "vectorized data" [ "b"; "c" ]
+    (List.sort compare
+       (List.map (fun (cm : Hpf_comm.Comm.t) -> cm.Hpf_comm.Comm.data.Aref.base) vectorized));
+  match inner with
+  | [ cm ] ->
+      check Alcotest.string "inner comm is y" "y"
+        cm.Hpf_comm.Comm.data.Aref.base
+  | _ -> fail "one inner-loop comm"
+
+let test_fig1_producer_variant_differs () =
+  (* forcing producer alignment must move x onto b(i) *)
+  let c =
+    compile ~options:Variants.producer_alignment (Fig_examples.fig1 ())
+  in
+  match scalar_mapping c "x" with
+  | Decisions.Priv_aligned { target; _ } ->
+      check Alcotest.bool "x on a producer" true
+        (List.mem target.Aref.base [ "b"; "c" ])
+  | m -> fail (Fmt.str "x: %a" Decisions.pp_scalar_mapping m)
+
+let test_fig1_replication_variant () =
+  let c = compile ~options:Variants.replication (Fig_examples.fig1 ()) in
+  List.iter
+    (fun v ->
+      match scalar_mapping c v with
+      | Decisions.Replicated -> ()
+      | m -> fail (Fmt.str "%s: %a" v Decisions.pp_scalar_mapping m))
+    [ "x"; "y"; "z" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: consumer references for subscripts                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_subscript_consumers () =
+  let c = compile (Fig_examples.fig2 ()) in
+  let d = c.Compiler.decisions in
+  (* the statement a(i) = h(i,p) + g(q,i) *)
+  let stmt = ref None in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.Assign (Ast.LArr ("a", _), _) -> stmt := Some s
+      | _ -> ())
+    c.Compiler.prog;
+  let s = match !stmt with Some s -> s | None -> fail "no a(i) stmt" in
+  let refs = Consumer.classify_refs d.Decisions.prog s in
+  (* p's role: subscript of h(i,p), which needs no communication ->
+     consumer is the partition (lhs) reference *)
+  let role_of v =
+    List.find_map
+      (fun ((r : Aref.t), role) ->
+        if Aref.is_scalar r && r.Aref.base = v then Some role else None)
+      refs
+  in
+  (match role_of "p" with
+  | Some (Consumer.R_sub_of outer) ->
+      check Alcotest.string "p subscripts h" "h" outer.Aref.base;
+      let consumer = Consumer.consumer_for d s (Aref.scalar s.sid "p")
+          (Consumer.R_sub_of outer) in
+      (match consumer.Hpf_comm.Comm_analysis.cref with
+      | Some cr -> check Alcotest.string "consumer of p is lhs a" "a" cr.Aref.base
+      | None -> fail "p should have the lhs as consumer")
+  | _ -> fail "p role");
+  match role_of "q" with
+  | Some (Consumer.R_sub_of outer) ->
+      check Alcotest.string "q subscripts g" "g" outer.Aref.base;
+      let consumer = Consumer.consumer_for d s (Aref.scalar s.sid "q")
+          (Consumer.R_sub_of outer) in
+      (match consumer.Hpf_comm.Comm_analysis.cref with
+      | None ->
+          (* dummy replicated: needed by all processors *)
+          check Alcotest.bool "q needed everywhere" true
+            (Hpf_mapping.Ownership.is_replicated_spec
+               consumer.Hpf_comm.Comm_analysis.spec)
+      | Some _ -> fail "q must be dummy replicated")
+  | _ -> fail "q role"
+
+let test_fig2_p_not_broadcast () =
+  (* under the mapping pass, p may be privatized/aligned but q must stay
+     replicated (its value is needed by all processors) *)
+  let c = compile (Fig_examples.fig2 ()) in
+  (match scalar_mapping c "q" with
+  | Decisions.Replicated -> ()
+  | m -> fail (Fmt.str "q: %a" Decisions.pp_scalar_mapping m));
+  match scalar_mapping c "p" with
+  | Decisions.Priv_aligned _ | Decisions.Priv_no_align -> ()
+  | m -> fail (Fmt.str "p: %a" Decisions.pp_scalar_mapping m)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: reduction mapping                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig5_reduction_mapping () =
+  let c = compile (Fig_examples.fig5 ()) in
+  match scalar_mapping c "s" with
+  | Decisions.Priv_reduction { target; repl_grid_dims; _ } ->
+      check Alcotest.string "aligned with a(i,j)" "a" target.Aref.base;
+      (* replicated across the grid dimension traversed by the j loop
+         (grid dim 1), aligned along dim 0 *)
+      check (Alcotest.list Alcotest.int) "repl dims" [ 1 ] repl_grid_dims
+  | m -> fail (Fmt.str "s: %a" Decisions.pp_scalar_mapping m)
+
+let test_fig5_no_broadcast_of_a () =
+  (* "the reduction computation can proceed without the need to broadcast
+     the ith row of A" — no Broadcast communication for a *)
+  let c = compile (Fig_examples.fig5 ()) in
+  let broadcasts_of_a =
+    List.filter
+      (fun (cm : Hpf_comm.Comm.t) ->
+        cm.Hpf_comm.Comm.data.Aref.base = "a"
+        && cm.Hpf_comm.Comm.kind = Hpf_comm.Comm.Broadcast)
+      c.Compiler.comms
+  in
+  check Alcotest.int "no broadcast of a" 0 (List.length broadcasts_of_a)
+
+let test_fig5_combine_group () =
+  let c = compile (Fig_examples.fig5 ()) in
+  let d = c.Compiler.decisions in
+  match d.Decisions.reductions with
+  | [ red ] ->
+      (* combine spans the second grid dimension only: 2 processors *)
+      check Alcotest.int "group" 2 (Reduction_map.combine_group d red)
+  | _ -> fail "one reduction"
+
+let test_fig5_default_variant_replicated () =
+  let c =
+    compile ~options:Variants.no_reduction_alignment (Fig_examples.fig5 ())
+  in
+  match scalar_mapping c "s" with
+  | Decisions.Replicated -> ()
+  | m -> fail (Fmt.str "s: %a" Decisions.pp_scalar_mapping m)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: partial privatization                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig6_partial_privatization () =
+  let c = compile (Fig_examples.fig6 ()) in
+  let d = c.Compiler.decisions in
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.Decisions.arrays [] in
+  match entries with
+  | [ ((("c", _), Decisions.Arr_partial_priv { target; priv_grid_dims })) ] ->
+      check Alcotest.string "target rsd" "rsd" target.Aref.base;
+      check (Alcotest.list Alcotest.int) "privatized along grid dim 1"
+        [ 1 ] priv_grid_dims
+  | [ ((_, m)) ] -> fail (Fmt.str "c: %a" Decisions.pp_array_mapping m)
+  | l -> fail (Fmt.str "%d array decisions" (List.length l))
+
+let test_fig6_full_priv_fails_without_partial () =
+  let c =
+    compile ~options:Variants.no_partial_priv (Fig_examples.fig6 ())
+  in
+  let d = c.Compiler.decisions in
+  check Alcotest.int "no array decision without partial priv" 0
+    (Hashtbl.length d.Decisions.arrays)
+
+let test_fig6_1d_full_privatization () =
+  (* under the 1-D k-distribution, full privatization succeeds *)
+  let c = compile (Appsp.program_1d ~n:10 ~niter:1 ~p:2) in
+  let d = c.Compiler.decisions in
+  let has_full =
+    Hashtbl.fold
+      (fun (a, _) m acc ->
+        acc
+        || (a = "c"
+           && match m with Decisions.Arr_priv { target = Some _ } -> true | _ -> false))
+      d.Decisions.arrays false
+  in
+  check Alcotest.bool "c fully privatized (1-D)" true has_full
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: control flow                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig7_ifs_privatized () =
+  let c = compile (Fig_examples.fig7 ()) in
+  let d = c.Compiler.decisions in
+  let ifs = ref [] in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.If _ -> ifs := Decisions.ctrl_privatized d s.sid :: !ifs
+      | _ -> ())
+    c.Compiler.prog;
+  check (Alcotest.list Alcotest.bool) "both ifs privatized" [ true; true ]
+    !ifs
+
+let test_fig7_no_comm_for_predicate () =
+  (* b(i) is owned by the owner of a(i): no communication at all *)
+  let c = compile (Fig_examples.fig7 ()) in
+  check Alcotest.int "no communication" 0 (List.length c.Compiler.comms)
+
+let test_fig7_exit_blocks_privatization () =
+  (* replace the CYCLE by an EXIT: control can leave the loop body, so the
+     If cannot be privatized *)
+  let prog =
+    let open Builder in
+    let i = var "i" in
+    program "fig7exit" ~params:[ ("n", 16) ]
+      ~decls:[ real_arr "a" [ 1 -- 16 ]; real_arr "b" [ 1 -- 16 ] ]
+      ~directives:
+        [ processors "p" [ 4 ]; distribute "a" [ block ];
+          align_identity "b" "a" 1 ]
+      [
+        do_ "i" (int 1) (var "n")
+          [
+            if_then (("b" $. [ i ]) < rlit 0.0) [ exit_ () ];
+            ("a" $. [ i ]) <-- ("b" $. [ i ]);
+          ];
+      ]
+  in
+  let c = compile prog in
+  let d = c.Compiler.decisions in
+  let privs = ref [] in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.If _ -> privs := Decisions.ctrl_privatized d s.sid :: !privs
+      | _ -> ())
+    c.Compiler.prog;
+  check (Alcotest.list Alcotest.bool) "exit blocks privatization" [ false ]
+    !privs;
+  (* and the predicate data must now be broadcast *)
+  let bcasts =
+    List.filter
+      (fun (cm : Hpf_comm.Comm.t) ->
+        cm.Hpf_comm.Comm.kind = Hpf_comm.Comm.Broadcast)
+      c.Compiler.comms
+  in
+  check Alcotest.bool "predicate broadcast" true (bcasts <> [])
+
+let test_fig7_ctrl_disabled_variant () =
+  let options =
+    { Variants.selected with Decisions.privatize_control = false }
+  in
+  let c = compile ~options (Fig_examples.fig7 ()) in
+  let d = c.Compiler.decisions in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.If _ ->
+          check Alcotest.bool "not privatized" false
+            (Decisions.ctrl_privatized d s.sid)
+      | _ -> ())
+    c.Compiler.prog
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "paper-figures"
+    [
+      ( "fig1",
+        [
+          Alcotest.test_case "m: no alignment (induction)" `Quick
+            test_fig1_m_no_align;
+          Alcotest.test_case "x: consumer d(i+1)" `Quick test_fig1_x_consumer;
+          Alcotest.test_case "y: producer a(i)" `Quick test_fig1_y_producer;
+          Alcotest.test_case "z: no alignment" `Quick test_fig1_z_no_align;
+          Alcotest.test_case "comm schedule" `Quick test_fig1_comm_schedule;
+          Alcotest.test_case "producer variant" `Quick
+            test_fig1_producer_variant_differs;
+          Alcotest.test_case "replication variant" `Quick
+            test_fig1_replication_variant;
+        ] );
+      ( "fig2",
+        [
+          Alcotest.test_case "subscript consumers" `Quick
+            test_fig2_subscript_consumers;
+          Alcotest.test_case "p local, q replicated" `Quick
+            test_fig2_p_not_broadcast;
+        ] );
+      ( "fig5",
+        [
+          Alcotest.test_case "reduction mapping" `Quick
+            test_fig5_reduction_mapping;
+          Alcotest.test_case "no broadcast of a" `Quick
+            test_fig5_no_broadcast_of_a;
+          Alcotest.test_case "combine group" `Quick test_fig5_combine_group;
+          Alcotest.test_case "default variant" `Quick
+            test_fig5_default_variant_replicated;
+        ] );
+      ( "fig6",
+        [
+          Alcotest.test_case "partial privatization" `Quick
+            test_fig6_partial_privatization;
+          Alcotest.test_case "no partial -> no decision" `Quick
+            test_fig6_full_priv_fails_without_partial;
+          Alcotest.test_case "1-D full privatization" `Quick
+            test_fig6_1d_full_privatization;
+        ] );
+      ( "fig7",
+        [
+          Alcotest.test_case "ifs privatized" `Quick test_fig7_ifs_privatized;
+          Alcotest.test_case "no predicate comm" `Quick
+            test_fig7_no_comm_for_predicate;
+          Alcotest.test_case "exit blocks privatization" `Quick
+            test_fig7_exit_blocks_privatization;
+          Alcotest.test_case "disabled variant" `Quick
+            test_fig7_ctrl_disabled_variant;
+        ] );
+    ]

@@ -1,0 +1,449 @@
+(* Property-based tests (qcheck, registered as alcotest cases):
+
+   - pretty-print/parse round trip over randomly generated programs;
+   - algebraic laws of affine forms;
+   - grid linearization bijectivity;
+   - distribution maps: totality, coverage, block contiguity;
+   - SSA structural invariants over random programs;
+   - interpreter determinism;
+   - the mapping-consistency guarantee of the paper's algorithm. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_mapping
+
+(* ------------------------------------------------------------------ *)
+(* Random program generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A small structured generator: a fixed set of declarations, random
+   expressions/statements over them.  Depth-bounded so programs stay
+   readable in counterexamples. *)
+
+let scalars = [ "x"; "y"; "z" ]
+let arrays1 = [ "a"; "b" ]  (* rank 1, extent 8, a distributed *)
+let n_extent = 8
+
+let gen_var = QCheck2.Gen.oneofl scalars
+let gen_arr = QCheck2.Gen.oneofl arrays1
+
+(* expressions valid inside loops with indices [idxs] (outermost
+   first); rank-2 references to "m" appear when two indices are
+   available *)
+let gen_expr ~idxs : Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let idx = List.hd idxs in
+  let array_leafs =
+    map (fun a -> Ast.Arr (a, [ Ast.Var idx ])) gen_arr
+    ::
+    (match idxs with
+    | [ i1; i2 ] ->
+        [ return (Ast.Arr ("m", [ Ast.Var i1; Ast.Var i2 ])) ]
+    | _ -> [])
+  in
+  sized @@ fix (fun self size ->
+      let leaf =
+        oneof
+          ([
+             map (fun n -> Ast.Int n) (int_range 0 5);
+             map (fun f -> Ast.Real (float_of_int f /. 4.0)) (int_range 0 16);
+             map (fun v -> Ast.Var v) gen_var;
+             oneofl (List.map (fun i -> Ast.Var i) idxs);
+           ]
+          @ array_leafs)
+      in
+      if size <= 1 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map3
+              (fun op l r -> Ast.Bin (op, l, r))
+              (oneofl [ Ast.Add; Ast.Sub; Ast.Mul ])
+              (self (size / 2))
+              (self (size / 2));
+            map (fun e -> Ast.Un (Ast.Neg, e)) (self (size - 1));
+            map2 (fun l r -> Ast.Intrin (Ast.Max2, l, r)) (self (size / 2))
+              (self (size / 2));
+          ])
+
+let gen_cond ~idxs : Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  map3
+    (fun op l r -> Ast.Bin (op, l, r))
+    (oneofl [ Ast.Lt; Ast.Gt; Ast.Le; Ast.Ne ])
+    (gen_expr ~idxs) (gen_expr ~idxs)
+
+let gen_stmt ~idxs : Ast.stmt QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let idx = List.hd idxs in
+  let assign_leafs =
+    [
+      map2 (fun v e -> Ast.mk (Ast.Assign (Ast.LVar v, e))) gen_var
+        (gen_expr ~idxs);
+      map2
+        (fun a e -> Ast.mk (Ast.Assign (Ast.LArr (a, [ Ast.Var idx ]), e)))
+        gen_arr (gen_expr ~idxs);
+    ]
+    @
+    (match idxs with
+    | [ i1; i2 ] ->
+        [
+          map
+            (fun e ->
+              Ast.mk
+                (Ast.Assign
+                   (Ast.LArr ("m", [ Ast.Var i1; Ast.Var i2 ]), e)))
+            (gen_expr ~idxs);
+        ]
+    | _ -> [])
+  in
+  sized @@ fix (fun self size ->
+      let assign = oneof assign_leafs in
+      if size <= 1 then assign
+      else
+        oneof
+          [
+            assign;
+            map3
+              (fun c t e -> Ast.mk (Ast.If (c, [ t ], [ e ])))
+              (gen_cond ~idxs) (self (size / 2)) (self (size / 2));
+          ])
+
+let gen_program : Ast.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let decls =
+    List.map (fun v -> { Ast.dname = v; ty = Types.TReal; shape = [] }) scalars
+    @ List.map
+        (fun a ->
+          {
+            Ast.dname = a;
+            ty = Types.TReal;
+            shape = [ Types.bounds 1 n_extent ];
+          })
+        arrays1
+    @ [
+        {
+          Ast.dname = "m";
+          ty = Types.TReal;
+          shape = [ Types.bounds 1 n_extent; Types.bounds 1 n_extent ];
+        };
+      ]
+  in
+  (* vary the machine: 1-D and 2-D grids of several sizes *)
+  let* extents = oneofl [ [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ]; [ 2; 2 ]; [ 3; 2 ] ] in
+  let* m_fmt = oneofl [ Ast.Block; Ast.Cyclic ] in
+  let directives =
+    [
+      Ast.Processors
+        { grid = "p"; extents = List.map (fun e -> Ast.Int e) extents };
+      Ast.Distribute { array = "a"; fmts = [ Ast.Block ]; onto = Some "p" };
+      Ast.Align
+        {
+          alignee = "b";
+          target = "a";
+          subs = [ Ast.A_dim { dum = 0; stride = 1; offset = 0 } ];
+        };
+    ]
+    @
+    (if List.length extents = 2 then
+       [
+         Ast.Distribute
+           { array = "m"; fmts = [ m_fmt; Ast.Block ]; onto = Some "p" };
+       ]
+     else [ Ast.Distribute { array = "m"; fmts = [ m_fmt; Ast.Star ]; onto = Some "p" } ])
+  in
+  let* body_stmts = list_size (int_range 1 4) (gen_stmt ~idxs:[ "i" ]) in
+  let* inner_stmts =
+    list_size (int_range 1 3) (gen_stmt ~idxs:[ "i"; "j" ])
+  in
+  let inner_loop =
+    Ast.mk
+      (Ast.Do
+         {
+           index = "j";
+           lo = Ast.Int 1;
+           hi = Ast.Int n_extent;
+           step = Ast.Int 1;
+           body = inner_stmts;
+           independent = false;
+           new_vars = [];
+           loop_name = None;
+         })
+  in
+  let* with_inner = bool in
+  let body_stmts =
+    if with_inner then body_stmts @ [ inner_loop ] else body_stmts
+  in
+  let* pre = list_size (int_range 0 2) (gen_stmt ~idxs:[ "i" ]) in
+  (* pre-loop statements must not use the loop index: replace it *)
+  let rec scrub_expr (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Var "i" -> Ast.Int 1
+    | Ast.Int _ | Ast.Real _ | Ast.Bool _ | Ast.Var _ -> e
+    | Ast.Arr (a, subs) -> Ast.Arr (a, List.map scrub_expr subs)
+    | Ast.Bin (op, a, b) -> Ast.Bin (op, scrub_expr a, scrub_expr b)
+    | Ast.Un (op, a) -> Ast.Un (op, scrub_expr a)
+    | Ast.Intrin (op, a, b) -> Ast.Intrin (op, scrub_expr a, scrub_expr b)
+  in
+  let rec scrub (s : Ast.stmt) : Ast.stmt =
+    match s.Ast.node with
+    | Ast.Assign (Ast.LVar v, e) ->
+        Ast.mk (Ast.Assign (Ast.LVar v, scrub_expr e))
+    | Ast.Assign (Ast.LArr (a, subs), e) ->
+        Ast.mk (Ast.Assign (Ast.LArr (a, List.map scrub_expr subs), scrub_expr e))
+    | Ast.If (c, t, e) ->
+        Ast.mk (Ast.If (scrub_expr c, List.map scrub t, List.map scrub e))
+    | Ast.Do _ | Ast.Exit _ | Ast.Cycle _ -> s
+  in
+  let body =
+    List.map scrub pre
+    @ [
+        Ast.mk
+          (Ast.Do
+             {
+               index = "i";
+               lo = Ast.Int 1;
+               hi = Ast.Int n_extent;
+               step = Ast.Int 1;
+               body = body_stmts;
+               independent = false;
+               new_vars = [];
+               loop_name = None;
+             });
+      ]
+  in
+  return
+    {
+      Ast.pname = "randprog";
+      params = [];
+      decls;
+      directives;
+      body;
+    }
+
+let gen_checked_program =
+  QCheck2.Gen.map Sema.check gen_program
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"print/parse roundtrip" ~count:200
+    ~print:(fun p -> Pp.program_to_string p)
+    gen_checked_program
+    (fun p ->
+      let printed = Pp.program_to_string p in
+      let p2 = Sema.check (Parser.parse_string printed) in
+      String.equal printed (Pp.program_to_string p2))
+
+let gen_affine : Affine.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* const = int_range (-20) 20 in
+  let* ci = int_range (-5) 5 in
+  let* cj = int_range (-5) 5 in
+  let terms =
+    List.filter (fun (_, c) -> c <> 0) [ ("i", ci); ("j", cj) ]
+  in
+  return { Affine.const; terms }
+
+let prop_affine_add_comm =
+  QCheck2.Test.make ~name:"affine add commutes" ~count:500
+    QCheck2.Gen.(pair gen_affine gen_affine)
+    (fun (a, b) -> Affine.equal (Affine.add a b) (Affine.add b a))
+
+let prop_affine_scale_distributes =
+  QCheck2.Test.make ~name:"affine scale distributes" ~count:500
+    QCheck2.Gen.(triple (int_range (-4) 4) gen_affine gen_affine)
+    (fun (k, a, b) ->
+      Affine.equal
+        (Affine.scale k (Affine.add a b))
+        (Affine.add (Affine.scale k a) (Affine.scale k b)))
+
+let prop_affine_to_expr_roundtrip =
+  QCheck2.Test.make ~name:"affine to_expr/of_expr" ~count:500 gen_affine
+    (fun a ->
+      match
+        Affine.of_expr
+          ~is_index:(fun v -> v = "i" || v = "j")
+          ~const_of:(fun _ -> None)
+          (Affine.to_expr a)
+      with
+      | Some a' -> Affine.equal a a'
+      | None -> false)
+
+let prop_grid_bijection =
+  QCheck2.Test.make ~name:"grid linearize/coords bijective" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 5) (pair (int_range 1 5) (int_range 1 5)))
+    (fun (e1, (e2, e3)) ->
+      let g = Grid.make [ e1; e2; e3 ] in
+      List.for_all
+        (fun pid -> Grid.linearize g (Grid.coords g pid) = pid)
+        (List.init (Grid.size g) Fun.id))
+
+let prop_dist_total =
+  QCheck2.Test.make ~name:"distribution maps positions to valid coords"
+    ~count:500
+    QCheck2.Gen.(
+      triple (int_range 1 8)
+        (oneofl [ `Block; `Cyclic; `Bc 3 ])
+        (int_range 0 100))
+    (fun (nprocs, fmt, pos) ->
+      let extent = 101 in
+      let f =
+        match fmt with
+        | `Block -> Dist.Block ((extent + nprocs - 1) / nprocs)
+        | `Cyclic -> Dist.Cyclic
+        | `Bc k -> Dist.Block_cyclic k
+      in
+      let c = Dist.owner_coord f ~nprocs pos in
+      c >= 0 && c < nprocs)
+
+let prop_block_contiguous =
+  QCheck2.Test.make ~name:"block ownership is monotone" ~count:200
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 2 64))
+    (fun (nprocs, extent) ->
+      let f = Dist.Block ((extent + nprocs - 1) / nprocs) in
+      let owners =
+        List.init extent (fun pos -> Dist.owner_coord f ~nprocs pos)
+      in
+      (* non-decreasing *)
+      fst
+        (List.fold_left
+           (fun (ok, prev) c -> (ok && c >= prev, c))
+           (true, 0) owners))
+
+let prop_ssa_uses_have_defs =
+  QCheck2.Test.make ~name:"SSA: every use reached by a def of same var"
+    ~count:100
+    ~print:(fun p -> Pp.program_to_string p)
+    gen_checked_program
+    (fun p ->
+      let ssa = Ssa.build (Cfg.build p) in
+      Hashtbl.fold
+        (fun (_, var) d acc -> acc && Ssa.def_var ssa d = var)
+        ssa.Ssa.use_def true)
+
+let prop_ssa_phi_args_are_preds =
+  QCheck2.Test.make ~name:"SSA: phi args correspond to reachable preds"
+    ~count:100
+    ~print:(fun p -> Pp.program_to_string p)
+    gen_checked_program
+    (fun p ->
+      let g = Cfg.build p in
+      let ssa = Ssa.build g in
+      let reach = Cfg.is_reachable g in
+      Array.for_all
+        (function
+          | Ssa.Phi { node; args; _ } ->
+              List.for_all
+                (fun (pred, _) ->
+                  reach.(pred) && List.mem pred (Cfg.node g node).Cfg.preds)
+                args
+          | Ssa.Entry_def _ | Ssa.Node_def _ -> true)
+        ssa.Ssa.defs)
+
+let prop_interp_deterministic =
+  QCheck2.Test.make ~name:"interpreter deterministic" ~count:50
+    ~print:(fun p -> Pp.program_to_string p)
+    gen_checked_program
+    (fun p ->
+      let open Hpf_spmd in
+      let run () =
+        let m = Seq_interp.run ~init:(Init.init p) p in
+        Fmt.str "%a %a %a" Value.pp
+          (Memory.get_scalar m "x")
+          Value.pp
+          (Memory.get_scalar m "y")
+          Value.pp
+          (Memory.get_elem m "a" [ 3 ])
+      in
+      String.equal (run ()) (run ()))
+
+let prop_mapping_consistency =
+  QCheck2.Test.make
+    ~name:"mapping: reaching defs of any use share one mapping" ~count:100
+    ~print:(fun p -> Pp.program_to_string p)
+    gen_checked_program
+    (fun p ->
+      let open Phpf_core in
+      let c = Compiler.compile p in
+      let d = c.Compiler.decisions in
+      let ssa = d.Decisions.ssa in
+      Hashtbl.fold
+        (fun (node, var) _ acc ->
+          acc
+          &&
+          let mappings =
+            Ssa.reaching_defs ssa ~node ~var
+            |> List.map (fun def ->
+                   Fmt.str "%a" Decisions.pp_scalar_mapping
+                     (Decisions.scalar_mapping_of_def d def))
+            |> List.sort_uniq compare
+          in
+          List.length mappings <= 1)
+        ssa.Ssa.use_def true)
+
+let prop_spmd_matches_reference =
+  QCheck2.Test.make ~name:"SPMD execution matches reference" ~count:40
+    ~print:(fun p -> Pp.program_to_string p)
+    gen_checked_program
+    (fun p ->
+      let open Phpf_core in
+      let open Hpf_spmd in
+      let c = Compiler.compile p in
+      let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+      Spmd_interp.validate st = [])
+
+let prop_compile_deterministic =
+  QCheck2.Test.make ~name:"compilation is deterministic" ~count:40
+    ~print:(fun p -> Pp.program_to_string p)
+    gen_checked_program
+    (fun p ->
+      let open Phpf_core in
+      let render () = Report.to_string (Compiler.compile p) in
+      String.equal (render ()) (render ()))
+
+let prop_reports_render =
+  QCheck2.Test.make ~name:"reports render without exception" ~count:60
+    ~print:(fun p -> Pp.program_to_string p)
+    gen_checked_program
+    (fun p ->
+      let open Phpf_core in
+      let c = Compiler.compile p in
+      let (_ : string) = Report.to_string c in
+      let (_ : string) = Fmt.str "%a" Report.pp_annotated c in
+      true)
+
+let () =
+  let to_alco = QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "lang",
+        [ to_alco prop_roundtrip ] );
+      ( "affine",
+        [
+          to_alco prop_affine_add_comm;
+          to_alco prop_affine_scale_distributes;
+          to_alco prop_affine_to_expr_roundtrip;
+        ] );
+      ( "mapping",
+        [
+          to_alco prop_grid_bijection;
+          to_alco prop_dist_total;
+          to_alco prop_block_contiguous;
+        ] );
+      ( "ssa",
+        [ to_alco prop_ssa_uses_have_defs; to_alco prop_ssa_phi_args_are_preds ] );
+      ( "runtime",
+        [ to_alco prop_interp_deterministic ] );
+      ( "core",
+        [
+          to_alco prop_mapping_consistency;
+          to_alco prop_spmd_matches_reference;
+          to_alco prop_compile_deterministic;
+          to_alco prop_reports_render;
+        ] );
+    ]

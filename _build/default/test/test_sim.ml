@@ -1,0 +1,246 @@
+(* Precise unit tests of the timing simulator's measured quantities:
+   statement-instance counting, communication instance counts at the
+   vectorized placement, message sizes from measured average trips
+   (triangular nests), and shift boundary sizing. *)
+
+open Hpf_lang
+open Phpf_core
+open Hpf_spmd
+
+let check = Alcotest.check
+
+let parse src = Sema.check (Parser.parse_string src)
+
+let simulate src =
+  let c = Compiler.compile (parse src) in
+  let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
+  (c, r)
+
+let test_instance_counting () =
+  (* triangular nest: 1 (outer Do) + n (inner Do headers) + n(n+1)/2
+     assignments, n = 8 *)
+  let _, r =
+    simulate
+      {|
+program t
+parameter n = 8
+real a(8,8)
+real x
+do k = 1, n
+  do i = k, n
+    x = a(i, k)
+  end do
+end do
+end
+|}
+  in
+  check Alcotest.int "instances" (1 + 8 + 36) r.Trace_sim.stmt_instances
+
+let test_vectorized_instance_count () =
+  (* the shift is hoisted out of the i loop but pinned inside the it loop
+     (a is rewritten each outer iteration): exactly niter messages of one
+     boundary element each *)
+  let _, r =
+    simulate
+      {|
+program t
+parameter n = 32
+parameter niter = 5
+real a(32), b(32)
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+do it = 1, niter
+  do i = 2, n
+    b(i) = a(i - 1)
+  end do
+  do i = 1, n
+    a(i) = b(i) * 0.5
+  end do
+end do
+end
+|}
+  in
+  check Alcotest.int "messages = niter" 5 r.Trace_sim.comm_messages;
+  check Alcotest.int "boundary elements only" 5 r.Trace_sim.comm_elems
+
+let test_triangular_message_size () =
+  (* one fully hoisted broadcast of a triangular region: the measured
+     element count must be exactly the number of (k, i) pairs,
+     n(n+1)/2 = 36 for n = 8 *)
+  let c, r =
+    simulate
+      {|
+program t
+parameter n = 8
+real a(8,8), w(8)
+!hpf$ processors p(4)
+!hpf$ distribute a(*, block) onto p
+do k = 1, n
+  do i = k, n
+    w(i) = a(i, k)
+  end do
+end do
+end
+|}
+  in
+  check Alcotest.int "one hoisted comm" 1 (List.length c.Compiler.comms);
+  check Alcotest.int "one instance" 1 r.Trace_sim.comm_messages;
+  check Alcotest.int "triangular volume" 36 r.Trace_sim.comm_elems
+
+let test_early_exit_reduces_instances () =
+  let count cond =
+    let _, r =
+      simulate
+        (Fmt.str
+           {|
+program t
+parameter n = 16
+real a(16)
+real x
+do i = 1, n
+  if (%s) exit
+  x = a(i)
+end do
+end
+|}
+           cond)
+    in
+    r.Trace_sim.stmt_instances
+  in
+  let full = count "x < -1.0" (* never exits *) in
+  let early = count "i > 4" (* exits on iteration 5 *) in
+  check Alcotest.bool "early exit executes fewer instances" true
+    (early < full)
+
+let test_comm_free_when_aligned () =
+  let _, r =
+    simulate
+      {|
+program t
+parameter n = 16
+real a(16), b(16)
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+do i = 1, n
+  a(i) = b(i) + 1.0
+end do
+end
+|}
+  in
+  check Alcotest.int "no messages" 0 r.Trace_sim.comm_messages;
+  check (Alcotest.float 1e-12) "no comm time" 0.0 r.Trace_sim.comm_time
+
+let test_compute_charged_to_owners_only () =
+  (* owner-computes: at P=4 the busiest clock carries ~1/4 of the total *)
+  let _, r =
+    simulate
+      {|
+program t
+parameter n = 64
+real a(64), b(64)
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+do i = 1, n
+  a(i) = b(i) * 2.0 + 1.0
+end do
+end
+|}
+  in
+  let ratio = r.Trace_sim.compute_total /. r.Trace_sim.compute_max in
+  check Alcotest.bool "near-perfect balance" true
+    (ratio > 3.5 && ratio <= 4.01)
+
+let test_replication_charges_everyone () =
+  let _, r =
+    simulate
+      {|
+program t
+parameter n = 64
+real e(64)
+real x
+do i = 1, n
+  x = e(i) * 2.0
+end do
+end
+|}
+  in
+  (* x stays replicated only if not privatizable... it is privatizable
+     and no-align: executed by union = all processors on a 1-proc grid
+     (no PROCESSORS directive -> grid of 1); compute_total = compute_max *)
+  check (Alcotest.float 1e-12) "single processor" r.Trace_sim.compute_max
+    r.Trace_sim.compute_total
+
+let test_time_decreases_with_procs () =
+  let time p =
+    let prog = Hpf_benchmarks.Tomcatv.program ~n:34 ~niter:3 ~p in
+    let c = Compiler.compile prog in
+    let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
+    r.Trace_sim.time
+  in
+  let t1 = time 1 and t4 = time 4 in
+  check Alcotest.bool "t4 < t1" true (t4 < t1)
+
+let test_message_combining () =
+  (* combining shares the startup latency among communications anchored
+     at the same placement point: the producer-aligned TOMCATV (many
+     same-point inner-loop messages) improves a lot, the selected
+     mapping (few, already-vectorized messages) barely changes, and
+     combining never makes anything slower *)
+  let time options =
+    let prog = Hpf_benchmarks.Tomcatv.program ~n:34 ~niter:3 ~p:4 in
+    let c = Compiler.compile ~options prog in
+    let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
+    r.Trace_sim.time
+  in
+  let open Hpf_benchmarks in
+  let prod = time Variants.producer_alignment in
+  let prod_c = time (Variants.with_message_combining Variants.producer_alignment) in
+  let sel = time Variants.selected in
+  let sel_c = time (Variants.with_message_combining Variants.selected) in
+  check Alcotest.bool "producer improves >= 3x" true (prod /. prod_c >= 3.0);
+  check Alcotest.bool "selected within 20%" true (sel /. sel_c < 1.2);
+  check Alcotest.bool "never slower" true (prod_c <= prod && sel_c <= sel);
+  check Alcotest.bool "mapping still dominates" true (prod_c > 5.0 *. sel_c)
+
+let test_memory_accounting () =
+  (* fig1 at P=4: a,b,c,d block-aligned (25 local elems each), e,f
+     replicated (100 each), 4 scalars (x,y,z,m) *)
+  let prog = Hpf_benchmarks.Fig_examples.fig1 ~n:100 ~p:4 () in
+  let c = Compiler.compile prog in
+  let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
+  check Alcotest.int "per-proc elements" ((4 * 25) + (2 * 100) + 4)
+    r.Trace_sim.mem_elems_max
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "measured-quantities",
+        [
+          Alcotest.test_case "instance counting" `Quick
+            test_instance_counting;
+          Alcotest.test_case "vectorized instances" `Quick
+            test_vectorized_instance_count;
+          Alcotest.test_case "triangular volume" `Quick
+            test_triangular_message_size;
+          Alcotest.test_case "early exit" `Quick
+            test_early_exit_reduces_instances;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "aligned is free" `Quick
+            test_comm_free_when_aligned;
+          Alcotest.test_case "owner-computes balance" `Quick
+            test_compute_charged_to_owners_only;
+          Alcotest.test_case "single proc" `Quick
+            test_replication_charges_everyone;
+          Alcotest.test_case "time decreases with P" `Quick
+            test_time_decreases_with_procs;
+          Alcotest.test_case "message combining" `Quick
+            test_message_combining;
+          Alcotest.test_case "memory accounting" `Quick
+            test_memory_accounting;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* End-to-end SPMD validation: the per-processor interpreter with the
+   compiler's communication schedule must reproduce the sequential
+   reference results for every benchmark and every optimization variant,
+   on several machine sizes.  A negative control checks that the
+   validation actually detects missing communication. *)
+
+open Hpf_lang
+open Phpf_core
+open Hpf_spmd
+open Hpf_benchmarks
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let validate_ok ?options prog =
+  let c = Compiler.compile ?options prog in
+  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+  match Spmd_interp.validate st with
+  | [] -> st
+  | m :: _ -> fail (Fmt.str "mismatch: %a" Spmd_interp.pp_mismatch m)
+
+let test_fig1 () =
+  List.iter
+    (fun p ->
+      ignore (validate_ok (Fig_examples.fig1 ~n:40 ~p ())))
+    [ 1; 2; 4; 5 ]
+
+let test_fig1_variants () =
+  List.iter
+    (fun options -> ignore (validate_ok ~options (Fig_examples.fig1 ~n:40 ~p:4 ())))
+    [ Variants.replication; Variants.producer_alignment; Variants.selected ]
+
+let test_fig2 () = ignore (validate_ok (Fig_examples.fig2 ~n:16 ~np:4 ()))
+
+let test_fig5 () =
+  List.iter
+    (fun (p1, p2) -> ignore (validate_ok (Fig_examples.fig5 ~n:16 ~p1 ~p2 ())))
+    [ (1, 1); (2, 2); (4, 2) ]
+
+let test_fig5_default () =
+  ignore
+    (validate_ok ~options:Variants.no_reduction_alignment
+       (Fig_examples.fig5 ~n:16 ~p1:2 ~p2:2 ()))
+
+let test_fig7 () =
+  List.iter
+    (fun p -> ignore (validate_ok (Fig_examples.fig7 ~n:24 ~p ())))
+    [ 1; 3; 4 ]
+
+let test_tomcatv () =
+  List.iter
+    (fun p ->
+      ignore (validate_ok (Tomcatv.program ~n:14 ~niter:2 ~p)))
+    [ 1; 2; 4 ]
+
+let test_tomcatv_variants () =
+  List.iter
+    (fun options ->
+      ignore (validate_ok ~options (Tomcatv.program ~n:14 ~niter:2 ~p:4)))
+    [ Variants.replication; Variants.producer_alignment; Variants.selected ]
+
+let test_dgefa () =
+  List.iter
+    (fun p -> ignore (validate_ok (Dgefa.program ~n:12 ~p)))
+    [ 1; 2; 4 ]
+
+let test_dgefa_default () =
+  ignore
+    (validate_ok ~options:Variants.no_reduction_alignment
+       (Dgefa.program ~n:12 ~p:4))
+
+let test_appsp_2d () =
+  List.iter
+    (fun (p1, p2) ->
+      ignore (validate_ok (Appsp.program_2d ~n:8 ~niter:1 ~p1 ~p2)))
+    [ (1, 1); (2, 2); (2, 4) ]
+
+let test_appsp_2d_no_partial () =
+  ignore
+    (validate_ok ~options:Variants.no_partial_priv
+       (Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2))
+
+let test_appsp_1d () =
+  List.iter
+    (fun p ->
+      ignore (validate_ok (Appsp.program_1d ~n:8 ~niter:1 ~p)))
+    [ 1; 2; 4 ]
+
+let test_appsp_1d_no_priv () =
+  ignore
+    (validate_ok ~options:Variants.no_array_priv
+       (Appsp.program_1d ~n:8 ~niter:1 ~p:2))
+
+(* negative control: dropping the communication schedule must produce
+   mismatches (stale operands on some owner) *)
+let test_missing_comm_detected () =
+  let prog = Sema.check (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  let c = Compiler.compile prog in
+  check Alcotest.bool "fig1 has communication" true (c.Compiler.comms <> []);
+  let broken = { c with Compiler.comms = [] } in
+  let st = Spmd_interp.run ~init:(Init.init broken.Compiler.prog) broken in
+  match Spmd_interp.validate st with
+  | [] -> fail "validation must detect missing communication"
+  | _ -> ()
+
+let test_transfer_counts_scale () =
+  (* more processors => at least as many boundary transfers *)
+  let count p =
+    let c = Compiler.compile (Fig_examples.fig1 ~n:64 ~p ()) in
+    let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+    (match Spmd_interp.validate st with
+    | [] -> ()
+    | m :: _ -> fail (Fmt.str "mismatch: %a" Spmd_interp.pp_mismatch m));
+    st.Spmd_interp.transfers
+  in
+  let c1 = count 1 and c4 = count 4 and c8 = count 8 in
+  check Alcotest.int "P=1: no transfers" 0 c1;
+  check Alcotest.bool "P=8 >= P=4 > 0" true (c8 >= c4 && c4 > 0)
+
+let () =
+  Alcotest.run "spmd"
+    [
+      ( "paper-figures",
+        [
+          Alcotest.test_case "fig1 across P" `Quick test_fig1;
+          Alcotest.test_case "fig1 variants" `Quick test_fig1_variants;
+          Alcotest.test_case "fig2" `Quick test_fig2;
+          Alcotest.test_case "fig5 across grids" `Quick test_fig5;
+          Alcotest.test_case "fig5 default" `Quick test_fig5_default;
+          Alcotest.test_case "fig7" `Quick test_fig7;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "tomcatv across P" `Quick test_tomcatv;
+          Alcotest.test_case "tomcatv variants" `Quick test_tomcatv_variants;
+          Alcotest.test_case "dgefa across P" `Quick test_dgefa;
+          Alcotest.test_case "dgefa default" `Quick test_dgefa_default;
+          Alcotest.test_case "appsp 2d across grids" `Quick test_appsp_2d;
+          Alcotest.test_case "appsp 2d no partial" `Quick
+            test_appsp_2d_no_partial;
+          Alcotest.test_case "appsp 1d across P" `Quick test_appsp_1d;
+          Alcotest.test_case "appsp 1d no priv" `Quick test_appsp_1d_no_priv;
+        ] );
+      ( "controls",
+        [
+          Alcotest.test_case "missing comm detected" `Quick
+            test_missing_comm_detected;
+          Alcotest.test_case "transfer counts scale" `Quick
+            test_transfer_counts_scale;
+        ] );
+    ]
