@@ -13,7 +13,7 @@ open Hpf_spmd
 open Hpf_benchmarks
 
 let time_with model prog options =
-  let c = Compiler.compile ~options prog in
+  let c = Compiler.compile_exn ~options prog in
   let r, _ = Trace_sim.run ~model ~init:(Init.init c.Compiler.prog) c in
   r.Trace_sim.time
 
@@ -53,12 +53,12 @@ let run_expansion () =
       (List.length c.Compiler.comms);
     r
   in
-  let priv = Compiler.compile prog in
+  let priv = Compiler.compile_exn prog in
   let expanded, exps = Expansion.run prog in
   List.iter
     (fun e -> Fmt.pr "  expanding %a@." Expansion.pp_expansion e)
     exps;
-  let exp = Compiler.compile expanded in
+  let exp = Compiler.compile_exn expanded in
   let rp = run "privatization" priv in
   let re = run "expansion" exp in
   Fmt.pr
@@ -73,7 +73,7 @@ let run () =
   Fmt.pr "Ablation 1: TOMCATV (P=%d) — vectorizable vs inner-loop comms per variant@." p;
   List.iter
     (fun (name, options) ->
-      let c = Compiler.compile ~options prog in
+      let c = Compiler.compile_exn ~options prog in
       let inner =
         List.length
           (List.filter
@@ -109,7 +109,7 @@ let run () =
   let dg = Dgefa.program ~n:96 ~p in
   List.iter
     (fun (name, options) ->
-      let c = Compiler.compile ~options dg in
+      let c = Compiler.compile_exn ~options dg in
       let d = c.Compiler.decisions in
       List.iter
         (fun red ->

@@ -28,11 +28,11 @@ let test_ssa =
 let test_compile_tomcatv =
   Test.make ~name:"compile tomcatv"
     (Staged.stage (fun () ->
-         ignore (Compiler.compile (Lazy.force tomcatv))))
+         ignore (Compiler.compile_exn (Lazy.force tomcatv))))
 
 let test_compile_dgefa =
   Test.make ~name:"compile dgefa"
-    (Staged.stage (fun () -> ignore (Compiler.compile (Lazy.force dgefa))))
+    (Staged.stage (fun () -> ignore (Compiler.compile_exn (Lazy.force dgefa))))
 
 let test_mapping =
   Test.make ~name:"mapping pass tomcatv"
@@ -43,7 +43,7 @@ let test_mapping =
          Array_priv.run d;
          Mapping_alg.run d))
 
-let small_tomcatv = lazy (Compiler.compile (Tomcatv.program ~n:18 ~niter:2 ~p:4))
+let small_tomcatv = lazy (Compiler.compile_exn (Tomcatv.program ~n:18 ~niter:2 ~p:4))
 
 let test_trace_sim =
   Test.make ~name:"trace-sim tomcatv n=18"

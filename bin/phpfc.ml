@@ -1,34 +1,43 @@
 (* phpfc — compile kernel-language (HPF subset) programs, report the
    privatization mapping decisions and communication schedule, and run
-   them on the SP2-like machine simulator. *)
+   them on the SP2-like machine simulator.
+
+   Exit codes: 0 success, 1 usage error, 2 compile error, 3 validation
+   mismatch.  All failures are rendered through the single structured
+   diagnostic renderer (Diag.pp) — no command throws. *)
 
 open Cmdliner
 open Hpf_lang
 open Phpf_core
 open Hpf_spmd
 
+let exit_ok = 0
+let exit_usage = 1
+let exit_compile_error = 2
+let exit_mismatch = 3
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let parse_program path =
-  try Parser.parse_file path with
-  | Lexer.Lex_error (loc, msg) ->
-      Fmt.epr "lexical error at %a: %s@." Loc.pp loc msg;
-      exit 1
-  | Parser.Parse_error (loc, msg) ->
-      Fmt.epr "syntax error at %a: %s@." Loc.pp loc msg;
-      exit 1
+(* The one diagnostic-rendering path shared by every command. *)
+let render_diags (ds : Diag.t list) = Fmt.epr "%a@?" Diag.pp_list ds
 
-let compile_program ?grid_override ?options path =
-  let p = parse_program path in
-  try Compiler.compile ?grid_override ?options p with
-  | Sema.Sema_error msg ->
-      Fmt.epr "semantic error: %s@." msg;
-      exit 1
-  | Hpf_mapping.Layout.Mapping_error msg ->
-      Fmt.epr "mapping error: %s@." msg;
-      exit 1
+(* Run a command body; structured diagnostics from any phase (lexer,
+   parser, sema, layout, pipeline) land here and nowhere else. *)
+let guarded (f : unit -> int) : int =
+  try f ()
+  with Diag.Fatal ds ->
+    render_diags ds;
+    exit_compile_error
+
+(* Parse + compile through the pass manager, returning the pipeline
+   trace alongside the result. *)
+let compile_program ?grid_override ?options ?after path =
+  let prog = Parser.parse_file path in
+  match Compiler.compile_traced ?grid_override ?options ?after prog with
+  | Ok res -> res
+  | Error ds -> raise (Diag.Fatal ds)
 
 (* ---------------- common options ---------------- *)
 
@@ -121,14 +130,100 @@ let opt_flags =
     const mk $ no_scalar $ producer $ no_red $ no_arr $ no_partial $ no_ctrl
     $ auto_arr $ combine)
 
+(* ---------------- pipeline instrumentation flags ---------------- *)
+
+let time_passes_arg =
+  Arg.(
+    value & flag
+    & info [ "time-passes" ]
+        ~doc:"Print a per-pass wall-time table after compilation.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the statistics counters recorded by each pass.")
+
+let dump_after_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:
+          "Dump the program and the mapping decisions after the named \
+           pass (see $(b,--list-passes) for names).")
+
+let list_passes_arg =
+  Arg.(
+    value & flag
+    & info [ "list-passes" ]
+        ~doc:"List the registered passes of the pipeline and exit.")
+
+let list_passes () =
+  List.iter
+    (fun p ->
+      Fmt.pr "%-16s %s@."
+        (Phpf_driver.Pass.name p)
+        (Phpf_driver.Pass.descr p))
+    Compiler.passes
+
+(* The --dump-after hook: after the named pass, print the (possibly
+   rewritten) program and whatever decisions exist at that point. *)
+let dump_after_hook (which : string option) (name : string)
+    (ctx : Compiler.context) : unit =
+  if which = Some name then begin
+    Fmt.pr "=== after %s ===@." name;
+    Fmt.pr "%s" (Pp.program_to_string ctx.Compiler.prog);
+    (match ctx.Compiler.decisions with
+    | Some d ->
+        Fmt.pr "scalar mappings:@.";
+        Report.pp_scalar_decisions Fmt.stdout d;
+        if Hashtbl.length d.Decisions.arrays > 0 then begin
+          Fmt.pr "array privatization:@.";
+          Report.pp_array_decisions Fmt.stdout d
+        end;
+        if Hashtbl.length d.Decisions.ctrl > 0 then begin
+          Fmt.pr "control flow:@.";
+          Report.pp_ctrl_decisions Fmt.stdout d
+        end
+    | None -> ());
+    Fmt.pr "=== end %s ===@." name
+  end
+
+(* Reject an unknown --dump-after pass name before doing any work. *)
+let check_dump_after = function
+  | Some p when not (List.mem p Compiler.pass_names) ->
+      render_diags
+        [
+          Diag.errorf ~code:"E0501" "unknown pass %s (registered: %s)" p
+            (String.concat ", " Compiler.pass_names);
+        ];
+      false
+  | _ -> true
+
 (* ---------------- commands ---------------- *)
 
 let compile_cmd =
-  let run file procs options annotate verbose =
+  let run file procs options annotate time_passes stats dump_after
+      list_passes_flag verbose =
     setup_logs verbose;
-    let c = compile_program ?grid_override:procs ~options file in
-    if annotate then Fmt.pr "%a@?" Report.pp_annotated c
-    else Fmt.pr "%a@?" Report.pp_compiled c
+    if list_passes_flag then begin
+      list_passes ();
+      exit_ok
+    end
+    else if not (check_dump_after dump_after) then exit_usage
+    else
+      guarded @@ fun () ->
+      let c, trace =
+        compile_program ?grid_override:procs ~options
+          ~after:(dump_after_hook dump_after) file
+      in
+      if annotate then Fmt.pr "%a@?" Report.pp_annotated c
+      else Fmt.pr "%a@?" Report.pp_compiled c;
+      if time_passes then
+        Fmt.pr "%a@?" Phpf_driver.Pipeline.pp_timing trace;
+      if stats then Fmt.pr "%a@?" Phpf_driver.Pipeline.pp_stats trace;
+      exit_ok
   in
   let annotate_arg =
     Arg.(
@@ -142,32 +237,48 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile and report mapping decisions.")
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ annotate_arg
+      $ time_passes_arg $ stats_arg $ dump_after_arg $ list_passes_arg
       $ verbose_arg)
 
 let simulate_cmd =
-  let run file procs options verbose =
+  let run file procs options stats verbose =
     setup_logs verbose;
-    let c = compile_program ?grid_override:procs ~options file in
-    let result, _mem = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
-    Fmt.pr "%a@." Trace_sim.pp_result result
+    guarded @@ fun () ->
+    let c, _trace = compile_program ?grid_override:procs ~options file in
+    let sim_stats = if stats then Some (Phpf_driver.Stats.create ()) else None in
+    let result, _mem =
+      Trace_sim.run ?stats:sim_stats ~init:(Init.init c.Compiler.prog) c
+    in
+    Fmt.pr "%a@." Trace_sim.pp_result result;
+    (match sim_stats with
+    | Some st -> Fmt.pr "%a@?" Phpf_driver.Stats.pp st
+    | None -> ());
+    exit_ok
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run on the SP2-like timing simulator and report times.")
-    Term.(const run $ file_arg $ procs_arg $ opt_flags $ verbose_arg)
+    Term.(
+      const run $ file_arg $ procs_arg $ opt_flags $ stats_arg $ verbose_arg)
 
 let validate_cmd =
   let run file procs options verbose =
     setup_logs verbose;
-    let c = compile_program ?grid_override:procs ~options file in
+    guarded @@ fun () ->
+    let c, _trace = compile_program ?grid_override:procs ~options file in
     let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
     match Spmd_interp.validate st with
     | [] ->
-        Fmt.pr "OK: SPMD execution matches sequential reference (%d element transfers)@."
+        Fmt.pr
+          "OK: SPMD execution matches sequential reference (%d element \
+           transfers)@."
           st.Spmd_interp.transfers;
+        exit_ok
     | ms ->
-        List.iter (fun m -> Fmt.pr "MISMATCH %a@." Spmd_interp.pp_mismatch m) ms;
-        exit 1
+        List.iter
+          (fun m -> Fmt.pr "MISMATCH %a@." Spmd_interp.pp_mismatch m)
+          ms;
+        exit_mismatch
   in
   Cmd.v
     (Cmd.info "validate"
@@ -179,12 +290,13 @@ let validate_cmd =
 let sweep_cmd =
   let run file procs_list options verbose =
     setup_logs verbose;
+    guarded @@ fun () ->
     Fmt.pr "%6s %12s %10s %12s %10s@." "P" "time (s)" "speedup" "efficiency"
       "comm (s)";
     let base = ref None in
     List.iter
       (fun p ->
-        let c = compile_program ~grid_override:[ p ] ~options file in
+        let c, _trace = compile_program ~grid_override:[ p ] ~options file in
         let r, _ =
           Hpf_spmd.Trace_sim.run
             ~init:(Hpf_spmd.Init.init c.Compiler.prog)
@@ -201,7 +313,8 @@ let sweep_cmd =
         Fmt.pr "%6d %12.4f %10.2f %11.0f%% %10.4f@." p t (t1 /. t)
           (100.0 *. t1 /. t /. float_of_int p)
           r.Hpf_spmd.Trace_sim.comm_time)
-      procs_list
+      procs_list;
+    exit_ok
   in
   let procs_list =
     Arg.(
@@ -217,9 +330,11 @@ let sweep_cmd =
 
 let print_cmd =
   let run file =
-    let p = parse_program file in
+    guarded @@ fun () ->
+    let p = Parser.parse_file file in
     let p = Sema.check p in
-    Fmt.pr "%s@?" (Pp.program_to_string p)
+    Fmt.pr "%s@?" (Pp.program_to_string p);
+    exit_ok
   in
   Cmd.v
     (Cmd.info "print" ~doc:"Parse, check and pretty-print a program.")
@@ -227,8 +342,19 @@ let print_cmd =
 
 let () =
   let doc = "prototype HPF compiler with privatization of variables" in
-  let info = Cmd.info "phpfc" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ compile_cmd; simulate_cmd; validate_cmd; sweep_cmd; print_cmd ]))
+  let info =
+    Cmd.info "phpfc" ~version:"1.0.0" ~doc
+      ~man:
+        [
+          `S Manpage.s_exit_status;
+          `P "0 on success, 1 on usage errors, 2 on compile errors \
+              (structured diagnostics on stderr), 3 when $(b,validate) \
+              finds mismatches.";
+        ]
+  in
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [ compile_cmd; simulate_cmd; validate_cmd; sweep_cmd; print_cmd ])
+  in
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

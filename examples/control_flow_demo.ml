@@ -12,7 +12,7 @@ open Hpf_spmd
 open Hpf_benchmarks
 
 let report name prog =
-  let c = Compiler.compile prog in
+  let c = Compiler.compile_exn prog in
   let d = c.Compiler.decisions in
   Fmt.pr "--- %s ---@." name;
   Ast.iter_program

@@ -36,7 +36,7 @@ let () =
   List.iter
     (fun (name, fmt) ->
       let prog = dgefa_with ~fmt ~n ~p in
-      let c = Compiler.compile prog in
+      let c = Compiler.compile_exn prog in
       let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
       let ideal =
         r.Trace_sim.compute_total /. float_of_int r.Trace_sim.nprocs

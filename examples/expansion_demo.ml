@@ -18,7 +18,7 @@ let () =
   Fmt.pr "@.=== expanded program ===@.%s@."
     (Pp.program_to_string (Sema.check expanded));
   let report name p =
-    let c = Compiler.compile p in
+    let c = Compiler.compile_exn p in
     let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
     Fmt.pr "--- %s ---@." name;
     Fmt.pr "%a@." Report.pp_compiled c;
@@ -34,7 +34,7 @@ let () =
     "processor — privatization achieves the same parallelism with private@.";
   Fmt.pr "scalars (the paper's point in section 6).@.";
   (* correctness of the transformed program *)
-  let c = Compiler.compile (Sema.check expanded) in
+  let c = Compiler.compile_exn (Sema.check expanded) in
   let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
   match Spmd_interp.validate st with
   | [] -> Fmt.pr "SPMD validation of the expanded program: OK@."

@@ -21,7 +21,7 @@ let () =
   Fmt.pr "%s@." (Pp.program_to_string (Sema.check prog));
 
   (* the AlignLevel computation that drives the decision *)
-  let c = Compiler.compile prog in
+  let c = Compiler.compile_exn prog in
   let d = c.Compiler.decisions in
   let env = d.Decisions.env and nest = d.Decisions.nest in
   let rsd_ref =
@@ -53,7 +53,7 @@ let () =
 
   (* compare against disabling partial privatization *)
   let time options =
-    let c = Compiler.compile ~options prog in
+    let c = Compiler.compile_exn ~options prog in
     let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
     r.Trace_sim.time
   in

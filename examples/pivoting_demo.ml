@@ -20,7 +20,7 @@ let () =
   Fmt.pr "DGEFA Gaussian elimination, n = %d, P = %d, (*,cyclic) columns@.@."
     n p;
 
-  let c = Compiler.compile prog in
+  let c = Compiler.compile_exn prog in
   let d = c.Compiler.decisions in
   (* the recognized reduction *)
   List.iter
@@ -38,7 +38,7 @@ let () =
   Fmt.pr "@.";
 
   let run name options =
-    let c = Compiler.compile ~options prog in
+    let c = Compiler.compile_exn ~options prog in
     let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
     Fmt.pr "  %-28s %a@." name Trace_sim.pp_result r;
     r.Trace_sim.time

@@ -43,7 +43,7 @@ let () =
   (* 2. compile: induction variables, SSA, privatized-variable mapping
         (paper Fig. 3), reduction/array/control-flow privatization,
         communication analysis with message vectorization *)
-  let compiled = Compiler.compile prog in
+  let compiled = Compiler.compile_exn prog in
   Fmt.pr "=== mapping decisions and communication schedule ===@.";
   Fmt.pr "%a@." Report.pp_compiled compiled;
 
@@ -68,7 +68,7 @@ let () =
 
   (* 5. what replication of the scalars would have cost instead *)
   let naive =
-    Compiler.compile
+    Compiler.compile_exn
       ~options:
         { Decisions.default_options with Decisions.privatize_scalars = false }
       prog

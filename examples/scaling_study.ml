@@ -11,7 +11,7 @@ open Hpf_spmd
 open Hpf_benchmarks
 
 let time prog options =
-  let c = Compiler.compile ~options prog in
+  let c = Compiler.compile_exn ~options prog in
   let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
   r.Trace_sim.time
 

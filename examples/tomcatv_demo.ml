@@ -15,7 +15,7 @@ let procs () =
   if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8
 
 let describe name options prog =
-  let c = Compiler.compile ~options prog in
+  let c = Compiler.compile_exn ~options prog in
   let d = c.Compiler.decisions in
   Fmt.pr "--- %s ---@." name;
   (* where did the stencil temporaries land? *)

@@ -32,7 +32,7 @@ let run_one ?(model = Hpf_comm.Cost_model.sp2) (prog : Ast.program)
     (* the program's own PROCESSORS directive fixes the grid *)
     None
   in
-  let c = Compiler.compile ?grid_override:grid ~options prog in
+  let c = Compiler.compile_exn ?grid_override:grid ~options prog in
   let result, _ = Trace_sim.run ~model ~init:(Init.init c.Compiler.prog) c in
   { variant; time = result.Trace_sim.time; result }
 

@@ -1,27 +1,49 @@
-(** The phpf-style compilation pipeline.
+(** The phpf-style compilation pipeline, expressed as a pass list over a
+    shared compilation context and executed by the pass-manager
+    ({!Phpf_driver.Pipeline}).
 
-    {!compile} runs, in order:
+    The registered passes, in order:
 
-    + semantic checking and statement-id normalization ({!Hpf_lang.Sema});
-    + induction-variable recognition and closed-form rewriting
-      ({!Hpf_analysis.Induction}) — the program analysis phase that
-      precedes mapping decisions in phpf;
-    + construction of SSA, privatizability information, layouts and
-      reduction records ({!Decisions.create});
-    + control-flow privatization ({!Ctrl_priv});
-    + reduction-accumulator mapping ({!Reduction_map});
-    + array privatization, full and partial ({!Array_priv});
-    + the scalar mapping pass ({!Mapping_alg}, paper Fig. 3);
-    + communication analysis with message vectorization
-      ({!Hpf_comm.Comm_analysis}) under the resulting decisions.
+    + [sema] — semantic checking and statement-id normalization
+      ({!Hpf_lang.Sema});
+    + [induction] — induction-variable recognition and closed-form
+      rewriting ({!Hpf_analysis.Induction});
+    + [decisions] — construction of SSA, privatizability information,
+      layouts and reduction records ({!Decisions.create});
+    + [ctrl-priv] — control-flow privatization ({!Ctrl_priv});
+    + [reduction-map] — reduction-accumulator mapping ({!Reduction_map});
+    + [array-priv] — array privatization, full and partial
+      ({!Array_priv});
+    + [scalar-map] — the scalar mapping pass ({!Mapping_alg}, paper
+      Fig. 3);
+    + [comm-analysis] — communication analysis with message
+      vectorization ({!Hpf_comm.Comm_analysis}).
 
-    [options] turns individual phases off to reproduce the paper's
-    less-optimized compiler versions; [grid_override] replaces the
-    declared processor arrangement to sweep machine sizes. *)
+    [options] gates individual passes (their enabled-predicates) to
+    reproduce the paper's less-optimized compiler versions;
+    [grid_override] replaces the declared processor arrangement to sweep
+    machine sizes.  Each pass records statistics counters (defs
+    privatized, arrays partially privatized, comms vectorized vs.
+    inner-loop residual, ...) into the pipeline trace. *)
 
 open Hpf_lang
 open Hpf_analysis
 open Hpf_comm
+module Pass = Phpf_driver.Pass
+module Pipeline = Phpf_driver.Pipeline
+module Stats = Phpf_driver.Stats
+
+(** Mutable state threaded through the passes.  (Declared before
+    {!compiled} so that unannotated [c.Compiler.prog]-style accesses in
+    client code resolve to the {!compiled} record's fields.) *)
+type context = {
+  mutable prog : Ast.program;
+  mutable ivs : Induction.iv list;
+  mutable decisions : Decisions.t option;  (** set by the decisions pass *)
+  mutable comms : Comm.t list;
+  grid_override : int list option;
+  options : Decisions.options;
+}
 
 type compiled = {
   prog : Ast.program;  (** after semantic checks and IV rewriting *)
@@ -30,21 +52,171 @@ type compiled = {
   ivs : Induction.iv list;
 }
 
-let compile ?grid_override ?(options = Decisions.default_options)
-    (input : Ast.program) : compiled =
-  let checked = Sema.check input in
-  let prog, ivs = Induction.run checked in
-  let d = Decisions.create ?grid_override ~options prog in
-  if options.Decisions.privatize_control then Ctrl_priv.run d;
-  if options.Decisions.reduction_alignment then Reduction_map.run d;
-  if options.Decisions.privatize_arrays then Array_priv.run d;
-  if options.Decisions.privatize_scalars then Mapping_alg.run d;
-  let comms =
-    Comm_analysis.analyze prog d.Decisions.nest (Consumer.oracle d)
-      ~reductions:d.Decisions.reductions
-      ~red_group:(Reduction_map.combine_group d) ()
+let decisions_exn (ctx : context) : Decisions.t =
+  match ctx.decisions with
+  | Some d -> d
+  | None -> invalid_arg "pipeline: pass ran before the decisions pass"
+
+(* ------------------------------------------------------------------ *)
+(* Statistics helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let count_stmts (p : Ast.program) =
+  let n = ref 0 in
+  Ast.iter_program (fun _ -> incr n) p;
+  !n
+
+let count_scalar (d : Decisions.t) pred =
+  Hashtbl.fold
+    (fun _ m acc -> if pred m then acc + 1 else acc)
+    d.Decisions.scalar 0
+
+let count_arrays (d : Decisions.t) pred =
+  Hashtbl.fold
+    (fun _ m acc -> if pred m then acc + 1 else acc)
+    d.Decisions.arrays 0
+
+(* ------------------------------------------------------------------ *)
+(* The registered pass list                                            *)
+(* ------------------------------------------------------------------ *)
+
+let passes : (Decisions.options, context) Pass.t list =
+  [
+    Pass.make "sema" ~descr:"semantic checks and statement renumbering"
+      (fun (ctx : context) st ->
+        (match Sema.check_result ctx.prog with
+        | Ok p -> ctx.prog <- p
+        | Error ds -> raise (Diag.Fatal ds));
+        Stats.set st "program.stmts" (count_stmts ctx.prog));
+    Pass.make "induction"
+      ~descr:"induction-variable recognition and closed-form rewriting"
+      (fun (ctx : context) st ->
+        let prog, ivs = Induction.run ctx.prog in
+        ctx.prog <- prog;
+        ctx.ivs <- ivs;
+        Stats.set st "ivs.rewritten" (List.length ivs));
+    Pass.make "decisions"
+      ~descr:"SSA, privatizability, layouts and reduction records"
+      (fun (ctx : context) st ->
+        let d =
+          Decisions.create ?grid_override:ctx.grid_override
+            ~options:ctx.options ctx.prog
+        in
+        ctx.decisions <- Some d;
+        Stats.set st "grid.procs"
+          (Hpf_mapping.Grid.size d.Decisions.env.Hpf_mapping.Layout.grid);
+        Stats.set st "reductions.recognized"
+          (List.length d.Decisions.reductions));
+    Pass.make "ctrl-priv"
+      ~enabled:(fun (o : Decisions.options) -> o.Decisions.privatize_control)
+      ~descr:"privatized execution of control flow (paper section 4)"
+      (fun (ctx : context) st ->
+        let d = decisions_exn ctx in
+        Ctrl_priv.run d;
+        Stats.set st "ctrl.privatized"
+          (Hashtbl.fold
+             (fun _ priv acc -> if priv then acc + 1 else acc)
+             d.Decisions.ctrl 0));
+    Pass.make "reduction-map"
+      ~enabled:(fun (o : Decisions.options) -> o.Decisions.reduction_alignment)
+      ~descr:"reduction-accumulator mapping (paper section 2.3)"
+      (fun (ctx : context) st ->
+        let d = decisions_exn ctx in
+        Reduction_map.run d;
+        Stats.set st "reductions.mapped"
+          (count_scalar d (function
+            | Decisions.Priv_reduction _ -> true
+            | _ -> false)));
+    Pass.make "array-priv"
+      ~enabled:(fun (o : Decisions.options) -> o.Decisions.privatize_arrays)
+      ~descr:"array privatization, full and partial (paper section 3)"
+      (fun (ctx : context) st ->
+        let d = decisions_exn ctx in
+        Array_priv.run d;
+        Stats.set st "arrays.privatized"
+          (count_arrays d (function
+            | Decisions.Arr_priv _ -> true
+            | Decisions.Arr_partial_priv _ -> false));
+        Stats.set st "arrays.partial"
+          (count_arrays d (function
+            | Decisions.Arr_partial_priv _ -> true
+            | Decisions.Arr_priv _ -> false)));
+    Pass.make "scalar-map"
+      ~enabled:(fun (o : Decisions.options) -> o.Decisions.privatize_scalars)
+      ~descr:"scalar mapping: DetermineMapping (paper Fig. 3)"
+      (fun (ctx : context) st ->
+        let d = decisions_exn ctx in
+        Mapping_alg.run d;
+        Stats.set st "defs.aligned"
+          (count_scalar d (function
+            | Decisions.Priv_aligned _ -> true
+            | _ -> false));
+        Stats.set st "defs.no-align"
+          (count_scalar d (function
+            | Decisions.Priv_no_align -> true
+            | _ -> false)));
+    Pass.make "comm-analysis"
+      ~descr:"communication analysis with message vectorization"
+      (fun (ctx : context) st ->
+        let d = decisions_exn ctx in
+        let comms =
+          Comm_analysis.analyze ctx.prog d.Decisions.nest (Consumer.oracle d)
+            ~reductions:d.Decisions.reductions
+            ~red_group:(Reduction_map.combine_group d) ()
+        in
+        ctx.comms <- comms;
+        Stats.set st "comms.total" (List.length comms);
+        Stats.set st "comms.vectorized"
+          (List.length (List.filter Comm.vectorized comms));
+        Stats.set st "comms.inner-loop"
+          (List.length
+             (List.filter
+                (fun (cm : Comm.t) ->
+                  cm.Comm.stmt_level > 0
+                  && cm.Comm.placement_level >= cm.Comm.stmt_level)
+                comms)));
+  ]
+
+(** Names of the registered passes, in order. *)
+let pass_names = Pipeline.names passes
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let compile_traced ?grid_override ?(options = Decisions.default_options)
+    ?after (input : Ast.program) :
+    (compiled * Pipeline.trace, Diag.t list) result =
+  let ctx =
+    {
+      prog = input;
+      ivs = [];
+      decisions = None;
+      comms = [];
+      grid_override;
+      options;
+    }
   in
-  { prog; decisions = d; comms; ivs }
+  match Pipeline.run ~opts:options ?after passes ctx with
+  | Error _ as e -> e
+  | Ok trace ->
+      Ok
+        ( {
+            prog = ctx.prog;
+            decisions = decisions_exn ctx;
+            comms = ctx.comms;
+            ivs = ctx.ivs;
+          },
+          trace )
+
+let compile ?grid_override ?options (input : Ast.program) :
+    (compiled, Diag.t list) result =
+  Result.map fst (compile_traced ?grid_override ?options input)
+
+let compile_exn ?grid_override ?options (input : Ast.program) : compiled =
+  match compile ?grid_override ?options input with
+  | Ok c -> c
+  | Error ds -> raise (Diag.Fatal ds)
 
 (** Estimated communication time under a machine model (the mapping
     algorithm's view of the program; the timing simulator in

@@ -1,15 +1,31 @@
 (** The phpf-style compilation pipeline — the main entry point of the
     library.
 
-    {!compile} runs semantic checking, induction-variable rewriting, SSA
-    construction, the privatization passes of the paper (control flow,
-    reductions, arrays incl. partial privatization, the Fig. 3 scalar
-    mapping algorithm) and communication analysis with message
-    vectorization. *)
+    {!compile} runs the registered pass list (semantic checking,
+    induction-variable rewriting, SSA construction, the privatization
+    passes of the paper — control flow, reductions, arrays incl. partial
+    privatization, the Fig. 3 scalar mapping algorithm — and
+    communication analysis with message vectorization) through the
+    pass-manager of {!Phpf_driver.Pipeline}.  Failures in any phase
+    surface as structured diagnostics ({!Hpf_lang.Diag.t}), never as
+    phase-specific exceptions. *)
 
 open Hpf_lang
 open Hpf_analysis
 open Hpf_comm
+
+(** Mutable state threaded through the passes (exposed for the
+    [--dump-after] hook and custom drivers).  Declared before
+    {!compiled} so that unannotated [c.Compiler.prog]-style accesses in
+    client code resolve to the {!compiled} record's fields. *)
+type context = {
+  mutable prog : Ast.program;
+  mutable ivs : Induction.iv list;
+  mutable decisions : Decisions.t option;  (** set by the decisions pass *)
+  mutable comms : Comm.t list;
+  grid_override : int list option;
+  options : Decisions.options;
+}
 
 type compiled = {
   prog : Ast.program;  (** after semantic checks and IV rewriting *)
@@ -18,15 +34,44 @@ type compiled = {
   ivs : Induction.iv list;  (** recognized induction variables *)
 }
 
+(** The registered pass list, in order: [sema], [induction],
+    [decisions], [ctrl-priv], [reduction-map], [array-priv],
+    [scalar-map], [comm-analysis].  Optimization knobs in
+    {!Decisions.options} gate the corresponding passes through their
+    enabled-predicates. *)
+val passes : (Decisions.options, context) Phpf_driver.Pass.t list
+
+(** Names of the registered passes, in order. *)
+val pass_names : string list
+
 (** Compile a program.
 
     @param grid_override replaces the extents of the declared [PROCESSORS]
     arrangement (to sweep machine sizes without editing the program).
-    @param options disables individual phases, reproducing the paper's
+    @param options disables individual passes, reproducing the paper's
     less-optimized compiler versions (see {!Decisions.options}).
-    @raise Sema.Sema_error on semantic errors.
-    @raise Hpf_mapping.Layout.Mapping_error on inconsistent directives. *)
+    @return the compiled program, or the diagnostics of the first
+    failing pass (semantic errors, inconsistent directives, ...). *)
 val compile :
+  ?grid_override:int list ->
+  ?options:Decisions.options ->
+  Ast.program ->
+  (compiled, Diag.t list) result
+
+(** Like {!compile}, also returning the pipeline execution trace
+    (per-pass wall time and statistics).  [after] is invoked with each
+    executed pass's name and the context — the [--dump-after] hook. *)
+val compile_traced :
+  ?grid_override:int list ->
+  ?options:Decisions.options ->
+  ?after:(string -> context -> unit) ->
+  Ast.program ->
+  (compiled * Phpf_driver.Pipeline.trace, Diag.t list) result
+
+(** Like {!compile} for callers that have already validated their input
+    (generated benchmark programs, tests).
+    @raise Diag.Fatal with the diagnostics on failure. *)
+val compile_exn :
   ?grid_override:int list ->
   ?options:Decisions.options ->
   Ast.program ->

@@ -136,7 +136,7 @@ let loops_mentioning (d : Decisions.t) (var : string) : Ast.stmt_id list =
     transformed program (unchecked: run it through the compiler) and the
     expansions performed. *)
 let run ?options (prog : Ast.program) : Ast.program * expansion list =
-  let c = Compiler.compile ?options prog in
+  let c = Compiler.compile_exn ?options prog in
   let d = c.Compiler.decisions in
   let prog = c.Compiler.prog in
   (* candidate scalars: one aligned in-loop definition class, a single

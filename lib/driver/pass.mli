@@ -1,0 +1,25 @@
+(** A single compilation pass: a named unit of work over a mutable
+    compilation context ['ctx], gated by an enabled-predicate over an
+    option record ['opts].  Failures are reported by raising
+    {!Hpf_lang.Diag.Fatal}; {!Pipeline.run} catches them. *)
+
+type ('opts, 'ctx) t = {
+  name : string;  (** stable lowercase identifier, e.g. ["array-priv"] *)
+  descr : string;  (** one-line description for docs and [--help] *)
+  enabled : 'opts -> bool;  (** run only when this predicate holds *)
+  run : 'ctx -> Stats.t -> unit;
+      (** do the work; record counters into the given {!Stats.t} *)
+}
+
+(** Predicate that always holds (the default [enabled]). *)
+val always : 'a -> bool
+
+val make :
+  ?enabled:('opts -> bool) ->
+  descr:string ->
+  string ->
+  ('ctx -> Stats.t -> unit) ->
+  ('opts, 'ctx) t
+
+val name : ('opts, 'ctx) t -> string
+val descr : ('opts, 'ctx) t -> string

@@ -1,0 +1,28 @@
+(** Named integer counters recorded by compilation passes.
+
+    Each pass run by {!Pipeline} gets a fresh counter set; the recorded
+    values end up in the pipeline trace (rendered by
+    [phpfc compile --stats]).  Keys are dotted lowercase names, e.g.
+    ["defs.aligned"] or ["comms.vectorized"]. *)
+
+type t = (string, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let get (t : t) key = Option.value ~default:0 (Hashtbl.find_opt t key)
+
+let set (t : t) key v = Hashtbl.replace t key v
+
+let add (t : t) key n = set t key (get t key + n)
+
+let incr (t : t) key = add t key 1
+
+(** Sorted association list of all counters. *)
+let to_list (t : t) : (string * int) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let is_empty (t : t) = Hashtbl.length t = 0
+
+let pp ppf (t : t) =
+  List.iter (fun (k, v) -> Fmt.pf ppf "  %-24s %8d@." k v) (to_list t)

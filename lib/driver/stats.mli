@@ -1,0 +1,20 @@
+(** Named integer counters recorded by compilation passes and surfaced
+    in the pipeline trace ([phpfc compile --stats]).  Keys are dotted
+    lowercase names, e.g. ["defs.aligned"]. *)
+
+type t
+
+val create : unit -> t
+
+(** [get t key] is the counter's value, 0 when never touched. *)
+val get : t -> string -> int
+
+val set : t -> string -> int -> unit
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+
+(** Sorted association list of all counters. *)
+val to_list : t -> (string * int) list
+
+val is_empty : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+(** Structured diagnostics for every phase of the compiler.
+
+    A diagnostic carries a severity, a stable error code, an optional
+    source location and a rendered message.  All phases (lexer, parser,
+    sema, layout resolution, the pipeline itself) report failures as
+    diagnostics; the single escape hatch is the {!Fatal} exception, which
+    the pass-manager ({!Phpf_driver.Pipeline}) catches at pass
+    boundaries and converts into the [result]-typed API of
+    {!Phpf_core.Compiler}.
+
+    Error codes are grouped by phase:
+
+    - [E01xx] — lexical errors
+    - [E02xx] — syntax errors
+    - [E03xx] — semantic errors ({!codes} below refine the class)
+    - [E04xx] — mapping/layout errors
+    - [E05xx] — driver/pipeline errors (unknown pass, ...) *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  code : string;  (** stable machine-readable code, e.g. ["E0301"] *)
+  loc : Loc.t option;  (** position, when the phase tracks one *)
+  message : string;
+}
+
+(** Raised by phases on unrecoverable errors; caught at pass boundaries
+    (never escapes {!Phpf_core.Compiler.compile} or the CLI). *)
+exception Fatal of t list
+
+let make ?(severity = Error) ?loc ~code message =
+  { severity; code; loc; message }
+
+let error ?loc ~code message = make ~severity:Error ?loc ~code message
+
+let errorf ?loc ~code fmt = Fmt.kstr (fun m -> error ?loc ~code m) fmt
+
+(** Format a message and raise {!Fatal} with a single error. *)
+let failf ?loc ~code fmt =
+  Fmt.kstr (fun m -> raise (Fatal [ error ?loc ~code m ])) fmt
+
+let is_error d = d.severity = Error
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp_severity ppf s = Fmt.string ppf (severity_to_string s)
+
+let pp ppf d =
+  match d.loc with
+  | Some l ->
+      Fmt.pf ppf "%a: %a[%s]: %s" Loc.pp l pp_severity d.severity d.code
+        d.message
+  | None ->
+      Fmt.pf ppf "%a[%s]: %s" pp_severity d.severity d.code d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+let pp_list ppf ds = List.iter (fun d -> Fmt.pf ppf "%a@." pp d) ds
+
+(* Readable output should a Fatal ever escape to a top level that does
+   not render diagnostics itself. *)
+let () =
+  Printexc.register_printer (function
+    | Fatal ds ->
+        Some
+          (String.concat "\n" (List.map to_string ds))
+    | _ -> None)

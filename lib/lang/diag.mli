@@ -1,0 +1,57 @@
+(** Structured diagnostics: severity, stable error code, optional
+    {!Loc.t}, message.  Every compiler phase reports failures this way;
+    {!Fatal} is caught at pass boundaries so the library API and the CLI
+    surface [(_, t list) result] values instead of phase-specific
+    exceptions.
+
+    Error-code ranges:
+
+    - [E0101] lexical error
+    - [E0201] syntax error
+    - [E0301] undeclared identifier
+    - [E0302] rank/subscript mismatch
+    - [E0303] assignment discipline (loop index, parameter, index reuse)
+    - [E0304] inconsistent directive
+    - [E0305] duplicate declaration or parameter
+    - [E0306] misplaced [EXIT]/[CYCLE]
+    - [E0401] mapping/layout error
+    - [E0402] invalid processor grid extents
+    - [E0501] pipeline/driver error (e.g. unknown pass name) *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  code : string;  (** stable machine-readable code, e.g. ["E0301"] *)
+  loc : Loc.t option;  (** position, when the phase tracks one *)
+  message : string;
+}
+
+(** Raised by phases on unrecoverable errors; caught at pass
+    boundaries.  Never escapes {!Phpf_core.Compiler.compile} or the
+    [phpfc] CLI. *)
+exception Fatal of t list
+
+val make : ?severity:severity -> ?loc:Loc.t -> code:string -> string -> t
+val error : ?loc:Loc.t -> code:string -> string -> t
+
+val errorf :
+  ?loc:Loc.t -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** Format a message and raise {!Fatal} with a single error. *)
+val failf :
+  ?loc:Loc.t -> code:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val is_error : t -> bool
+val severity_to_string : severity -> string
+val pp_severity : Format.formatter -> severity -> unit
+
+(** One-line rendering: [FILE:LINE:COL: error[CODE]: message] (location
+    omitted when absent) — the single renderer shared by the CLI and the
+    tests. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Render each diagnostic of the list on its own line. *)
+val pp_list : Format.formatter -> t list -> unit

@@ -65,8 +65,6 @@ let token_to_string = function
   | NEWLINE -> "<newline>"
   | EOF -> "<eof>"
 
-exception Lex_error of Loc.t * string
-
 type t = {
   src : string;
   file : string;
@@ -80,7 +78,7 @@ let create ?(file = "<string>") src = { src; file; pos = 0; line = 1; bol = 0 }
 let loc lx =
   Loc.make ~file:lx.file ~line:lx.line ~col:(lx.pos - lx.bol + 1)
 
-let error lx msg = raise (Lex_error (loc lx, msg))
+let error lx msg = Diag.failf ~loc:(loc lx) ~code:"E0101" "%s" msg
 
 let peek_char lx =
   if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None

@@ -34,14 +34,12 @@ type token =
 
 val token_to_string : token -> string
 
-exception Lex_error of Loc.t * string
-
 type t
 
 val create : ?file:string -> string -> t
 
 (** Read the next token with its location.
-    @raise Lex_error on invalid input. *)
+    @raise Diag.Fatal (code [E0101]) on invalid input. *)
 val next : t -> token * Loc.t
 
 (** Lex the whole input (ends in [EOF]). *)

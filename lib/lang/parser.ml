@@ -28,8 +28,6 @@
 
 open Ast
 
-exception Parse_error of Loc.t * string
-
 type t = {
   toks : (Lexer.token * Loc.t) array;
   mutable pos : int;
@@ -48,7 +46,7 @@ let peek2 ps =
 
 let advance ps = if ps.pos < Array.length ps.toks - 1 then ps.pos <- ps.pos + 1
 
-let error ps msg = raise (Parse_error (peek_loc ps, msg))
+let error ps msg = Diag.failf ~loc:(peek_loc ps) ~code:"E0201" "%s" msg
 
 let expect ps tok =
   if peek ps = tok then advance ps
@@ -751,8 +749,7 @@ let parse_program ps : program =
   }
 
 (** Parse a complete program from a string.
-    @raise Lexer.Lex_error on lexical errors
-    @raise Parse_error on syntax errors *)
+    @raise Diag.Fatal on lexical ([E0101]) or syntax ([E0201]) errors *)
 let parse_string ?file src : program =
   let toks = Lexer.tokenize ?file src in
   let ps = create toks in
@@ -780,3 +777,15 @@ let parse_stmts_string src : stmt list =
   let stmts = parse_stmts ps in
   skip_newlines ps;
   stmts
+
+(** {!parse_string} with diagnostics as data instead of an exception. *)
+let parse_string_result ?file src : (program, Diag.t list) result =
+  match parse_string ?file src with
+  | p -> Ok p
+  | exception Diag.Fatal ds -> Error ds
+
+(** {!parse_file} with diagnostics as data instead of an exception. *)
+let parse_file_result path : (program, Diag.t list) result =
+  match parse_file path with
+  | p -> Ok p
+  | exception Diag.Fatal ds -> Error ds

@@ -8,16 +8,20 @@
 
 open Ast
 
-exception Parse_error of Loc.t * string
-
 (** Parse a complete program from a string.
     @param file name used in error locations.
-    @raise Lexer.Lex_error on lexical errors.
-    @raise Parse_error on syntax errors. *)
+    @raise Diag.Fatal on lexical ([E0101]) or syntax ([E0201]) errors. *)
 val parse_string : ?file:string -> string -> program
 
-(** Parse a program from a file on disk. *)
+(** Parse a program from a file on disk.
+    @raise Diag.Fatal as {!parse_string}. *)
 val parse_file : string -> program
+
+(** {!parse_string}, with diagnostics as data instead of an exception. *)
+val parse_string_result : ?file:string -> string -> (program, Diag.t list) result
+
+(** {!parse_file}, with diagnostics as data instead of an exception. *)
+val parse_file_result : string -> (program, Diag.t list) result
 
 (** Parse a bare statement sequence (for tests). *)
 val parse_stmts_string : string -> stmt list

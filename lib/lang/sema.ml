@@ -11,13 +11,16 @@
     - directives refer to declared arrays/grids with matching ranks;
     - [NEW] variables are declared;
     - [EXIT]/[CYCLE] name an enclosing loop (when named) and appear inside
-      a loop. *)
+      a loop.
+
+    Violations are reported as {!Diag.t} values (codes [E0301]-[E0306]);
+    {!check_result} accumulates one diagnostic per offending declaration,
+    directive and top-level statement instead of stopping at the first. *)
 
 open Ast
 
-exception Sema_error of string
-
-let err fmt = Fmt.kstr (fun s -> raise (Sema_error s)) fmt
+let err ~code fmt =
+  Fmt.kstr (fun s -> raise (Diag.Fatal [ Diag.error ~code s ])) fmt
 
 type env = {
   prog : program;
@@ -37,42 +40,44 @@ let rec check_expr env ~indices (e : expr) =
         (not (List.mem v indices))
         && param_value env.prog v = None
         && find_decl env.prog v = None
-      then err "undeclared variable %s" v;
+      then err ~code:"E0301" "undeclared variable %s" v;
       (match decl_rank env v with
       | Some r when r > 0 ->
-          err "array %s referenced without subscripts" v
+          err ~code:"E0302" "array %s referenced without subscripts" v
       | _ -> ())
   | Arr (a, subs) -> (
       List.iter (check_expr env ~indices) subs;
       match decl_rank env a with
-      | None -> err "undeclared array %s" a
-      | Some 0 -> err "scalar %s referenced with subscripts" a
+      | None -> err ~code:"E0301" "undeclared array %s" a
+      | Some 0 -> err ~code:"E0302" "scalar %s referenced with subscripts" a
       | Some r when r <> List.length subs ->
-          err "array %s has rank %d but %d subscripts given" a r
-            (List.length subs)
+          err ~code:"E0302" "array %s has rank %d but %d subscripts given" a
+            r (List.length subs)
       | Some _ -> ())
   | Bin (_, x, y) | Intrin (_, x, y) ->
       check_expr env ~indices x;
-      check_expr env ~indices y;
+      check_expr env ~indices y
   | Un (_, x) -> check_expr env ~indices x
 
 let check_lhs env ~indices = function
   | LVar v -> (
-      if List.mem v indices then err "assignment to loop index %s" v;
+      if List.mem v indices then
+        err ~code:"E0303" "assignment to loop index %s" v;
       if param_value env.prog v <> None then
-        err "assignment to parameter %s" v;
+        err ~code:"E0303" "assignment to parameter %s" v;
       match decl_rank env v with
-      | None -> err "undeclared variable %s" v
-      | Some r when r > 0 -> err "array %s assigned without subscripts" v
+      | None -> err ~code:"E0301" "undeclared variable %s" v
+      | Some r when r > 0 ->
+          err ~code:"E0302" "array %s assigned without subscripts" v
       | Some _ -> ())
   | LArr (a, subs) -> (
       List.iter (check_expr env ~indices) subs;
       match decl_rank env a with
-      | None -> err "undeclared array %s" a
-      | Some 0 -> err "scalar %s assigned with subscripts" a
+      | None -> err ~code:"E0301" "undeclared array %s" a
+      | Some 0 -> err ~code:"E0302" "scalar %s assigned with subscripts" a
       | Some r when r <> List.length subs ->
-          err "array %s has rank %d but %d subscripts given" a r
-            (List.length subs)
+          err ~code:"E0302" "array %s has rank %d but %d subscripts given" a
+            r (List.length subs)
       | Some _ -> ())
 
 let rec check_stmt env ~indices ~loops (s : stmt) =
@@ -85,22 +90,22 @@ let rec check_stmt env ~indices ~loops (s : stmt) =
       List.iter (check_stmt env ~indices ~loops) t;
       List.iter (check_stmt env ~indices ~loops) e
   | Exit name | Cycle name -> (
-      if loops = [] then err "exit/cycle outside any loop";
+      if loops = [] then err ~code:"E0306" "exit/cycle outside any loop";
       match name with
       | None -> ()
       | Some n ->
           if not (List.mem (Some n) loops) then
-            err "exit/cycle names unknown loop %s" n)
+            err ~code:"E0306" "exit/cycle names unknown loop %s" n)
   | Do d ->
       if List.mem d.index indices then
-        err "loop index %s reused by nested loop" d.index;
+        err ~code:"E0303" "loop index %s reused by nested loop" d.index;
       check_expr env ~indices d.lo;
       check_expr env ~indices d.hi;
       check_expr env ~indices d.step;
       List.iter
         (fun v ->
           if find_decl env.prog v = None then
-            err "NEW variable %s is not declared" v)
+            err ~code:"E0301" "NEW variable %s is not declared" v)
         d.new_vars;
       let indices = d.index :: indices in
       let loops = d.loop_name :: loops in
@@ -112,37 +117,38 @@ let check_directive env = function
         (fun e ->
           match const_int_opt env.prog e with
           | Some n when n >= 1 -> ()
-          | Some n -> err "processors extent %d must be >= 1" n
-          | None -> err "processors extents must be constant")
+          | Some n -> err ~code:"E0304" "processors extent %d must be >= 1" n
+          | None -> err ~code:"E0304" "processors extents must be constant")
         extents
   | Distribute { array; fmts; onto } -> (
       (match onto with
       | Some g when not (List.mem_assoc g env.grids) ->
-          err "distribute onto unknown grid %s" g
+          err ~code:"E0304" "distribute onto unknown grid %s" g
       | Some g ->
           let grid_rank = List.assoc g env.grids in
           let mapped =
             List.length (List.filter (fun f -> f <> Star) fmts)
           in
           if mapped > grid_rank then
-            err "distribute of %s maps %d dims onto rank-%d grid %s" array
+            err ~code:"E0304"
+              "distribute of %s maps %d dims onto rank-%d grid %s" array
               mapped grid_rank g
       | None -> ());
       match decl_rank env array with
-      | None -> err "distribute of undeclared array %s" array
+      | None -> err ~code:"E0301" "distribute of undeclared array %s" array
       | Some r when r <> List.length fmts ->
-          err "distribute of %s: %d formats for rank %d" array
+          err ~code:"E0302" "distribute of %s: %d formats for rank %d" array
             (List.length fmts) r
-      | Some 0 -> err "cannot distribute scalar %s" array
+      | Some 0 -> err ~code:"E0304" "cannot distribute scalar %s" array
       | Some _ -> ())
   | Align { alignee; target; subs } -> (
       (match decl_rank env alignee with
-      | None -> err "align of undeclared variable %s" alignee
+      | None -> err ~code:"E0301" "align of undeclared variable %s" alignee
       | Some _ -> ());
       match decl_rank env target with
-      | None -> err "align with undeclared array %s" target
+      | None -> err ~code:"E0301" "align with undeclared array %s" target
       | Some r when r <> List.length subs ->
-          err "align with %s: %d subscripts for rank %d" target
+          err ~code:"E0302" "align with %s: %d subscripts for rank %d" target
             (List.length subs) r
       | Some _ ->
           let alignee_rank =
@@ -151,9 +157,10 @@ let check_directive env = function
           List.iter
             (function
               | A_dim { dum; _ } when dum < 0 || dum >= max 1 alignee_rank ->
-                  err "align of %s: dummy $%d out of range" alignee dum
+                  err ~code:"E0304" "align of %s: dummy $%d out of range"
+                    alignee dum
               | A_dim { stride = 0; _ } ->
-                  err "align of %s: zero stride" alignee
+                  err ~code:"E0304" "align of %s: zero stride" alignee
               | A_dim _ | A_const _ | A_star -> ())
             subs)
 
@@ -162,22 +169,28 @@ let check_decls (p : program) =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun d ->
-      if Hashtbl.mem seen d.dname then err "duplicate declaration of %s" d.dname;
+      if Hashtbl.mem seen d.dname then
+        err ~code:"E0305" "duplicate declaration of %s" d.dname;
       if param_value p d.dname <> None then
-        err "%s declared both as parameter and variable" d.dname;
+        err ~code:"E0305" "%s declared both as parameter and variable"
+          d.dname;
       Hashtbl.add seen d.dname ())
     p.decls;
   let pseen = Hashtbl.create 16 in
   List.iter
     (fun (n, _) ->
-      if Hashtbl.mem pseen n then err "duplicate parameter %s" n;
+      if Hashtbl.mem pseen n then err ~code:"E0305" "duplicate parameter %s" n;
       Hashtbl.add pseen n ())
     p.params
 
-(** Validate [p]; return it with deterministic statement ids.
-    @raise Sema_error on any violation. *)
-let check (p : program) : program =
-  check_decls p;
+(** Validate [p]; return it with deterministic statement ids, or the
+    accumulated diagnostics.  Each top-level unit (declaration set,
+    directive, top-level statement) contributes at most one diagnostic,
+    so several independent mistakes are reported in a single run. *)
+let check_result (p : program) : (program, Diag.t list) result =
+  let diags = ref [] in
+  let guard f = try f () with Diag.Fatal ds -> diags := !diags @ ds in
+  guard (fun () -> check_decls p);
   let grids =
     List.filter_map
       (function
@@ -186,12 +199,25 @@ let check (p : program) : program =
       p.directives
   in
   let env = { prog = p; grids } in
-  List.iter (check_directive env) p.directives;
-  List.iter (check_stmt env ~indices:[] ~loops:[]) p.body;
-  renumber p
+  List.iter (fun d -> guard (fun () -> check_directive env d)) p.directives;
+  List.iter
+    (fun s -> guard (fun () -> check_stmt env ~indices:[] ~loops:[] s))
+    p.body;
+  match !diags with [] -> Ok (renumber p) | ds -> Error ds
 
-(** [check] then return, or raise [Sema_error] with the program name
-    prepended for context. *)
+(** Validate [p]; return it with deterministic statement ids.
+    @raise Diag.Fatal with the accumulated diagnostics on any violation. *)
+let check (p : program) : program =
+  match check_result p with Ok p -> p | Error ds -> raise (Diag.Fatal ds)
+
+(** [check] then return, or raise {!Diag.Fatal} with the program name
+    prepended to each message for context. *)
 let check_named (p : program) : program =
   try check p
-  with Sema_error m -> raise (Sema_error (p.pname ^ ": " ^ m))
+  with Diag.Fatal ds ->
+    raise
+      (Diag.Fatal
+         (List.map
+            (fun (d : Diag.t) ->
+              { d with Diag.message = p.pname ^ ": " ^ d.Diag.message })
+            ds))

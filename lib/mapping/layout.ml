@@ -63,9 +63,11 @@ type env = {
   layouts : (string, t) Hashtbl.t;
 }
 
-exception Mapping_error of string
-
-let merr fmt = Fmt.kstr (fun s -> raise (Mapping_error s)) fmt
+(* Mapping/layout errors carry code E0401 (inconsistent directives) or
+   E0402 (invalid processor grid extents) and are raised as Diag.Fatal,
+   caught at pass boundaries by the pipeline. *)
+let merr ?(code = "E0401") fmt =
+  Fmt.kstr (fun s -> raise (Diag.Fatal [ Diag.error ~code s ])) fmt
 
 let layout_of (env : env) (name : string) : t =
   match Hashtbl.find_opt env.layouts name with
@@ -76,6 +78,11 @@ let layout_of (env : env) (name : string) : t =
     extents, e.g. to sweep the processor count in an experiment). *)
 let declared_grid ?(grid_override : int list option) (prog : Ast.program) :
     Grid.t option =
+  (match grid_override with
+  | Some ext when List.exists (fun n -> n < 1) ext ->
+      merr ~code:"E0402" "invalid processor grid extents [%s]"
+        (String.concat ", " (List.map string_of_int ext))
+  | _ -> ());
   let found =
     List.find_map
       (function

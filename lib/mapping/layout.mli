@@ -41,19 +41,18 @@ type env = {
   layouts : (string, t) Hashtbl.t;
 }
 
-exception Mapping_error of string
-
 (** Layout of a name ({!replicated} when it has no directives). *)
 val layout_of : env -> string -> t
 
 (** The declared [PROCESSORS] grid, with [grid_override] replacing its
-    extents.  @raise Mapping_error on non-constant extents. *)
+    extents.  @raise Hpf_lang.Diag.Fatal on non-constant ([E0401]) or
+    non-positive ([E0402]) extents. *)
 val declared_grid : ?grid_override:int list -> Ast.program -> Grid.t option
 
 (** Resolve every directive of a program (a 1-processor grid is assumed
     when none is declared or supplied).
-    @raise Mapping_error on rank mismatches, over-mapped grids or cyclic
-    ALIGN chains. *)
+    @raise Hpf_lang.Diag.Fatal (code [E0401]) on rank mismatches,
+    over-mapped grids or cyclic ALIGN chains. *)
 val resolve : ?grid_override:int list -> Ast.program -> env
 
 (** Number of elements of a variable stored by the processor at the

@@ -51,8 +51,8 @@ type stmt_stats = {
   counts : int array;  (** length = nest level + 1 *)
 }
 
-let run ?(model = Cost_model.sp2) ?init (c : Compiler.compiled) :
-    result * Memory.t =
+let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats.t option)
+    (c : Compiler.compiled) : result * Memory.t =
   let d = c.Compiler.decisions in
   let prog = c.Compiler.prog in
   let nest = d.Decisions.nest in
@@ -200,7 +200,8 @@ let run ?(model = Cost_model.sp2) ?init (c : Compiler.compiled) :
           comm_elems := !comm_elems + (instances * elems))
     c.Compiler.comms;
   let compute_max = Array.fold_left Float.max 0.0 clocks in
-  ( {
+  let r =
+    {
       nprocs;
       time = compute_max +. !comm_time;
       compute_max;
@@ -210,5 +211,18 @@ let run ?(model = Cost_model.sp2) ?init (c : Compiler.compiled) :
       comm_elems = !comm_elems;
       stmt_instances = !total_instances;
       mem_elems_max = Hpf_mapping.Layout.max_local_elems env;
-    },
-    mem )
+    }
+  in
+  (* hook the measured trace into the driver's instrumentation channel *)
+  (match driver_stats with
+  | None -> ()
+  | Some st ->
+      let module Stats = Phpf_driver.Stats in
+      Stats.set st "sim.procs" r.nprocs;
+      Stats.set st "sim.stmt-instances" r.stmt_instances;
+      Stats.set st "sim.comm-messages" r.comm_messages;
+      Stats.set st "sim.comm-elems" r.comm_elems;
+      Stats.set st "sim.mem-elems-max" r.mem_elems_max;
+      Stats.set st "sim.time-us" (int_of_float (1e6 *. r.time));
+      Stats.set st "sim.comm-time-us" (int_of_float (1e6 *. r.comm_time)));
+  (r, mem)

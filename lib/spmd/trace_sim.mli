@@ -27,10 +27,16 @@ type result = {
 val pp_result : Format.formatter -> result -> unit
 
 (** Run the simulation.  [init] seeds the memory (see {!Init});
-    [model] defaults to {!Hpf_comm.Cost_model.sp2}.  Returns the timing
-    result and the final (reference) memory. *)
+    [model] defaults to {!Hpf_comm.Cost_model.sp2}.  [stats] hooks the
+    simulator into the driver's instrumentation: measured counters
+    ([sim.stmt-instances], [sim.comm-messages], [sim.comm-elems],
+    [sim.mem-elems-max], [sim.time-us], ...) are recorded into it, so
+    the CLI and custom drivers report simulation and compilation
+    statistics through one channel.  Returns the timing result and the
+    final (reference) memory. *)
 val run :
   ?model:Hpf_comm.Cost_model.t ->
   ?init:(Memory.t -> unit) ->
+  ?stats:Phpf_driver.Stats.t ->
   Compiler.compiled ->
   result * Memory.t

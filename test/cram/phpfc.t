@@ -69,15 +69,78 @@ The pretty-printer round-trips:
   end do
   end program
 
-Errors are reported with positions:
+Errors are structured diagnostics (code + location) with exit status 2,
+and sema accumulates every failure before giving up:
 
   $ cat > bad.hpfk <<'SRC'
   > program bad
-  > x = 1.0
+  > real x
+  > x = y
+  > x = z
   > end
   > SRC
   $ ../../bin/phpfc.exe compile bad.hpfk
-  semantic error: undeclared variable x
+  error[E0301]: undeclared variable y
+  error[E0301]: undeclared variable z
+  [2]
+
+Parse errors carry the offending position:
+
+  $ cat > bad2.hpfk <<'SRC'
+  > program bad2
+  > real x
+  > x + = 1.0
+  > end
+  > SRC
+  $ ../../bin/phpfc.exe compile bad2.hpfk
+  bad2.hpfk:3:3: error[E0201]: expected = but found +
+  [2]
+
+The pipeline is introspectable — passes can be listed, and the --stats
+counters of each pass are deterministic:
+
+  $ ../../bin/phpfc.exe compile --list-passes ../../examples/programs/fig1.hpfk
+  sema             semantic checks and statement renumbering
+  induction        induction-variable recognition and closed-form rewriting
+  decisions        SSA, privatizability, layouts and reduction records
+  ctrl-priv        privatized execution of control flow (paper section 4)
+  reduction-map    reduction-accumulator mapping (paper section 2.3)
+  array-priv       array privatization, full and partial (paper section 3)
+  scalar-map       scalar mapping: DetermineMapping (paper Fig. 3)
+  comm-analysis    communication analysis with message vectorization
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --stats | sed -n '/^sema:/,$p'
+  sema:
+    program.stmts                   8
+  induction:
+    ivs.rewritten                   1
+  decisions:
+    grid.procs                      4
+    reductions.recognized           0
+  ctrl-priv:
+    ctrl.privatized                 0
+  reduction-map:
+    reductions.mapped               0
+  array-priv:
+    arrays.partial                  0
+    arrays.privatized               0
+  scalar-map:
+    defs.aligned                    2
+    defs.no-align                   2
+  comm-analysis:
+    comms.inner-loop                1
+    comms.total                     3
+    comms.vectorized                2
+
+Disabling an optimization drops its pass from the pipeline — the
+scalar-map counters disappear and every definition is replicated:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --stats --no-scalar-priv | sed -n '/^scalar-map:/,+2p'
+
+Unknown --dump-after names are usage errors (exit 1), not crashes:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --dump-after nosuch
+  error[E0501]: unknown pass nosuch (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis)
   [1]
 
 A processor-count sweep on the Jacobi stencil:

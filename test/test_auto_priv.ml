@@ -163,7 +163,7 @@ let test_pipeline_integration () =
   let options =
     { Decisions.default_options with Decisions.auto_array_priv = true }
   in
-  let c = Compiler.compile ~options prog in
+  let c = Compiler.compile_exn ~options prog in
   let d = c.Compiler.decisions in
   let found =
     Hashtbl.fold
@@ -178,7 +178,7 @@ let test_pipeline_integration () =
   (* and the broadcast of a's column disappears *)
   check Alcotest.int "no communication" 0 (List.length c.Compiler.comms);
   (* default options: analysis off, broadcast present *)
-  let c0 = Compiler.compile prog in
+  let c0 = Compiler.compile_exn prog in
   check Alcotest.bool "without the option: comm remains" true
     (c0.Compiler.comms <> [])
 
@@ -187,7 +187,7 @@ let test_pipeline_validates () =
   let options =
     { Decisions.default_options with Decisions.auto_array_priv = true }
   in
-  let c = Compiler.compile ~options prog in
+  let c = Compiler.compile_exn ~options prog in
   let st =
     Hpf_spmd.Spmd_interp.run
       ~init:(Hpf_spmd.Init.init c.Compiler.prog)

@@ -110,7 +110,7 @@ let test_table3_2d_starts_better () =
 (* the timing simulator's bookkeeping *)
 let test_sim_accounting () =
   let prog = Tomcatv.program ~n:18 ~niter:2 ~p:4 in
-  let c = Phpf_core.Compiler.compile prog in
+  let c = Phpf_core.Compiler.compile_exn prog in
   let r, _ = Hpf_spmd.Trace_sim.run ~init:(Hpf_spmd.Init.init c.Phpf_core.Compiler.prog) c in
   check Alcotest.bool "time = compute + comm" true
     (Float.abs (r.Hpf_spmd.Trace_sim.time
@@ -123,7 +123,7 @@ let test_sim_accounting () =
 
 let test_sim_deterministic () =
   let prog = Dgefa.program ~n:24 ~p:4 in
-  let c = Phpf_core.Compiler.compile prog in
+  let c = Phpf_core.Compiler.compile_exn prog in
   let run () =
     let r, _ = Hpf_spmd.Trace_sim.run ~init:(Hpf_spmd.Init.init c.Phpf_core.Compiler.prog) c in
     r.Hpf_spmd.Trace_sim.time

@@ -187,7 +187,7 @@ end
 (* Whole-program analysis through the core oracle                       *)
 (* ------------------------------------------------------------------ *)
 
-let compile src = Phpf_core.Compiler.compile (parse src)
+let compile src = Phpf_core.Compiler.compile_exn (parse src)
 
 let test_shift_classified () =
   let c =
@@ -357,7 +357,7 @@ end
     < cost)
 
 let test_inner_loop_comms_query () =
-  let c = Phpf_core.Compiler.compile (Hpf_benchmarks.Fig_examples.fig1 ()) in
+  let c = Phpf_core.Compiler.compile_exn (Hpf_benchmarks.Fig_examples.fig1 ()) in
   let inner = Phpf_core.Compiler.inner_loop_comms c in
   check Alcotest.int "fig1: one inner comm (y)" 1 (List.length inner);
   check Alcotest.string "y" "y"

@@ -10,7 +10,7 @@ let check = Alcotest.check
 let fail = Alcotest.fail
 
 let parse src = Sema.check (Parser.parse_string src)
-let compile ?options src = Compiler.compile ?options (parse src)
+let compile ?options src = Compiler.compile_exn ?options (parse src)
 
 let all_scalar_defs (d : Decisions.t) (var : string) : Ssa.def_id list =
   Ssa.defs_of_var d.Decisions.ssa var
@@ -323,7 +323,7 @@ end
 
 let test_option_no_scalar_priv () =
   let c =
-    Compiler.compile ~options:Hpf_benchmarks.Variants.replication
+    Compiler.compile_exn ~options:Hpf_benchmarks.Variants.replication
       (Hpf_benchmarks.Fig_examples.fig1 ())
   in
   check Alcotest.int "no scalar decisions recorded" 0
@@ -331,7 +331,7 @@ let test_option_no_scalar_priv () =
 
 let test_option_no_array_priv () =
   let c =
-    Compiler.compile ~options:Hpf_benchmarks.Variants.no_array_priv
+    Compiler.compile_exn ~options:Hpf_benchmarks.Variants.no_array_priv
       (Hpf_benchmarks.Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2)
   in
   check Alcotest.int "no array decisions" 0
@@ -412,7 +412,7 @@ let test_array_priv_owner_spec () =
   (* under partial privatization the owner spec of c(i,j) must follow its
      own layout on grid dim 0 and the target on grid dim 1 *)
   let c =
-    Compiler.compile (Hpf_benchmarks.Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2)
+    Compiler.compile_exn (Hpf_benchmarks.Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2)
   in
   let d = c.Compiler.decisions in
   let csid = ref 0 in
@@ -516,7 +516,7 @@ let contains_substring haystack needle =
   go 0
 
 let test_report_renders () =
-  let c = Compiler.compile (Hpf_benchmarks.Fig_examples.fig1 ()) in
+  let c = Compiler.compile_exn (Hpf_benchmarks.Fig_examples.fig1 ()) in
   let s = Report.to_string c in
   List.iter
     (fun needle ->

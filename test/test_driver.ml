@@ -1,0 +1,168 @@
+(* Pass-manager tests: pipeline trace contents, per-flag pass gating,
+   recorded statistics, the after-hook, and the result-based compile
+   entry points. *)
+
+open Hpf_lang
+open Phpf_core
+module Pipeline = Phpf_driver.Pipeline
+module Stats = Phpf_driver.Stats
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let slist = Alcotest.(list string)
+
+let fig1 () = Hpf_benchmarks.Fig_examples.fig1 ~n:40 ~p:4 ()
+
+let trace_of ?options prog =
+  match Compiler.compile_traced ?options prog with
+  | Ok (_, trace) -> trace
+  | Error ds -> fail (Fmt.str "unexpected diagnostics: %a" Diag.pp_list ds)
+
+(* ------------------------------------------------------------------ *)
+(* Trace shape                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_runs_all_passes () =
+  let trace = trace_of (fig1 ()) in
+  check slist "all passes execute in registration order" Compiler.pass_names
+    (Pipeline.executed trace);
+  check slist "nothing skipped" [] trace.Pipeline.skipped;
+  List.iter
+    (fun (e : Pipeline.entry) ->
+      check Alcotest.bool
+        (Fmt.str "%s time is non-negative" e.Pipeline.pass)
+        true
+        (e.Pipeline.time_s >= 0.0))
+    trace.Pipeline.entries
+
+(* Each optimization flag must drop exactly its pass from the trace —
+   nothing more, nothing less. *)
+let gating_cases =
+  [
+    ( "scalar-map",
+      fun o -> { o with Decisions.privatize_scalars = false } );
+    ( "reduction-map",
+      fun o -> { o with Decisions.reduction_alignment = false } );
+    ("array-priv", fun o -> { o with Decisions.privatize_arrays = false });
+    ("ctrl-priv", fun o -> { o with Decisions.privatize_control = false });
+  ]
+
+let test_flag_drops_exactly_one_pass (pass, flip) () =
+  let options = flip Decisions.default_options in
+  let trace = trace_of ~options (fig1 ()) in
+  check slist
+    (Fmt.str "disabling drops only %s" pass)
+    (List.filter (fun n -> n <> pass) Compiler.pass_names)
+    (Pipeline.executed trace);
+  check slist (Fmt.str "%s reported as skipped" pass) [ pass ]
+    trace.Pipeline.skipped
+
+let test_all_flags_off () =
+  let options =
+    {
+      Decisions.default_options with
+      Decisions.privatize_scalars = false;
+      reduction_alignment = false;
+      privatize_arrays = false;
+      privatize_control = false;
+    }
+  in
+  let trace = trace_of ~options (fig1 ()) in
+  check slist "only the ungated passes remain"
+    [ "sema"; "induction"; "decisions"; "comm-analysis" ]
+    (Pipeline.executed trace)
+
+(* ------------------------------------------------------------------ *)
+(* Recorded statistics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let stat trace pass key =
+  match Pipeline.stats_of trace pass with
+  | None -> fail (Fmt.str "pass %s did not run" pass)
+  | Some kvs -> ( try List.assoc key kvs with Not_found -> 0)
+
+let test_stats_recorded () =
+  let trace = trace_of (fig1 ()) in
+  check Alcotest.bool "sema counts statements" true
+    (stat trace "sema" "program.stmts" > 0);
+  check Alcotest.bool "fig1 aligns at least one def" true
+    (stat trace "scalar-map" "defs.aligned" >= 1);
+  let total = stat trace "comm-analysis" "comms.total" in
+  let vectorized = stat trace "comm-analysis" "comms.vectorized" in
+  let inner = stat trace "comm-analysis" "comms.inner-loop" in
+  check Alcotest.bool "comm counters are consistent" true
+    (vectorized >= 0 && inner >= 0 && vectorized + inner <= total)
+
+let test_grid_stat_tracks_override () =
+  match Compiler.compile_traced ~grid_override:[ 8 ] (fig1 ()) with
+  | Error ds -> fail (Fmt.str "unexpected: %a" Diag.pp_list ds)
+  | Ok (_, trace) ->
+      check Alcotest.int "grid.procs reflects the override" 8
+        (stat trace "decisions" "grid.procs")
+
+(* ------------------------------------------------------------------ *)
+(* After-hook and result API                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_after_hook_order () =
+  let seen = ref [] in
+  let after name (_ : Compiler.context) = seen := name :: !seen in
+  (match Compiler.compile_traced ~after (fig1 ()) with
+  | Error ds -> fail (Fmt.str "unexpected: %a" Diag.pp_list ds)
+  | Ok (_, trace) ->
+      check slist "after-hook fires once per executed pass, in order"
+        (Pipeline.executed trace) (List.rev !seen))
+
+let test_compile_error_result () =
+  let p = Parser.parse_string "program t\nreal x\nx = y\nend" in
+  match Compiler.compile p with
+  | Ok _ -> fail "expected Error"
+  | Error (d :: _) -> check Alcotest.string "code" "E0301" d.Diag.code
+  | Error [] -> fail "empty diagnostics"
+
+let test_stats_counters () =
+  let st = Stats.create () in
+  check Alcotest.int "untouched is 0" 0 (Stats.get st "x");
+  Stats.incr st "x";
+  Stats.add st "x" 2;
+  Stats.set st "y" 7;
+  check Alcotest.int "incr+add" 3 (Stats.get st "x");
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "sorted listing"
+    [ ("x", 3); ("y", 7) ]
+    (Stats.to_list st)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "driver"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "default runs all passes" `Quick
+            test_default_runs_all_passes;
+          Alcotest.test_case "all flags off" `Quick test_all_flags_off;
+        ] );
+      ( "gating",
+        List.map
+          (fun ((pass, _) as case) ->
+            Alcotest.test_case
+              (Fmt.str "flag drops %s" pass)
+              `Quick
+              (test_flag_drops_exactly_one_pass case))
+          gating_cases );
+      ( "stats",
+        [
+          Alcotest.test_case "pass counters recorded" `Quick
+            test_stats_recorded;
+          Alcotest.test_case "grid override stat" `Quick
+            test_grid_stat_tracks_override;
+          Alcotest.test_case "counter primitives" `Quick test_stats_counters;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "after-hook order" `Quick test_after_hook_order;
+          Alcotest.test_case "compile returns Error" `Quick
+            test_compile_error_result;
+        ] );
+    ]

@@ -17,8 +17,11 @@ let parse src = Sema.check (Parser.parse_string src)
 
 let expect_mapping_error src =
   match Layout.resolve (parse src) with
-  | exception Layout.Mapping_error _ -> ()
-  | _ -> fail "expected Mapping_error"
+  | exception Diag.Fatal (d :: _) ->
+      check Alcotest.string "mapping error code" "E04"
+        (String.sub d.Diag.code 0 3)
+  | exception Diag.Fatal [] -> fail "empty diagnostics"
+  | _ -> fail "expected mapping diagnostics"
 
 let test_cyclic_align_chain () =
   expect_mapping_error
@@ -44,7 +47,7 @@ real a(8,8)
 end
 |}
    with
-  | exception Sema.Sema_error _ -> ()
+  | exception Diag.Fatal _ -> ()
   | _ -> fail "sema should reject explicit onto");
   expect_mapping_error
     {|
@@ -72,7 +75,8 @@ end
 |}
   in
   match Layout.resolve ~grid_override:[ -1 ] p with
-  | exception Invalid_argument _ -> ()
+  | exception Diag.Fatal [ d ] ->
+      check Alcotest.string "grid extents code" "E0402" d.Diag.code
   | _ -> fail "negative extents rejected"
 
 (* ------------------------------------------------------------------ *)
@@ -148,7 +152,7 @@ end do
 x = 1.0
 end
 |} in
-  let c = Phpf_core.Compiler.compile p in
+  let c = Phpf_core.Compiler.compile_exn p in
   let r, _ = Trace_sim.run c in
   check Alcotest.bool "runs" true (r.Trace_sim.stmt_instances >= 1)
 
@@ -196,16 +200,89 @@ end
 
 let test_compile_empty_program () =
   let p = parse "program t\nend" in
-  let c = Phpf_core.Compiler.compile p in
+  let c = Phpf_core.Compiler.compile_exn p in
   check Alcotest.int "no comms" 0 (List.length c.Phpf_core.Compiler.comms)
 
 let test_simulate_on_one_proc_grid () =
   (* degenerate machine: everything local, zero comm time *)
   let prog = Hpf_benchmarks.Fig_examples.fig1 ~n:40 ~p:1 () in
-  let c = Phpf_core.Compiler.compile prog in
+  let c = Phpf_core.Compiler.compile_exn prog in
   let r, _ = Trace_sim.run ~init:(Init.init c.Phpf_core.Compiler.prog) c in
   check Alcotest.int "one proc" 1 r.Trace_sim.nprocs;
   check Alcotest.bool "no comm" true (r.Trace_sim.comm_elems = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Structured diagnostics: codes and locations via the result API       *)
+(* ------------------------------------------------------------------ *)
+
+let first_error = function
+  | Ok _ -> fail "expected Error diagnostics"
+  | Error [] -> fail "empty diagnostics"
+  | Error ((d : Diag.t) :: _) -> d
+
+let test_diag_lex () =
+  let d = first_error (Parser.parse_string_result "program t\nx = 1 # 2\nend") in
+  check Alcotest.string "lex code" "E0101" d.Diag.code;
+  match d.Diag.loc with
+  | Some loc -> check Alcotest.int "lex line" 2 loc.Loc.line
+  | None -> fail "lexer diagnostics must carry a location"
+
+let test_diag_parse () =
+  let d =
+    first_error (Parser.parse_string_result "program t\nreal x\nx + = 1.0\nend")
+  in
+  check Alcotest.string "parse code" "E0201" d.Diag.code;
+  match d.Diag.loc with
+  | Some loc -> check Alcotest.int "parse line" 3 loc.Loc.line
+  | None -> fail "parser diagnostics must carry a location"
+
+let test_diag_sema () =
+  (* two offending statements: check_result accumulates one diagnostic
+     per top-level statement instead of stopping at the first *)
+  let p = Parser.parse_string "program t\nreal x\nx = y\nx = z\nend" in
+  match Sema.check_result p with
+  | Ok _ -> fail "expected undeclared-variable diagnostics"
+  | Error ds ->
+      check Alcotest.bool "at least two undeclared" true (List.length ds >= 2);
+      List.iter
+        (fun (d : Diag.t) ->
+          check Alcotest.string "sema code" "E0301" d.Diag.code)
+        ds
+
+let test_diag_mapping () =
+  let p =
+    Parser.parse_string
+      {|
+program t
+real a(8,8)
+!hpf$ processors p(2)
+!hpf$ distribute a(block, block)
+end
+|}
+  in
+  match Phpf_core.Compiler.compile p with
+  | Ok _ -> fail "expected mapping diagnostics"
+  | Error (d :: _) ->
+      check Alcotest.string "mapping code prefix" "E04"
+        (String.sub d.Diag.code 0 3)
+  | Error [] -> fail "empty diagnostics"
+
+let test_diag_grid_override () =
+  let p =
+    Parser.parse_string
+      {|
+program t
+real a(8)
+!hpf$ processors p(2)
+!hpf$ distribute a(block) onto p
+end
+|}
+  in
+  match Phpf_core.Compiler.compile ~grid_override:[ 0 ] p with
+  | Ok _ -> fail "expected grid-extent diagnostics"
+  | Error (d :: _) ->
+      check Alcotest.string "grid code" "E0402" d.Diag.code
+  | Error [] -> fail "empty diagnostics"
 
 (* ------------------------------------------------------------------ *)
 
@@ -221,6 +298,15 @@ let () =
           Alcotest.test_case "grid invalid extent" `Quick
             test_grid_invalid_extent;
           Alcotest.test_case "grid override bad" `Quick test_grid_override_bad;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "lex code+loc" `Quick test_diag_lex;
+          Alcotest.test_case "parse code+loc" `Quick test_diag_parse;
+          Alcotest.test_case "sema codes accumulate" `Quick test_diag_sema;
+          Alcotest.test_case "mapping code" `Quick test_diag_mapping;
+          Alcotest.test_case "grid override code" `Quick
+            test_diag_grid_override;
         ] );
       ( "runtime",
         [

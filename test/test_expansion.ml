@@ -49,7 +49,7 @@ let test_expansion_preserves_semantics () =
 
 let test_expanded_program_validates () =
   let expanded, _ = Expansion.run (Fig_examples.fig1 ~n:40 ~p:4 ()) in
-  let c = Compiler.compile expanded in
+  let c = Compiler.compile_exn expanded in
   let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
   match Spmd_interp.validate st with
   | [] -> ()
@@ -58,10 +58,10 @@ let test_expanded_program_validates () =
 let test_expansion_vs_privatization_cost () =
   (* same communication structure, strictly more memory *)
   let prog = Fig_examples.fig1 ~n:100 ~p:4 () in
-  let priv = Compiler.compile prog in
+  let priv = Compiler.compile_exn prog in
   let expanded, exps = Expansion.run prog in
   check Alcotest.bool "something expanded" true (exps <> []);
-  let exp = Compiler.compile expanded in
+  let exp = Compiler.compile_exn expanded in
   let sim c =
     fst (Trace_sim.run ~init:(Init.init c.Compiler.prog) c)
   in

@@ -59,7 +59,8 @@ let test_lex_case_insensitive () =
 
 let test_lex_error () =
   match Lexer.tokenize "x # y" with
-  | exception Lexer.Lex_error (_, _) -> ()
+  | exception Hpf_lang.Diag.Fatal [ d ] ->
+      check Alcotest.string "lex error code" "E0101" d.Hpf_lang.Diag.code
   | _ -> fail "expected lexical error for #"
 
 let test_lex_dollar () =
@@ -319,13 +320,16 @@ end
 
 let test_parse_error_reports_location () =
   match Parser.parse_string "program t\nx = = 1\nend" with
-  | exception Parser.Parse_error (loc, _) ->
-      check Alcotest.int "error on line 2" 2 loc.Loc.line
+  | exception Hpf_lang.Diag.Fatal [ d ] -> (
+      check Alcotest.string "parse error code" "E0201" d.Hpf_lang.Diag.code;
+      match d.Hpf_lang.Diag.loc with
+      | Some loc -> check Alcotest.int "error on line 2" 2 loc.Loc.line
+      | None -> fail "parse diagnostic carries a location")
   | _ -> fail "expected parse error"
 
 let test_parse_trailing_garbage () =
   match Parser.parse_string "program t\nend\n42" with
-  | exception Parser.Parse_error _ -> ()
+  | exception Hpf_lang.Diag.Fatal _ -> ()
   | _ -> fail "expected trailing-input error"
 
 (* ------------------------------------------------------------------ *)
@@ -365,7 +369,11 @@ let test_roundtrip_benchmarks () =
 
 let expect_sema_error src =
   match parse src with
-  | exception Sema.Sema_error _ -> ()
+  | exception Hpf_lang.Diag.Fatal ds ->
+      check Alcotest.bool "sema diagnostics" true
+        (ds <> [] && List.for_all (fun (d : Hpf_lang.Diag.t) ->
+             String.length d.Hpf_lang.Diag.code = 5
+             && String.sub d.Hpf_lang.Diag.code 0 3 = "E03") ds)
   | _ -> fail "expected semantic error"
 
 let test_sema_undeclared () =

@@ -10,7 +10,7 @@ open Hpf_benchmarks
 let check = Alcotest.check
 let fail = Alcotest.fail
 
-let compile ?options prog = Compiler.compile ?options prog
+let compile ?options prog = Compiler.compile_exn ?options prog
 
 let scalar_mapping (c : Compiler.compiled) var =
   (* the first assignment to [var] inside a loop *)

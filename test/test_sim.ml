@@ -12,7 +12,7 @@ let check = Alcotest.check
 let parse src = Sema.check (Parser.parse_string src)
 
 let simulate src =
-  let c = Compiler.compile (parse src) in
+  let c = Compiler.compile_exn (parse src) in
   let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
   (c, r)
 
@@ -176,7 +176,7 @@ end
 let test_time_decreases_with_procs () =
   let time p =
     let prog = Hpf_benchmarks.Tomcatv.program ~n:34 ~niter:3 ~p in
-    let c = Compiler.compile prog in
+    let c = Compiler.compile_exn prog in
     let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
     r.Trace_sim.time
   in
@@ -191,7 +191,7 @@ let test_message_combining () =
      combining never makes anything slower *)
   let time options =
     let prog = Hpf_benchmarks.Tomcatv.program ~n:34 ~niter:3 ~p:4 in
-    let c = Compiler.compile ~options prog in
+    let c = Compiler.compile_exn ~options prog in
     let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
     r.Trace_sim.time
   in
@@ -209,7 +209,7 @@ let test_memory_accounting () =
   (* fig1 at P=4: a,b,c,d block-aligned (25 local elems each), e,f
      replicated (100 each), 4 scalars (x,y,z,m) *)
   let prog = Hpf_benchmarks.Fig_examples.fig1 ~n:100 ~p:4 () in
-  let c = Compiler.compile prog in
+  let c = Compiler.compile_exn prog in
   let r, _ = Trace_sim.run ~init:(Init.init c.Compiler.prog) c in
   check Alcotest.int "per-proc elements" ((4 * 25) + (2 * 100) + 4)
     r.Trace_sim.mem_elems_max

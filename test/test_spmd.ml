@@ -13,7 +13,7 @@ let check = Alcotest.check
 let fail = Alcotest.fail
 
 let validate_ok ?options prog =
-  let c = Compiler.compile ?options prog in
+  let c = Compiler.compile_exn ?options prog in
   let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
   match Spmd_interp.validate st with
   | [] -> st
@@ -95,7 +95,7 @@ let test_appsp_1d_no_priv () =
    mismatches (stale operands on some owner) *)
 let test_missing_comm_detected () =
   let prog = Sema.check (Fig_examples.fig1 ~n:40 ~p:4 ()) in
-  let c = Compiler.compile prog in
+  let c = Compiler.compile_exn prog in
   check Alcotest.bool "fig1 has communication" true (c.Compiler.comms <> []);
   let broken = { c with Compiler.comms = [] } in
   let st = Spmd_interp.run ~init:(Init.init broken.Compiler.prog) broken in
@@ -106,7 +106,7 @@ let test_missing_comm_detected () =
 let test_transfer_counts_scale () =
   (* more processors => at least as many boundary transfers *)
   let count p =
-    let c = Compiler.compile (Fig_examples.fig1 ~n:64 ~p ()) in
+    let c = Compiler.compile_exn (Fig_examples.fig1 ~n:64 ~p ()) in
     let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
     (match Spmd_interp.validate st with
     | [] -> ()
