@@ -3,7 +3,8 @@
    them on the SP2-like machine simulator.
 
    Exit codes: 0 success, 1 usage error, 2 compile error, 3 validation
-   mismatch.  All failures are rendered through the single structured
+   mismatch, 4 lint failure (the static verifier found soundness
+   errors).  All failures are rendered through the single structured
    diagnostic renderer (Diag.pp) — no command throws. *)
 
 open Cmdliner
@@ -15,6 +16,7 @@ let exit_ok = 0
 let exit_usage = 1
 let exit_compile_error = 2
 let exit_mismatch = 3
+let exit_lint = 4
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -38,6 +40,25 @@ let compile_program ?grid_override ?options ?after path =
   match Compiler.compile_traced ?grid_override ?options ?after prog with
   | Ok res -> res
   | Error ds -> raise (Diag.Fatal ds)
+
+(* Run the static verifier over a compiled program: findings on stderr
+   (the shared renderer), the one-line summary on stdout, instrumentation
+   like the compiler's own passes.  Returns the exit code. *)
+let run_verifier ~opts ~time_passes ~stats ~strict (c : Compiler.compiled) :
+    int =
+  match Phpf_verify.Verifier.verify ~opts c with
+  | Error ds -> raise (Diag.Fatal ds)
+  | Ok (findings, vtrace) ->
+      render_diags findings;
+      Fmt.pr "%a@." Phpf_verify.Verifier.pp_summary findings;
+      if time_passes then
+        Fmt.pr "%a@?" Phpf_driver.Pipeline.pp_timing vtrace;
+      if stats then Fmt.pr "%a@?" Phpf_driver.Pipeline.pp_stats vtrace;
+      if
+        Phpf_verify.Verifier.has_errors findings
+        || (strict && findings <> [])
+      then exit_lint
+      else exit_ok
 
 (* ---------------- common options ---------------- *)
 
@@ -204,7 +225,7 @@ let check_dump_after = function
 (* ---------------- commands ---------------- *)
 
 let compile_cmd =
-  let run file procs options annotate time_passes stats dump_after
+  let run file procs options annotate verify time_passes stats dump_after
       list_passes_flag verbose =
     setup_logs verbose;
     if list_passes_flag then begin
@@ -223,7 +244,9 @@ let compile_cmd =
       if time_passes then
         Fmt.pr "%a@?" Phpf_driver.Pipeline.pp_timing trace;
       if stats then Fmt.pr "%a@?" Phpf_driver.Pipeline.pp_stats trace;
-      exit_ok
+      if verify then
+        run_verifier ~opts:options ~time_passes ~stats ~strict:false c
+      else exit_ok
   in
   let annotate_arg =
     Arg.(
@@ -233,12 +256,44 @@ let compile_cmd =
             "Print the program source annotated with each statement's \
              guard and communications instead of the summary report.")
   in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Run the static verifier over the compiled output (the \
+             $(b,lint) checkers) after the report; exit 4 on soundness \
+             errors.")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile and report mapping decisions.")
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ annotate_arg
-      $ time_passes_arg $ stats_arg $ dump_after_arg $ list_passes_arg
-      $ verbose_arg)
+      $ verify_arg $ time_passes_arg $ stats_arg $ dump_after_arg
+      $ list_passes_arg $ verbose_arg)
+
+let lint_cmd =
+  let run file procs options strict time_passes stats verbose =
+    setup_logs verbose;
+    guarded @@ fun () ->
+    let c, _trace = compile_program ?grid_override:procs ~options file in
+    run_verifier ~opts:options ~time_passes ~stats ~strict c
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Fail (exit 4) on warnings too, not only on \
+                                soundness errors.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify the compiled output: mapping validity \
+          (E0601-E0609), SPMD races and communication completeness.  \
+          Exits 0 when clean, 4 on findings.")
+    Term.(
+      const run $ file_arg $ procs_arg $ opt_flags $ strict_arg
+      $ time_passes_arg $ stats_arg $ verbose_arg)
 
 let simulate_cmd =
   let run file procs options stats verbose =
@@ -349,12 +404,16 @@ let () =
           `S Manpage.s_exit_status;
           `P "0 on success, 1 on usage errors, 2 on compile errors \
               (structured diagnostics on stderr), 3 when $(b,validate) \
-              finds mismatches.";
+              finds mismatches, 4 when $(b,lint) (or $(b,compile \
+              --verify)) finds soundness errors.";
         ]
   in
   let code =
     Cmd.eval'
       (Cmd.group info
-         [ compile_cmd; simulate_cmd; validate_cmd; sweep_cmd; print_cmd ])
+         [
+           compile_cmd; lint_cmd; simulate_cmd; validate_cmd; sweep_cmd;
+           print_cmd;
+         ])
   in
   exit (if code = Cmd.Exit.cli_error then exit_usage else code)

@@ -50,6 +50,9 @@ type t = {
 
 let vectorized (c : t) = c.placement_level < c.stmt_level
 
+let for_ref (cs : t list) (r : Aref.t) =
+  List.filter (fun c -> Aref.equal c.data r) cs
+
 let total_elems (c : t) = c.elems_per_instance * c.instances
 
 let pp ppf (c : t) =

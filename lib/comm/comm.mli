@@ -38,6 +38,10 @@ type t = {
 (** Was the communication hoisted past at least one loop? *)
 val vectorized : t -> bool
 
+(** All descriptors of the schedule moving exactly this reference
+    ({!Hpf_analysis.Aref.equal} on [data]). *)
+val for_ref : t list -> Aref.t -> t list
+
 val total_elems : t -> int
 val pp : Format.formatter -> t -> unit
 

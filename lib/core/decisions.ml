@@ -435,3 +435,18 @@ and all_stmts_in (body : Ast.stmt list) : Ast.stmt list =
   let acc = ref [] in
   Ast.iter_stmts (fun s -> acc := s :: !acc) body;
   List.rev !acc
+
+(* Deterministic read-only views of the decision tables, for consumers
+   (reporting, the static verifier) that must not depend on hash order. *)
+
+let scalar_mappings (d : t) : (Ssa.def_id * scalar_mapping) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.scalar []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let array_mappings (d : t) : ((string * Ast.stmt_id) * array_mapping) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.arrays []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let ctrl_entries (d : t) : (Ast.stmt_id * bool) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.ctrl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

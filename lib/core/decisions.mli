@@ -140,3 +140,13 @@ val guard_spec : t -> Ast.stmt -> Ownership.spec
 
 (** All statements of a body, in preorder. *)
 val all_stmts_in : Ast.stmt list -> Ast.stmt list
+
+(** {2 Deterministic read-only views}
+
+    Sorted snapshots of the decision tables, for consumers (reporting,
+    the static verifier of {!Phpf_verify}) that must not depend on hash
+    order. *)
+
+val scalar_mappings : t -> (Ssa.def_id * scalar_mapping) list
+val array_mappings : t -> ((string * Ast.stmt_id) * array_mapping) list
+val ctrl_entries : t -> (Ast.stmt_id * bool) list

@@ -14,7 +14,9 @@
     - [E02xx] — syntax errors
     - [E03xx] — semantic errors ({!codes} below refine the class)
     - [E04xx] — mapping/layout errors
-    - [E05xx] — driver/pipeline errors (unknown pass, ...) *)
+    - [E05xx] — driver/pipeline errors (unknown pass, ...)
+    - [E06xx] — static-verifier soundness errors ([phpfc lint])
+    - [W06xx] — static-verifier lint warnings *)
 
 type severity = Error | Warning | Note
 
@@ -33,8 +35,10 @@ let make ?(severity = Error) ?loc ~code message =
   { severity; code; loc; message }
 
 let error ?loc ~code message = make ~severity:Error ?loc ~code message
-
+let warning ?loc ~code message = make ~severity:Warning ?loc ~code message
+let note ?loc ~code message = make ~severity:Note ?loc ~code message
 let errorf ?loc ~code fmt = Fmt.kstr (fun m -> error ?loc ~code m) fmt
+let warningf ?loc ~code fmt = Fmt.kstr (fun m -> warning ?loc ~code m) fmt
 
 (** Format a message and raise {!Fatal} with a single error. *)
 let failf ?loc ~code fmt =

@@ -16,7 +16,20 @@
     - [E0306] misplaced [EXIT]/[CYCLE]
     - [E0401] mapping/layout error
     - [E0402] invalid processor grid extents
-    - [E0501] pipeline/driver error (e.g. unknown pass name) *)
+    - [E0501] pipeline/driver error (e.g. unknown pass name)
+    - [E0601]-[E0609] static-verifier soundness errors ([phpfc lint]):
+      privatized value escaping its validity scope ([E0601]) or live
+      across a loop back edge ([E0602]), missing communication for a
+      non-local read ([E0603]), communication hoisted past a dependence
+      or sunk below its vectorization level ([E0604]), replication
+      dimensions inconsistent with the grid ([E0605]), structurally
+      invalid mapping record ([E0606]), owner of a written element not
+      executing the statement ([E0607]), divergent replicated execution
+      ([E0608]), dangling communication descriptor ([E0609])
+    - [W0601]-[W0699] static-verifier lint warnings: inconsistent
+      mappings across a phi ([W0601]), redundant replicated write
+      ([W0602]), redundant communication ([W0603]), unvectorized
+      inner-loop communication ([W0604]) *)
 
 type severity = Error | Warning | Note
 
@@ -34,8 +47,13 @@ exception Fatal of t list
 
 val make : ?severity:severity -> ?loc:Loc.t -> code:string -> string -> t
 val error : ?loc:Loc.t -> code:string -> string -> t
+val warning : ?loc:Loc.t -> code:string -> string -> t
+val note : ?loc:Loc.t -> code:string -> string -> t
 
 val errorf :
+  ?loc:Loc.t -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warningf :
   ?loc:Loc.t -> code:string -> ('a, Format.formatter, unit, t) format4 -> 'a
 
 (** Format a message and raise {!Fatal} with a single error. *)

@@ -1,0 +1,35 @@
+(** Stable diagnostic codes of the static verifier ([phpfc lint]). *)
+
+let e_scope = "E0601"
+let e_back_edge = "E0602"
+let e_missing_comm = "E0603"
+let e_misplaced_comm = "E0604"
+let e_repl_dims = "E0605"
+let e_structural = "E0606"
+let e_owner_coverage = "E0607"
+let e_divergent = "E0608"
+let e_dangling_comm = "E0609"
+let w_phi = "W0601"
+let w_redundant_write = "W0602"
+let w_redundant_comm = "W0603"
+let w_inner_comm = "W0604"
+
+let all =
+  [
+    (e_scope, "privatized value used outside its validity scope");
+    (e_back_edge, "privatized value live across the validity loop's back edge");
+    (e_missing_comm, "non-local read with no covering communication");
+    (e_misplaced_comm, "communication with the wrong form or placement");
+    (e_repl_dims, "replication grid dimensions inconsistent with the grid");
+    (e_structural, "structurally invalid mapping record");
+    (e_owner_coverage, "owner of a written element does not execute the write");
+    (e_divergent, "divergent replicated execution");
+    (e_dangling_comm, "communication references a nonexistent statement");
+    (w_phi, "inconsistent mappings reach a use across a phi");
+    (w_redundant_write, "executor set strictly wider than the owner set");
+    (w_redundant_comm, "communication no read reference requires");
+    (w_inner_comm, "communication left inside its innermost loop");
+  ]
+
+let is_soundness_error code =
+  String.length code = 5 && String.sub code 0 3 = "E06"

@@ -1,0 +1,60 @@
+(** Stable diagnostic codes of the static verifier ([phpfc lint]).
+
+    [E0601]-[E0609] are soundness errors: the compiled artifact (the
+    mapping decisions plus the communication schedule) can produce stale
+    reads or divergent replicated state under SPMD execution.
+    [W0601]-[W0699] are lint warnings: suspicious or wasteful but not
+    provably unsound. *)
+
+val e_scope : string
+(** [E0601] privatized value used outside its validity scope *)
+
+val e_back_edge : string
+(** [E0602] privatized value live across the validity loop's back edge *)
+
+val e_missing_comm : string
+(** [E0603] non-local read with no covering communication (stale read) *)
+
+val e_misplaced_comm : string
+(** [E0604] communication scheduled with the wrong form or placed at the
+    wrong level (hoisted past a dependence / sunk below its
+    vectorization level) *)
+
+val e_repl_dims : string
+(** [E0605] replication/privatization grid dimensions inconsistent with
+    the processor grid *)
+
+val e_structural : string
+(** [E0606] structurally invalid mapping record (undeclared target,
+    level beyond the nesting depth, dangling statement id) *)
+
+val e_owner_coverage : string
+(** [E0607] the owner of a written non-privatized element does not
+    execute the writing statement *)
+
+val e_divergent : string
+(** [E0608] divergent replicated execution: a statement executed by
+    every processor reads a value that is not available everywhere *)
+
+val e_dangling_comm : string
+(** [E0609] scheduled communication references a nonexistent statement *)
+
+val w_phi : string
+(** [W0601] inconsistent mappings reach a use across a φ *)
+
+val w_redundant_write : string
+(** [W0602] replicated write: the executor set strictly contains the
+    owner set *)
+
+val w_redundant_comm : string
+(** [W0603] scheduled communication that no read reference requires *)
+
+val w_inner_comm : string
+(** [W0604] communication left inside its innermost loop (the paper's
+    expensive non-vectorized case) *)
+
+(** All codes with their one-line descriptions, sorted. *)
+val all : (string * string) list
+
+(** Is the code one of the verifier's soundness errors ([E06xx])? *)
+val is_soundness_error : string -> bool

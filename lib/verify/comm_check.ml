@@ -1,0 +1,84 @@
+(** Communication-completeness checker.
+
+    The required schedule is re-derived from the mapping decisions
+    through the paper's consumer rules ({!Vutil.required_comms}) and
+    diffed against what the compiler actually scheduled.  An unmet
+    requirement at an owner-guarded statement is a stale read
+    ([E0603]); the same defect at a replicated statement is reported by
+    {!Race_check} as a divergence race ([E0608]) and skipped here.  A
+    descriptor moving the right data in the wrong form or at the wrong
+    loop level is [E0604]: placed deeper than the vectorization level it
+    repeats (or misses) transfers, placed higher it runs before the
+    producing iterations have executed. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_comm
+open Phpf_core
+
+let check ?diff (c : Compiler.compiled) : Diag.t list =
+  let d = c.Compiler.decisions in
+  let diff = match diff with Some x -> x | None -> Vutil.comm_diff c in
+  let acc = ref [] in
+  List.iter
+    (fun (m : Comm.t) ->
+      match Ast.find_stmt c.Compiler.prog m.Comm.data.Aref.sid with
+      | Some s when Vutil.replicated_stmt d s -> () (* E0608 in Race_check *)
+      | _ ->
+          acc :=
+            Diag.errorf ~code:Codes.e_missing_comm
+              "read of %a needs a %a at level %d but the schedule has no \
+               communication for it (stale read at the consumer)"
+              Aref.pp m.Comm.data Comm.pp_kind m.Comm.kind
+              m.Comm.placement_level
+            :: !acc)
+    diff.Vutil.missing;
+  List.iter
+    (fun ((r : Comm.t), (s : Comm.t)) ->
+      if r.Comm.kind <> s.Comm.kind then
+        acc :=
+          Diag.errorf ~code:Codes.e_misplaced_comm
+            "communication for %a is a %a but the read requires a %a"
+            Aref.pp r.Comm.data Comm.pp_kind s.Comm.kind Comm.pp_kind
+            r.Comm.kind
+          :: !acc
+      else
+        acc :=
+          Diag.errorf ~code:Codes.e_misplaced_comm
+            "communication for %a placed at level %d but its vectorization \
+             level is %d (%s)"
+            Aref.pp r.Comm.data s.Comm.placement_level r.Comm.placement_level
+            (if s.Comm.placement_level > r.Comm.placement_level then
+               "sunk below it: transfers repeat inside the loop"
+             else "hoisted past it: runs before the producing iterations")
+          :: !acc)
+    diff.Vutil.misplaced;
+  List.iter
+    (fun (m : Comm.t) ->
+      acc :=
+        Diag.errorf ~code:Codes.e_dangling_comm
+          "scheduled communication for %a references nonexistent statement \
+           s%d"
+          Aref.pp m.Comm.data m.Comm.data.Aref.sid
+        :: !acc)
+    diff.Vutil.dangling;
+  List.iter
+    (fun (m : Comm.t) ->
+      acc :=
+        Diag.warningf ~code:Codes.w_redundant_comm
+          "scheduled %a of %a at level %d is required by no read reference"
+          Comm.pp_kind m.Comm.kind Aref.pp m.Comm.data m.Comm.placement_level
+        :: !acc)
+    diff.Vutil.redundant;
+  List.iter
+    (fun (m : Comm.t) ->
+      if m.Comm.stmt_level >= 1 && m.Comm.placement_level >= m.Comm.stmt_level
+      then
+        acc :=
+          Diag.warningf ~code:Codes.w_inner_comm
+            "%a of %a was not vectorized out of its innermost loop (level \
+             %d): one message per iteration"
+            Comm.pp_kind m.Comm.kind Aref.pp m.Comm.data m.Comm.stmt_level
+          :: !acc)
+    c.Compiler.comms;
+  List.rev !acc

@@ -1,0 +1,14 @@
+(** Mapping-validity checker: re-checks every recorded
+    {!Phpf_core.Decisions.scalar_mapping} / [array_mapping] against the
+    SSA reached-uses of its definition — the paper's §2.1 validity
+    conditions, derived independently of the pass that made the choice.
+
+    Findings: [E0601] (use outside the validity scope), [E0602] (value
+    live across the validity loop's back edge), [E0605] (replication
+    dims inconsistent with the grid), [E0606] (structurally invalid
+    record), [W0601] (inconsistent mappings across a φ). *)
+
+open Hpf_lang
+open Phpf_core
+
+val check : Compiler.compiled -> Diag.t list

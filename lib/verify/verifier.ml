@@ -1,0 +1,96 @@
+(** The static verifier's pass list and entry point. *)
+
+open Hpf_lang
+open Phpf_core
+module Pass = Phpf_driver.Pass
+module Pipeline = Phpf_driver.Pipeline
+module Stats = Phpf_driver.Stats
+
+type vctx = {
+  compiled : Compiler.compiled;
+  mutable findings : Diag.t list;
+  mutable diff : Vutil.diff option;
+}
+
+let create compiled = { compiled; findings = []; diff = None }
+
+let diff_of (v : vctx) : Vutil.diff =
+  match v.diff with
+  | Some d -> d
+  | None ->
+      let d = Vutil.comm_diff v.compiled in
+      v.diff <- Some d;
+      d
+
+(* A checker must survive arbitrarily corrupt artifacts: when the audit
+   itself cannot re-derive anything from the recorded decisions (e.g. a
+   grid dimension that crashes the ownership computation), that is a
+   structural soundness finding, not a verifier crash. *)
+let audit (name : string) (f : unit -> Diag.t list) : Diag.t list =
+  try f ()
+  with
+  | Diag.Fatal ds -> ds
+  | e ->
+      [
+        Diag.errorf ~code:Codes.e_structural
+          "%s could not audit the compiled artifact: the recorded decisions \
+           crash re-derivation (%s)"
+          name (Printexc.to_string e);
+      ]
+
+let record (v : vctx) (st : Stats.t) (found : Diag.t list) =
+  v.findings <- v.findings @ found;
+  Stats.set st "findings.errors"
+    (List.length (List.filter Diag.is_error found));
+  Stats.set st "findings.warnings"
+    (List.length (List.filter (fun d -> not (Diag.is_error d)) found))
+
+let passes : (Decisions.options, vctx) Pass.t list =
+  [
+    Pass.make "verify-mapping"
+      ~descr:"mapping-validity audit of every privatization decision"
+      (fun v st ->
+        Stats.set st "mappings.scalar"
+          (List.length (Decisions.scalar_mappings v.compiled.Compiler.decisions));
+        Stats.set st "mappings.array"
+          (List.length (Decisions.array_mappings v.compiled.Compiler.decisions));
+        record v st
+          (audit "verify-mapping" (fun () -> Mapping_check.check v.compiled)));
+    Pass.make "verify-race"
+      ~descr:"write-write and divergent-replication race detection"
+      (fun v st ->
+        record v st
+          (audit "verify-race" (fun () ->
+               Race_check.check ~diff:(diff_of v) v.compiled)));
+    Pass.make "verify-comm"
+      ~descr:"completeness and placement of the communication schedule"
+      (fun v st ->
+        record v st
+          (audit "verify-comm" (fun () ->
+               let diff = diff_of v in
+               Stats.set st "comm.matched" diff.Vutil.matched;
+               Stats.set st "comm.missing" (List.length diff.Vutil.missing);
+               Stats.set st "comm.misplaced"
+                 (List.length diff.Vutil.misplaced);
+               Stats.set st "comm.redundant"
+                 (List.length diff.Vutil.redundant);
+               Comm_check.check ~diff v.compiled)));
+  ]
+
+let pass_names = Pipeline.names passes
+
+let verify ?(opts = Decisions.default_options) (c : Compiler.compiled) :
+    (Diag.t list * Pipeline.trace, Diag.t list) result =
+  let v = create c in
+  match Pipeline.run ~opts passes v with
+  | Ok trace -> Ok (v.findings, trace)
+  | Error ds -> Error ds
+
+let errors ds = List.filter Diag.is_error ds
+let warnings ds = List.filter (fun d -> not (Diag.is_error d)) ds
+
+let has_errors ds = errors ds <> []
+
+let pp_summary ppf ds =
+  Fmt.pf ppf "lint: %d error(s), %d warning(s)" (List.length (errors ds))
+    (List.length (warnings ds))

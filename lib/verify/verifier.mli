@@ -1,0 +1,53 @@
+(** The static verifier: audits a compiled program — the mapping
+    decisions plus the communication schedule — without trusting the
+    passes that produced them.  Three checkers run as
+    {!Phpf_driver.Pass}es through the generic pass-manager, so their
+    findings, wall time and counters surface through the same
+    [--time-passes] / [--stats] machinery as the compiler's own passes:
+
+    - [verify-mapping] — {!Mapping_check}: §2.1/§2.3/§3 validity of
+      every recorded privatization decision against SSA reached-uses;
+    - [verify-race] — {!Race_check}: write-write owner coverage and
+      divergent-replication races;
+    - [verify-comm] — {!Comm_check}: completeness and placement of the
+      communication schedule against an independently re-derived
+      requirement.
+
+    Findings accumulate as {!Hpf_lang.Diag.t} values with stable codes
+    ([E0601]-[E0609] soundness errors, [W0601]-[W0699] lint warnings);
+    a finding never aborts the pipeline. *)
+
+open Hpf_lang
+open Phpf_core
+
+(** Verification context threaded through the passes. *)
+type vctx = {
+  compiled : Compiler.compiled;
+  mutable findings : Diag.t list;  (** accumulated, in pass order *)
+  mutable diff : Vutil.diff option;  (** schedule diff, computed once *)
+}
+
+val create : Compiler.compiled -> vctx
+
+(** The registered verifier passes: [verify-mapping], [verify-race],
+    [verify-comm]. *)
+val passes : (Decisions.options, vctx) Phpf_driver.Pass.t list
+
+val pass_names : string list
+
+(** Run all checkers over a compiled program.  Returns the findings (in
+    pass order) with the pipeline trace; [Error] only on an internal
+    failure of a checker itself, never on findings. *)
+val verify :
+  ?opts:Decisions.options ->
+  Compiler.compiled ->
+  (Diag.t list * Phpf_driver.Pipeline.trace, Diag.t list) result
+
+(** Error-severity findings (the [E06xx] soundness errors). *)
+val errors : Diag.t list -> Diag.t list
+
+val warnings : Diag.t list -> Diag.t list
+val has_errors : Diag.t list -> bool
+
+(** One-line [lint: N error(s), M warning(s)] summary. *)
+val pp_summary : Format.formatter -> Diag.t list -> unit

@@ -1,0 +1,53 @@
+The static verifier (docs/VERIFY.md) audits compiled output without
+trusting the passes that produced it.  A clean program lints clean and
+exits 0:
+
+  $ ../../bin/phpfc.exe lint ../../examples/programs/fig7.hpfk
+  lint: 0 error(s), 0 warning(s)
+
+fig1's unvectorized shift of y is a lint warning (W0604), not a
+soundness error, so the exit code stays 0:
+
+  $ ../../bin/phpfc.exe lint ../../examples/programs/fig1.hpfk
+  warning[W0604]: shift(+1) of y@s7 was not vectorized out of its innermost loop (level 1): one message per iteration
+  lint: 0 error(s), 1 warning(s)
+
+Under --strict any finding fails the lint (exit 4, the lint-failure
+exit code):
+
+  $ ../../bin/phpfc.exe lint ../../examples/programs/fig1.hpfk --strict
+  warning[W0604]: shift(+1) of y@s7 was not vectorized out of its innermost loop (level 1): one message per iteration
+  lint: 0 error(s), 1 warning(s)
+  [4]
+
+The verifier runs through the same pass manager as the compiler, so
+--time-passes shows the three checkers (times vary run to run; keep
+only the name column):
+
+  $ ../../bin/phpfc.exe lint ../../examples/programs/fig7.hpfk --time-passes | awk '{print $1}'
+  lint:
+  pass
+  verify-mapping
+  verify-race
+  verify-comm
+  total
+
+compile --verify composes with --stats: the verifier's counters are
+reported after the compiler's own, through the same machinery:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig7.hpfk --verify --stats | sed -n '/verify-/,$p'
+  verify-mapping:
+    findings.errors                 0
+    findings.warnings               0
+    mappings.array                  0
+    mappings.scalar                 0
+  verify-race:
+    findings.errors                 0
+    findings.warnings               0
+  verify-comm:
+    comm.matched                    0
+    comm.misplaced                  0
+    comm.missing                    0
+    comm.redundant                  0
+    findings.errors                 0
+    findings.warnings               0

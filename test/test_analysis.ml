@@ -314,6 +314,175 @@ end
   check Alcotest.bool "crosses back edge" true
     (List.exists (fun (u : Ssa.use_info) -> u.Ssa.back_edges <> []) uses)
 
+(* loop-head CFG nodes keyed by the loop's statement id, outermost (=
+   textually first, smallest sid) first *)
+let loop_heads g =
+  let acc = ref [] in
+  for i = 0 to Cfg.n_nodes g - 1 do
+    match (Cfg.node g i).Cfg.kind with
+    | Cfg.Loop_head s -> acc := (s.Ast.sid, i) :: !acc
+    | _ -> ()
+  done;
+  List.sort compare !acc
+
+(* the sid of the last textual assignment to [lhs_var] *)
+let last_sid_of_assign p lhs_var =
+  let found = ref None in
+  Ast.iter_program
+    (fun s ->
+      match s.node with
+      | Ast.Assign (Ast.LVar v, _) when v = lhs_var -> found := Some s.sid
+      | _ -> ())
+    p;
+  match !found with Some s -> s | None -> fail ("no assign to " ^ lhs_var)
+
+(* the last textual def of [var] that sits on a real statement node *)
+let body_def ssa var =
+  match List.rev (Ssa.defs_of_var ssa var) with
+  | d :: _ -> d
+  | [] -> fail ("no def of " ^ var)
+
+let uses_at g uses sid =
+  List.filter
+    (fun (u : Ssa.use_info) -> Cfg.sid_of_node g u.Ssa.use_node = Some sid)
+    uses
+
+(* An inner-loop accumulator's value reaches the statement after the
+   inner loop across the inner back edge only: the outer head's φ for it
+   is dead (re-initialised each outer iteration), so the outer back edge
+   is never crossed.  The outer accumulator, untouched by the inner
+   loop, crosses only the outer back edge. *)
+let test_ssa_nested_back_edges () =
+  let p =
+    parse
+      {|
+program t
+real s, u, x
+s = 0.0
+do i = 1, 10
+  u = 0.0
+  do j = 1, 10
+    u = u + 1.0
+  end do
+  s = s + u
+end do
+x = s
+end
+|}
+  in
+  let g = Cfg.build p in
+  let ssa = Ssa.build g in
+  let heads = loop_heads g in
+  check Alcotest.int "two loops" 2 (List.length heads);
+  let outer_head = snd (List.nth heads 0) in
+  let inner_head = snd (List.nth heads 1) in
+  let u_def = body_def ssa "u" in
+  let u_uses = Ssa.reached_uses ssa u_def in
+  let s_sid = last_sid_of_assign p "s" in
+  (match uses_at g u_uses s_sid with
+  | [ u ] ->
+      check Alcotest.bool "u crosses inner head" true
+        (List.mem inner_head u.Ssa.back_edges);
+      check Alcotest.bool "u does not cross outer head" false
+        (List.mem outer_head u.Ssa.back_edges)
+  | l -> fail (Fmt.str "expected one use of u at s%d, got %d" s_sid (List.length l)));
+  let s_def = body_def ssa "s" in
+  let s_uses = Ssa.reached_uses ssa s_def in
+  List.iter
+    (fun (u : Ssa.use_info) ->
+      check Alcotest.bool "s never crosses inner head" false
+        (List.mem inner_head u.Ssa.back_edges);
+      if Cfg.sid_of_node g u.Ssa.use_node = Some s_sid then
+        check Alcotest.bool "s rhs use crosses outer head" true
+          (List.mem outer_head u.Ssa.back_edges))
+    s_uses;
+  check Alcotest.bool "s reaches its own rhs" true
+    (uses_at g s_uses s_sid <> [])
+
+(* A value defined in a loop body and read after the loop is reached on
+   two kinds of path once the body contains an EXIT: through the head's
+   trip test (crossing the back edge) and through the EXIT jump straight
+   to the join (crossing nothing).  [reached_uses] unions the crossed
+   sets, so the conservative answer — the back edge IS crossed — must
+   survive the union. *)
+let test_ssa_exit_union_back_edges () =
+  let p =
+    parse
+      {|
+program t
+real s, x
+s = 0.0
+do i = 1, 10
+  s = s + 1.0
+  if (s > 5.0) exit
+end do
+x = s
+end
+|}
+  in
+  let g = Cfg.build p in
+  let ssa = Ssa.build g in
+  let heads = loop_heads g in
+  check Alcotest.int "one loop" 1 (List.length heads);
+  let head = snd (List.hd heads) in
+  let s_def = body_def ssa "s" in
+  let uses = Ssa.reached_uses ssa s_def in
+  let x_sid = sid_of_assign p "x" in
+  match uses_at g uses x_sid with
+  | [ u ] ->
+      check Alcotest.bool "after-loop use survives the union" true
+        (List.mem head u.Ssa.back_edges)
+  | l -> fail (Fmt.str "expected one use of s after the loop, got %d" (List.length l))
+
+(* CYCLE jumps to the step, so it bypasses the rest of the body but
+   still funnels values through the head's φ.  A per-iteration temporary
+   defined before the CYCLE reaches its fall-through use without any
+   back-edge crossing; the accumulator defined after the CYCLE reaches
+   its own rhs only across the head. *)
+let test_ssa_cycle_back_edges () =
+  let p =
+    parse
+      {|
+program t
+real s, u, x
+real a(10)
+s = 0.0
+do i = 1, 10
+  u = a(i)
+  if (u > 5.0) cycle
+  s = s + u
+end do
+x = s
+end
+|}
+  in
+  let g = Cfg.build p in
+  let ssa = Ssa.build g in
+  let heads = loop_heads g in
+  let head = snd (List.hd heads) in
+  let u_def = body_def ssa "u" in
+  let u_uses = Ssa.reached_uses ssa u_def in
+  check Alcotest.bool "u has uses" true (u_uses <> []);
+  List.iter
+    (fun (u : Ssa.use_info) ->
+      check Alcotest.bool "per-iteration u never crosses the head" true
+        (u.Ssa.back_edges = []))
+    u_uses;
+  let s_def = body_def ssa "s" in
+  let s_uses = Ssa.reached_uses ssa s_def in
+  let s_sid = last_sid_of_assign p "s" in
+  (match uses_at g s_uses s_sid with
+  | [ u ] ->
+      check Alcotest.bool "accumulator crosses the head via CYCLE and step"
+        true
+        (List.mem head u.Ssa.back_edges)
+  | l -> fail (Fmt.str "expected one rhs use of s, got %d" (List.length l)));
+  match uses_at g s_uses (sid_of_assign p "x") with
+  | [ u ] ->
+      check Alcotest.bool "after-loop use crosses the head" true
+        (List.mem head u.Ssa.back_edges)
+  | l -> fail (Fmt.str "expected one after-loop use of s, got %d" (List.length l))
+
 let test_ssa_reaching_defs_merge () =
   let p =
     parse
@@ -991,6 +1160,12 @@ let () =
           Alcotest.test_case "reached uses same iter" `Quick
             test_ssa_reached_uses_same_iter;
           Alcotest.test_case "back-edge flow" `Quick test_ssa_back_edge_flow;
+          Alcotest.test_case "nested back edges" `Quick
+            test_ssa_nested_back_edges;
+          Alcotest.test_case "exit unions back edges" `Quick
+            test_ssa_exit_union_back_edges;
+          Alcotest.test_case "cycle back edges" `Quick
+            test_ssa_cycle_back_edges;
           Alcotest.test_case "reaching defs merge" `Quick
             test_ssa_reaching_defs_merge;
         ] );
