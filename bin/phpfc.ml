@@ -2,10 +2,12 @@
    privatization mapping decisions and communication schedule, and run
    them on the SP2-like machine simulator.
 
-   Exit codes: 0 success, 1 usage error, 2 compile error, 3 validation
-   mismatch, 4 lint failure (the static verifier found soundness
-   errors).  All failures are rendered through the single structured
-   diagnostic renderer (Diag.pp) — no command throws. *)
+   Exit codes: 0 success, 1 usage error, 2 compile error, 3 runtime
+   failure (validation mismatch, interpreter runtime error, or an
+   unrecoverable / silently-diverging fault-injection run), 4 lint
+   failure (the static verifier found soundness errors).  All failures
+   are rendered through the single structured diagnostic renderer
+   (Diag.pp) — no command throws. *)
 
 open Cmdliner
 open Hpf_lang
@@ -26,12 +28,21 @@ let setup_logs verbose =
 let render_diags (ds : Diag.t list) = Fmt.epr "%a@?" Diag.pp_list ds
 
 (* Run a command body; structured diagnostics from any phase (lexer,
-   parser, sema, layout, pipeline) land here and nowhere else. *)
+   parser, sema, layout, pipeline) land here and nowhere else.  Runtime
+   failures — an interpreter error or a fault-injection campaign the
+   supervisor could not recover — are rendered the same way but exit
+   like a validation mismatch. *)
 let guarded (f : unit -> int) : int =
-  try f ()
-  with Diag.Fatal ds ->
-    render_diags ds;
-    exit_compile_error
+  try f () with
+  | Diag.Fatal ds ->
+      render_diags ds;
+      exit_compile_error
+  | Memory.Runtime_error { loc; sid = _; msg } ->
+      render_diags [ Diag.error ?loc ~code:"E0701" msg ];
+      exit_mismatch
+  | Recover.Unrecoverable ds ->
+      render_diags ds;
+      exit_mismatch
 
 (* Parse + compile through the pass manager, returning the pipeline
    trace alongside the result. *)
@@ -296,25 +307,104 @@ let lint_cmd =
       $ time_passes_arg $ stats_arg $ verbose_arg)
 
 let simulate_cmd =
-  let run file procs options stats verbose =
+  let run file procs options stats faults fault_seed report_faults verbose =
     setup_logs verbose;
-    guarded @@ fun () ->
-    let c, _trace = compile_program ?grid_override:procs ~options file in
-    let sim_stats = if stats then Some (Phpf_driver.Stats.create ()) else None in
-    let result, _mem =
-      Trace_sim.run ?stats:sim_stats ~init:(Init.init c.Compiler.prog) c
-    in
-    Fmt.pr "%a@." Trace_sim.pp_result result;
-    (match sim_stats with
-    | Some st -> Fmt.pr "%a@?" Phpf_driver.Stats.pp st
-    | None -> ());
-    exit_ok
+    match
+      match faults with
+      | None -> Ok Fault.none
+      | Some spec ->
+          Result.map (Fault.make ~seed:fault_seed) (Fault.parse_spec spec)
+    with
+    | Error m ->
+        render_diags [ Diag.errorf ~code:"E0702" "invalid fault spec: %s" m ];
+        exit_usage
+    | Ok schedule -> (
+        guarded @@ fun () ->
+        let c, _trace = compile_program ?grid_override:procs ~options file in
+        let sim_stats =
+          if stats then Some (Phpf_driver.Stats.create ()) else None
+        in
+        let init = Init.init c.Compiler.prog in
+        (* under fault injection, the SPMD interpreter runs the campaign
+           first: either it recovers (validation clean, recovery priced
+           into the simulation) or the run terminates with a structured
+           failure — silent divergence is itself a failure *)
+        let fault_run =
+          if not (Fault.active schedule) then `Clean
+          else begin
+            let st = Spmd_interp.run ~init ~faults:schedule c in
+            match Spmd_interp.validate st with
+            | [] -> `Recovered (Spmd_interp.fault_report st)
+            | ms -> `Diverged ms
+          end
+        in
+        match fault_run with
+        | `Diverged ms ->
+            List.iter
+              (fun m -> Fmt.epr "MISMATCH %a@." Spmd_interp.pp_mismatch m)
+              ms;
+            render_diags
+              [
+                Diag.errorf ~code:"E0703"
+                  "silent divergence under fault injection: %d owned \
+                   element(s) differ from the sequential reference"
+                  (List.length ms);
+              ];
+            exit_mismatch
+        | (`Clean | `Recovered _) as ok ->
+            let recovery =
+              match ok with `Recovered rep -> Some rep | `Clean -> None
+            in
+            let result, _mem =
+              Trace_sim.run ?stats:sim_stats ?recovery ~init c
+            in
+            Fmt.pr "%a@." Trace_sim.pp_result result;
+            (match recovery with
+            | Some rep when report_faults ->
+                Fmt.pr "%a@?" Recover.pp_report rep
+            | _ -> ());
+            (match sim_stats with
+            | Some st -> Fmt.pr "%a@?" Phpf_driver.Stats.pp st
+            | None -> ());
+            exit_ok)
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject a deterministic fault campaign into the SPMD message \
+             runtime before timing.  $(docv) is a comma-separated list of \
+             $(i,KIND)[:$(i,RATE)] items with kinds drop, dup, reorder, \
+             corrupt, delay, stall, crash or all (default rate 0.05).  \
+             The run must either recover (validation clean) or fail with \
+             a structured diagnostic — exit 3.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "Seed of the fault campaign; a (spec, seed) pair names one \
+             exact, reproducible schedule.")
+  in
+  let report_faults_arg =
+    Arg.(
+      value & flag
+      & info [ "report-faults" ]
+          ~doc:
+            "Print the fault campaign report (injections, detections, \
+             retransmits, checkpoints, restores, recovery time).")
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Run on the SP2-like timing simulator and report times.")
+       ~doc:
+         "Run on the SP2-like timing simulator and report times, \
+          optionally under fault injection.")
     Term.(
-      const run $ file_arg $ procs_arg $ opt_flags $ stats_arg $ verbose_arg)
+      const run $ file_arg $ procs_arg $ opt_flags $ stats_arg $ faults_arg
+      $ fault_seed_arg $ report_faults_arg $ verbose_arg)
 
 let validate_cmd =
   let run file procs options verbose =
@@ -403,9 +493,11 @@ let () =
         [
           `S Manpage.s_exit_status;
           `P "0 on success, 1 on usage errors, 2 on compile errors \
-              (structured diagnostics on stderr), 3 when $(b,validate) \
-              finds mismatches, 4 when $(b,lint) (or $(b,compile \
-              --verify)) finds soundness errors.";
+              (structured diagnostics on stderr), 3 on runtime failures \
+              ($(b,validate) mismatches, interpreter runtime errors, \
+              unrecoverable or silently-diverging $(b,simulate --faults) \
+              runs), 4 when $(b,lint) (or $(b,compile --verify)) finds \
+              soundness errors.";
         ]
   in
   let code =

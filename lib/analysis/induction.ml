@@ -69,7 +69,7 @@ let analyze (ssa : Ssa.t) (cp : Constprop.t) : iv list =
                   | Ssa.Node_def { node = inc_node; var = v } when v = var -> (
                       let rhs_ok =
                         match (Cfg.node g inc_node).kind with
-                        | Cfg.Simple { node = Assign (LVar lv, rhs); sid }
+                        | Cfg.Simple { node = Assign (LVar lv, rhs); sid; _ }
                           when lv = var -> (
                             (* increment of the φ value itself *)
                             match

@@ -46,7 +46,13 @@ type lhs = LVar of string | LArr of string * expr list
 
 type stmt_id = int
 
-type stmt = { sid : stmt_id; node : stmt_node }
+type stmt = {
+  sid : stmt_id;
+  node : stmt_node;
+  loc : Loc.t option;
+      (** source position when the statement came from the parser; [None]
+          for programs built with {!Builder} or synthesized by rewrites *)
+}
 
 and stmt_node =
   | Assign of lhs * expr
@@ -119,7 +125,7 @@ let fresh_sid () =
   incr sid_counter;
   !sid_counter
 
-let mk node = { sid = fresh_sid (); node }
+let mk ?loc node = { sid = fresh_sid (); node; loc }
 
 (** Reassign statement ids in deterministic preorder (1, 2, 3, ...).
     Run by {!Sema.check} so that analyses and tests see stable ids
@@ -135,7 +141,7 @@ let renumber (p : program) : program =
       | If (c, t, e) -> If (c, List.map stmt t, List.map stmt e)
       | Do d -> Do { d with body = List.map stmt d.body }
     in
-    { sid; node }
+    { s with sid; node }
   in
   { p with body = List.map stmt p.body }
 

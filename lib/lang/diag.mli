@@ -29,7 +29,12 @@
     - [W0601]-[W0699] static-verifier lint warnings: inconsistent
       mappings across a phi ([W0601]), redundant replicated write
       ([W0602]), redundant communication ([W0603]), unvectorized
-      inner-loop communication ([W0604]) *)
+      inner-loop communication ([W0604])
+    - [E0701] runtime error during interpretation (bad subscript, fuel
+      exhaustion, uninitialised read), surfaced at the CLI boundary
+    - [E0702] invalid fault-injection spec ([phpfc simulate --faults])
+    - [E0703] unrecoverable injected fault: the message runtime's retry
+      budget was exhausted before delivery *)
 
 type severity = Error | Warning | Note
 

@@ -1,10 +1,10 @@
 (** Source locations for the kernel-language front end.
 
     Locations are tracked by the lexer and attached to parse errors and
-    semantic diagnostics.  AST nodes themselves do not carry locations to
-    keep pattern matching in the analysis passes lightweight; diagnostics
-    that need positions are emitted while the textual form is still at
-    hand. *)
+    semantic diagnostics.  Statements parsed from source carry their
+    position ({!Ast.stmt.loc}) so runtime errors raised by the
+    interpreters can point at the offending line; programs built with
+    {!Builder} have no locations. *)
 
 type t = {
   file : string;

@@ -543,6 +543,7 @@ and parse_stmt ps : stmt option =
   | Lexer.IDENT "if" -> Some (parse_if ps)
   | Lexer.IDENT "do" -> Some (parse_do ps None)
   | Lexer.IDENT "exit" ->
+      let loc = peek_loc ps in
       advance ps;
       let name =
         match peek ps with
@@ -552,8 +553,9 @@ and parse_stmt ps : stmt option =
         | _ -> None
       in
       expect_newline ps;
-      Some (mk (Exit name))
+      Some (mk ~loc (Exit name))
   | Lexer.IDENT "cycle" ->
+      let loc = peek_loc ps in
       advance ps;
       let name =
         match peek ps with
@@ -563,7 +565,7 @@ and parse_stmt ps : stmt option =
         | _ -> None
       in
       expect_newline ps;
-      Some (mk (Cycle name))
+      Some (mk ~loc (Cycle name))
   | Lexer.IDENT name when peek2 ps = Lexer.COLON ->
       (* named loop *)
       advance ps;
@@ -579,6 +581,7 @@ and parse_stmt ps : stmt option =
            (Lexer.token_to_string t))
 
 and parse_assign ps =
+  let loc = peek_loc ps in
   let name = expect_ident ps in
   let lhs =
     if peek ps = Lexer.LPAREN then begin
@@ -592,9 +595,10 @@ and parse_assign ps =
   expect ps Lexer.ASSIGN;
   let rhs = parse_expr ps in
   expect_newline ps;
-  mk (Assign (lhs, rhs))
+  mk ~loc (Assign (lhs, rhs))
 
 and parse_if ps =
+  let loc = peek_loc ps in
   expect_keyword ps "if";
   expect ps Lexer.LPAREN;
   let cond = parse_expr ps in
@@ -616,16 +620,17 @@ and parse_if ps =
     expect_keyword ps "end";
     expect_keyword ps "if";
     expect_newline ps;
-    mk (If (cond, then_branch, else_branch))
+    mk ~loc (If (cond, then_branch, else_branch))
   end
   else begin
     (* one-line if *)
     match parse_stmt ps with
-    | Some s -> mk (If (cond, [ s ], []))
+    | Some s -> mk ~loc (If (cond, [ s ], []))
     | None -> error ps "expected statement after one-line if"
   end
 
 and parse_do ps loop_name =
+  let loc = peek_loc ps in
   let independent, new_vars =
     match ps.pending_independent with
     | Some (i, nv) ->
@@ -652,7 +657,7 @@ and parse_do ps loop_name =
   expect_keyword ps "end";
   expect_keyword ps "do";
   expect_newline ps;
-  mk (Do { index; lo; hi; step; body; independent; new_vars; loop_name })
+  mk ~loc (Do { index; lo; hi; step; body; independent; new_vars; loop_name })
 
 (* ------------------------------------------------------------------ *)
 (* Declarations and program                                             *)

@@ -1,0 +1,58 @@
+(** Deterministic, seed-derived fault schedules for the SPMD message
+    runtime: drop / duplicate / reorder / corrupt / delay packets, stall
+    / crash processors.  Same mixer discipline as {!Init} — a
+    (spec, seed) pair names one exact, reproducible fault campaign. *)
+
+type kind =
+  | Drop  (** packet vanishes in flight *)
+  | Duplicate  (** packet is delivered twice *)
+  | Reorder  (** packet is held back and released after a later one *)
+  | Corrupt  (** payload bits flip; the checksum no longer matches *)
+  | Delay  (** packet arrives late (possibly past the receiver timeout) *)
+  | Stall  (** a processor stops responding for a while *)
+  | Crash  (** a processor dies and loses its shadow memory *)
+
+val all_kinds : kind list
+val message_kinds : kind list
+val processor_kinds : kind list
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val kind_of_string : string -> kind option
+
+(** Per-kind injection probabilities in [0, 1]. *)
+type spec = (kind * float) list
+
+(** Parse [KIND(:RATE)?(,KIND(:RATE)?)*]; [all] sets every kind, later
+    items override earlier ones, default rate 0.05. *)
+val parse_spec : string -> (spec, string) result
+
+type t
+
+val make : ?seed:int -> spec -> t
+
+(** The inert schedule: injects nothing, costs nothing. *)
+val none : t
+
+(** Does the schedule have any positive rate?  Inactive schedules let
+    the runtime skip checkpointing and WAL recording entirely. *)
+val active : t -> bool
+
+(** Decision for the next message-send event (consumes one event; at
+    most one kind fires, first match in {!message_kinds} order). *)
+val on_message : t -> kind option
+
+(** Decision for the next processor heartbeat window: optionally stall
+    or crash one deterministically-picked processor. *)
+val on_processor : t -> nprocs:int -> (int * kind) option
+
+(** Deterministic scale factor in [1, n] for a fault's magnitude. *)
+val magnitude : t -> event:int -> n:int -> int
+
+(** Deterministically flip bits of a payload's value (the checksum image
+    always changes). *)
+val corrupt_payload : Msg.payload -> Msg.payload
+
+(** Per-kind injection counts so far (zero-count kinds omitted). *)
+val injected : t -> (kind * int) list
+
+val total_injected : t -> int

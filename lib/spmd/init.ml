@@ -8,7 +8,9 @@
 
 open Hpf_lang
 
-(* A small deterministic mixer (no Random: runs must be reproducible). *)
+(** A small deterministic mixer (no Random: runs must be reproducible).
+    Shared by the fault-injection schedule ({!Fault}) and the message
+    checksums ({!Msg}) so every derived decision is seed-stable. *)
 let mix (seed : int) (xs : int list) : int =
   List.fold_left
     (fun acc x ->

@@ -5,6 +5,15 @@
 
 open Hpf_lang
 
+(** [mix seed xs] folds [xs] into [seed] with a deterministic avalanche
+    step, yielding a value in [0, 2^30).  The one source of pseudo-random
+    bits in the runtime (seeding, fault schedules, checksums) — no
+    [Random] anywhere, so runs are bit-reproducible. *)
+val mix : int -> int list -> int
+
+(** Deterministic hash of a name, built from {!mix}. *)
+val hash_name : string -> int
+
 (** Fill every declared array of [prog] in [m] with deterministic values
     (reals in (0, 2); integers in [1, 8]; booleans from the low bit). *)
 val seed : ?seed:int -> Ast.program -> Memory.t -> unit

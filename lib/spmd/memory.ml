@@ -13,9 +13,29 @@ type t = {
   arrays : (string, array_cell) Hashtbl.t;
 }
 
-exception Runtime_error of string
+exception
+  Runtime_error of {
+    loc : Loc.t option;
+    sid : Ast.stmt_id option;
+    msg : string;
+  }
 
-let rerr fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+let rerr fmt =
+  Fmt.kstr (fun s -> raise (Runtime_error { loc = None; sid = None; msg = s })) fmt
+
+(** Run [f] and stamp any {!Runtime_error} it raises with statement
+    [s]'s identity (source location when the statement carries one).
+    Already-stamped errors pass through, so the innermost executing
+    statement wins. *)
+let locate_errors (s : Ast.stmt) (f : unit -> 'a) : 'a =
+  try f ()
+  with Runtime_error { loc = _; sid = None; msg } ->
+    let msg =
+      match s.Ast.loc with
+      | Some _ -> msg
+      | None -> Fmt.str "%s (in statement s%d)" msg s.Ast.sid
+    in
+    raise (Runtime_error { loc = s.Ast.loc; sid = Some s.Ast.sid; msg })
 
 (** Fresh memory with every declared variable zero-initialized. *)
 let create (prog : Ast.program) : t =

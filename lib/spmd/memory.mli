@@ -10,10 +10,26 @@ type t = {
   arrays : (string, array_cell) Hashtbl.t;
 }
 
-exception Runtime_error of string
+(** Raised on runtime faults (unbound names, out-of-bounds subscripts,
+    division by zero, fuel exhaustion).  The interpreters stamp the
+    statement being executed onto the error via {!locate_errors}, so
+    errors escaping {!Seq_interp.run} / {!Spmd_interp.run} carry the
+    source position ([loc]) of the offending statement when the program
+    came from the parser, and its id otherwise. *)
+exception
+  Runtime_error of {
+    loc : Loc.t option;
+    sid : Ast.stmt_id option;
+    msg : string;
+  }
 
-(** Raise {!Runtime_error} with a formatted message. *)
+(** Raise {!Runtime_error} with a formatted message (no statement
+    attached; the executing interpreter stamps one). *)
 val rerr : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [locate_errors s f] runs [f ()] and stamps statement [s] onto any
+    unstamped {!Runtime_error} escaping it. *)
+val locate_errors : Ast.stmt -> (unit -> 'a) -> 'a
 
 (** Fresh memory with every declared variable zero-initialized and
     parameters bound as integer scalars. *)

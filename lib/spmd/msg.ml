@@ -1,0 +1,110 @@
+(** Explicit message layer for the SPMD interpreter.
+
+    {!Spmd_interp} used to copy values directly between processor shadow
+    memories; every such copy is now a {!packet} travelling through a
+    per-(source, destination) FIFO queue.  Packets carry a per-pair
+    sequence number and a payload checksum, which is what makes lost,
+    duplicated, reordered and corrupted messages {e detectable} by the
+    recovery supervisor ({!Recover}) instead of silently diverging the
+    shadow memories.
+
+    The layer itself is purely mechanical: it allocates sequence
+    numbers, stamps checksums and moves packets between queues.  Fault
+    injection ({!Fault}) perturbs what gets enqueued; detection and
+    retransmission live in {!Recover}. *)
+
+(** One remote write: the unit of communication between processors. *)
+type payload =
+  | Scalar of { var : string; value : Value.t }
+  | Elem of { base : string; index : int list; value : Value.t }
+
+let pp_payload ppf = function
+  | Scalar { var; value } -> Fmt.pf ppf "%s=%a" var Value.pp value
+  | Elem { base; index; value } ->
+      Fmt.pf ppf "%s(%a)=%a" base
+        Fmt.(list ~sep:(any ",") int)
+        index Value.pp value
+
+(* Integer image of a value for checksumming.  Reals go through their
+   IEEE bit pattern so any perturbation — however small — changes the
+   checksum. *)
+let value_bits = function
+  | Value.I n -> [ 1; n ]
+  | Value.R f ->
+      let b = Int64.bits_of_float f in
+      [ 2; Int64.to_int (Int64.shift_right_logical b 32); Int64.to_int b ]
+  | Value.B b -> [ 3; (if b then 1 else 0) ]
+
+(** Deterministic checksum of a payload (same mixer discipline as
+    {!Init.mix}; no [Random]). *)
+let checksum (p : payload) : int =
+  match p with
+  | Scalar { var; value } ->
+      Init.mix 0x5EED (Init.hash_name var :: value_bits value)
+  | Elem { base; index; value } ->
+      Init.mix 0x5EED ((Init.hash_name base :: index) @ value_bits value)
+
+type packet = {
+  seq : int;  (** per-(src,dst) sequence number, starting at 0 *)
+  src : int;
+  dst : int;
+  payload : payload;
+  check : int;  (** {!checksum} of the payload at send time *)
+}
+
+let pp_packet ppf (p : packet) =
+  Fmt.pf ppf "#%d %d->%d %a" p.seq p.src p.dst pp_payload p.payload
+
+type t = {
+  nprocs : int;
+  queues : packet Queue.t array;  (** indexed [src * nprocs + dst] *)
+  next_seq : int array;  (** next sequence number to allocate per pair *)
+  expected : int array;  (** next sequence number the receiver accepts *)
+  mutable sent : int;  (** packets enqueued (duplicates included) *)
+  mutable delivered : int;  (** packets accepted by a receiver *)
+}
+
+let create ~(nprocs : int) : t =
+  let pairs = nprocs * nprocs in
+  {
+    nprocs;
+    queues = Array.init pairs (fun _ -> Queue.create ());
+    next_seq = Array.make pairs 0;
+    expected = Array.make pairs 0;
+    sent = 0;
+    delivered = 0;
+  }
+
+let pair (t : t) ~(src : int) ~(dst : int) = (src * t.nprocs) + dst
+
+(** Allocate the next send sequence number of the pair.  A retransmission
+    of the same logical message must {e not} re-allocate: it reuses the
+    packet's original number. *)
+let next_seq (t : t) ~src ~dst : int =
+  let k = pair t ~src ~dst in
+  let s = t.next_seq.(k) in
+  t.next_seq.(k) <- s + 1;
+  s
+
+(** The sequence number the receiver of the pair accepts next. *)
+let expected (t : t) ~src ~dst : int = t.expected.(pair t ~src ~dst)
+
+let advance_expected (t : t) ~src ~dst =
+  let k = pair t ~src ~dst in
+  t.expected.(k) <- t.expected.(k) + 1;
+  t.delivered <- t.delivered + 1
+
+(** Build a packet for [payload] with a fresh sequence number and its
+    checksum stamped. *)
+let make (t : t) ~src ~dst (payload : payload) : packet =
+  { seq = next_seq t ~src ~dst; src; dst; payload; check = checksum payload }
+
+let enqueue (t : t) (p : packet) =
+  t.sent <- t.sent + 1;
+  Queue.push p t.queues.(pair t ~src:p.src ~dst:p.dst)
+
+let dequeue (t : t) ~src ~dst : packet option =
+  Queue.take_opt t.queues.(pair t ~src ~dst)
+
+let pending (t : t) ~src ~dst : int =
+  Queue.length t.queues.(pair t ~src ~dst)

@@ -1,0 +1,48 @@
+(** Explicit message layer for the SPMD interpreter: per-(src, dst) FIFO
+    queues of checksummed, sequence-numbered packets.  {!Fault} perturbs
+    what gets enqueued; {!Recover} detects the damage (sequence gaps,
+    stale numbers, checksum mismatches) and retransmits. *)
+
+(** One remote write: the unit of communication between processors. *)
+type payload =
+  | Scalar of { var : string; value : Value.t }
+  | Elem of { base : string; index : int list; value : Value.t }
+
+val pp_payload : Format.formatter -> payload -> unit
+
+(** Deterministic checksum of a payload ({!Init.mix} discipline). *)
+val checksum : payload -> int
+
+type packet = {
+  seq : int;  (** per-(src,dst) sequence number, starting at 0 *)
+  src : int;
+  dst : int;
+  payload : payload;
+  check : int;  (** {!checksum} of the payload at send time *)
+}
+
+val pp_packet : Format.formatter -> packet -> unit
+
+type t = {
+  nprocs : int;
+  queues : packet Queue.t array;
+  next_seq : int array;
+  expected : int array;
+  mutable sent : int;  (** packets enqueued (duplicates included) *)
+  mutable delivered : int;  (** packets accepted by a receiver *)
+}
+
+val create : nprocs:int -> t
+
+(** Build a packet with a fresh per-pair sequence number and its checksum
+    stamped.  Retransmissions reuse the original packet instead. *)
+val make : t -> src:int -> dst:int -> payload -> packet
+
+val enqueue : t -> packet -> unit
+val dequeue : t -> src:int -> dst:int -> packet option
+
+(** The sequence number the receiver of the pair accepts next. *)
+val expected : t -> src:int -> dst:int -> int
+
+val advance_expected : t -> src:int -> dst:int -> unit
+val pending : t -> src:int -> dst:int -> int

@@ -1,0 +1,387 @@
+(** Fault detection and recovery supervisor for the SPMD message
+    runtime.
+
+    Sits between {!Spmd_interp} and the {!Msg} queues.  Every remote
+    write travels through {!transmit}, which runs the full reliable
+    delivery protocol: send (possibly injured by the {!Fault} schedule),
+    receive, validate sequence number and checksum, and — when the
+    packet is lost, stale, reordered or damaged — retransmit with
+    exponential backoff, up to a bounded number of attempts.  Every
+    write to a processor shadow memory (remote {e and} local) goes
+    through {!write} so it lands in a per-processor write-ahead log;
+    together with periodic checkpoints this makes a crashed processor
+    recoverable by restore-and-replay.
+
+    All detection is by simulated-time timeout, sequence gap or checksum
+    mismatch — the supervisor never peeks at the fault schedule — and
+    all recovery work is priced through {!Cost_model} so the timing
+    simulator can report how much the injected faults cost.  When the
+    retry budget is exhausted the run terminates with a structured
+    {!Unrecoverable} diagnostic naming the injected fault: silent
+    divergence is never an outcome. *)
+
+open Hpf_lang
+open Hpf_comm
+
+type config = {
+  max_retries : int;  (** retransmit attempts per message before giving up *)
+  base_timeout : float;
+      (** simulated seconds before a receiver declares a packet lost;
+          doubles on every retry (exponential backoff) *)
+  checkpoint_interval : int;
+      (** minimum statement events between shadow-memory checkpoints;
+          scaled up for large memories so the copying stays amortized
+          (a snapshot costs O(memory), so the interval grows with it) *)
+  model : Cost_model.t;  (** prices retransmits, checkpoints and restores *)
+}
+
+let default_config =
+  {
+    max_retries = 8;
+    base_timeout = 8.0 *. Cost_model.sp2.Cost_model.alpha;
+    checkpoint_interval = 32;
+    model = Cost_model.sp2;
+  }
+
+(** Raised when recovery is out of options (retry budget exhausted).
+    Carries structured diagnostics naming the injected fault; callers
+    render them exactly like compile errors. *)
+exception Unrecoverable of Diag.t list
+
+type t = {
+  config : config;
+  faults : Fault.t;
+  net : Msg.t;
+  procs : Memory.t array;  (** the interpreter's shadow memories *)
+  nprocs : int;
+  elems_per_proc : int;  (** array elements per shadow memory *)
+  active : bool;  (** fault schedule has positive rates *)
+  interval : int;  (** effective checkpoint interval (memory-scaled) *)
+  heartbeat : int;
+      (** statement events per processor-fault heartbeat window:
+          stall/crash decisions are rolled once per window, so failure
+          rates are per unit of simulated progress, not per statement *)
+  snapshots : Memory.t array;  (** last checkpoint per processor *)
+  wal : Msg.payload list array;
+      (** per-processor write-ahead log since the last checkpoint,
+          newest first *)
+  mutable events : int;  (** statement-boundary events seen *)
+  mutable msg_ops : int;  (** transmit attempts (for fault magnitudes) *)
+  (* counters *)
+  mutable detected : int;
+  mutable timeouts : int;
+  mutable checksum_failures : int;
+  mutable stale_discards : int;
+  mutable retries : int;
+  mutable checkpoints : int;
+  mutable restores : int;
+  mutable stalls : int;
+  mutable crashes : int;
+  mutable recovery_time : float;
+      (** simulated fault-tolerance overhead: checkpoints, detection
+          waits, retransmits, restores *)
+  holdback : Msg.packet option array;
+      (** per-(src,dst) packet held in flight by a reorder fault *)
+}
+
+let create ?(config = default_config) ?(faults = Fault.none)
+    (procs : Memory.t array) (prog : Ast.program) : t =
+  let nprocs = Array.length procs in
+  let elems_per_proc =
+    List.fold_left
+      (fun acc (d : Ast.decl) ->
+        if d.shape = [] then acc else acc + Types.size d.shape)
+      0 prog.Ast.decls
+  in
+  let active = Fault.active faults in
+  (* keep the amortized snapshot cost bounded: a checkpoint copies
+     nprocs * elems elements, so the interval grows with the memory *)
+  let interval =
+    max config.checkpoint_interval (nprocs * elems_per_proc / 256)
+  in
+  {
+    config;
+    faults;
+    net = Msg.create ~nprocs;
+    procs;
+    nprocs;
+    elems_per_proc;
+    active;
+    interval;
+    heartbeat = max 1 (interval / 8);
+    (* checkpoint 0: the post-[init] state, so a crash before the first
+       periodic checkpoint can still restore *)
+    snapshots =
+      (if active then Array.map Memory.copy procs else [||]);
+    wal = Array.make nprocs [];
+    events = 0;
+    msg_ops = 0;
+    detected = 0;
+    timeouts = 0;
+    checksum_failures = 0;
+    stale_discards = 0;
+    retries = 0;
+    checkpoints = 0;
+    restores = 0;
+    stalls = 0;
+    crashes = 0;
+    recovery_time = 0.0;
+    holdback = Array.make (nprocs * nprocs) None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Writes and the write-ahead log                                      *)
+(* ------------------------------------------------------------------ *)
+
+let apply_payload (m : Memory.t) (p : Msg.payload) : unit =
+  match p with
+  | Msg.Scalar { var; value } -> Memory.set_scalar m var value
+  | Msg.Elem { base; index; value } -> Memory.set_elem m base index value
+
+(** Write to processor [pid]'s shadow memory, recording the write in its
+    WAL (when faults are active) so a crash can replay it. *)
+let write (t : t) (pid : int) (p : Msg.payload) : unit =
+  apply_payload t.procs.(pid) p;
+  if t.active then t.wal.(pid) <- p :: t.wal.(pid)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable message delivery                                           *)
+(* ------------------------------------------------------------------ *)
+
+let timeout_after (t : t) (attempt : int) : float =
+  t.config.base_timeout *. float_of_int (1 lsl attempt)
+
+let release_holdback (t : t) ~src ~dst =
+  let k = (src * t.nprocs) + dst in
+  match t.holdback.(k) with
+  | None -> ()
+  | Some p ->
+      t.holdback.(k) <- None;
+      Msg.enqueue t.net p
+
+(* Drain the pair's queue until the expected packet, a corrupt packet or
+   emptiness.  Stale sequence numbers (duplicates, released reorder
+   holdbacks) are detected and discarded; gaps are impossible with
+   per-pair FIFOs but handled defensively as a discard. *)
+let rec receive (t : t) ~src ~dst :
+    [ `Ok of Msg.packet | `Corrupt | `Timeout ] =
+  match Msg.dequeue t.net ~src ~dst with
+  | None -> `Timeout
+  | Some p ->
+      let exp = Msg.expected t.net ~src ~dst in
+      if p.Msg.seq <> exp then begin
+        t.detected <- t.detected + 1;
+        t.stale_discards <- t.stale_discards + 1;
+        receive t ~src ~dst
+      end
+      else if Msg.checksum p.Msg.payload <> p.Msg.check then begin
+        t.detected <- t.detected + 1;
+        t.checksum_failures <- t.checksum_failures + 1;
+        `Corrupt
+      end
+      else `Ok p
+
+let unrecoverable (t : t) (packet : Msg.packet) (kind : Fault.kind option) =
+  let named =
+    match kind with
+    | Some k -> Fmt.str "injected %s fault" (Fault.kind_to_string k)
+    | None -> "repeated message faults"
+  in
+  raise
+    (Unrecoverable
+       [
+         Diag.errorf ~code:"E0703"
+           "unrecoverable communication fault: message %a lost to %s after \
+            %d retransmit attempts"
+           Msg.pp_packet packet named t.config.max_retries;
+       ])
+
+(** Deliver one remote write from [src] to [dst] reliably: inject the
+    scheduled fault, detect the damage from the receiver side only, and
+    retransmit with exponential backoff until applied or the retry
+    budget dies. *)
+let transmit (t : t) ~(src : int) ~(dst : int) (payload : Msg.payload) :
+    unit =
+  release_holdback t ~src ~dst;
+  let packet = Msg.make t.net ~src ~dst payload in
+  let rec attempt (n : int) (last_fault : Fault.kind option) =
+    if n > t.config.max_retries then unrecoverable t packet last_fault;
+    if n > 0 then begin
+      (* the receiver asked again after its backoff; the retransmit pays
+         one point-to-point message *)
+      t.retries <- t.retries + 1;
+      t.recovery_time <-
+        t.recovery_time +. Cost_model.ptp t.config.model ~elems:1
+    end;
+    let op = t.msg_ops in
+    t.msg_ops <- t.msg_ops + 1;
+    let fault = Fault.on_message t.faults in
+    let delay_t =
+      match fault with
+      | Some Fault.Drop -> (* vanishes in flight *) None
+      | Some Fault.Duplicate ->
+          Msg.enqueue t.net packet;
+          Msg.enqueue t.net packet;
+          None
+      | Some Fault.Reorder ->
+          (* held back; released in front of the pair's next message *)
+          let k = (src * t.nprocs) + dst in
+          (match t.holdback.(k) with
+          | None -> t.holdback.(k) <- Some packet
+          | Some old ->
+              Msg.enqueue t.net old;
+              t.holdback.(k) <- Some packet);
+          None
+      | Some Fault.Corrupt ->
+          Msg.enqueue t.net
+            { packet with Msg.payload = Fault.corrupt_payload payload };
+          None
+      | Some Fault.Delay ->
+          Msg.enqueue t.net packet;
+          Some
+            (t.config.base_timeout
+            *. float_of_int (Fault.magnitude t.faults ~event:op ~n:4)
+            /. 2.0)
+      | Some (Fault.Stall | Fault.Crash) | None ->
+          (* processor faults are injected at statement boundaries *)
+          Msg.enqueue t.net packet;
+          None
+    in
+    match receive t ~src ~dst with
+    | `Ok p ->
+        write t dst p.Msg.payload;
+        Msg.advance_expected t.net ~src ~dst;
+        (* a delayed packet charges its lateness; past the timeout the
+           receiver had already paid a detection round *)
+        (match delay_t with
+        | Some d when d > timeout_after t n ->
+            t.detected <- t.detected + 1;
+            t.timeouts <- t.timeouts + 1;
+            t.retries <- t.retries + 1;
+            t.recovery_time <-
+              t.recovery_time +. timeout_after t n
+              +. Cost_model.ptp t.config.model ~elems:1
+        | Some d -> t.recovery_time <- t.recovery_time +. d
+        | None -> ())
+    | `Corrupt ->
+        (* checksum mismatch is detected on receipt: no timeout wait *)
+        attempt (n + 1) fault
+    | `Timeout ->
+        t.detected <- t.detected + 1;
+        t.timeouts <- t.timeouts + 1;
+        t.recovery_time <- t.recovery_time +. timeout_after t n;
+        attempt (n + 1) fault
+  in
+  attempt 0 None
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restart                                                *)
+(* ------------------------------------------------------------------ *)
+
+let take_checkpoint (t : t) =
+  Array.iteri (fun p m -> t.snapshots.(p) <- Memory.copy m) t.procs;
+  Array.fill t.wal 0 t.nprocs [];
+  t.checkpoints <- t.checkpoints + 1;
+  (* processors snapshot in parallel: one memory's copy cost *)
+  t.recovery_time <-
+    t.recovery_time
+    +. (t.config.model.Cost_model.copy *. float_of_int t.elems_per_proc)
+
+(* A crash loses processor [pid]'s shadow memory.  The supervisor
+   detects the dead heartbeat, restores the last checkpoint and replays
+   the write-ahead log, leaving the memory bit-identical to the
+   pre-crash state. *)
+let crash (t : t) (pid : int) =
+  t.crashes <- t.crashes + 1;
+  t.detected <- t.detected + 1;
+  t.timeouts <- t.timeouts + 1;
+  let m = Memory.copy t.snapshots.(pid) in
+  let log = List.rev t.wal.(pid) in
+  List.iter (apply_payload m) log;
+  t.procs.(pid) <- m;
+  t.restores <- t.restores + 1;
+  t.recovery_time <-
+    t.recovery_time +. t.config.base_timeout
+    +. (t.config.model.Cost_model.copy
+       *. float_of_int (t.elems_per_proc + List.length log))
+
+let stall (t : t) (_pid : int) =
+  t.stalls <- t.stalls + 1;
+  t.detected <- t.detected + 1;
+  t.timeouts <- t.timeouts + 1;
+  (* heartbeat times out and is retried until the processor responds *)
+  t.retries <- t.retries + 1;
+  let d =
+    t.config.base_timeout
+    *. float_of_int (Fault.magnitude t.faults ~event:t.events ~n:8)
+  in
+  t.recovery_time <- t.recovery_time +. t.config.base_timeout +. d
+
+(** Statement-boundary hook: periodic checkpointing, then the schedule's
+    processor-level faults (stall / crash) with their recovery. *)
+let stmt_boundary (t : t) : unit =
+  if t.active then begin
+    t.events <- t.events + 1;
+    if t.interval > 0 && t.events mod t.interval = 0 then take_checkpoint t;
+    if t.events mod t.heartbeat = 0 then
+      match Fault.on_processor t.faults ~nprocs:t.nprocs with
+      | Some (pid, Fault.Stall) -> stall t pid
+      | Some (pid, Fault.Crash) -> crash t pid
+      | Some _ | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  injected : (Fault.kind * int) list;
+  total_injected : int;
+  detected : int;
+  timeouts : int;
+  checksum_failures : int;
+  stale_discards : int;
+  retries : int;
+  checkpoints : int;
+  restores : int;
+  stalls : int;
+  crashes : int;
+  messages_sent : int;
+  messages_delivered : int;
+  recovery_time : float;
+}
+
+let report (t : t) : report =
+  {
+    injected = Fault.injected t.faults;
+    total_injected = Fault.total_injected t.faults;
+    detected = t.detected;
+    timeouts = t.timeouts;
+    checksum_failures = t.checksum_failures;
+    stale_discards = t.stale_discards;
+    retries = t.retries;
+    checkpoints = t.checkpoints;
+    restores = t.restores;
+    stalls = t.stalls;
+    crashes = t.crashes;
+    messages_sent = t.net.Msg.sent;
+    messages_delivered = t.net.Msg.delivered;
+    recovery_time = t.recovery_time;
+  }
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "fault campaign: %d injected (%a), %d detected@."
+    r.total_injected
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (k, n) ->
+          pf ppf "%a %d" Fault.pp_kind k n))
+    r.injected r.detected;
+  Fmt.pf ppf
+    "  detection: %d timeouts, %d checksum failures, %d stale discards@."
+    r.timeouts r.checksum_failures r.stale_discards;
+  Fmt.pf ppf
+    "  recovery: %d retransmits, %d checkpoints, %d restores, %d stalls \
+     ridden out, %d crashes@."
+    r.retries r.checkpoints r.restores r.stalls r.crashes;
+  Fmt.pf ppf "  messages: %d sent, %d delivered; recovery time %.6f s@."
+    r.messages_sent r.messages_delivered r.recovery_time

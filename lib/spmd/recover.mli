@@ -1,0 +1,74 @@
+(** Fault detection and recovery supervisor for the SPMD message
+    runtime.
+
+    All remote writes travel through {!transmit} (reliable delivery:
+    sequence/checksum validation, bounded retransmit with exponential
+    backoff); all shadow-memory writes travel through {!write} (a
+    write-ahead log per processor); {!stmt_boundary} takes periodic
+    checkpoints and injects/recovers processor-level faults (stall,
+    crash).  Detection is purely observational — simulated-time
+    timeouts, sequence gaps, checksum mismatches — and every recovery
+    action is priced through {!Cost_model} so {!Trace_sim} can report
+    the cost of a degraded run. *)
+
+open Hpf_lang
+open Hpf_comm
+
+type config = {
+  max_retries : int;  (** retransmit attempts per message before giving up *)
+  base_timeout : float;
+      (** simulated seconds before a receiver declares a packet lost;
+          doubles on every retry (exponential backoff) *)
+  checkpoint_interval : int;
+      (** minimum statement events between shadow-memory checkpoints;
+          scaled up for large memories so the copying stays amortized *)
+  model : Cost_model.t;  (** prices retransmits, checkpoints and restores *)
+}
+
+val default_config : config
+
+(** Raised when recovery is out of options (retry budget exhausted).
+    Carries structured diagnostics ([E0703]) naming the injected fault. *)
+exception Unrecoverable of Diag.t list
+
+type t
+
+(** [create procs prog] supervises the interpreter's shadow memories.
+    With an active fault schedule it snapshots the post-init state as
+    checkpoint zero; inert schedules skip all bookkeeping. *)
+val create : ?config:config -> ?faults:Fault.t -> Memory.t array -> Ast.program -> t
+
+(** Write a payload to processor [pid]'s shadow memory, recording it in
+    the write-ahead log when faults are active. *)
+val write : t -> int -> Msg.payload -> unit
+
+(** Deliver one remote write reliably from [src] to [dst] (applying it
+    via {!write} on receipt).  Raises {!Unrecoverable} when the retry
+    budget is exhausted. *)
+val transmit : t -> src:int -> dst:int -> Msg.payload -> unit
+
+(** Per-statement hook: periodic checkpointing plus processor-level
+    fault injection and recovery (stall ride-out, crash
+    restore-and-replay). *)
+val stmt_boundary : t -> unit
+
+type report = {
+  injected : (Fault.kind * int) list;  (** per-kind injections *)
+  total_injected : int;
+  detected : int;  (** faults noticed by the supervisor *)
+  timeouts : int;
+  checksum_failures : int;
+  stale_discards : int;  (** duplicate / reordered packets discarded *)
+  retries : int;  (** retransmits (and heartbeat retries) *)
+  checkpoints : int;
+  restores : int;
+  stalls : int;
+  crashes : int;
+  messages_sent : int;
+  messages_delivered : int;
+  recovery_time : float;
+      (** simulated fault-tolerance overhead, seconds *)
+}
+
+val report : t -> report
+val pp_report : Format.formatter -> report -> unit

@@ -33,7 +33,10 @@ let run ?(config = default_config) ?(init : (Memory.t -> unit) option)
     match config.on_stmt with Some f -> f s m | None -> ()
   in
   let rec stmts ss = List.iter stmt ss
+  (* each statement instance stamps runtime errors with its own identity
+     (innermost wins), so faults escaping [run] point at source lines *)
   and stmt (s : Ast.stmt) =
+    Memory.locate_errors s @@ fun () ->
     match s.node with
     | Ast.Assign (lhs, rhs) -> (
         tick s;

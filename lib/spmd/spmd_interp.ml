@@ -23,6 +23,8 @@ type t = {
   mutable reference : Memory.t;  (** lockstep reference memory *)
   procs : Memory.t array;  (** one shadow memory per processor *)
   mutable transfers : int;  (** elements copied between processors *)
+  runtime : Recover.t;
+      (** message runtime: reliable delivery, fault recovery *)
 }
 
 (* Communications indexed by the statement they serve. *)
@@ -37,9 +39,11 @@ let comms_by_sid (c : Compiler.compiled) :
     c.Compiler.comms;
   h
 
-(* Copy the current value of reference [r] from an owning processor's
+(* Move the current value of reference [r] from an owning processor's
    memory into the memories of [dests].  Addresses come from the
-   reference memory. *)
+   reference memory; delivery goes through the message runtime
+   (sequence-numbered, checksummed packets with retransmit on injected
+   faults). *)
 let transfer (st : t) (m_ref : Memory.t) (r : Aref.t) (dests : int list) =
   let d = st.compiled.Compiler.decisions in
   let owners = Concrete.owner_pids d m_ref r in
@@ -50,10 +54,11 @@ let transfer (st : t) (m_ref : Memory.t) (r : Aref.t) (dests : int list) =
       if Aref.is_scalar r then begin
         if not (Ast.is_array d.Decisions.prog r.Aref.base) then begin
           let v = Memory.get_scalar msrc r.Aref.base in
+          let payload = Msg.Scalar { var = r.Aref.base; value = v } in
           List.iter
             (fun p ->
               if p <> src then begin
-                Memory.set_scalar st.procs.(p) r.Aref.base v;
+                Recover.transmit st.runtime ~src ~dst:p payload;
                 st.transfers <- st.transfers + 1
               end)
             dests
@@ -64,10 +69,11 @@ let transfer (st : t) (m_ref : Memory.t) (r : Aref.t) (dests : int list) =
           List.map (fun e -> Eval.int_expr m_ref e) r.Aref.subs
         in
         let v = Memory.get_elem msrc r.Aref.base idx in
+        let payload = Msg.Elem { base = r.Aref.base; index = idx; value = v } in
         List.iter
           (fun p ->
             if p <> src then begin
-              Memory.set_elem st.procs.(p) r.Aref.base idx v;
+              Recover.transmit st.runtime ~src ~dst:p payload;
               st.transfers <- st.transfers + 1
             end)
           dests
@@ -77,24 +83,24 @@ let transfer (st : t) (m_ref : Memory.t) (r : Aref.t) (dests : int list) =
     memory and every processor memory identically (initial data is
     assumed globally available, as the paper's benchmarks read their
     input on every node). *)
-let run ?(init : (Memory.t -> unit) option) (c : Compiler.compiled) : t =
+let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
+    ?recover_config (c : Compiler.compiled) : t =
   let d = c.Compiler.decisions in
   let nprocs =
     Hpf_mapping.Grid.size d.Decisions.env.Hpf_mapping.Layout.grid
   in
-  let st =
-    {
-      compiled = c;
-      reference = Memory.create c.Compiler.prog;
-      procs = Array.init nprocs (fun _ -> Memory.create c.Compiler.prog);
-      transfers = 0;
-    }
-  in
+  let reference = Memory.create c.Compiler.prog in
+  let procs = Array.init nprocs (fun _ -> Memory.create c.Compiler.prog) in
   (match init with
   | Some f ->
-      f st.reference;
-      Array.iter f st.procs
+      f reference;
+      Array.iter f procs
   | None -> ());
+  (* the supervisor snapshots the post-init state as checkpoint zero *)
+  let runtime =
+    Recover.create ?config:recover_config ~faults procs c.Compiler.prog
+  in
+  let st = { compiled = c; reference; procs; transfers = 0; runtime } in
   let by_sid = comms_by_sid c in
   let all_pids = List.init nprocs (fun p -> p) in
   (* --- reduction combining ------------------------------------------
@@ -186,13 +192,18 @@ let run ?(init : (Memory.t -> unit) option) (c : Compiler.compiled) : t =
           st.transfers <- st.transfers + List.length members - 1;
           List.iter
             (fun p ->
-              Memory.set_scalar st.procs.(p) var total_v;
+              Recover.write st.runtime p
+                (Msg.Scalar { var; value = total_v });
               (* maxloc/minloc: the location companions follow the
                  winning processor's values *)
               List.iter
                 (fun (lv, _) ->
-                  Memory.set_scalar st.procs.(p) lv
-                    (Memory.get_scalar st.procs.(winner) lv))
+                  Recover.write st.runtime p
+                    (Msg.Scalar
+                       {
+                         var = lv;
+                         value = Memory.get_scalar st.procs.(winner) lv;
+                       }))
                 red.Reduction.loc_vars)
             members)
         lines
@@ -240,18 +251,22 @@ let run ?(init : (Memory.t -> unit) option) (c : Compiler.compiled) : t =
             let mp = st.procs.(p) in
             let v = Eval.expr mp rhs in
             match lhs with
-            | Ast.LVar x -> Memory.set_scalar mp x v
+            | Ast.LVar x ->
+                Recover.write st.runtime p (Msg.Scalar { var = x; value = v })
             | Ast.LArr (a, subs) ->
                 (* addresses from the reference memory: subscript values
                    are guaranteed available by the consumer rules *)
                 let idx = List.map (fun e -> Eval.int_expr m_ref e) subs in
-                Memory.set_elem mp a idx v)
+                Recover.write st.runtime p
+                  (Msg.Elem { base = a; index = idx; value = v }))
           execs
     | Ast.Do dl ->
         (* every processor tracks loop indices (SPMD loop structure) *)
         let i0 = Eval.int_expr m_ref dl.lo in
-        Array.iter
-          (fun mp -> Memory.set_scalar mp dl.index (Value.I i0))
+        Array.iteri
+          (fun p _ ->
+            Recover.write st.runtime p
+              (Msg.Scalar { var = dl.index; value = Value.I i0 }))
           st.procs
     | Ast.If _ | Ast.Exit _ | Ast.Cycle _ -> ()
   in
@@ -265,10 +280,15 @@ let run ?(init : (Memory.t -> unit) option) (c : Compiler.compiled) : t =
       Hashtbl.replace indices_of s.sid (Nest.enclosing_indices nest s.sid))
     c.Compiler.prog;
   let on_stmt_mirrored (s : Ast.stmt) (m_ref : Memory.t) =
+    (* statement boundary: checkpointing and processor-level faults *)
+    Recover.stmt_boundary st.runtime;
     List.iter
       (fun v ->
         let x = Memory.get_scalar m_ref v in
-        Array.iter (fun mp -> Memory.set_scalar mp v x) st.procs)
+        Array.iteri
+          (fun p _ ->
+            Recover.write st.runtime p (Msg.Scalar { var = v; value = x }))
+          st.procs)
       (Hashtbl.find indices_of s.sid);
     on_stmt s m_ref
   in
@@ -280,6 +300,9 @@ let run ?(init : (Memory.t -> unit) option) (c : Compiler.compiled) : t =
   in
   st.reference <- Seq_interp.run ~config ?init c.Compiler.prog;
   st
+
+(** The message runtime's fault-campaign report for a finished run. *)
+let fault_report (st : t) : Recover.report = Recover.report st.runtime
 
 (** A divergence between a processor's owned copy and the reference. *)
 type mismatch = {

@@ -16,11 +16,26 @@ type t = {
   mutable reference : Memory.t;  (** the sequential reference memory *)
   procs : Memory.t array;  (** one shadow memory per processor *)
   mutable transfers : int;  (** elements copied between processors *)
+  runtime : Recover.t;
+      (** message runtime: reliable delivery, fault recovery *)
 }
 
 (** Execute the compiled program in SPMD fashion.  [init] seeds the
-    reference and every processor memory identically. *)
-val run : ?init:(Memory.t -> unit) -> Compiler.compiled -> t
+    reference and every processor memory identically.  Inter-processor
+    copies travel as sequence-numbered, checksummed packets through the
+    {!Msg} layer; [faults] injects a deterministic fault campaign that
+    {!Recover} detects and repairs (raising {!Recover.Unrecoverable}
+    when its retry budget dies).  Without [faults] the run is
+    observationally identical to the pre-message-layer interpreter. *)
+val run :
+  ?init:(Memory.t -> unit) ->
+  ?faults:Fault.t ->
+  ?recover_config:Recover.config ->
+  Compiler.compiled ->
+  t
+
+(** The message runtime's fault-campaign report for a finished run. *)
+val fault_report : t -> Recover.report
 
 (** A divergence between a processor's owned copy and the reference. *)
 type mismatch = {

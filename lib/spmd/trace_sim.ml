@@ -24,7 +24,7 @@ open Phpf_core
 
 type result = {
   nprocs : int;
-  time : float;  (** compute_max + comm_time *)
+  time : float;  (** compute_max + comm_time + recovery_time *)
   compute_max : float;
   compute_total : float;
   comm_time : float;
@@ -35,13 +35,19 @@ type result = {
       (** per-processor memory footprint (elements), max over
           processors — exposes the cost of expansion-style
           transformations *)
+  recovery_time : float;
+      (** fault-tolerance overhead from an SPMD fault campaign
+          (checkpoints, detection timeouts, retransmits, restores);
+          zero when the run was not injured *)
 }
 
 let pp_result ppf (r : result) =
   Fmt.pf ppf
     "P=%d time=%.4fs (compute max %.4fs, total %.4fs; comm %.4fs in %d msgs, %d elems; mem %d elems/proc)"
     r.nprocs r.time r.compute_max r.compute_total r.comm_time
-    r.comm_messages r.comm_elems r.mem_elems_max
+    r.comm_messages r.comm_elems r.mem_elems_max;
+  if r.recovery_time > 0.0 then
+    Fmt.pf ppf " + recovery %.4fs" r.recovery_time
 
 (* Per-statement prefix-change counters: counts.(lv) = number of distinct
    iteration prefixes of length lv seen at this statement. *)
@@ -52,7 +58,8 @@ type stmt_stats = {
 }
 
 let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats.t option)
-    (c : Compiler.compiled) : result * Memory.t =
+    ?(recovery : Recover.report option) (c : Compiler.compiled) :
+    result * Memory.t =
   let d = c.Compiler.decisions in
   let prog = c.Compiler.prog in
   let nest = d.Decisions.nest in
@@ -200,10 +207,15 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
           comm_elems := !comm_elems + (instances * elems))
     c.Compiler.comms;
   let compute_max = Array.fold_left Float.max 0.0 clocks in
+  let recovery_time =
+    match recovery with
+    | Some rep -> rep.Recover.recovery_time
+    | None -> 0.0
+  in
   let r =
     {
       nprocs;
-      time = compute_max +. !comm_time;
+      time = compute_max +. !comm_time +. recovery_time;
       compute_max;
       compute_total = !compute_total;
       comm_time = !comm_time;
@@ -211,6 +223,7 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
       comm_elems = !comm_elems;
       stmt_instances = !total_instances;
       mem_elems_max = Hpf_mapping.Layout.max_local_elems env;
+      recovery_time;
     }
   in
   (* hook the measured trace into the driver's instrumentation channel *)
@@ -224,5 +237,19 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
       Stats.set st "sim.comm-elems" r.comm_elems;
       Stats.set st "sim.mem-elems-max" r.mem_elems_max;
       Stats.set st "sim.time-us" (int_of_float (1e6 *. r.time));
-      Stats.set st "sim.comm-time-us" (int_of_float (1e6 *. r.comm_time)));
+      Stats.set st "sim.comm-time-us" (int_of_float (1e6 *. r.comm_time));
+      match recovery with
+      | None -> ()
+      | Some rep ->
+          Stats.set st "sim.faults-injected" rep.Recover.total_injected;
+          List.iter
+            (fun (k, n) ->
+              Stats.set st ("sim.faults-" ^ Fault.kind_to_string k) n)
+            rep.Recover.injected;
+          Stats.set st "sim.faults-detected" rep.Recover.detected;
+          Stats.set st "sim.retries" rep.Recover.retries;
+          Stats.set st "sim.checkpoints" rep.Recover.checkpoints;
+          Stats.set st "sim.restores" rep.Recover.restores;
+          Stats.set st "sim.recovery-time-us"
+            (int_of_float (1e6 *. r.recovery_time)));
   (r, mem)

@@ -12,7 +12,7 @@ open Phpf_core
 
 type result = {
   nprocs : int;
-  time : float;  (** compute_max + comm_time *)
+  time : float;  (** compute_max + comm_time + recovery_time *)
   compute_max : float;  (** busiest processor's arithmetic time *)
   compute_total : float;  (** summed over processors *)
   comm_time : float;
@@ -22,6 +22,9 @@ type result = {
   mem_elems_max : int;
       (** per-processor memory footprint in elements (max over
           processors) *)
+  recovery_time : float;
+      (** fault-tolerance overhead of an SPMD fault campaign; zero when
+          no [recovery] report was supplied *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -32,11 +35,16 @@ val pp_result : Format.formatter -> result -> unit
     ([sim.stmt-instances], [sim.comm-messages], [sim.comm-elems],
     [sim.mem-elems-max], [sim.time-us], ...) are recorded into it, so
     the CLI and custom drivers report simulation and compilation
-    statistics through one channel.  Returns the timing result and the
+    statistics through one channel.  [recovery] prices a fault campaign
+    from a {!Spmd_interp} run under injection: its recovery time is
+    added to the reported time and its counters are recorded as
+    [sim.faults-*], [sim.retries], [sim.checkpoints], [sim.restores]
+    and [sim.recovery-time-us].  Returns the timing result and the
     final (reference) memory. *)
 val run :
   ?model:Hpf_comm.Cost_model.t ->
   ?init:(Memory.t -> unit) ->
   ?stats:Phpf_driver.Stats.t ->
+  ?recovery:Recover.report ->
   Compiler.compiled ->
   result * Memory.t

@@ -1,0 +1,59 @@
+The timing simulator without fault injection — the baseline the chaos
+runs are compared against:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk
+  P=4 time=0.0003s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 100 msgs, 100 elems; mem 304 elems/proc)
+
+A recoverable fault campaign: the run is injured, the supervisor
+detects and repairs the damage, validation stays clean, and the
+recovery cost is priced into the reported time:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults all:0.1 --fault-seed 1 --report-faults
+  P=4 time=0.0276s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 100 msgs, 100 elems; mem 304 elems/proc) + recovery 0.0273s
+  fault campaign: 26 injected (drop 2, dup 2, reorder 1, stall 12, crash 9), 27 detected
+    detection: 24 timeouts, 0 checksum failures, 3 stale discards
+    recovery: 15 retransmits, 18 checkpoints, 9 restores, 12 stalls ridden out, 9 crashes
+    messages: 12 sent, 9 delivered; recovery time 0.027340 s
+
+The recovery counters flow through the driver's instrumentation channel:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --faults drop:0.3 --fault-seed 1 --stats | grep -E 'sim\.(retries|checkpoints|faults-injected|recovery)'
+    sim.checkpoints                 1
+    sim.faults-injected           118
+    sim.recovery-time-us        69897
+    sim.retries                   118
+
+A link that loses every packet exhausts the retransmit budget; the run
+terminates with a structured diagnostic naming the fault (exit 3), not
+a wrong answer:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults drop:1.0
+  error[E0703]: unrecoverable communication fault: message #0 0->1 c(25)=1.839080810546875 lost to injected drop fault after 8 retransmit attempts
+  [3]
+
+A malformed fault spec is a usage error (exit 1):
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults bogus
+  error[E0702]: invalid fault spec: unknown fault kind "bogus" (expected drop, dup, reorder, corrupt, delay, stall, crash or all)
+  [1]
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults drop:1.5
+  error[E0702]: invalid fault spec: rate 1.5 out of range [0, 1] for drop
+  [1]
+
+Runtime errors from the interpreter surface as located diagnostics
+(exit 3) instead of an OCaml exception:
+
+  $ cat > oob.hpfk <<'EOF'
+  > program oob
+  > real a(10)
+  > !hpf$ processors p(2)
+  > !hpf$ distribute a(block) onto p
+  > do i = 1, 20
+  >   a(i) = 1.0
+  > end do
+  > end program
+  > EOF
+  $ ../../bin/phpfc.exe validate oob.hpfk
+  oob.hpfk:6:3: error[E0701]: subscript 11 out of bounds 1:10
+  [3]

@@ -1,0 +1,179 @@
+(* Chaos differential suite for the fault-injecting message runtime.
+
+   Every (benchmark, fault kind, seed) campaign must end in exactly one
+   of two ways: the supervisor recovers and the SPMD execution still
+   matches the sequential reference bit-for-bit, or the run terminates
+   with a structured Recover.Unrecoverable diagnostic naming the
+   injected fault.  A run that "succeeds" with diverged memories —
+   silent divergence — is an automatic failure: that is the one outcome
+   a fault-tolerant runtime must never produce. *)
+
+open Phpf_core
+open Hpf_spmd
+open Hpf_benchmarks
+
+let fail = Alcotest.fail
+let check = Alcotest.check
+
+let benchmarks =
+  [
+    ("fig1", fun () -> Fig_examples.fig1 ~n:40 ~p:4 ());
+    ("fig2", fun () -> Fig_examples.fig2 ~n:16 ~np:4 ());
+    ("fig7", fun () -> Fig_examples.fig7 ~n:24 ~p:4 ());
+    ("tomcatv", fun () -> Tomcatv.program ~n:10 ~niter:2 ~p:4);
+  ]
+
+let seeds = [ 1; 2; 3 ]
+
+(* every kind, each injected on its own so a failure names the culprit *)
+let kinds = Fault.all_kinds
+
+let run_campaign prog ~kind ~seed =
+  let c = Compiler.compile_exn prog in
+  let spec = [ (kind, 0.2) ] in
+  let faults = Fault.make ~seed spec in
+  match Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults c with
+  | exception Recover.Unrecoverable ds ->
+      if ds = [] then fail "Unrecoverable carried no diagnostics";
+      `Failed_structured
+  | st -> (
+      match Spmd_interp.validate st with
+      | [] -> `Recovered (Spmd_interp.fault_report st)
+      | m :: _ ->
+          fail
+            (Fmt.str "silent divergence under %a (seed %d): %a" Fault.pp_kind
+               kind seed Spmd_interp.pp_mismatch m))
+
+let test_no_silent_divergence () =
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun seed ->
+              (* run_campaign fails the test itself on divergence; name
+                 the campaign here so the culprit is identifiable *)
+              Logs.debug (fun m ->
+                  m "chaos: %s / %s / seed %d" name (Fault.kind_to_string kind)
+                    seed);
+              match run_campaign (mk ()) ~kind ~seed with
+              | `Failed_structured | `Recovered _ -> ())
+            seeds)
+        kinds)
+    benchmarks
+
+(* Recovered campaigns that actually injected something must show their
+   scars: the supervisor either detected faults or paid recovery time. *)
+let test_recovery_visible () =
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun seed ->
+              match run_campaign (mk ()) ~kind ~seed with
+              | `Failed_structured -> ()
+              | `Recovered (r : Recover.report) ->
+                  if
+                    r.Recover.total_injected > 0 && r.Recover.detected = 0
+                    && r.Recover.recovery_time = 0.0
+                  then
+                    fail
+                      (Fmt.str
+                         "%s / %a / seed %d: %d faults injected but \
+                          nothing detected and no recovery cost"
+                         name Fault.pp_kind kind seed
+                         r.Recover.total_injected))
+            seeds)
+        kinds)
+    benchmarks
+
+(* A lossy-link campaign over a communicating benchmark must exercise
+   the retransmit and checkpoint machinery, not just survive. *)
+let test_retries_and_checkpoints () =
+  let prog = Fig_examples.fig2 ~n:16 ~np:4 () in
+  let c = Compiler.compile_exn prog in
+  let faults = Fault.make ~seed:1 [ (Fault.Drop, 0.3) ] in
+  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults c in
+  check (Alcotest.list Alcotest.reject) "validates clean" []
+    (Spmd_interp.validate st);
+  let r = Spmd_interp.fault_report st in
+  if r.Recover.retries = 0 then fail "drop:0.3 caused no retransmits";
+  if r.Recover.checkpoints = 0 then
+    fail "active schedule took no checkpoints";
+  if r.Recover.recovery_time <= 0.0 then fail "recovery cost not charged"
+
+(* A crash campaign restores from checkpoint + WAL replay. *)
+let test_crash_restores () =
+  let prog = Fig_examples.fig1 ~n:40 ~p:4 () in
+  let c = Compiler.compile_exn prog in
+  let faults = Fault.make ~seed:2 [ (Fault.Crash, 0.1) ] in
+  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults c in
+  check (Alcotest.list Alcotest.reject) "validates clean" []
+    (Spmd_interp.validate st);
+  let r = Spmd_interp.fault_report st in
+  if r.Recover.crashes = 0 then fail "crash:0.1 never crashed a processor";
+  check Alcotest.int "every crash restored" r.Recover.crashes
+    r.Recover.restores
+
+(* Without a fault schedule the runtime must be invisible: no recovery
+   counters, no recovery cost, and the same transfer count as always. *)
+let test_inert_without_faults () =
+  let prog = Fig_examples.fig1 ~n:40 ~p:4 () in
+  let c = Compiler.compile_exn prog in
+  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+  check (Alcotest.list Alcotest.reject) "validates clean" []
+    (Spmd_interp.validate st);
+  let r = Spmd_interp.fault_report st in
+  check Alcotest.int "nothing injected" 0 r.Recover.total_injected;
+  check Alcotest.int "nothing detected" 0 r.Recover.detected;
+  check Alcotest.int "no retries" 0 r.Recover.retries;
+  check Alcotest.int "no checkpoints" 0 r.Recover.checkpoints;
+  check (Alcotest.float 0.0) "no recovery cost" 0.0 r.Recover.recovery_time;
+  check Alcotest.int "messages all delivered" r.Recover.messages_sent
+    r.Recover.messages_delivered
+
+(* Campaigns are deterministic: same (spec, seed) twice gives the same
+   report, a different seed gives a different campaign somewhere. *)
+let test_campaign_determinism () =
+  let prog = Fig_examples.fig2 ~n:16 ~np:4 () in
+  let run seed =
+    let c = Compiler.compile_exn prog in
+    let faults = Fault.make ~seed [ (Fault.Drop, 0.2); (Fault.Corrupt, 0.2) ] in
+    let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults c in
+    (Spmd_interp.validate st, Spmd_interp.fault_report st)
+  in
+  let v1, r1 = run 5 and v2, r2 = run 5 in
+  check (Alcotest.list Alcotest.reject) "first run validates" [] v1;
+  check (Alcotest.list Alcotest.reject) "second run validates" [] v2;
+  check Alcotest.int "same injections" r1.Recover.total_injected
+    r2.Recover.total_injected;
+  check Alcotest.int "same retries" r1.Recover.retries r2.Recover.retries;
+  check (Alcotest.float 0.0) "same recovery time" r1.Recover.recovery_time
+    r2.Recover.recovery_time
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "no silent divergence (all kinds x seeds)"
+            `Quick test_no_silent_divergence;
+          Alcotest.test_case "recovery leaves visible scars" `Quick
+            test_recovery_visible;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "lossy link retransmits and checkpoints"
+            `Quick test_retries_and_checkpoints;
+          Alcotest.test_case "crashes restore from checkpoint + WAL" `Quick
+            test_crash_restores;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "inert without faults" `Quick
+            test_inert_without_faults;
+          Alcotest.test_case "campaign determinism" `Quick
+            test_campaign_determinism;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+(* Determinism of the seeded memory initialization ({!Init.seed}): the
+   whole runtime — validation, timing simulation, fault campaigns —
+   assumes a (program, seed) pair names one exact memory image.  Same
+   seed must give bit-identical memories, different seeds must differ,
+   and values must land in the documented ranges (reals in (0, 2),
+   integers in [1, 8]). *)
+
+open Hpf_lang
+open Hpf_spmd
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* one array of each element type, plus scalars that must stay zero *)
+let prog =
+  Parser.parse_string ~file:"init-test"
+    {|program seeds
+real a(12,5)
+integer k(33)
+logical f(7)
+real x
+integer i
+x = 0.0
+end program
+|}
+
+let arrays = [ "a"; "k"; "f" ]
+
+let fill ~seed =
+  let m = Memory.create prog in
+  Init.seed ~seed prog m;
+  m
+
+let elems m name =
+  let out = ref [] in
+  Memory.iter_elems m name (fun idx v -> out := (idx, v) :: !out);
+  List.rev !out
+
+let test_same_seed () =
+  let m1 = fill ~seed:7 and m2 = fill ~seed:7 in
+  List.iter
+    (fun a ->
+      List.iter2
+        (fun (i1, v1) (i2, v2) ->
+          check (Alcotest.list Alcotest.int) "same index walk" i1 i2;
+          if not (Value.equal v1 v2) then
+            fail
+              (Fmt.str "seed 7 disagrees with itself at %s(%a): %a vs %a" a
+                 Fmt.(list ~sep:(any ",") int)
+                 i1 Value.pp v1 Value.pp v2))
+        (elems m1 a) (elems m2 a))
+    arrays
+
+let test_different_seeds () =
+  let m1 = fill ~seed:7 and m2 = fill ~seed:8 in
+  let differs =
+    List.exists
+      (fun a ->
+        List.exists2
+          (fun (_, v1) (_, v2) -> not (Value.equal v1 v2))
+          (elems m1 a) (elems m2 a))
+      arrays
+  in
+  if not differs then fail "seeds 7 and 8 produced identical memories"
+
+let test_ranges () =
+  let m = fill ~seed:42 in
+  Memory.iter_elems m "a" (fun idx v ->
+      let f = Value.to_float v in
+      if not (f > 0.0 && f < 2.0) then
+        fail
+          (Fmt.str "a(%a) = %g outside (0, 2)"
+             Fmt.(list ~sep:(any ",") int)
+             idx f));
+  Memory.iter_elems m "k" (fun idx v ->
+      let n = Value.to_int v in
+      if n < 1 || n > 8 then
+        fail
+          (Fmt.str "k(%a) = %d outside [1, 8]"
+             Fmt.(list ~sep:(any ",") int)
+             idx n))
+
+let test_scalars_zeroed () =
+  let m = fill ~seed:42 in
+  check (Alcotest.float 0.0) "x stays zero" 0.0
+    (Value.to_float (Memory.get_scalar m "x"));
+  check Alcotest.int "i stays zero" 0 (Value.to_int (Memory.get_scalar m "i"))
+
+let () =
+  Alcotest.run "init"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, identical memories" `Quick
+            test_same_seed;
+          Alcotest.test_case "different seeds differ" `Quick
+            test_different_seeds;
+        ] );
+      ( "ranges",
+        [
+          Alcotest.test_case "reals in (0,2), ints in [1,8]" `Quick
+            test_ranges;
+          Alcotest.test_case "scalars keep zero init" `Quick
+            test_scalars_zeroed;
+        ] );
+    ]
