@@ -6,6 +6,8 @@
      bench/main.exe table1|table2|table3 [--full]
      bench/main.exe micro            -- bechamel compiler-pass benches
      bench/main.exe ablation         -- design-choice ablations
+     bench/main.exe --json [--out=F] -- machine-readable benchmark run
+                                        (writes BENCH_phpf.json)
 *)
 
 open Hpf_benchmarks
@@ -83,8 +85,99 @@ let run_table3 args =
   | _ -> ());
   Fmt.pr "@."
 
+(* --json: one SPMD + trace-sim run per benchmark, both aggregation
+   modes, emitted as BENCH_phpf.json for the CI `bench` job.  Validation
+   failures are hard errors — a benchmark that no longer matches the
+   sequential reference must not publish numbers. *)
+
+let json_benchmarks =
+  [
+    ("fig1", fun () -> Fig_examples.fig1 ~n:64 ~p:8 ());
+    ("fig2", fun () -> Fig_examples.fig2 ~n:32 ~np:8 ());
+    ("fig7", fun () -> Fig_examples.fig7 ~n:48 ~p:8 ());
+    ("tomcatv", fun () -> Tomcatv.program ~n:66 ~niter:1 ~p:8);
+  ]
+
+let out_of_args ~default args =
+  List.fold_left
+    (fun acc a ->
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "--out" ->
+          String.sub a (i + 1) (String.length a - i - 1)
+      | _ -> acc)
+    default args
+
+let run_json args =
+  let open Phpf_core in
+  let open Hpf_spmd in
+  let path = out_of_args ~default:"BENCH_phpf.json" args in
+  let entries =
+    List.map
+      (fun (name, mk) ->
+        let wall0 = Unix.gettimeofday () in
+        let c = Compiler.compile_exn (mk ()) in
+        let measure aggregate =
+          let st =
+            Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~aggregate c
+          in
+          (match Spmd_interp.validate st with
+          | [] -> ()
+          | m :: _ ->
+              Fmt.epr "bench %s (aggregate=%b): %a@." name aggregate
+                Spmd_interp.pp_mismatch m;
+              exit 1);
+          Spmd_interp.comm_stats st
+        in
+        let agg = measure true in
+        let one = measure false in
+        let r, _ =
+          Trace_sim.run ~init:(Init.init c.Compiler.prog) ~comm_stats:agg c
+        in
+        let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
+        (name, r, agg, one, wall_ms))
+      json_benchmarks
+  in
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\n";
+  pf "  \"schema\": \"phpf-bench/1\",\n";
+  pf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, (r : Trace_sim.result), (agg : Msg.stats),
+            (one : Msg.stats), wall_ms) ->
+      let ratio =
+        if agg.Msg.packets = 0 then 1.0
+        else float_of_int one.Msg.packets /. float_of_int agg.Msg.packets
+      in
+      pf "    {\n";
+      pf "      \"name\": %S,\n" name;
+      pf "      \"nprocs\": %d,\n" r.Trace_sim.nprocs;
+      pf "      \"simulated_time\": %.6f,\n" r.Trace_sim.time;
+      pf "      \"compute_max\": %.6f,\n" r.Trace_sim.compute_max;
+      pf "      \"comm_time\": %.6f,\n" r.Trace_sim.comm_time;
+      pf "      \"comm_messages\": %d,\n" r.Trace_sim.comm_messages;
+      pf "      \"elems\": %d,\n" agg.Msg.elems;
+      pf "      \"packets\": %d,\n" agg.Msg.packets;
+      pf "      \"blocks\": %d,\n" agg.Msg.blocks;
+      pf "      \"bytes\": %d,\n" agg.Msg.bytes;
+      pf "      \"packets_no_aggregate\": %d,\n" one.Msg.packets;
+      pf "      \"bytes_no_aggregate\": %d,\n" one.Msg.bytes;
+      pf "      \"packet_reduction\": %.2f,\n" ratio;
+      pf "      \"wall_ms\": %.2f\n" wall_ms;
+      pf "    }%s\n" (if i = List.length entries - 1 then "" else ",")
+    )
+    entries;
+  pf "  ]\n";
+  pf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s (%d benchmarks)@." path (List.length entries)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--json" args then run_json args
+  else
   let which =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
@@ -100,5 +193,5 @@ let () =
   | [ "ablation" ] -> Ablation.run ()
   | _ ->
       prerr_endline
-        "usage: main.exe [table1|table2|table3|micro|ablation] [--full|--medium] [--procs=1,4,16]";
+        "usage: main.exe [table1|table2|table3|micro|ablation] [--full|--medium] [--procs=1,4,16] [--json [--out=FILE]]";
       exit 2

@@ -176,6 +176,26 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:"Print the statistics counters recorded by each pass.")
 
+let no_aggregate_arg =
+  Arg.(
+    value & flag
+    & info [ "no-aggregate" ]
+        ~doc:
+          "Ship every element of a vectorized communication as its own \
+           packet instead of one block per (src, dst) pair — the \
+           per-element escape hatch for A/B comparisons against the \
+           aggregated runtime.")
+
+let report_comm_arg =
+  Arg.(
+    value & flag
+    & info [ "report-comm" ]
+        ~doc:
+          "Run the SPMD message runtime and report its measured network \
+           traffic (packets, blocks, elements, wire bytes); the measured \
+           counters also replace the schedule estimates behind \
+           sim.packets/sim.bytes.")
+
 let dump_after_arg =
   Arg.(
     value
@@ -307,7 +327,8 @@ let lint_cmd =
       $ time_passes_arg $ stats_arg $ verbose_arg)
 
 let simulate_cmd =
-  let run file procs options stats faults fault_seed report_faults verbose =
+  let run file procs options stats faults fault_seed report_faults report_comm
+      no_aggregate verbose =
     setup_logs verbose;
     match
       match faults with
@@ -325,40 +346,60 @@ let simulate_cmd =
           if stats then Some (Phpf_driver.Stats.create ()) else None
         in
         let init = Init.init c.Compiler.prog in
-        (* under fault injection, the SPMD interpreter runs the campaign
-           first: either it recovers (validation clean, recovery priced
-           into the simulation) or the run terminates with a structured
-           failure — silent divergence is itself a failure *)
-        let fault_run =
-          if not (Fault.active schedule) then `Clean
+        let aggregate = not no_aggregate in
+        (* under fault injection (and for --report-comm's measured
+           traffic), the SPMD interpreter runs first: either it recovers
+           (validation clean, recovery priced into the simulation) or
+           the run terminates with a structured failure — silent
+           divergence is itself a failure *)
+        let spmd_run =
+          if (not (Fault.active schedule)) && not report_comm then `Skipped
           else begin
-            let st = Spmd_interp.run ~init ~faults:schedule c in
+            let st = Spmd_interp.run ~init ~faults:schedule ~aggregate c in
             match Spmd_interp.validate st with
-            | [] -> `Recovered (Spmd_interp.fault_report st)
+            | [] -> `Ran st
             | ms -> `Diverged ms
           end
         in
-        match fault_run with
+        match spmd_run with
         | `Diverged ms ->
             List.iter
               (fun m -> Fmt.epr "MISMATCH %a@." Spmd_interp.pp_mismatch m)
               ms;
             render_diags
               [
-                Diag.errorf ~code:"E0703"
-                  "silent divergence under fault injection: %d owned \
-                   element(s) differ from the sequential reference"
-                  (List.length ms);
+                (if Fault.active schedule then
+                   Diag.errorf ~code:"E0703"
+                     "silent divergence under fault injection: %d owned \
+                      element(s) differ from the sequential reference"
+                     (List.length ms)
+                 else
+                   Diag.errorf ~code:"E0703"
+                     "SPMD execution diverges from the sequential \
+                      reference: %d owned element(s) differ"
+                     (List.length ms));
               ];
             exit_mismatch
-        | (`Clean | `Recovered _) as ok ->
+        | (`Skipped | `Ran _) as ok ->
             let recovery =
-              match ok with `Recovered rep -> Some rep | `Clean -> None
+              match ok with
+              | `Ran st when Fault.active schedule ->
+                  Some (Spmd_interp.fault_report st)
+              | _ -> None
+            in
+            let comm_stats =
+              match ok with
+              | `Ran st -> Some (Spmd_interp.comm_stats st)
+              | `Skipped -> None
             in
             let result, _mem =
-              Trace_sim.run ?stats:sim_stats ?recovery ~init c
+              Trace_sim.run ?stats:sim_stats ?recovery ?comm_stats ~init c
             in
             Fmt.pr "%a@." Trace_sim.pp_result result;
+            (match comm_stats with
+            | Some ms when report_comm ->
+                Fmt.pr "comm: %a@." Msg.pp_stats ms
+            | _ -> ());
             (match recovery with
             | Some rep when report_faults ->
                 Fmt.pr "%a@?" Recover.pp_report rep
@@ -404,14 +445,19 @@ let simulate_cmd =
           optionally under fault injection.")
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ stats_arg $ faults_arg
-      $ fault_seed_arg $ report_faults_arg $ verbose_arg)
+      $ fault_seed_arg $ report_faults_arg $ report_comm_arg
+      $ no_aggregate_arg $ verbose_arg)
 
 let validate_cmd =
-  let run file procs options verbose =
+  let run file procs options no_aggregate verbose =
     setup_logs verbose;
     guarded @@ fun () ->
     let c, _trace = compile_program ?grid_override:procs ~options file in
-    let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+    let st =
+      Spmd_interp.run
+        ~init:(Init.init c.Compiler.prog)
+        ~aggregate:(not no_aggregate) c
+    in
     match Spmd_interp.validate st with
     | [] ->
         Fmt.pr
@@ -430,7 +476,9 @@ let validate_cmd =
        ~doc:
          "Execute per-processor with explicit data movement and check \
           owned data against the sequential reference.")
-    Term.(const run $ file_arg $ procs_arg $ opt_flags $ verbose_arg)
+    Term.(
+      const run $ file_arg $ procs_arg $ opt_flags $ no_aggregate_arg
+      $ verbose_arg)
 
 let sweep_cmd =
   let run file procs_list options verbose =

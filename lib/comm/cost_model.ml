@@ -31,7 +31,14 @@ let sp2 : t =
     that the mapping choices only matter when latency is real. *)
 let zero_latency : t = { sp2 with alpha = 0.0; beta = 0.0; copy = 0.0 }
 
-let log2i p = if p <= 1 then 0 else int_of_float (ceil (log (float_of_int p) /. log 2.0))
+(* ceil(log2 p), by integer doubling: float log rounding must not add a
+   phantom tree stage at exact powers of two (log 1024 / log 2 can come
+   out 10.000000000000002, whose ceiling is 11). *)
+let log2i p =
+  let rec go stages reach =
+    if reach >= p then stages else go (stages + 1) (reach * 2)
+  in
+  if p <= 1 then 0 else go 0 1
 
 (** Time for one point-to-point message of [elems] elements. *)
 let ptp (m : t) ~(elems : int) : float =

@@ -203,6 +203,15 @@ let on_processor (t : t) ~(nprocs : int) : (int * kind) option =
 let magnitude (t : t) ~(event : int) ~(n : int) : int =
   1 + (rnd t.seed [ 0x44; event ] mod max 1 n)
 
+(* Integer image of a value for the deterministic victim pick inside a
+   block (no [Random], like everything else here). *)
+let value_bits_for_pick = function
+  | Value.I n -> [ n ]
+  | Value.R f ->
+      let b = Int64.bits_of_float f in
+      [ Int64.to_int (Int64.shift_right_logical b 32); Int64.to_int b ]
+  | Value.B b -> [ (if b then 1 else 0) ]
+
 (** Deterministically perturb a payload value.  The perturbation always
     changes the value (and therefore its checksum image). *)
 let corrupt_payload (p : Msg.payload) : Msg.payload =
@@ -215,6 +224,20 @@ let corrupt_payload (p : Msg.payload) : Msg.payload =
   match p with
   | Msg.Scalar s -> Msg.Scalar { s with value = flip s.value }
   | Msg.Elem e -> Msg.Elem { e with value = flip e.value }
+  | Msg.Block b ->
+      (* a block is corrupted as a unit: one element's bits flip, the
+         whole packet's checksum stops matching, and recovery must
+         retransmit the entire region *)
+      let pick =
+        match b.values with
+        | [] -> -1
+        | v :: _ -> Init.mix 0xB10C (value_bits_for_pick v) mod List.length b.values
+      in
+      Msg.Block
+        {
+          b with
+          values = List.mapi (fun i v -> if i = pick then flip v else v) b.values;
+        }
 
 (** Per-kind injection counts of the campaign so far, in {!all_kinds}
     order, zero-count kinds omitted. *)

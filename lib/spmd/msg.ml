@@ -13,10 +13,36 @@
     injection ({!Fault}) perturbs what gets enqueued; detection and
     retransmission live in {!Recover}. *)
 
-(** One remote write: the unit of communication between processors. *)
+(** One remote write — or, for a vectorized communication, a loop's
+    worth of them: the unit of communication between processors. *)
 type payload =
   | Scalar of { var : string; value : Value.t }
   | Elem of { base : string; index : int list; value : Value.t }
+  | Block of {
+      base : string;
+      indices : int list list;
+          (** index region, one vector per element, in write order; an
+              empty vector writes the scalar [base] *)
+      values : Value.t list;  (** value vector, same length as [indices] *)
+    }
+      (** aggregated message of a vectorized communication: one sequence
+          number, one checksum, one startup latency for the whole
+          region.  Fault injection and recovery treat it as a unit. *)
+
+(** Elements carried by a payload (what [beta] is paid for). *)
+let payload_elems = function
+  | Scalar _ | Elem _ -> 1
+  | Block { values; _ } -> List.length values
+
+(** Fixed per-packet overhead (sequence number, checksum, routing) used
+    by the byte accounting: aggregation amortizes exactly this plus the
+    startup latency. *)
+let header_bytes = 32
+
+(** On-the-wire size of a payload under [elem_bytes]-sized elements
+    (header included). *)
+let payload_bytes ~(elem_bytes : int) (p : payload) : int =
+  header_bytes + (payload_elems p * elem_bytes)
 
 let pp_payload ppf = function
   | Scalar { var; value } -> Fmt.pf ppf "%s=%a" var Value.pp value
@@ -24,6 +50,8 @@ let pp_payload ppf = function
       Fmt.pf ppf "%s(%a)=%a" base
         Fmt.(list ~sep:(any ",") int)
         index Value.pp value
+  | Block { base; values; _ } ->
+      Fmt.pf ppf "%s[block of %d]" base (List.length values)
 
 (* Integer image of a value for checksumming.  Reals go through their
    IEEE bit pattern so any perturbation — however small — changes the
@@ -43,6 +71,15 @@ let checksum (p : payload) : int =
       Init.mix 0x5EED (Init.hash_name var :: value_bits value)
   | Elem { base; index; value } ->
       Init.mix 0x5EED ((Init.hash_name base :: index) @ value_bits value)
+  | Block { base; indices; values } ->
+      (* every index vector and every value feeds the image, so damaging
+         any one element of the block changes the checksum *)
+      let body =
+        List.concat_map
+          (fun (idx, v) -> (List.length idx :: idx) @ value_bits v)
+          (List.combine indices values)
+      in
+      Init.mix 0x5EED ((Init.hash_name base :: List.length values :: body))
 
 type packet = {
   seq : int;  (** per-(src,dst) sequence number, starting at 0 *)
@@ -62,7 +99,14 @@ type t = {
   expected : int array;  (** next sequence number the receiver accepts *)
   mutable sent : int;  (** packets enqueued (duplicates included) *)
   mutable delivered : int;  (** packets accepted by a receiver *)
+  mutable sent_blocks : int;  (** of [sent], how many carried a [Block] *)
+  mutable sent_elems : int;  (** elements across all enqueued packets *)
+  mutable sent_bytes : int;  (** wire bytes across all enqueued packets *)
 }
+
+(** Bytes per element on the wire (REAL*8, matching
+    {!Hpf_comm.Cost_model.sp2}). *)
+let elem_bytes = 8
 
 let create ~(nprocs : int) : t =
   let pairs = nprocs * nprocs in
@@ -73,7 +117,30 @@ let create ~(nprocs : int) : t =
     expected = Array.make pairs 0;
     sent = 0;
     delivered = 0;
+    sent_blocks = 0;
+    sent_elems = 0;
+    sent_bytes = 0;
   }
+
+(** Traffic accounting of a finished (or running) network. *)
+type stats = {
+  packets : int;  (** packets enqueued (retransmits and dups included) *)
+  blocks : int;  (** of [packets], how many were aggregated blocks *)
+  elems : int;  (** elements carried across all packets *)
+  bytes : int;  (** wire bytes (headers included) *)
+}
+
+let stats (t : t) : stats =
+  {
+    packets = t.sent;
+    blocks = t.sent_blocks;
+    elems = t.sent_elems;
+    bytes = t.sent_bytes;
+  }
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "%d packets (%d blocks, %d singles), %d elems, %d bytes"
+    s.packets s.blocks (s.packets - s.blocks) s.elems s.bytes
 
 let pair (t : t) ~(src : int) ~(dst : int) = (src * t.nprocs) + dst
 
@@ -101,6 +168,9 @@ let make (t : t) ~src ~dst (payload : payload) : packet =
 
 let enqueue (t : t) (p : packet) =
   t.sent <- t.sent + 1;
+  (match p.payload with Block _ -> t.sent_blocks <- t.sent_blocks + 1 | _ -> ());
+  t.sent_elems <- t.sent_elems + payload_elems p.payload;
+  t.sent_bytes <- t.sent_bytes + payload_bytes ~elem_bytes p.payload;
   Queue.push p t.queues.(pair t ~src:p.src ~dst:p.dst)
 
 let dequeue (t : t) ~src ~dst : packet option =

@@ -137,6 +137,15 @@ let apply_payload (m : Memory.t) (p : Msg.payload) : unit =
   match p with
   | Msg.Scalar { var; value } -> Memory.set_scalar m var value
   | Msg.Elem { base; index; value } -> Memory.set_elem m base index value
+  | Msg.Block { base; indices; values } ->
+      (* a delivered block lands atomically, in send order (an empty
+         index vector writes the scalar [base]) *)
+      List.iter2
+        (fun index value ->
+          match index with
+          | [] -> Memory.set_scalar m base value
+          | _ -> Memory.set_elem m base index value)
+        indices values
 
 (** Write to processor [pid]'s shadow memory, recording the write in its
     WAL (when faults are active) so a crash can replay it. *)
@@ -208,10 +217,13 @@ let transmit (t : t) ~(src : int) ~(dst : int) (payload : Msg.payload) :
     if n > t.config.max_retries then unrecoverable t packet last_fault;
     if n > 0 then begin
       (* the receiver asked again after its backoff; the retransmit pays
-         one point-to-point message *)
+         one point-to-point message of the payload's full size — a lost
+         block is retransmitted as a unit, so recovering it costs its
+         whole [elems x beta], not a single element's *)
       t.retries <- t.retries + 1;
       t.recovery_time <-
-        t.recovery_time +. Cost_model.ptp t.config.model ~elems:1
+        t.recovery_time
+        +. Cost_model.ptp t.config.model ~elems:(Msg.payload_elems payload)
     end;
     let op = t.msg_ops in
     t.msg_ops <- t.msg_ops + 1;
@@ -260,7 +272,8 @@ let transmit (t : t) ~(src : int) ~(dst : int) (payload : Msg.payload) :
             t.retries <- t.retries + 1;
             t.recovery_time <-
               t.recovery_time +. timeout_after t n
-              +. Cost_model.ptp t.config.model ~elems:1
+              +. Cost_model.ptp t.config.model
+                   ~elems:(Msg.payload_elems payload)
         | Some d -> t.recovery_time <- t.recovery_time +. d
         | None -> ())
     | `Corrupt ->
@@ -300,10 +313,13 @@ let crash (t : t) (pid : int) =
   List.iter (apply_payload m) log;
   t.procs.(pid) <- m;
   t.restores <- t.restores + 1;
+  let log_elems =
+    List.fold_left (fun acc p -> acc + Msg.payload_elems p) 0 log
+  in
   t.recovery_time <-
     t.recovery_time +. t.config.base_timeout
     +. (t.config.model.Cost_model.copy
-       *. float_of_int (t.elems_per_proc + List.length log))
+       *. float_of_int (t.elems_per_proc + log_elems))
 
 let stall (t : t) (_pid : int) =
   t.stalls <- t.stalls + 1;
@@ -350,6 +366,10 @@ type report = {
   messages_delivered : int;
   recovery_time : float;
 }
+
+(** Traffic accounting of the supervised network (packets, blocks,
+    elements, wire bytes — retransmits included). *)
+let net_stats (t : t) : Msg.stats = Msg.stats t.net
 
 let report (t : t) : report =
   {

@@ -70,5 +70,9 @@ type report = {
       (** simulated fault-tolerance overhead, seconds *)
 }
 
+(** Traffic accounting of the supervised network (packets, blocks,
+    elements, wire bytes — retransmits included). *)
+val net_stats : t -> Msg.stats
+
 val report : t -> report
 val pp_report : Format.formatter -> report -> unit

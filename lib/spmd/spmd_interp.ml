@@ -25,6 +25,8 @@ type t = {
   mutable transfers : int;  (** elements copied between processors *)
   runtime : Recover.t;
       (** message runtime: reliable delivery, fault recovery *)
+  aggregate : bool;
+      (** batch vectorized communications into {!Msg.Block} packets *)
 }
 
 (* Communications indexed by the statement they serve. *)
@@ -39,6 +41,78 @@ let comms_by_sid (c : Compiler.compiled) :
     c.Compiler.comms;
   h
 
+(* --- per-(src, dst) element buffers ------------------------------- *)
+
+(* Ordered accumulation of element transfers, flushed as one
+   {!Msg.Block} per pair: one sequence number, one checksum, one
+   startup latency for a loop's worth of elements. *)
+type buffers = {
+  tbl : (int * int, (int list * Value.t) list ref) Hashtbl.t;
+  mutable order : (int * int) list;  (** first-touch order, reversed *)
+}
+
+let buffers_create () : buffers = { tbl = Hashtbl.create 16; order = [] }
+
+let buffers_add (b : buffers) ~src ~dst entry =
+  let key = (src, dst) in
+  match Hashtbl.find_opt b.tbl key with
+  | Some l -> l := entry :: !l
+  | None ->
+      Hashtbl.replace b.tbl key (ref [ entry ]);
+      b.order <- key :: b.order
+
+(* Flush every pair's buffer as a single packet.  A one-element buffer
+   keeps the single-element packet format so degenerate regions look
+   exactly like the per-element path on the wire. *)
+let buffers_flush (st : t) ~(scalar_base : bool) ~(base : string)
+    (b : buffers) =
+  List.iter
+    (fun ((src, dst) as key) ->
+      match List.rev !(Hashtbl.find b.tbl key) with
+      | [] -> ()
+      | [ (idx, v) ] ->
+          let payload =
+            if scalar_base then Msg.Scalar { var = base; value = v }
+            else Msg.Elem { base; index = idx; value = v }
+          in
+          Recover.transmit st.runtime ~src ~dst payload
+      | entries ->
+          Recover.transmit st.runtime ~src ~dst
+            (Msg.Block
+               {
+                 base;
+                 indices = List.map fst entries;
+                 values = List.map snd entries;
+               }))
+    (List.rev b.order)
+
+(* A scalar-shaped reference with an array base stands for the whole
+   array (an unsubscripted actual): every element travels from its
+   directive owner to the destinations.  This used to fall through
+   silently, dropping the communication. *)
+let transfer_whole_array (st : t) (m_ref : Memory.t) (r : Aref.t)
+    (dests : int list) =
+  let d = st.compiled.Compiler.decisions in
+  let env = d.Decisions.env in
+  let base = r.Aref.base in
+  let bufs = buffers_create () in
+  Memory.iter_elems m_ref base (fun idx _ ->
+      match Hpf_mapping.Ownership.owner_pids env base (Array.of_list idx) with
+      | [] -> ()
+      | src :: _ ->
+          let v = Memory.get_elem st.procs.(src) base idx in
+          List.iter
+            (fun p ->
+              if p <> src then begin
+                st.transfers <- st.transfers + 1;
+                if st.aggregate then buffers_add bufs ~src ~dst:p (idx, v)
+                else
+                  Recover.transmit st.runtime ~src ~dst:p
+                    (Msg.Elem { base; index = idx; value = v })
+              end)
+            dests);
+  if st.aggregate then buffers_flush st ~scalar_base:false ~base bufs
+
 (* Move the current value of reference [r] from an owning processor's
    memory into the memories of [dests].  Addresses come from the
    reference memory; delivery goes through the message runtime
@@ -46,13 +120,15 @@ let comms_by_sid (c : Compiler.compiled) :
    faults). *)
 let transfer (st : t) (m_ref : Memory.t) (r : Aref.t) (dests : int list) =
   let d = st.compiled.Compiler.decisions in
-  let owners = Concrete.owner_pids d m_ref r in
-  match owners with
-  | [] -> ()
-  | src :: _ ->
-      let msrc = st.procs.(src) in
-      if Aref.is_scalar r then begin
-        if not (Ast.is_array d.Decisions.prog r.Aref.base) then begin
+  if Aref.is_scalar r && Ast.is_array d.Decisions.prog r.Aref.base then
+    transfer_whole_array st m_ref r dests
+  else
+    let owners = Concrete.owner_pids d m_ref r in
+    match owners with
+    | [] -> ()
+    | src :: _ ->
+        let msrc = st.procs.(src) in
+        if Aref.is_scalar r then begin
           let v = Memory.get_scalar msrc r.Aref.base in
           let payload = Msg.Scalar { var = r.Aref.base; value = v } in
           List.iter
@@ -63,28 +139,304 @@ let transfer (st : t) (m_ref : Memory.t) (r : Aref.t) (dests : int list) =
               end)
             dests
         end
-      end
-      else begin
-        let idx =
-          List.map (fun e -> Eval.int_expr m_ref e) r.Aref.subs
+        else begin
+          let idx =
+            List.map (fun e -> Eval.int_expr m_ref e) r.Aref.subs
+          in
+          let v = Memory.get_elem msrc r.Aref.base idx in
+          let payload =
+            Msg.Elem { base = r.Aref.base; index = idx; value = v }
+          in
+          List.iter
+            (fun p ->
+              if p <> src then begin
+                Recover.transmit st.runtime ~src ~dst:p payload;
+                st.transfers <- st.transfers + 1
+              end)
+            dests
+        end
+
+(* --- message aggregation (vectorized blocks) ----------------------- *)
+
+(* A communication whose placement was hoisted above the statement's
+   nesting level moves a loop's worth of elements per placement
+   instance.  The per-element path still sends one packet per element
+   per statement instance; an [agg_plan] instead enumerates the whole
+   crossed-loop region at the {e first} statement instance of each
+   placement instance and ships one {!Msg.Block} per (src, dst) pair.
+
+   Soundness: the placement level certifies that no write inside the
+   crossed loops feeds the communicated read (that is what let
+   {!Hpf_comm.Vectorize} hoist it), so the element values observed at
+   the first instance equal the values the per-element path would send
+   at every later iteration.  The predicate below additionally demands
+   that the {e set} of iterations and their owner/destination sets be
+   computable at the first instance — exactly then the block carries
+   the same elements, in the same order, as the per-element path. *)
+type agg_plan = {
+  cm : Hpf_comm.Comm.t;
+  crossed : Nest.loop_info list;
+      (** loops between placement and statement level, outermost first *)
+  prefix_vars : string list;
+      (** indices of the loops at or above the placement level: their
+          values name one placement instance *)
+  mutable last_prefix : int list option;
+      (** placement instance already shipped (block sent once per) *)
+}
+
+(* What a communication does at its statement, once per instance. *)
+type comm_action =
+  | Per_element of Hpf_comm.Comm.t  (** the conservative fallback *)
+  | Aggregated of agg_plan
+
+(* Scalar names written anywhere inside the crossed region (assigned
+   scalars, assigned array bases, loop indices).  Anything outside this
+   set keeps its first-instance value for the whole region. *)
+let written_in_region (top : Nest.loop_info) : (string, unit) Hashtbl.t =
+  let w = Hashtbl.create 16 in
+  Hashtbl.replace w top.Nest.loop.index ();
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.node with
+      | Ast.Assign (Ast.LVar x, _) -> Hashtbl.replace w x ()
+      | Ast.Assign (Ast.LArr (a, _), _) -> Hashtbl.replace w a ()
+      | Ast.Do dl -> Hashtbl.replace w dl.index ()
+      | Ast.If _ | Ast.Exit _ | Ast.Cycle _ -> ())
+    top.Nest.loop.body;
+  w
+
+(* Is the owner set of [r] an exact function of loop indices and
+   parameters?  Mirrors the recursion of {!Concrete.owner}: scalar
+   mappings chain to their alignment targets, array mappings to the
+   layout or a privatization target; every subscript met along the way
+   must be affine in the consumer's enclosing indices, so re-evaluating
+   it during region enumeration gives the per-iteration answer. *)
+let rec owner_chain_affine (d : Decisions.t) ~(indices : string list)
+    ~(depth : int) ~(as_def : bool) (r : Aref.t) : bool =
+  let prog = d.Decisions.prog in
+  let subs_affine () =
+    List.for_all
+      (fun sub -> Affine.of_subscript prog ~indices sub <> None)
+      r.Aref.subs
+  in
+  if depth > 8 then false
+  else if Aref.is_scalar r then
+    if Ast.is_array prog r.Aref.base then false
+    else if Nest.is_enclosing_index d.Decisions.nest r.Aref.sid r.Aref.base
+    then true
+    else begin
+      let mapping =
+        if as_def then
+          match Decisions.def_of_stmt d ~sid:r.Aref.sid ~var:r.Aref.base with
+          | Some def -> Decisions.scalar_mapping_of_def d def
+          | None -> Decisions.Replicated
+        else
+          Decisions.scalar_mapping_of_use d ~sid:r.Aref.sid ~var:r.Aref.base
+      in
+      match mapping with
+      | Decisions.Replicated | Decisions.Priv_no_align -> true
+      | Decisions.Priv_aligned { target; _ }
+      | Decisions.Priv_reduction { target; _ } ->
+          owner_chain_affine d ~indices ~depth:(depth + 1) ~as_def:false
+            target
+    end
+  else
+    match Decisions.array_mapping_at d ~sid:r.Aref.sid ~base:r.Aref.base with
+    | None -> subs_affine ()
+    | Some (_, Decisions.Arr_priv { target = None }) -> true
+    | Some (_, Decisions.Arr_priv { target = Some t }) ->
+        owner_chain_affine d ~indices ~depth:(depth + 1) ~as_def:false t
+    | Some (_, Decisions.Arr_partial_priv { target; _ }) ->
+        subs_affine ()
+        && owner_chain_affine d ~indices ~depth:(depth + 1) ~as_def:false
+             target
+
+(* Can the consumer's executing set be enumerated exactly?  [G_union]
+   unions over sibling statements — too entangled to certify. *)
+let guard_enumerable (d : Decisions.t) ~(indices : string list)
+    (s : Ast.stmt) : bool =
+  match Decisions.guard_of_stmt d s with
+  | Decisions.G_all -> true
+  | Decisions.G_ref r -> owner_chain_affine d ~indices ~depth:0 ~as_def:true r
+  | Decisions.G_ref_repl (r, _) ->
+      owner_chain_affine d ~indices ~depth:0 ~as_def:false r
+  | Decisions.G_union -> false
+
+(* Decide whether a vectorized communication may be shipped as blocks,
+   and build its plan.  Falls back to [None] (per-element) whenever the
+   crossed region's iteration set, owners or destinations cannot be
+   proven identical between first-instance enumeration and the actual
+   iteration-by-iteration execution. *)
+let aggregation_plan (d : Decisions.t) (cm : Hpf_comm.Comm.t) :
+    agg_plan option =
+  let prog = d.Decisions.prog and nest = d.Decisions.nest in
+  let data = cm.Hpf_comm.Comm.data in
+  let sid = data.Aref.sid in
+  if
+    (not (Hpf_comm.Comm.vectorized cm))
+    || cm.Hpf_comm.Comm.kind = Hpf_comm.Comm.Reduce
+  then None
+  else
+    match Ast.find_stmt prog sid with
+    | None -> None
+    | Some s -> (
+        let loops = Nest.enclosing_loops nest sid in
+        let placement = cm.Hpf_comm.Comm.placement_level in
+        let crossed =
+          List.filter
+            (fun (li : Nest.loop_info) -> li.Nest.level > placement)
+            loops
         in
-        let v = Memory.get_elem msrc r.Aref.base idx in
-        let payload = Msg.Elem { base = r.Aref.base; index = idx; value = v } in
+        match crossed with
+        | [] -> None
+        | top :: _ ->
+            let indices = Nest.enclosing_indices nest sid in
+            (* the consumer must sit under plain [Do]s all the way up to
+               the topmost crossed loop: an [If] in between could cut
+               iterations the enumeration would still ship *)
+            let rec chain_ok cur =
+              match Hashtbl.find_opt nest.Nest.parent cur with
+              | None -> false
+              | Some p -> (
+                  p = top.Nest.loop_sid
+                  ||
+                  match Ast.find_stmt prog p with
+                  | Some { Ast.node = Ast.Do _; _ } -> chain_ok p
+                  | _ -> false)
+            in
+            (* [Exit]/[Cycle] anywhere in the region can likewise cut
+               iterations after the fact *)
+            let no_ctrl =
+              let ok = ref true in
+              Ast.iter_stmts
+                (fun st ->
+                  match st.Ast.node with
+                  | Ast.Exit _ | Ast.Cycle _ -> ok := false
+                  | _ -> ())
+                top.Nest.loop.body;
+              !ok
+            in
+            let written = written_in_region top in
+            let stable v = not (Hashtbl.mem written v) in
+            (* crossed-loop bounds must evaluate to the same values
+               during enumeration as at the real loop headers *)
+            let bounds_ok =
+              List.for_all
+                (fun (li : Nest.loop_info) ->
+                  List.for_all
+                    (fun e ->
+                      List.for_all
+                        (fun v ->
+                          Nest.is_enclosing_index nest li.Nest.loop_sid v
+                          || stable v)
+                        (Ast.expr_vars e))
+                    [ li.Nest.loop.lo; li.Nest.loop.hi; li.Nest.loop.step ])
+                crossed
+            in
+            let data_ok =
+              if Aref.is_scalar data then
+                (* whole-array refs go through the element-wise path *)
+                (not (Ast.is_array prog data.Aref.base))
+                && stable data.Aref.base
+              else
+                List.for_all
+                  (fun sub -> Affine.of_subscript prog ~indices sub <> None)
+                  data.Aref.subs
+            in
+            let owners_ok =
+              owner_chain_affine d ~indices ~depth:0 ~as_def:false data
+            in
+            let guard_ok =
+              cm.Hpf_comm.Comm.kind = Hpf_comm.Comm.Broadcast
+              || guard_enumerable d ~indices s
+            in
+            if chain_ok sid && no_ctrl && bounds_ok && data_ok && owners_ok
+               && guard_ok
+            then
+              Some
+                {
+                  cm;
+                  crossed;
+                  prefix_vars =
+                    List.filter_map
+                      (fun (li : Nest.loop_info) ->
+                        if li.Nest.level <= placement then
+                          Some li.Nest.loop.index
+                        else None)
+                      loops;
+                  last_prefix = None;
+                }
+            else None)
+
+(* Ship one placement instance of an aggregated communication: walk the
+   crossed-loop region exactly as {!Seq_interp} would (bounds evaluated
+   at entry, index set per iteration, reference-memory addressing),
+   replaying the per-element transfer logic into buffers, then flush one
+   block per (src, dst) pair.  The crossed indices are borrowed from the
+   reference memory and restored afterwards, so the surrounding
+   execution never observes the lookahead. *)
+let aggregated_transfer (st : t) (m_ref : Memory.t) (plan : agg_plan)
+    (s : Ast.stmt) ~(all_pids : int list) =
+  let d = st.compiled.Compiler.decisions in
+  let data = plan.cm.Hpf_comm.Comm.data in
+  let broadcast = plan.cm.Hpf_comm.Comm.kind = Hpf_comm.Comm.Broadcast in
+  let scalar_base = Aref.is_scalar data in
+  let bufs = buffers_create () in
+  let emit () =
+    match Concrete.owner_pids d m_ref data with
+    | [] -> ()
+    | src :: _ ->
+        let entry =
+          if scalar_base then
+            ([], Memory.get_scalar st.procs.(src) data.Aref.base)
+          else
+            let idx =
+              List.map (fun e -> Eval.int_expr m_ref e) data.Aref.subs
+            in
+            (idx, Memory.get_elem st.procs.(src) data.Aref.base idx)
+        in
+        let dests =
+          if broadcast then all_pids else Concrete.executing_pids d m_ref s
+        in
         List.iter
           (fun p ->
             if p <> src then begin
-              Recover.transmit st.runtime ~src ~dst:p payload;
-              st.transfers <- st.transfers + 1
+              st.transfers <- st.transfers + 1;
+              buffers_add bufs ~src ~dst:p entry
             end)
           dests
-      end
+  in
+  let saved =
+    List.map
+      (fun (li : Nest.loop_info) ->
+        (li.Nest.loop.index, Memory.get_scalar m_ref li.Nest.loop.index))
+      plan.crossed
+  in
+  let rec walk = function
+    | [] -> emit ()
+    | (li : Nest.loop_info) :: rest ->
+        let dl = li.Nest.loop in
+        let lo = Eval.int_expr m_ref dl.lo in
+        let hi = Eval.int_expr m_ref dl.hi in
+        let step = Eval.int_expr m_ref dl.step in
+        if step = 0 then Memory.rerr "zero loop step";
+        let i = ref lo in
+        while if step > 0 then !i <= hi else !i >= hi do
+          Memory.set_scalar m_ref dl.index (Value.I !i);
+          walk rest;
+          i := !i + step
+        done
+  in
+  walk plan.crossed;
+  List.iter (fun (v, x) -> Memory.set_scalar m_ref v x) saved;
+  buffers_flush st ~scalar_base ~base:data.Aref.base bufs
 
 (** Run the compiled program in SPMD fashion.  [init] seeds the reference
     memory and every processor memory identically (initial data is
     assumed globally available, as the paper's benchmarks read their
     input on every node). *)
 let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
-    ?recover_config (c : Compiler.compiled) : t =
+    ?recover_config ?(aggregate = true) (c : Compiler.compiled) : t =
   let d = c.Compiler.decisions in
   let nprocs =
     Hpf_mapping.Grid.size d.Decisions.env.Hpf_mapping.Layout.grid
@@ -100,8 +452,26 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
   let runtime =
     Recover.create ?config:recover_config ~faults procs c.Compiler.prog
   in
-  let st = { compiled = c; reference; procs; transfers = 0; runtime } in
+  let st = { compiled = c; reference; procs; transfers = 0; runtime; aggregate } in
   let by_sid = comms_by_sid c in
+  (* each communication either ships per element (the conservative
+     fallback, and everything under [--no-aggregate]) or as one block
+     per placement instance and (src, dst) pair *)
+  let actions_by_sid : (Ast.stmt_id, comm_action list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  Hashtbl.iter
+    (fun sid comms ->
+      Hashtbl.replace actions_by_sid sid
+        (List.map
+           (fun cm ->
+             if aggregate then
+               match aggregation_plan d cm with
+               | Some plan -> Aggregated plan
+               | None -> Per_element cm
+             else Per_element cm)
+           comms))
+    by_sid;
   let all_pids = List.init nprocs (fun p -> p) in
   (* --- reduction combining ------------------------------------------
      Each processor accumulates a partial result into its private copy of
@@ -225,22 +595,36 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
         end)
       reduction_info;
     (* 1. perform the communications attached to this statement *)
-    (match Hashtbl.find_opt by_sid s.sid with
-    | Some comms ->
+    (match Hashtbl.find_opt actions_by_sid s.sid with
+    | Some actions ->
         List.iter
-          (fun (cm : Hpf_comm.Comm.t) ->
-            match cm.Hpf_comm.Comm.kind with
-            | Hpf_comm.Comm.Reduce ->
-                (* combining is performed by the lazy reduction logic
-                   above, not by a value copy *)
-                ()
-            | Hpf_comm.Comm.Broadcast ->
-                transfer st m_ref cm.Hpf_comm.Comm.data all_pids
-            | Hpf_comm.Comm.Shift _ | Hpf_comm.Comm.Point_to_point
-            | Hpf_comm.Comm.Gather ->
-                transfer st m_ref cm.Hpf_comm.Comm.data
-                  (Concrete.executing_pids d m_ref s))
-          comms
+          (fun action ->
+            match action with
+            | Per_element cm -> (
+                match cm.Hpf_comm.Comm.kind with
+                | Hpf_comm.Comm.Reduce ->
+                    (* combining is performed by the lazy reduction logic
+                       above, not by a value copy *)
+                    ()
+                | Hpf_comm.Comm.Broadcast ->
+                    transfer st m_ref cm.Hpf_comm.Comm.data all_pids
+                | Hpf_comm.Comm.Shift _ | Hpf_comm.Comm.Point_to_point
+                | Hpf_comm.Comm.Gather ->
+                    transfer st m_ref cm.Hpf_comm.Comm.data
+                      (Concrete.executing_pids d m_ref s))
+            | Aggregated plan ->
+                (* ship the whole region once, at the first statement
+                   instance of each placement instance *)
+                let prefix =
+                  List.map
+                    (fun v -> Value.to_int (Memory.get_scalar m_ref v))
+                    plan.prefix_vars
+                in
+                if plan.last_prefix <> Some prefix then begin
+                  plan.last_prefix <- Some prefix;
+                  aggregated_transfer st m_ref plan s ~all_pids
+                end)
+          actions
     | None -> ());
     (* 2. execute the statement on the processors its guard selects *)
     match s.node with
@@ -304,6 +688,10 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
 (** The message runtime's fault-campaign report for a finished run. *)
 let fault_report (st : t) : Recover.report = Recover.report st.runtime
 
+(** Measured network traffic of a finished run: packets, blocks,
+    elements, wire bytes (retransmits included). *)
+let comm_stats (st : t) : Msg.stats = Recover.net_stats st.runtime
+
 (** A divergence between a processor's owned copy and the reference. *)
 type mismatch = {
   pid : int;
@@ -322,41 +710,82 @@ let pp_mismatch ppf (m : mismatch) =
     against the reference memory.  Returns the mismatches (empty = the
     SPMD execution is consistent).
 
-    Privatized arrays are skipped: the [NEW] clause declares their values
-    dead after the loop, and each processor's instance legitimately holds
-    the values of the iterations {e it} executed. *)
+    Fully privatized arrays are skipped: the [NEW] clause declares their
+    values dead after the loop, and each processor's instance
+    legitimately holds the values of the iterations {e it} executed.  A
+    {e partially} privatized array (paper §3.2, APPSP's [c]) is still
+    partitioned along its non-privatized grid dimensions, so it stays
+    checkable there: along the privatized dimensions each processor's
+    instance may hold different iterations' values, but the iteration
+    that last wrote an element executed {e somewhere} on the element's
+    owner line, so at least one processor of the line widened along the
+    privatized dimensions must hold the reference value. *)
 let validate ?(max_mismatches = 10) (st : t) : mismatch list =
   let d = st.compiled.Compiler.decisions in
   let env = d.Decisions.env in
-  let privatized a =
+  (* per-array privatization summary across all loops *)
+  let priv_of a =
     Hashtbl.fold
-      (fun (name, _) _ acc -> acc || String.equal name a)
-      d.Decisions.arrays false
+      (fun (name, _) mapping acc ->
+        if not (String.equal name a) then acc
+        else
+          match (mapping, acc) with
+          | Decisions.Arr_priv _, _ | _, `Full -> `Full
+          | Decisions.Arr_partial_priv { priv_grid_dims; _ }, `None ->
+              `Partial priv_grid_dims
+          | Decisions.Arr_partial_priv { priv_grid_dims; _ }, `Partial ds ->
+              `Partial (List.sort_uniq compare (priv_grid_dims @ ds)))
+      d.Decisions.arrays `None
   in
   let out = ref [] in
   let count = ref 0 in
+  let record pid array index got expected =
+    incr count;
+    out := { pid; array; index; got; expected } :: !out
+  in
   List.iter
     (fun (decl : Ast.decl) ->
-      if decl.shape <> [] && (not (privatized decl.dname))
-         && !count < max_mismatches then
-        Memory.iter_elems st.reference decl.dname (fun idx expected ->
-            if !count < max_mismatches then begin
-              let owners =
-                Hpf_mapping.Ownership.owner_pids env decl.dname
-                  (Array.of_list idx)
-              in
-              List.iter
-                (fun pid ->
-                  if !count < max_mismatches then begin
-                    let got = Memory.get_elem st.procs.(pid) decl.dname idx in
-                    if not (Value.close got expected) then begin
-                      incr count;
-                      out :=
-                        { pid; array = decl.dname; index = idx; got; expected }
-                        :: !out
-                    end
-                  end)
-                owners
-            end))
+      if decl.shape <> [] && !count < max_mismatches then
+        match priv_of decl.dname with
+        | `Full -> ()
+        | `None ->
+            Memory.iter_elems st.reference decl.dname (fun idx expected ->
+                if !count < max_mismatches then
+                  List.iter
+                    (fun pid ->
+                      if !count < max_mismatches then begin
+                        let got =
+                          Memory.get_elem st.procs.(pid) decl.dname idx
+                        in
+                        if not (Value.close got expected) then
+                          record pid decl.dname idx got expected
+                      end)
+                    (Hpf_mapping.Ownership.owner_pids env decl.dname
+                       (Array.of_list idx)))
+        | `Partial priv_dims ->
+            Memory.iter_elems st.reference decl.dname (fun idx expected ->
+                if !count < max_mismatches then begin
+                  let line =
+                    Hpf_mapping.Ownership.owner_of_element env decl.dname
+                      (Array.of_list idx)
+                    |> Array.mapi (fun g c ->
+                           if List.mem g priv_dims then
+                             Hpf_mapping.Ownership.C_all
+                           else c)
+                    |> Concrete.pids env
+                  in
+                  let holds pid =
+                    Value.close
+                      (Memory.get_elem st.procs.(pid) decl.dname idx)
+                      expected
+                  in
+                  match line with
+                  | [] -> ()
+                  | pid :: _ ->
+                      if not (List.exists holds line) then
+                        record pid decl.dname idx
+                          (Memory.get_elem st.procs.(pid) decl.dname idx)
+                          expected
+                end))
     st.compiled.Compiler.prog.Ast.decls;
   List.rev !out

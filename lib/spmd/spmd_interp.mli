@@ -18,6 +18,8 @@ type t = {
   mutable transfers : int;  (** elements copied between processors *)
   runtime : Recover.t;
       (** message runtime: reliable delivery, fault recovery *)
+  aggregate : bool;
+      (** batch vectorized communications into {!Msg.Block} packets *)
 }
 
 (** Execute the compiled program in SPMD fashion.  [init] seeds the
@@ -26,16 +28,28 @@ type t = {
     {!Msg} layer; [faults] injects a deterministic fault campaign that
     {!Recover} detects and repairs (raising {!Recover.Unrecoverable}
     when its retry budget dies).  Without [faults] the run is
-    observationally identical to the pre-message-layer interpreter. *)
+    observationally identical to the pre-message-layer interpreter.
+
+    With [aggregate] (the default) a vectorized communication ships each
+    placement instance as one {!Msg.Block} per (src, dst) pair — same
+    elements, same order, same [transfers] count as the per-element
+    path, but one packet (one sequence number, one checksum, one
+    startup latency) per pair instead of one per element.  [~aggregate:
+    false] is the [--no-aggregate] escape hatch for A/B runs. *)
 val run :
   ?init:(Memory.t -> unit) ->
   ?faults:Fault.t ->
   ?recover_config:Recover.config ->
+  ?aggregate:bool ->
   Compiler.compiled ->
   t
 
 (** The message runtime's fault-campaign report for a finished run. *)
 val fault_report : t -> Recover.report
+
+(** Measured network traffic of a finished run: packets, blocks,
+    elements, wire bytes (retransmits included). *)
+val comm_stats : t -> Msg.stats
 
 (** A divergence between a processor's owned copy and the reference. *)
 type mismatch = {
@@ -48,6 +62,10 @@ type mismatch = {
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
 
-(** Check every processor's owned elements of every non-privatized array
-    against the reference.  Empty result = consistent execution. *)
+(** Check every processor's owned elements of every distributed array
+    against the reference.  Empty result = consistent execution.  Fully
+    privatized arrays are skipped ([NEW] declares them dead after the
+    loop); partially privatized arrays are checked along their
+    partitioned grid dimensions — some processor on each element's
+    owner line must hold the reference value. *)
 val validate : ?max_mismatches:int -> t -> mismatch list

@@ -30,6 +30,12 @@ type result = {
   comm_time : float;
   comm_messages : int;  (** total communication instances *)
   comm_elems : int;  (** total elements moved *)
+  packets : int;
+      (** network packets: measured from an SPMD run when available,
+          otherwise the schedule's message count (one packet per
+          communication instance — blocks make this far smaller than
+          [comm_elems]) *)
+  bytes : int;  (** wire bytes (headers included), same provenance *)
   stmt_instances : int;
   mem_elems_max : int;
       (** per-processor memory footprint (elements), max over
@@ -58,8 +64,8 @@ type stmt_stats = {
 }
 
 let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats.t option)
-    ?(recovery : Recover.report option) (c : Compiler.compiled) :
-    result * Memory.t =
+    ?(recovery : Recover.report option) ?(comm_stats : Msg.stats option)
+    (c : Compiler.compiled) : result * Memory.t =
   let d = c.Compiler.decisions in
   let prog = c.Compiler.prog in
   let nest = d.Decisions.nest in
@@ -212,6 +218,17 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
     | Some rep -> rep.Recover.recovery_time
     | None -> 0.0
   in
+  (* packet/byte accounting: measured traffic when an SPMD run supplied
+     it, otherwise estimated from the schedule (one packet per
+     communication instance) *)
+  let packets, bytes =
+    match comm_stats with
+    | Some (ms : Msg.stats) -> (ms.Msg.packets, ms.Msg.bytes)
+    | None ->
+        ( !comm_messages,
+          (!comm_messages * Msg.header_bytes)
+          + (!comm_elems * Msg.elem_bytes) )
+  in
   let r =
     {
       nprocs;
@@ -221,6 +238,8 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
       comm_time = !comm_time;
       comm_messages = !comm_messages;
       comm_elems = !comm_elems;
+      packets;
+      bytes;
       stmt_instances = !total_instances;
       mem_elems_max = Hpf_mapping.Layout.max_local_elems env;
       recovery_time;
@@ -235,6 +254,8 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
       Stats.set st "sim.stmt-instances" r.stmt_instances;
       Stats.set st "sim.comm-messages" r.comm_messages;
       Stats.set st "sim.comm-elems" r.comm_elems;
+      Stats.set st "sim.packets" r.packets;
+      Stats.set st "sim.bytes" r.bytes;
       Stats.set st "sim.mem-elems-max" r.mem_elems_max;
       Stats.set st "sim.time-us" (int_of_float (1e6 *. r.time));
       Stats.set st "sim.comm-time-us" (int_of_float (1e6 *. r.comm_time));

@@ -18,6 +18,10 @@ type result = {
   comm_time : float;
   comm_messages : int;  (** total communication instances *)
   comm_elems : int;  (** total elements moved *)
+  packets : int;
+      (** network packets: measured from an SPMD run's {!Msg.stats} when
+          supplied, otherwise the schedule's message count *)
+  bytes : int;  (** wire bytes (headers included), same provenance *)
   stmt_instances : int;  (** interpreted statement instances *)
   mem_elems_max : int;
       (** per-processor memory footprint in elements (max over
@@ -39,12 +43,15 @@ val pp_result : Format.formatter -> result -> unit
     from a {!Spmd_interp} run under injection: its recovery time is
     added to the reported time and its counters are recorded as
     [sim.faults-*], [sim.retries], [sim.checkpoints], [sim.restores]
-    and [sim.recovery-time-us].  Returns the timing result and the
-    final (reference) memory. *)
+    and [sim.recovery-time-us].  [comm_stats] substitutes measured
+    network traffic (from {!Spmd_interp.comm_stats}) for the schedule
+    estimate behind [sim.packets]/[sim.bytes].  Returns the timing
+    result and the final (reference) memory. *)
 val run :
   ?model:Hpf_comm.Cost_model.t ->
   ?init:(Memory.t -> unit) ->
   ?stats:Phpf_driver.Stats.t ->
   ?recovery:Recover.report ->
+  ?comm_stats:Msg.stats ->
   Compiler.compiled ->
   result * Memory.t

@@ -4,6 +4,19 @@ runs are compared against:
   $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk
   P=4 time=0.0003s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 100 msgs, 100 elems; mem 304 elems/proc)
 
+Measured network traffic: with aggregation (the default), vectorized
+placements ship as Msg.Block packets — fewer packets and fewer header
+bytes for the same elements.  `--no-aggregate` forces the per-element
+wire format; the element count must not change:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --report-comm
+  P=4 time=0.0079s (compute max 0.0000s, total 0.0000s; comm 0.0079s in 65 msgs, 128 elems; mem 2098 elems/proc)
+  comm: 60 packets (12 blocks, 48 singles), 240 elems, 3840 bytes
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --report-comm --no-aggregate
+  P=4 time=0.0079s (compute max 0.0000s, total 0.0000s; comm 0.0079s in 65 msgs, 128 elems; mem 2098 elems/proc)
+  comm: 240 packets (0 blocks, 240 singles), 240 elems, 9600 bytes
+
 A recoverable fault campaign: the run is injured, the supervisor
 detects and repairs the damage, validation stays clean, and the
 recovery cost is priced into the reported time:
@@ -13,15 +26,15 @@ recovery cost is priced into the reported time:
   fault campaign: 26 injected (drop 2, dup 2, reorder 1, stall 12, crash 9), 27 detected
     detection: 24 timeouts, 0 checksum failures, 3 stale discards
     recovery: 15 retransmits, 18 checkpoints, 9 restores, 12 stalls ridden out, 9 crashes
-    messages: 12 sent, 9 delivered; recovery time 0.027340 s
+    messages: 12 sent, 9 delivered; recovery time 0.027341 s
 
 The recovery counters flow through the driver's instrumentation channel:
 
   $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --faults drop:0.3 --fault-seed 1 --stats | grep -E 'sim\.(retries|checkpoints|faults-injected|recovery)'
     sim.checkpoints                 1
-    sim.faults-injected           118
-    sim.recovery-time-us        69897
-    sim.retries                   118
+    sim.faults-injected            22
+    sim.recovery-time-us        11322
+    sim.retries                    22
 
 A link that loses every packet exhausts the retransmit budget; the run
 terminates with a structured diagnostic naming the fault (exit 3), not

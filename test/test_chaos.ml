@@ -28,17 +28,19 @@ let seeds = [ 1; 2; 3 ]
 (* every kind, each injected on its own so a failure names the culprit *)
 let kinds = Fault.all_kinds
 
-let run_campaign prog ~kind ~seed =
+let run_campaign ?aggregate prog ~kind ~seed =
   let c = Compiler.compile_exn prog in
   let spec = [ (kind, 0.2) ] in
   let faults = Fault.make ~seed spec in
-  match Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults c with
+  match
+    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults ?aggregate c
+  with
   | exception Recover.Unrecoverable ds ->
       if ds = [] then fail "Unrecoverable carried no diagnostics";
       `Failed_structured
   | st -> (
       match Spmd_interp.validate st with
-      | [] -> `Recovered (Spmd_interp.fault_report st)
+      | [] -> `Recovered (Spmd_interp.fault_report st, Spmd_interp.comm_stats st)
       | m :: _ ->
           fail
             (Fmt.str "silent divergence under %a (seed %d): %a" Fault.pp_kind
@@ -62,6 +64,105 @@ let test_no_silent_divergence () =
         kinds)
     benchmarks
 
+(* Block messaging under fire: with aggregation on (the default), the
+   message-level kinds must injure whole blocks — and every campaign
+   still ends recover-or-fail-loudly.  At least one campaign per
+   benchmark must actually have put blocks on the wire, otherwise the
+   matrix silently degraded to single-element packets. *)
+let test_block_matrix () =
+  let any_blocks = ref 0 in
+  List.iter
+    (fun (name, mk) ->
+      (* does this benchmark put blocks on the wire at all?  (one whose
+         aggregated pairs carry single elements legitimately ships only
+         single-element packets) *)
+      let fault_free_blocks =
+        let c = Compiler.compile_exn (mk ()) in
+        let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+        (Spmd_interp.comm_stats st).Msg.blocks
+      in
+      let blocks_seen = ref 0 in
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun seed ->
+              match run_campaign ~aggregate:true (mk ()) ~kind ~seed with
+              | `Failed_structured -> ()
+              | `Recovered (_, (ms : Msg.stats)) ->
+                  blocks_seen := !blocks_seen + ms.Msg.blocks)
+            seeds)
+        [ Fault.Drop; Fault.Corrupt; Fault.Reorder ];
+      any_blocks := !any_blocks + !blocks_seen;
+      if fault_free_blocks > 0 && !blocks_seen = 0 then
+        fail
+          (Fmt.str "%s: no campaign shipped a single aggregated block" name))
+    benchmarks;
+  if !any_blocks = 0 then
+    fail "no benchmark put an aggregated block on the wire under faults"
+
+(* The aggregated and per-element runtimes must be observationally
+   identical: same validation verdict, same element-transfer count on
+   every benchmark — blocks change the packaging, never the data. *)
+let test_aggregation_ab () =
+  List.iter
+    (fun (name, mk) ->
+      let run aggregate =
+        let c = Compiler.compile_exn (mk ()) in
+        let st =
+          Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~aggregate c
+        in
+        (match Spmd_interp.validate st with
+        | [] -> ()
+        | m :: _ ->
+            fail
+              (Fmt.str "%s (aggregate=%b): %a" name aggregate
+                 Spmd_interp.pp_mismatch m));
+        (st.Spmd_interp.transfers, Spmd_interp.comm_stats st)
+      in
+      let tr_agg, ms_agg = run true in
+      let tr_one, ms_one = run false in
+      check Alcotest.int
+        (Fmt.str "%s: transfer counts identical" name)
+        tr_one tr_agg;
+      check Alcotest.int
+        (Fmt.str "%s: elements on the wire identical" name)
+        ms_one.Msg.elems ms_agg.Msg.elems;
+      check Alcotest.int
+        (Fmt.str "%s: per-element mode ships no blocks" name)
+        0 ms_one.Msg.blocks;
+      if ms_agg.Msg.packets > ms_one.Msg.packets then
+        fail
+          (Fmt.str "%s: aggregation increased packets (%d > %d)" name
+             ms_agg.Msg.packets ms_one.Msg.packets))
+    benchmarks
+
+(* The paper's headline effect (§1, Fig. 2), measured: on TOMCATV at
+   n=66 on 8 processors, vectorized placement shipped as blocks must
+   move at least 5x fewer packets than per-element messaging, at
+   identical validation results and element counts. *)
+let test_tomcatv_packet_reduction () =
+  let run aggregate =
+    let c = Compiler.compile_exn (Tomcatv.program ~n:66 ~niter:1 ~p:8) in
+    let st =
+      Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~aggregate c
+    in
+    (match Spmd_interp.validate st with
+    | [] -> ()
+    | m :: _ ->
+        fail
+          (Fmt.str "tomcatv n=66 (aggregate=%b): %a" aggregate
+             Spmd_interp.pp_mismatch m));
+    (st.Spmd_interp.transfers, Spmd_interp.comm_stats st)
+  in
+  let tr_agg, ms_agg = run true in
+  let tr_one, ms_one = run false in
+  check Alcotest.int "transfer counts identical" tr_one tr_agg;
+  check Alcotest.int "elements identical" ms_one.Msg.elems ms_agg.Msg.elems;
+  if ms_one.Msg.packets < 5 * ms_agg.Msg.packets then
+    fail
+      (Fmt.str "aggregation saved too little: %d packets vs %d per-element"
+         ms_agg.Msg.packets ms_one.Msg.packets)
+
 (* Recovered campaigns that actually injected something must show their
    scars: the supervisor either detected faults or paid recovery time. *)
 let test_recovery_visible () =
@@ -73,7 +174,7 @@ let test_recovery_visible () =
             (fun seed ->
               match run_campaign (mk ()) ~kind ~seed with
               | `Failed_structured -> ()
-              | `Recovered (r : Recover.report) ->
+              | `Recovered ((r : Recover.report), _) ->
                   if
                     r.Recover.total_injected > 0 && r.Recover.detected = 0
                     && r.Recover.recovery_time = 0.0
@@ -161,6 +262,15 @@ let () =
             `Quick test_no_silent_divergence;
           Alcotest.test_case "recovery leaves visible scars" `Quick
             test_recovery_visible;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "drop/corrupt/reorder x seeds over blocks"
+            `Quick test_block_matrix;
+          Alcotest.test_case "aggregated == per-element (all benchmarks)"
+            `Quick test_aggregation_ab;
+          Alcotest.test_case "tomcatv n=66 P=8 moves 5x fewer packets"
+            `Quick test_tomcatv_packet_reduction;
         ] );
       ( "recovery",
         [

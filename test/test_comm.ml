@@ -29,6 +29,23 @@ let test_cost_bcast_log () =
   check Alcotest.bool "reduce >= bcast" true
     (Cost_model.reduce m ~p:8 ~elems:100 >= b 8)
 
+let test_cost_log2i_exact () =
+  (* exact powers of two must not gain a phantom tree stage from float
+     log rounding (log 1024 / log 2 can exceed 10 by an ulp) *)
+  check Alcotest.int "p=1" 0 (Cost_model.log2i 1);
+  check Alcotest.int "p=0" 0 (Cost_model.log2i 0);
+  check Alcotest.int "p=2" 1 (Cost_model.log2i 2);
+  List.iter
+    (fun k ->
+      let p = 1 lsl k in
+      check Alcotest.int (Fmt.str "p=2^%d" k) k (Cost_model.log2i p);
+      check Alcotest.int
+        (Fmt.str "p=2^%d+1" k)
+        (k + 1)
+        (Cost_model.log2i (p + 1));
+      check Alcotest.int (Fmt.str "p=2^%d-1" k) k (Cost_model.log2i (p - 1)))
+    [ 2; 3; 4; 8; 10; 16; 20 ]
+
 let test_cost_latency_dominates_small () =
   let m = Cost_model.sp2 in
   (* SP2: one 8-byte message costs nearly as much as a 1000-element one
@@ -372,6 +389,8 @@ let () =
         [
           Alcotest.test_case "ptp monotone" `Quick test_cost_ptp_monotone;
           Alcotest.test_case "bcast log" `Quick test_cost_bcast_log;
+          Alcotest.test_case "log2i exact at powers of two" `Quick
+            test_cost_log2i_exact;
           Alcotest.test_case "latency dominates" `Quick
             test_cost_latency_dominates_small;
           Alcotest.test_case "zero latency" `Quick test_cost_zero_latency;

@@ -91,6 +91,98 @@ let test_appsp_1d_no_priv () =
     (validate_ok ~options:Variants.no_array_priv
        (Appsp.program_1d ~n:8 ~niter:1 ~p:2))
 
+(* regression: partially privatized arrays (paper §3.2, APPSP's [c])
+   are no longer skipped by validation — they are checked along their
+   partitioned grid dimensions.  A clean run still validates (each
+   owner-line member may hold different iterations' values along the
+   privatized dimensions), and corrupting an element on {e every}
+   processor must be detected. *)
+let test_appsp_partial_priv_validated () =
+  let c =
+    Compiler.compile_exn
+      (Sema.check (Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2))
+  in
+  let d = c.Compiler.decisions in
+  let partial =
+    Hashtbl.fold
+      (fun (name, _) m acc ->
+        match m with
+        | Decisions.Arr_partial_priv _ ->
+            if List.mem name acc then acc else name :: acc
+        | _ -> acc)
+      d.Decisions.arrays []
+  in
+  check Alcotest.bool "appsp 2d partially privatizes an array" true
+    (partial <> []);
+  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+  (match Spmd_interp.validate st with
+  | [] -> ()
+  | m :: _ -> fail (Fmt.str "clean run: %a" Spmd_interp.pp_mismatch m));
+  let a = List.hd partial in
+  Array.iter
+    (fun m -> Memory.set_elem m a [ 1; 1 ] (Value.R 1e30))
+    st.Spmd_interp.procs;
+  match Spmd_interp.validate st with
+  | [] ->
+      fail
+        (Fmt.str
+           "corrupting partially-privatized %s on every processor must \
+            be detected"
+           a)
+  | ms ->
+      check Alcotest.bool "mismatch names the corrupted array" true
+        (List.exists
+           (fun (mm : Spmd_interp.mismatch) -> String.equal mm.array a)
+           ms)
+
+(* regression: a scalar-shaped reference with an array base (a
+   whole-array communication) used to fall through [transfer] silently,
+   dropping the communication; it must now move every element from its
+   owner *)
+let test_whole_array_transfer () =
+  let prog = Sema.check (Fig_examples.fig1 ~n:16 ~p:4 ()) in
+  let c = Compiler.compile_exn prog in
+  let base_transfers =
+    let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) c in
+    st.Spmd_interp.transfers
+  in
+  let sid =
+    match c.Compiler.prog.Ast.body with
+    | s :: _ -> s.Ast.sid
+    | [] -> fail "empty program"
+  in
+  let arr =
+    match
+      List.find_opt
+        (fun (d : Ast.decl) -> d.Ast.shape <> [])
+        c.Compiler.prog.Ast.decls
+    with
+    | Some d -> d.Ast.dname
+    | None -> fail "no distributed array"
+  in
+  let whole =
+    {
+      Hpf_comm.Comm.data = { Hpf_analysis.Aref.sid; base = arr; subs = [] };
+      kind = Hpf_comm.Comm.Broadcast;
+      stmt_level = 0;
+      placement_level = 0;
+      elems_per_instance = 1;
+      instances = 1;
+      group = None;
+      agg_vars = [];
+      scale = 1;
+      boundary_fraction = 1.0;
+    }
+  in
+  let c' = { c with Compiler.comms = whole :: c.Compiler.comms } in
+  let st = Spmd_interp.run ~init:(Init.init c'.Compiler.prog) c' in
+  (match Spmd_interp.validate st with
+  | [] -> ()
+  | m :: _ ->
+      fail (Fmt.str "whole-array comm: %a" Spmd_interp.pp_mismatch m));
+  check Alcotest.bool "whole-array comm moves elements" true
+    (st.Spmd_interp.transfers > base_transfers)
+
 (* negative control: dropping the communication schedule must produce
    mismatches (stale operands on some owner) *)
 let test_missing_comm_detected () =
@@ -140,9 +232,13 @@ let () =
             test_appsp_2d_no_partial;
           Alcotest.test_case "appsp 1d across P" `Quick test_appsp_1d;
           Alcotest.test_case "appsp 1d no priv" `Quick test_appsp_1d_no_priv;
+          Alcotest.test_case "appsp partial priv validated" `Quick
+            test_appsp_partial_priv_validated;
         ] );
       ( "controls",
         [
+          Alcotest.test_case "whole-array transfer" `Quick
+            test_whole_array_transfer;
           Alcotest.test_case "missing comm detected" `Quick
             test_missing_comm_detected;
           Alcotest.test_case "transfer counts scale" `Quick
