@@ -115,7 +115,28 @@ let run_json args =
     List.map
       (fun (name, mk) ->
         let wall0 = Unix.gettimeofday () in
-        let c = Compiler.compile_exn (mk ()) in
+        let c, trace =
+          match Compiler.compile_traced (mk ()) with
+          | Ok res -> res
+          | Error ds ->
+              Fmt.epr "bench %s: %a@." name Hpf_lang.Diag.pp_list ds;
+              exit 1
+        in
+        let lower_ms =
+          List.fold_left
+            (fun acc (e : Phpf_driver.Pipeline.entry) ->
+              if e.Phpf_driver.Pipeline.pass = "lower-spmd" then
+                acc +. (1000.0 *. e.Phpf_driver.Pipeline.time_s)
+              else acc)
+            0.0 trace.Phpf_driver.Pipeline.entries
+        in
+        let ir_ops =
+          match c.Compiler.sir with
+          | Some sir -> Phpf_ir.Sir.op_counts sir
+          | None ->
+              Fmt.epr "bench %s: compiler recorded no lowered program@." name;
+              exit 1
+        in
         let measure aggregate =
           let st =
             Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~aggregate c
@@ -131,20 +152,22 @@ let run_json args =
         let agg = measure true in
         let one = measure false in
         let r, _ =
-          Trace_sim.run ~init:(Init.init c.Compiler.prog) ~comm_stats:agg c
+          Trace_sim.run ~init:(Init.init c.Compiler.prog) ~comm_stats:agg
+            ?sir:c.Compiler.sir c
         in
         let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
-        (name, r, agg, one, wall_ms))
+        (name, r, agg, one, wall_ms, lower_ms, ir_ops))
       json_benchmarks
   in
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
-  pf "  \"schema\": \"phpf-bench/1\",\n";
+  pf "  \"schema\": \"phpf-bench/2\",\n";
   pf "  \"benchmarks\": [\n";
   List.iteri
     (fun i (name, (r : Trace_sim.result), (agg : Msg.stats),
-            (one : Msg.stats), wall_ms) ->
+            (one : Msg.stats), wall_ms, lower_ms,
+            (ir_ops : Phpf_ir.Sir.op_counts)) ->
       let ratio =
         if agg.Msg.packets = 0 then 1.0
         else float_of_int one.Msg.packets /. float_of_int agg.Msg.packets
@@ -163,6 +186,13 @@ let run_json args =
       pf "      \"packets_no_aggregate\": %d,\n" one.Msg.packets;
       pf "      \"bytes_no_aggregate\": %d,\n" one.Msg.bytes;
       pf "      \"packet_reduction\": %.2f,\n" ratio;
+      pf "      \"lower_ms\": %.3f,\n" lower_ms;
+      pf "      \"ir_assigns\": %d,\n" ir_ops.Phpf_ir.Sir.assigns;
+      pf "      \"ir_elem_xfers\": %d,\n" ir_ops.Phpf_ir.Sir.elem_xfers;
+      pf "      \"ir_whole_xfers\": %d,\n" ir_ops.Phpf_ir.Sir.whole_xfers;
+      pf "      \"ir_block_xfers\": %d,\n" ir_ops.Phpf_ir.Sir.block_xfers;
+      pf "      \"ir_reduce_ops\": %d,\n" ir_ops.Phpf_ir.Sir.reduce_ops;
+      pf "      \"ir_allocs\": %d,\n" ir_ops.Phpf_ir.Sir.alloc_ops;
       pf "      \"wall_ms\": %.2f\n" wall_ms;
       pf "    }%s\n" (if i = List.length entries - 1 then "" else ",")
     )

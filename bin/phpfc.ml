@@ -40,6 +40,15 @@ let guarded (f : unit -> int) : int =
   | Memory.Runtime_error { loc; sid = _; msg } ->
       render_diags [ Diag.error ?loc ~code:"E0701" msg ];
       exit_mismatch
+  | Seq_interp.Fuel_exhausted { loc; sid = _; budget } ->
+      render_diags
+        [
+          Diag.errorf ?loc ~code:"E0704"
+            "statement-instance budget exhausted after %d instances \
+             (raise it with --fuel)"
+            budget;
+        ];
+      exit_mismatch
   | Recover.Unrecoverable ds ->
       render_diags ds;
       exit_mismatch
@@ -186,6 +195,63 @@ let no_aggregate_arg =
            per-element escape hatch for A/B comparisons against the \
            aggregated runtime.")
 
+let no_lower_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lower" ]
+        ~doc:
+          "Execute with the legacy AST-walking SPMD interpreter instead \
+           of the lowered-IR executor — the differential escape hatch, \
+           kept for one release.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Statement-instance budget for the interpreter runs; \
+           exhausting it is a located E0704 runtime failure (exit 3).")
+
+(* One SPMD execution under either runtime, reduced to the accessors the
+   commands need.  With the lowered path the compiler's recorded IR is
+   executed directly (re-lowered only when --no-aggregate changes the
+   packet shapes). *)
+type spmd_outcome = {
+  mismatches : string list;
+  report : unit -> Recover.report;
+  net : unit -> Msg.stats;
+  transfers : int;
+}
+
+let exec_spmd ~no_lower ?init ?faults ?fuel ~aggregate
+    (c : Compiler.compiled) : spmd_outcome =
+  if no_lower then begin
+    let st = Ast_interp.run ?init ?faults ~aggregate ?fuel c in
+    {
+      mismatches =
+        List.map
+          (Fmt.str "%a" Ast_interp.pp_mismatch)
+          (Ast_interp.validate st);
+      report = (fun () -> Ast_interp.fault_report st);
+      net = (fun () -> Ast_interp.comm_stats st);
+      transfers = st.Ast_interp.transfers;
+    }
+  end
+  else begin
+    let sir = if aggregate then c.Compiler.sir else None in
+    let st = Spmd_interp.run ?init ?faults ~aggregate ?fuel ?sir c in
+    {
+      mismatches =
+        List.map
+          (Fmt.str "%a" Spmd_interp.pp_mismatch)
+          (Spmd_interp.validate st);
+      report = (fun () -> Spmd_interp.fault_report st);
+      net = (fun () -> Spmd_interp.comm_stats st);
+      transfers = st.Spmd_interp.transfers;
+    }
+  end
+
 let report_comm_arg =
   Arg.(
     value & flag
@@ -220,10 +286,18 @@ let list_passes () =
     Compiler.passes
 
 (* The --dump-after hook: after the named pass, print the (possibly
-   rewritten) program and whatever decisions exist at that point. *)
+   rewritten) program and whatever decisions exist at that point; after
+   lower-spmd, print the lowered SPMD IR itself. *)
 let dump_after_hook (which : string option) (name : string)
     (ctx : Compiler.context) : unit =
-  if which = Some name then begin
+  if which = Some name then
+    match (name, ctx.Compiler.sir) with
+    | "lower-spmd", Some sir ->
+        Fmt.pr "=== after %s ===@." name;
+        Fmt.pr "%a" Phpf_ir.Sir_pp.pp sir;
+        Fmt.pr "=== end %s ===@." name
+    | _ ->
+  begin
     Fmt.pr "=== after %s ===@." name;
     Fmt.pr "%s" (Pp.program_to_string ctx.Compiler.prog);
     (match ctx.Compiler.decisions with
@@ -320,15 +394,15 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically verify the compiled output: mapping validity \
-          (E0601-E0609), SPMD races and communication completeness.  \
-          Exits 0 when clean, 4 on findings.")
+          (E0601-E0611), SPMD races, communication completeness and \
+          lowered-IR fidelity.  Exits 0 when clean, 4 on findings.")
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ strict_arg
       $ time_passes_arg $ stats_arg $ verbose_arg)
 
 let simulate_cmd =
   let run file procs options stats faults fault_seed report_faults report_comm
-      no_aggregate verbose =
+      no_aggregate no_lower fuel verbose =
     setup_logs verbose;
     match
       match faults with
@@ -355,17 +429,15 @@ let simulate_cmd =
         let spmd_run =
           if (not (Fault.active schedule)) && not report_comm then `Skipped
           else begin
-            let st = Spmd_interp.run ~init ~faults:schedule ~aggregate c in
-            match Spmd_interp.validate st with
-            | [] -> `Ran st
-            | ms -> `Diverged ms
+            let o =
+              exec_spmd ~no_lower ~init ~faults:schedule ?fuel ~aggregate c
+            in
+            match o.mismatches with [] -> `Ran o | ms -> `Diverged ms
           end
         in
         match spmd_run with
         | `Diverged ms ->
-            List.iter
-              (fun m -> Fmt.epr "MISMATCH %a@." Spmd_interp.pp_mismatch m)
-              ms;
+            List.iter (fun m -> Fmt.epr "MISMATCH %s@." m) ms;
             render_diags
               [
                 (if Fault.active schedule then
@@ -383,17 +455,18 @@ let simulate_cmd =
         | (`Skipped | `Ran _) as ok ->
             let recovery =
               match ok with
-              | `Ran st when Fault.active schedule ->
-                  Some (Spmd_interp.fault_report st)
+              | `Ran o when Fault.active schedule -> Some (o.report ())
               | _ -> None
             in
             let comm_stats =
               match ok with
-              | `Ran st -> Some (Spmd_interp.comm_stats st)
+              | `Ran o -> Some (o.net ())
               | `Skipped -> None
             in
+            let sir = if no_lower then None else c.Compiler.sir in
             let result, _mem =
-              Trace_sim.run ?stats:sim_stats ?recovery ?comm_stats ~init c
+              Trace_sim.run ?stats:sim_stats ?recovery ?comm_stats ?sir
+                ?fuel ~init c
             in
             Fmt.pr "%a@." Trace_sim.pp_result result;
             (match comm_stats with
@@ -446,29 +519,27 @@ let simulate_cmd =
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ stats_arg $ faults_arg
       $ fault_seed_arg $ report_faults_arg $ report_comm_arg
-      $ no_aggregate_arg $ verbose_arg)
+      $ no_aggregate_arg $ no_lower_arg $ fuel_arg $ verbose_arg)
 
 let validate_cmd =
-  let run file procs options no_aggregate verbose =
+  let run file procs options no_aggregate no_lower verbose =
     setup_logs verbose;
     guarded @@ fun () ->
     let c, _trace = compile_program ?grid_override:procs ~options file in
-    let st =
-      Spmd_interp.run
+    let o =
+      exec_spmd ~no_lower
         ~init:(Init.init c.Compiler.prog)
         ~aggregate:(not no_aggregate) c
     in
-    match Spmd_interp.validate st with
+    match o.mismatches with
     | [] ->
         Fmt.pr
           "OK: SPMD execution matches sequential reference (%d element \
            transfers)@."
-          st.Spmd_interp.transfers;
+          o.transfers;
         exit_ok
     | ms ->
-        List.iter
-          (fun m -> Fmt.pr "MISMATCH %a@." Spmd_interp.pp_mismatch m)
-          ms;
+        List.iter (fun m -> Fmt.pr "MISMATCH %s@." m) ms;
         exit_mismatch
   in
   Cmd.v
@@ -478,7 +549,7 @@ let validate_cmd =
           owned data against the sequential reference.")
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ no_aggregate_arg
-      $ verbose_arg)
+      $ no_lower_arg $ verbose_arg)
 
 let sweep_cmd =
   let run file procs_list options verbose =

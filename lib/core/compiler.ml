@@ -17,7 +17,9 @@
     + [scalar-map] — the scalar mapping pass ({!Mapping_alg}, paper
       Fig. 3);
     + [comm-analysis] — communication analysis with message
-      vectorization ({!Hpf_comm.Comm_analysis}).
+      vectorization ({!Hpf_comm.Comm_analysis});
+    + [lower-spmd] — lowering to the explicit SPMD IR consumed by the
+      executor, timing simulator and verifier ({!Lower_spmd}).
 
     [options] gates individual passes (their enabled-predicates) to
     reproduce the paper's less-optimized compiler versions;
@@ -41,6 +43,7 @@ type context = {
   mutable ivs : Induction.iv list;
   mutable decisions : Decisions.t option;  (** set by the decisions pass *)
   mutable comms : Comm.t list;
+  mutable sir : Phpf_ir.Sir.program option;  (** set by lower-spmd *)
   grid_override : int list option;
   options : Decisions.options;
 }
@@ -50,6 +53,9 @@ type compiled = {
   decisions : Decisions.t;
   comms : Comm.t list;
   ivs : Induction.iv list;
+  sir : Phpf_ir.Sir.program option;
+      (** the lowered SPMD program ([lower-spmd]); consumed by the
+          executor, the timing simulator and the verifier *)
 }
 
 let decisions_exn (ctx : context) : Decisions.t =
@@ -175,6 +181,22 @@ let passes : (Decisions.options, context) Pass.t list =
                   cm.Comm.stmt_level > 0
                   && cm.Comm.placement_level >= cm.Comm.stmt_level)
                 comms)));
+    Pass.make "lower-spmd"
+      ~descr:"lowering to the explicit SPMD IR (guards, transfers, allocs)"
+      (fun (ctx : context) st ->
+        let d = decisions_exn ctx in
+        let sir =
+          Lower_spmd.lower ~strict:true ~aggregate:true ~prog:ctx.prog
+            ~decisions:d ~comms:ctx.comms ()
+        in
+        ctx.sir <- Some sir;
+        let k = Phpf_ir.Sir.op_counts sir in
+        Stats.set st "sir.assigns" k.Phpf_ir.Sir.assigns;
+        Stats.set st "sir.elem-xfers" k.Phpf_ir.Sir.elem_xfers;
+        Stats.set st "sir.whole-xfers" k.Phpf_ir.Sir.whole_xfers;
+        Stats.set st "sir.block-xfers" k.Phpf_ir.Sir.block_xfers;
+        Stats.set st "sir.reduce-ops" k.Phpf_ir.Sir.reduce_ops;
+        Stats.set st "sir.allocs" k.Phpf_ir.Sir.alloc_ops);
   ]
 
 (** Names of the registered passes, in order. *)
@@ -193,6 +215,7 @@ let compile_traced ?grid_override ?(options = Decisions.default_options)
       ivs = [];
       decisions = None;
       comms = [];
+      sir = None;
       grid_override;
       options;
     }
@@ -206,6 +229,7 @@ let compile_traced ?grid_override ?(options = Decisions.default_options)
             decisions = decisions_exn ctx;
             comms = ctx.comms;
             ivs = ctx.ivs;
+            sir = ctx.sir;
           },
           trace )
 

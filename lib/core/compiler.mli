@@ -23,6 +23,7 @@ type context = {
   mutable ivs : Induction.iv list;
   mutable decisions : Decisions.t option;  (** set by the decisions pass *)
   mutable comms : Comm.t list;
+  mutable sir : Phpf_ir.Sir.program option;  (** set by lower-spmd *)
   grid_override : int list option;
   options : Decisions.options;
 }
@@ -32,11 +33,14 @@ type compiled = {
   decisions : Decisions.t;  (** every privatization/mapping decision *)
   comms : Comm.t list;  (** the communication schedule *)
   ivs : Induction.iv list;  (** recognized induction variables *)
+  sir : Phpf_ir.Sir.program option;
+      (** the lowered SPMD program ([lower-spmd]); consumed by the
+          executor, the timing simulator and the verifier *)
 }
 
 (** The registered pass list, in order: [sema], [induction],
     [decisions], [ctrl-priv], [reduction-map], [array-priv],
-    [scalar-map], [comm-analysis].  Optimization knobs in
+    [scalar-map], [comm-analysis], [lower-spmd].  Optimization knobs in
     {!Decisions.options} gate the corresponding passes through their
     enabled-predicates. *)
 val passes : (Decisions.options, context) Phpf_driver.Pass.t list

@@ -17,7 +17,7 @@
     - [E0401] mapping/layout error
     - [E0402] invalid processor grid extents
     - [E0501] pipeline/driver error (e.g. unknown pass name)
-    - [E0601]-[E0609] static-verifier soundness errors ([phpfc lint]):
+    - [E0601]-[E0611] static-verifier soundness errors ([phpfc lint]):
       privatized value escaping its validity scope ([E0601]) or live
       across a loop back edge ([E0602]), missing communication for a
       non-local read ([E0603]), communication hoisted past a dependence
@@ -25,16 +25,30 @@
       dimensions inconsistent with the grid ([E0605]), structurally
       invalid mapping record ([E0606]), owner of a written element not
       executing the statement ([E0607]), divergent replicated execution
-      ([E0608]), dangling communication descriptor ([E0609])
+      ([E0608]), dangling communication descriptor ([E0609]), a
+      decisions-mandated transfer missing from the lowered IR ([E0610]),
+      lowered guards/allocations/reductions diverging from the mapping
+      decisions ([E0611])
     - [W0601]-[W0699] static-verifier lint warnings: inconsistent
       mappings across a phi ([W0601]), redundant replicated write
       ([W0602]), redundant communication ([W0603]), unvectorized
-      inner-loop communication ([W0604])
+      inner-loop communication ([W0604]), a lowered transfer with no
+      decisions-level justification ([W0605])
     - [E0701] runtime error during interpretation (bad subscript, fuel
       exhaustion, uninitialised read), surfaced at the CLI boundary
     - [E0702] invalid fault-injection spec ([phpfc simulate --faults])
     - [E0703] unrecoverable injected fault: the message runtime's retry
-      budget was exhausted before delivery *)
+      budget was exhausted before delivery
+    - [E0704] statement-instance budget exhausted ([phpfc simulate
+      --fuel]); the diagnostic carries the statement that ran out
+    - [E0801]-[E0806] strict SPMD lowering errors ([lower-spmd] pass):
+      alignment chain deeper than the privatization bound or cyclic
+      ([E0801]), communication anchored at a statement that does not
+      exist ([E0802]), placement level outside the enclosing loop nest
+      ([E0803]), subscripted reference to an undeclared array ([E0804]),
+      reduction whose accumulating statement is missing ([E0805]),
+      replication dimension outside the processor grid's rank
+      ([E0806]) *)
 
 type severity = Error | Warning | Note
 

@@ -1,0 +1,795 @@
+(** Legacy AST-walking SPMD interpreter — the [--no-lower] escape hatch.
+
+    This is the pre-IR execution path: it re-derives ownership, guards
+    and aggregability from the AST plus {!Phpf_core.Decisions} at every
+    statement instance.  The supported path is {!Spmd_interp}, which
+    executes the lowered {!Phpf_ir.Sir.program} instead; this
+    interpreter is retained for one release as a differential oracle
+    (the A/B suite asserts both produce identical memories, transfer
+    counts and wire traffic) and behind [phpfc simulate/validate
+    --no-lower].
+
+    Every processor gets its own full-size shadow memory, but only writes
+    to it when the computation-partitioning guard says it executes the
+    statement, and only {e sees} remote values when the compiler's
+    communication schedule moves them.  A reference memory runs in
+    lockstep and provides control-flow decisions and subscript addresses
+    (the guards and consumer rules are supposed to make these locally
+    available; the final validation catches them if they are not).
+
+    After the run, {!validate} checks that every processor's copy of each
+    array element {e it owns} equals the reference value — a missing or
+    misplaced communication, or a wrong guard, makes some owner compute
+    with stale operands and fail the check. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Phpf_core
+
+type t = {
+  compiled : Compiler.compiled;
+  mutable reference : Memory.t;  (** lockstep reference memory *)
+  procs : Memory.t array;  (** one shadow memory per processor *)
+  mutable transfers : int;  (** elements copied between processors *)
+  runtime : Recover.t;
+      (** message runtime: reliable delivery, fault recovery *)
+  aggregate : bool;
+      (** batch vectorized communications into {!Msg.Block} packets *)
+}
+
+(* Communications indexed by the statement they serve. *)
+let comms_by_sid (c : Compiler.compiled) :
+    (Ast.stmt_id, Hpf_comm.Comm.t list) Hashtbl.t =
+  let h = Hashtbl.create 32 in
+  List.iter
+    (fun (cm : Hpf_comm.Comm.t) ->
+      let sid = cm.Hpf_comm.Comm.data.Aref.sid in
+      let cur = match Hashtbl.find_opt h sid with Some l -> l | None -> [] in
+      Hashtbl.replace h sid (cm :: cur))
+    c.Compiler.comms;
+  h
+
+(* --- per-(src, dst) element buffers ------------------------------- *)
+
+(* Ordered accumulation of element transfers, flushed as one
+   {!Msg.Block} per pair: one sequence number, one checksum, one
+   startup latency for a loop's worth of elements. *)
+type buffers = {
+  tbl : (int * int, (int list * Value.t) list ref) Hashtbl.t;
+  mutable order : (int * int) list;  (** first-touch order, reversed *)
+}
+
+let buffers_create () : buffers = { tbl = Hashtbl.create 16; order = [] }
+
+let buffers_add (b : buffers) ~src ~dst entry =
+  let key = (src, dst) in
+  match Hashtbl.find_opt b.tbl key with
+  | Some l -> l := entry :: !l
+  | None ->
+      Hashtbl.replace b.tbl key (ref [ entry ]);
+      b.order <- key :: b.order
+
+(* Flush every pair's buffer as a single packet.  A one-element buffer
+   keeps the single-element packet format so degenerate regions look
+   exactly like the per-element path on the wire. *)
+let buffers_flush (st : t) ~(scalar_base : bool) ~(base : string)
+    (b : buffers) =
+  List.iter
+    (fun ((src, dst) as key) ->
+      match List.rev !(Hashtbl.find b.tbl key) with
+      | [] -> ()
+      | [ (idx, v) ] ->
+          let payload =
+            if scalar_base then Msg.Scalar { var = base; value = v }
+            else Msg.Elem { base; index = idx; value = v }
+          in
+          Recover.transmit st.runtime ~src ~dst payload
+      | entries ->
+          Recover.transmit st.runtime ~src ~dst
+            (Msg.Block
+               {
+                 base;
+                 indices = List.map fst entries;
+                 values = List.map snd entries;
+               }))
+    (List.rev b.order)
+
+(* A scalar-shaped reference with an array base stands for the whole
+   array (an unsubscripted actual): every element travels from its
+   directive owner to the destinations.  This used to fall through
+   silently, dropping the communication. *)
+let transfer_whole_array (st : t) (m_ref : Memory.t) (r : Aref.t)
+    (dests : int list) =
+  let d = st.compiled.Compiler.decisions in
+  let env = d.Decisions.env in
+  let base = r.Aref.base in
+  let bufs = buffers_create () in
+  Memory.iter_elems m_ref base (fun idx _ ->
+      match Hpf_mapping.Ownership.owner_pids env base (Array.of_list idx) with
+      | [] -> ()
+      | src :: _ ->
+          let v = Memory.get_elem st.procs.(src) base idx in
+          List.iter
+            (fun p ->
+              if p <> src then begin
+                st.transfers <- st.transfers + 1;
+                if st.aggregate then buffers_add bufs ~src ~dst:p (idx, v)
+                else
+                  Recover.transmit st.runtime ~src ~dst:p
+                    (Msg.Elem { base; index = idx; value = v })
+              end)
+            dests);
+  if st.aggregate then buffers_flush st ~scalar_base:false ~base bufs
+
+(* Move the current value of reference [r] from an owning processor's
+   memory into the memories of [dests].  Addresses come from the
+   reference memory; delivery goes through the message runtime
+   (sequence-numbered, checksummed packets with retransmit on injected
+   faults). *)
+let transfer (st : t) (m_ref : Memory.t) (r : Aref.t) (dests : int list) =
+  let d = st.compiled.Compiler.decisions in
+  if Aref.is_scalar r && Ast.is_array d.Decisions.prog r.Aref.base then
+    transfer_whole_array st m_ref r dests
+  else
+    let owners = Concrete.owner_pids d m_ref r in
+    match owners with
+    | [] -> ()
+    | src :: _ ->
+        let msrc = st.procs.(src) in
+        if Aref.is_scalar r then begin
+          let v = Memory.get_scalar msrc r.Aref.base in
+          let payload = Msg.Scalar { var = r.Aref.base; value = v } in
+          List.iter
+            (fun p ->
+              if p <> src then begin
+                Recover.transmit st.runtime ~src ~dst:p payload;
+                st.transfers <- st.transfers + 1
+              end)
+            dests
+        end
+        else begin
+          let idx =
+            List.map (fun e -> Eval.int_expr m_ref e) r.Aref.subs
+          in
+          let v = Memory.get_elem msrc r.Aref.base idx in
+          let payload =
+            Msg.Elem { base = r.Aref.base; index = idx; value = v }
+          in
+          List.iter
+            (fun p ->
+              if p <> src then begin
+                Recover.transmit st.runtime ~src ~dst:p payload;
+                st.transfers <- st.transfers + 1
+              end)
+            dests
+        end
+
+(* --- message aggregation (vectorized blocks) ----------------------- *)
+
+(* A communication whose placement was hoisted above the statement's
+   nesting level moves a loop's worth of elements per placement
+   instance.  The per-element path still sends one packet per element
+   per statement instance; an [agg_plan] instead enumerates the whole
+   crossed-loop region at the {e first} statement instance of each
+   placement instance and ships one {!Msg.Block} per (src, dst) pair.
+
+   Soundness: the placement level certifies that no write inside the
+   crossed loops feeds the communicated read (that is what let
+   {!Hpf_comm.Vectorize} hoist it), so the element values observed at
+   the first instance equal the values the per-element path would send
+   at every later iteration.  The predicate below additionally demands
+   that the {e set} of iterations and their owner/destination sets be
+   computable at the first instance — exactly then the block carries
+   the same elements, in the same order, as the per-element path. *)
+type agg_plan = {
+  cm : Hpf_comm.Comm.t;
+  crossed : Nest.loop_info list;
+      (** loops between placement and statement level, outermost first *)
+  prefix_vars : string list;
+      (** indices of the loops at or above the placement level: their
+          values name one placement instance *)
+  mutable last_prefix : int list option;
+      (** placement instance already shipped (block sent once per) *)
+}
+
+(* What a communication does at its statement, once per instance. *)
+type comm_action =
+  | Per_element of Hpf_comm.Comm.t  (** the conservative fallback *)
+  | Aggregated of agg_plan
+
+(* Scalar names written anywhere inside the crossed region (assigned
+   scalars, assigned array bases, loop indices).  Anything outside this
+   set keeps its first-instance value for the whole region. *)
+let written_in_region (top : Nest.loop_info) : (string, unit) Hashtbl.t =
+  let w = Hashtbl.create 16 in
+  Hashtbl.replace w top.Nest.loop.index ();
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.node with
+      | Ast.Assign (Ast.LVar x, _) -> Hashtbl.replace w x ()
+      | Ast.Assign (Ast.LArr (a, _), _) -> Hashtbl.replace w a ()
+      | Ast.Do dl -> Hashtbl.replace w dl.index ()
+      | Ast.If _ | Ast.Exit _ | Ast.Cycle _ -> ())
+    top.Nest.loop.body;
+  w
+
+(* Is the owner set of [r] an exact function of loop indices and
+   parameters?  Mirrors the recursion of {!Concrete.owner}: scalar
+   mappings chain to their alignment targets, array mappings to the
+   layout or a privatization target; every subscript met along the way
+   must be affine in the consumer's enclosing indices, so re-evaluating
+   it during region enumeration gives the per-iteration answer. *)
+let rec owner_chain_affine (d : Decisions.t) ~(indices : string list)
+    ~(depth : int) ~(as_def : bool) (r : Aref.t) : bool =
+  let prog = d.Decisions.prog in
+  let subs_affine () =
+    List.for_all
+      (fun sub -> Affine.of_subscript prog ~indices sub <> None)
+      r.Aref.subs
+  in
+  if depth > 8 then false
+  else if Aref.is_scalar r then
+    if Ast.is_array prog r.Aref.base then false
+    else if Nest.is_enclosing_index d.Decisions.nest r.Aref.sid r.Aref.base
+    then true
+    else begin
+      let mapping =
+        if as_def then
+          match Decisions.def_of_stmt d ~sid:r.Aref.sid ~var:r.Aref.base with
+          | Some def -> Decisions.scalar_mapping_of_def d def
+          | None -> Decisions.Replicated
+        else
+          Decisions.scalar_mapping_of_use d ~sid:r.Aref.sid ~var:r.Aref.base
+      in
+      match mapping with
+      | Decisions.Replicated | Decisions.Priv_no_align -> true
+      | Decisions.Priv_aligned { target; _ }
+      | Decisions.Priv_reduction { target; _ } ->
+          owner_chain_affine d ~indices ~depth:(depth + 1) ~as_def:false
+            target
+    end
+  else
+    match Decisions.array_mapping_at d ~sid:r.Aref.sid ~base:r.Aref.base with
+    | None -> subs_affine ()
+    | Some (_, Decisions.Arr_priv { target = None }) -> true
+    | Some (_, Decisions.Arr_priv { target = Some t }) ->
+        owner_chain_affine d ~indices ~depth:(depth + 1) ~as_def:false t
+    | Some (_, Decisions.Arr_partial_priv { target; _ }) ->
+        subs_affine ()
+        && owner_chain_affine d ~indices ~depth:(depth + 1) ~as_def:false
+             target
+
+(* Can the consumer's executing set be enumerated exactly?  [G_union]
+   unions over sibling statements — too entangled to certify. *)
+let guard_enumerable (d : Decisions.t) ~(indices : string list)
+    (s : Ast.stmt) : bool =
+  match Decisions.guard_of_stmt d s with
+  | Decisions.G_all -> true
+  | Decisions.G_ref r -> owner_chain_affine d ~indices ~depth:0 ~as_def:true r
+  | Decisions.G_ref_repl (r, _) ->
+      owner_chain_affine d ~indices ~depth:0 ~as_def:false r
+  | Decisions.G_union -> false
+
+(* Decide whether a vectorized communication may be shipped as blocks,
+   and build its plan.  Falls back to [None] (per-element) whenever the
+   crossed region's iteration set, owners or destinations cannot be
+   proven identical between first-instance enumeration and the actual
+   iteration-by-iteration execution. *)
+let aggregation_plan (d : Decisions.t) (cm : Hpf_comm.Comm.t) :
+    agg_plan option =
+  let prog = d.Decisions.prog and nest = d.Decisions.nest in
+  let data = cm.Hpf_comm.Comm.data in
+  let sid = data.Aref.sid in
+  if
+    (not (Hpf_comm.Comm.vectorized cm))
+    || cm.Hpf_comm.Comm.kind = Hpf_comm.Comm.Reduce
+  then None
+  else
+    match Ast.find_stmt prog sid with
+    | None -> None
+    | Some s -> (
+        let loops = Nest.enclosing_loops nest sid in
+        let placement = cm.Hpf_comm.Comm.placement_level in
+        let crossed =
+          List.filter
+            (fun (li : Nest.loop_info) -> li.Nest.level > placement)
+            loops
+        in
+        match crossed with
+        | [] -> None
+        | top :: _ ->
+            let indices = Nest.enclosing_indices nest sid in
+            (* the consumer must sit under plain [Do]s all the way up to
+               the topmost crossed loop: an [If] in between could cut
+               iterations the enumeration would still ship *)
+            let rec chain_ok cur =
+              match Hashtbl.find_opt nest.Nest.parent cur with
+              | None -> false
+              | Some p -> (
+                  p = top.Nest.loop_sid
+                  ||
+                  match Ast.find_stmt prog p with
+                  | Some { Ast.node = Ast.Do _; _ } -> chain_ok p
+                  | _ -> false)
+            in
+            (* [Exit]/[Cycle] anywhere in the region can likewise cut
+               iterations after the fact *)
+            let no_ctrl =
+              let ok = ref true in
+              Ast.iter_stmts
+                (fun st ->
+                  match st.Ast.node with
+                  | Ast.Exit _ | Ast.Cycle _ -> ok := false
+                  | _ -> ())
+                top.Nest.loop.body;
+              !ok
+            in
+            let written = written_in_region top in
+            let stable v = not (Hashtbl.mem written v) in
+            (* crossed-loop bounds must evaluate to the same values
+               during enumeration as at the real loop headers *)
+            let bounds_ok =
+              List.for_all
+                (fun (li : Nest.loop_info) ->
+                  List.for_all
+                    (fun e ->
+                      List.for_all
+                        (fun v ->
+                          Nest.is_enclosing_index nest li.Nest.loop_sid v
+                          || stable v)
+                        (Ast.expr_vars e))
+                    [ li.Nest.loop.lo; li.Nest.loop.hi; li.Nest.loop.step ])
+                crossed
+            in
+            let data_ok =
+              if Aref.is_scalar data then
+                (* whole-array refs go through the element-wise path *)
+                (not (Ast.is_array prog data.Aref.base))
+                && stable data.Aref.base
+              else
+                List.for_all
+                  (fun sub -> Affine.of_subscript prog ~indices sub <> None)
+                  data.Aref.subs
+            in
+            let owners_ok =
+              owner_chain_affine d ~indices ~depth:0 ~as_def:false data
+            in
+            let guard_ok =
+              cm.Hpf_comm.Comm.kind = Hpf_comm.Comm.Broadcast
+              || guard_enumerable d ~indices s
+            in
+            if chain_ok sid && no_ctrl && bounds_ok && data_ok && owners_ok
+               && guard_ok
+            then
+              Some
+                {
+                  cm;
+                  crossed;
+                  prefix_vars =
+                    List.filter_map
+                      (fun (li : Nest.loop_info) ->
+                        if li.Nest.level <= placement then
+                          Some li.Nest.loop.index
+                        else None)
+                      loops;
+                  last_prefix = None;
+                }
+            else None)
+
+(* Ship one placement instance of an aggregated communication: walk the
+   crossed-loop region exactly as {!Seq_interp} would (bounds evaluated
+   at entry, index set per iteration, reference-memory addressing),
+   replaying the per-element transfer logic into buffers, then flush one
+   block per (src, dst) pair.  The crossed indices are borrowed from the
+   reference memory and restored afterwards, so the surrounding
+   execution never observes the lookahead. *)
+let aggregated_transfer (st : t) (m_ref : Memory.t) (plan : agg_plan)
+    (s : Ast.stmt) ~(all_pids : int list) =
+  let d = st.compiled.Compiler.decisions in
+  let data = plan.cm.Hpf_comm.Comm.data in
+  let broadcast = plan.cm.Hpf_comm.Comm.kind = Hpf_comm.Comm.Broadcast in
+  let scalar_base = Aref.is_scalar data in
+  let bufs = buffers_create () in
+  let emit () =
+    match Concrete.owner_pids d m_ref data with
+    | [] -> ()
+    | src :: _ ->
+        let entry =
+          if scalar_base then
+            ([], Memory.get_scalar st.procs.(src) data.Aref.base)
+          else
+            let idx =
+              List.map (fun e -> Eval.int_expr m_ref e) data.Aref.subs
+            in
+            (idx, Memory.get_elem st.procs.(src) data.Aref.base idx)
+        in
+        let dests =
+          if broadcast then all_pids else Concrete.executing_pids d m_ref s
+        in
+        List.iter
+          (fun p ->
+            if p <> src then begin
+              st.transfers <- st.transfers + 1;
+              buffers_add bufs ~src ~dst:p entry
+            end)
+          dests
+  in
+  let saved =
+    List.map
+      (fun (li : Nest.loop_info) ->
+        (li.Nest.loop.index, Memory.get_scalar m_ref li.Nest.loop.index))
+      plan.crossed
+  in
+  let rec walk = function
+    | [] -> emit ()
+    | (li : Nest.loop_info) :: rest ->
+        let dl = li.Nest.loop in
+        let lo = Eval.int_expr m_ref dl.lo in
+        let hi = Eval.int_expr m_ref dl.hi in
+        let step = Eval.int_expr m_ref dl.step in
+        if step = 0 then Memory.rerr "zero loop step";
+        let i = ref lo in
+        while if step > 0 then !i <= hi else !i >= hi do
+          Memory.set_scalar m_ref dl.index (Value.I !i);
+          walk rest;
+          i := !i + step
+        done
+  in
+  walk plan.crossed;
+  List.iter (fun (v, x) -> Memory.set_scalar m_ref v x) saved;
+  buffers_flush st ~scalar_base ~base:data.Aref.base bufs
+
+(** Run the compiled program in SPMD fashion.  [init] seeds the reference
+    memory and every processor memory identically (initial data is
+    assumed globally available, as the paper's benchmarks read their
+    input on every node). *)
+let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
+    ?recover_config ?(aggregate = true)
+    ?(fuel = Seq_interp.default_fuel) (c : Compiler.compiled) : t =
+  let d = c.Compiler.decisions in
+  let nprocs =
+    Hpf_mapping.Grid.size d.Decisions.env.Hpf_mapping.Layout.grid
+  in
+  let reference = Memory.create c.Compiler.prog in
+  let procs = Array.init nprocs (fun _ -> Memory.create c.Compiler.prog) in
+  (match init with
+  | Some f ->
+      f reference;
+      Array.iter f procs
+  | None -> ());
+  (* the supervisor snapshots the post-init state as checkpoint zero *)
+  let runtime =
+    Recover.create ?config:recover_config ~faults procs c.Compiler.prog
+  in
+  let st = { compiled = c; reference; procs; transfers = 0; runtime; aggregate } in
+  let by_sid = comms_by_sid c in
+  (* each communication either ships per element (the conservative
+     fallback, and everything under [--no-aggregate]) or as one block
+     per placement instance and (src, dst) pair *)
+  let actions_by_sid : (Ast.stmt_id, comm_action list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  Hashtbl.iter
+    (fun sid comms ->
+      Hashtbl.replace actions_by_sid sid
+        (List.map
+           (fun cm ->
+             if aggregate then
+               match aggregation_plan d cm with
+               | Some plan -> Aggregated plan
+               | None -> Per_element cm
+             else Per_element cm)
+           comms))
+    by_sid;
+  let all_pids = List.init nprocs (fun p -> p) in
+  (* --- reduction combining ------------------------------------------
+     Each processor accumulates a partial result into its private copy of
+     a reduction variable; before any other statement consumes it the
+     partials must be combined across the grid dimensions the reduction
+     spans (paper §2.3's "global reduction operation").  We track a dirty
+     flag per reduction and combine lazily on first consumption. *)
+  let grid = d.Decisions.env.Hpf_mapping.Layout.grid in
+  let reduction_info =
+    (* (variable, accumulating sids, op, loc vars, repl dims) *)
+    List.filter_map
+      (fun (red : Reduction.red) ->
+        let acc_sids =
+          match Ast.find_stmt c.Compiler.prog red.Reduction.stmt_sid with
+          | Some { node = Ast.If (_, t, e); sid; _ } ->
+              sid :: List.map (fun (s : Ast.stmt) -> s.sid)
+                       (Decisions.all_stmts_in (t @ e))
+          | Some { sid; _ } -> [ sid ]
+          | None -> []
+        in
+        let repl_dims =
+          Ssa.defs_of_var d.Decisions.ssa red.Reduction.var
+          |> List.find_map (fun def ->
+                 match Decisions.scalar_mapping_of_def d def with
+                 | Decisions.Priv_reduction { repl_grid_dims; _ } ->
+                     Some repl_grid_dims
+                 | _ -> None)
+        in
+        match repl_dims with
+        | Some dims when dims <> [] ->
+            Some (red.Reduction.var, acc_sids, red, dims)
+        | _ -> None)
+      d.Decisions.reductions
+  in
+  let dirty : (string, bool) Hashtbl.t = Hashtbl.create 4 in
+  let combine (var, _, (red : Reduction.red), repl_dims) =
+    if Hashtbl.find_opt dirty var = Some true then begin
+      Hashtbl.replace dirty var false;
+      (* group processors into lines sharing coords outside repl_dims *)
+      let lines : (int list, int list) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun pid ->
+          let coords = Hpf_mapping.Grid.coords grid pid in
+          let key =
+            List.filteri
+              (fun g _ -> not (List.mem g repl_dims))
+              (Array.to_list coords)
+          in
+          let cur =
+            match Hashtbl.find_opt lines key with Some l -> l | None -> []
+          in
+          Hashtbl.replace lines key (pid :: cur))
+        all_pids;
+      Hashtbl.iter
+        (fun _ members ->
+          let values =
+            List.map
+              (fun p -> (p, Memory.get_scalar st.procs.(p) var))
+              members
+          in
+          let better (p1, v1) (p2, v2) =
+            let f1 = Value.to_float v1 and f2 = Value.to_float v2 in
+            match red.Reduction.op with
+            | Reduction.Rmax -> if f2 > f1 then (p2, v2) else (p1, v1)
+            | Reduction.Rmin -> if f2 < f1 then (p2, v2) else (p1, v1)
+            | Reduction.Rsum | Reduction.Rprod -> (p1, v1)
+          in
+          let total =
+            match red.Reduction.op with
+            | Reduction.Rsum ->
+                let s =
+                  List.fold_left
+                    (fun acc (_, v) -> acc +. Value.to_float v)
+                    0.0 values
+                in
+                (List.hd members, Value.R s)
+            | Reduction.Rprod ->
+                let s =
+                  List.fold_left
+                    (fun acc (_, v) -> acc *. Value.to_float v)
+                    1.0 values
+                in
+                (List.hd members, Value.R s)
+            | Reduction.Rmax | Reduction.Rmin ->
+                List.fold_left better (List.hd values) (List.tl values)
+          in
+          let winner, total_v = total in
+          st.transfers <- st.transfers + List.length members - 1;
+          List.iter
+            (fun p ->
+              Recover.write st.runtime p
+                (Msg.Scalar { var; value = total_v });
+              (* maxloc/minloc: the location companions follow the
+                 winning processor's values *)
+              List.iter
+                (fun (lv, _) ->
+                  Recover.write st.runtime p
+                    (Msg.Scalar
+                       {
+                         var = lv;
+                         value = Memory.get_scalar st.procs.(winner) lv;
+                       }))
+                red.Reduction.loc_vars)
+            members)
+        lines
+    end
+  in
+  let on_stmt (s : Ast.stmt) (m_ref : Memory.t) =
+    (* 0. reduction bookkeeping: combine partials before any consumer
+       reads the accumulator; mark dirty on accumulation *)
+    List.iter
+      (fun ((var, acc_sids, _, _) as info) ->
+        if List.mem s.sid acc_sids then Hashtbl.replace dirty var true
+        else begin
+          let reads =
+            List.exists
+              (fun e -> List.mem var (Ast.expr_vars e))
+              (Ast.own_exprs s)
+          in
+          if reads then combine info
+        end)
+      reduction_info;
+    (* 1. perform the communications attached to this statement *)
+    (match Hashtbl.find_opt actions_by_sid s.sid with
+    | Some actions ->
+        List.iter
+          (fun action ->
+            match action with
+            | Per_element cm -> (
+                match cm.Hpf_comm.Comm.kind with
+                | Hpf_comm.Comm.Reduce ->
+                    (* combining is performed by the lazy reduction logic
+                       above, not by a value copy *)
+                    ()
+                | Hpf_comm.Comm.Broadcast ->
+                    transfer st m_ref cm.Hpf_comm.Comm.data all_pids
+                | Hpf_comm.Comm.Shift _ | Hpf_comm.Comm.Point_to_point
+                | Hpf_comm.Comm.Gather ->
+                    transfer st m_ref cm.Hpf_comm.Comm.data
+                      (Concrete.executing_pids d m_ref s))
+            | Aggregated plan ->
+                (* ship the whole region once, at the first statement
+                   instance of each placement instance *)
+                let prefix =
+                  List.map
+                    (fun v -> Value.to_int (Memory.get_scalar m_ref v))
+                    plan.prefix_vars
+                in
+                if plan.last_prefix <> Some prefix then begin
+                  plan.last_prefix <- Some prefix;
+                  aggregated_transfer st m_ref plan s ~all_pids
+                end)
+          actions
+    | None -> ());
+    (* 2. execute the statement on the processors its guard selects *)
+    match s.node with
+    | Ast.Assign (lhs, rhs) ->
+        let execs = Concrete.executing_pids d m_ref s in
+        List.iter
+          (fun p ->
+            let mp = st.procs.(p) in
+            let v = Eval.expr mp rhs in
+            match lhs with
+            | Ast.LVar x ->
+                Recover.write st.runtime p (Msg.Scalar { var = x; value = v })
+            | Ast.LArr (a, subs) ->
+                (* addresses from the reference memory: subscript values
+                   are guaranteed available by the consumer rules *)
+                let idx = List.map (fun e -> Eval.int_expr m_ref e) subs in
+                Recover.write st.runtime p
+                  (Msg.Elem { base = a; index = idx; value = v }))
+          execs
+    | Ast.Do dl ->
+        (* every processor tracks loop indices (SPMD loop structure) *)
+        let i0 = Eval.int_expr m_ref dl.lo in
+        Array.iteri
+          (fun p _ ->
+            Recover.write st.runtime p
+              (Msg.Scalar { var = dl.index; value = Value.I i0 }))
+          st.procs
+    | Ast.If _ | Ast.Exit _ | Ast.Cycle _ -> ()
+  in
+  (* loop indices must stay in lockstep on every processor (the SPMD
+     loop structure materializes them locally); mirror them from the
+     reference memory before each statement *)
+  let nest = d.Decisions.nest in
+  let indices_of : (Ast.stmt_id, string list) Hashtbl.t = Hashtbl.create 64 in
+  Ast.iter_program
+    (fun s ->
+      Hashtbl.replace indices_of s.sid (Nest.enclosing_indices nest s.sid))
+    c.Compiler.prog;
+  let on_stmt_mirrored (s : Ast.stmt) (m_ref : Memory.t) =
+    (* statement boundary: checkpointing and processor-level faults *)
+    Recover.stmt_boundary st.runtime;
+    List.iter
+      (fun v ->
+        let x = Memory.get_scalar m_ref v in
+        Array.iteri
+          (fun p _ ->
+            Recover.write st.runtime p (Msg.Scalar { var = v; value = x }))
+          st.procs)
+      (Hashtbl.find indices_of s.sid);
+    on_stmt s m_ref
+  in
+  let config = { Seq_interp.fuel; on_stmt = Some on_stmt_mirrored } in
+  st.reference <- Seq_interp.run ~config ?init c.Compiler.prog;
+  st
+
+(** The message runtime's fault-campaign report for a finished run. *)
+let fault_report (st : t) : Recover.report = Recover.report st.runtime
+
+(** Measured network traffic of a finished run: packets, blocks,
+    elements, wire bytes (retransmits included). *)
+let comm_stats (st : t) : Msg.stats = Recover.net_stats st.runtime
+
+(** A divergence between a processor's owned copy and the reference. *)
+type mismatch = {
+  pid : int;
+  array : string;
+  index : int list;
+  got : Value.t;
+  expected : Value.t;
+}
+
+let pp_mismatch ppf (m : mismatch) =
+  Fmt.pf ppf "proc %d: %s(%a) = %a, expected %a" m.pid m.array
+    Fmt.(list ~sep:(any ", ") int)
+    m.index Value.pp m.got Value.pp m.expected
+
+(** Check every processor's owned elements of every distributed array
+    against the reference memory.  Returns the mismatches (empty = the
+    SPMD execution is consistent).
+
+    Fully privatized arrays are skipped: the [NEW] clause declares their
+    values dead after the loop, and each processor's instance
+    legitimately holds the values of the iterations {e it} executed.  A
+    {e partially} privatized array (paper §3.2, APPSP's [c]) is still
+    partitioned along its non-privatized grid dimensions, so it stays
+    checkable there: along the privatized dimensions each processor's
+    instance may hold different iterations' values, but the iteration
+    that last wrote an element executed {e somewhere} on the element's
+    owner line, so at least one processor of the line widened along the
+    privatized dimensions must hold the reference value. *)
+let validate ?(max_mismatches = 10) (st : t) : mismatch list =
+  let d = st.compiled.Compiler.decisions in
+  let env = d.Decisions.env in
+  (* per-array privatization summary across all loops *)
+  let priv_of a =
+    Hashtbl.fold
+      (fun (name, _) mapping acc ->
+        if not (String.equal name a) then acc
+        else
+          match (mapping, acc) with
+          | Decisions.Arr_priv _, _ | _, `Full -> `Full
+          | Decisions.Arr_partial_priv { priv_grid_dims; _ }, `None ->
+              `Partial priv_grid_dims
+          | Decisions.Arr_partial_priv { priv_grid_dims; _ }, `Partial ds ->
+              `Partial (List.sort_uniq compare (priv_grid_dims @ ds)))
+      d.Decisions.arrays `None
+  in
+  let out = ref [] in
+  let count = ref 0 in
+  let record pid array index got expected =
+    incr count;
+    out := { pid; array; index; got; expected } :: !out
+  in
+  List.iter
+    (fun (decl : Ast.decl) ->
+      if decl.shape <> [] && !count < max_mismatches then
+        match priv_of decl.dname with
+        | `Full -> ()
+        | `None ->
+            Memory.iter_elems st.reference decl.dname (fun idx expected ->
+                if !count < max_mismatches then
+                  List.iter
+                    (fun pid ->
+                      if !count < max_mismatches then begin
+                        let got =
+                          Memory.get_elem st.procs.(pid) decl.dname idx
+                        in
+                        if not (Value.close got expected) then
+                          record pid decl.dname idx got expected
+                      end)
+                    (Hpf_mapping.Ownership.owner_pids env decl.dname
+                       (Array.of_list idx)))
+        | `Partial priv_dims ->
+            Memory.iter_elems st.reference decl.dname (fun idx expected ->
+                if !count < max_mismatches then begin
+                  let line =
+                    Hpf_mapping.Ownership.owner_of_element env decl.dname
+                      (Array.of_list idx)
+                    |> Array.mapi (fun g c ->
+                           if List.mem g priv_dims then
+                             Hpf_mapping.Ownership.C_all
+                           else c)
+                    |> Concrete.pids env
+                  in
+                  let holds pid =
+                    Value.close
+                      (Memory.get_elem st.procs.(pid) decl.dname idx)
+                      expected
+                  in
+                  match line with
+                  | [] -> ()
+                  | pid :: _ ->
+                      if not (List.exists holds line) then
+                        record pid decl.dname idx
+                          (Memory.get_elem st.procs.(pid) decl.dname idx)
+                          expected
+                end))
+    st.compiled.Compiler.prog.Ast.decls;
+  List.rev !out

@@ -1,0 +1,73 @@
+(** Legacy AST-walking SPMD interpreter — the [--no-lower] escape
+    hatch, kept for one release as the differential oracle of the
+    lowered path ({!Spmd_interp} executing {!Phpf_ir.Sir}).
+
+    Every processor owns a full-size shadow memory, writes only under its
+    computation-partitioning guard, and sees remote values only when the
+    compiler's communication schedule moves them (reductions combine
+    partial results across the grid dimensions they span).  {!validate}
+    compares every processor's owned elements with the sequential
+    reference; a missing or misplaced communication, or a wrong guard,
+    fails the check. *)
+
+open Phpf_core
+
+type t = {
+  compiled : Compiler.compiled;
+  mutable reference : Memory.t;  (** the sequential reference memory *)
+  procs : Memory.t array;  (** one shadow memory per processor *)
+  mutable transfers : int;  (** elements copied between processors *)
+  runtime : Recover.t;
+      (** message runtime: reliable delivery, fault recovery *)
+  aggregate : bool;
+      (** batch vectorized communications into {!Msg.Block} packets *)
+}
+
+(** Execute the compiled program in SPMD fashion.  [init] seeds the
+    reference and every processor memory identically.  Inter-processor
+    copies travel as sequence-numbered, checksummed packets through the
+    {!Msg} layer; [faults] injects a deterministic fault campaign that
+    {!Recover} detects and repairs (raising {!Recover.Unrecoverable}
+    when its retry budget dies).  Without [faults] the run is
+    observationally identical to the pre-message-layer interpreter.
+
+    With [aggregate] (the default) a vectorized communication ships each
+    placement instance as one {!Msg.Block} per (src, dst) pair — same
+    elements, same order, same [transfers] count as the per-element
+    path, but one packet (one sequence number, one checksum, one
+    startup latency) per pair instead of one per element.  [~aggregate:
+    false] is the [--no-aggregate] escape hatch for A/B runs. *)
+val run :
+  ?init:(Memory.t -> unit) ->
+  ?faults:Fault.t ->
+  ?recover_config:Recover.config ->
+  ?aggregate:bool ->
+  ?fuel:int ->
+  Compiler.compiled ->
+  t
+
+(** The message runtime's fault-campaign report for a finished run. *)
+val fault_report : t -> Recover.report
+
+(** Measured network traffic of a finished run: packets, blocks,
+    elements, wire bytes (retransmits included). *)
+val comm_stats : t -> Msg.stats
+
+(** A divergence between a processor's owned copy and the reference. *)
+type mismatch = {
+  pid : int;
+  array : string;
+  index : int list;
+  got : Value.t;
+  expected : Value.t;
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+(** Check every processor's owned elements of every distributed array
+    against the reference.  Empty result = consistent execution.  Fully
+    privatized arrays are skipped ([NEW] declares them dead after the
+    loop); partially privatized arrays are checked along their
+    partitioned grid dimensions — some processor on each element's
+    owner line must hold the reference value. *)
+val validate : ?max_mismatches:int -> t -> mismatch list

@@ -10,8 +10,16 @@ open Hpf_lang
 exception Exit_loop of string option
 exception Cycle_loop of string option
 
+exception
+  Fuel_exhausted of {
+    loc : Loc.t option;
+    sid : Ast.stmt_id;
+    budget : int;
+  }
+
 (** Maximum statement instances executed before aborting (guards against
-    runaway loops in tests). *)
+    runaway loops in tests).  Overridable per run via [config.fuel] and
+    from the CLI via [phpfc simulate --fuel N]. *)
 let default_fuel = 200_000_000
 
 type config = {
@@ -27,9 +35,12 @@ let run ?(config = default_config) ?(init : (Memory.t -> unit) option)
   let m = Memory.create prog in
   (match init with Some f -> f m | None -> ());
   let fuel = ref config.fuel in
-  let tick s =
+  let tick (s : Ast.stmt) =
     decr fuel;
-    if !fuel <= 0 then Memory.rerr "out of fuel (infinite loop?)";
+    if !fuel <= 0 then
+      raise
+        (Fuel_exhausted
+           { loc = s.Ast.loc; sid = s.Ast.sid; budget = config.fuel });
     match config.on_stmt with Some f -> f s m | None -> ()
   in
   let rec stmts ss = List.iter stmt ss

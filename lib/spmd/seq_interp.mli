@@ -7,8 +7,20 @@ open Hpf_lang
 exception Exit_loop of string option
 exception Cycle_loop of string option
 
+(** The statement-instance budget ran out: the program looped longer
+    than [config.fuel] instances.  Carries the location and id of the
+    statement about to execute, for a located [E0704] diagnostic at the
+    CLI boundary. *)
+exception
+  Fuel_exhausted of {
+    loc : Loc.t option;
+    sid : Ast.stmt_id;
+    budget : int;
+  }
+
 (** Default statement-instance budget before aborting (guards against
-    runaway loops). *)
+    runaway loops).  Override per run via [config.fuel] or
+    [phpfc simulate --fuel N]. *)
 val default_fuel : int
 
 type config = {
@@ -21,6 +33,7 @@ val default_config : config
 
 (** Execute a program.  [init] seeds the fresh memory (e.g. {!Init.init});
     returns the final memory.
-    @raise Memory.Runtime_error on runtime faults or fuel exhaustion. *)
+    @raise Memory.Runtime_error on runtime faults.
+    @raise Fuel_exhausted when the statement budget runs out. *)
 val run :
   ?config:config -> ?init:(Memory.t -> unit) -> Ast.program -> Memory.t

@@ -1,46 +1,52 @@
-(** Per-processor SPMD execution with explicit data movement — the
-    correctness cross-check for the compilation.
+(** Per-processor SPMD execution of the lowered IR ({!Phpf_ir.Sir}) —
+    the correctness cross-check for the compilation.
 
-    Every processor owns a full-size shadow memory, writes only under its
-    computation-partitioning guard, and sees remote values only when the
-    compiler's communication schedule moves them (reductions combine
-    partial results across the grid dimensions they span).  {!validate}
-    compares every processor's owned elements with the sequential
-    reference; a missing or misplaced communication, or a wrong guard,
-    fails the check. *)
+    Ownership chains, computation-partitioning guards, communication
+    destinations, aggregation plans and reduction combine lines were all
+    resolved at lowering time ({!Phpf_core.Lower_spmd}); this module only
+    evaluates the subscript expressions embedded in IR coordinates
+    against the lockstep reference memory and moves the values.  The
+    legacy AST-walking interpreter survives as {!Ast_interp} behind
+    [phpfc --no-lower]. *)
 
 open Phpf_core
+module Sir = Phpf_ir.Sir
 
 type t = {
   compiled : Compiler.compiled;
+  sir : Sir.program;  (** the lowered program being executed *)
   mutable reference : Memory.t;  (** the sequential reference memory *)
   procs : Memory.t array;  (** one shadow memory per processor *)
   mutable transfers : int;  (** elements copied between processors *)
   runtime : Recover.t;
       (** message runtime: reliable delivery, fault recovery *)
-  aggregate : bool;
-      (** batch vectorized communications into {!Msg.Block} packets *)
 }
 
-(** Execute the compiled program in SPMD fashion.  [init] seeds the
-    reference and every processor memory identically.  Inter-processor
-    copies travel as sequence-numbered, checksummed packets through the
-    {!Msg} layer; [faults] injects a deterministic fault campaign that
-    {!Recover} detects and repairs (raising {!Recover.Unrecoverable}
-    when its retry budget dies).  Without [faults] the run is
-    observationally identical to the pre-message-layer interpreter.
+(** Execute the compiled program in SPMD fashion by interpreting its
+    lowered form.  [init] seeds the reference and every processor memory
+    identically.  Inter-processor copies travel as sequence-numbered,
+    checksummed packets through the {!Msg} layer; [faults] injects a
+    deterministic fault campaign that {!Recover} detects and repairs
+    (raising {!Recover.Unrecoverable} when its retry budget dies).
 
-    With [aggregate] (the default) a vectorized communication ships each
+    [sir] supplies the lowered program to execute; without it the
+    compiled components are (re-)lowered permissively with the requested
+    [aggregate] mode, so communication schedules mutated after
+    compilation execute under exactly the decisions they describe.  With
+    [aggregate] (the default) vectorized communications ship each
     placement instance as one {!Msg.Block} per (src, dst) pair — same
     elements, same order, same [transfers] count as the per-element
-    path, but one packet (one sequence number, one checksum, one
-    startup latency) per pair instead of one per element.  [~aggregate:
-    false] is the [--no-aggregate] escape hatch for A/B runs. *)
+    path, but one packet per pair instead of one per element.
+
+    [fuel] bounds the number of executed statement instances
+    ({!Seq_interp.Fuel_exhausted} when exceeded). *)
 val run :
   ?init:(Memory.t -> unit) ->
   ?faults:Fault.t ->
   ?recover_config:Recover.config ->
   ?aggregate:bool ->
+  ?fuel:int ->
+  ?sir:Sir.program ->
   Compiler.compiled ->
   t
 
@@ -62,10 +68,11 @@ type mismatch = {
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
 
-(** Check every processor's owned elements of every distributed array
-    against the reference.  Empty result = consistent execution.  Fully
-    privatized arrays are skipped ([NEW] declares them dead after the
-    loop); partially privatized arrays are checked along their
-    partitioned grid dimensions — some processor on each element's
-    owner line must hold the reference value. *)
+(** Replay the lowered validation plan: check every processor's owned
+    elements of every distributed array against the reference.  Empty
+    result = consistent execution.  Fully privatized arrays are skipped
+    ([NEW] declares them dead after the loop); partially privatized
+    arrays are checked along their partitioned grid dimensions — some
+    processor on each element's owner line must hold the reference
+    value. *)
 val validate : ?max_mismatches:int -> t -> mismatch list

@@ -65,6 +65,7 @@ type stmt_stats = {
 
 let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats.t option)
     ?(recovery : Recover.report option) ?(comm_stats : Msg.stats option)
+    ?(sir : Phpf_ir.Sir.program option) ?(fuel = Seq_interp.default_fuel)
     (c : Compiler.compiled) : result * Memory.t =
   let d = c.Compiler.decisions in
   let prog = c.Compiler.prog in
@@ -138,9 +139,20 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
     List.iter (fun p -> clocks.(p) <- clocks.(p) +. t) execs;
     compute_total := !compute_total +. (t *. float_of_int (List.length execs))
   in
-  let config = { Seq_interp.fuel = Seq_interp.default_fuel; on_stmt = Some on_stmt } in
+  let config = { Seq_interp.fuel; on_stmt = Some on_stmt } in
   let mem = Seq_interp.run ~config ?init prog in
-  (* price the communication schedule from the measured trace *)
+  (* price the communication schedule from the measured trace; with a
+     lowered program, price its communication ops in schedule order (the
+     ops carry their source schedule entries, so the cost model sees the
+     same kinds, levels and scales — minus any op lowering dropped) *)
+  let comms_to_price =
+    match sir with
+    | Some s ->
+        List.map
+          (fun (op : Phpf_ir.Sir.comm_op) -> op.Phpf_ir.Sir.cm)
+          (Phpf_ir.Sir.schedule s)
+    | None -> c.Compiler.comms
+  in
   let comm_time = ref 0.0 in
   let comm_messages = ref 0 in
   let comm_elems = ref 0 in
@@ -211,7 +223,7 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
           comm_time := !comm_time +. Comm.cost (model_for cm) ~nprocs cm';
           comm_messages := !comm_messages + instances;
           comm_elems := !comm_elems + (instances * elems))
-    c.Compiler.comms;
+    comms_to_price;
   let compute_max = Array.fold_left Float.max 0.0 clocks in
   let recovery_time =
     match recovery with

@@ -45,7 +45,11 @@ val pp_result : Format.formatter -> result -> unit
     [sim.faults-*], [sim.retries], [sim.checkpoints], [sim.restores]
     and [sim.recovery-time-us].  [comm_stats] substitutes measured
     network traffic (from {!Spmd_interp.comm_stats}) for the schedule
-    estimate behind [sim.packets]/[sim.bytes].  Returns the timing
+    estimate behind [sim.packets]/[sim.bytes].  [sir] prices the
+    lowered program's communication ops (in schedule order) instead of
+    the raw schedule, so ops dropped at lowering are not charged.
+    [fuel] bounds interpreted statement instances
+    ({!Seq_interp.Fuel_exhausted} when exceeded).  Returns the timing
     result and the final (reference) memory. *)
 val run :
   ?model:Hpf_comm.Cost_model.t ->
@@ -53,5 +57,7 @@ val run :
   ?stats:Phpf_driver.Stats.t ->
   ?recovery:Recover.report ->
   ?comm_stats:Msg.stats ->
+  ?sir:Phpf_ir.Sir.program ->
+  ?fuel:int ->
   Compiler.compiled ->
   result * Memory.t

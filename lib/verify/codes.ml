@@ -9,10 +9,13 @@ let e_structural = "E0606"
 let e_owner_coverage = "E0607"
 let e_divergent = "E0608"
 let e_dangling_comm = "E0609"
+let e_sir_missing = "E0610"
+let e_sir_guard = "E0611"
 let w_phi = "W0601"
 let w_redundant_write = "W0602"
 let w_redundant_comm = "W0603"
 let w_inner_comm = "W0604"
+let w_sir_extra = "W0605"
 
 let all =
   [
@@ -25,10 +28,13 @@ let all =
     (e_owner_coverage, "owner of a written element does not execute the write");
     (e_divergent, "divergent replicated execution");
     (e_dangling_comm, "communication references a nonexistent statement");
+    (e_sir_missing, "lowered program misses a required transfer op");
+    (e_sir_guard, "lowered guards or storage disagree with the decisions");
     (w_phi, "inconsistent mappings reach a use across a phi");
     (w_redundant_write, "executor set strictly wider than the owner set");
     (w_redundant_comm, "communication no read reference requires");
     (w_inner_comm, "communication left inside its innermost loop");
+    (w_sir_extra, "lowered program carries an unrequired transfer op");
   ]
 
 let is_soundness_error code =

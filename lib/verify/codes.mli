@@ -1,8 +1,9 @@
 (** Stable diagnostic codes of the static verifier ([phpfc lint]).
 
-    [E0601]-[E0609] are soundness errors: the compiled artifact (the
-    mapping decisions plus the communication schedule) can produce stale
-    reads or divergent replicated state under SPMD execution.
+    [E0601]-[E0611] are soundness errors: the compiled artifact (the
+    mapping decisions, the communication schedule, and the lowered
+    {!Phpf_ir.Sir} program) can produce stale reads or divergent
+    replicated state under SPMD execution.
     [W0601]-[W0699] are lint warnings: suspicious or wasteful but not
     provably unsound. *)
 
@@ -39,6 +40,15 @@ val e_divergent : string
 val e_dangling_comm : string
 (** [E0609] scheduled communication references a nonexistent statement *)
 
+val e_sir_missing : string
+(** [E0610] the recorded lowered program is missing a transfer op the
+    decisions require — a consumer will read a stale operand *)
+
+val e_sir_guard : string
+(** [E0611] lowered computes predicates, storage decisions, reduction
+    plans or validation recipes disagree with the decisions they claim
+    to implement *)
+
 val w_phi : string
 (** [W0601] inconsistent mappings reach a use across a φ *)
 
@@ -52,6 +62,10 @@ val w_redundant_comm : string
 val w_inner_comm : string
 (** [W0604] communication left inside its innermost loop (the paper's
     expensive non-vectorized case) *)
+
+val w_sir_extra : string
+(** [W0605] the recorded lowered program carries a transfer op the
+    decisions do not require (wasteful, not unsound) *)
 
 (** All codes with their one-line descriptions, sorted. *)
 val all : (string * string) list

@@ -1,0 +1,13 @@
+(** Lowered-IR fidelity audit: diff the recorded {!Phpf_ir.Sir.program}
+    against a fresh lowering of the same decisions and schedule.
+
+    Findings: [E0610] recorded IR misses a required transfer op;
+    [E0611] computes predicates, storage decisions, reduction plans or
+    validation recipes disagree with the decisions; [W0605] recorded IR
+    carries an op the decisions do not require.  A compiled record
+    without a lowered program produces no findings. *)
+
+open Hpf_lang
+open Phpf_core
+
+val check : Compiler.compiled -> Diag.t list

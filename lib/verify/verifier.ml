@@ -75,6 +75,13 @@ let passes : (Decisions.options, vctx) Pass.t list =
                Stats.set st "comm.redundant"
                  (List.length diff.Vutil.redundant);
                Comm_check.check ~diff v.compiled)));
+    Pass.make "verify-sir"
+      ~descr:"fidelity of the lowered SPMD IR against the decisions"
+      (fun v st ->
+        Stats.set st "sir.recorded"
+          (match v.compiled.Compiler.sir with Some _ -> 1 | None -> 0);
+        record v st
+          (audit "verify-sir" (fun () -> Sir_check.check v.compiled)));
   ]
 
 let pass_names = Pipeline.names passes

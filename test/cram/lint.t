@@ -30,6 +30,7 @@ only the name column):
   verify-mapping
   verify-race
   verify-comm
+  verify-sir
   total
 
 compile --verify composes with --stats: the verifier's counters are
@@ -51,3 +52,7 @@ reported after the compiler's own, through the same machinery:
     comm.redundant                  0
     findings.errors                 0
     findings.warnings               0
+  verify-sir:
+    findings.errors                 0
+    findings.warnings               0
+    sir.recorded                    1

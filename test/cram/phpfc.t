@@ -108,6 +108,7 @@ counters of each pass are deterministic:
   array-priv       array privatization, full and partial (paper section 3)
   scalar-map       scalar mapping: DetermineMapping (paper Fig. 3)
   comm-analysis    communication analysis with message vectorization
+  lower-spmd       lowering to the explicit SPMD IR (guards, transfers, allocs)
 
   $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --stats | sed -n '/^sema:/,$p'
   sema:
@@ -131,6 +132,13 @@ counters of each pass are deterministic:
     comms.inner-loop                1
     comms.total                     3
     comms.vectorized                2
+  lower-spmd:
+    sir.allocs                      4
+    sir.assigns                     7
+    sir.block-xfers                 2
+    sir.elem-xfers                  1
+    sir.reduce-ops                  0
+    sir.whole-xfers                 0
 
 Disabling an optimization drops its pass from the pipeline — the
 scalar-map counters disappear and every definition is replicated:
@@ -140,7 +148,7 @@ scalar-map counters disappear and every definition is replicated:
 Unknown --dump-after names are usage errors (exit 1), not crashes:
 
   $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --dump-after nosuch
-  error[E0501]: unknown pass nosuch (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis)
+  error[E0501]: unknown pass nosuch (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd)
   [1]
 
 A processor-count sweep on the Jacobi stencil:
@@ -172,6 +180,33 @@ Partial privatization (paper Fig. 6) on the generated APPSP program:
   $ ../../bin/phpfc.exe compile ../../examples/programs/appsp2d.hpfk | grep -A1 'array privatization'
   array privatization:
     c        w.r.t. loop s2   : partially privatized on grid dims {1}, aligned with rsd(i, j, k)@s8
+
+The lowered SPMD IR can be dumped after the lower-spmd pass: per
+statement it lists the mirror, the scheduled transfers and the compute
+guard, plus the privatized allocations and the validation plan:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig2.hpfk --dump-after lower-spmd | sed -n '/=== after/,/=== end/p'
+  === after lower-spmd ===
+  spmd program fig2 on grid procs(4) (P=4, aggregated)
+  allocs:
+    alloc_priv p : aligned with a(i)@s4 (valid at level 1)
+  s1: do i = 1, n
+    | mirror i := 1 on all
+    s2: p = b(i)
+      | compute where [block(16)/4(i-1)]
+    s3: q = c(i)
+      | c0 broadcast c(i)@s3: block c(i) from [block(16)/4(i-1)] to all over {i=1:n:1}
+      | compute where all
+    s4: a(i) = h(i, p) + g(q, i)
+      | c1 gather g(q, i)@s4: send g(q, i) from [block(16)/4(q-1)] to exec [block(16)/4(i-1)]
+      | compute where [block(16)/4(i-1)]
+  validate:
+    h: owners [block(16)/4($0-1)]
+    g: owners [block(16)/4($0-1)]
+    a: owners [block(16)/4($0-1)]
+    b: owners [block(16)/4($0-1)]
+    c: owners [block(16)/4($0-1)]
+  === end lower-spmd ===
 
 Fig. 2's subscript availability: p is consumed only by the executing
 processor while q is broadcast to all (its reference needs a gather):

@@ -54,6 +54,26 @@ A malformed fault spec is a usage error (exit 1):
   error[E0702]: invalid fault spec: rate 1.5 out of range [0, 1] for drop
   [1]
 
+The SPMD runtime normally executes the lowered IR; `--no-lower` falls
+back to the legacy AST-walking executor.  Both modes must agree on the
+validation verdict and on the transfer counters:
+
+  $ ../../bin/phpfc.exe validate ../../examples/programs/fig2.hpfk
+  OK: SPMD execution matches sequential reference (240 element transfers)
+
+  $ ../../bin/phpfc.exe validate ../../examples/programs/fig2.hpfk --no-lower
+  OK: SPMD execution matches sequential reference (240 element transfers)
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --no-lower
+  P=4 time=0.0003s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 100 msgs, 100 elems; mem 304 elems/proc)
+
+A run whose statement-instance budget is too small stops with a located
+diagnostic (exit 3) naming the statement that exhausted it:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --fuel 10
+  ../../examples/programs/fig1.hpfk:14:3: error[E0704]: statement-instance budget exhausted after 10 instances (raise it with --fuel)
+  [3]
+
 Runtime errors from the interpreter surface as located diagnostics
 (exit 3) instead of an OCaml exception:
 

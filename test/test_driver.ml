@@ -69,7 +69,7 @@ let test_all_flags_off () =
   in
   let trace = trace_of ~options (fig1 ()) in
   check slist "only the ungated passes remain"
-    [ "sema"; "induction"; "decisions"; "comm-analysis" ]
+    [ "sema"; "induction"; "decisions"; "comm-analysis"; "lower-spmd" ]
     (Pipeline.executed trace)
 
 (* ------------------------------------------------------------------ *)

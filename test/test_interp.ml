@@ -281,7 +281,8 @@ end
       ~config:{ Seq_interp.fuel = 1000; on_stmt = None }
       p
   with
-  | exception Memory.Runtime_error _ -> ()
+  | exception Seq_interp.Fuel_exhausted { budget; _ } ->
+      check Alcotest.int "exhausted budget is reported" 1000 budget
   | _ -> fail "fuel must run out"
 
 let test_interp_on_stmt_counts () =

@@ -1,0 +1,543 @@
+(* The lowered SPMD IR (Phpf_ir.Sir) and its consumers.
+
+   Four layers: (1) the differential A/B suite — the Sir executor
+   (Spmd_interp) and the legacy AST-walking interpreter (Ast_interp, the
+   --no-lower escape hatch) must produce identical validate results,
+   transfer counts, packet/byte counters and per-processor memories on
+   every benchmark, in both aggregation modes and under fault
+   injection; (2) strict-lowering diagnostics — corrupted compiler
+   artifacts must produce the specific E0801-E0806 code; (3) the
+   verifier's lowered-IR fidelity pass (E0610/E0611/W0605); (4) fuel
+   exhaustion and simulator parity. *)
+
+open Hpf_lang
+open Hpf_analysis
+open Phpf_core
+open Phpf_ir
+open Phpf_verify
+open Hpf_spmd
+open Hpf_benchmarks
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let benchmarks =
+  [
+    ("fig1", fun () -> Fig_examples.fig1 ~n:40 ~p:4 ());
+    ("fig2", fun () -> Fig_examples.fig2 ~n:16 ~np:4 ());
+    ("fig7", fun () -> Fig_examples.fig7 ~n:24 ~p:4 ());
+    ("tomcatv", fun () -> Tomcatv.program ~n:14 ~niter:2 ~p:4);
+    ("dgefa", fun () -> Dgefa.program ~n:12 ~p:4);
+    ("appsp2d", fun () -> Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2);
+    ("appsp1d", fun () -> Appsp.program_1d ~n:8 ~niter:1 ~p:2);
+  ]
+
+(* ---------------- differential A/B ---------------- *)
+
+let mem_equal (prog : Ast.program) (m1 : Memory.t) (m2 : Memory.t) : bool =
+  List.for_all
+    (fun (dcl : Ast.decl) ->
+      if dcl.Ast.shape = [] then
+        (try Some (Memory.get_scalar m1 dcl.Ast.dname) with _ -> None)
+        = (try Some (Memory.get_scalar m2 dcl.Ast.dname) with _ -> None)
+      else begin
+        let ok = ref true in
+        Memory.iter_elems m1 dcl.Ast.dname (fun idx v ->
+            if Memory.get_elem m2 dcl.Ast.dname idx <> v then ok := false);
+        !ok
+      end)
+    prog.Ast.decls
+
+type observed = {
+  mismatches : string list;
+  transfers : int;
+  net : Msg.stats;
+  report : Recover.report option;
+  reference : Memory.t;
+  procs : Memory.t array;
+}
+
+(* Each side gets its own fault schedule built from the same (spec,
+   seed) pair — Fault.t is stateful, the pair names the campaign. *)
+let run_legacy ~aggregate ~faults c : [ `Ok of observed | `Failed ] =
+  let init = Init.init c.Compiler.prog in
+  match Ast_interp.run ~init ~faults ~aggregate c with
+  | exception Recover.Unrecoverable _ -> `Failed
+  | st ->
+      `Ok
+        {
+          mismatches =
+            List.map
+              (Fmt.str "%a" Ast_interp.pp_mismatch)
+              (Ast_interp.validate st);
+          transfers = st.Ast_interp.transfers;
+          net = Ast_interp.comm_stats st;
+          report =
+            (if Fault.active faults then Some (Ast_interp.fault_report st)
+             else None);
+          reference = st.Ast_interp.reference;
+          procs = st.Ast_interp.procs;
+        }
+
+let run_lowered ~aggregate ~faults c : [ `Ok of observed | `Failed ] =
+  let init = Init.init c.Compiler.prog in
+  match Spmd_interp.run ~init ~faults ~aggregate c with
+  | exception Recover.Unrecoverable _ -> `Failed
+  | st ->
+      `Ok
+        {
+          mismatches =
+            List.map
+              (Fmt.str "%a" Spmd_interp.pp_mismatch)
+              (Spmd_interp.validate st);
+          transfers = st.Spmd_interp.transfers;
+          net = Spmd_interp.comm_stats st;
+          report =
+            (if Fault.active faults then Some (Spmd_interp.fault_report st)
+             else None);
+          reference = st.Spmd_interp.reference;
+          procs = st.Spmd_interp.procs;
+        }
+
+let compare_runs name prog ~aggregate ~mk_faults =
+  let c = Compiler.compile_exn prog in
+  let legacy = run_legacy ~aggregate ~faults:(mk_faults ()) c in
+  let lowered = run_lowered ~aggregate ~faults:(mk_faults ()) c in
+  match (legacy, lowered) with
+  | `Failed, `Failed -> ()
+  | `Failed, `Ok _ ->
+      fail (Fmt.str "%s: legacy failed where the lowered executor ran" name)
+  | `Ok _, `Failed ->
+      fail (Fmt.str "%s: lowered executor failed where legacy ran" name)
+  | `Ok a, `Ok b ->
+      check (Alcotest.list Alcotest.string)
+        (name ^ ": validate mismatches")
+        a.mismatches b.mismatches;
+      check Alcotest.int (name ^ ": element transfers") a.transfers
+        b.transfers;
+      check Alcotest.int (name ^ ": packets") a.net.Msg.packets
+        b.net.Msg.packets;
+      check Alcotest.int (name ^ ": blocks") a.net.Msg.blocks
+        b.net.Msg.blocks;
+      check Alcotest.int (name ^ ": elems") a.net.Msg.elems b.net.Msg.elems;
+      check Alcotest.int (name ^ ": bytes") a.net.Msg.bytes b.net.Msg.bytes;
+      if a.report <> b.report then
+        fail (Fmt.str "%s: fault reports differ" name);
+      if not (mem_equal c.Compiler.prog a.reference b.reference) then
+        fail (Fmt.str "%s: reference memories differ" name);
+      Array.iteri
+        (fun p m ->
+          if not (mem_equal c.Compiler.prog m b.procs.(p)) then
+            fail (Fmt.str "%s: processor %d memories differ" name p))
+        a.procs
+
+let test_differential_clean () =
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun aggregate ->
+          compare_runs
+            (Fmt.str "%s/aggregate=%b" name aggregate)
+            (mk ()) ~aggregate
+            ~mk_faults:(fun () -> Fault.none))
+        [ true; false ])
+    benchmarks
+
+let test_differential_faults () =
+  let spec = List.map (fun k -> (k, 0.05)) Fault.all_kinds in
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun seed ->
+          compare_runs
+            (Fmt.str "%s/faults seed=%d" name seed)
+            (mk ()) ~aggregate:true
+            ~mk_faults:(fun () -> Fault.make ~seed spec))
+        [ 1; 2; 3 ])
+    benchmarks
+
+(* validate must also agree when a comm is knocked out post-compile: the
+   executor re-lowers the corrupted schedule permissively, so both
+   runtimes see the same (broken) data movement and report the same
+   divergence *)
+let test_differential_corrupted_schedule () =
+  let c = Compiler.compile_exn (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  check Alcotest.bool "fig1 has comms" true (c.Compiler.comms <> []);
+  let broken = { c with Compiler.comms = [] } in
+  let a = run_legacy ~aggregate:true ~faults:Fault.none broken in
+  let b = run_lowered ~aggregate:true ~faults:Fault.none broken in
+  match (a, b) with
+  | `Ok a, `Ok b ->
+      check Alcotest.bool "legacy diverges without comms" true
+        (a.mismatches <> []);
+      check (Alcotest.list Alcotest.string) "identical divergence"
+        a.mismatches b.mismatches
+  | _ -> fail "corrupted schedule must still run to validation"
+
+(* ---------------- strict lowering diagnostics ---------------- *)
+
+let lower_codes ?(mutate = fun c -> c) prog =
+  let c = mutate (Compiler.compile_exn prog) in
+  match
+    Lower_spmd.lower ~strict:true ~aggregate:true ~prog:c.Compiler.prog
+      ~decisions:c.Compiler.decisions ~comms:c.Compiler.comms ()
+  with
+  | exception Diag.Fatal ds -> List.map (fun (d : Diag.t) -> d.Diag.code) ds
+  | _ -> []
+
+let has c l = List.mem c l
+
+let test_e0801_cyclic_alignment () =
+  let c = Compiler.compile_exn (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  let d = c.Compiler.decisions in
+  let aligned =
+    List.find_map
+      (fun (def, m) ->
+        match m with
+        | Decisions.Priv_aligned { target; level } ->
+            Some (def, target, level)
+        | _ -> None)
+      (Decisions.scalar_mappings d)
+  in
+  match aligned with
+  | None -> fail "fig1 should have an aligned scalar"
+  | Some (def, target, level) ->
+      (* Align the scalar with itself, anchored at a statement where the
+         corrupted mapping is actually visible to a use-site lookup, and
+         route a comm through the scalar so the lowerer must chase the
+         chain: every hop revisits the same mapping, so strict lowering
+         has to cut the cycle. *)
+      let s_var = Ssa.def_var d.Decisions.ssa def in
+      let corrupt sid =
+        let self = { Aref.base = s_var; Aref.subs = []; Aref.sid } in
+        List.iter
+          (fun df ->
+            Decisions.set_scalar_mapping d df
+              (Decisions.Priv_aligned { target = self; level }))
+          (Ssa.defs_of_var d.Decisions.ssa s_var);
+        self
+      in
+      let _ = corrupt target.Aref.sid in
+      let sid_use = ref None in
+      Ast.iter_program
+        (fun st ->
+          if !sid_use = None then
+            match
+              try
+                Some (Decisions.scalar_mapping_of_use d ~sid:st.Ast.sid
+                        ~var:s_var)
+              with _ -> None
+            with
+            | Some (Decisions.Priv_aligned { target = t; _ })
+              when t.Aref.base = s_var ->
+                sid_use := Some st.Ast.sid
+            | _ -> ())
+        c.Compiler.prog;
+      (match !sid_use with
+      | None -> fail "corrupted mapping should reach some use site"
+      | Some sidu ->
+          let self = corrupt sidu in
+          let ghost_comms =
+            match c.Compiler.comms with
+            | cm :: _ ->
+                { cm with Hpf_comm.Comm.data = self } :: c.Compiler.comms
+            | [] -> fail "fig1 should have comms"
+          in
+          let codes =
+            lower_codes
+              ~mutate:(fun _ -> { c with Compiler.comms = ghost_comms })
+              c.Compiler.prog
+          in
+          check Alcotest.bool "cyclic chain is E0801" true
+            (has "E0801" codes))
+
+let test_e0802_dangling_comm () =
+  let codes =
+    lower_codes
+      ~mutate:(fun c ->
+        match c.Compiler.comms with
+        | [] -> fail "fig1 should have comms"
+        | cm :: _ ->
+            let ghost =
+              {
+                cm with
+                Hpf_comm.Comm.data =
+                  { cm.Hpf_comm.Comm.data with Aref.sid = 9999 };
+              }
+            in
+            { c with Compiler.comms = ghost :: c.Compiler.comms })
+      (Fig_examples.fig1 ~n:40 ~p:4 ())
+  in
+  check Alcotest.bool "dangling comm is E0802" true (has "E0802" codes)
+
+let test_e0803_bad_placement () =
+  let codes =
+    lower_codes
+      ~mutate:(fun c ->
+        match c.Compiler.comms with
+        | [] -> fail "fig1 should have comms"
+        | cm :: tl ->
+            let sunk = { cm with Hpf_comm.Comm.placement_level = 99 } in
+            { c with Compiler.comms = sunk :: tl })
+      (Fig_examples.fig1 ~n:40 ~p:4 ())
+  in
+  check Alcotest.bool "impossible placement level is E0803" true
+    (has "E0803" codes)
+
+let test_e0804_undeclared_array () =
+  let codes =
+    lower_codes
+      ~mutate:(fun c ->
+        let arr =
+          List.find_opt
+            (fun (cm : Hpf_comm.Comm.t) ->
+              cm.Hpf_comm.Comm.data.Aref.subs <> [])
+            c.Compiler.comms
+        in
+        match arr with
+        | None -> fail "fig1 should have an array comm"
+        | Some cm ->
+            let ghost =
+              {
+                cm with
+                Hpf_comm.Comm.data =
+                  { cm.Hpf_comm.Comm.data with Aref.base = "nosuch" };
+              }
+            in
+            { c with Compiler.comms = ghost :: c.Compiler.comms })
+      (Fig_examples.fig1 ~n:40 ~p:4 ())
+  in
+  check Alcotest.bool "undeclared subscripted base is E0804" true
+    (has "E0804" codes)
+
+let test_e0805_reduction_missing_stmt () =
+  let codes =
+    lower_codes
+      ~mutate:(fun c ->
+        let d = c.Compiler.decisions in
+        if d.Decisions.reductions = [] then
+          fail "dgefa should have a reduction";
+        (* the E0805 check only runs for reductions that are replicated
+           across grid dimensions, so force a (valid) non-empty
+           replication set before dangling the accumulating statement *)
+        List.iter
+          (fun (red : Reduction.red) ->
+            List.iter
+              (fun df ->
+                match Decisions.scalar_mapping_of_def d df with
+                | Decisions.Priv_reduction { target; level; _ } ->
+                    Decisions.set_scalar_mapping d df
+                      (Decisions.Priv_reduction
+                         { target; repl_grid_dims = [ 0 ]; level })
+                | _ -> ())
+              (Ssa.defs_of_var d.Decisions.ssa red.Reduction.var))
+          d.Decisions.reductions;
+        let broken =
+          {
+            d with
+            Decisions.reductions =
+              List.map
+                (fun (red : Reduction.red) ->
+                  { red with Reduction.stmt_sid = 9999 })
+                d.Decisions.reductions;
+          }
+        in
+        { c with Compiler.decisions = broken })
+      (Dgefa.program ~n:12 ~p:4)
+  in
+  check Alcotest.bool "reduction at a missing statement is E0805" true
+    (has "E0805" codes)
+
+let test_e0806_bad_grid_dim () =
+  let codes =
+    lower_codes
+      ~mutate:(fun c ->
+        let d = c.Compiler.decisions in
+        let red =
+          List.find_map
+            (fun (def, m) ->
+              match m with
+              | Decisions.Priv_reduction { target; level; _ } ->
+                  Some (def, target, level)
+              | _ -> None)
+            (Decisions.scalar_mappings d)
+        in
+        (match red with
+        | None -> fail "dgefa should have a reduction mapping"
+        | Some (def, target, level) ->
+            Decisions.set_scalar_mapping d def
+              (Decisions.Priv_reduction
+                 { target; repl_grid_dims = [ 7 ]; level }));
+        c)
+      (Dgefa.program ~n:12 ~p:4)
+  in
+  check Alcotest.bool "out-of-range grid dimension is E0806" true
+    (has "E0806" codes)
+
+(* permissive lowering (the executor's internal mode) must swallow the
+   same corruptions silently, like the legacy runtime did *)
+let test_permissive_swallows () =
+  let c = Compiler.compile_exn (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  let ghost =
+    match c.Compiler.comms with
+    | cm :: _ ->
+        {
+          cm with
+          Hpf_comm.Comm.data = { cm.Hpf_comm.Comm.data with Aref.sid = 9999 };
+        }
+    | [] -> fail "fig1 should have comms"
+  in
+  let sir =
+    Lower_spmd.lower ~prog:c.Compiler.prog ~decisions:c.Compiler.decisions
+      ~comms:(ghost :: c.Compiler.comms) ()
+  in
+  (* the ghost op is dropped, the rest lowers *)
+  check Alcotest.bool "program still lowers" true
+    (Sir.total_ops (Sir.op_counts sir) > 0)
+
+(* ---------------- verifier fidelity pass ---------------- *)
+
+let verify_exn c =
+  match Verifier.verify c with
+  | Ok (findings, _) -> findings
+  | Error ds -> fail (Fmt.str "verifier crashed: %a" Diag.pp_list ds)
+
+let codes_of ds = List.map (fun (d : Diag.t) -> d.Diag.code) ds
+
+let recorded_sir c =
+  match c.Compiler.sir with
+  | Some sir -> sir
+  | None -> fail "compiler should have recorded a lowered program"
+
+let test_e0610_missing_op () =
+  let c = Compiler.compile_exn (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  let sir = recorded_sir c in
+  let stmts = Hashtbl.copy sir.Sir.stmts in
+  let gutted = ref false in
+  Hashtbl.iter
+    (fun sid (ops : Sir.stmt_ops) ->
+      if (not !gutted) && ops.Sir.comms <> [] then begin
+        gutted := true;
+        Hashtbl.replace stmts sid { ops with Sir.comms = [] }
+      end)
+    sir.Sir.stmts;
+  check Alcotest.bool "found an op to remove" true !gutted;
+  let broken = { c with Compiler.sir = Some { sir with Sir.stmts } } in
+  let errs = Verifier.errors (verify_exn broken) in
+  check Alcotest.bool "missing lowered op is E0610" true
+    (List.mem "E0610" (codes_of errs))
+
+let test_w0605_extra_op () =
+  let c = Compiler.compile_exn (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  (* drop a comm from the schedule but keep the recorded lowering: the
+     recorded IR now carries an op the decisions no longer require *)
+  let broken =
+    match c.Compiler.comms with
+    | [] -> fail "fig1 should have comms"
+    | _ :: tl -> { c with Compiler.comms = tl }
+  in
+  let findings = verify_exn broken in
+  check Alcotest.bool "extra lowered op is W0605" true
+    (List.mem "W0605" (codes_of findings))
+
+let test_e0611_mutated_allocs () =
+  let c = Compiler.compile_exn (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  let sir = recorded_sir c in
+  check Alcotest.bool "fig1 has lowered allocs" true (sir.Sir.allocs <> []);
+  let broken = { c with Compiler.sir = Some { sir with Sir.allocs = [] } } in
+  let errs = Verifier.errors (verify_exn broken) in
+  check Alcotest.bool "mutated storage decisions are E0611" true
+    (List.mem "E0611" (codes_of errs))
+
+let test_clean_artifacts_pass_fidelity () =
+  List.iter
+    (fun (name, mk) ->
+      let c = Compiler.compile_exn (mk ()) in
+      let bad =
+        List.filter
+          (fun code -> code = "E0610" || code = "E0611" || code = "W0605")
+          (codes_of (verify_exn c))
+      in
+      if bad <> [] then
+        fail (Fmt.str "%s: fidelity findings on a clean artifact" name))
+    benchmarks
+
+(* ---------------- fuel and simulator parity ---------------- *)
+
+let test_fuel_exhausted () =
+  let prog = Tomcatv.program ~n:14 ~niter:2 ~p:4 in
+  let c = Compiler.compile_exn prog in
+  (match
+     Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~fuel:50 c
+   with
+  | exception Seq_interp.Fuel_exhausted { budget; _ } ->
+      check Alcotest.int "budget reported" 50 budget
+  | _ -> fail "lowered executor must run out of fuel");
+  match Ast_interp.run ~init:(Init.init c.Compiler.prog) ~fuel:50 c with
+  | exception Seq_interp.Fuel_exhausted _ -> ()
+  | _ -> fail "legacy interpreter must run out of fuel"
+
+let test_trace_sim_sir_parity () =
+  List.iter
+    (fun (name, mk) ->
+      let c = Compiler.compile_exn (mk ()) in
+      let init = Init.init c.Compiler.prog in
+      let plain, _ = Trace_sim.run ~init c in
+      let priced, _ = Trace_sim.run ~init ?sir:c.Compiler.sir c in
+      check Alcotest.int
+        (name ^ ": comm messages")
+        plain.Trace_sim.comm_messages priced.Trace_sim.comm_messages;
+      check Alcotest.int (name ^ ": comm elems") plain.Trace_sim.comm_elems
+        priced.Trace_sim.comm_elems;
+      check (Alcotest.float 0.0) (name ^ ": time") plain.Trace_sim.time
+        priced.Trace_sim.time)
+    benchmarks
+
+let () =
+  Alcotest.run "sir"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "lowered == legacy on all benchmarks" `Quick
+            test_differential_clean;
+          Alcotest.test_case "lowered == legacy under fault injection"
+            `Quick test_differential_faults;
+          Alcotest.test_case "identical divergence on corrupted schedules"
+            `Quick test_differential_corrupted_schedule;
+        ] );
+      ( "strict-lowering",
+        [
+          Alcotest.test_case "E0801 cyclic alignment chain" `Quick
+            test_e0801_cyclic_alignment;
+          Alcotest.test_case "E0802 dangling comm" `Quick
+            test_e0802_dangling_comm;
+          Alcotest.test_case "E0803 bad placement level" `Quick
+            test_e0803_bad_placement;
+          Alcotest.test_case "E0804 undeclared array" `Quick
+            test_e0804_undeclared_array;
+          Alcotest.test_case "E0805 reduction at missing stmt" `Quick
+            test_e0805_reduction_missing_stmt;
+          Alcotest.test_case "E0806 grid dim out of range" `Quick
+            test_e0806_bad_grid_dim;
+          Alcotest.test_case "permissive mode swallows corruption" `Quick
+            test_permissive_swallows;
+        ] );
+      ( "fidelity",
+        [
+          Alcotest.test_case "E0610 missing lowered op" `Quick
+            test_e0610_missing_op;
+          Alcotest.test_case "W0605 extra lowered op" `Quick
+            test_w0605_extra_op;
+          Alcotest.test_case "E0611 mutated storage decisions" `Quick
+            test_e0611_mutated_allocs;
+          Alcotest.test_case "clean artifacts have no fidelity findings"
+            `Quick test_clean_artifacts_pass_fidelity;
+        ] );
+      ( "fuel-and-sim",
+        [
+          Alcotest.test_case "fuel exhaustion raises located exception"
+            `Quick test_fuel_exhausted;
+          Alcotest.test_case "trace-sim prices Sir ops identically" `Quick
+            test_trace_sim_sir_parity;
+        ] );
+    ]

@@ -432,7 +432,7 @@ let test_pass_names () =
   check
     Alcotest.(list string)
     "registered verifier passes"
-    [ "verify-mapping"; "verify-race"; "verify-comm" ]
+    [ "verify-mapping"; "verify-race"; "verify-comm"; "verify-sir" ]
     Verifier.pass_names
 
 let test_stats_recorded () =
