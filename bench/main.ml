@@ -85,18 +85,38 @@ let run_table3 args =
   | _ -> ());
   Fmt.pr "@."
 
-(* --json: one SPMD + trace-sim run per benchmark, both aggregation
-   modes, emitted as BENCH_phpf.json for the CI `bench` job.  Validation
-   failures are hard errors — a benchmark that no longer matches the
-   sequential reference must not publish numbers. *)
+(* --json: per benchmark, a processor-count sweep.  At every P the
+   trace simulator prices the program (closed-form ownership keeps this
+   cheap even at P=1024); at small P the full SPMD interpreter also runs
+   in both aggregation modes and validates against the sequential
+   reference — validation failures are hard errors, a benchmark that no
+   longer matches the reference must not publish numbers. *)
 
 let json_benchmarks =
   [
-    ("fig1", fun () -> Fig_examples.fig1 ~n:64 ~p:8 ());
-    ("fig2", fun () -> Fig_examples.fig2 ~n:32 ~np:8 ());
-    ("fig7", fun () -> Fig_examples.fig7 ~n:48 ~p:8 ());
-    ("tomcatv", fun () -> Tomcatv.program ~n:66 ~niter:1 ~p:8);
+    ("fig1", fun ~p -> Fig_examples.fig1 ~n:64 ~p ());
+    ("fig2", fun ~p -> Fig_examples.fig2 ~n:32 ~np:p ());
+    ("fig7", fun ~p -> Fig_examples.fig7 ~n:48 ~p ());
+    ("tomcatv", fun ~p -> Tomcatv.program ~n:66 ~niter:1 ~p);
+    ("dgefa", fun ~p -> Dgefa.program ~n:64 ~p);
+    ( "appsp_2d",
+      fun ~p ->
+        match Hpf_mapping.Grid.factorize ~rank:2 p with
+        | [ p1; p2 ] -> Appsp.program_2d ~n:18 ~niter:1 ~p1 ~p2
+        | _ -> assert false );
   ]
+
+(* optional --bench=fig1,tomcatv filter *)
+let bench_of_args args =
+  List.fold_left
+    (fun acc a ->
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "--bench" ->
+          Some
+            (String.sub a (i + 1) (String.length a - i - 1)
+            |> String.split_on_char ',')
+      | _ -> acc)
+    None args
 
 let out_of_args ~default args =
   List.fold_left
@@ -107,93 +127,148 @@ let out_of_args ~default args =
       | _ -> acc)
     default args
 
-let run_json args =
+(* One sweep point: compile at P, trace-simulate always; below the SPMD
+   threshold also execute the full per-processor interpreter in both
+   aggregation modes and validate against the sequential reference. *)
+type sweep_point = {
+  p : int;
+  r : Hpf_spmd.Trace_sim.result;
+  spmd : (Hpf_spmd.Msg.stats * Hpf_spmd.Msg.stats) option;
+      (** (aggregated, per-element) measured traffic *)
+  wall_ms : float;
+  lower_ms : float;
+  ir_ops : Phpf_ir.Sir.op_counts;
+}
+
+(* SPMD execution materializes P shadow memories and O(P) mirror writes
+   per statement instance: measured (and validated) only up to here. *)
+let spmd_threshold = 8
+
+let sweep_point (name : string) (mk : p:int -> Hpf_lang.Ast.program)
+    (p : int) : sweep_point =
   let open Phpf_core in
   let open Hpf_spmd in
+  let wall0 = Unix.gettimeofday () in
+  let c, trace =
+    match Compiler.compile_traced (mk ~p) with
+    | Ok res -> res
+    | Error ds ->
+        Fmt.epr "bench %s (P=%d): %a@." name p Hpf_lang.Diag.pp_list ds;
+        exit 1
+  in
+  let lower_ms =
+    List.fold_left
+      (fun acc (e : Phpf_driver.Pipeline.entry) ->
+        if e.Phpf_driver.Pipeline.pass = "lower-spmd" then
+          acc +. (1000.0 *. e.Phpf_driver.Pipeline.time_s)
+        else acc)
+      0.0 trace.Phpf_driver.Pipeline.entries
+  in
+  let ir_ops =
+    match c.Compiler.sir with
+    | Some sir -> Phpf_ir.Sir.op_counts sir
+    | None ->
+        Fmt.epr "bench %s: compiler recorded no lowered program@." name;
+        exit 1
+  in
+  let spmd =
+    if p > spmd_threshold then None
+    else begin
+      let measure aggregate =
+        let st =
+          Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~aggregate c
+        in
+        (match Spmd_interp.validate st with
+        | [] -> ()
+        | m :: _ ->
+            Fmt.epr "bench %s P=%d (aggregate=%b): %a@." name p aggregate
+              Spmd_interp.pp_mismatch m;
+            exit 1);
+        Spmd_interp.comm_stats st
+      in
+      Some (measure true, measure false)
+    end
+  in
+  let r, _ =
+    Trace_sim.run
+      ~init:(Init.init c.Compiler.prog)
+      ?comm_stats:(Option.map fst spmd) ?sir:c.Compiler.sir c
+  in
+  let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
+  { p; r; spmd; wall_ms; lower_ms; ir_ops }
+
+let run_json args =
+  let open Hpf_spmd in
   let path = out_of_args ~default:"BENCH_phpf.json" args in
+  let procs = procs_of_args ~default:[ 8; 64; 256; 1024 ] args in
+  let selected =
+    match bench_of_args args with
+    | None -> json_benchmarks
+    | Some names ->
+        List.filter (fun (n, _) -> List.mem n names) json_benchmarks
+  in
+  if selected = [] then begin
+    Fmt.epr "bench: --bench matched no benchmark@.";
+    exit 2
+  end;
   let entries =
     List.map
-      (fun (name, mk) ->
-        let wall0 = Unix.gettimeofday () in
-        let c, trace =
-          match Compiler.compile_traced (mk ()) with
-          | Ok res -> res
-          | Error ds ->
-              Fmt.epr "bench %s: %a@." name Hpf_lang.Diag.pp_list ds;
-              exit 1
-        in
-        let lower_ms =
-          List.fold_left
-            (fun acc (e : Phpf_driver.Pipeline.entry) ->
-              if e.Phpf_driver.Pipeline.pass = "lower-spmd" then
-                acc +. (1000.0 *. e.Phpf_driver.Pipeline.time_s)
-              else acc)
-            0.0 trace.Phpf_driver.Pipeline.entries
-        in
-        let ir_ops =
-          match c.Compiler.sir with
-          | Some sir -> Phpf_ir.Sir.op_counts sir
-          | None ->
-              Fmt.epr "bench %s: compiler recorded no lowered program@." name;
-              exit 1
-        in
-        let measure aggregate =
-          let st =
-            Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~aggregate c
-          in
-          (match Spmd_interp.validate st with
-          | [] -> ()
-          | m :: _ ->
-              Fmt.epr "bench %s (aggregate=%b): %a@." name aggregate
-                Spmd_interp.pp_mismatch m;
-              exit 1);
-          Spmd_interp.comm_stats st
-        in
-        let agg = measure true in
-        let one = measure false in
-        let r, _ =
-          Trace_sim.run ~init:(Init.init c.Compiler.prog) ~comm_stats:agg
-            ?sir:c.Compiler.sir c
-        in
-        let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
-        (name, r, agg, one, wall_ms, lower_ms, ir_ops))
-      json_benchmarks
+      (fun (name, mk) -> (name, List.map (sweep_point name mk) procs))
+      selected
   in
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
-  pf "  \"schema\": \"phpf-bench/2\",\n";
+  pf "  \"schema\": \"phpf-bench/3\",\n";
+  pf "  \"procs\": [%s],\n"
+    (String.concat ", " (List.map string_of_int procs));
+  pf "  \"spmd_threshold\": %d,\n" spmd_threshold;
   pf "  \"benchmarks\": [\n";
   List.iteri
-    (fun i (name, (r : Trace_sim.result), (agg : Msg.stats),
-            (one : Msg.stats), wall_ms, lower_ms,
-            (ir_ops : Phpf_ir.Sir.op_counts)) ->
-      let ratio =
-        if agg.Msg.packets = 0 then 1.0
-        else float_of_int one.Msg.packets /. float_of_int agg.Msg.packets
-      in
+    (fun i (name, points) ->
+      let ir_ops = (List.hd points).ir_ops in
       pf "    {\n";
       pf "      \"name\": %S,\n" name;
-      pf "      \"nprocs\": %d,\n" r.Trace_sim.nprocs;
-      pf "      \"simulated_time\": %.6f,\n" r.Trace_sim.time;
-      pf "      \"compute_max\": %.6f,\n" r.Trace_sim.compute_max;
-      pf "      \"comm_time\": %.6f,\n" r.Trace_sim.comm_time;
-      pf "      \"comm_messages\": %d,\n" r.Trace_sim.comm_messages;
-      pf "      \"elems\": %d,\n" agg.Msg.elems;
-      pf "      \"packets\": %d,\n" agg.Msg.packets;
-      pf "      \"blocks\": %d,\n" agg.Msg.blocks;
-      pf "      \"bytes\": %d,\n" agg.Msg.bytes;
-      pf "      \"packets_no_aggregate\": %d,\n" one.Msg.packets;
-      pf "      \"bytes_no_aggregate\": %d,\n" one.Msg.bytes;
-      pf "      \"packet_reduction\": %.2f,\n" ratio;
-      pf "      \"lower_ms\": %.3f,\n" lower_ms;
       pf "      \"ir_assigns\": %d,\n" ir_ops.Phpf_ir.Sir.assigns;
       pf "      \"ir_elem_xfers\": %d,\n" ir_ops.Phpf_ir.Sir.elem_xfers;
       pf "      \"ir_whole_xfers\": %d,\n" ir_ops.Phpf_ir.Sir.whole_xfers;
       pf "      \"ir_block_xfers\": %d,\n" ir_ops.Phpf_ir.Sir.block_xfers;
       pf "      \"ir_reduce_ops\": %d,\n" ir_ops.Phpf_ir.Sir.reduce_ops;
       pf "      \"ir_allocs\": %d,\n" ir_ops.Phpf_ir.Sir.alloc_ops;
-      pf "      \"wall_ms\": %.2f\n" wall_ms;
+      pf "      \"sweep\": [\n";
+      List.iteri
+        (fun j (pt : sweep_point) ->
+          let r = pt.r in
+          pf "        {\n";
+          pf "          \"nprocs\": %d,\n" r.Trace_sim.nprocs;
+          pf "          \"simulated_time\": %.6f,\n" r.Trace_sim.time;
+          pf "          \"compute_max\": %.6f,\n" r.Trace_sim.compute_max;
+          pf "          \"comm_time\": %.6f,\n" r.Trace_sim.comm_time;
+          pf "          \"comm_messages\": %d,\n" r.Trace_sim.comm_messages;
+          pf "          \"packets\": %d,\n" r.Trace_sim.packets;
+          pf "          \"bytes\": %d,\n" r.Trace_sim.bytes;
+          pf "          \"mem_elems_max\": %d,\n" r.Trace_sim.mem_elems_max;
+          pf "          \"spmd_measured\": %b,\n" (pt.spmd <> None);
+          (match pt.spmd with
+          | Some ((agg : Msg.stats), (one : Msg.stats)) ->
+              let ratio =
+                if agg.Msg.packets = 0 then 1.0
+                else
+                  float_of_int one.Msg.packets
+                  /. float_of_int agg.Msg.packets
+              in
+              pf "          \"elems\": %d,\n" agg.Msg.elems;
+              pf "          \"blocks\": %d,\n" agg.Msg.blocks;
+              pf "          \"packets_no_aggregate\": %d,\n" one.Msg.packets;
+              pf "          \"bytes_no_aggregate\": %d,\n" one.Msg.bytes;
+              pf "          \"packet_reduction\": %.2f,\n" ratio
+          | None -> ());
+          pf "          \"lower_ms\": %.3f,\n" pt.lower_ms;
+          pf "          \"wall_ms\": %.2f\n" pt.wall_ms;
+          pf "        }%s\n" (if j = List.length points - 1 then "" else ",")
+        )
+        points;
+      pf "      ]\n";
       pf "    }%s\n" (if i = List.length entries - 1 then "" else ",")
     )
     entries;
@@ -202,7 +277,8 @@ let run_json args =
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Fmt.pr "wrote %s (%d benchmarks)@." path (List.length entries)
+  Fmt.pr "wrote %s (%d benchmarks x %d procs)@." path (List.length entries)
+    (List.length procs)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -223,5 +299,5 @@ let () =
   | [ "ablation" ] -> Ablation.run ()
   | _ ->
       prerr_endline
-        "usage: main.exe [table1|table2|table3|micro|ablation] [--full|--medium] [--procs=1,4,16] [--json [--out=FILE]]";
+        "usage: main.exe [table1|table2|table3|micro|ablation] [--full|--medium] [--procs=8,64,256,1024] [--json [--out=FILE] [--bench=NAME,..]]";
       exit 2

@@ -100,6 +100,26 @@ let procs_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
+let topology_arg =
+  let topo_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error
+            (fun e -> `Msg e)
+            (Hpf_comm.Cost_model.topology_of_string s)),
+        Hpf_comm.Cost_model.pp_topology )
+  in
+  Arg.(
+    value
+    & opt topo_conv Hpf_comm.Cost_model.Flat
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Interconnect topology priced by the cost model: $(b,flat) \
+           (single-hop, full bisection — the legacy SP2 model), \
+           $(b,fat-tree)[:$(i,RADIX)] (per-hop latency up and down the \
+           tree) or $(b,torus) (2D torus: Manhattan hop distances and \
+           bisection contention on congesting collectives).")
+
 let opt_flags =
   let no_scalar =
     Arg.(
@@ -402,8 +422,11 @@ let lint_cmd =
 
 let simulate_cmd =
   let run file procs options stats faults fault_seed report_faults report_comm
-      no_aggregate no_lower fuel verbose =
+      no_aggregate no_lower fuel topology verbose =
     setup_logs verbose;
+    let model =
+      Hpf_comm.Cost_model.with_topology Hpf_comm.Cost_model.sp2 topology
+    in
     match
       match faults with
       | None -> Ok Fault.none
@@ -465,8 +488,8 @@ let simulate_cmd =
             in
             let sir = if no_lower then None else c.Compiler.sir in
             let result, _mem =
-              Trace_sim.run ?stats:sim_stats ?recovery ?comm_stats ?sir
-                ?fuel ~init c
+              Trace_sim.run ~model ?stats:sim_stats ?recovery ?comm_stats
+                ?sir ?fuel ~init c
             in
             Fmt.pr "%a@." Trace_sim.pp_result result;
             (match comm_stats with
@@ -519,7 +542,8 @@ let simulate_cmd =
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ stats_arg $ faults_arg
       $ fault_seed_arg $ report_faults_arg $ report_comm_arg
-      $ no_aggregate_arg $ no_lower_arg $ fuel_arg $ verbose_arg)
+      $ no_aggregate_arg $ no_lower_arg $ fuel_arg $ topology_arg
+      $ verbose_arg)
 
 let validate_cmd =
   let run file procs options no_aggregate no_lower verbose =
@@ -552,9 +576,12 @@ let validate_cmd =
       $ no_lower_arg $ verbose_arg)
 
 let sweep_cmd =
-  let run file procs_list options verbose =
+  let run file procs_list options topology verbose =
     setup_logs verbose;
     guarded @@ fun () ->
+    let model =
+      Hpf_comm.Cost_model.with_topology Hpf_comm.Cost_model.sp2 topology
+    in
     Fmt.pr "%6s %12s %10s %12s %10s@." "P" "time (s)" "speedup" "efficiency"
       "comm (s)";
     let base = ref None in
@@ -562,7 +589,7 @@ let sweep_cmd =
       (fun p ->
         let c, _trace = compile_program ~grid_override:[ p ] ~options file in
         let r, _ =
-          Hpf_spmd.Trace_sim.run
+          Hpf_spmd.Trace_sim.run ~model
             ~init:(Hpf_spmd.Init.init c.Compiler.prog)
             c
         in
@@ -590,7 +617,9 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Simulate across processor counts and print a scaling table.")
-    Term.(const run $ file_arg $ procs_list $ opt_flags $ verbose_arg)
+    Term.(
+      const run $ file_arg $ procs_list $ opt_flags $ topology_arg
+      $ verbose_arg)
 
 let print_cmd =
   let run file =

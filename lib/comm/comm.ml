@@ -72,11 +72,15 @@ let cost (m : Cost_model.t) ~(nprocs : int) (c : t) : float =
     | Shift _ -> Cost_model.shift m ~elems:c.elems_per_instance
     | Broadcast -> Cost_model.bcast m ~p:nprocs ~elems:c.elems_per_instance
     | Reduce -> Cost_model.reduce m ~p:nprocs ~elems:c.elems_per_instance
-    | Point_to_point -> Cost_model.ptp m ~elems:c.elems_per_instance
+    | Point_to_point ->
+        Cost_model.ptp_among m ~p:nprocs ~elems:c.elems_per_instance
     | Gather ->
-        (* irregular: every processor may talk to every other *)
+        (* irregular: every processor may talk to every other, and the
+           crossing traffic pays the topology's bisection contention *)
         float_of_int (max 1 (nprocs - 1))
-        *. Cost_model.ptp m ~elems:(max 1 (c.elems_per_instance / max 1 nprocs))
+        *. Cost_model.ptp_among m ~p:nprocs
+             ~elems:(max 1 (c.elems_per_instance / max 1 nprocs))
+        *. Cost_model.contention m ~p:nprocs
   in
   effective_instances *. per_instance
 

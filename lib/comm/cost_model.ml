@@ -8,12 +8,25 @@
     per-element compute cost (about 3 orders of magnitude on the SP2,
     which is why replicated scalars are catastrophic). *)
 
+(** Interconnect shape.  [Flat] is the classical model (every pair one
+    hop, full bisection — the SP2 numbers were measured this way and
+    stay bit-identical).  [Fat_tree] routes up and down a [radix]-ary
+    tree, paying per-hop latency with full bisection bandwidth.
+    [Torus2d] is a near-square 2D torus: messages pay Manhattan-distance
+    hops and congesting collectives pay a bisection contention factor —
+    but nearest-neighbour shifts stay one hop, which is exactly the
+    regime where BLOCK mappings win. *)
+type topology = Flat | Fat_tree of { radix : int } | Torus2d
+
 type t = {
   alpha : float;  (** message startup latency, seconds *)
   beta : float;  (** per-byte transfer time, seconds *)
   flop : float;  (** time per floating-point operation, seconds *)
   elem_bytes : int;  (** bytes per array element (REAL*8) *)
   copy : float;  (** per-element pack/unpack cost, seconds *)
+  topology : topology;
+  hop_latency : float;  (** per-link switching latency beyond the first
+                            hop, seconds ([Flat] never pays it) *)
 }
 
 (** IBM SP2 thin node, user-space MPL: ~40 us latency, ~35 MB/s
@@ -25,11 +38,42 @@ let sp2 : t =
     flop = 40e-9;
     elem_bytes = 8;
     copy = 60e-9;
+    topology = Flat;
+    hop_latency = 0.5e-6;
   }
 
 (** An idealized zero-latency network — used by ablation benches to show
     that the mapping choices only matter when latency is real. *)
-let zero_latency : t = { sp2 with alpha = 0.0; beta = 0.0; copy = 0.0 }
+let zero_latency : t =
+  { sp2 with alpha = 0.0; beta = 0.0; copy = 0.0; hop_latency = 0.0 }
+
+let with_topology (m : t) (topo : topology) : t = { m with topology = topo }
+
+let pp_topology ppf = function
+  | Flat -> Fmt.string ppf "flat"
+  | Fat_tree { radix } -> Fmt.pf ppf "fat-tree:%d" radix
+  | Torus2d -> Fmt.string ppf "torus"
+
+let topology_of_string (s : string) : (topology, string) result =
+  match String.lowercase_ascii (String.trim s) with
+  | "flat" -> Ok Flat
+  | "torus" | "torus2d" -> Ok Torus2d
+  | "fat-tree" | "fattree" -> Ok (Fat_tree { radix = 4 })
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "fat-tree" || String.sub s 0 i = "fattree"
+        -> (
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt arg with
+          | Some r when r >= 2 -> Ok (Fat_tree { radix = r })
+          | _ -> Error (Fmt.str "invalid fat-tree radix %S" arg))
+      | _ ->
+          Error
+            (Fmt.str
+               "unknown topology %S (expected flat, fat-tree[:radix] or \
+                torus)"
+               s))
 
 (* ceil(log2 p), by integer doubling: float log rounding must not add a
    phantom tree stage at exact powers of two (log 1024 / log 2 can come
@@ -40,32 +84,91 @@ let log2i p =
   in
   if p <= 1 then 0 else go 0 1
 
-(** Time for one point-to-point message of [elems] elements. *)
-let ptp (m : t) ~(elems : int) : float =
+(* Integer square root (floor), by Newton iteration on ints. *)
+let isqrt n =
+  if n <= 1 then max 0 n
+  else begin
+    let x = ref n and y = ref ((n + 1) / 2) in
+    while !y < !x do
+      x := !y;
+      y := (!y + (n / !y)) / 2
+    done;
+    !x
+  end
+
+(* ceil(log_radix p) by integer powering. *)
+let logri radix p =
+  let rec go stages reach =
+    if reach >= p then stages else go (stages + 1) (reach * radix)
+  in
+  if p <= 1 then 0 else go 0 1
+
+(** Expected hop count of a point-to-point message among [p] processors.
+    [Flat] is always one hop; a [radix]-ary fat tree routes up and back
+    down ([2 * ceil(log_radix p)] links); a near-square 2D torus pays
+    half the side in expected Manhattan distance. *)
+let avg_hops (m : t) ~(p : int) : float =
+  if p <= 1 then 1.0
+  else
+    match m.topology with
+    | Flat -> 1.0
+    | Fat_tree { radix } -> float_of_int (2 * max 1 (logri radix p))
+    | Torus2d ->
+        let side = max 1 (isqrt p) in
+        Float.max 1.0 (float_of_int side /. 2.0)
+
+(** Bandwidth contention factor paid by congesting collectives
+    (transpose / gather): how many times over the bisection the
+    all-to-all traffic is.  1 for full-bisection networks. *)
+let contention (m : t) ~(p : int) : float =
+  if p <= 1 then 1.0
+  else
+    match m.topology with
+    | Flat | Fat_tree _ -> 1.0
+    | Torus2d ->
+        (* bisection of a side x side torus is 4*side links; all-to-all
+           pushes ~p/2 flows each way across it *)
+        let side = max 1 (isqrt p) in
+        Float.max 1.0 (float_of_int p /. (8.0 *. float_of_int side))
+
+(** Point-to-point message of [elems] elements across a [p]-processor
+    machine: the topology charges its expected hop distance beyond the
+    first link. *)
+let ptp_among (m : t) ~(p : int) ~(elems : int) : float =
   m.alpha
+  +. (m.hop_latency *. (avg_hops m ~p -. 1.0))
   +. (m.beta *. float_of_int (elems * m.elem_bytes))
   +. (m.copy *. float_of_int elems)
 
+(** Time for one point-to-point message of [elems] elements over a
+    single link (the exact legacy model on every topology). *)
+let ptp (m : t) ~(elems : int) : float = ptp_among m ~p:1 ~elems
+
 (** One-to-all broadcast of [elems] elements among [p] processors
-    (binomial tree). *)
+    (binomial tree; each stage pays the topology's hop distance). *)
 let bcast (m : t) ~(p : int) ~(elems : int) : float =
-  float_of_int (log2i p) *. ptp m ~elems
+  float_of_int (log2i p) *. ptp_among m ~p ~elems
 
 (** Reduction (combine) of [elems] elements among [p] processors. *)
 let reduce (m : t) ~(p : int) ~(elems : int) : float =
-  float_of_int (log2i p) *. (ptp m ~elems +. (m.flop *. float_of_int elems))
+  float_of_int (log2i p)
+  *. (ptp_among m ~p ~elems +. (m.flop *. float_of_int elems))
 
 (** Collective shift: every processor exchanges [elems] elements with a
-    neighbour — one message time (they proceed in parallel). *)
+    neighbour — one message time (they proceed in parallel).  On a torus
+    the neighbour is one link away, so no hop surcharge applies on any
+    topology: this is what keeps BLOCK stencils cheap at scale. *)
 let shift (m : t) ~(elems : int) : float = ptp m ~elems
 
 (** All-to-all transpose of [total_elems] distributed over [p]
-    processors. *)
+    processors; pays the topology's bisection contention. *)
 let transpose (m : t) ~(p : int) ~(total_elems : int) : float =
   if p <= 1 then 0.0
   else
     let per_pair = total_elems / (p * p) in
-    float_of_int (p - 1) *. ptp m ~elems:(max 1 per_pair)
+    float_of_int (p - 1)
+    *. ptp_among m ~p ~elems:(max 1 per_pair)
+    *. contention m ~p
 
 (** Computation time for [n] floating-point operations. *)
 let compute (m : t) ~(flops : int) : float = m.flop *. float_of_int flops

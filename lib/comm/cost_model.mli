@@ -6,12 +6,21 @@
     reproduction targets relative behaviour, which depends on the
     latency-to-flop ratio (about three orders of magnitude on the SP2). *)
 
+(** Interconnect shape: [Flat] (every pair one hop, full bisection — the
+    legacy model, bit-identical costs), [Fat_tree] (per-hop latency up
+    and down a [radix]-ary tree, full bisection), [Torus2d] (Manhattan
+    hop distances, bisection contention on congesting collectives,
+    one-hop nearest-neighbour shifts). *)
+type topology = Flat | Fat_tree of { radix : int } | Torus2d
+
 type t = {
   alpha : float;  (** message startup latency, seconds *)
   beta : float;  (** per-byte transfer time, seconds *)
   flop : float;  (** time per floating-point operation, seconds *)
   elem_bytes : int;  (** bytes per array element (REAL*8) *)
   copy : float;  (** per-element pack/unpack cost, seconds *)
+  topology : topology;
+  hop_latency : float;  (** per-link latency beyond the first hop *)
 }
 
 (** IBM SP2 thin node: ~40 us latency, ~35 MB/s bandwidth, ~25 Mflop/s
@@ -25,8 +34,26 @@ val zero_latency : t
 (** [log2i p] = ceil(log2 p), 0 for p <= 1. *)
 val log2i : int -> int
 
-(** One point-to-point message of [elems] elements. *)
+val with_topology : t -> topology -> t
+val pp_topology : Format.formatter -> topology -> unit
+
+(** Parse "flat", "fat-tree[:radix]" or "torus". *)
+val topology_of_string : string -> (topology, string) result
+
+(** Expected hop count of a message among [p] processors. *)
+val avg_hops : t -> p:int -> float
+
+(** Bandwidth contention factor for congesting collectives (1 on
+    full-bisection networks). *)
+val contention : t -> p:int -> float
+
+(** One point-to-point message of [elems] elements over a single link
+    (the exact legacy model on every topology). *)
 val ptp : t -> elems:int -> float
+
+(** Point-to-point across a [p]-processor machine: pays the topology's
+    expected hop distance beyond the first link. *)
+val ptp_among : t -> p:int -> elems:int -> float
 
 (** One-to-all broadcast among [p] processors (binomial tree). *)
 val bcast : t -> p:int -> elems:int -> float

@@ -25,23 +25,56 @@ let owner_coord (f : format) ~(nprocs : int) (pos : int) : int =
   | Cyclic -> ((pos mod nprocs) + nprocs) mod nprocs
   | Block_cyclic k -> ((pos / k) mod nprocs + nprocs) mod nprocs
 
-(** Number of positions in [0 .. extent-1] owned by coordinate [c]. *)
-let local_count (f : format) ~(nprocs : int) ~(extent : int) (c : int) : int =
+type span = { start : int; block : int; stride : int }
+
+(** Closed-form description of the positions owned by coordinate [c]:
+    [start], [start+1 .. start+block-1], then again at [start+stride],
+    and so on (clipped to [0..extent-1] by {!span_count}/{!span_iter}).
+    [block <= stride] always holds, so at most the block straddling
+    [extent] is partial. *)
+let owner_span (f : format) ~(nprocs : int) ~(extent : int) (c : int) : span =
   match f with
   | Block bsize ->
-      let lo = c * bsize and hi = min extent ((c + 1) * bsize) in
-      (* the last processor also holds any overflow *)
-      let hi = if c = nprocs - 1 then extent else hi in
-      max 0 (hi - lo)
-  | Cyclic ->
-      let full = extent / nprocs in
-      full + if extent mod nprocs > c then 1 else 0
+      let start = c * bsize in
+      let block =
+        if c = nprocs - 1 then max bsize (extent - start) else bsize
+      in
+      (* one block per coordinate: a stride past the end never recurs *)
+      { start; block; stride = max 1 (max extent block) }
+  | Cyclic -> { start = ((c mod nprocs) + nprocs) mod nprocs; block = 1; stride = nprocs }
   | Block_cyclic k ->
-      let nblocks = (extent + k - 1) / k in
-      let full = nblocks / nprocs in
-      let mine = full + if nblocks mod nprocs > c then 1 else 0 in
-      (* last block may be partial; approximate by block count * k capped *)
-      min (mine * k) extent
+      { start = (((c mod nprocs) + nprocs) mod nprocs) * k;
+        block = k;
+        stride = nprocs * k }
+
+(** Number of positions of [0..extent-1] covered by [s]. *)
+let span_count (s : span) ~(extent : int) : int =
+  if s.start >= extent || s.block <= 0 then 0
+  else begin
+    (* occurrences whose first position is below [extent] *)
+    let n = ((extent - s.start) + s.stride - 1) / s.stride in
+    let last_start = s.start + ((n - 1) * s.stride) in
+    ((n - 1) * s.block) + min s.block (extent - last_start)
+  end
+
+(** Iterate the positions of [s] within [0..extent-1] in ascending
+    order. *)
+let span_iter (s : span) ~(extent : int) (f : int -> unit) : unit =
+  if s.block > 0 && s.stride > 0 then begin
+    let b = ref s.start in
+    while !b < extent do
+      let hi = min extent (!b + s.block) in
+      for pos = !b to hi - 1 do
+        f pos
+      done;
+      b := !b + s.stride
+    done
+  end
+
+(** Number of positions in [0 .. extent-1] owned by coordinate [c]
+    (exact, including a trailing partial block under CYCLIC(k)). *)
+let local_count (f : format) ~(nprocs : int) ~(extent : int) (c : int) : int =
+  span_count (owner_span f ~nprocs ~extent c) ~extent
 
 (** Are two 0-based positions owned by the same coordinate for every
     choice within the dimension?  Only exact position equality guarantees

@@ -15,8 +15,24 @@ val of_ast_format :
     the last coordinate; CYCLIC is total on negatives too). *)
 val owner_coord : format -> nprocs:int -> int -> int
 
+type span = { start : int; block : int; stride : int }
+(** Closed-form arithmetic block pattern: positions
+    [start .. start+block-1], repeating every [stride] ([block <= stride]
+    by construction, so blocks never overlap and at most the block
+    straddling the extent is partial). *)
+
+(** Closed-form description of the positions owned by coordinate [c]
+    among [nprocs] processors over [0..extent-1]. *)
+val owner_span : format -> nprocs:int -> extent:int -> int -> span
+
+(** Number of positions of [0..extent-1] covered by a span. *)
+val span_count : span -> extent:int -> int
+
+(** Iterate the positions of a span within [0..extent-1], ascending. *)
+val span_iter : span -> extent:int -> (int -> unit) -> unit
+
 (** Number of positions of [0..extent-1] owned by coordinate [c]
-    (approximate for a trailing partial block under CYCLIC(k)). *)
+    (exact, including a trailing partial block under CYCLIC(k)). *)
 val local_count : format -> nprocs:int -> extent:int -> int -> int
 
 (** Do two concrete positions share an owner? *)

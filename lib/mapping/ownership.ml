@@ -93,12 +93,16 @@ type dim_relation =
   | Irregular  (** anything else: general (gather/transpose-like) *)
 
 (** Relation along one dimension from producer [p] to consumer [c]. *)
-let relate_dim (p : owner_dim) (c : owner_dim) : dim_relation =
+let rec relate_dim (p : owner_dim) (c : owner_dim) : dim_relation =
   match (p, c) with
   | O_all, _ -> Local
   | O_affine { nprocs = 1; _ }, _ -> Local
       (* a single processor along this dimension owns everything *)
   | _, O_all -> To_all
+  | p, O_affine { nprocs = 1; _ } ->
+      (* degenerate one-processor dimension: the consumer always lives at
+         coordinate 0, so compare against that instead of giving up *)
+      relate_dim p (O_fixed 0)
   | O_fixed a, O_fixed b -> if a = b then Same else Shift (b - a)
   | O_affine pa, O_affine ca ->
       if pa.fmt = ca.fmt && pa.nprocs = ca.nprocs then
@@ -162,6 +166,77 @@ let owner_pids (env : Layout.env) (base : string) (idx : int array) :
                  expand (g + 1) (c :: coord)))
   in
   expand 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form owned index intervals                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Closed-form description of the array indices a coordinate owns along
+    one [Layout.Mapped] binding: the position-space span of the
+    distribution format, pulled back through the (unit-stride) alignment
+    map [pos = istride * i + shift]. *)
+type interval = {
+  ilo : int;
+  ihi : int;  (** index bounds of the array dimension *)
+  shift : int;
+  istride : int;  (** +1 or -1; [pos = istride * i + shift] *)
+  pspan : Dist.span;  (** owned positions, all [>= pspan.start] *)
+  pos_min : int;
+  pos_max : int;  (** position range reached by [ilo..ihi] *)
+}
+
+(** Owned index interval of [coord] along binding [b] over the array
+    dimension [bounds].  [None] when no closed form applies — replicated
+    or pinned bindings, non-unit alignment strides, or alignments that
+    reach negative positions — and the caller falls back to per-element
+    {!Dist.owner_coord}. *)
+let owned_interval (b : Layout.binding) ~(bounds : Types.bounds)
+    ~(coord : int) : interval option =
+  match b with
+  | Layout.Repl | Layout.Fixed _ -> None
+  | Layout.Mapped m ->
+      if abs m.stride <> 1 then None
+      else begin
+        let shift = m.offset - m.dim_lo in
+        let p_at i = (m.stride * i) + shift in
+        let plo = p_at bounds.Types.lo and phi = p_at bounds.Types.hi in
+        let pos_min = min plo phi and pos_max = max plo phi in
+        if pos_min < 0 || pos_max < pos_min then None
+        else
+          let pspan =
+            Dist.owner_span m.fmt ~nprocs:m.nprocs ~extent:(pos_max + 1)
+              coord
+          in
+          Some
+            {
+              ilo = bounds.Types.lo;
+              ihi = bounds.Types.hi;
+              shift;
+              istride = m.stride;
+              pspan;
+              pos_min;
+              pos_max;
+            }
+      end
+
+(** Number of indices in the interval (closed form). *)
+let interval_count (iv : interval) : int =
+  Dist.span_count iv.pspan ~extent:(iv.pos_max + 1)
+  - Dist.span_count iv.pspan ~extent:iv.pos_min
+
+(** Does the interval contain array index [i]? *)
+let interval_mem (iv : interval) (i : int) : bool =
+  i >= iv.ilo && i <= iv.ihi
+  &&
+  let pos = (iv.istride * i) + iv.shift in
+  pos >= iv.pspan.Dist.start
+  && (pos - iv.pspan.Dist.start) mod iv.pspan.Dist.stride
+     < iv.pspan.Dist.block
+
+(** Iterate the owned array indices (ascending in position space). *)
+let interval_iter (iv : interval) (f : int -> unit) : unit =
+  Dist.span_iter iv.pspan ~extent:(iv.pos_max + 1) (fun pos ->
+      if pos >= iv.pos_min then f (iv.istride * (pos - iv.shift)))
 
 (** Does processor [pid] own the element? *)
 let owns (env : Layout.env) (base : string) (idx : int array) (pid : int) :

@@ -61,5 +61,34 @@ val owner_of_element :
 (** Linear processor ids owning the element. *)
 val owner_pids : Layout.env -> string -> int array -> int list
 
+(** Closed-form owned index interval along one [Layout.Mapped] binding:
+    the distribution format's position-space span pulled back through a
+    unit-stride alignment map [pos = istride * i + shift]. *)
+type interval = {
+  ilo : int;
+  ihi : int;  (** index bounds of the array dimension *)
+  shift : int;
+  istride : int;  (** +1 or -1 *)
+  pspan : Dist.span;  (** owned positions, all [>= pspan.start] *)
+  pos_min : int;
+  pos_max : int;
+}
+
+(** Owned indices of [coord] along a binding over an array dimension;
+    [None] when no closed form applies (replicated/pinned bindings,
+    non-unit strides, negative positions) — fall back to per-element
+    {!Dist.owner_coord}. *)
+val owned_interval :
+  Layout.binding -> bounds:Types.bounds -> coord:int -> interval option
+
+(** Closed-form cardinality. *)
+val interval_count : interval -> int
+
+(** O(1) membership of an array index. *)
+val interval_mem : interval -> int -> bool
+
+(** Iterate owned indices (ascending in position space). *)
+val interval_iter : interval -> (int -> unit) -> unit
+
 (** Does processor [pid] own the element? *)
 val owns : Layout.env -> string -> int array -> int -> bool

@@ -1,0 +1,131 @@
+(** Closed-form processor sets over a grid.
+
+    The hot paths of the simulator need "which processors execute this
+    statement instance" as a set supporting O(1) counting and O(rank)
+    membership, without materializing the cartesian product of grid
+    dimensions (at P=1024 that product is the whole machine for every
+    replicated statement).  A set is either a rectangle — per grid
+    dimension a fixed coordinate or the full axis — or an explicit
+    sorted pid list for the rare irregular unions. *)
+
+type dim = D_one of int | D_all
+
+type t =
+  | Rect of { grid : Grid.t; dims : dim array }
+  | Explicit of { grid : Grid.t; pids : int list }  (** sorted ascending *)
+
+let grid = function Rect r -> r.grid | Explicit e -> e.grid
+
+(** The whole machine. *)
+let all (g : Grid.t) : t =
+  Rect { grid = g; dims = Array.make (Grid.rank g) D_all }
+
+let of_dims (g : Grid.t) (dims : dim array) : t = Rect { grid = g; dims }
+
+(** Explicit set from an arbitrary pid list (deduplicated, sorted). *)
+let of_list (g : Grid.t) (pids : int list) : t =
+  Explicit { grid = g; pids = List.sort_uniq compare pids }
+
+let count = function
+  | Rect { grid; dims } ->
+      Array.to_list dims
+      |> List.mapi (fun g' d ->
+             match d with D_one _ -> 1 | D_all -> Grid.extent grid g')
+      |> List.fold_left ( * ) 1
+  | Explicit { pids; _ } -> List.length pids
+
+let is_empty = function
+  | Rect _ -> false (* a rectangle always has >= 1 element *)
+  | Explicit { pids; _ } -> pids = []
+
+let is_all = function
+  | Rect { dims; _ } -> Array.for_all (function D_all -> true | D_one _ -> false) dims
+  | Explicit { grid; pids } -> List.length pids = Grid.size grid
+
+(** Smallest linear pid in the set, i.e. the head of the legacy
+    lexicographic expansion ([D_all] contributes coordinate 0). *)
+let first = function
+  | Rect { grid; dims } ->
+      Some
+        (Grid.linearize grid
+           (Array.map (function D_one c -> c | D_all -> 0) dims))
+  | Explicit { pids = p :: _; _ } -> Some p
+  | Explicit { pids = []; _ } -> None
+
+(** O(rank) membership for rectangles. *)
+let mem (s : t) (pid : int) : bool =
+  match s with
+  | Rect { grid; dims } ->
+      let coord = Grid.coords grid pid in
+      let ok = ref true in
+      Array.iteri
+        (fun g d ->
+          match d with
+          | D_all -> ()
+          | D_one c -> if coord.(g) <> c then ok := false)
+        dims;
+      !ok
+  | Explicit { pids; _ } -> List.mem pid pids
+
+(** Iterate pids in ascending linear-id order (matches the legacy
+    cartesian expansion order). *)
+let iter (f : int -> unit) (s : t) : unit =
+  match s with
+  | Rect { grid; dims } ->
+      let r = Array.length dims in
+      let coord = Array.map (function D_one c -> c | D_all -> 0) dims in
+      let rec go g =
+        if g = r then f (Grid.linearize grid coord)
+        else
+          match dims.(g) with
+          | D_one _ -> go (g + 1)
+          | D_all ->
+              for c = 0 to Grid.extent grid g - 1 do
+                coord.(g) <- c;
+                go (g + 1)
+              done
+      in
+      go 0
+  | Explicit { pids; _ } -> List.iter f pids
+
+let to_list (s : t) : int list =
+  match s with
+  | Explicit { pids; _ } -> pids
+  | Rect _ ->
+      let acc = ref [] in
+      iter (fun p -> acc := p :: !acc) s;
+      List.rev !acc
+
+let fold (f : 'a -> int -> 'a) (init : 'a) (s : t) : 'a =
+  let acc = ref init in
+  iter (fun p -> acc := f !acc p) s;
+  !acc
+
+(** Set union.  Rectangles are kept closed-form when one side absorbs
+    the other; otherwise the result is an explicit sorted list. *)
+let union (a : t) (b : t) : t =
+  if is_all a then a
+  else if is_all b then b
+  else if a = b then a
+  else
+    let rec merge xs ys =
+      match (xs, ys) with
+      | [], l | l, [] -> l
+      | x :: xs', y :: ys' ->
+          if x < y then x :: merge xs' ys
+          else if y < x then y :: merge xs ys'
+          else x :: merge xs' ys'
+    in
+    Explicit { grid = grid a; pids = merge (to_list a) (to_list b) }
+
+let pp ppf (s : t) =
+  match s with
+  | Rect { dims; _ } ->
+      Fmt.pf ppf "[%a]"
+        Fmt.(
+          array ~sep:(any ", ") (fun ppf -> function
+            | D_all -> Fmt.string ppf "*"
+            | D_one c -> Fmt.int ppf c))
+        dims
+  | Explicit { pids; _ } ->
+      Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) pids

@@ -110,6 +110,16 @@ let rec owner (d : Decisions.t) (m : Memory.t) ?(as_def = false)
           own
   end
 
+(** Closed-form processor set of per-dimension coordinates: no cartesian
+    expansion, O(rank) construction. *)
+let set_of_dims (env : Layout.env) (dims : dims) : Pid_set.t =
+  Pid_set.of_dims env.Layout.grid
+    (Array.map
+       (function
+         | Ownership.C_one c -> Pid_set.D_one c
+         | Ownership.C_all -> Pid_set.D_all)
+       dims)
+
 (** Expand per-dimension coordinates into linear processor ids. *)
 let pids (env : Layout.env) (dims : dims) : int list =
   let grid = env.Layout.grid in
@@ -185,7 +195,59 @@ let executing_pids (d : Decisions.t) (m : Memory.t) (s : Ast.stmt) :
           if union = [] then pids env (all_dims env)
           else List.sort compare union)
 
+(** Closed-form counterpart of {!executing_pids}: the same set as a
+    {!Pid_set.t}, without materializing the cartesian product.  The
+    legacy enumerative path above is kept verbatim as the differential
+    oracle; this one feeds the hot paths ({!Trace_sim},
+    {!Spmd_interp}).  Iteration order of the result matches the legacy
+    expansion (ascending linear ids). *)
+let executing_set (d : Decisions.t) (m : Memory.t) (s : Ast.stmt) :
+    Pid_set.t =
+  let env = d.Decisions.env in
+  match Decisions.guard_of_stmt d s with
+  | Decisions.G_all -> Pid_set.all env.Layout.grid
+  | Decisions.G_ref r -> set_of_dims env (owner d m ~as_def:true r)
+  | Decisions.G_ref_repl (r, repl) ->
+      set_of_dims env (owner d m ~skip_dims:repl r)
+  | Decisions.G_union -> (
+      match Nest.innermost_loop d.Decisions.nest s.sid with
+      | None -> Pid_set.all env.Layout.grid
+      | Some li ->
+          let sibs =
+            Decisions.all_stmts_in li.Nest.loop.body
+            |> List.filter (fun (st : Ast.stmt) ->
+                   st.sid <> s.sid
+                   &&
+                   match Decisions.guard_of_stmt d st with
+                   | Decisions.G_union -> false
+                   | _ -> true)
+          in
+          let scope = Nest.enclosing_indices d.Decisions.nest s.sid in
+          let union =
+            List.fold_left
+              (fun acc (st : Ast.stmt) ->
+                let widen_var v =
+                  Nest.is_enclosing_index d.Decisions.nest st.sid v
+                  && not (List.mem v scope)
+                in
+                let set =
+                  match Decisions.guard_of_stmt d st with
+                  | Decisions.G_all -> Pid_set.all env.Layout.grid
+                  | Decisions.G_ref r ->
+                      set_of_dims env (owner d m ~as_def:true ~widen_var r)
+                  | Decisions.G_ref_repl (r, repl) ->
+                      set_of_dims env
+                        (owner d m ~widen_var ~skip_dims:repl r)
+                  | Decisions.G_union -> Pid_set.of_list env.Layout.grid []
+                in
+                Pid_set.union acc set)
+              (Pid_set.of_list env.Layout.grid [])
+              sibs
+          in
+          if Pid_set.is_empty union then Pid_set.all env.Layout.grid
+          else union)
+
 (** Does processor [pid] execute statement [s] in the current iteration? *)
 let executes (d : Decisions.t) (m : Memory.t) (s : Ast.stmt) (pid : int) :
     bool =
-  List.mem pid (executing_pids d m s)
+  Pid_set.mem (executing_set d m s) pid

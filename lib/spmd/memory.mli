@@ -1,9 +1,14 @@
 (** Program memory: scalar bindings and dense Fortran-style arrays
-    (row-major over the declared lo..hi ranges). *)
+    (row-major over the declared lo..hi ranges), held in unboxed typed
+    storage (Bigarray / Bytes) with precomputed strides.  {!Value.t}
+    appears only at the language boundary: writes convert to the array's
+    declared element type, reads reconstruct. *)
 
 open Hpf_lang
 
-type array_cell = { data : Value.t array; shape : Types.shape }
+type array_cell
+(** Flat typed storage plus shape metadata; use {!cell_shape} /
+    {!cell_size} to inspect. *)
 
 type t = {
   scalars : (string, Value.t) Hashtbl.t;
@@ -44,7 +49,14 @@ val get_scalar : t -> string -> Value.t
 val set_scalar : t -> string -> Value.t -> unit
 val get_elem : t -> string -> int list -> Value.t
 val set_elem : t -> string -> int list -> Value.t -> unit
+
+(** [int array]-indexed fast paths (no per-access list allocation). *)
+val get_elem_a : t -> string -> int array -> Value.t
+
+val set_elem_a : t -> string -> int array -> Value.t -> unit
 val array_cell : t -> string -> array_cell
+val cell_shape : array_cell -> Types.shape
+val cell_size : array_cell -> int
 
 (** Row-major linearization of a (Fortran) index vector.
     @raise Runtime_error when out of the declared bounds. *)

@@ -92,11 +92,19 @@ type packet = {
 let pp_packet ppf (p : packet) =
   Fmt.pf ppf "#%d %d->%d %a" p.seq p.src p.dst pp_payload p.payload
 
+(** Per-(src,dst) channel state, materialized on first use.  An idle
+    pair costs nothing: at P=1024 the dense representation would eagerly
+    allocate over a million queues while a stencil touches a handful of
+    neighbours per processor. *)
+type pair_state = {
+  q : packet Queue.t;
+  mutable pair_next_seq : int;  (** next sequence number to allocate *)
+  mutable pair_expected : int;  (** next number the receiver accepts *)
+}
+
 type t = {
   nprocs : int;
-  queues : packet Queue.t array;  (** indexed [src * nprocs + dst] *)
-  next_seq : int array;  (** next sequence number to allocate per pair *)
-  expected : int array;  (** next sequence number the receiver accepts *)
+  pairs : (int, pair_state) Hashtbl.t;  (** keyed [src * nprocs + dst] *)
   mutable sent : int;  (** packets enqueued (duplicates included) *)
   mutable delivered : int;  (** packets accepted by a receiver *)
   mutable sent_blocks : int;  (** of [sent], how many carried a [Block] *)
@@ -109,12 +117,9 @@ type t = {
 let elem_bytes = 8
 
 let create ~(nprocs : int) : t =
-  let pairs = nprocs * nprocs in
   {
     nprocs;
-    queues = Array.init pairs (fun _ -> Queue.create ());
-    next_seq = Array.make pairs 0;
-    expected = Array.make pairs 0;
+    pairs = Hashtbl.create 64;
     sent = 0;
     delivered = 0;
     sent_blocks = 0;
@@ -142,23 +147,45 @@ let pp_stats ppf (s : stats) =
   Fmt.pf ppf "%d packets (%d blocks, %d singles), %d elems, %d bytes"
     s.packets s.blocks (s.packets - s.blocks) s.elems s.bytes
 
-let pair (t : t) ~(src : int) ~(dst : int) = (src * t.nprocs) + dst
+let pair_key (t : t) ~(src : int) ~(dst : int) = (src * t.nprocs) + dst
+
+(* Materialize the channel state of a pair (senders and accepters only:
+   pure reads of an idle pair must stay allocation-free). *)
+let materialize (t : t) ~src ~dst : pair_state =
+  let k = pair_key t ~src ~dst in
+  match Hashtbl.find_opt t.pairs k with
+  | Some ps -> ps
+  | None ->
+      let ps = { q = Queue.create (); pair_next_seq = 0; pair_expected = 0 } in
+      Hashtbl.replace t.pairs k ps;
+      ps
+
+(** Channels that have carried at least one packet (or allocated a
+    sequence number), as [(src, dst)] pairs.  O(live), not O(nprocs²). *)
+let live_pairs (t : t) : (int * int) list =
+  Hashtbl.fold (fun k _ acc -> (k / t.nprocs, k mod t.nprocs) :: acc) t.pairs []
+
+let iter_live (t : t) (f : src:int -> dst:int -> unit) : unit =
+  Hashtbl.iter (fun k _ -> f ~src:(k / t.nprocs) ~dst:(k mod t.nprocs)) t.pairs
 
 (** Allocate the next send sequence number of the pair.  A retransmission
     of the same logical message must {e not} re-allocate: it reuses the
     packet's original number. *)
 let next_seq (t : t) ~src ~dst : int =
-  let k = pair t ~src ~dst in
-  let s = t.next_seq.(k) in
-  t.next_seq.(k) <- s + 1;
+  let ps = materialize t ~src ~dst in
+  let s = ps.pair_next_seq in
+  ps.pair_next_seq <- s + 1;
   s
 
 (** The sequence number the receiver of the pair accepts next. *)
-let expected (t : t) ~src ~dst : int = t.expected.(pair t ~src ~dst)
+let expected (t : t) ~src ~dst : int =
+  match Hashtbl.find_opt t.pairs (pair_key t ~src ~dst) with
+  | Some ps -> ps.pair_expected
+  | None -> 0
 
 let advance_expected (t : t) ~src ~dst =
-  let k = pair t ~src ~dst in
-  t.expected.(k) <- t.expected.(k) + 1;
+  let ps = materialize t ~src ~dst in
+  ps.pair_expected <- ps.pair_expected + 1;
   t.delivered <- t.delivered + 1
 
 (** Build a packet for [payload] with a fresh sequence number and its
@@ -171,10 +198,14 @@ let enqueue (t : t) (p : packet) =
   (match p.payload with Block _ -> t.sent_blocks <- t.sent_blocks + 1 | _ -> ());
   t.sent_elems <- t.sent_elems + payload_elems p.payload;
   t.sent_bytes <- t.sent_bytes + payload_bytes ~elem_bytes p.payload;
-  Queue.push p t.queues.(pair t ~src:p.src ~dst:p.dst)
+  Queue.push p (materialize t ~src:p.src ~dst:p.dst).q
 
 let dequeue (t : t) ~src ~dst : packet option =
-  Queue.take_opt t.queues.(pair t ~src ~dst)
+  match Hashtbl.find_opt t.pairs (pair_key t ~src ~dst) with
+  | Some ps -> Queue.take_opt ps.q
+  | None -> None
 
 let pending (t : t) ~src ~dst : int =
-  Queue.length t.queues.(pair t ~src ~dst)
+  match Hashtbl.find_opt t.pairs (pair_key t ~src ~dst) with
+  | Some ps -> Queue.length ps.q
+  | None -> 0

@@ -45,11 +45,14 @@ type packet = {
 
 val pp_packet : Format.formatter -> packet -> unit
 
+type pair_state
+(** Per-(src,dst) channel state (FIFO queue, sequence counters),
+    materialized on first use so an idle pair costs nothing even at
+    P=1024. *)
+
 type t = {
   nprocs : int;
-  queues : packet Queue.t array;
-  next_seq : int array;
-  expected : int array;
+  pairs : (int, pair_state) Hashtbl.t;  (** keyed [src * nprocs + dst] *)
   mutable sent : int;  (** packets enqueued (duplicates included) *)
   mutable delivered : int;  (** packets accepted by a receiver *)
   mutable sent_blocks : int;  (** of [sent], how many carried a [Block] *)
@@ -85,3 +88,9 @@ val expected : t -> src:int -> dst:int -> int
 
 val advance_expected : t -> src:int -> dst:int -> unit
 val pending : t -> src:int -> dst:int -> int
+
+(** Channels that have carried at least one packet, as [(src, dst)]
+    pairs; O(live), not O(nprocs²). *)
+val live_pairs : t -> (int * int) list
+
+val iter_live : t -> (src:int -> dst:int -> unit) -> unit

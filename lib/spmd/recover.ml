@@ -80,8 +80,9 @@ type t = {
   mutable recovery_time : float;
       (** simulated fault-tolerance overhead: checkpoints, detection
           waits, retransmits, restores *)
-  holdback : Msg.packet option array;
-      (** per-(src,dst) packet held in flight by a reorder fault *)
+  holdback : (int, Msg.packet) Hashtbl.t;
+      (** packet held in flight by a reorder fault, keyed
+          [src * nprocs + dst]; sparse — only live pairs appear *)
 }
 
 let create ?(config = default_config) ?(faults = Fault.none)
@@ -126,7 +127,7 @@ let create ?(config = default_config) ?(faults = Fault.none)
     stalls = 0;
     crashes = 0;
     recovery_time = 0.0;
-    holdback = Array.make (nprocs * nprocs) None;
+    holdback = Hashtbl.create 16;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -162,10 +163,10 @@ let timeout_after (t : t) (attempt : int) : float =
 
 let release_holdback (t : t) ~src ~dst =
   let k = (src * t.nprocs) + dst in
-  match t.holdback.(k) with
+  match Hashtbl.find_opt t.holdback k with
   | None -> ()
   | Some p ->
-      t.holdback.(k) <- None;
+      Hashtbl.remove t.holdback k;
       Msg.enqueue t.net p
 
 (* Drain the pair's queue until the expected packet, a corrupt packet or
@@ -238,11 +239,11 @@ let transmit (t : t) ~(src : int) ~(dst : int) (payload : Msg.payload) :
       | Some Fault.Reorder ->
           (* held back; released in front of the pair's next message *)
           let k = (src * t.nprocs) + dst in
-          (match t.holdback.(k) with
-          | None -> t.holdback.(k) <- Some packet
+          (match Hashtbl.find_opt t.holdback k with
+          | None -> Hashtbl.replace t.holdback k packet
           | Some old ->
               Msg.enqueue t.net old;
-              t.holdback.(k) <- Some packet);
+              Hashtbl.replace t.holdback k packet);
           None
       | Some Fault.Corrupt ->
           Msg.enqueue t.net

@@ -46,64 +46,54 @@ let coord_of (m : Memory.t) = function
       Some (Dist.owner_coord fmt ~nprocs ((stride * i) + offset - dim_lo))
   | Sir.C_all -> None
 
-(* Expand a place into linear processor ids (lexicographic, the same
-   order the legacy interpreter produced). *)
-let place_pids (grid : Grid.t) (m : Memory.t) (pl : Sir.place) : int list =
-  let rec expand g coord =
-    if g = Array.length pl then
-      [ Grid.linearize grid (Array.of_list (List.rev coord)) ]
-    else
-      match coord_of m pl.(g) with
-      | Some c -> expand (g + 1) (c :: coord)
-      | None ->
-          List.concat
-            (List.init (Grid.extent grid g) (fun c ->
-                 expand (g + 1) (c :: coord)))
-  in
-  expand 0 []
+(* Resolve a place into a closed-form processor set.  No cartesian
+   expansion: each fixed/affine coordinate pins one grid dimension, each
+   [C_all] spans its axis.  Iteration order of the result matches the
+   legacy lexicographic expansion (ascending linear ids). *)
+let place_set (grid : Grid.t) (m : Memory.t) (pl : Sir.place) : Pid_set.t =
+  Pid_set.of_dims grid
+    (Array.map
+       (fun c ->
+         match coord_of m c with
+         | Some c -> Pid_set.D_one c
+         | None -> Pid_set.D_all)
+       pl)
 
-let all_pids_of (grid : Grid.t) : int list =
-  List.init (Grid.size grid) (fun p -> p)
-
-(* Evaluate a computes/destination predicate.  [P_union] replicates the
-   legacy fold: accumulate unseen pids set by set, fall back to every
-   processor when empty, sort ascending. *)
-let pred_pids (grid : Grid.t) (m : Memory.t) (p : Sir.pred) : int list =
+(* Evaluate a computes/destination predicate.  [P_union] keeps the legacy
+   semantics: union of the member places, every processor when empty. *)
+let pred_set (grid : Grid.t) (m : Memory.t) (p : Sir.pred) : Pid_set.t =
   match p with
-  | Sir.P_all -> all_pids_of grid
-  | Sir.P_place pl -> place_pids grid m pl
+  | Sir.P_all -> Pid_set.all grid
+  | Sir.P_place pl -> place_set grid m pl
   | Sir.P_union pls ->
-      let sets = List.map (place_pids grid m) pls in
       let union =
         List.fold_left
-          (fun acc l ->
-            List.fold_left
-              (fun acc p -> if List.mem p acc then acc else p :: acc)
-              acc l)
-          [] sets
+          (fun acc pl -> Pid_set.union acc (place_set grid m pl))
+          (Pid_set.of_list grid []) pls
       in
-      if union = [] then all_pids_of grid else List.sort compare union
+      if Pid_set.is_empty union then Pid_set.all grid else union
 
-(* Owner pids of one array element under an element-place recipe. *)
-let eplace_pids (grid : Grid.t) (ep : Sir.eplace) (idx : int array) :
-    int list =
-  let rec expand g coord =
-    if g = Array.length ep then
-      [ Grid.linearize grid (Array.of_list (List.rev coord)) ]
-    else
-      let one c = expand (g + 1) (c :: coord) in
-      match ep.(g) with
-      | Sir.E_fixed c -> one c
-      | Sir.E_dim { array_dim; fmt; nprocs; stride; offset; dim_lo } ->
-          one
-            (Dist.owner_coord fmt ~nprocs
-               ((stride * idx.(array_dim)) + offset - dim_lo))
-      | Sir.E_all ->
-          List.concat
-            (List.init (Grid.extent grid g) (fun c ->
-                 expand (g + 1) (c :: coord)))
-  in
-  expand 0 []
+(* Owner set of one array element under an element-place recipe. *)
+let eplace_set (grid : Grid.t) (ep : Sir.eplace) (idx : int array) :
+    Pid_set.t =
+  Pid_set.of_dims grid
+    (Array.map
+       (function
+         | Sir.E_fixed c -> Pid_set.D_one c
+         | Sir.E_dim { array_dim; fmt; nprocs; stride; offset; dim_lo } ->
+             Pid_set.D_one
+               (Dist.owner_coord fmt ~nprocs
+                  ((stride * idx.(array_dim)) + offset - dim_lo))
+         | Sir.E_all -> Pid_set.D_all)
+       ep)
+
+(* Does any pid of [set] satisfy [f]?  Short-circuiting. *)
+let set_exists (f : int -> bool) (set : Pid_set.t) : bool =
+  let exception Found in
+  try
+    Pid_set.iter (fun p -> if f p then raise Found) set;
+    false
+  with Found -> true
 
 (* --- per-(src, dst) element buffers ------------------------------- *)
 
@@ -155,16 +145,16 @@ let buffers_flush (st : t) ~(scalar_base : bool) ~(base : string)
 (* One scalar or element per statement instance, from its owner line to
    the destinations. *)
 let elem_transfer (st : t) (m_ref : Memory.t) (data : Sir.xdata)
-    (dests : int list) =
+    (dests : Pid_set.t) =
   let grid = st.sir.Sir.grid in
   match data with
   | Sir.X_scalar { var; owner } -> (
-      match place_pids grid m_ref owner with
-      | [] -> ()
-      | src :: _ ->
+      match Pid_set.first (place_set grid m_ref owner) with
+      | None -> ()
+      | Some src ->
           let v = Memory.get_scalar st.procs.(src) var in
           let payload = Msg.Scalar { var; value = v } in
-          List.iter
+          Pid_set.iter
             (fun p ->
               if p <> src then begin
                 Recover.transmit st.runtime ~src ~dst:p payload;
@@ -172,13 +162,13 @@ let elem_transfer (st : t) (m_ref : Memory.t) (data : Sir.xdata)
               end)
             dests)
   | Sir.X_elem { base; subs; owner } -> (
-      match place_pids grid m_ref owner with
-      | [] -> ()
-      | src :: _ ->
+      match Pid_set.first (place_set grid m_ref owner) with
+      | None -> ()
+      | Some src ->
           let idx = List.map (fun e -> Eval.int_expr m_ref e) subs in
           let v = Memory.get_elem st.procs.(src) base idx in
           let payload = Msg.Elem { base; index = idx; value = v } in
-          List.iter
+          Pid_set.iter
             (fun p ->
               if p <> src then begin
                 Recover.transmit st.runtime ~src ~dst:p payload;
@@ -189,15 +179,15 @@ let elem_transfer (st : t) (m_ref : Memory.t) (data : Sir.xdata)
 (* An unsubscripted array actual: every element travels from its
    directive owner to the destinations. *)
 let whole_transfer (st : t) (m_ref : Memory.t) ~(base : string)
-    (owners : Sir.eplace) (dests : int list) =
+    (owners : Sir.eplace) (dests : Pid_set.t) =
   let grid = st.sir.Sir.grid in
   let bufs = buffers_create () in
   Memory.iter_elems m_ref base (fun idx _ ->
-      match eplace_pids grid owners (Array.of_list idx) with
-      | [] -> ()
-      | src :: _ ->
+      match Pid_set.first (eplace_set grid owners (Array.of_list idx)) with
+      | None -> ()
+      | Some src ->
           let v = Memory.get_elem st.procs.(src) base idx in
-          List.iter
+          Pid_set.iter
             (fun p ->
               if p <> src then begin
                 st.transfers <- st.transfers + 1;
@@ -218,8 +208,7 @@ let whole_transfer (st : t) (m_ref : Memory.t) ~(base : string)
    memory and restored afterwards, so the surrounding execution never
    observes the lookahead. *)
 let block_transfer (st : t) (m_ref : Memory.t) ~(data : Sir.xdata)
-    ~(dests : Sir.dests) ~(crossed : Sir.loop_desc list)
-    ~(all_pids : int list) =
+    ~(dests : Sir.dests) ~(crossed : Sir.loop_desc list) =
   let grid = st.sir.Sir.grid in
   let base, owner, scalar_base =
     match data with
@@ -228,9 +217,9 @@ let block_transfer (st : t) (m_ref : Memory.t) ~(data : Sir.xdata)
   in
   let bufs = buffers_create () in
   let emit () =
-    match place_pids grid m_ref owner with
-    | [] -> ()
-    | src :: _ ->
+    match Pid_set.first (place_set grid m_ref owner) with
+    | None -> ()
+    | Some src ->
         let entry =
           match data with
           | Sir.X_scalar { var; _ } ->
@@ -241,10 +230,10 @@ let block_transfer (st : t) (m_ref : Memory.t) ~(data : Sir.xdata)
         in
         let ds =
           match dests with
-          | Sir.D_all -> all_pids
-          | Sir.D_pred p -> pred_pids grid m_ref p
+          | Sir.D_all -> Pid_set.all grid
+          | Sir.D_pred p -> pred_set grid m_ref p
         in
-        List.iter
+        Pid_set.iter
           (fun p ->
             if p <> src then begin
               st.transfers <- st.transfers + 1;
@@ -311,7 +300,6 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
     Recover.create ?config:recover_config ~faults procs c.Compiler.prog
   in
   let st = { compiled = c; sir; reference; procs; transfers = 0; runtime } in
-  let all_pids = all_pids_of grid in
   (* per-op block-transfer state: placement instance already shipped *)
   let last_prefix : (int, int list) Hashtbl.t = Hashtbl.create 8 in
   (* reduction dirty flags: combine lazily on first consumption *)
@@ -377,10 +365,10 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
     end
   in
   let comm_op (m_ref : Memory.t) (op : Sir.comm_op) =
-    let dest_pids (d : Sir.dests) =
+    let dest_set (d : Sir.dests) =
       match d with
-      | Sir.D_all -> all_pids
-      | Sir.D_pred p -> pred_pids grid m_ref p
+      | Sir.D_all -> Pid_set.all grid
+      | Sir.D_pred p -> pred_set grid m_ref p
     in
     match op.Sir.xfer with
     | Sir.Reduce_xfer ->
@@ -388,9 +376,9 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
            value copy *)
         ()
     | Sir.Elem_xfer { data; dests } ->
-        elem_transfer st m_ref data (dest_pids dests)
+        elem_transfer st m_ref data (dest_set dests)
     | Sir.Whole_xfer { base; owners; dests } ->
-        whole_transfer st m_ref ~base owners (dest_pids dests)
+        whole_transfer st m_ref ~base owners (dest_set dests)
     | Sir.Block_xfer { data; dests; crossed; prefix_vars } ->
         (* ship the whole region once, at the first statement instance
            of each placement instance *)
@@ -401,7 +389,7 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
         in
         if Hashtbl.find_opt last_prefix op.Sir.uid <> Some prefix then begin
           Hashtbl.replace last_prefix op.Sir.uid prefix;
-          block_transfer st m_ref ~data ~dests ~crossed ~all_pids
+          block_transfer st m_ref ~data ~dests ~crossed
         end
   in
   let on_stmt (s : Ast.stmt) (m_ref : Memory.t) =
@@ -434,8 +422,8 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
         (match ops.Sir.exec with
         | Sir.Nop -> ()
         | Sir.Guarded_assign { lhs; rhs; computes } ->
-            let execs = pred_pids grid m_ref computes in
-            List.iter
+            let execs = pred_set grid m_ref computes in
+            Pid_set.iter
               (fun p ->
                 let mp = st.procs.(p) in
                 let v = Eval.expr mp rhs in
@@ -512,27 +500,27 @@ let validate ?(max_mismatches = 10) (st : t) : mismatch list =
         | Sir.V_owned (a, ep) ->
             Memory.iter_elems st.reference a (fun idx expected ->
                 if !count < max_mismatches then
-                  List.iter
+                  Pid_set.iter
                     (fun pid ->
                       if !count < max_mismatches then begin
                         let got = Memory.get_elem st.procs.(pid) a idx in
                         if not (Value.close got expected) then
                           record pid a idx got expected
                       end)
-                    (eplace_pids grid ep (Array.of_list idx)))
+                    (eplace_set grid ep (Array.of_list idx)))
         | Sir.V_line (a, ep) ->
             Memory.iter_elems st.reference a (fun idx expected ->
                 if !count < max_mismatches then begin
-                  let line = eplace_pids grid ep (Array.of_list idx) in
+                  let line = eplace_set grid ep (Array.of_list idx) in
                   let holds pid =
                     Value.close
                       (Memory.get_elem st.procs.(pid) a idx)
                       expected
                   in
-                  match line with
-                  | [] -> ()
-                  | pid :: _ ->
-                      if not (List.exists holds line) then
+                  match Pid_set.first line with
+                  | None -> ()
+                  | Some pid ->
+                      if not (set_exists holds line) then
                         record pid a idx
                           (Memory.get_elem st.procs.(pid) a idx)
                           expected

@@ -83,10 +83,12 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
     prog;
   let total_instances = ref 0 in
   let compute_total = ref 0.0 in
+  (* time charged to EVERY processor (replicated statements): folding it
+     into one accumulator instead of P clock updates makes replicated
+     instances O(1), which is what keeps P=1024 sub-second *)
+  let all_offset = ref 0.0 in
   (* guards that do not depend on iteration state can be cached *)
-  let static_guard : (Ast.stmt_id, int list option) Hashtbl.t =
-    Hashtbl.create 64
-  in
+  let static_all : (Ast.stmt_id, bool) Hashtbl.t = Hashtbl.create 64 in
   let on_stmt (s : Ast.stmt) (m : Memory.t) =
     incr total_instances;
     let level = List.length (Hashtbl.find indices_of s.sid) in
@@ -121,23 +123,38 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
     done;
     st.execs <- st.execs + 1;
     st.last <- cur;
-    (* charge compute to executing processors *)
-    let execs =
-      match Hashtbl.find_opt static_guard s.sid with
-      | Some (Some pids) -> pids
-      | Some None -> Concrete.executing_pids d m s
-      | None ->
-          (* decide cachability: G_all with no dependence on memory *)
-          let g = Decisions.guard_of_stmt d s in
-          let cacheable = match g with Decisions.G_all -> true | _ -> false in
-          let pids = Concrete.executing_pids d m s in
-          Hashtbl.replace static_guard s.sid
-            (if cacheable then Some pids else None);
-          pids
-    in
+    (* charge compute to executing processors, via closed-form sets: a
+       replicated statement costs one accumulator add, an owned one
+       costs |set| clock updates (usually 1) *)
     let t = Cost_model.compute model ~flops:(Hashtbl.find flops_of s.sid) in
-    List.iter (fun p -> clocks.(p) <- clocks.(p) +. t) execs;
-    compute_total := !compute_total +. (t *. float_of_int (List.length execs))
+    let is_static_all =
+      match Hashtbl.find_opt static_all s.sid with
+      | Some b -> b
+      | None ->
+          let b =
+            match Decisions.guard_of_stmt d s with
+            | Decisions.G_all -> true
+            | _ -> false
+          in
+          Hashtbl.replace static_all s.sid b;
+          b
+    in
+    if is_static_all then begin
+      all_offset := !all_offset +. t;
+      compute_total := !compute_total +. (t *. float_of_int nprocs)
+    end
+    else begin
+      let set = Concrete.executing_set d m s in
+      if Hpf_mapping.Pid_set.is_all set then
+        all_offset := !all_offset +. t
+      else
+        Hpf_mapping.Pid_set.iter
+          (fun p -> clocks.(p) <- clocks.(p) +. t)
+          set;
+      compute_total :=
+        !compute_total
+        +. (t *. float_of_int (Hpf_mapping.Pid_set.count set))
+    end
   in
   let config = { Seq_interp.fuel; on_stmt = Some on_stmt } in
   let mem = Seq_interp.run ~config ?init prog in
@@ -224,7 +241,7 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
           comm_messages := !comm_messages + instances;
           comm_elems := !comm_elems + (instances * elems))
     comms_to_price;
-  let compute_max = Array.fold_left Float.max 0.0 clocks in
+  let compute_max = Array.fold_left Float.max 0.0 clocks +. !all_offset in
   let recovery_time =
     match recovery with
     | Some rep -> rep.Recover.recovery_time

@@ -1,0 +1,289 @@
+(* Property tests pinning the closed-form ownership machinery of
+   {!Hpf_mapping} against exhaustive enumeration through
+   {!Dist.owner_coord} — the scalar map both paths are defined by.
+
+   Everything is driven by a hand-rolled deterministic generator (a
+   splitmix-style mixer, no [Random]): every run sees the same cases, a
+   failure message carries enough state to replay it. *)
+
+open Hpf_mapping
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* deterministic pseudo-random stream                                  *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { mutable s : int }
+
+let rng seed = { s = seed }
+
+(* splitmix-style mixing with constants truncated to OCaml's 63-bit ints *)
+let next (r : rng) : int =
+  r.s <- (r.s + 0x1E3779B97F4A7C15) land max_int;
+  let z = r.s in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  z lxor (z lsr 31)
+
+(* uniform in [0, n) *)
+let below (r : rng) (n : int) : int = next r mod n
+
+(* uniform in [lo, hi] *)
+let range (r : rng) ~lo ~hi : int = lo + below r (hi - lo + 1)
+
+let gen_format (r : rng) ~nprocs ~extent : Dist.format =
+  match below r 4 with
+  | 0 -> Dist.Cyclic
+  | 1 -> Dist.Block_cyclic (range r ~lo:1 ~hi:5)
+  | 2 ->
+      (* the canonical resolution-time block size *)
+      Dist.Block (max 1 ((extent + nprocs - 1) / nprocs))
+  | _ ->
+      (* off-canonical sizes: under- and over-full machines *)
+      Dist.Block (range r ~lo:1 ~hi:(extent + 2))
+
+(* ------------------------------------------------------------------ *)
+(* owner_span / span_count / span_iter vs owner_coord enumeration      *)
+(* ------------------------------------------------------------------ *)
+
+let span_mem (s : Dist.span) ~extent pos =
+  pos >= s.Dist.start && pos < extent
+  && s.Dist.block > 0
+  && (pos - s.Dist.start) mod s.Dist.stride < s.Dist.block
+
+let test_owner_span_partition () =
+  let r = rng 0xB10C5 in
+  for _case = 1 to 200 do
+    let nprocs = range r ~lo:1 ~hi:17 in
+    let extent = range r ~lo:1 ~hi:60 in
+    let fmt = gen_format r ~nprocs ~extent in
+    let label c =
+      Fmt.str "%a nprocs=%d extent=%d coord=%d" Dist.pp fmt nprocs extent c
+    in
+    for c = 0 to nprocs - 1 do
+      let span = Dist.owner_span fmt ~nprocs ~extent c in
+      (* enumerate the ground truth positions of coordinate c *)
+      let owned = ref [] in
+      for pos = extent - 1 downto 0 do
+        if Dist.owner_coord fmt ~nprocs pos = c then owned := pos :: !owned
+      done;
+      (* membership matches at every position *)
+      for pos = 0 to extent - 1 do
+        check Alcotest.bool
+          (Fmt.str "%s mem pos=%d" (label c) pos)
+          (List.mem pos !owned)
+          (span_mem span ~extent pos)
+      done;
+      (* closed-form count matches *)
+      check Alcotest.int
+        (Fmt.str "%s count" (label c))
+        (List.length !owned)
+        (Dist.span_count span ~extent);
+      check Alcotest.int
+        (Fmt.str "%s local_count" (label c))
+        (List.length !owned)
+        (Dist.local_count fmt ~nprocs ~extent c);
+      (* iteration yields exactly the owned positions, ascending *)
+      let seen = ref [] in
+      Dist.span_iter span ~extent (fun p -> seen := p :: !seen);
+      check
+        (Alcotest.list Alcotest.int)
+        (Fmt.str "%s iter" (label c))
+        !owned (List.rev !seen)
+    done
+  done
+
+(* every position is owned by exactly one coordinate *)
+let test_owner_span_disjoint_total () =
+  let r = rng 0xD15C0 in
+  for _case = 1 to 200 do
+    let nprocs = range r ~lo:1 ~hi:13 in
+    let extent = range r ~lo:1 ~hi:50 in
+    let fmt = gen_format r ~nprocs ~extent in
+    let spans =
+      Array.init nprocs (Dist.owner_span fmt ~nprocs ~extent)
+    in
+    for pos = 0 to extent - 1 do
+      let owners = ref 0 in
+      Array.iter
+        (fun s -> if span_mem s ~extent pos then incr owners)
+        spans;
+      check Alcotest.int
+        (Fmt.str "%a nprocs=%d extent=%d pos=%d owners" Dist.pp fmt nprocs
+           extent pos)
+        1 !owners
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pid_set rectangles vs cartesian expansion                           *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_pids (grid : Grid.t) (dims : Pid_set.dim array) : int list =
+  let rec expand g coord =
+    if g = Array.length dims then
+      [ Grid.linearize grid (Array.of_list (List.rev coord)) ]
+    else
+      match dims.(g) with
+      | Pid_set.D_one c -> expand (g + 1) (c :: coord)
+      | Pid_set.D_all ->
+          List.concat
+            (List.init (Grid.extent grid g) (fun c ->
+                 expand (g + 1) (c :: coord)))
+  in
+  expand 0 []
+
+let gen_grid_dims (r : rng) : Grid.t * Pid_set.dim array =
+  let rank = range r ~lo:1 ~hi:3 in
+  let extents = List.init rank (fun _ -> range r ~lo:1 ~hi:5) in
+  let grid = Grid.make extents in
+  let dims =
+    Array.init rank (fun g ->
+        if below r 2 = 0 then Pid_set.D_all
+        else Pid_set.D_one (below r (Grid.extent grid g)))
+  in
+  (grid, dims)
+
+let test_pid_set_rect_matches_expansion () =
+  let r = rng 0x9E75 in
+  for case = 1 to 300 do
+    let grid, dims = gen_grid_dims r in
+    let set = Pid_set.of_dims grid dims in
+    let expected = oracle_pids grid dims in
+    let label = Fmt.str "case %d (%a)" case Pid_set.pp set in
+    check
+      (Alcotest.list Alcotest.int)
+      (label ^ " to_list") expected (Pid_set.to_list set);
+    check Alcotest.int (label ^ " count") (List.length expected)
+      (Pid_set.count set);
+    check
+      (Alcotest.option Alcotest.int)
+      (label ^ " first")
+      (match expected with [] -> None | p :: _ -> Some p)
+      (Pid_set.first set);
+    for pid = 0 to Grid.size grid - 1 do
+      check Alcotest.bool
+        (Fmt.str "%s mem %d" label pid)
+        (List.mem pid expected) (Pid_set.mem set pid)
+    done;
+    let seen = ref [] in
+    Pid_set.iter (fun p -> seen := p :: !seen) set;
+    check
+      (Alcotest.list Alcotest.int)
+      (label ^ " iter order") expected (List.rev !seen)
+  done
+
+let test_pid_set_union_matches_list_union () =
+  let r = rng 0xA11E5 in
+  for case = 1 to 200 do
+    let rank = range r ~lo:1 ~hi:3 in
+    let extents = List.init rank (fun _ -> range r ~lo:1 ~hi:4) in
+    let grid = Grid.make extents in
+    let gen_set () =
+      if below r 3 = 0 then
+        (* explicit: random pid list *)
+        Pid_set.of_list grid
+          (List.init (below r 6) (fun _ -> below r (Grid.size grid)))
+      else
+        Pid_set.of_dims grid
+          (Array.init rank (fun g ->
+               if below r 2 = 0 then Pid_set.D_all
+               else Pid_set.D_one (below r (Grid.extent grid g))))
+    in
+    let a = gen_set () and b = gen_set () in
+    let expected =
+      List.sort_uniq compare (Pid_set.to_list a @ Pid_set.to_list b)
+    in
+    check
+      (Alcotest.list Alcotest.int)
+      (Fmt.str "case %d union" case)
+      expected
+      (Pid_set.to_list (Pid_set.union a b))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* owned_interval vs per-element owner_coord enumeration               *)
+(* ------------------------------------------------------------------ *)
+
+let test_owned_interval_matches_enumeration () =
+  let r = rng 0x1DEA1 in
+  let tried = ref 0 in
+  for _case = 1 to 400 do
+    let nprocs = range r ~lo:1 ~hi:9 in
+    let lo = range r ~lo:0 ~hi:3 in
+    let hi = lo + range r ~lo:0 ~hi:40 in
+    let bounds = Hpf_lang.Types.bounds lo hi in
+    let stride = if below r 2 = 0 then 1 else -1 in
+    let dim_lo = range r ~lo:0 ~hi:2 in
+    (* offset keeping every position stride*i + offset - dim_lo >= 0 *)
+    let offset =
+      if stride = 1 then dim_lo - lo + range r ~lo:0 ~hi:4
+      else dim_lo + hi + range r ~lo:0 ~hi:4
+    in
+    let pos_of i = (stride * i) + offset - dim_lo in
+    let extent = range r ~lo:1 ~hi:50 in
+    let fmt = gen_format r ~nprocs ~extent in
+    let binding =
+      Layout.Mapped { array_dim = 0; fmt; stride; offset; dim_lo; nprocs }
+    in
+    let coord = below r nprocs in
+    match Ownership.owned_interval binding ~bounds ~coord with
+    | None ->
+        Alcotest.fail
+          (Fmt.str
+             "no closed form for unit-stride non-negative binding (%a \
+              nprocs=%d stride=%d offset=%d dim_lo=%d lo=%d hi=%d)"
+             Dist.pp fmt nprocs stride offset dim_lo lo hi)
+    | Some iv ->
+        incr tried;
+        let label =
+          Fmt.str "%a nprocs=%d stride=%d offset=%d dim_lo=%d [%d,%d] c=%d"
+            Dist.pp fmt nprocs stride offset dim_lo lo hi coord
+        in
+        (* ground truth: indices whose position owner_coord maps to c *)
+        let owned = ref [] in
+        for i = hi downto lo do
+          if Dist.owner_coord fmt ~nprocs (pos_of i) = coord then
+            owned := i :: !owned
+        done;
+        for i = lo to hi do
+          check Alcotest.bool
+            (Fmt.str "%s mem i=%d" label i)
+            (List.mem i !owned) (Ownership.interval_mem iv i)
+        done;
+        check Alcotest.int (label ^ " count") (List.length !owned)
+          (Ownership.interval_count iv);
+        let seen = ref [] in
+        Ownership.interval_iter iv (fun i -> seen := i :: !seen);
+        check
+          (Alcotest.list Alcotest.int)
+          (label ^ " iter")
+          (List.sort compare !owned)
+          (List.sort compare (List.rev !seen))
+  done;
+  check Alcotest.bool "exercised cases" true (!tried > 0)
+
+let () =
+  Alcotest.run "ownership-props"
+    [
+      ( "owner-span",
+        [
+          Alcotest.test_case "partition vs owner_coord" `Quick
+            test_owner_span_partition;
+          Alcotest.test_case "disjoint and total" `Quick
+            test_owner_span_disjoint_total;
+        ] );
+      ( "pid-set",
+        [
+          Alcotest.test_case "rect vs cartesian expansion" `Quick
+            test_pid_set_rect_matches_expansion;
+          Alcotest.test_case "union vs list union" `Quick
+            test_pid_set_union_matches_list_union;
+        ] );
+      ( "owned-interval",
+        [
+          Alcotest.test_case "vs enumeration" `Quick
+            test_owned_interval_matches_enumeration;
+        ] );
+    ]
