@@ -64,9 +64,22 @@ let compile_program ?grid_override ?options ?after path =
 (* Run the static verifier over a compiled program: findings on stderr
    (the shared renderer), the one-line summary on stdout, instrumentation
    like the compiler's own passes.  Returns the exit code. *)
-let run_verifier ~opts ~time_passes ~stats ~strict (c : Compiler.compiled) :
-    int =
-  match Phpf_verify.Verifier.verify ~opts c with
+let run_verifier ~opts ~time_passes ~stats ~strict ?dump_after
+    (c : Compiler.compiled) : int =
+  (* the verifier's own --dump-after hook: verify-flow renders the
+     per-block dataflow states, every other pass its findings so far *)
+  let after name (v : Phpf_verify.Verifier.vctx) =
+    if dump_after = Some name then begin
+      Fmt.pr "=== after %s ===@." name;
+      (if name = "verify-flow" then
+         match Phpf_verify.Sir_flow.dump v.Phpf_verify.Verifier.compiled with
+         | Some s -> Fmt.pr "%s" s
+         | None -> Fmt.pr "no lowered program recorded@."
+       else Fmt.pr "%a@." Diag.pp_list v.Phpf_verify.Verifier.findings);
+      Fmt.pr "=== end %s ===@." name
+    end
+  in
+  match Phpf_verify.Verifier.verify ~opts ~after c with
   | Error ds -> raise (Diag.Fatal ds)
   | Ok (findings, vtrace) ->
       render_diags findings;
@@ -336,13 +349,17 @@ let dump_after_hook (which : string option) (name : string)
     Fmt.pr "=== end %s ===@." name
   end
 
-(* Reject an unknown --dump-after pass name before doing any work. *)
-let check_dump_after = function
-  | Some p when not (List.mem p Compiler.pass_names) ->
+(* Reject an unknown --dump-after pass name before doing any work.
+   [extra] admits the verifier's own passes where they run (lint, and
+   compile --verify). *)
+let check_dump_after ?(extra = []) arg =
+  let known = Compiler.pass_names @ extra in
+  match arg with
+  | Some p when not (List.mem p known) ->
       render_diags
         [
           Diag.errorf ~code:"E0501" "unknown pass %s (registered: %s)" p
-            (String.concat ", " Compiler.pass_names);
+            (String.concat ", " known);
         ];
       false
   | _ -> true
@@ -357,7 +374,13 @@ let compile_cmd =
       list_passes ();
       exit_ok
     end
-    else if not (check_dump_after dump_after) then exit_usage
+    else if
+      not
+        (check_dump_after
+           ~extra:
+             (if verify then Phpf_verify.Verifier.pass_names else [])
+           dump_after)
+    then exit_usage
     else
       guarded @@ fun () ->
       let c, trace =
@@ -370,7 +393,8 @@ let compile_cmd =
         Fmt.pr "%a@?" Phpf_driver.Pipeline.pp_timing trace;
       if stats then Fmt.pr "%a@?" Phpf_driver.Pipeline.pp_stats trace;
       if verify then
-        run_verifier ~opts:options ~time_passes ~stats ~strict:false c
+        run_verifier ~opts:options ~time_passes ~stats ~strict:false
+          ?dump_after c
       else exit_ok
   in
   let annotate_arg =
@@ -398,11 +422,16 @@ let compile_cmd =
       $ list_passes_arg $ verbose_arg)
 
 let lint_cmd =
-  let run file procs options strict time_passes stats verbose =
+  let run file procs options strict time_passes stats dump_after verbose =
     setup_logs verbose;
-    guarded @@ fun () ->
-    let c, _trace = compile_program ?grid_override:procs ~options file in
-    run_verifier ~opts:options ~time_passes ~stats ~strict c
+    if
+      not
+        (check_dump_after ~extra:Phpf_verify.Verifier.pass_names dump_after)
+    then exit_usage
+    else
+      guarded @@ fun () ->
+      let c, _trace = compile_program ?grid_override:procs ~options file in
+      run_verifier ~opts:options ~time_passes ~stats ~strict ?dump_after c
   in
   let strict_arg =
     Arg.(
@@ -414,11 +443,14 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically verify the compiled output: mapping validity \
-          (E0601-E0611), SPMD races, communication completeness and \
-          lowered-IR fidelity.  Exits 0 when clean, 4 on findings.")
+          (E0601-E0612), SPMD races, communication completeness, \
+          lowered-IR fidelity and dataflow (dead/redundant transfers, \
+          stale reads).  Exits 0 when clean, 4 on findings.  \
+          $(b,--dump-after) verify-flow renders the per-block dataflow \
+          states.")
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ strict_arg
-      $ time_passes_arg $ stats_arg $ verbose_arg)
+      $ time_passes_arg $ stats_arg $ dump_after_arg $ verbose_arg)
 
 let simulate_cmd =
   let run file procs options stats faults fault_seed report_faults report_comm

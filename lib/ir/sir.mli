@@ -1,0 +1,224 @@
+(** The lowered SPMD intermediate representation.
+
+    A [Sir.program] is the explicit per-processor form of a compiled
+    program: every decision the mapping passes made — ownership chains,
+    computation-partitioning guards, communication placement, message
+    aggregation, privatized storage, reduction combining — is resolved
+    at lowering time ({!Phpf_core.Lower_spmd}) and materialized as data.
+    The downstream consumers (the SPMD executor {!Hpf_spmd.Spmd_interp},
+    the timing simulator {!Hpf_spmd.Trace_sim}, the verifier's
+    {!Phpf_verify.Sir_check} / {!Phpf_verify.Sir_flow} and the
+    {!Sir_cfg} graph builder) read this structure instead of re-deriving
+    anything from {!Phpf_core.Decisions}.
+
+    {2 Structural invariants}
+
+    These are the invariants {!Sir_cfg} and the flow analyses rely on;
+    {!Phpf_core.Lower_spmd} establishes them and the executor assumes
+    them:
+
+    - [source] is the checked AST: every statement carries a unique
+      [sid], and [stmts] is keyed by those ids.  A statement with no
+      entry in [stmts] performs no lowered ops (pure control).
+    - The ops of a {!stmt_ops} fire {e once per statement instance},
+      {e before} the statement's own execution, in field order: mirror
+      the enclosing indices, run the reduction steps, perform the
+      communications, then [exec].  For a [Do] statement the instance is
+      the arrival at the loop (not each iteration); for [Assign]/[If]
+      it is each dynamic execution.
+    - [comms] is in execution order.  Across the whole program every
+      {!comm_op} has a distinct [uid] (the executor's per-op state key)
+      and [pos] is its position in the compiled schedule, so
+      {!schedule} reconstructs the pricing order.
+    - A [Block_xfer] is anchored at its consumer statement but ships
+      only at the {e first} instance of each distinct [prefix_vars]
+      valuation; at later instances of the same placement instance it
+      is a no-op.
+    - All [Ast.expr] leaves embedded in coordinates, regions and bounds
+      are evaluated against the lockstep reference memory — transfers
+      never feed addresses, only payloads.
+    - An empty {e evaluated} [P_union] falls back to all processors
+      (privatized control flow: no sibling owner line matched). *)
+
+open Hpf_lang
+open Hpf_analysis
+open Hpf_mapping
+
+(** One grid-dimension coordinate of an owner, with the dynamic part (a
+    subscript expression) kept symbolic.  [C_affine] is a fully resolved
+    distribution-format application: the owner coordinate is
+    [Dist.owner_coord fmt ~nprocs (stride*eval(sub) + offset - dim_lo)]. *)
+type coord =
+  | C_all  (** replicated along this grid dimension *)
+  | C_fixed of int
+  | C_affine of {
+      fmt : Dist.format;
+      nprocs : int;
+      stride : int;
+      offset : int;
+      dim_lo : int;
+      sub : Ast.expr;  (** evaluated in the reference memory *)
+    }
+
+(** Owner line: one {!coord} per grid dimension (the flattened
+    alignment/privatization chain of a reference). *)
+type place = coord array
+
+(** A computation-partitioning guard, materialized.  [P_union] is the
+    union of the sibling statements' owner lines (privatization without
+    alignment, privatized control flow); an empty evaluated union falls
+    back to all processors. *)
+type pred = P_all | P_place of place | P_union of place list
+
+(** Per-grid-dimension owner of an array {e element} (index-vector
+    addressed, used for whole-array transfers and validation). *)
+type ecoord =
+  | E_all
+  | E_fixed of int
+  | E_dim of {
+      array_dim : int;  (** which index of the element addresses this dim *)
+      fmt : Dist.format;
+      nprocs : int;
+      stride : int;
+      offset : int;
+      dim_lo : int;
+    }
+
+type eplace = ecoord array
+
+(** A crossed loop of a block transfer: the region walked at the first
+    statement instance of each placement instance. *)
+type loop_desc = {
+  index : string;
+  lo : Ast.expr;
+  hi : Ast.expr;
+  step : Ast.expr;
+}
+
+(** The moved datum of a transfer op, with its owner line. *)
+type xdata =
+  | X_scalar of { var : string; owner : place }
+  | X_elem of { base : string; subs : Ast.expr list; owner : place }
+
+(** Destinations of a transfer: every processor (broadcast) or the
+    executing set of the anchor statement. *)
+type dests = D_all | D_pred of pred
+
+type xfer =
+  | Elem_xfer of { data : xdata; dests : dests }
+      (** one scalar or element per statement instance *)
+  | Whole_xfer of { base : string; owners : eplace; dests : dests }
+      (** an unsubscripted array actual: every element travels from its
+          directive owner *)
+  | Block_xfer of {
+      data : xdata;
+      dests : dests;
+      crossed : loop_desc list;  (** outermost first *)
+      prefix_vars : string list;
+          (** loop indices naming one placement instance; the block
+              ships once per distinct prefix *)
+    }
+      (** aggregation materialized: one {!Hpf_spmd.Msg.Block} per
+          (src, dst) pair and placement instance *)
+  | Reduce_xfer
+      (** a scheduled reduction collective; the data motion is performed
+          by the {!red_step} combine logic, this op carries the pricing
+          provenance only *)
+
+(** A lowered communication: [pos] is its position in the compiled
+    schedule (the pricing order), [uid] is unique across the program
+    (the executor's per-op state key), [cm] the scheduled descriptor it
+    was lowered from. *)
+type comm_op = { uid : int; pos : int; cm : Hpf_comm.Comm.t; xfer : xfer }
+
+(** A reduction accumulator spanning grid dimensions, with the combine
+    lines precomputed: each line is the set of processors sharing grid
+    coordinates outside [repl_dims], whose partials are folded under
+    [rop] and redistributed (location companions follow the winner). *)
+type reduce = {
+  rvar : string;
+  rop : Reduction.red_op;
+  loc_vars : string list;
+  repl_dims : int list;
+  lines : int list list;
+}
+
+(** Per-statement reduction bookkeeping, in accumulator order: mark the
+    accumulator dirty (this statement accumulates into it) or combine
+    the partials (this statement reads it). *)
+type red_step = R_mark of string | R_combine of int  (** index into [reductions] *)
+
+(** What a statement instance executes. *)
+type exec =
+  | Nop  (** [If]/[Exit]/[Cycle]: control only, handled by the skeleton *)
+  | Guarded_assign of { lhs : Ast.lhs; rhs : Ast.expr; computes : pred }
+  | Loop_head of { index : string; lo : Ast.expr }
+      (** every processor materializes the loop index (SPMD structure) *)
+
+(** The lowered ops of one statement, applied in field order at each
+    instance: mirror the enclosing indices, run the reduction steps,
+    perform the communications, then execute. *)
+type stmt_ops = {
+  sid : Ast.stmt_id;
+  mirror : string list;  (** enclosing loop indices, outermost first *)
+  red_steps : red_step list;
+  comms : comm_op list;  (** execution order *)
+  exec : exec;
+}
+
+(** The storage decision for a privatized variable. *)
+type priv_mapping =
+  | A_replicated
+  | A_unaligned
+  | A_aligned of { target : Aref.t; level : int }
+  | A_reduction of { target : Aref.t; repl_dims : int list }
+  | A_array of { target : Aref.t option; loop_sid : Ast.stmt_id }
+  | A_array_partial of {
+      target : Aref.t;
+      priv_dims : int list;
+      loop_sid : Ast.stmt_id;
+    }
+
+type alloc = { name : string; mapping : priv_mapping }
+
+(** Validation plan for one declared array: skip (fully privatized, its
+    values are dead after the loop), check each element at its owners,
+    or — partially privatized — require at least one processor of the
+    element's owner line (privatized dims widened) to hold the
+    reference value. *)
+type vcheck =
+  | V_skip of string
+  | V_owned of string * eplace
+  | V_line of string * eplace
+
+type program = {
+  source : Ast.program;  (** control skeleton the executor walks *)
+  grid : Grid.t;
+  nprocs : int;
+  aggregate : bool;
+      (** whether vectorized communications were lowered to blocks *)
+  allocs : alloc list;
+  reductions : reduce array;
+  stmts : (Ast.stmt_id, stmt_ops) Hashtbl.t;
+  validate_plan : vcheck list;
+}
+
+val stmt_ops : program -> Ast.stmt_id -> stmt_ops option
+
+(** All communication ops, in schedule (pricing) order. *)
+val schedule : program -> comm_op list
+
+(** Statement entries in statement-id order (deterministic view). *)
+val all_stmt_ops : program -> stmt_ops list
+
+type op_counts = {
+  assigns : int;  (** guarded-assign ops *)
+  elem_xfers : int;
+  whole_xfers : int;
+  block_xfers : int;
+  reduce_ops : int;  (** reduce comm ops + combine lines *)
+  alloc_ops : int;
+}
+
+val op_counts : program -> op_counts
+val total_ops : op_counts -> int

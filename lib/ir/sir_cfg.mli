@@ -1,0 +1,78 @@
+(** Control-flow graph over the lowered SPMD IR.
+
+    Linearizes the structured skeleton of a {!Sir.program} into an
+    explicit graph with back edges, mirroring {!Hpf_analysis.Cfg}: a
+    [DO] loop expands into [Loop_init -> Loop_head -> body ... ->
+    Loop_step -> Loop_head], with the loop-exit [Join] reached from the
+    head, [EXIT] jumping to the exit join and [CYCLE] to the step node.
+
+    Each statement's lowered ops ({!Sir.stmt_ops}) are attached to its
+    {e instance node} — the unique node at which the executor fires
+    them, once per statement instance and before the statement's own
+    effect: [Simple] for [Assign]/[Exit]/[Cycle], [Branch] for [If],
+    [Loop_init] for [Do] (a loop's ops run on arrival, not per
+    iteration).  {!ops_at} answers [None] on every other node, so a
+    flow analysis that walks the graph sees each op exactly once per
+    abstract path. *)
+
+open Hpf_lang
+
+type node_kind =
+  | Entry
+  | Exit_node
+  | Simple of Ast.stmt  (** [Assign], [Exit], [Cycle] *)
+  | Branch of Ast.stmt  (** [If] condition evaluation *)
+  | Loop_init of Ast.stmt  (** index := lo; the loop's ops fire here *)
+  | Loop_head of Ast.stmt  (** trip test *)
+  | Loop_step of Ast.stmt  (** index := index + step *)
+  | Join of Ast.stmt_id option
+      (** merge point after an [If] or a loop exit *)
+
+type node = {
+  id : int;
+  kind : node_kind;
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  program : Sir.program;
+  nodes : node array;
+  entry : int;
+  exit_ : int;
+  by_sid : (Ast.stmt_id, int list) Hashtbl.t;
+      (** statement id -> CFG nodes that came from it *)
+}
+
+val node : t -> int -> node
+val n_nodes : t -> int
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+(** Statement id a node originates from, if any. *)
+val sid_of_node : t -> int -> Ast.stmt_id option
+
+val nodes_of_sid : t -> Ast.stmt_id -> int list
+
+(** The lowered ops firing at this node: [Some] exactly at the instance
+    node of a statement with a [stmts] entry. *)
+val ops_at : t -> int -> Sir.stmt_ops option
+
+(** Loop index (re)defined at this node ([Loop_init] / [Loop_step]).
+    Facts whose meaning depends on the index value must be killed
+    here. *)
+val index_defined_at : t -> int -> string option
+
+exception Malformed of string
+
+(** Build the graph from the program's control skeleton.
+    @raise Malformed on an [EXIT]/[CYCLE] outside any loop (impossible
+    for {!Hpf_lang.Sema}-checked sources). *)
+val build : Sir.program -> t
+
+(** Reverse postorder of reachable nodes from entry (the fixpoint
+    engine's iteration order). *)
+val reverse_postorder : t -> int list
+
+val pp_kind : Format.formatter -> node_kind -> unit
+val pp : Format.formatter -> t -> unit

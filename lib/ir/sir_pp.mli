@@ -1,0 +1,25 @@
+(** Pretty-printer for the lowered SPMD IR (the [--dump-after
+    lower-spmd] view).  The per-fragment printers are exported so other
+    renderers — notably the verifier's [--dump-after verify-flow]
+    per-block state dump — describe ops and predicates in the same
+    syntax as the IR dump. *)
+
+val pp_coord : Format.formatter -> Sir.coord -> unit
+val pp_place : Format.formatter -> Sir.place -> unit
+val pp_pred : Format.formatter -> Sir.pred -> unit
+val pp_ecoord : Format.formatter -> Sir.ecoord -> unit
+val pp_eplace : Format.formatter -> Sir.eplace -> unit
+val pp_xdata : Format.formatter -> Sir.xdata -> unit
+val pp_dests : Format.formatter -> Sir.dests -> unit
+val pp_xfer : Format.formatter -> Sir.xfer -> unit
+val pp_comm_op : Format.formatter -> Sir.comm_op -> unit
+val pp_mapping : Format.formatter -> Sir.priv_mapping -> unit
+val pp_red : Format.formatter -> Sir.reduce -> unit
+val pp_vcheck : Format.formatter -> Sir.vcheck -> unit
+
+(** One line per statement, indented by nesting, followed by its lowered
+    ops (reduction steps, communications, the guarded compute). *)
+val pp_stmts : Format.formatter -> Sir.program -> unit
+
+val pp : Format.formatter -> Sir.program -> unit
+val to_string : Sir.program -> string

@@ -17,7 +17,7 @@
     - [E0401] mapping/layout error
     - [E0402] invalid processor grid extents
     - [E0501] pipeline/driver error (e.g. unknown pass name)
-    - [E0601]-[E0611] static-verifier soundness errors ([phpfc lint]):
+    - [E0601]-[E0612] static-verifier soundness errors ([phpfc lint]):
       privatized value escaping its validity scope ([E0601]) or live
       across a loop back edge ([E0602]), missing communication for a
       non-local read ([E0603]), communication hoisted past a dependence
@@ -28,12 +28,16 @@
       ([E0608]), dangling communication descriptor ([E0609]), a
       decisions-mandated transfer missing from the lowered IR ([E0610]),
       lowered guards/allocations/reductions diverging from the mapping
-      decisions ([E0611])
+      decisions ([E0611]), a path-sensitive stale or uninitialized read
+      in the lowered IR ([E0612])
     - [W0601]-[W0699] static-verifier lint warnings: inconsistent
       mappings across a phi ([W0601]), redundant replicated write
       ([W0602]), redundant communication ([W0603]), unvectorized
       inner-loop communication ([W0604]), a lowered transfer with no
-      decisions-level justification ([W0605])
+      decisions-level justification ([W0605]), a dead transfer whose
+      payload is never read ([W0606]), a transfer of data already valid
+      at every destination ([W0607]), a statically empty or subsumed
+      guard predicate ([W0608])
     - [E0701] runtime error during interpretation (bad subscript, fuel
       exhaustion, uninitialised read), surfaced at the CLI boundary
     - [E0702] invalid fault-injection spec ([phpfc simulate --faults])

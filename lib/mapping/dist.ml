@@ -86,3 +86,6 @@ let pp ppf = function
   | Block b -> Fmt.pf ppf "block(%d)" b
   | Cyclic -> Fmt.string ppf "cyclic"
   | Block_cyclic k -> Fmt.pf ppf "cyclic(%d)" k
+
+let constant_coord (_ : format) ~(nprocs : int) : int option =
+  if nprocs = 1 then Some 0 else None

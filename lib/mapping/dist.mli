@@ -39,3 +39,9 @@ val local_count : format -> nprocs:int -> extent:int -> int -> int
 val same_owner : format -> nprocs:int -> int -> int -> bool
 
 val pp : Format.formatter -> format -> unit
+
+(** The coordinate every position maps to when the format application
+    is degenerate — a single processor along the dimension — so the
+    application is provably equivalent to the fixed coordinate 0.
+    [None] when the coordinate can vary with the position. *)
+val constant_coord : format -> nprocs:int -> int option

@@ -11,11 +11,15 @@ let e_divergent = "E0608"
 let e_dangling_comm = "E0609"
 let e_sir_missing = "E0610"
 let e_sir_guard = "E0611"
+let e_stale_read = "E0612"
 let w_phi = "W0601"
 let w_redundant_write = "W0602"
 let w_redundant_comm = "W0603"
 let w_inner_comm = "W0604"
 let w_sir_extra = "W0605"
+let w_dead_xfer = "W0606"
+let w_redundant_xfer = "W0607"
+let w_guard = "W0608"
 
 let all =
   [
@@ -30,11 +34,17 @@ let all =
     (e_dangling_comm, "communication references a nonexistent statement");
     (e_sir_missing, "lowered program misses a required transfer op");
     (e_sir_guard, "lowered guards or storage disagree with the decisions");
+    ( e_stale_read,
+      "read of a remote or privatized copy with no reaching transfer or \
+       local write" );
     (w_phi, "inconsistent mappings reach a use across a phi");
     (w_redundant_write, "executor set strictly wider than the owner set");
     (w_redundant_comm, "communication no read reference requires");
     (w_inner_comm, "communication left inside its innermost loop");
     (w_sir_extra, "lowered program carries an unrequired transfer op");
+    (w_dead_xfer, "transfer whose payload is overwritten or never read");
+    (w_redundant_xfer, "transfer of data already valid at every destination");
+    (w_guard, "statically empty or subsumed guard predicate");
   ]
 
 let is_soundness_error code =

@@ -1,6 +1,6 @@
 (** Stable diagnostic codes of the static verifier ([phpfc lint]).
 
-    [E0601]-[E0611] are soundness errors: the compiled artifact (the
+    [E0601]-[E0612] are soundness errors: the compiled artifact (the
     mapping decisions, the communication schedule, and the lowered
     {!Phpf_ir.Sir} program) can produce stale reads or divergent
     replicated state under SPMD execution.
@@ -49,6 +49,11 @@ val e_sir_guard : string
     plans or validation recipes disagree with the decisions they claim
     to implement *)
 
+val e_stale_read : string
+(** [E0612] a consumer reads a remote or privatized copy along some
+    path with no reaching transfer or local write — the flow-sensitive
+    counterpart of the schedule-structural [E0603] *)
+
 val w_phi : string
 (** [W0601] inconsistent mappings reach a use across a φ *)
 
@@ -66,6 +71,20 @@ val w_inner_comm : string
 val w_sir_extra : string
 (** [W0605] the recorded lowered program carries a transfer op the
     decisions do not require (wasteful, not unsound) *)
+
+val w_dead_xfer : string
+(** [W0606] dead transfer: its payload is overwritten or never read
+    again before the validity scope ends, so removing the op cannot
+    change any observable result *)
+
+val w_redundant_xfer : string
+(** [W0607] redundant transfer: the data is already valid at every
+    destination from a dominating delivery with no intervening producer
+    write *)
+
+val w_guard : string
+(** [W0608] a materialized guard or destination predicate is statically
+    empty or implied by another member of the same predicate *)
 
 (** All codes with their one-line descriptions, sorted. *)
 val all : (string * string) list

@@ -1,0 +1,89 @@
+(** Generic dataflow fixpoint engine over {!Phpf_ir.Sir_cfg}.
+
+    Classical iterative analysis: the client supplies a join
+    semilattice and a per-node transfer function; the engine iterates a
+    worklist (seeded in reverse postorder, or its reverse for backward
+    problems) until the states stabilize.  MAY problems use a union
+    join with a bottom initial state; MUST problems use an intersection
+    join and encode the optimistic "not yet reached" initial state as
+    the lattice top. *)
+
+module Sir_cfg = Phpf_ir.Sir_cfg
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  (** Join of two incoming edge states ([union] for MAY problems,
+      [intersection] for MUST problems). *)
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+type 'a result = {
+  input : 'a array;
+      (** per node: state before its transfer function (in program
+          order for [Forward], after it in program order for
+          [Backward] — the state at the node's analysis entry) *)
+  output : 'a array;  (** per node: state after its transfer function *)
+  iterations : int;  (** node transfers applied until the fixpoint *)
+}
+
+module Make (D : DOMAIN) = struct
+  (** [fixpoint ~cfg ~direction ~boundary ~init ~transfer] iterates
+      [transfer node state] to a fixpoint.  [boundary] is the state at
+      the entry node (exit node for [Backward]); [init] is the
+      optimistic initial state of every other node (top for MUST
+      problems, bottom for MAY problems).  The client's [transfer] must
+      be monotone for termination. *)
+  let fixpoint ~(cfg : Sir_cfg.t) ~(direction : direction) ~(boundary : D.t)
+      ~(init : D.t) ~(transfer : int -> D.t -> D.t) : D.t result =
+    let n = Sir_cfg.n_nodes cfg in
+    let ins_of, outs_to, start =
+      match direction with
+      | Forward -> (Sir_cfg.preds cfg, Sir_cfg.succs cfg, cfg.Sir_cfg.entry)
+      | Backward -> (Sir_cfg.succs cfg, Sir_cfg.preds cfg, cfg.Sir_cfg.exit_)
+    in
+    let input = Array.make n init and output = Array.make n init in
+    (* seed the worklist in an order that reaches the fixpoint quickly:
+       reverse postorder for forward problems, its reverse backward *)
+    let order =
+      match direction with
+      | Forward -> Sir_cfg.reverse_postorder cfg
+      | Backward -> List.rev (Sir_cfg.reverse_postorder cfg)
+    in
+    let on_list = Array.make n false in
+    let work = Queue.create () in
+    let enqueue i =
+      if not on_list.(i) then begin
+        on_list.(i) <- true;
+        Queue.add i work
+      end
+    in
+    List.iter enqueue order;
+    let iterations = ref 0 in
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      on_list.(i) <- false;
+      let in_state =
+        if i = start then boundary
+        else
+          match ins_of i with
+          | [] -> init
+          | p :: ps ->
+              List.fold_left
+                (fun acc q -> D.join acc output.(q))
+                output.(p) ps
+      in
+      input.(i) <- in_state;
+      let out_state = transfer i in_state in
+      incr iterations;
+      if not (D.equal out_state output.(i)) then begin
+        output.(i) <- out_state;
+        List.iter enqueue (outs_to i)
+      end
+    done;
+    { input; output; iterations = !iterations }
+end

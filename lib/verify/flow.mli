@@ -1,0 +1,44 @@
+(** Generic dataflow fixpoint engine over {!Phpf_ir.Sir_cfg}.
+
+    Classical iterative analysis, parameterized over the direction and
+    the client's join semilattice + transfer function.  The engine
+    knows nothing about what the states mean: {!Sir_flow} instantiates
+    it once per client analysis (availability of delivered copies
+    forward, payload liveness backward). *)
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  (** Join of two incoming edge states ([union] for MAY problems,
+      [intersection] for MUST problems). *)
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+type 'a result = {
+  input : 'a array;
+      (** per node: state at the node's analysis entry (before its
+          transfer function) *)
+  output : 'a array;  (** per node: state after its transfer function *)
+  iterations : int;  (** node transfers applied until the fixpoint *)
+}
+
+module Make (D : DOMAIN) : sig
+  (** [fixpoint ~cfg ~direction ~boundary ~init ~transfer] iterates
+      [transfer node state] over a worklist (seeded in reverse
+      postorder, or its reverse for backward problems) until the
+      states stabilize.  [boundary] is the state at the entry node
+      (exit node for [Backward]); [init] the optimistic initial state
+      of every other node (top for MUST problems, bottom for MAY
+      problems).  [transfer] must be monotone for termination. *)
+  val fixpoint :
+    cfg:Phpf_ir.Sir_cfg.t ->
+    direction:direction ->
+    boundary:D.t ->
+    init:D.t ->
+    transfer:(int -> D.t -> D.t) ->
+    D.t result
+end

@@ -82,14 +82,33 @@ let passes : (Decisions.options, vctx) Pass.t list =
           (match v.compiled.Compiler.sir with Some _ -> 1 | None -> 0);
         record v st
           (audit "verify-sir" (fun () -> Sir_check.check v.compiled)));
+    Pass.make "verify-flow"
+      ~descr:"dataflow audit of the lowered IR (dead/redundant/stale)"
+      (fun v st ->
+        record v st
+          (audit "verify-flow" (fun () ->
+               match Sir_flow.analyze v.compiled with
+               | None -> []
+               | Some a ->
+                   Stats.set st "flow.blocks"
+                     (Phpf_ir.Sir_cfg.n_nodes a.Sir_flow.cfg);
+                   Stats.set st "flow.iterations"
+                     (a.Sir_flow.avail.Flow.iterations
+                     + a.Sir_flow.live.Flow.iterations);
+                   Stats.set st "flow.dead" (List.length a.Sir_flow.dead);
+                   Stats.set st "flow.redundant"
+                     (List.length a.Sir_flow.redundant);
+                   Stats.set st "flow.stale" (List.length a.Sir_flow.stale);
+                   a.Sir_flow.findings)));
   ]
 
 let pass_names = Pipeline.names passes
 
-let verify ?(opts = Decisions.default_options) (c : Compiler.compiled) :
-    (Diag.t list * Pipeline.trace, Diag.t list) result =
+let verify ?(opts = Decisions.default_options) ?after
+    (c : Compiler.compiled) : (Diag.t list * Pipeline.trace, Diag.t list) result
+    =
   let v = create c in
-  match Pipeline.run ~opts passes v with
+  match Pipeline.run ~opts ?after passes v with
   | Ok trace -> Ok (v.findings, trace)
   | Error ds -> Error ds
 

@@ -11,10 +11,15 @@
       divergent-replication races;
     - [verify-comm] — {!Comm_check}: completeness and placement of the
       communication schedule against an independently re-derived
-      requirement.
+      requirement;
+    - [verify-sir] — {!Sir_check}: fidelity of the lowered SPMD IR
+      against the decisions it claims to implement;
+    - [verify-flow] — {!Sir_flow}: dataflow audit of the lowered IR
+      (dead transfers, redundant transfers, path-sensitive stale reads,
+      degenerate guards).
 
     Findings accumulate as {!Hpf_lang.Diag.t} values with stable codes
-    ([E0601]-[E0609] soundness errors, [W0601]-[W0699] lint warnings);
+    ([E0601]-[E0612] soundness errors, [W0601]-[W0699] lint warnings);
     a finding never aborts the pipeline. *)
 
 open Hpf_lang
@@ -30,16 +35,19 @@ type vctx = {
 val create : Compiler.compiled -> vctx
 
 (** The registered verifier passes: [verify-mapping], [verify-race],
-    [verify-comm]. *)
+    [verify-comm], [verify-sir], [verify-flow]. *)
 val passes : (Decisions.options, vctx) Phpf_driver.Pass.t list
 
 val pass_names : string list
 
-(** Run all checkers over a compiled program.  Returns the findings (in
-    pass order) with the pipeline trace; [Error] only on an internal
-    failure of a checker itself, never on findings. *)
+(** Run all checkers over a compiled program.  [after] is invoked with
+    the pass name and the context after each executed pass (the
+    [--dump-after] hook).  Returns the findings (in pass order) with the
+    pipeline trace; [Error] only on an internal failure of a checker
+    itself, never on findings. *)
 val verify :
   ?opts:Decisions.options ->
+  ?after:(string -> vctx -> unit) ->
   Compiler.compiled ->
   (Diag.t list * Phpf_driver.Pipeline.trace, Diag.t list) result
 

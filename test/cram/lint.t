@@ -6,22 +6,29 @@ exits 0:
   lint: 0 error(s), 0 warning(s)
 
 fig1's unvectorized shift of y is a lint warning (W0604), not a
-soundness error, so the exit code stays 0:
+soundness error, so the exit code stays 0.  The dataflow pass
+(verify-flow) also notices that the transfers of b(i) and c(i) are
+redundant: neither array is ever written, so every processor still
+holds its identical initial copy at the read (W0607):
 
   $ ../../bin/phpfc.exe lint ../../examples/programs/fig1.hpfk
   warning[W0604]: shift(+1) of y@s7 was not vectorized out of its innermost loop (level 1): one message per iteration
-  lint: 0 error(s), 1 warning(s)
+  warning[W0607]: transfer c0 (b(i)@s4) at s4 is redundant: the data is already valid at every destination from a dominating delivery
+  warning[W0607]: transfer c1 (c(i)@s4) at s4 is redundant: the data is already valid at every destination from a dominating delivery
+  lint: 0 error(s), 3 warning(s)
 
 Under --strict any finding fails the lint (exit 4, the lint-failure
 exit code):
 
   $ ../../bin/phpfc.exe lint ../../examples/programs/fig1.hpfk --strict
   warning[W0604]: shift(+1) of y@s7 was not vectorized out of its innermost loop (level 1): one message per iteration
-  lint: 0 error(s), 1 warning(s)
+  warning[W0607]: transfer c0 (b(i)@s4) at s4 is redundant: the data is already valid at every destination from a dominating delivery
+  warning[W0607]: transfer c1 (c(i)@s4) at s4 is redundant: the data is already valid at every destination from a dominating delivery
+  lint: 0 error(s), 3 warning(s)
   [4]
 
 The verifier runs through the same pass manager as the compiler, so
---time-passes shows the three checkers (times vary run to run; keep
+--time-passes shows the five checkers (times vary run to run; keep
 only the name column):
 
   $ ../../bin/phpfc.exe lint ../../examples/programs/fig7.hpfk --time-passes | awk '{print $1}'
@@ -31,6 +38,7 @@ only the name column):
   verify-race
   verify-comm
   verify-sir
+  verify-flow
   total
 
 compile --verify composes with --stats: the verifier's counters are
@@ -56,3 +64,32 @@ reported after the compiler's own, through the same machinery:
     findings.errors                 0
     findings.warnings               0
     sir.recorded                    1
+  verify-flow:
+    findings.errors                 0
+    findings.warnings               0
+    flow.blocks                    14
+    flow.dead                       0
+    flow.iterations                50
+    flow.redundant                  0
+    flow.stale                      0
+
+--dump-after verify-flow renders the fixpoint states per CFG block:
+the forward MUST-availability set (which delivered copies are valid
+where) and the backward MAY-liveness set (whose per-processor copies
+can still be read):
+
+  $ ../../bin/phpfc.exe lint ../../examples/programs/fig7.hpfk --dump-after verify-flow | sed -n '1,7p'
+  === after verify-flow ===
+  flow: 14 block(s), 50 fixpoint iteration(s)
+  b0 [entry]
+    avail in : {a(*)@all; b(*)@all; c(*)@all}
+    avail out: {a(*)@all; b(*)@all; c(*)@all}
+    live out : {a; b; c}
+    live in  : {a; b; c}
+
+Only the verifier's own pass names (and the compiler's, for compile
+--dump-after) are accepted:
+
+  $ ../../bin/phpfc.exe lint ../../examples/programs/fig7.hpfk --dump-after no-such-pass
+  error[E0501]: unknown pass no-such-pass (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, verify-mapping, verify-race, verify-comm, verify-sir, verify-flow)
+  [1]

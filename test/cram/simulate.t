@@ -90,3 +90,27 @@ Runtime errors from the interpreter surface as located diagnostics
   $ ../../bin/phpfc.exe validate oob.hpfk
   oob.hpfk:6:3: error[E0701]: subscript 11 out of bounds 1:10
   [3]
+
+The cost model prices the interconnect topology: a fat tree pays hop
+latency up and down the switch stages and a torus pays Manhattan
+distance plus bisection contention, so fig2's gather gets slower than
+the flat (full-crossbar) default as the topology deepens:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk -p 64 --topology flat
+  P=64 time=0.1628s (compute max 0.0000s, total 0.0003s; comm 0.1628s in 65 msgs, 128 elems; mem 133 elems/proc)
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk -p 64 --topology fat-tree:4
+  P=64 time=0.1729s (compute max 0.0000s, total 0.0003s; comm 0.1729s in 65 msgs, 128 elems; mem 133 elems/proc)
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk -p 64 --topology torus
+  P=64 time=0.1689s (compute max 0.0000s, total 0.0003s; comm 0.1689s in 65 msgs, 128 elems; mem 133 elems/proc)
+
+A malformed topology spec is rejected at option parsing (the cmdliner
+usage error, exit 1):
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --topology bogus
+  phpfc: option '--topology': unknown topology "bogus" (expected flat,
+         fat-tree[:radix] or torus)
+  Usage: phpfc simulate [OPTION]… FILE
+  Try 'phpfc simulate --help' or 'phpfc --help' for more information.
+  [1]

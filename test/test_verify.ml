@@ -432,7 +432,10 @@ let test_pass_names () =
   check
     Alcotest.(list string)
     "registered verifier passes"
-    [ "verify-mapping"; "verify-race"; "verify-comm"; "verify-sir" ]
+    [
+      "verify-mapping"; "verify-race"; "verify-comm"; "verify-sir";
+      "verify-flow";
+    ]
     Verifier.pass_names
 
 let test_stats_recorded () =
