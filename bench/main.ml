@@ -197,6 +197,85 @@ let sweep_point (name : string) (mk : p:int -> Hpf_lang.Ast.program)
   let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
   { p; r; spmd; wall_ms; lower_ms; ir_ops }
 
+(* The mapping-aware recovery scenario (one crash pinned to the first
+   heartbeat window of TOMCATV).  Measured leg: the SPMD executor at
+   P=64 repairs the crash through the compile-time plan — localized
+   failover only, zero full restores — and still validates bit-for-bit.
+   Analytic leg: at P=1024 the trace simulator prices the fault-free run
+   and {!Sir_recovery.estimate_failover} prices the worst-interval
+   failover from the plan alone, all in well under a second. *)
+type recovery_bench = {
+  measured_p : int;
+  report : Hpf_spmd.Recover.report;
+  measured_wall_ms : float;
+  analytic_p : int;
+  analytic : Phpf_ir.Sir_recovery.estimate;
+  simulated_time : float;
+  analytic_wall_ms : float;
+}
+
+let recovery_bench () : recovery_bench =
+  let open Phpf_core in
+  let open Hpf_spmd in
+  let measured_p = 64 and analytic_p = 1024 in
+  let wall0 = Unix.gettimeofday () in
+  let c = Compiler.compile_exn (Tomcatv.program ~n:66 ~niter:1 ~p:measured_p) in
+  let faults = Fault.make ~seed:1 ~oneshots:[ (Fault.Crash, 0) ] [] in
+  let st =
+    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults
+      ?sir:c.Compiler.sir c
+  in
+  (match Spmd_interp.validate st with
+  | [] -> ()
+  | m :: _ ->
+      Fmt.epr "bench recovery (P=%d): %a@." measured_p Spmd_interp.pp_mismatch
+        m;
+      exit 1);
+  let report = Spmd_interp.fault_report st in
+  if report.Recover.restores > 0 then begin
+    Fmt.epr "bench recovery: crash fell back to a full restore@.";
+    exit 1
+  end;
+  if report.Recover.plan_refetch + report.Recover.plan_reexec = 0 then begin
+    Fmt.epr "bench recovery: plan never fired@.";
+    exit 1
+  end;
+  let measured_wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
+  let wall1 = Unix.gettimeofday () in
+  let c2 =
+    Compiler.compile_exn (Tomcatv.program ~n:66 ~niter:1 ~p:analytic_p)
+  in
+  let r, _ =
+    Trace_sim.run ~init:(Init.init c2.Compiler.prog) ?sir:c2.Compiler.sir c2
+  in
+  let sir, plan =
+    match c2.Compiler.sir with
+    | Some sir -> (
+        match sir.Phpf_ir.Sir.recovery with
+        | Some plan -> (sir, plan)
+        | None ->
+            Fmt.epr "bench recovery: no recovery plan recorded@.";
+            exit 1)
+    | None ->
+        Fmt.epr "bench recovery: no lowered program recorded@.";
+        exit 1
+  in
+  let analytic =
+    Phpf_ir.Sir_recovery.estimate_failover
+      ~heartbeat_timeout:Recover.default_config.Recover.heartbeat_timeout sir
+      plan
+  in
+  let analytic_wall_ms = (Unix.gettimeofday () -. wall1) *. 1000.0 in
+  {
+    measured_p;
+    report;
+    measured_wall_ms;
+    analytic_p;
+    analytic;
+    simulated_time = r.Trace_sim.time;
+    analytic_wall_ms;
+  }
+
 let run_json args =
   let open Hpf_spmd in
   let path = out_of_args ~default:"BENCH_phpf.json" args in
@@ -216,10 +295,11 @@ let run_json args =
       (fun (name, mk) -> (name, List.map (sweep_point name mk) procs))
       selected
   in
+  let recov = recovery_bench () in
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
-  pf "  \"schema\": \"phpf-bench/3\",\n";
+  pf "  \"schema\": \"phpf-bench/4\",\n";
   pf "  \"procs\": [%s],\n"
     (String.concat ", " (List.map string_of_int procs));
   pf "  \"spmd_threshold\": %d,\n" spmd_threshold;
@@ -272,7 +352,36 @@ let run_json args =
       pf "    }%s\n" (if i = List.length entries - 1 then "" else ",")
     )
     entries;
-  pf "  ]\n";
+  pf "  ],\n";
+  let rr = recov.report in
+  let est = recov.analytic in
+  pf "  \"recovery\": {\n";
+  pf "    \"scenario\": \"tomcatv n=66, one crash at heartbeat window 0, plan regime\",\n";
+  pf "    \"measured\": {\n";
+  pf "      \"nprocs\": %d,\n" recov.measured_p;
+  pf "      \"crashes\": %d,\n" rr.Recover.crashes;
+  pf "      \"suspects\": %d,\n" rr.Recover.suspects;
+  pf "      \"plan_refetch\": %d,\n" rr.Recover.plan_refetch;
+  pf "      \"plan_reexec\": %d,\n" rr.Recover.plan_reexec;
+  pf "      \"restores\": %d,\n" rr.Recover.restores;
+  pf "      \"escalations\": %d,\n" rr.Recover.escalations;
+  pf "      \"recovery_time\": %.6f,\n" rr.Recover.recovery_time;
+  pf "      \"wall_ms\": %.2f\n" recov.measured_wall_ms;
+  pf "    },\n";
+  pf "    \"analytic\": {\n";
+  pf "      \"nprocs\": %d,\n" recov.analytic_p;
+  pf "      \"replica_refetches\": %d,\n"
+    est.Phpf_ir.Sir_recovery.replica_refetches;
+  pf "      \"region_replays\": %d,\n" est.Phpf_ir.Sir_recovery.region_replays;
+  pf "      \"checkpoint_restores\": %d,\n"
+    est.Phpf_ir.Sir_recovery.checkpoint_restores;
+  pf "      \"detect_time\": %.6f,\n" est.Phpf_ir.Sir_recovery.detect_time;
+  pf "      \"failover_time\": %.6f,\n"
+    (Phpf_ir.Sir_recovery.total_time est);
+  pf "      \"simulated_time\": %.6f,\n" recov.simulated_time;
+  pf "      \"wall_ms\": %.2f\n" recov.analytic_wall_ms;
+  pf "    }\n";
+  pf "  }\n";
   pf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);

@@ -257,10 +257,10 @@ type spmd_outcome = {
   transfers : int;
 }
 
-let exec_spmd ~no_lower ?init ?faults ?fuel ~aggregate
+let exec_spmd ~no_lower ?init ?faults ?recover_config ?fuel ~aggregate
     (c : Compiler.compiled) : spmd_outcome =
   if no_lower then begin
-    let st = Ast_interp.run ?init ?faults ~aggregate ?fuel c in
+    let st = Ast_interp.run ?init ?faults ?recover_config ~aggregate ?fuel c in
     {
       mismatches =
         List.map
@@ -273,7 +273,9 @@ let exec_spmd ~no_lower ?init ?faults ?fuel ~aggregate
   end
   else begin
     let sir = if aggregate then c.Compiler.sir else None in
-    let st = Spmd_interp.run ?init ?faults ~aggregate ?fuel ?sir c in
+    let st =
+      Spmd_interp.run ?init ?faults ?recover_config ~aggregate ?fuel ?sir c
+    in
     {
       mismatches =
         List.map
@@ -328,6 +330,10 @@ let dump_after_hook (which : string option) (name : string)
     | "lower-spmd", Some sir ->
         Fmt.pr "=== after %s ===@." name;
         Fmt.pr "%a" Phpf_ir.Sir_pp.pp sir;
+        Fmt.pr "=== end %s ===@." name
+    | "recovery-plan", Some sir ->
+        Fmt.pr "=== after %s ===@." name;
+        Fmt.pr "%a" Phpf_ir.Sir_pp.pp_plan sir;
         Fmt.pr "=== end %s ===@." name
     | _ ->
   begin
@@ -454,16 +460,32 @@ let lint_cmd =
 
 let simulate_cmd =
   let run file procs options stats faults fault_seed report_faults report_comm
+      recovery_mode max_retries checkpoint_interval heartbeat_timeout
       no_aggregate no_lower fuel topology verbose =
     setup_logs verbose;
     let model =
       Hpf_comm.Cost_model.with_topology Hpf_comm.Cost_model.sp2 topology
     in
+    let recover_config =
+      {
+        Recover.default_config with
+        Recover.mode = recovery_mode;
+        max_retries;
+        checkpoint_interval;
+        heartbeat_timeout =
+          Option.value heartbeat_timeout
+            ~default:Recover.default_config.Recover.heartbeat_timeout;
+        model;
+      }
+    in
     match
       match faults with
       | None -> Ok Fault.none
       | Some spec ->
-          Result.map (Fault.make ~seed:fault_seed) (Fault.parse_spec spec)
+          Result.map
+            (fun (spec, oneshots) ->
+              Fault.make ~seed:fault_seed ~oneshots spec)
+            (Fault.parse_spec spec)
     with
     | Error m ->
         render_diags [ Diag.errorf ~code:"E0702" "invalid fault spec: %s" m ];
@@ -485,7 +507,8 @@ let simulate_cmd =
           if (not (Fault.active schedule)) && not report_comm then `Skipped
           else begin
             let o =
-              exec_spmd ~no_lower ~init ~faults:schedule ?fuel ~aggregate c
+              exec_spmd ~no_lower ~init ~faults:schedule ~recover_config
+                ?fuel ~aggregate c
             in
             match o.mismatches with [] -> `Ran o | ms -> `Diverged ms
           end
@@ -546,9 +569,12 @@ let simulate_cmd =
             "Inject a deterministic fault campaign into the SPMD message \
              runtime before timing.  $(docv) is a comma-separated list of \
              $(i,KIND)[:$(i,RATE)] items with kinds drop, dup, reorder, \
-             corrupt, delay, stall, crash or all (default rate 0.05).  \
-             The run must either recover (validation clean) or fail with \
-             a structured diagnostic — exit 3.")
+             corrupt, delay, stall, crash or all (default rate 0.05), or \
+             $(i,KIND)@$(i,EVENT) one-shots pinning a stall or crash to \
+             one exact heartbeat window (e.g. $(b,crash\\@0)).  Rates \
+             outside [0, 1], duplicate kinds and duplicate one-shots are \
+             rejected.  The run must either recover (validation clean) \
+             or fail with a structured diagnostic — exit 3.")
   in
   let fault_seed_arg =
     Arg.(
@@ -564,7 +590,55 @@ let simulate_cmd =
       & info [ "report-faults" ]
           ~doc:
             "Print the fault campaign report (injections, detections, \
-             retransmits, checkpoints, restores, recovery time).")
+             retransmits, checkpoints, restores, plan-driven failover \
+             counters — replica refetches, region replays, checkpoint \
+             escalations — and recovery time).")
+  in
+  let recovery_arg =
+    let mode_conv =
+      Arg.enum [ ("plan", Recover.Plan); ("checkpoint", Recover.Checkpoint) ]
+    in
+    Arg.(
+      value
+      & opt mode_conv Recover.Plan
+      & info [ "recovery" ] ~docv:"MODE"
+          ~doc:
+            "Crash-recovery regime: $(b,plan) (default) follows the \
+             compile-time recovery plan — localized failover that \
+             rebuilds only the crashed processor from surviving replicas \
+             and its own write log, escalating to checkpoints only when \
+             the plan says so; $(b,checkpoint) forces the legacy global \
+             checkpoint/write-ahead-log model.")
+  in
+  let max_retries_arg =
+    Arg.(
+      value
+      & opt int Recover.default_config.Recover.max_retries
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Retransmit attempts per message before the run fails with \
+             E0703 (default 8).")
+  in
+  let checkpoint_interval_arg =
+    Arg.(
+      value
+      & opt int Recover.default_config.Recover.checkpoint_interval
+      & info [ "checkpoint-interval" ] ~docv:"N"
+          ~doc:
+            "Minimum statement events between shadow-memory checkpoints \
+             in the checkpoint regime (default 32; scaled up for large \
+             memories so the copying stays amortized).  The plan regime \
+             takes no periodic checkpoints.")
+  in
+  let heartbeat_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "heartbeat-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Simulated seconds without a heartbeat before a processor is \
+             suspected; a second silent window confirms the crash \
+             (default: 8 message startup latencies of the cost model).")
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -574,8 +648,9 @@ let simulate_cmd =
     Term.(
       const run $ file_arg $ procs_arg $ opt_flags $ stats_arg $ faults_arg
       $ fault_seed_arg $ report_faults_arg $ report_comm_arg
-      $ no_aggregate_arg $ no_lower_arg $ fuel_arg $ topology_arg
-      $ verbose_arg)
+      $ recovery_arg $ max_retries_arg $ checkpoint_interval_arg
+      $ heartbeat_timeout_arg $ no_aggregate_arg $ no_lower_arg $ fuel_arg
+      $ topology_arg $ verbose_arg)
 
 let validate_cmd =
   let run file procs options no_aggregate no_lower verbose =

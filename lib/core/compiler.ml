@@ -19,7 +19,9 @@
     + [comm-analysis] — communication analysis with message
       vectorization ({!Hpf_comm.Comm_analysis});
     + [lower-spmd] — lowering to the explicit SPMD IR consumed by the
-      executor, timing simulator and verifier ({!Lower_spmd}).
+      executor, timing simulator and verifier ({!Lower_spmd});
+    + [recovery-plan] — compile-time crash-recovery classification over
+      the lowered IR ({!Phpf_ir.Sir_recovery}).
 
     [options] gates individual passes (their enabled-predicates) to
     reproduce the paper's less-optimized compiler versions;
@@ -197,6 +199,30 @@ let passes : (Decisions.options, context) Pass.t list =
         Stats.set st "sir.block-xfers" k.Phpf_ir.Sir.block_xfers;
         Stats.set st "sir.reduce-ops" k.Phpf_ir.Sir.reduce_ops;
         Stats.set st "sir.allocs" k.Phpf_ir.Sir.alloc_ops);
+    Pass.make "recovery-plan"
+      ~descr:"compile-time crash-recovery plan over the lowered IR"
+      (fun (ctx : context) st ->
+        match ctx.sir with
+        | None -> ()
+        | Some sir ->
+            let plan = Phpf_ir.Sir_recovery.plan sir in
+            sir.Phpf_ir.Sir.recovery <- Some plan;
+            let count f = List.length (List.filter f plan.Phpf_ir.Sir.entries) in
+            Stats.set st "plan.replica"
+              (count (fun (e : Phpf_ir.Sir.rentry) ->
+                   match e.Phpf_ir.Sir.source with
+                   | Phpf_ir.Sir.R_replica _ -> true
+                   | _ -> false));
+            Stats.set st "plan.reexec"
+              (count (fun (e : Phpf_ir.Sir.rentry) ->
+                   match e.Phpf_ir.Sir.source with
+                   | Phpf_ir.Sir.R_reexec _ -> true
+                   | _ -> false));
+            Stats.set st "plan.checkpoint"
+              (count (fun (e : Phpf_ir.Sir.rentry) ->
+                   e.Phpf_ir.Sir.source = Phpf_ir.Sir.R_checkpoint));
+            Stats.set st "plan.checkpoints-needed"
+              (if plan.Phpf_ir.Sir.checkpoints_needed then 1 else 0));
   ]
 
 (** Names of the registered passes, in order. *)

@@ -697,6 +697,7 @@ let lower ?(strict = false) ?(aggregate = true) ~(prog : Ast.program)
     reductions;
     stmts;
     validate_plan = lower_validate_plan cx;
+    recovery = None;
   }
 
 (** Convenience wrapper over a {!Compiler.compiled}-shaped component

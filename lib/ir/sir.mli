@@ -191,6 +191,39 @@ type vcheck =
   | V_owned of string * eplace
   | V_line of string * eplace
 
+(** Cheapest reconstruction source for one datum after a fail-stop
+    crash, classified at compile time from the mapping decisions. *)
+type rsource =
+  | R_replica of { holders : pred }
+      (** every writer is [P_all]-guarded (or the datum is never
+          written): any survivor holds a bit-identical copy *)
+  | R_reexec of {
+      producers : Ast.stmt_id list;  (** the guarded writers *)
+      region : Ast.stmt_id;  (** outermost enclosing producing region *)
+      guard : pred;  (** the crashed processor's share of the region *)
+    }
+      (** owner-partitioned or privatized: replay the crashed
+          processor's own writes of the producing region *)
+  | R_checkpoint
+      (** last resort: the producing region is control-dependent or
+          union-guarded, so replay does not dominate the failure point *)
+
+(** One plan entry.  [from_region = None] means the entry is valid from
+    initialization; [Some sid] arms it once region [sid] has been
+    entered. *)
+type rentry = {
+  datum : string;
+  from_region : Ast.stmt_id option;
+  source : rsource;
+}
+
+type recovery_plan = {
+  entries : rentry list;  (** program order; latest applicable wins *)
+  checkpoints_needed : bool;
+      (** [true] iff any entry escalates to {!R_checkpoint}: the runtime
+          must keep periodic checkpoints armed *)
+}
+
 type program = {
   source : Ast.program;  (** control skeleton the executor walks *)
   grid : Grid.t;
@@ -201,6 +234,8 @@ type program = {
   reductions : reduce array;
   stmts : (Ast.stmt_id, stmt_ops) Hashtbl.t;
   validate_plan : vcheck list;
+  mutable recovery : recovery_plan option;
+      (** attached by the [recovery-plan] pass ({!Sir_recovery}) *)
 }
 
 val stmt_ops : program -> Ast.stmt_id -> stmt_ops option

@@ -159,6 +159,34 @@ let pp_stmts ppf (p : Sir.program) =
   in
   List.iter (stmt 0) p.Sir.source.Ast.body
 
+let pp_rsource ppf = function
+  | Sir.R_replica { holders } ->
+      Fmt.pf ppf "refetch from replica %a" pp_pred holders
+  | Sir.R_reexec { producers; region; guard } ->
+      Fmt.pf ppf "reexec region s%d (producers %a) where %a" region
+        Fmt.(list ~sep:(any ", ") (fun ppf s -> pf ppf "s%d" s))
+        producers pp_pred guard
+  | Sir.R_checkpoint -> Fmt.string ppf "checkpoint restore"
+
+let pp_rentry ppf (e : Sir.rentry) =
+  (match e.Sir.from_region with
+  | None -> Fmt.pf ppf "%s from init: " e.Sir.datum
+  | Some sid -> Fmt.pf ppf "%s after s%d: " e.Sir.datum sid);
+  pp_rsource ppf e.Sir.source
+
+(** The [--dump-after recovery-plan] view: one line per plan entry, per
+    datum in declaration order, latest applicable entry in force. *)
+let pp_plan ppf (p : Sir.program) =
+  match p.Sir.recovery with
+  | None -> Fmt.pf ppf "no recovery plan (pass not run)@."
+  | Some plan ->
+      Fmt.pf ppf "recovery plan for %s (P=%d, checkpoints %s):@."
+        p.Sir.source.Ast.pname p.Sir.nprocs
+        (if plan.Sir.checkpoints_needed then "needed" else "not needed");
+      List.iter
+        (fun e -> Fmt.pf ppf "  %a@." pp_rentry e)
+        plan.Sir.entries
+
 let pp ppf (p : Sir.program) =
   Fmt.pf ppf "spmd program %s on grid %a (P=%d, %s)@."
     p.Sir.source.Ast.pname Hpf_mapping.Grid.pp p.Sir.grid p.Sir.nprocs

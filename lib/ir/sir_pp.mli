@@ -21,5 +21,11 @@ val pp_vcheck : Format.formatter -> Sir.vcheck -> unit
     ops (reduction steps, communications, the guarded compute). *)
 val pp_stmts : Format.formatter -> Sir.program -> unit
 
+val pp_rsource : Format.formatter -> Sir.rsource -> unit
+val pp_rentry : Format.formatter -> Sir.rentry -> unit
+
+(** The [--dump-after recovery-plan] view: one line per plan entry. *)
+val pp_plan : Format.formatter -> Sir.program -> unit
+
 val pp : Format.formatter -> Sir.program -> unit
 val to_string : Sir.program -> string

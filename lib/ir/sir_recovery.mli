@@ -1,0 +1,39 @@
+(** The [recovery-plan] pass: classify, per datum × schedule interval,
+    the cheapest recovery source after a fail-stop crash — re-fetch from
+    a surviving replica ({!Sir.R_replica}), re-execute the producing
+    region ({!Sir.R_reexec}), or restore from checkpoint
+    ({!Sir.R_checkpoint}, last resort: control-dependent or
+    union-guarded producers).  The result is embedded in the lowered
+    program ([program.recovery]) and drives {!Hpf_spmd.Recover}'s
+    localized failover; {!Phpf_verify.Plan_check} audits that every
+    re-execution region dominates the failure point. *)
+
+open Hpf_comm
+
+(** Compute the recovery plan of a lowered program.  Deterministic in
+    the program alone (no seeds, no cost model): classification uses
+    only the materialized guards, the reduction records and the [If] /
+    [Do] structure of the source skeleton. *)
+val plan : Sir.program -> Sir.recovery_plan
+
+(** Analytic price of recovering one crashed processor at the worst
+    (latest) schedule interval, for scale points where the SPMD executor
+    is not run (P ≥ 1024). *)
+type estimate = {
+  replica_refetches : int;  (** datums re-fetched from a survivor *)
+  region_replays : int;  (** datums reconstructed by region replay *)
+  checkpoint_restores : int;  (** datums escalated to checkpoint *)
+  detect_time : float;  (** suspect + confirm heartbeat windows *)
+  refetch_time : float;  (** priced as one block transfer per datum *)
+  replay_time : float;  (** local copy cost of the owned share *)
+  restore_time : float;  (** snapshot restore of escalated datums *)
+}
+
+val estimate_failover :
+  ?model:Cost_model.t ->
+  heartbeat_timeout:float ->
+  Sir.program ->
+  Sir.recovery_plan ->
+  estimate
+
+val total_time : estimate -> float

@@ -59,15 +59,28 @@ let kind_tag = function
 (** A fault specification: per-kind injection probabilities in [0, 1]. *)
 type spec = (kind * float) list
 
+(** A one-shot injection: fire [kind] at exactly the given processor
+    heartbeat window (0-based), regardless of rates.  The victim
+    processor is picked deterministically like any other processor
+    fault. *)
+type oneshot = kind * int
+
 let default_rate = 0.05
 
 (** Parse a fault-spec string.
 
-    Grammar: [item ("," item)*] where [item ::= KIND (":" RATE)?],
-    [KIND] one of [drop dup duplicate reorder corrupt delay stall crash
-    all] and [RATE] a float in [0, 1] (default [0.05]).  [all] sets
-    every kind at once; later items override earlier ones. *)
-let parse_spec (s : string) : (spec, string) result =
+    Grammar: [item ("," item)*] where
+    [item ::= KIND (":" RATE)? | PKIND "@" EVENT], [KIND] one of
+    [drop dup duplicate reorder corrupt delay stall crash all], [RATE] a
+    float in [0, 1] (default [0.05]), and [PKIND@EVENT] a one-shot
+    processor fault ([stall] or [crash]) at heartbeat window [EVENT].
+
+    [all] sets every kind at once.  Explicitly naming the same kind
+    twice is rejected (so is a second [all]): a silent last-wins merge
+    hid typos like [drop:0.1,drop:0.2].  The one documented exception
+    stays legal: [all] followed by explicit single-kind overrides
+    ([all:0.1,crash:0]). *)
+let parse_spec (s : string) : (spec * oneshot list, string) result =
   let exception Bad of string in
   try
     let items =
@@ -76,64 +89,121 @@ let parse_spec (s : string) : (spec, string) result =
       |> List.filter (fun x -> x <> "")
     in
     if items = [] then raise (Bad "empty fault spec");
+    let kind_of name =
+      match kind_of_string name with
+      | Some k -> k
+      | None ->
+          raise
+            (Bad
+               (Fmt.str
+                  "unknown fault kind %S (expected drop, dup, reorder, \
+                   corrupt, delay, stall, crash or all)"
+                  name))
+    in
+    (* [`All] and [`One] track how a kind's rate was set, so duplicates
+       are detected per explicit mention, not per merged kind *)
     let parse_item item =
-      let name, rate =
-        match String.index_opt item ':' with
-        | None -> (item, default_rate)
-        | Some i ->
-            let name = String.sub item 0 i in
-            let r = String.sub item (i + 1) (String.length item - i - 1) in
-            let rate =
-              match float_of_string_opt r with
-              | Some f when f >= 0.0 && f <= 1.0 -> f
-              | Some _ ->
-                  raise
-                    (Bad (Fmt.str "rate %s out of range [0, 1] for %s" r name))
-              | None -> raise (Bad (Fmt.str "bad rate %S for %s" r name))
-            in
-            (name, rate)
-      in
-      match name with
-      | "all" -> List.map (fun k -> (k, rate)) all_kinds
-      | _ -> (
-          match kind_of_string name with
-          | Some k -> [ (k, rate) ]
-          | None ->
-              raise
-                (Bad
-                   (Fmt.str
-                      "unknown fault kind %S (expected drop, dup, reorder, \
-                       corrupt, delay, stall, crash or all)"
-                      name)))
+      match String.index_opt item '@' with
+      | Some i ->
+          let name = String.sub item 0 i in
+          let e = String.sub item (i + 1) (String.length item - i - 1) in
+          let event =
+            match int_of_string_opt e with
+            | Some n when n >= 0 -> n
+            | Some _ | None ->
+                raise (Bad (Fmt.str "bad one-shot event %S for %s" e name))
+          in
+          let k = kind_of name in
+          if not (List.mem k processor_kinds) then
+            raise
+              (Bad
+                 (Fmt.str
+                    "one-shot %s@%d: only processor faults (stall, crash) \
+                     can be pinned to an event"
+                    name event));
+          `Shot (k, event)
+      | None -> (
+          let name, rate =
+            match String.index_opt item ':' with
+            | None -> (item, default_rate)
+            | Some i ->
+                let name = String.sub item 0 i in
+                let r =
+                  String.sub item (i + 1) (String.length item - i - 1)
+                in
+                let rate =
+                  match float_of_string_opt r with
+                  | Some f when f >= 0.0 && f <= 1.0 -> f
+                  | Some _ ->
+                      raise
+                        (Bad
+                           (Fmt.str "rate %s out of range [0, 1] for %s" r
+                              name))
+                  | None -> raise (Bad (Fmt.str "bad rate %S for %s" r name))
+                in
+                (name, rate)
+          in
+          match name with
+          | "all" -> `All rate
+          | _ -> `One (kind_of name, rate))
     in
-    let spec =
+    let spec, _, _, shots =
       List.fold_left
-        (fun acc item ->
-          List.fold_left
-            (fun acc (k, r) -> (k, r) :: List.remove_assoc k acc)
-            acc (parse_item item))
-        [] items
+        (fun (spec, seen_all, seen, shots) item ->
+          match parse_item item with
+          | `All rate ->
+              if seen_all then raise (Bad "duplicate item \"all\"");
+              ( List.fold_left
+                  (fun acc k -> (k, rate) :: List.remove_assoc k acc)
+                  spec all_kinds,
+                true,
+                seen,
+                shots )
+          | `One (k, rate) ->
+              if List.mem k seen then
+                raise
+                  (Bad
+                     (Fmt.str "duplicate fault kind %S" (kind_to_string k)));
+              ((k, rate) :: List.remove_assoc k spec, seen_all, k :: seen, shots)
+          | `Shot (k, event) ->
+              if List.exists (fun (k', e') -> k' = k && e' = event) shots
+              then
+                raise
+                  (Bad
+                     (Fmt.str "duplicate one-shot %s@%d" (kind_to_string k)
+                        event));
+              (spec, seen_all, seen, shots @ [ (k, event) ]))
+        ([], false, [], []) items
     in
-    Ok (List.filter (fun (_, r) -> r > 0.0) spec)
+    Ok (List.filter (fun (_, r) -> r > 0.0) spec, shots)
   with Bad m -> Error m
 
 type t = {
   spec : spec;
+  oneshots : oneshot list;  (** pinned processor faults, by window *)
   seed : int;
   mutable msg_events : int;  (** message-send events seen so far *)
   mutable proc_events : int;  (** statement-boundary events seen so far *)
   injected : (kind, int) Hashtbl.t;  (** per-kind injection counts *)
 }
 
-let make ?(seed = 42) (spec : spec) : t =
-  { spec; seed; msg_events = 0; proc_events = 0; injected = Hashtbl.create 8 }
+let make ?(seed = 42) ?(oneshots = []) (spec : spec) : t =
+  {
+    spec;
+    oneshots;
+    seed;
+    msg_events = 0;
+    proc_events = 0;
+    injected = Hashtbl.create 8;
+  }
 
 (** The inert schedule: injects nothing, costs nothing. *)
 let none : t = make []
 
-(** A schedule with no positive rate never perturbs the run; the runtime
-    skips checkpointing and WAL recording entirely for it. *)
-let active (t : t) : bool = t.spec <> []
+(** A schedule with no positive rate and no one-shot never perturbs the
+    run; the runtime skips checkpointing and WAL recording entirely for
+    it. *)
+let active (t : t) : bool = t.spec <> [] || t.oneshots <> []
 
 let rate (t : t) (k : kind) : float =
   match List.assoc_opt k t.spec with Some r -> r | None -> 0.0
@@ -188,14 +258,25 @@ let on_processor (t : t) ~(nprocs : int) : (int * kind) option =
   else begin
     let event = t.proc_events in
     t.proc_events <- t.proc_events + 1;
+    (* a pinned one-shot preempts the Bernoulli rolls for its window *)
     match
-      List.find_opt (fun k -> roll t ~salt:proc_salt ~event k) processor_kinds
+      List.find_opt (fun ((_ : kind), e) -> e = event) t.oneshots
     with
-    | None -> None
-    | Some k ->
+    | Some (k, _) ->
         record t k;
         let pid = rnd t.seed [ pick_salt; event ] mod nprocs in
         Some (pid, k)
+    | None -> (
+        match
+          List.find_opt
+            (fun k -> roll t ~salt:proc_salt ~event k)
+            processor_kinds
+        with
+        | None -> None
+        | Some k ->
+            record t k;
+            let pid = rnd t.seed [ pick_salt; event ] mod nprocs in
+            Some (pid, k))
   end
 
 (** Deterministic scale factor in [1, n] for a fault's magnitude (delay

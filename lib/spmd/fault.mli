@@ -22,19 +22,28 @@ val kind_of_string : string -> kind option
 (** Per-kind injection probabilities in [0, 1]. *)
 type spec = (kind * float) list
 
-(** Parse [KIND(:RATE)?(,KIND(:RATE)?)*]; [all] sets every kind, later
-    items override earlier ones, default rate 0.05. *)
-val parse_spec : string -> (spec, string) result
+(** A one-shot injection: fire the (processor) kind at exactly the given
+    heartbeat window, regardless of rates. *)
+type oneshot = kind * int
+
+(** Parse [item (, item)*] with [item ::= KIND(:RATE)? | PKIND@EVENT];
+    [all] sets every kind, default rate 0.05, [PKIND@EVENT] pins a
+    one-shot [stall]/[crash] to heartbeat window [EVENT].  Rates outside
+    [0, 1], duplicate explicit kinds, duplicate [all] and duplicate
+    one-shots are rejected; [all] followed by explicit overrides stays
+    legal. *)
+val parse_spec : string -> (spec * oneshot list, string) result
 
 type t
 
-val make : ?seed:int -> spec -> t
+val make : ?seed:int -> ?oneshots:oneshot list -> spec -> t
 
 (** The inert schedule: injects nothing, costs nothing. *)
 val none : t
 
-(** Does the schedule have any positive rate?  Inactive schedules let
-    the runtime skip checkpointing and WAL recording entirely. *)
+(** Does the schedule have any positive rate or pinned one-shot?
+    Inactive schedules let the runtime skip checkpointing and WAL
+    recording entirely. *)
 val active : t -> bool
 
 (** Decision for the next message-send event (consumes one event; at

@@ -8,9 +8,20 @@
     packet is lost, stale, reordered or damaged — retransmit with
     exponential backoff, up to a bounded number of attempts.  Every
     write to a processor shadow memory (remote {e and} local) goes
-    through {!write} so it lands in a per-processor write-ahead log;
-    together with periodic checkpoints this makes a crashed processor
-    recoverable by restore-and-replay.
+    through {!write} so it lands in a per-processor write-ahead log.
+
+    Crash handling has two regimes.  Under {!Checkpoint} (or whenever no
+    compile-time plan is available, or the plan demands checkpoints),
+    periodic whole-machine checkpoints plus WAL replay restore the
+    crashed processor — the legacy global model.  Under {!Plan} with a
+    clean {!Phpf_ir.Sir.recovery_plan}, failover is {e localized}: the
+    failure detector (missed heartbeats: Alive → Suspect → Confirmed, no
+    randomness) confirms the crash, a fresh shadow memory is rebuilt at
+    the post-init state, replicated datums are re-fetched from a
+    survivor as priced block transfers through the reliable delivery
+    path, and owner-partitioned / privatized datums are reconstructed by
+    replaying the crashed processor's own filtered write log — no other
+    processor rolls back and no periodic checkpoint is ever taken.
 
     All detection is by simulated-time timeout, sequence gap or checksum
     mismatch — the supervisor never peeks at the fault schedule — and
@@ -22,6 +33,12 @@
 
 open Hpf_lang
 open Hpf_comm
+module Sir = Phpf_ir.Sir
+
+(** Crash-recovery regime: plan-driven localized failover (escalating to
+    checkpoints only when the plan says so) or the legacy global
+    checkpoint/WAL model. *)
+type mode = Plan | Checkpoint
 
 type config = {
   max_retries : int;  (** retransmit attempts per message before giving up *)
@@ -32,6 +49,10 @@ type config = {
       (** minimum statement events between shadow-memory checkpoints;
           scaled up for large memories so the copying stays amortized
           (a snapshot costs O(memory), so the interval grows with it) *)
+  heartbeat_timeout : float;
+      (** simulated seconds without a heartbeat before a processor is
+          suspected; a second silent window confirms the crash *)
+  mode : mode;
   model : Cost_model.t;  (** prices retransmits, checkpoints and restores *)
 }
 
@@ -40,6 +61,8 @@ let default_config =
     max_retries = 8;
     base_timeout = 8.0 *. Cost_model.sp2.Cost_model.alpha;
     checkpoint_interval = 32;
+    heartbeat_timeout = 8.0 *. Cost_model.sp2.Cost_model.alpha;
+    mode = Plan;
     model = Cost_model.sp2;
   }
 
@@ -56,6 +79,18 @@ type t = {
   nprocs : int;
   elems_per_proc : int;  (** array elements per shadow memory *)
   active : bool;  (** fault schedule has positive rates *)
+  localized : bool;
+      (** plan-driven failover in force: no periodic checkpoints, WAL
+          filtered to re-executed datums, crashes repaired locally *)
+  prog : Ast.program;  (** for rebuilding a crashed shadow memory *)
+  init : (Memory.t -> unit) option;
+      (** re-applied to a rebuilt memory (the post-init baseline) *)
+  plan : Sir.recovery_plan option;  (** the compile-time recovery plan *)
+  reexec_datums : (string, unit) Hashtbl.t;
+      (** datums with a re-execution entry: the only ones the localized
+          WAL records *)
+  seen_sids : (Ast.stmt_id, unit) Hashtbl.t;
+      (** producing regions entered so far (plan-entry applicability) *)
   interval : int;  (** effective checkpoint interval (memory-scaled) *)
   heartbeat : int;
       (** statement events per processor-fault heartbeat window:
@@ -63,8 +98,9 @@ type t = {
           rates are per unit of simulated progress, not per statement *)
   snapshots : Memory.t array;  (** last checkpoint per processor *)
   wal : Msg.payload list array;
-      (** per-processor write-ahead log since the last checkpoint,
-          newest first *)
+      (** per-processor write-ahead log, newest first: since the last
+          checkpoint (legacy regime) or full-history but filtered to
+          re-executed datums (localized regime) *)
   mutable events : int;  (** statement-boundary events seen *)
   mutable msg_ops : int;  (** transmit attempts (for fault magnitudes) *)
   (* counters *)
@@ -77,6 +113,12 @@ type t = {
   mutable restores : int;
   mutable stalls : int;
   mutable crashes : int;
+  mutable suspects : int;  (** detector Suspect states entered *)
+  mutable plan_refetch : int;  (** datums re-fetched from a replica *)
+  mutable plan_reexec : int;  (** datums rebuilt by region replay *)
+  mutable escalations : int;
+      (** crashes that fell back to checkpoint restore although a plan
+          was recorded (the plan demanded checkpoints, or P < 2) *)
   mutable recovery_time : float;
       (** simulated fault-tolerance overhead: checkpoints, detection
           waits, retransmits, restores *)
@@ -85,7 +127,7 @@ type t = {
           [src * nprocs + dst]; sparse — only live pairs appear *)
 }
 
-let create ?(config = default_config) ?(faults = Fault.none)
+let create ?(config = default_config) ?(faults = Fault.none) ?plan ?init
     (procs : Memory.t array) (prog : Ast.program) : t =
   let nprocs = Array.length procs in
   let elems_per_proc =
@@ -95,6 +137,24 @@ let create ?(config = default_config) ?(faults = Fault.none)
       0 prog.Ast.decls
   in
   let active = Fault.active faults in
+  (* localized failover needs a plan with no checkpoint escalation and a
+     survivor to re-fetch replicas from *)
+  let localized =
+    config.mode = Plan && nprocs >= 2
+    && (match plan with
+       | Some (p : Sir.recovery_plan) -> not p.Sir.checkpoints_needed
+       | None -> false)
+  in
+  let reexec_datums = Hashtbl.create 8 in
+  (match plan with
+  | Some p ->
+      List.iter
+        (fun (e : Sir.rentry) ->
+          match e.Sir.source with
+          | Sir.R_reexec _ -> Hashtbl.replace reexec_datums e.Sir.datum ()
+          | Sir.R_replica _ | Sir.R_checkpoint -> ())
+        p.Sir.entries
+  | None -> ());
   (* keep the amortized snapshot cost bounded: a checkpoint copies
      nprocs * elems elements, so the interval grows with the memory *)
   let interval =
@@ -108,12 +168,20 @@ let create ?(config = default_config) ?(faults = Fault.none)
     nprocs;
     elems_per_proc;
     active;
+    localized;
+    prog;
+    init;
+    plan;
+    reexec_datums;
+    seen_sids = Hashtbl.create 32;
     interval;
     heartbeat = max 1 (interval / 8);
     (* checkpoint 0: the post-[init] state, so a crash before the first
-       periodic checkpoint can still restore *)
+       periodic checkpoint can still restore.  The localized regime
+       rebuilds from [init] instead and never snapshots. *)
     snapshots =
-      (if active then Array.map Memory.copy procs else [||]);
+      (if active && not localized then Array.map Memory.copy procs
+       else [||]);
     wal = Array.make nprocs [];
     events = 0;
     msg_ops = 0;
@@ -126,6 +194,10 @@ let create ?(config = default_config) ?(faults = Fault.none)
     restores = 0;
     stalls = 0;
     crashes = 0;
+    suspects = 0;
+    plan_refetch = 0;
+    plan_reexec = 0;
+    escalations = 0;
     recovery_time = 0.0;
     holdback = Hashtbl.create 16;
   }
@@ -148,11 +220,25 @@ let apply_payload (m : Memory.t) (p : Msg.payload) : unit =
           | _ -> Memory.set_elem m base index value)
         indices values
 
+let payload_datum : Msg.payload -> string = function
+  | Msg.Scalar { var; _ } -> var
+  | Msg.Elem { base; _ } -> base
+  | Msg.Block { base; _ } -> base
+
 (** Write to processor [pid]'s shadow memory, recording the write in its
-    WAL (when faults are active) so a crash can replay it. *)
+    WAL (when faults are active) so a crash can replay it.  The
+    localized regime logs only datums the plan reconstructs by replay —
+    replicated datums are re-fetched whole from a survivor, so logging
+    their writes (every mirror of every loop index on every processor)
+    would be pure overhead. *)
 let write (t : t) (pid : int) (p : Msg.payload) : unit =
   apply_payload t.procs.(pid) p;
-  if t.active then t.wal.(pid) <- p :: t.wal.(pid)
+  if t.active then
+    if t.localized then begin
+      if Hashtbl.mem t.reexec_datums (payload_datum p) then
+        t.wal.(pid) <- p :: t.wal.(pid)
+    end
+    else t.wal.(pid) <- p :: t.wal.(pid)
 
 (* ------------------------------------------------------------------ *)
 (* Reliable message delivery                                           *)
@@ -301,14 +387,19 @@ let take_checkpoint (t : t) =
     t.recovery_time
     +. (t.config.model.Cost_model.copy *. float_of_int t.elems_per_proc)
 
-(* A crash loses processor [pid]'s shadow memory.  The supervisor
-   detects the dead heartbeat, restores the last checkpoint and replays
-   the write-ahead log, leaving the memory bit-identical to the
-   pre-crash state. *)
+(* A crash loses processor [pid]'s shadow memory.  Legacy (checkpoint)
+   regime: the supervisor detects the dead heartbeat, restores the last
+   checkpoint and replays the write-ahead log, leaving the memory
+   bit-identical to the pre-crash state. *)
 let crash (t : t) (pid : int) =
   t.crashes <- t.crashes + 1;
   t.detected <- t.detected + 1;
   t.timeouts <- t.timeouts + 1;
+  (* an escalation is a plan-regime crash the plan could not localize
+     (checkpoints demanded, or no survivor); forced --recovery
+     checkpoint is not an escalation *)
+  if t.config.mode = Plan && t.plan <> None then
+    t.escalations <- t.escalations + 1;
   let m = Memory.copy t.snapshots.(pid) in
   let log = List.rev t.wal.(pid) in
   List.iter (apply_payload m) log;
@@ -322,10 +413,119 @@ let crash (t : t) (pid : int) =
     +. (t.config.model.Cost_model.copy
        *. float_of_int (t.elems_per_proc + log_elems))
 
+(* Localized plan-driven failover: only processor [pid]'s state is
+   reconstructed; no survivor rolls back.  The failure detector misses
+   one heartbeat (Suspect), then a second (Confirmed) — two heartbeat
+   windows of detection latency.  A fresh shadow memory is rebuilt at
+   the post-init baseline, then every datum is repaired from its latest
+   applicable plan entry: replicated datums are re-fetched whole from
+   the lowest-numbered survivor through the reliable delivery path (the
+   refetch is itself subject to message faults and priced as one block
+   transfer); re-executed datums replay the crashed processor's own
+   filtered write log, bit-identically, at local copy speed. *)
+let failover (t : t) (pid : int) =
+  t.crashes <- t.crashes + 1;
+  t.suspects <- t.suspects + 1;
+  t.detected <- t.detected + 1;
+  t.timeouts <- t.timeouts + 1;
+  t.recovery_time <-
+    t.recovery_time +. (2.0 *. t.config.heartbeat_timeout);
+  let plan =
+    match t.plan with Some p -> p | None -> assert false (* localized *)
+  in
+  let m = Memory.create t.prog in
+  (match t.init with Some f -> f m | None -> ());
+  t.procs.(pid) <- m;
+  let donor = if pid = 0 then 1 else 0 in
+  (* latest applicable entry per datum: baselines apply from init,
+     region-armed entries once their region has been entered *)
+  let chosen : (string, Sir.rentry) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sir.rentry) ->
+      let applicable =
+        match e.Sir.from_region with
+        | None -> true
+        | Some s -> Hashtbl.mem t.seen_sids s
+      in
+      if applicable then Hashtbl.replace chosen e.Sir.datum e)
+    plan.Sir.entries;
+  let refetch (d : Ast.decl) =
+    t.plan_refetch <- t.plan_refetch + 1;
+    let payload =
+      if d.Ast.shape = [] then
+        Msg.Scalar
+          {
+            var = d.Ast.dname;
+            value = Memory.get_scalar t.procs.(donor) d.Ast.dname;
+          }
+      else begin
+        let indices = ref [] and values = ref [] in
+        Memory.iter_elems t.procs.(donor) d.Ast.dname (fun idx v ->
+            indices := idx :: !indices;
+            values := v :: !values);
+        Msg.Block
+          {
+            base = d.Ast.dname;
+            indices = List.rev !indices;
+            values = List.rev !values;
+          }
+      end
+    in
+    transmit t ~src:donor ~dst:pid payload;
+    t.recovery_time <-
+      t.recovery_time
+      +. Cost_model.ptp t.config.model ~elems:(Msg.payload_elems payload)
+  in
+  let replay (d : Ast.decl) =
+    t.plan_reexec <- t.plan_reexec + 1;
+    let log =
+      List.filter
+        (fun p -> String.equal (payload_datum p) d.Ast.dname)
+        (List.rev t.wal.(pid))
+    in
+    List.iter (apply_payload t.procs.(pid)) log;
+    let elems =
+      List.fold_left (fun acc p -> acc + Msg.payload_elems p) 0 log
+    in
+    t.recovery_time <-
+      t.recovery_time
+      +. (t.config.model.Cost_model.copy *. float_of_int elems)
+  in
+  List.iter
+    (fun (d : Ast.decl) ->
+      match Hashtbl.find_opt chosen d.Ast.dname with
+      | Some { Sir.source = Sir.R_replica _; _ } -> refetch d
+      | Some { Sir.source = Sir.R_reexec _; _ } -> replay d
+      | Some { Sir.source = Sir.R_checkpoint; _ } ->
+          (* localized implies checkpoints_needed = false *)
+          assert false
+      | None -> ())
+    t.prog.Ast.decls;
+  (* undeclared scalars (loop indices, materialized by mirror /
+     loop-head writes) are [P_all]-maintained — every survivor holds the
+     same value, so one scalar refetch per index restores them;
+     ascending name order keeps the repair sequence deterministic *)
+  let undeclared =
+    Hashtbl.fold
+      (fun name _ acc ->
+        if Ast.find_decl t.prog name = None then name :: acc else acc)
+      t.procs.(donor).Memory.scalars []
+  in
+  List.iter
+    (fun name ->
+      t.plan_refetch <- t.plan_refetch + 1;
+      transmit t ~src:donor ~dst:pid
+        (Msg.Scalar
+           { var = name; value = Memory.get_scalar t.procs.(donor) name }))
+    (List.sort String.compare undeclared)
+
 let stall (t : t) (_pid : int) =
   t.stalls <- t.stalls + 1;
   t.detected <- t.detected + 1;
   t.timeouts <- t.timeouts + 1;
+  (* localized regime: the detector enters Suspect, then the stalled
+     processor's heartbeat arrives and it returns to Alive *)
+  if t.localized then t.suspects <- t.suspects + 1;
   (* heartbeat times out and is retried until the processor responds *)
   t.retries <- t.retries + 1;
   let d =
@@ -334,17 +534,26 @@ let stall (t : t) (_pid : int) =
   in
   t.recovery_time <- t.recovery_time +. t.config.base_timeout +. d
 
-(** Statement-boundary hook: periodic checkpointing, then the schedule's
-    processor-level faults (stall / crash) with their recovery. *)
-let stmt_boundary (t : t) : unit =
+(** Statement-boundary hook: periodic checkpointing (legacy regime
+    only), then the schedule's processor-level faults (stall / crash)
+    with their recovery.  [sid] marks the statement's region as entered
+    {e after} fault handling, so a crash at the boundary of a region
+    uses the pre-entry plan interval. *)
+let stmt_boundary ?(sid : Ast.stmt_id option) (t : t) : unit =
   if t.active then begin
     t.events <- t.events + 1;
-    if t.interval > 0 && t.events mod t.interval = 0 then take_checkpoint t;
+    if
+      (not t.localized) && t.interval > 0 && t.events mod t.interval = 0
+    then take_checkpoint t;
     if t.events mod t.heartbeat = 0 then
-      match Fault.on_processor t.faults ~nprocs:t.nprocs with
+      (match Fault.on_processor t.faults ~nprocs:t.nprocs with
       | Some (pid, Fault.Stall) -> stall t pid
-      | Some (pid, Fault.Crash) -> crash t pid
-      | Some _ | None -> ()
+      | Some (pid, Fault.Crash) ->
+          if t.localized then failover t pid else crash t pid
+      | Some _ | None -> ());
+    match sid with
+    | Some s -> Hashtbl.replace t.seen_sids s ()
+    | None -> ()
   end
 
 (* ------------------------------------------------------------------ *)
@@ -363,6 +572,10 @@ type report = {
   restores : int;
   stalls : int;
   crashes : int;
+  suspects : int;
+  plan_refetch : int;
+  plan_reexec : int;
+  escalations : int;
   messages_sent : int;
   messages_delivered : int;
   recovery_time : float;
@@ -385,6 +598,10 @@ let report (t : t) : report =
     restores = t.restores;
     stalls = t.stalls;
     crashes = t.crashes;
+    suspects = t.suspects;
+    plan_refetch = t.plan_refetch;
+    plan_reexec = t.plan_reexec;
+    escalations = t.escalations;
     messages_sent = t.net.Msg.sent;
     messages_delivered = t.net.Msg.delivered;
     recovery_time = t.recovery_time;
@@ -404,5 +621,10 @@ let pp_report ppf (r : report) =
     "  recovery: %d retransmits, %d checkpoints, %d restores, %d stalls \
      ridden out, %d crashes@."
     r.retries r.checkpoints r.restores r.stalls r.crashes;
+  if r.suspects + r.plan_refetch + r.plan_reexec + r.escalations > 0 then
+    Fmt.pf ppf
+      "  failover: %d suspected, %d replica refetches, %d region replays, \
+       %d checkpoint escalations@."
+      r.suspects r.plan_refetch r.plan_reexec r.escalations;
   Fmt.pf ppf "  messages: %d sent, %d delivered; recovery time %.6f s@."
     r.messages_sent r.messages_delivered r.recovery_time

@@ -295,9 +295,12 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
       f reference;
       Array.iter f procs
   | None -> ());
-  (* the supervisor snapshots the post-init state as checkpoint zero *)
+  (* the supervisor either drives plan-based localized failover (plan
+     attached by the recovery-plan pass, [init] re-applied to rebuilt
+     memories) or snapshots the post-init state as checkpoint zero *)
   let runtime =
-    Recover.create ?config:recover_config ~faults procs c.Compiler.prog
+    Recover.create ?config:recover_config ~faults ?plan:sir.Sir.recovery
+      ?init procs c.Compiler.prog
   in
   let st = { compiled = c; sir; reference; procs; transfers = 0; runtime } in
   (* per-op block-transfer state: placement instance already shipped *)
@@ -393,8 +396,9 @@ let run ?(init : (Memory.t -> unit) option) ?(faults = Fault.none)
         end
   in
   let on_stmt (s : Ast.stmt) (m_ref : Memory.t) =
-    (* statement boundary: checkpointing and processor-level faults *)
-    Recover.stmt_boundary st.runtime;
+    (* statement boundary: checkpointing and processor-level faults;
+       the sid arms the statement's plan entries once entered *)
+    Recover.stmt_boundary ~sid:s.Ast.sid st.runtime;
     match Sir.stmt_ops sir s.Ast.sid with
     | None -> ()
     | Some ops ->

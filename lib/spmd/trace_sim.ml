@@ -300,6 +300,10 @@ let run ?(model = Cost_model.sp2) ?init ?stats:(driver_stats : Phpf_driver.Stats
           Stats.set st "sim.retries" rep.Recover.retries;
           Stats.set st "sim.checkpoints" rep.Recover.checkpoints;
           Stats.set st "sim.restores" rep.Recover.restores;
+          Stats.set st "sim.suspects" rep.Recover.suspects;
+          Stats.set st "sim.plan-refetch" rep.Recover.plan_refetch;
+          Stats.set st "sim.plan-reexec" rep.Recover.plan_reexec;
+          Stats.set st "sim.escalations" rep.Recover.escalations;
           Stats.set st "sim.recovery-time-us"
             (int_of_float (1e6 *. r.recovery_time)));
   (r, mem)

@@ -12,6 +12,7 @@ let e_dangling_comm = "E0609"
 let e_sir_missing = "E0610"
 let e_sir_guard = "E0611"
 let e_stale_read = "E0612"
+let e_plan_dominance = "E0613"
 let w_phi = "W0601"
 let w_redundant_write = "W0602"
 let w_redundant_comm = "W0603"
@@ -37,6 +38,9 @@ let all =
     ( e_stale_read,
       "read of a remote or privatized copy with no reaching transfer or \
        local write" );
+    ( e_plan_dominance,
+      "recovery-plan entry unsound: re-execution region does not dominate \
+       the failure point, or the plan's structure is inconsistent" );
     (w_phi, "inconsistent mappings reach a use across a phi");
     (w_redundant_write, "executor set strictly wider than the owner set");
     (w_redundant_comm, "communication no read reference requires");

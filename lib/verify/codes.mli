@@ -1,6 +1,6 @@
 (** Stable diagnostic codes of the static verifier ([phpfc lint]).
 
-    [E0601]-[E0612] are soundness errors: the compiled artifact (the
+    [E0601]-[E0613] are soundness errors: the compiled artifact (the
     mapping decisions, the communication schedule, and the lowered
     {!Phpf_ir.Sir} program) can produce stale reads or divergent
     replicated state under SPMD execution.
@@ -53,6 +53,13 @@ val e_stale_read : string
 (** [E0612] a consumer reads a remote or privatized copy along some
     path with no reaching transfer or local write — the flow-sensitive
     counterpart of the schedule-structural [E0603] *)
+
+val e_plan_dominance : string
+(** [E0613] a recovery-plan entry is unsound: its re-execution region
+    does not dominate the failure point (replay could run on a path that
+    bypassed the region), or the plan names nonexistent datums or
+    statements, or its [checkpoints_needed] flag understates the
+    entries *)
 
 val w_phi : string
 (** [W0601] inconsistent mappings reach a use across a φ *)

@@ -1,0 +1,15 @@
+(** Recovery-plan fidelity audit: re-derive the safety conditions of the
+    compile-time crash-recovery plan from the lowered IR.
+
+    Findings ([E0613]): a plan entry naming an undeclared datum or a
+    nonexistent statement, a re-execution entry whose producing region
+    does not dominate the program exit (replay unsound under control
+    dependence — the planner must escalate such regions to checkpoint
+    restore), or a [checkpoints_needed] flag that understates the
+    entries.  A compiled record without a lowered program or without an
+    attached plan produces no findings. *)
+
+open Hpf_lang
+open Phpf_core
+
+val check : Compiler.compiled -> Diag.t list

@@ -80,8 +80,14 @@ let passes : (Decisions.options, vctx) Pass.t list =
       (fun v st ->
         Stats.set st "sir.recorded"
           (match v.compiled.Compiler.sir with Some _ -> 1 | None -> 0);
+        Stats.set st "plan.entries"
+          (match v.compiled.Compiler.sir with
+          | Some { Phpf_ir.Sir.recovery = Some p; _ } ->
+              List.length p.Phpf_ir.Sir.entries
+          | _ -> 0);
         record v st
-          (audit "verify-sir" (fun () -> Sir_check.check v.compiled)));
+          (audit "verify-sir" (fun () ->
+               Sir_check.check v.compiled @ Plan_check.check v.compiled)));
     Pass.make "verify-flow"
       ~descr:"dataflow audit of the lowered IR (dead/redundant/stale)"
       (fun v st ->

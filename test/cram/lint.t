@@ -63,6 +63,7 @@ reported after the compiler's own, through the same machinery:
   verify-sir:
     findings.errors                 0
     findings.warnings               0
+    plan.entries                    5
     sir.recorded                    1
   verify-flow:
     findings.errors                 0
@@ -91,5 +92,5 @@ Only the verifier's own pass names (and the compiler's, for compile
 --dump-after) are accepted:
 
   $ ../../bin/phpfc.exe lint ../../examples/programs/fig7.hpfk --dump-after no-such-pass
-  error[E0501]: unknown pass no-such-pass (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, verify-mapping, verify-race, verify-comm, verify-sir, verify-flow)
+  error[E0501]: unknown pass no-such-pass (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, recovery-plan, verify-mapping, verify-race, verify-comm, verify-sir, verify-flow)
   [1]

@@ -109,6 +109,7 @@ counters of each pass are deterministic:
   scalar-map       scalar mapping: DetermineMapping (paper Fig. 3)
   comm-analysis    communication analysis with message vectorization
   lower-spmd       lowering to the explicit SPMD IR (guards, transfers, allocs)
+  recovery-plan    compile-time crash-recovery plan over the lowered IR
 
   $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --stats | sed -n '/^sema:/,$p'
   sema:
@@ -139,6 +140,11 @@ counters of each pass are deterministic:
     sir.elem-xfers                  1
     sir.reduce-ops                  0
     sir.whole-xfers                 0
+  recovery-plan:
+    plan.checkpoint                 2
+    plan.checkpoints-needed         1
+    plan.reexec                     5
+    plan.replica                   10
 
 Disabling an optimization drops its pass from the pipeline — the
 scalar-map counters disappear and every definition is replicated:
@@ -148,7 +154,7 @@ scalar-map counters disappear and every definition is replicated:
 Unknown --dump-after names are usage errors (exit 1), not crashes:
 
   $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --dump-after nosuch
-  error[E0501]: unknown pass nosuch (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd)
+  error[E0501]: unknown pass nosuch (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, recovery-plan)
   [1]
 
 A processor-count sweep on the Jacobi stencil:
@@ -207,6 +213,32 @@ guard, plus the privatized allocations and the validation plan:
     b: owners [block(16)/4($0-1)]
     c: owners [block(16)/4($0-1)]
   === end lower-spmd ===
+
+The compile-time crash-recovery plan classifies, per datum and schedule
+interval, the cheapest reconstruction source — replica refetch,
+producing-region replay, or checkpoint escalation:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig2.hpfk --dump-after recovery-plan | sed -n '/=== after/,/=== end/p'
+  === after recovery-plan ===
+  recovery plan for fig2 (P=4, checkpoints not needed):
+    h from init: refetch from replica all
+    g from init: refetch from replica all
+    a from init: refetch from replica all
+    a after s1: reexec region s1 (producers s4) where [block(16)/4(i-1)]
+    b from init: refetch from replica all
+    c from init: refetch from replica all
+    p from init: refetch from replica all
+    p after s1: reexec region s1 (producers s2) where [block(16)/4(i-1)]
+    q from init: refetch from replica all
+  === end recovery-plan ===
+
+The privatized no-align scalars of fig1 (union computes guards) defeat
+both replication and bounded replay, so their plan escalates:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --dump-after recovery-plan | sed -n '/=== after/,/=== end/p' | grep -E 'recovery plan|checkpoint'
+  recovery plan for fig1 (P=4, checkpoints needed):
+    z after s2: checkpoint restore
+    m after s2: checkpoint restore
 
 Fig. 2's subscript availability: p is consumed only by the executing
 processor while q is broadcast to all (its reference needs a gather):

@@ -26,14 +26,15 @@ recovery cost is priced into the reported time:
   fault campaign: 26 injected (drop 2, dup 2, reorder 1, stall 12, crash 9), 27 detected
     detection: 24 timeouts, 0 checksum failures, 3 stale discards
     recovery: 15 retransmits, 18 checkpoints, 9 restores, 12 stalls ridden out, 9 crashes
+    failover: 0 suspected, 0 replica refetches, 0 region replays, 9 checkpoint escalations
     messages: 12 sent, 9 delivered; recovery time 0.027341 s
 
 The recovery counters flow through the driver's instrumentation channel:
 
   $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --faults drop:0.3 --fault-seed 1 --stats | grep -E 'sim\.(retries|checkpoints|faults-injected|recovery)'
-    sim.checkpoints                 1
+    sim.checkpoints                 0
     sim.faults-injected            22
-    sim.recovery-time-us        11322
+    sim.recovery-time-us        10819
     sim.retries                    22
 
 A link that loses every packet exhausts the retransmit budget; the run
@@ -53,6 +54,40 @@ A malformed fault spec is a usage error (exit 1):
   $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults drop:1.5
   error[E0702]: invalid fault spec: rate 1.5 out of range [0, 1] for drop
   [1]
+
+Naming the same kind twice is rejected (a silent last-wins merge hid
+typos), as is pinning a one-shot to a message-level kind:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults drop:0.1,drop:0.2
+  error[E0702]: invalid fault spec: duplicate fault kind "drop"
+  [1]
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults drop@3
+  error[E0702]: invalid fault spec: one-shot drop@3: only processor faults (stall, crash) can be pinned to an event
+  [1]
+
+A `KIND@EVENT` one-shot pins a crash to one exact heartbeat window.
+fig2's recovery plan is checkpoint-free, so the default plan regime
+repairs the crash with localized failover: replica refetches and region
+replays, zero full restores, and validation stays clean:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --faults crash@0 --report-faults
+  P=4 time=0.0111s (compute max 0.0000s, total 0.0000s; comm 0.0079s in 65 msgs, 128 elems; mem 2098 elems/proc) + recovery 0.0032s
+  fault campaign: 1 injected (crash 1), 1 detected
+    detection: 1 timeouts, 0 checksum failures, 0 stale discards
+    recovery: 0 retransmits, 0 checkpoints, 0 restores, 0 stalls ridden out, 1 crashes
+    failover: 1 suspected, 7 replica refetches, 2 region replays, 0 checkpoint escalations
+    messages: 67 sent, 67 delivered; recovery time 0.003241 s
+
+`--recovery checkpoint` forces the legacy global regime on the same
+campaign — full checkpoint restore instead of localized failover:
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --faults crash@0 --recovery checkpoint --report-faults
+  P=4 time=0.0092s (compute max 0.0000s, total 0.0000s; comm 0.0079s in 65 msgs, 128 elems; mem 2098 elems/proc) + recovery 0.0013s
+  fault campaign: 1 injected (crash 1), 1 detected
+    detection: 1 timeouts, 0 checksum failures, 0 stale discards
+    recovery: 0 retransmits, 1 checkpoints, 1 restores, 0 stalls ridden out, 1 crashes
+    messages: 60 sent, 60 delivered; recovery time 0.001330 s
 
 The SPMD runtime normally executes the lowered IR; `--no-lower` falls
 back to the legacy AST-walking executor.  Both modes must agree on the

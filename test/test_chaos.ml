@@ -28,12 +28,19 @@ let seeds = [ 1; 2; 3 ]
 (* every kind, each injected on its own so a failure names the culprit *)
 let kinds = Fault.all_kinds
 
+(* Mirror the CLI: the stored lowered program — carrying the compile-time
+   recovery plan — drives the run whenever the aggregated wire format is
+   in effect; the per-element format re-lowers and runs plan-less. *)
+let sir_of ?aggregate (c : Compiler.compiled) =
+  match aggregate with Some false -> None | _ -> c.Compiler.sir
+
 let run_campaign ?aggregate prog ~kind ~seed =
   let c = Compiler.compile_exn prog in
   let spec = [ (kind, 0.2) ] in
   let faults = Fault.make ~seed spec in
+  let sir = sir_of ?aggregate c in
   match
-    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults ?aggregate c
+    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults ?aggregate ?sir c
   with
   | exception Recover.Unrecoverable ds ->
       if ds = [] then fail "Unrecoverable carried no diagnostics";
@@ -190,12 +197,20 @@ let test_recovery_visible () =
     benchmarks
 
 (* A lossy-link campaign over a communicating benchmark must exercise
-   the retransmit and checkpoint machinery, not just survive. *)
+   the retransmit and checkpoint machinery, not just survive.  Pinned to
+   the legacy checkpoint regime: under the default plan regime fig2's
+   checkpoint-free plan deliberately takes zero checkpoints. *)
 let test_retries_and_checkpoints () =
   let prog = Fig_examples.fig2 ~n:16 ~np:4 () in
   let c = Compiler.compile_exn prog in
   let faults = Fault.make ~seed:1 [ (Fault.Drop, 0.3) ] in
-  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults c in
+  let recover_config =
+    { Recover.default_config with Recover.mode = Recover.Checkpoint }
+  in
+  let st =
+    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults ~recover_config
+      ?sir:c.Compiler.sir c
+  in
   check (Alcotest.list Alcotest.reject) "validates clean" []
     (Spmd_interp.validate st);
   let r = Spmd_interp.fault_report st in
@@ -204,18 +219,145 @@ let test_retries_and_checkpoints () =
     fail "active schedule took no checkpoints";
   if r.Recover.recovery_time <= 0.0 then fail "recovery cost not charged"
 
-(* A crash campaign restores from checkpoint + WAL replay. *)
+(* A crash campaign on fig1 restores from checkpoint + WAL replay even
+   under the plan regime: fig1's privatized no-align scalars carry union
+   guards, so its plan demands checkpoints and every crash is counted as
+   an escalation. *)
 let test_crash_restores () =
   let prog = Fig_examples.fig1 ~n:40 ~p:4 () in
   let c = Compiler.compile_exn prog in
   let faults = Fault.make ~seed:2 [ (Fault.Crash, 0.1) ] in
-  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults c in
+  let st =
+    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults
+      ?sir:c.Compiler.sir c
+  in
   check (Alcotest.list Alcotest.reject) "validates clean" []
     (Spmd_interp.validate st);
   let r = Spmd_interp.fault_report st in
   if r.Recover.crashes = 0 then fail "crash:0.1 never crashed a processor";
   check Alcotest.int "every crash restored" r.Recover.crashes
-    r.Recover.restores
+    r.Recover.restores;
+  check Alcotest.int "every plan-regime restore counted as escalation"
+    r.Recover.crashes r.Recover.escalations;
+  check Alcotest.int "no localized refetches on the escalated path" 0
+    (r.Recover.plan_refetch + r.Recover.plan_reexec)
+
+(* ------------------------------------------------------------------ *)
+(* Plan-driven localized failover                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural bit-equality of two shadow memories: every scalar binding
+   and every array element. *)
+let mem_equal (a : Memory.t) (b : Memory.t) =
+  let scalars_of (m : Memory.t) =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.Memory.scalars []
+    |> List.sort compare
+  in
+  let arrays_of (m : Memory.t) =
+    Hashtbl.fold
+      (fun name _ acc ->
+        let elems = ref [] in
+        Memory.iter_elems m name (fun idx v -> elems := (idx, v) :: !elems);
+        (name, List.rev !elems) :: acc)
+      m.Memory.arrays []
+    |> List.sort compare
+  in
+  scalars_of a = scalars_of b && arrays_of a = arrays_of b
+
+let crash_at prog ~window ~mode =
+  let c = Compiler.compile_exn prog in
+  let faults = Fault.make ~seed:1 ~oneshots:[ (Fault.Crash, window) ] [] in
+  let recover_config = { Recover.default_config with Recover.mode } in
+  let st =
+    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults ~recover_config
+      ?sir:c.Compiler.sir c
+  in
+  (match Spmd_interp.validate st with
+  | [] -> ()
+  | m :: _ ->
+      fail (Fmt.str "crash@%d diverged: %a" window Spmd_interp.pp_mismatch m));
+  st
+
+(* fig2's plan is checkpoint-free, so a pinned crash under the default
+   plan regime must be repaired by localized failover alone: the crash
+   is suspected then confirmed, replicated datums are re-fetched from a
+   survivor, owner-partitioned datums replayed from the log — and the
+   global machinery stays cold (no checkpoints, no restores, no
+   escalations). *)
+let test_plan_localized_failover () =
+  let st =
+    crash_at (Fig_examples.fig2 ~n:16 ~np:4 ()) ~window:0 ~mode:Recover.Plan
+  in
+  let r = Spmd_interp.fault_report st in
+  check Alcotest.int "exactly one crash" 1 r.Recover.crashes;
+  if r.Recover.suspects < 1 then fail "failure detector never suspected";
+  if r.Recover.plan_refetch = 0 then fail "no replica refetches";
+  if r.Recover.plan_reexec = 0 then fail "no region replays";
+  check Alcotest.int "no checkpoints under the plan regime" 0
+    r.Recover.checkpoints;
+  check Alcotest.int "no full restores" 0 r.Recover.restores;
+  check Alcotest.int "no escalations" 0 r.Recover.escalations;
+  if r.Recover.recovery_time <= 0.0 then fail "failover cost not charged"
+
+(* Same campaign, --recovery checkpoint: the legacy global regime takes
+   over — full restore, no localized counters. *)
+let test_forced_checkpoint_ab () =
+  let st =
+    crash_at
+      (Fig_examples.fig2 ~n:16 ~np:4 ())
+      ~window:0 ~mode:Recover.Checkpoint
+  in
+  let r = Spmd_interp.fault_report st in
+  check Alcotest.int "every crash restored" r.Recover.crashes
+    r.Recover.restores;
+  check Alcotest.int "no localized counters" 0
+    (r.Recover.suspects + r.Recover.plan_refetch + r.Recover.plan_reexec);
+  check Alcotest.int "forced regime is not an escalation" 0
+    r.Recover.escalations
+
+(* The acceptance scenario: TOMCATV, one pinned crash, plan regime.  The
+   final shadow memories must be bit-identical to the fault-free run's —
+   localized failover reconstructs state exactly, not approximately. *)
+let test_tomcatv_crash_bit_identical () =
+  let mk () = Tomcatv.program ~n:10 ~niter:2 ~p:4 in
+  let fault_free =
+    let c = Compiler.compile_exn (mk ()) in
+    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ?sir:c.Compiler.sir c
+  in
+  check (Alcotest.list Alcotest.reject) "fault-free validates" []
+    (Spmd_interp.validate fault_free);
+  let st = crash_at (mk ()) ~window:0 ~mode:Recover.Plan in
+  let r = Spmd_interp.fault_report st in
+  check Alcotest.int "plan-driven: no full restores" 0 r.Recover.restores;
+  if r.Recover.plan_refetch + r.Recover.plan_reexec = 0 then
+    fail "crash repaired without any plan action";
+  Array.iteri
+    (fun pid m ->
+      if not (mem_equal m fault_free.Spmd_interp.procs.(pid)) then
+        fail
+          (Fmt.str "processor %d memory differs from the fault-free run" pid))
+    st.Spmd_interp.procs
+
+(* Sweep the crash across every heartbeat window of fig1: whichever
+   statement the failure lands on, the run must converge to the
+   fault-free machine state (checkpoint escalation included — fig1's
+   plan demands it). *)
+let test_crash_window_sweep () =
+  let mk () = Fig_examples.fig1 ~n:24 ~p:4 () in
+  let fault_free =
+    let c = Compiler.compile_exn (mk ()) in
+    Spmd_interp.run ~init:(Init.init c.Compiler.prog) ?sir:c.Compiler.sir c
+  in
+  for window = 0 to 11 do
+    let st = crash_at (mk ()) ~window ~mode:Recover.Plan in
+    Array.iteri
+      (fun pid m ->
+        if not (mem_equal m fault_free.Spmd_interp.procs.(pid)) then
+          fail
+            (Fmt.str "crash@%d: processor %d differs from fault-free run"
+               window pid))
+      st.Spmd_interp.procs
+  done
 
 (* Without a fault schedule the runtime must be invisible: no recovery
    counters, no recovery cost, and the same transfer count as always. *)
@@ -278,6 +420,17 @@ let () =
             `Quick test_retries_and_checkpoints;
           Alcotest.test_case "crashes restore from checkpoint + WAL" `Quick
             test_crash_restores;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "localized failover repairs a pinned crash"
+            `Quick test_plan_localized_failover;
+          Alcotest.test_case "--recovery checkpoint forces the legacy regime"
+            `Quick test_forced_checkpoint_ab;
+          Alcotest.test_case "tomcatv crash converges bit-identically" `Quick
+            test_tomcatv_crash_bit_identical;
+          Alcotest.test_case "crash at every window converges (fig1)" `Quick
+            test_crash_window_sweep;
         ] );
       ( "hygiene",
         [

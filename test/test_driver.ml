@@ -69,7 +69,10 @@ let test_all_flags_off () =
   in
   let trace = trace_of ~options (fig1 ()) in
   check slist "only the ungated passes remain"
-    [ "sema"; "induction"; "decisions"; "comm-analysis"; "lower-spmd" ]
+    [
+      "sema"; "induction"; "decisions"; "comm-analysis"; "lower-spmd";
+      "recovery-plan";
+    ]
     (Pipeline.executed trace)
 
 (* ------------------------------------------------------------------ *)

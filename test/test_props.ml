@@ -386,6 +386,33 @@ let prop_mapping_consistency =
           List.length mappings <= 1)
         ssa.Ssa.use_def true)
 
+(* Fault campaigns at scale are reproducible: the same (spec, seed) on
+   fig1 at P=256 yields a bit-identical recovery report — injections,
+   detector counters, plan/failover counters, priced recovery time —
+   across two independent runs, and both validate clean. *)
+let prop_recovery_report_deterministic =
+  QCheck2.Test.make ~name:"P=256 recovery report deterministic" ~count:3
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let open Phpf_core in
+      let open Hpf_spmd in
+      let run () =
+        let prog = Hpf_benchmarks.Fig_examples.fig1 ~n:256 ~p:256 () in
+        let c = Compiler.compile_exn prog in
+        let faults =
+          Fault.make ~seed [ (Fault.Crash, 0.02); (Fault.Stall, 0.02) ]
+        in
+        let st =
+          Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~faults
+            ?sir:c.Compiler.sir c
+        in
+        (Spmd_interp.validate st, Spmd_interp.fault_report st)
+      in
+      let v1, r1 = run () in
+      let v2, r2 = run () in
+      v1 = [] && v2 = [] && r1 = r2)
+
 let prop_spmd_matches_reference =
   QCheck2.Test.make ~name:"SPMD execution matches reference" ~count:40
     ~print:(fun p -> Pp.program_to_string p)
@@ -444,7 +471,10 @@ let () =
       ( "ssa",
         [ to_alco prop_ssa_uses_have_defs; to_alco prop_ssa_phi_args_are_preds ] );
       ( "runtime",
-        [ to_alco prop_interp_deterministic ] );
+        [
+          to_alco prop_interp_deterministic;
+          to_alco prop_recovery_report_deterministic;
+        ] );
       ( "core",
         [
           to_alco prop_mapping_consistency;
