@@ -127,22 +127,47 @@ let out_of_args ~default args =
       | _ -> acc)
     default args
 
-(* One sweep point: compile at P, trace-simulate always; below the SPMD
-   threshold also execute the full per-processor interpreter in both
-   aggregation modes and validate against the sequential reference. *)
+(* One sweep point: compile at P (optimizer on, the default), trace-
+   simulate always; below the SPMD threshold also execute the full
+   per-processor interpreter in both aggregation modes and validate
+   against the sequential reference.  The same program is additionally
+   compiled with the optimizer off (--no-opt, phpf's verbatim schedule)
+   and priced/measured identically — the A/B leg behind the packet and
+   byte win columns.  Both legs validating against the same sequential
+   reference is the differential test: optimized and legacy schedules
+   must compute bit-identical results. *)
 type sweep_point = {
   p : int;
   r : Hpf_spmd.Trace_sim.result;
   spmd : (Hpf_spmd.Msg.stats * Hpf_spmd.Msg.stats) option;
-      (** (aggregated, per-element) measured traffic *)
+      (** (aggregated, per-element) measured traffic, optimized *)
   wall_ms : float;
   lower_ms : float;
   ir_ops : Phpf_ir.Sir.op_counts;
+  census : (string * (string * int) list) list;
+      (** per sir-opt pass: its recorded counters (rewrites, deltas) *)
+  base_r : Hpf_spmd.Trace_sim.result;  (** --no-opt trace-sim *)
+  base_spmd : Hpf_spmd.Msg.stats option;
+      (** --no-opt aggregated measured traffic *)
+  base_ir_ops : Phpf_ir.Sir.op_counts;
 }
 
 (* SPMD execution materializes P shadow memories and O(P) mirror writes
    per statement instance: measured (and validated) only up to here. *)
 let spmd_threshold = 8
+
+let validated_run (name : string) (p : int) ~(tag : string) ~aggregate
+    (c : Phpf_core.Compiler.compiled) : Hpf_spmd.Msg.stats =
+  let open Phpf_core in
+  let open Hpf_spmd in
+  let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~aggregate c in
+  (match Spmd_interp.validate st with
+  | [] -> ()
+  | m :: _ ->
+      Fmt.epr "bench %s P=%d (%s, aggregate=%b): %a@." name p tag aggregate
+        Spmd_interp.pp_mismatch m;
+      exit 1);
+  Spmd_interp.comm_stats st
 
 let sweep_point (name : string) (mk : p:int -> Hpf_lang.Ast.program)
     (p : int) : sweep_point =
@@ -171,31 +196,58 @@ let sweep_point (name : string) (mk : p:int -> Hpf_lang.Ast.program)
         Fmt.epr "bench %s: compiler recorded no lowered program@." name;
         exit 1
   in
-  let spmd =
-    if p > spmd_threshold then None
-    else begin
-      let measure aggregate =
-        let st =
-          Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~aggregate c
-        in
-        (match Spmd_interp.validate st with
-        | [] -> ()
-        | m :: _ ->
-            Fmt.epr "bench %s P=%d (aggregate=%b): %a@." name p aggregate
-              Spmd_interp.pp_mismatch m;
-            exit 1);
-        Spmd_interp.comm_stats st
-      in
-      Some (measure true, measure false)
-    end
+  let census =
+    List.filter_map
+      (fun pass ->
+        let pass = "sir-opt." ^ pass in
+        Option.map
+          (fun stats -> (pass, stats))
+          (Phpf_driver.Pipeline.stats_of trace pass))
+      Phpf_ir.Sir_opt.pass_names
+  in
+  (* the --no-opt leg: phpf's verbatim schedule *)
+  let base_options =
+    { Decisions.default_options with Decisions.optimize = false }
+  in
+  let cb = Compiler.compile_exn ~options:base_options (mk ~p) in
+  let base_ir_ops =
+    match cb.Compiler.sir with
+    | Some sir -> Phpf_ir.Sir.op_counts sir
+    | None ->
+        Fmt.epr "bench %s: --no-opt leg recorded no lowered program@." name;
+        exit 1
+  in
+  let spmd, base_spmd =
+    if p > spmd_threshold then (None, None)
+    else
+      ( Some
+          ( validated_run name p ~tag:"opt" ~aggregate:true c,
+            validated_run name p ~tag:"opt" ~aggregate:false c ),
+        Some (validated_run name p ~tag:"no-opt" ~aggregate:true cb) )
   in
   let r, _ =
     Trace_sim.run
       ~init:(Init.init c.Compiler.prog)
       ?comm_stats:(Option.map fst spmd) ?sir:c.Compiler.sir c
   in
+  let base_r, _ =
+    Trace_sim.run
+      ~init:(Init.init cb.Compiler.prog)
+      ?comm_stats:base_spmd ?sir:cb.Compiler.sir cb
+  in
   let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000.0 in
-  { p; r; spmd; wall_ms; lower_ms; ir_ops }
+  {
+    p;
+    r;
+    spmd;
+    wall_ms;
+    lower_ms;
+    ir_ops;
+    census;
+    base_r;
+    base_spmd;
+    base_ir_ops;
+  }
 
 (* The mapping-aware recovery scenario (one crash pinned to the first
    heartbeat window of TOMCATV).  Measured leg: the SPMD executor at
@@ -299,14 +351,16 @@ let run_json args =
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
-  pf "  \"schema\": \"phpf-bench/4\",\n";
+  pf "  \"schema\": \"phpf-bench/5\",\n";
   pf "  \"procs\": [%s],\n"
     (String.concat ", " (List.map string_of_int procs));
   pf "  \"spmd_threshold\": %d,\n" spmd_threshold;
   pf "  \"benchmarks\": [\n";
   List.iteri
     (fun i (name, points) ->
-      let ir_ops = (List.hd points).ir_ops in
+      let first = List.hd points in
+      let ir_ops = first.ir_ops in
+      let base = first.base_ir_ops in
       pf "    {\n";
       pf "      \"name\": %S,\n" name;
       pf "      \"ir_assigns\": %d,\n" ir_ops.Phpf_ir.Sir.assigns;
@@ -315,6 +369,28 @@ let run_json args =
       pf "      \"ir_block_xfers\": %d,\n" ir_ops.Phpf_ir.Sir.block_xfers;
       pf "      \"ir_reduce_ops\": %d,\n" ir_ops.Phpf_ir.Sir.reduce_ops;
       pf "      \"ir_allocs\": %d,\n" ir_ops.Phpf_ir.Sir.alloc_ops;
+      pf "      \"ir_elem_xfers_no_opt\": %d,\n" base.Phpf_ir.Sir.elem_xfers;
+      pf "      \"ir_whole_xfers_no_opt\": %d,\n" base.Phpf_ir.Sir.whole_xfers;
+      pf "      \"ir_block_xfers_no_opt\": %d,\n" base.Phpf_ir.Sir.block_xfers;
+      pf "      \"ir_reduce_ops_no_opt\": %d,\n" base.Phpf_ir.Sir.reduce_ops;
+      pf "      \"opt_census\": [\n";
+      List.iteri
+        (fun k (pass, stats) ->
+          let get key =
+            match List.assoc_opt key stats with Some v -> v | None -> 0
+          in
+          pf
+            "        {\"pass\": %S, \"rewrites\": %d, \"delta_elem_xfers\": \
+             %d, \"delta_whole_xfers\": %d, \"delta_block_xfers\": %d, \
+             \"delta_reduce_ops\": %d}%s\n"
+            pass (get "rewrites")
+            (get "delta.elem-xfers")
+            (get "delta.whole-xfers")
+            (get "delta.block-xfers")
+            (get "delta.reduce-ops")
+            (if k = List.length first.census - 1 then "" else ","))
+        first.census;
+      pf "      ],\n";
       pf "      \"sweep\": [\n";
       List.iteri
         (fun j (pt : sweep_point) ->
@@ -328,6 +404,12 @@ let run_json args =
           pf "          \"packets\": %d,\n" r.Trace_sim.packets;
           pf "          \"bytes\": %d,\n" r.Trace_sim.bytes;
           pf "          \"mem_elems_max\": %d,\n" r.Trace_sim.mem_elems_max;
+          pf "          \"simulated_time_no_opt\": %.6f,\n"
+            pt.base_r.Trace_sim.time;
+          pf "          \"comm_messages_no_opt\": %d,\n"
+            pt.base_r.Trace_sim.comm_messages;
+          pf "          \"packets_no_opt\": %d,\n" pt.base_r.Trace_sim.packets;
+          pf "          \"bytes_no_opt\": %d,\n" pt.base_r.Trace_sim.bytes;
           pf "          \"spmd_measured\": %b,\n" (pt.spmd <> None);
           (match pt.spmd with
           | Some ((agg : Msg.stats), (one : Msg.stats)) ->
@@ -339,9 +421,16 @@ let run_json args =
               in
               pf "          \"elems\": %d,\n" agg.Msg.elems;
               pf "          \"blocks\": %d,\n" agg.Msg.blocks;
+              pf "          \"spmd_packets\": %d,\n" agg.Msg.packets;
+              pf "          \"spmd_bytes\": %d,\n" agg.Msg.bytes;
               pf "          \"packets_no_aggregate\": %d,\n" one.Msg.packets;
               pf "          \"bytes_no_aggregate\": %d,\n" one.Msg.bytes;
               pf "          \"packet_reduction\": %.2f,\n" ratio
+          | None -> ());
+          (match pt.base_spmd with
+          | Some (bagg : Msg.stats) ->
+              pf "          \"spmd_packets_no_opt\": %d,\n" bagg.Msg.packets;
+              pf "          \"spmd_bytes_no_opt\": %d,\n" bagg.Msg.bytes
           | None -> ());
           pf "          \"lower_ms\": %.3f,\n" pt.lower_ms;
           pf "          \"wall_ms\": %.2f\n" pt.wall_ms;
@@ -387,7 +476,46 @@ let run_json args =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Fmt.pr "wrote %s (%d benchmarks x %d procs)@." path (List.length entries)
-    (List.length procs)
+    (List.length procs);
+  (* the optimizer gate: the optimized schedule must never ship more
+     than phpf's verbatim one — in the analytic pricing at every P, and
+     in the measured SPMD traffic where it runs.  --check-opt makes a
+     violation fatal (the CI `opt` job). *)
+  let violations = ref 0 in
+  List.iter
+    (fun (name, points) ->
+      List.iter
+        (fun (pt : sweep_point) ->
+          let bad fmt =
+            Fmt.kstr
+              (fun msg ->
+                incr violations;
+                Fmt.epr "bench: OPT REGRESSION %s P=%d: %s@." name pt.p msg)
+              fmt
+          in
+          if pt.r.Trace_sim.packets > pt.base_r.Trace_sim.packets then
+            bad "priced packets %d > %d (--no-opt)" pt.r.Trace_sim.packets
+              pt.base_r.Trace_sim.packets;
+          if pt.r.Trace_sim.bytes > pt.base_r.Trace_sim.bytes then
+            bad "priced bytes %d > %d (--no-opt)" pt.r.Trace_sim.bytes
+              pt.base_r.Trace_sim.bytes;
+          match (pt.spmd, pt.base_spmd) with
+          | Some ((agg, _) : Msg.stats * Msg.stats), Some bagg ->
+              if agg.Msg.packets > bagg.Msg.packets then
+                bad "measured packets %d > %d (--no-opt)" agg.Msg.packets
+                  bagg.Msg.packets;
+              if agg.Msg.bytes > bagg.Msg.bytes then
+                bad "measured bytes %d > %d (--no-opt)" agg.Msg.bytes
+                  bagg.Msg.bytes
+          | _ -> ())
+        points)
+    entries;
+  if !violations > 0 then begin
+    Fmt.epr "bench: %d optimizer regression(s)@." !violations;
+    if List.mem "--check-opt" args then exit 1
+  end
+  else if List.mem "--check-opt" args then
+    Fmt.pr "check-opt: optimized traffic <= --no-opt on every point@."
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

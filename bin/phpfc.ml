@@ -187,8 +187,47 @@ let opt_flags =
              placement point pay the startup latency once) — the \
              optimization the paper notes phpf lacked.")
   in
+  let no_opt =
+    Arg.(
+      value & flag
+      & info [ "no-opt" ]
+          ~doc:
+            "Disable the Sir optimizer suite and the emitter's \
+             no-op-transfer elision: ship the paper-faithful phpf \
+             communication schedule verbatim.")
+  in
+  let olevel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "O" ] ~docv:"LEVEL"
+          ~doc:
+            "Optimization level: $(b,-O0) is $(b,--no-opt), any higher \
+             level the (default) full suite.")
+  in
+  let opt_passes =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "opt" ] ~docv:"PASS,..."
+          ~doc:
+            "Restrict the Sir optimizer suite to the named passes (see \
+             $(b,--list-passes) for the $(b,sir-opt.)$(i,PASS) names); \
+             they still run in canonical order.")
+  in
   let mk no_scalar producer no_red no_arr no_partial no_ctrl auto_arr
-      combine =
+      combine no_opt olevel opt_passes =
+    (* accept both the bare pass name and the registered
+       sir-opt.<pass> form *)
+    let opt_passes =
+      Option.map
+        (List.map (fun p ->
+             match String.index_opt p '.' with
+             | Some i when String.sub p 0 i = "sir-opt" ->
+                 String.sub p (i + 1) (String.length p - i - 1)
+             | _ -> p))
+        opt_passes
+    in
     {
       Decisions.privatize_scalars = not no_scalar;
       force_producer_alignment = producer;
@@ -198,11 +237,13 @@ let opt_flags =
       privatize_control = not no_ctrl;
       auto_array_priv = auto_arr;
       combine_messages = combine;
+      optimize = (not no_opt) && olevel <> Some 0;
+      opt_passes;
     }
   in
   Term.(
     const mk $ no_scalar $ producer $ no_red $ no_arr $ no_partial $ no_ctrl
-    $ auto_arr $ combine)
+    $ auto_arr $ combine $ no_opt $ olevel $ opt_passes)
 
 (* ---------------- pipeline instrumentation flags ---------------- *)
 
@@ -331,6 +372,10 @@ let dump_after_hook (which : string option) (name : string)
         Fmt.pr "=== after %s ===@." name;
         Fmt.pr "%a" Phpf_ir.Sir_pp.pp sir;
         Fmt.pr "=== end %s ===@." name
+    | n, Some sir when String.length n > 8 && String.sub n 0 8 = "sir-opt." ->
+        Fmt.pr "=== after %s ===@." name;
+        Fmt.pr "%a" Phpf_ir.Sir_pp.pp sir;
+        Fmt.pr "=== end %s ===@." name
     | "recovery-plan", Some sir ->
         Fmt.pr "=== after %s ===@." name;
         Fmt.pr "%a" Phpf_ir.Sir_pp.pp_plan sir;
@@ -355,7 +400,8 @@ let dump_after_hook (which : string option) (name : string)
     Fmt.pr "=== end %s ===@." name
   end
 
-(* Reject an unknown --dump-after pass name before doing any work.
+(* Reject an unknown --dump-after pass name before doing any work —
+   the one resolution path shared by compile, lint and simulate.
    [extra] admits the verifier's own passes where they run (lint, and
    compile --verify). *)
 let check_dump_after ?(extra = []) arg =
@@ -366,6 +412,27 @@ let check_dump_after ?(extra = []) arg =
         [
           Diag.errorf ~code:"E0501" "unknown pass %s (registered: %s)" p
             (String.concat ", " known);
+        ];
+      false
+  | _ -> true
+
+(* Reject an unknown --opt pass selection the same way. *)
+let check_opt_passes (options : Decisions.options) =
+  match options.Decisions.opt_passes with
+  | Some ps
+    when List.exists
+           (fun p -> not (List.mem p Phpf_ir.Sir_opt.pass_names))
+           ps ->
+      let bad =
+        List.find
+          (fun p -> not (List.mem p Phpf_ir.Sir_opt.pass_names))
+          ps
+      in
+      render_diags
+        [
+          Diag.errorf ~code:"E0501" "unknown pass %s (registered: %s)" bad
+            (String.concat ", "
+               (List.map (( ^ ) "sir-opt.") Phpf_ir.Sir_opt.pass_names));
         ];
       false
   | _ -> true
@@ -385,7 +452,8 @@ let compile_cmd =
         (check_dump_after
            ~extra:
              (if verify then Phpf_verify.Verifier.pass_names else [])
-           dump_after)
+           dump_after
+        && check_opt_passes options)
     then exit_usage
     else
       guarded @@ fun () ->
@@ -432,7 +500,8 @@ let lint_cmd =
     setup_logs verbose;
     if
       not
-        (check_dump_after ~extra:Phpf_verify.Verifier.pass_names dump_after)
+        (check_dump_after ~extra:Phpf_verify.Verifier.pass_names dump_after
+        && check_opt_passes options)
     then exit_usage
     else
       guarded @@ fun () ->
@@ -461,8 +530,11 @@ let lint_cmd =
 let simulate_cmd =
   let run file procs options stats faults fault_seed report_faults report_comm
       recovery_mode max_retries checkpoint_interval heartbeat_timeout
-      no_aggregate no_lower fuel topology verbose =
+      no_aggregate no_lower fuel topology dump_after verbose =
     setup_logs verbose;
+    if not (check_dump_after dump_after && check_opt_passes options) then
+      exit_usage
+    else
     let model =
       Hpf_comm.Cost_model.with_topology Hpf_comm.Cost_model.sp2 topology
     in
@@ -492,7 +564,10 @@ let simulate_cmd =
         exit_usage
     | Ok schedule -> (
         guarded @@ fun () ->
-        let c, _trace = compile_program ?grid_override:procs ~options file in
+        let c, _trace =
+          compile_program ?grid_override:procs ~options
+            ~after:(dump_after_hook dump_after) file
+        in
         let sim_stats =
           if stats then Some (Phpf_driver.Stats.create ()) else None
         in
@@ -650,7 +725,7 @@ let simulate_cmd =
       $ fault_seed_arg $ report_faults_arg $ report_comm_arg
       $ recovery_arg $ max_retries_arg $ checkpoint_interval_arg
       $ heartbeat_timeout_arg $ no_aggregate_arg $ no_lower_arg $ fuel_arg
-      $ topology_arg $ verbose_arg)
+      $ topology_arg $ dump_after_arg $ verbose_arg)
 
 let validate_cmd =
   let run file procs options no_aggregate no_lower verbose =

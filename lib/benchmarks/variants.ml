@@ -2,8 +2,12 @@
 
 open Phpf_core
 
-(** Everything on — the paper's "Selected Alignment" compiler. *)
-let selected : Decisions.options = Decisions.default_options
+(** Everything on — the paper's "Selected Alignment" compiler.  The Sir
+    optimizer suite is pinned {e off}: Tables 1-3 model phpf's verbatim
+    communication schedule, and the optimizer (a post-paper extension)
+    would skew the reproduced counts. *)
+let selected : Decisions.options =
+  { Decisions.default_options with Decisions.optimize = false }
 
 (** Table 1, column 1: no scalar privatization, every scalar replicated. *)
 let replication : Decisions.options =

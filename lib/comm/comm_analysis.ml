@@ -138,20 +138,45 @@ let comm_for_ref (prog : Ast.program) (nest : Nest.t) (oracle : oracle)
           boundary_fraction;
         }
 
+(** Bases ever assigned in the program.  Initial data is globally
+    available (every per-processor memory is seeded identically), so a
+    base outside this set can never diverge between processors: its
+    consumers always hold a valid local copy and no movement is
+    required, whatever the owner/consumer relation says. *)
+let written_bases (prog : Ast.program) : (string, unit) Hashtbl.t =
+  let w = Hashtbl.create 16 in
+  Ast.iter_program
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Assign (Ast.LVar v, _) -> Hashtbl.replace w v ()
+      | Ast.Assign (Ast.LArr (a, _), _) -> Hashtbl.replace w a ()
+      | _ -> ())
+    prog;
+  w
+
 (** Analyze the whole program.  [red_group] gives the number of
     processors a recognized reduction's combine spans (1 disables the
-    collective: the partial result is already where it is needed). *)
+    collective: the partial result is already where it is needed).
+    [elide_unwritten] skips movement of never-assigned bases (see
+    {!written_bases}); off by default — it reproduces phpf's verbatim
+    schedule for the paper-faithful compiler versions. *)
 let analyze (prog : Ast.program) (nest : Nest.t) (oracle : oracle)
     ?(reductions : Reduction.red list = [])
-    ?(red_group : Reduction.red -> int = fun _ -> 0) () : Comm.t list =
+    ?(red_group : Reduction.red -> int = fun _ -> 0)
+    ?(elide_unwritten = false) () : Comm.t list =
+  let written = if elide_unwritten then written_bases prog else Hashtbl.create 0 in
+  let moves (r : Aref.t) =
+    (not elide_unwritten) || Hashtbl.mem written r.Aref.base
+  in
   let out = ref [] in
   Ast.iter_program
     (fun s ->
       List.iter
         (fun (r, consumer) ->
-          match comm_for_ref prog nest oracle r consumer with
-          | Some c -> out := c :: !out
-          | None -> ())
+          if moves r then
+            match comm_for_ref prog nest oracle r consumer with
+            | Some c -> out := c :: !out
+            | None -> ())
         (oracle.stmt_refs s))
     prog;
   (* reduction collectives *)

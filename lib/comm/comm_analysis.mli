@@ -37,13 +37,18 @@ val comm_for_ref :
 
 (** Analyze the whole program.  [red_group] gives the processor count a
     reduction's combine spans (1 suppresses the collective; the default
-    0 means "the whole machine"). *)
+    0 means "the whole machine").  [elide_unwritten] (default false)
+    skips movement of never-assigned bases: initial data is seeded
+    identically on every processor, so such copies can never diverge and
+    broadcasting them re-delivers what every destination already holds
+    (the fig1 [W0607] pattern at its source). *)
 val analyze :
   Ast.program ->
   Nest.t ->
   oracle ->
   ?reductions:Reduction.red list ->
   ?red_group:(Reduction.red -> int) ->
+  ?elide_unwritten:bool ->
   unit ->
   Comm.t list
 

@@ -170,7 +170,8 @@ let passes : (Decisions.options, context) Pass.t list =
         let comms =
           Comm_analysis.analyze ctx.prog d.Decisions.nest (Consumer.oracle d)
             ~reductions:d.Decisions.reductions
-            ~red_group:(Reduction_map.combine_group d) ()
+            ~red_group:(Reduction_map.combine_group d)
+            ~elide_unwritten:ctx.options.Decisions.optimize ()
         in
         ctx.comms <- comms;
         Stats.set st "comms.total" (List.length comms);
@@ -199,6 +200,42 @@ let passes : (Decisions.options, context) Pass.t list =
         Stats.set st "sir.block-xfers" k.Phpf_ir.Sir.block_xfers;
         Stats.set st "sir.reduce-ops" k.Phpf_ir.Sir.reduce_ops;
         Stats.set st "sir.allocs" k.Phpf_ir.Sir.alloc_ops);
+  ]
+  @ List.map
+      (fun pname ->
+        Pass.make ("sir-opt." ^ pname)
+          ~enabled:(fun (o : Decisions.options) ->
+            o.Decisions.optimize
+            &&
+            match o.Decisions.opt_passes with
+            | None -> true
+            | Some ps -> List.mem pname ps)
+          ~descr:
+            (Option.value ~default:"Sir optimizer pass"
+               (Phpf_ir.Sir_opt.descr_of pname))
+          (fun (ctx : context) st ->
+            match ctx.sir with
+            | None -> ()
+            | Some sir ->
+                let before = Phpf_ir.Sir.op_counts sir in
+                let rewrites = Phpf_ir.Sir_opt.apply pname sir in
+                let after = Phpf_ir.Sir.op_counts sir in
+                Stats.set st "rewrites" rewrites;
+                (* census delta: op population change this pass *)
+                Stats.set st "delta.elem-xfers"
+                  (after.Phpf_ir.Sir.elem_xfers
+                  - before.Phpf_ir.Sir.elem_xfers);
+                Stats.set st "delta.whole-xfers"
+                  (after.Phpf_ir.Sir.whole_xfers
+                  - before.Phpf_ir.Sir.whole_xfers);
+                Stats.set st "delta.block-xfers"
+                  (after.Phpf_ir.Sir.block_xfers
+                  - before.Phpf_ir.Sir.block_xfers);
+                Stats.set st "delta.reduce-ops"
+                  (after.Phpf_ir.Sir.reduce_ops
+                  - before.Phpf_ir.Sir.reduce_ops)))
+      Phpf_ir.Sir_opt.pass_names
+  @ [
     Pass.make "recovery-plan"
       ~descr:"compile-time crash-recovery plan over the lowered IR"
       (fun (ctx : context) st ->

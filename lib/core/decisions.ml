@@ -87,6 +87,14 @@ type options = {
           the optimization phpf lacked ("considerable scope for improving
           ... by global message combining across loop nests", §5.3); off
           by default to stay faithful *)
+  optimize : bool;
+      (** run the {!Phpf_ir.Sir_opt} pass suite after [lower-spmd] and
+          elide compile-time-provable no-op transfers in the emitter;
+          on by default ([--no-opt] / [-O0] turn it off — the
+          paper-faithful phpf schedule) *)
+  opt_passes : string list option;
+      (** [Some names] restricts the suite to the named passes
+          ([--opt PASS,...]); [None] = all of them *)
 }
 
 (** Everything on: the paper's "Selected Alignment" compiler. *)
@@ -100,6 +108,8 @@ let default_options : options =
     privatize_control = true;
     auto_array_priv = false;
     combine_messages = false;
+    optimize = true;
+    opt_passes = None;
   }
 
 type t = {

@@ -54,6 +54,12 @@ type options = {
       (** global message combining — the optimization the paper names as
           missing from phpf (§5.3); communications sharing a placement
           point pay the startup latency once.  Off by default *)
+  optimize : bool;
+      (** run the {!Phpf_ir.Sir_opt} suite after [lower-spmd] and elide
+          provably no-op transfers in the emitter; on by default
+          ([--no-opt] / [-O0] = the paper-faithful phpf schedule) *)
+  opt_passes : string list option;
+      (** restrict the suite to the named passes; [None] = all *)
 }
 
 (** Everything on — the paper's "Selected Alignment" compiler. *)

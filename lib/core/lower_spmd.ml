@@ -698,6 +698,7 @@ let lower ?(strict = false) ?(aggregate = true) ~(prog : Ast.program)
     stmts;
     validate_plan = lower_validate_plan cx;
     recovery = None;
+    opt_applied = [];
   }
 
 (** Convenience wrapper over a {!Compiler.compiled}-shaped component

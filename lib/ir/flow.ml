@@ -1,4 +1,4 @@
-(** Generic dataflow fixpoint engine over {!Phpf_ir.Sir_cfg}.
+(** Generic dataflow fixpoint engine over {!Sir_cfg}.
 
     Classical iterative analysis: the client supplies a join
     semilattice and a per-node transfer function; the engine iterates a
@@ -8,7 +8,7 @@
     join and encode the optimistic "not yet reached" initial state as
     the lattice top. *)
 
-module Sir_cfg = Phpf_ir.Sir_cfg
+
 
 module type DOMAIN = sig
   type t

@@ -1,8 +1,8 @@
-(** Generic dataflow fixpoint engine over {!Phpf_ir.Sir_cfg}.
+(** Generic dataflow fixpoint engine over {!Sir_cfg}.
 
     Classical iterative analysis, parameterized over the direction and
     the client's join semilattice + transfer function.  The engine
-    knows nothing about what the states mean: {!Sir_flow} instantiates
+    knows nothing about what the states mean: {!Phpf_verify.Sir_flow} instantiates
     it once per client analysis (availability of delivered copies
     forward, payload liveness backward). *)
 
@@ -35,7 +35,7 @@ module Make (D : DOMAIN) : sig
       of every other node (top for MUST problems, bottom for MAY
       problems).  [transfer] must be monotone for termination. *)
   val fixpoint :
-    cfg:Phpf_ir.Sir_cfg.t ->
+    cfg:Sir_cfg.t ->
     direction:direction ->
     boundary:D.t ->
     init:D.t ->

@@ -213,6 +213,8 @@ type program = {
   validate_plan : vcheck list;
   mutable recovery : recovery_plan option;
       (** attached by the [recovery-plan] pass ({!Sir_recovery}) *)
+  mutable opt_applied : string list;
+      (** {!Sir_opt} passes applied, in application order *)
 }
 
 let stmt_ops (p : program) (sid : Ast.stmt_id) : stmt_ops option =

@@ -236,6 +236,10 @@ type program = {
   validate_plan : vcheck list;
   mutable recovery : recovery_plan option;
       (** attached by the [recovery-plan] pass ({!Sir_recovery}) *)
+  mutable opt_applied : string list;
+      (** {!Sir_opt} passes applied to this program, in application
+          order — the replay recipe {!Phpf_verify.Sir_check} uses to
+          re-audit an optimized lowering (empty: never optimized) *)
 }
 
 val stmt_ops : program -> Ast.stmt_id -> stmt_ops option

@@ -1,0 +1,599 @@
+(** The dataflow core of the [verify-flow] audits, shared with the
+    {!Sir_opt} optimizer.
+
+    Two fixpoints over one {!Sir_cfg} graph through the generic {!Flow}
+    engine: forward MUST availability of {e delivery facts} (which
+    delivered copies are valid where) and backward MAY liveness of
+    per-processor copies (whose copies can still be read).  From those,
+    {!summarize} classifies the transfer ops the program could drop
+    without changing any observation:
+
+    - {b dead} ([W0606]): the payload is overwritten or never read on
+      any processor before the validity scope ends;
+    - {b redundant} ([W0607]): the data is already valid at every
+      destination from a dominating delivery, checked against the state
+      with the op itself excluded — so every classified op is
+      {e individually} deletable.
+
+    {!Phpf_verify.Sir_flow} wraps this module with the
+    requirement-derivation ([E0612]) and diagnostic rendering that need
+    the full compile record; {!Sir_opt} turns the classified ops into
+    deletions, re-running {!summarize} after each rewrite. *)
+
+open Hpf_lang
+open Hpf_mapping
+module Comm = Hpf_comm.Comm
+module Aref = Hpf_analysis.Aref
+
+(* Syntactic coverage of coordinates, places and predicates            *)
+(* ------------------------------------------------------------------ *)
+
+(* All Sir predicate forms are pure data (Ast.expr leaves included), so
+   structural equality is the exactness baseline; coverage adds the
+   C_all / degenerate-dimension widenings. *)
+
+let coord_covers ~(have : Sir.coord) ~(need : Sir.coord) : bool =
+  match (have, need) with
+  | Sir.C_all, _ -> true
+  | _ when have = need -> true
+  | Sir.C_fixed c, Sir.C_affine { fmt; nprocs; _ }
+  | Sir.C_affine { fmt; nprocs; _ }, Sir.C_fixed c ->
+      Dist.constant_coord fmt ~nprocs = Some c
+  | _ -> false
+
+let place_covers ~(have : Sir.place) ~(need : Sir.place) : bool =
+  Array.length have = Array.length need
+  && Array.for_all2 (fun h n -> coord_covers ~have:h ~need:n) have need
+
+let place_is_all (p : Sir.place) = Array.for_all (fun c -> c = Sir.C_all) p
+
+let pred_is_all = function
+  | Sir.P_all -> true
+  | Sir.P_place p -> place_is_all p
+  | Sir.P_union _ -> false
+
+(* An empty evaluated P_union falls back to all processors, so
+   member-wise coverage arguments are only safe in the directions
+   below: a union as the haver only grows (each member's set is
+   contained in the union, and the empty-union fallback is universal);
+   a union as the needer is compared structurally. *)
+let pred_covers ~(have : Sir.pred) ~(need : Sir.pred) : bool =
+  pred_is_all have || have = need
+  ||
+  match (have, need) with
+  | Sir.P_place h, Sir.P_place n -> place_covers ~have:h ~need:n
+  | Sir.P_union hs, Sir.P_place n ->
+      List.exists (fun h -> place_covers ~have:h ~need:n) hs
+  | _ -> false
+
+let dests_covers ~(have : Sir.dests) ~(need : Sir.dests) : bool =
+  match (have, need) with
+  | Sir.D_all, _ -> true
+  | Sir.D_pred p, Sir.D_all -> pred_is_all p
+  | Sir.D_pred p, Sir.D_pred q -> pred_covers ~have:p ~need:q
+
+let coord_vars = function
+  | Sir.C_all | Sir.C_fixed _ -> []
+  | Sir.C_affine { sub; _ } -> Ast.expr_vars sub
+
+let place_vars (p : Sir.place) =
+  Array.to_list p |> List.concat_map coord_vars
+
+let pred_vars = function
+  | Sir.P_all -> []
+  | Sir.P_place p -> place_vars p
+  | Sir.P_union ps -> List.concat_map place_vars ps
+
+let dests_vars = function
+  | Sir.D_all -> []
+  | Sir.D_pred p -> pred_vars p
+
+(* ------------------------------------------------------------------ *)
+(* Delivery facts (the forward MUST domain)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The moved datum of a delivery, as a syntactic key.  Subscripts are
+    compared structurally: they are evaluated against the lockstep
+    reference memory, so equal expressions name equal elements as long
+    as no variable they mention has been redefined in between — which
+    is exactly what the kill rules enforce. *)
+type dkey =
+  | K_scalar of string
+  | K_whole of string  (** every element of an array *)
+  | K_elem of string * Ast.expr list
+
+let key_base = function K_scalar b | K_whole b | K_elem (b, _) -> b
+
+let key_vars = function
+  | K_scalar b | K_whole b -> [ b ]
+  | K_elem (b, subs) -> b :: List.concat_map Ast.expr_vars subs
+
+let key_covers ~(have : dkey) ~(need : dkey) : bool =
+  match (have, need) with
+  | K_whole a, (K_whole b | K_elem (b, _)) -> a = b
+  | K_scalar a, K_scalar b -> a = b
+  | K_elem (a, s1), K_elem (b, s2) -> a = b && s1 = s2
+  | _ -> false
+
+(** Where a fact came from: the identical initial memories, a transfer
+    op (by uid), or a guarded write (the computing processors hold the
+    value they just produced). *)
+type source = F_init | F_op of int | F_write of Ast.stmt_id
+
+type fact = { src : source; key : dkey; dests : Sir.dests }
+
+let key_of_xdata = function
+  | Sir.X_scalar { var; _ } -> K_scalar var
+  | Sir.X_elem { base; subs; _ } -> K_elem (base, subs)
+
+let fact_of_op (op : Sir.comm_op) : fact option =
+  match op.Sir.xfer with
+  | Sir.Elem_xfer { data; dests } | Sir.Block_xfer { data; dests; _ } ->
+      Some { src = F_op op.Sir.uid; key = key_of_xdata data; dests }
+  | Sir.Whole_xfer { base; dests; _ } ->
+      Some { src = F_op op.Sir.uid; key = K_whole base; dests }
+  | Sir.Reduce_xfer -> None
+
+let op_base (op : Sir.comm_op) : string option =
+  match op.Sir.xfer with
+  | Sir.Elem_xfer { data; _ } | Sir.Block_xfer { data; _ } ->
+      Some (key_base (key_of_xdata data))
+  | Sir.Whole_xfer { base; _ } -> Some base
+  | Sir.Reduce_xfer -> None
+
+(* ------------------------------------------------------------------ *)
+(* Constant-offset expression arithmetic                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Normalize an expression into a symbolic part and a constant offset:
+    [e + c].  [None] as the symbolic part means the expression is the
+    pure constant [c]. *)
+let split_const (e : Ast.expr) : Ast.expr option * int =
+  match e with
+  | Ast.Int c -> (None, c)
+  | Ast.Bin (Ast.Add, b, Ast.Int c) | Ast.Bin (Ast.Add, Ast.Int c, b) ->
+      (Some b, c)
+  | Ast.Bin (Ast.Sub, b, Ast.Int c) -> (Some b, -c)
+  | _ -> (Some e, 0)
+
+(** [e + k], rebuilt in the same [base + constant] normal form
+    {!split_const} reads — so offsetting an expression and splitting it
+    again round-trips structurally. *)
+let add_const (e : Ast.expr) (k : int) : Ast.expr =
+  match split_const e with
+  | None, c -> Ast.Int (c + k)
+  | Some b, c ->
+      let c = c + k in
+      if c = 0 then b
+      else if c > 0 then Ast.Bin (Ast.Add, b, Ast.Int c)
+      else Ast.Bin (Ast.Sub, b, Ast.Int (-c))
+
+(** Constant difference [e2 - e1] when both share the same symbolic
+    part. *)
+let const_delta (e1 : Ast.expr) (e2 : Ast.expr) : int option =
+  match (split_const e1, split_const e2) with
+  | (None, c1), (None, c2) -> Some (c2 - c1)
+  | (Some b1, c1), (Some b2, c2) when b1 = b2 -> Some (c2 - c1)
+  | _ -> None
+
+let rec subst_var (v : string) (by : Ast.expr) (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Var x when x = v -> by
+  | Ast.Int _ | Ast.Real _ | Ast.Bool _ | Ast.Var _ -> e
+  | Ast.Arr (a, subs) -> Ast.Arr (a, List.map (subst_var v by) subs)
+  | Ast.Bin (op, a, b) -> Ast.Bin (op, subst_var v by a, subst_var v by b)
+  | Ast.Un (op, a) -> Ast.Un (op, subst_var v by a)
+  | Ast.Intrin (f, a, b) ->
+      Ast.Intrin (f, subst_var v by a, subst_var v by b)
+
+(* A crossed loop whose trip set is statically enumerable: the bounds
+   differ by a known constant and the step is a literal.  The walked
+   index values are then [lo; lo+step; ...; lo+span] {e symbolically} —
+   each a well-formed expression in the enclosing indices. *)
+let enumerate_crossed (l : Sir.loop_desc) : Ast.expr list option =
+  match (l.Sir.step, const_delta l.Sir.lo l.Sir.hi) with
+  | Ast.Int s, Some span when s <> 0 && span * s >= 0 && abs span <= 16 ->
+      let n = (abs span / abs s) + 1 in
+      Some (List.init n (fun k -> add_const l.Sir.lo (k * s)))
+  | _ -> None
+
+(** The delivery facts of an op, with statically enumerable block
+    regions expanded into one element fact per walked index valuation
+    (capped; symbolic fall-back otherwise).  {!Sir_opt}'s element-merge
+    rewrite produces exactly such regions, and the expansion is what
+    keeps a merged block structurally comparable with the element keys
+    of the requirements and of un-merged twins. *)
+let facts_of_op (op : Sir.comm_op) : fact list =
+  match op.Sir.xfer with
+  | Sir.Block_xfer
+      { data = Sir.X_elem { base; subs; _ }; dests; crossed; _ } -> (
+      let enumerated =
+        List.fold_left
+          (fun acc (l : Sir.loop_desc) ->
+            match (acc, enumerate_crossed l) with
+            | None, _ | _, None -> None
+            | Some sets, Some vals -> Some ((l.Sir.index, vals) :: sets))
+          (Some []) crossed
+      in
+      match enumerated with
+      | None | Some [] -> (
+          match fact_of_op op with None -> [] | Some f -> [ f ])
+      | Some sets ->
+          let subsets =
+            List.fold_left
+              (fun acc (v, vals) ->
+                List.concat_map
+                  (fun ss ->
+                    List.map
+                      (fun value -> List.map (subst_var v value) ss)
+                      vals)
+                  acc)
+              [ subs ] sets
+          in
+          if List.length subsets > 16 then
+            match fact_of_op op with None -> [] | Some f -> [ f ]
+          else
+            List.map
+              (fun ss ->
+                {
+                  src = F_op op.Sir.uid;
+                  key = K_elem (base, ss);
+                  dests;
+                })
+              subsets)
+  | _ -> ( match fact_of_op op with None -> [] | Some f -> [ f ])
+
+module Avail = struct
+  (* Top is the optimistic "not yet reached" state of the MUST
+     analysis; unreachable nodes keep it (they never execute, so every
+     claim about them is vacuously true). *)
+  type t = Top | Facts of fact list  (** sorted and deduplicated *)
+
+  let equal (a : t) (b : t) = a = b
+
+  let join a b =
+    match (a, b) with
+    | Top, x | x, Top -> x
+    | Facts xs, Facts ys -> Facts (List.filter (fun f -> List.mem f ys) xs)
+
+  let add (f : fact) = function
+    | Top -> Top
+    | Facts fs -> Facts (List.sort_uniq compare (f :: fs))
+
+  let filter p = function Top -> Top | Facts fs -> Facts (List.filter p fs)
+
+  (* The reference program redefined [x]: drop every fact whose datum
+     or destination coordinates mention it (their symbolic subscripts
+     changed meaning). *)
+  let kill_var (x : string) =
+    filter (fun f ->
+        (not (List.mem x (key_vars f.key)))
+        && not (List.mem x (dests_vars f.dests)))
+
+  (* The payload named [b] was (partially) overwritten: every copy of
+     it is conservatively stale. *)
+  let kill_base (b : string) = filter (fun f -> key_base f.key <> b)
+end
+
+module Avail_engine = Flow.Make (Avail)
+
+(* One statement instance applies its ops in field order: mirror the
+   enclosing indices, reduction steps, communications, then the guarded
+   execution.  [pre_exec] replays everything before the execution — the
+   state the statement's own reads see. *)
+let pre_exec (g : Sir_cfg.t) (ops : Sir.stmt_ops)
+    ?(skip_op : int option) (st : Avail.t) : Avail.t =
+  let st =
+    (* mirroring refreshes the enclosing indices from the reference on
+       every processor *)
+    List.fold_left
+      (fun st v ->
+        Avail.add
+          { src = F_write ops.Sir.sid; key = K_scalar v; dests = Sir.D_all }
+          (Avail.kill_base v st))
+      st ops.Sir.mirror
+  in
+  let st =
+    List.fold_left
+      (fun st (step : Sir.red_step) ->
+        match step with
+        | Sir.R_mark _ -> st
+        | Sir.R_combine ix ->
+            (* combining folds the partials to the reference total and
+               redistributes it: the accumulator (and its location
+               companions) become valid everywhere *)
+            let r = g.Sir_cfg.program.Sir.reductions.(ix) in
+            List.fold_left
+              (fun st v ->
+                Avail.add
+                  {
+                    src = F_write ops.Sir.sid;
+                    key = K_scalar v;
+                    dests = Sir.D_all;
+                  }
+                  (Avail.kill_var v (Avail.kill_base v st)))
+              st
+              (r.Sir.rvar :: r.Sir.loc_vars))
+      st ops.Sir.red_steps
+  in
+  List.fold_left
+    (fun st op ->
+      if skip_op = Some op.Sir.uid then st
+      else List.fold_left (fun st f -> Avail.add f st) st (facts_of_op op))
+    st ops.Sir.comms
+
+let exec_effect (sid : Ast.stmt_id) (exec : Sir.exec) (st : Avail.t) :
+    Avail.t =
+  match exec with
+  | Sir.Nop -> st
+  | Sir.Loop_head { index; _ } ->
+      (* every processor materializes index := lo *)
+      Avail.add
+        { src = F_write sid; key = K_scalar index; dests = Sir.D_all }
+        (Avail.kill_var index st)
+  | Sir.Guarded_assign { lhs; rhs = _; computes } -> (
+      match lhs with
+      | Ast.LVar v ->
+          let st = Avail.kill_var v (Avail.kill_base v st) in
+          Avail.add
+            { src = F_write sid; key = K_scalar v; dests = Sir.D_pred computes }
+            st
+      | Ast.LArr (a, subs) ->
+          let st = Avail.kill_var a (Avail.kill_base a st) in
+          Avail.add
+            {
+              src = F_write sid;
+              key = K_elem (a, subs);
+              dests = Sir.D_pred computes;
+            }
+            st)
+
+let avail_transfer (g : Sir_cfg.t) (i : int) (st : Avail.t) : Avail.t =
+  let st =
+    match Sir_cfg.index_defined_at g i with
+    | Some x -> Avail.kill_var x st
+    | None -> st
+  in
+  match Sir_cfg.ops_at g i with
+  | None -> st
+  | Some ops -> exec_effect ops.Sir.sid ops.Sir.exec (pre_exec g ops st)
+
+(** Every per-processor memory starts as a copy of the same initialized
+    reference memory, so every declared variable is valid everywhere
+    until first written. *)
+let initial_facts (p : Sir.program) : fact list =
+  List.map
+    (fun (d : Ast.decl) ->
+      {
+        src = F_init;
+        key = (if d.Ast.shape = [] then K_scalar d.Ast.dname else K_whole d.Ast.dname);
+        dests = Sir.D_all;
+      })
+    p.Sir.source.Ast.decls
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Backward liveness of per-processor copies                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Only four consumers ever read a {e per-processor} copy (everything
+   else — subscripts, bounds, conditions, owner coordinates — is
+   evaluated against the lockstep reference memory): the rhs of a
+   guarded assign, a reduction combine (the partials), a transfer (the
+   source copy) and the final validation of a non-skipped array. *)
+
+module Live = struct
+  type t = string list  (** sorted names possibly read downstream *)
+
+  let equal (a : t) (b : t) = a = b
+  let join a b = List.sort_uniq compare (a @ b)
+end
+
+module Live_engine = Flow.Make (Live)
+
+let union vs live = List.sort_uniq compare (vs @ live)
+let diff vs live = List.filter (fun v -> not (List.mem v vs)) live
+
+(* Walk one node's events backward from its live-out state, announcing
+   the liveness just after each comm op to [on_op]. *)
+let live_node_backward (g : Sir_cfg.t) (i : int)
+    ?(on_op = fun (_ : Sir.comm_op) ~(live : Live.t) -> ignore live)
+    (live : Live.t) : Live.t =
+  match Sir_cfg.ops_at g i with
+  | None -> live
+  | Some ops ->
+      let live =
+        match ops.Sir.exec with
+        | Sir.Nop -> live
+        | Sir.Loop_head { index; _ } -> diff [ index ] live
+        | Sir.Guarded_assign { lhs; rhs; computes } ->
+            let reads = Ast.expr_vars rhs in
+            let kills =
+              (* only an unconditional scalar write overwrites every
+                 copy; a guarded or element write leaves other copies /
+                 elements live *)
+              match lhs with
+              | Ast.LVar v when pred_is_all computes -> [ v ]
+              | _ -> []
+            in
+            union reads (diff kills live)
+      in
+      let live =
+        List.fold_left
+          (fun live op ->
+            match op_base op with
+            | None -> live
+            | Some b ->
+                on_op op ~live;
+                (* the transfer reads the source processor's copy *)
+                union [ b ] live)
+          live (List.rev ops.Sir.comms)
+      in
+      let live =
+        List.fold_left
+          (fun live (step : Sir.red_step) ->
+            match step with
+            | Sir.R_mark _ -> live
+            | Sir.R_combine ix ->
+                let r = g.Sir_cfg.program.Sir.reductions.(ix) in
+                union (r.Sir.rvar :: r.Sir.loc_vars) live)
+          live (List.rev ops.Sir.red_steps)
+      in
+      diff ops.Sir.mirror live
+
+let live_transfer (g : Sir_cfg.t) (i : int) (live : Live.t) : Live.t =
+  live_node_backward g i live
+
+(** Arrays the final validation reads (a [V_skip] array is dead at
+    exit: its privatized values are never compared). *)
+let validated_arrays (p : Sir.program) : string list =
+  List.filter_map
+    (function
+      | Sir.V_owned (a, _) | Sir.V_line (a, _) -> Some a
+      | Sir.V_skip _ -> None)
+    p.Sir.validate_plan
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Communication requirements (E0612)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let instance_node (g : Sir_cfg.t) (sid : Ast.stmt_id) : int option =
+  List.find_opt
+    (fun i ->
+      match (Sir_cfg.node g i).Sir_cfg.kind with
+      | Sir_cfg.Simple _ | Sir_cfg.Branch _ | Sir_cfg.Loop_init _ -> true
+      | _ -> false)
+    (Sir_cfg.nodes_of_sid g sid)
+
+let dests_of_xfer = function
+  | Sir.Elem_xfer { dests; _ }
+  | Sir.Whole_xfer { dests; _ }
+  | Sir.Block_xfer { dests; _ } ->
+      Some dests
+  | Sir.Reduce_xfer -> None
+
+let covered (st : Avail.t) ?(excluding : int option) ~(key : dkey)
+    ~(need : Sir.dests) () : bool =
+  match st with
+  | Avail.Top -> true
+  | Avail.Facts fs ->
+      List.exists
+        (fun f ->
+          (match (excluding, f.src) with
+          | Some uid, F_op uid' -> uid <> uid'
+          | _ -> true)
+          && key_covers ~have:f.key ~need:key
+          && dests_covers ~have:f.dests ~need)
+        fs
+
+(* ------------------------------------------------------------------ *)
+(* Guard audit (W0608)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* The classification                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  cfg : Sir_cfg.t;
+  avail : Avail.t Flow.result;
+  live : Live.t Flow.result;
+  dead : (Ast.stmt_id * Sir.comm_op) list;  (** [W0606] class *)
+  redundant : (Ast.stmt_id * Sir.comm_op) list;  (** [W0607] class *)
+}
+
+(** Ops whose removal the fixpoints certify as observation-preserving
+    (the delete-and-diff oracle's removable class). *)
+let removable (s : summary) : Sir.comm_op list =
+  List.sort_uniq compare (List.map snd s.dead @ List.map snd s.redundant)
+
+let summarize (sir : Sir.program) : summary =
+  let cfg = Sir_cfg.build sir in
+  let avail =
+    Avail_engine.fixpoint ~cfg ~direction:Flow.Forward
+      ~boundary:(Avail.Facts (initial_facts sir))
+      ~init:Avail.Top
+      ~transfer:(avail_transfer cfg)
+  in
+  let live =
+    Live_engine.fixpoint ~cfg ~direction:Flow.Backward
+      ~boundary:(validated_arrays sir) ~init:[]
+      ~transfer:(live_transfer cfg)
+  in
+  (* W0607: a transfer whose datum the remaining deliveries already
+     make valid at every destination on all paths *)
+  let redundant = ref [] in
+  Array.iteri
+    (fun i _ ->
+      match Sir_cfg.ops_at cfg i with
+      | None -> ()
+      | Some ops ->
+          List.iter
+            (fun (op : Sir.comm_op) ->
+              match facts_of_op op with
+              | [] -> ()
+              | fs ->
+                  let st =
+                    pre_exec cfg ops ~skip_op:op.Sir.uid
+                      avail.Flow.input.(i)
+                  in
+                  if
+                    List.for_all
+                      (fun f ->
+                        covered st ~excluding:op.Sir.uid ~key:f.key
+                          ~need:f.dests ())
+                      fs
+                  then redundant := (ops.Sir.sid, op) :: !redundant)
+            ops.Sir.comms)
+    cfg.Sir_cfg.nodes;
+  (* W0606: a transfer whose payload no processor reads again *)
+  let dead = ref [] in
+  Array.iteri
+    (fun i _ ->
+      ignore
+        (live_node_backward cfg i
+           ~on_op:(fun op ~live ->
+             match op_base op with
+             | Some b when not (List.mem b live) ->
+                 let sid =
+                   match Sir_cfg.sid_of_node cfg i with
+                   | Some s -> s
+                   | None -> -1
+                 in
+                 dead := (sid, op) :: !dead
+             | _ -> ())
+           live.Flow.input.(i)))
+    cfg.Sir_cfg.nodes;
+  let by_pos (_, (a : Sir.comm_op)) (_, (b : Sir.comm_op)) =
+    compare a.Sir.pos b.Sir.pos
+  in
+  let dead = List.sort by_pos !dead in
+  (* an op already certified dead does not need a second W0607 entry;
+     keep the classes disjoint *)
+  let redundant =
+    List.sort by_pos !redundant
+    |> List.filter (fun (_, (op : Sir.comm_op)) ->
+           not
+             (List.exists
+                (fun (_, (d : Sir.comm_op)) -> d.Sir.uid = op.Sir.uid)
+                dead))
+  in
+  { cfg; avail; live; dead; redundant }
+
+let pp_key ppf = function
+  | K_scalar v -> Fmt.string ppf v
+  | K_whole a -> Fmt.pf ppf "%s(*)" a
+  | K_elem (b, subs) ->
+      Fmt.pf ppf "%s(%a)" b Fmt.(list ~sep:(any ",") Pp.pp_expr) subs
+
+let pp_fact ppf (f : fact) =
+  Fmt.pf ppf "%a@%a" pp_key f.key Sir_pp.pp_dests f.dests
+
+let pp_avail ppf = function
+  | Avail.Top -> Fmt.string ppf "<unreached>"
+  | Avail.Facts fs ->
+      Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") pp_fact) fs
+
+let pp_live ppf (l : Live.t) =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") string) l

@@ -1,0 +1,165 @@
+(** The dataflow core of the flow-sensitive IR audits, shared between
+    the [verify-flow] checker ({!Phpf_verify.Sir_flow}) and the
+    {!Sir_opt} optimizer.
+
+    Runs two fixpoints over one {!Sir_cfg} graph through the generic
+    {!Flow} engine — forward MUST availability of delivery facts and
+    backward MAY liveness of per-processor copies — and classifies the
+    transfer ops whose removal the fixpoints certify as
+    observation-preserving:
+
+    - {b dead} ([W0606]): backward liveness shows the payload is
+      overwritten or never read on any processor before the validity
+      scope ends;
+    - {b redundant} ([W0607]): forward MUST availability shows the data
+      already valid at every destination from a dominating delivery,
+      checked with the op itself excluded from the state — so every
+      classified op is {e individually} deletable.
+
+    The verifier renders these classes as warnings; the optimizer turns
+    them into deletions, re-running {!summarize} after each rewrite so
+    mutually-covering transfers are never both removed. *)
+
+open Hpf_lang
+
+(** {2 Syntactic coverage}
+
+    Predicates are pure data (their {!Ast.expr} leaves are evaluated
+    against the lockstep reference memory), so structural equality is
+    the exactness baseline and coverage adds only the [C_all] /
+    degenerate-grid widenings.  A union on the {e have} side may be
+    satisfied member-wise; a union on the {e need} side is compared
+    structurally (the empty evaluated union falls back to all
+    processors, so member-wise reasoning is unsound there). *)
+
+val coord_covers : have:Sir.coord -> need:Sir.coord -> bool
+val place_covers : have:Sir.place -> need:Sir.place -> bool
+val pred_is_all : Sir.pred -> bool
+val pred_covers : have:Sir.pred -> need:Sir.pred -> bool
+val dests_covers : have:Sir.dests -> need:Sir.dests -> bool
+
+(** {2 Delivery facts (the forward MUST domain)} *)
+
+(** The moved datum of a delivery, as a syntactic key (subscripts are
+    reference-evaluated, so structural equality means element equality
+    as long as no mentioned variable was redefined — which the kill
+    rules enforce). *)
+type dkey =
+  | K_scalar of string
+  | K_whole of string  (** every element of an array *)
+  | K_elem of string * Ast.expr list
+
+val key_base : dkey -> string
+
+(** A whole-array key covers every element of its base; element keys
+    require structural subscript equality. *)
+val key_covers : have:dkey -> need:dkey -> bool
+
+(** Provenance of a fact: the identical initial memories, a transfer op
+    (by uid), or a guarded write at a statement. *)
+type source = F_init | F_op of int | F_write of Ast.stmt_id
+
+type fact = { src : source; key : dkey; dests : Sir.dests }
+
+(** The delivery fact a transfer op contributes ([None] for the
+    pricing-only [Reduce_xfer]). *)
+val fact_of_op : Sir.comm_op -> fact option
+
+(** The facts of an op with statically enumerable block regions
+    expanded into one element fact per walked index valuation (what
+    keeps a {!Sir_opt}-merged block comparable with element keys);
+    symbolic fall-back to {!fact_of_op} otherwise. *)
+val facts_of_op : Sir.comm_op -> fact list
+
+(** {2 Constant-offset expression arithmetic} *)
+
+(** Normalize [e] into a symbolic part and a constant offset ([None] =
+    pure constant). *)
+val split_const : Ast.expr -> Ast.expr option * int
+
+(** [e + k], rebuilt so that offsetting and re-splitting round-trips
+    structurally. *)
+val add_const : Ast.expr -> int -> Ast.expr
+
+(** Constant difference [e2 - e1] when both share one symbolic part. *)
+val const_delta : Ast.expr -> Ast.expr -> int option
+
+val subst_var : string -> Ast.expr -> Ast.expr -> Ast.expr
+
+(** Base (array or scalar) whose copy a transfer op moves. *)
+val op_base : Sir.comm_op -> string option
+
+val dests_of_xfer : Sir.xfer -> Sir.dests option
+
+module Avail : sig
+  type t = Top | Facts of fact list  (** sorted and deduplicated *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t  (** MUST intersection; [Top] is identity *)
+end
+
+(** Replay the pre-execution ops of a statement instance (mirror,
+    reduction steps, communications) on an availability state;
+    [skip_op] excludes one transfer by uid. *)
+val pre_exec :
+  Sir_cfg.t -> Sir.stmt_ops -> ?skip_op:int -> Avail.t -> Avail.t
+
+(** Facts from the identical initialization of every per-processor
+    memory: each declared variable is valid everywhere until written. *)
+val initial_facts : Sir.program -> fact list
+
+(** Is [key] valid at [need] in the given state?  [excluding] ignores
+    facts contributed by the given op uid. *)
+val covered :
+  Avail.t -> ?excluding:int -> key:dkey -> need:Sir.dests -> unit -> bool
+
+(** {2 Per-processor liveness (the backward MAY domain)} *)
+
+module Live : sig
+  type t = string list
+  (** sorted base names whose per-processor copies may be read
+      downstream *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t  (** MAY union *)
+end
+
+(** Walk one node's events backward from its live-out state, announcing
+    the liveness just after each comm op to [on_op]. *)
+val live_node_backward :
+  Sir_cfg.t ->
+  int ->
+  ?on_op:(Sir.comm_op -> live:Live.t -> unit) ->
+  Live.t ->
+  Live.t
+
+(** Arrays the final validation reads (a [V_skip] array is dead at
+    exit). *)
+val validated_arrays : Sir.program -> string list
+
+(** The unique instance node of a statement (where its ops fire). *)
+val instance_node : Sir_cfg.t -> Ast.stmt_id -> int option
+
+(** {2 The classification} *)
+
+type summary = {
+  cfg : Sir_cfg.t;
+  avail : Avail.t Flow.result;
+  live : Live.t Flow.result;
+  dead : (Ast.stmt_id * Sir.comm_op) list;  (** [W0606] class *)
+  redundant : (Ast.stmt_id * Sir.comm_op) list;  (** [W0607] class *)
+}
+
+(** Ops whose removal the fixpoints certify as observation-preserving
+    (the delete-and-diff oracle's removable class); the two classes are
+    kept disjoint (dead wins). *)
+val removable : summary -> Sir.comm_op list
+
+(** Build the CFG, run both fixpoints, classify. *)
+val summarize : Sir.program -> summary
+
+(** {2 Rendering} *)
+
+val pp_fact : Format.formatter -> fact -> unit
+val pp_avail : Format.formatter -> Avail.t -> unit
+val pp_live : Format.formatter -> Live.t -> unit

@@ -241,10 +241,13 @@ let block_transfer (st : t) (m_ref : Memory.t) ~(data : Sir.xdata)
             end)
           ds
   in
+  (* A crossed index introduced by the merge pass is fresh — not a
+     source loop index — so it may be unbound in memory: save what is
+     there (if anything) and restore to exactly that. *)
   let saved =
     List.map
       (fun (l : Sir.loop_desc) ->
-        (l.Sir.index, Memory.get_scalar m_ref l.Sir.index))
+        (l.Sir.index, Hashtbl.find_opt m_ref.Memory.scalars l.Sir.index))
       crossed
   in
   let rec walk = function
@@ -262,7 +265,12 @@ let block_transfer (st : t) (m_ref : Memory.t) ~(data : Sir.xdata)
         done
   in
   walk crossed;
-  List.iter (fun (v, x) -> Memory.set_scalar m_ref v x) saved;
+  List.iter
+    (fun (v, x) ->
+      match x with
+      | Some x -> Memory.set_scalar m_ref v x
+      | None -> Hashtbl.remove m_ref.Memory.scalars v)
+    saved;
   buffers_flush st ~scalar_base ~base bufs
 
 (** Execute the lowered program in SPMD fashion.  [init] seeds the

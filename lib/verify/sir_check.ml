@@ -76,6 +76,10 @@ let check (c : Compiler.compiled) : Diag.t list =
           ~prog:c.Compiler.prog ~decisions:c.Compiler.decisions
           ~comms:c.Compiler.comms ()
       in
+      (* an optimized recording is compared against an identically
+         optimized fresh lowering: replay the recorded pass recipe, so
+         a certified deletion is not misread as a missing transfer *)
+      Phpf_ir.Sir_opt.replay recorded.Sir.opt_applied fresh;
       let out = ref [] in
       let emit d = out := d :: !out in
       (* --- transfer-op set diff ------------------------------------ *)

@@ -1,20 +1,20 @@
 (** Flow-sensitive audits of the lowered SPMD IR (the [verify-flow]
     pass).
 
-    Runs four client analyses over one {!Phpf_ir.Sir_cfg} graph through
-    the generic {!Flow} engine:
+    The dataflow core — coverage lattice, delivery facts, the two
+    fixpoints and the dead/redundant transfer classification — lives in
+    {!Phpf_ir.Sir_dataflow}, shared with the {!Phpf_ir.Sir_opt}
+    optimizer so warnings and deletions can never disagree.  This
+    module re-exports that core and adds the audits that need the full
+    compile record:
 
     - [E0612] {b stale read}: a communication requirement (re-derived
       from the decisions, restricted to those the schedule
       acknowledges) is not satisfied at its consumer by any reaching
       transfer or local write on some path — the flow-sensitive
       counterpart of the schedule-structural [E0603];
-    - [W0606] {b dead transfer}: backward liveness shows the payload is
-      overwritten or never read on any processor before the validity
-      scope ends;
-    - [W0607] {b redundant transfer}: forward MUST availability shows
-      the data already valid at every destination from a dominating
-      delivery with no intervening producer write;
+    - [W0606] {b dead transfer} and [W0607] {b redundant transfer}:
+      the {!Phpf_ir.Sir_dataflow.summary} classes rendered as findings;
     - [W0608] {b guard audit}: a materialized predicate is statically
       empty or has a union member implied by a sibling.
 
@@ -28,59 +28,13 @@ open Hpf_lang
 open Phpf_core
 module Sir = Phpf_ir.Sir
 module Sir_cfg = Phpf_ir.Sir_cfg
+module Flow = Phpf_ir.Flow
 module Comm = Hpf_comm.Comm
 
-(** {2 Syntactic coverage}
-
-    Predicates are pure data (their {!Ast.expr} leaves are evaluated
-    against the lockstep reference memory), so structural equality is
-    the exactness baseline and coverage adds only the [C_all] /
-    degenerate-grid widenings.  A union on the {e have} side may be
-    satisfied member-wise; a union on the {e need} side is compared
-    structurally (the empty evaluated union falls back to all
-    processors, so member-wise reasoning is unsound there). *)
-
-val coord_covers : have:Sir.coord -> need:Sir.coord -> bool
-val place_covers : have:Sir.place -> need:Sir.place -> bool
-val pred_is_all : Sir.pred -> bool
-val pred_covers : have:Sir.pred -> need:Sir.pred -> bool
-val dests_covers : have:Sir.dests -> need:Sir.dests -> bool
-
-(** {2 Delivery facts (the forward MUST domain)} *)
-
-(** The moved datum of a delivery, as a syntactic key (subscripts are
-    reference-evaluated, so structural equality means element equality
-    as long as no mentioned variable was redefined — which the kill
-    rules enforce). *)
-type dkey =
-  | K_scalar of string
-  | K_whole of string  (** every element of an array *)
-  | K_elem of string * Ast.expr list
-
-val key_covers : have:dkey -> need:dkey -> bool
-(** A whole-array key covers every element of its base; element keys
-    require structural subscript equality. *)
-
-(** Provenance of a fact: the identical initial memories, a transfer op
-    (by uid), or a guarded write at a statement. *)
-type source = F_init | F_op of int | F_write of Ast.stmt_id
-
-type fact = { src : source; key : dkey; dests : Sir.dests }
-
-module Avail : sig
-  type t = Top | Facts of fact list  (** sorted and deduplicated *)
-
-  val equal : t -> t -> bool
-  val join : t -> t -> t  (** MUST intersection; [Top] is identity *)
-end
-
-module Live : sig
-  type t = string list
-  (** sorted base names whose per-processor copies may be read
-      downstream *)
-
-  val equal : t -> t -> bool
-  val join : t -> t -> t  (** MAY union *)
+(** The shared dataflow core: {!coord_covers} … {!dests_covers},
+    {!dkey}, {!fact}, [Avail], [Live], {!summarize} and friends. *)
+include module type of struct
+  include Phpf_ir.Sir_dataflow
 end
 
 (** {2 Requirements and results} *)
@@ -91,6 +45,10 @@ type req = {
   need : Sir.dests;
   node : int;  (** instance node of the consumer statement *)
 }
+
+(** The [W0608] guard audit alone (statically empty or subsumed
+    predicates). *)
+val check_guards : Sir.program -> Diag.t list
 
 type analysis = {
   cfg : Sir_cfg.t;

@@ -99,8 +99,8 @@ let passes : (Decisions.options, vctx) Pass.t list =
                    Stats.set st "flow.blocks"
                      (Phpf_ir.Sir_cfg.n_nodes a.Sir_flow.cfg);
                    Stats.set st "flow.iterations"
-                     (a.Sir_flow.avail.Flow.iterations
-                     + a.Sir_flow.live.Flow.iterations);
+                     (a.Sir_flow.avail.Phpf_ir.Flow.iterations
+                     + a.Sir_flow.live.Phpf_ir.Flow.iterations);
                    Stats.set st "flow.dead" (List.length a.Sir_flow.dead);
                    Stats.set st "flow.redundant"
                      (List.length a.Sir_flow.redundant);

@@ -55,7 +55,8 @@ let required_comms (c : Compiler.compiled) : Comm.t list =
   let d = c.Compiler.decisions in
   Comm_analysis.analyze c.Compiler.prog d.Decisions.nest (Consumer.oracle d)
     ~reductions:d.Decisions.reductions
-    ~red_group:(Reduction_map.combine_group d) ()
+    ~red_group:(Reduction_map.combine_group d)
+    ~elide_unwritten:d.Decisions.options.Decisions.optimize ()
 
 type diff = {
   missing : Comm.t list;

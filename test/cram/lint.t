@@ -6,12 +6,20 @@ exits 0:
   lint: 0 error(s), 0 warning(s)
 
 fig1's unvectorized shift of y is a lint warning (W0604), not a
-soundness error, so the exit code stays 0.  The dataflow pass
-(verify-flow) also notices that the transfers of b(i) and c(i) are
-redundant: neither array is ever written, so every processor still
-holds its identical initial copy at the read (W0607):
+soundness error, so the exit code stays 0.  Under the default options
+the emitter no longer schedules the broadcasts of b(i) and c(i) at all
+(neither array is ever written, so every processor's identical initial
+copy is valid forever) and the dataflow pass has nothing to flag:
 
   $ ../../bin/phpfc.exe lint ../../examples/programs/fig1.hpfk
+  warning[W0604]: shift(+1) of y@s7 was not vectorized out of its innermost loop (level 1): one message per iteration
+  lint: 0 error(s), 1 warning(s)
+
+--no-opt reproduces phpf's verbatim schedule, which still ships those
+broadcasts — and verify-flow still proves them redundant (W0607), the
+defense-in-depth behind the emitter fix:
+
+  $ ../../bin/phpfc.exe lint ../../examples/programs/fig1.hpfk --no-opt
   warning[W0604]: shift(+1) of y@s7 was not vectorized out of its innermost loop (level 1): one message per iteration
   warning[W0607]: transfer c0 (b(i)@s4) at s4 is redundant: the data is already valid at every destination from a dominating delivery
   warning[W0607]: transfer c1 (c(i)@s4) at s4 is redundant: the data is already valid at every destination from a dominating delivery
@@ -22,9 +30,7 @@ exit code):
 
   $ ../../bin/phpfc.exe lint ../../examples/programs/fig1.hpfk --strict
   warning[W0604]: shift(+1) of y@s7 was not vectorized out of its innermost loop (level 1): one message per iteration
-  warning[W0607]: transfer c0 (b(i)@s4) at s4 is redundant: the data is already valid at every destination from a dominating delivery
-  warning[W0607]: transfer c1 (c(i)@s4) at s4 is redundant: the data is already valid at every destination from a dominating delivery
-  lint: 0 error(s), 3 warning(s)
+  lint: 0 error(s), 1 warning(s)
   [4]
 
 The verifier runs through the same pass manager as the compiler, so
@@ -92,5 +98,5 @@ Only the verifier's own pass names (and the compiler's, for compile
 --dump-after) are accepted:
 
   $ ../../bin/phpfc.exe lint ../../examples/programs/fig7.hpfk --dump-after no-such-pass
-  error[E0501]: unknown pass no-such-pass (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, recovery-plan, verify-mapping, verify-race, verify-comm, verify-sir, verify-flow)
+  error[E0501]: unknown pass no-such-pass (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, sir-opt.dte, sir-opt.rte, sir-opt.merge, sir-opt.hoist, sir-opt.combine, recovery-plan, verify-mapping, verify-race, verify-comm, verify-sir, verify-flow)
   [1]

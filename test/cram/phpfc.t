@@ -11,11 +11,9 @@ mapping decisions.
     s4   x            : aligned with d(i + 1)@s8 (valid at level 1)
     s5   y            : aligned with a(i)@s5 (valid at level 1)
     s6   z            : private (no alignment)
-  communication schedule (3):
-    shift(+1) b(i)@s4 at level 0/1 (1 x 1 elems) [vectorized]
-    shift(+1) c(i)@s4 at level 0/1 (1 x 1 elems) [vectorized]
+  communication schedule (1):
     shift(+1) y@s7 at level 1/1 (98 x 1 elems)
-  estimated communication time: 0.000239 s
+  estimated communication time: 0.000158 s
 
 Forcing producer alignment changes x onto a producer reference:
 
@@ -25,7 +23,7 @@ Forcing producer alignment changes x onto a producer reference:
 The SPMD execution matches the sequential reference:
 
   $ ../../bin/phpfc.exe validate ../../examples/programs/fig1.hpfk
-  OK: SPMD execution matches sequential reference (9 element transfers)
+  OK: SPMD execution matches sequential reference (3 element transfers)
 
 Privatized control flow needs no communication at all (paper Fig. 7):
 
@@ -109,6 +107,11 @@ counters of each pass are deterministic:
   scalar-map       scalar mapping: DetermineMapping (paper Fig. 3)
   comm-analysis    communication analysis with message vectorization
   lower-spmd       lowering to the explicit SPMD IR (guards, transfers, allocs)
+  sir-opt.dte      dead-transfer elimination (payload never read: W0606 as a deletion)
+  sir-opt.rte      redundant-transfer elimination (dominating delivery: W0607 as a deletion)
+  sir-opt.merge    fuse adjacent same-(src,dst) element transfers into one block
+  sir-opt.hoist    drop placement-prefix indices a block transfer does not depend on
+  sir-opt.combine  drop reduction combines of provably clean accumulators
   recovery-plan    compile-time crash-recovery plan over the lowered IR
 
   $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --stats | sed -n '/^sema:/,$p'
@@ -131,15 +134,45 @@ counters of each pass are deterministic:
     defs.no-align                   2
   comm-analysis:
     comms.inner-loop                1
-    comms.total                     3
-    comms.vectorized                2
+    comms.total                     1
+    comms.vectorized                0
   lower-spmd:
     sir.allocs                      4
     sir.assigns                     7
-    sir.block-xfers                 2
+    sir.block-xfers                 0
     sir.elem-xfers                  1
     sir.reduce-ops                  0
     sir.whole-xfers                 0
+  sir-opt.dte:
+    delta.block-xfers               0
+    delta.elem-xfers                0
+    delta.reduce-ops                0
+    delta.whole-xfers               0
+    rewrites                        0
+  sir-opt.rte:
+    delta.block-xfers               0
+    delta.elem-xfers                0
+    delta.reduce-ops                0
+    delta.whole-xfers               0
+    rewrites                        0
+  sir-opt.merge:
+    delta.block-xfers               0
+    delta.elem-xfers                0
+    delta.reduce-ops                0
+    delta.whole-xfers               0
+    rewrites                        0
+  sir-opt.hoist:
+    delta.block-xfers               0
+    delta.elem-xfers                0
+    delta.reduce-ops                0
+    delta.whole-xfers               0
+    rewrites                        0
+  sir-opt.combine:
+    delta.block-xfers               0
+    delta.elem-xfers                0
+    delta.reduce-ops                0
+    delta.whole-xfers               0
+    rewrites                        0
   recovery-plan:
     plan.checkpoint                 2
     plan.checkpoints-needed         1
@@ -154,7 +187,7 @@ scalar-map counters disappear and every definition is replicated:
 Unknown --dump-after names are usage errors (exit 1), not crashes:
 
   $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --dump-after nosuch
-  error[E0501]: unknown pass nosuch (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, recovery-plan)
+  error[E0501]: unknown pass nosuch (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, sir-opt.dte, sir-opt.rte, sir-opt.merge, sir-opt.hoist, sir-opt.combine, recovery-plan)
   [1]
 
 A processor-count sweep on the Jacobi stencil:
@@ -189,9 +222,11 @@ Partial privatization (paper Fig. 6) on the generated APPSP program:
 
 The lowered SPMD IR can be dumped after the lower-spmd pass: per
 statement it lists the mirror, the scheduled transfers and the compute
-guard, plus the privatized allocations and the validation plan:
+guard, plus the privatized allocations and the validation plan (pinned
+--no-opt: fig2 moves only never-written data, so the default emitter
+schedules no transfers at all):
 
-  $ ../../bin/phpfc.exe compile ../../examples/programs/fig2.hpfk --dump-after lower-spmd | sed -n '/=== after/,/=== end/p'
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig2.hpfk --no-opt --dump-after lower-spmd | sed -n '/=== after/,/=== end/p'
   === after lower-spmd ===
   spmd program fig2 on grid procs(4) (P=4, aggregated)
   allocs:
@@ -241,9 +276,10 @@ both replication and bounded replay, so their plan escalates:
     m after s2: checkpoint restore
 
 Fig. 2's subscript availability: p is consumed only by the executing
-processor while q is broadcast to all (its reference needs a gather):
+processor while q is broadcast to all (its reference needs a gather) —
+visible under the verbatim schedule:
 
-  $ ../../bin/phpfc.exe compile ../../examples/programs/fig2.hpfk --annotate | sed -n '16,25p'
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig2.hpfk --no-opt --annotate | sed -n '16,25p'
   do i = 1, n
     ! guard: owner of a(i)@s4
     p = b(i)
@@ -254,3 +290,63 @@ processor while q is broadcast to all (its reference needs a gather):
     ! guard: owner of a(i)@s4
     a(i) = h(i, p) + g(q, i)
   end do
+
+The Sir optimizer runs by default between lower-spmd and recovery-plan;
+--no-opt (or -O0) reproduces phpf's verbatim schedule — fig1's two
+read-only broadcasts return:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --no-opt | sed -n '/communication schedule/,$p'
+  communication schedule (3):
+    shift(+1) b(i)@s4 at level 0/1 (1 x 1 elems) [vectorized]
+    shift(+1) c(i)@s4 at level 0/1 (1 x 1 elems) [vectorized]
+    shift(+1) y@s7 at level 1/1 (98 x 1 elems)
+  estimated communication time: 0.000239 s
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk -O 0 | sed -n '/communication schedule/,/estimated/p' | head -1
+  communication schedule (3):
+
+On TOMCATV the redundant-transfer pass deletes the four shifted-window
+re-deliveries that earlier iterations already satisfied (the W0607
+class as deletions), and the post-optimization audit passes are clean:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/tomcatv.hpfk --stats | sed -n '/^sir-opt/p;/rewrites/p'
+  sir-opt.dte:
+    rewrites                        0
+  sir-opt.rte:
+    rewrites                        4
+  sir-opt.merge:
+    rewrites                        0
+  sir-opt.hoist:
+    rewrites                        0
+  sir-opt.combine:
+    rewrites                        0
+
+  $ ../../bin/phpfc.exe lint ../../examples/programs/tomcatv.hpfk
+  lint: 0 error(s), 0 warning(s)
+
+--opt restricts the suite to the named passes (still applied in
+canonical order); unknown names get the shared E0501 diagnostic:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/tomcatv.hpfk --opt rte --stats | sed -n '/^sir-opt/p;/rewrites/p'
+  sir-opt.rte:
+    rewrites                        4
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --opt sir-opt.nosuch
+  error[E0501]: unknown pass nosuch (registered: sir-opt.dte, sir-opt.rte, sir-opt.merge, sir-opt.hoist, sir-opt.combine)
+  [1]
+
+The optimized IR is dumpable after each pass; simulate resolves
+--dump-after through the same pass table as compile and lint:
+
+  $ ../../bin/phpfc.exe compile ../../examples/programs/fig1.hpfk --dump-after sir-opt.rte | sed -n '/=== after/p;/=== end/p'
+  === after sir-opt.rte ===
+  === end sir-opt.rte ===
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --dump-after nosuch
+  error[E0501]: unknown pass nosuch (registered: sema, induction, decisions, ctrl-priv, reduction-map, array-priv, scalar-map, comm-analysis, lower-spmd, sir-opt.dte, sir-opt.rte, sir-opt.merge, sir-opt.hoist, sir-opt.combine, recovery-plan)
+  [1]
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --dump-after sir-opt.rte | sed -n '/=== after/p;/=== end/p;$p'
+  === after sir-opt.rte ===
+  === end sir-opt.rte ===
+  P=4 time=0.0002s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 98 msgs, 98 elems; mem 304 elems/proc)

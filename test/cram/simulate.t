@@ -1,37 +1,48 @@
 The timing simulator without fault injection — the baseline the chaos
-runs are compared against:
+runs are compared against.  The default options run the Sir optimizer
+(here the emitter already skips fig1's two read-only broadcasts);
+--no-opt prices phpf's verbatim schedule:
 
   $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk
+  P=4 time=0.0002s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 98 msgs, 98 elems; mem 304 elems/proc)
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --no-opt
   P=4 time=0.0003s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 100 msgs, 100 elems; mem 304 elems/proc)
 
 Measured network traffic: with aggregation (the default), vectorized
 placements ship as Msg.Block packets — fewer packets and fewer header
 bytes for the same elements.  `--no-aggregate` forces the per-element
-wire format; the element count must not change:
+wire format; the element count must not change.  fig2 moves only
+never-written data, so these cases pin the verbatim schedule with
+--no-opt (under the default options its schedule is empty):
 
-  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --report-comm
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --no-opt --report-comm
   P=4 time=0.0079s (compute max 0.0000s, total 0.0000s; comm 0.0079s in 65 msgs, 128 elems; mem 2098 elems/proc)
   comm: 60 packets (12 blocks, 48 singles), 240 elems, 3840 bytes
 
-  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --report-comm --no-aggregate
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --no-opt --report-comm --no-aggregate
   P=4 time=0.0079s (compute max 0.0000s, total 0.0000s; comm 0.0079s in 65 msgs, 128 elems; mem 2098 elems/proc)
   comm: 240 packets (0 blocks, 240 singles), 240 elems, 9600 bytes
+
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --report-comm
+  P=4 time=0.0000s (compute max 0.0000s, total 0.0000s; comm 0.0000s in 0 msgs, 0 elems; mem 2098 elems/proc)
+  comm: 0 packets (0 blocks, 0 singles), 0 elems, 0 bytes
 
 A recoverable fault campaign: the run is injured, the supervisor
 detects and repairs the damage, validation stays clean, and the
 recovery cost is priced into the reported time:
 
   $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults all:0.1 --fault-seed 1 --report-faults
-  P=4 time=0.0276s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 100 msgs, 100 elems; mem 304 elems/proc) + recovery 0.0273s
-  fault campaign: 26 injected (drop 2, dup 2, reorder 1, stall 12, crash 9), 27 detected
-    detection: 24 timeouts, 0 checksum failures, 3 stale discards
-    recovery: 15 retransmits, 18 checkpoints, 9 restores, 12 stalls ridden out, 9 crashes
+  P=4 time=0.0268s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 98 msgs, 98 elems; mem 304 elems/proc) + recovery 0.0266s
+  fault campaign: 23 injected (dup 1, reorder 1, stall 12, crash 9), 22 detected
+    detection: 22 timeouts, 0 checksum failures, 0 stale discards
+    recovery: 13 retransmits, 18 checkpoints, 9 restores, 12 stalls ridden out, 9 crashes
     failover: 0 suspected, 0 replica refetches, 0 region replays, 9 checkpoint escalations
-    messages: 12 sent, 9 delivered; recovery time 0.027341 s
+    messages: 4 sent, 3 delivered; recovery time 0.026620 s
 
 The recovery counters flow through the driver's instrumentation channel:
 
-  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --faults drop:0.3 --fault-seed 1 --stats | grep -E 'sim\.(retries|checkpoints|faults-injected|recovery)'
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --no-opt --faults drop:0.3 --fault-seed 1 --stats | grep -E 'sim\.(retries|checkpoints|faults-injected|recovery)'
     sim.checkpoints                 0
     sim.faults-injected            22
     sim.recovery-time-us        10819
@@ -42,7 +53,7 @@ terminates with a structured diagnostic naming the fault (exit 3), not
 a wrong answer:
 
   $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --faults drop:1.0
-  error[E0703]: unrecoverable communication fault: message #0 0->1 c(25)=1.839080810546875 lost to injected drop fault after 8 retransmit attempts
+  error[E0703]: unrecoverable communication fault: message #0 0->1 y=2.6211636564477256 lost to injected drop fault after 8 retransmit attempts
   [3]
 
 A malformed fault spec is a usage error (exit 1):
@@ -71,7 +82,7 @@ fig2's recovery plan is checkpoint-free, so the default plan regime
 repairs the crash with localized failover: replica refetches and region
 replays, zero full restores, and validation stays clean:
 
-  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --faults crash@0 --report-faults
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --no-opt --faults crash@0 --report-faults
   P=4 time=0.0111s (compute max 0.0000s, total 0.0000s; comm 0.0079s in 65 msgs, 128 elems; mem 2098 elems/proc) + recovery 0.0032s
   fault campaign: 1 injected (crash 1), 1 detected
     detection: 1 timeouts, 0 checksum failures, 0 stale discards
@@ -82,7 +93,7 @@ replays, zero full restores, and validation stays clean:
 `--recovery checkpoint` forces the legacy global regime on the same
 campaign — full checkpoint restore instead of localized failover:
 
-  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --faults crash@0 --recovery checkpoint --report-faults
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --no-opt --faults crash@0 --recovery checkpoint --report-faults
   P=4 time=0.0092s (compute max 0.0000s, total 0.0000s; comm 0.0079s in 65 msgs, 128 elems; mem 2098 elems/proc) + recovery 0.0013s
   fault campaign: 1 injected (crash 1), 1 detected
     detection: 1 timeouts, 0 checksum failures, 0 stale discards
@@ -93,14 +104,20 @@ The SPMD runtime normally executes the lowered IR; `--no-lower` falls
 back to the legacy AST-walking executor.  Both modes must agree on the
 validation verdict and on the transfer counters:
 
-  $ ../../bin/phpfc.exe validate ../../examples/programs/fig2.hpfk
+  $ ../../bin/phpfc.exe validate ../../examples/programs/fig2.hpfk --no-opt
   OK: SPMD execution matches sequential reference (240 element transfers)
 
-  $ ../../bin/phpfc.exe validate ../../examples/programs/fig2.hpfk --no-lower
+  $ ../../bin/phpfc.exe validate ../../examples/programs/fig2.hpfk --no-opt --no-lower
   OK: SPMD execution matches sequential reference (240 element transfers)
+
+The optimized schedule moves nothing on fig2 and the verdict stays
+clean — the deleted transfers were provably useless:
+
+  $ ../../bin/phpfc.exe validate ../../examples/programs/fig2.hpfk
+  OK: SPMD execution matches sequential reference (0 element transfers)
 
   $ ../../bin/phpfc.exe simulate ../../examples/programs/fig1.hpfk --no-lower
-  P=4 time=0.0003s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 100 msgs, 100 elems; mem 304 elems/proc)
+  P=4 time=0.0002s (compute max 0.0000s, total 0.0001s; comm 0.0002s in 98 msgs, 98 elems; mem 304 elems/proc)
 
 A run whose statement-instance budget is too small stops with a located
 diagnostic (exit 3) naming the statement that exhausted it:
@@ -131,13 +148,13 @@ latency up and down the switch stages and a torus pays Manhattan
 distance plus bisection contention, so fig2's gather gets slower than
 the flat (full-crossbar) default as the topology deepens:
 
-  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk -p 64 --topology flat
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --no-opt -p 64 --topology flat
   P=64 time=0.1628s (compute max 0.0000s, total 0.0003s; comm 0.1628s in 65 msgs, 128 elems; mem 133 elems/proc)
 
-  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk -p 64 --topology fat-tree:4
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --no-opt -p 64 --topology fat-tree:4
   P=64 time=0.1729s (compute max 0.0000s, total 0.0003s; comm 0.1729s in 65 msgs, 128 elems; mem 133 elems/proc)
 
-  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk -p 64 --topology torus
+  $ ../../bin/phpfc.exe simulate ../../examples/programs/fig2.hpfk --no-opt -p 64 --topology torus
   P=64 time=0.1689s (compute max 0.0000s, total 0.0003s; comm 0.1689s in 65 msgs, 128 elems; mem 133 elems/proc)
 
 A malformed topology spec is rejected at option parsing (the cmdliner

@@ -12,6 +12,15 @@ open Phpf_core
 open Hpf_spmd
 open Hpf_benchmarks
 
+(* The campaigns need the verbatim schedule's traffic to inject faults
+   into: compile with the paper-faithful options (Sir optimizer off). *)
+module Compiler = struct
+  include Compiler
+
+  let compile_exn ?grid_override ?(options = Variants.selected) p =
+    compile_exn ?grid_override ~options p
+end
+
 let fail = Alcotest.fail
 let check = Alcotest.check
 

@@ -204,7 +204,12 @@ end
 (* Whole-program analysis through the core oracle                       *)
 (* ------------------------------------------------------------------ *)
 
-let compile src = Phpf_core.Compiler.compile_exn (parse src)
+(* The classification cases read initial (never-assigned) data on
+   purpose, which the default emitter now elides: compile them with the
+   paper-faithful options so the schedules under test still exist. *)
+let compile src =
+  Phpf_core.Compiler.compile_exn
+    ~options:Hpf_benchmarks.Variants.selected (parse src)
 
 let test_shift_classified () =
   let c =
@@ -374,7 +379,10 @@ end
     < cost)
 
 let test_inner_loop_comms_query () =
-  let c = Phpf_core.Compiler.compile_exn (Hpf_benchmarks.Fig_examples.fig1 ()) in
+  let c =
+    Phpf_core.Compiler.compile_exn ~options:Hpf_benchmarks.Variants.selected
+      (Hpf_benchmarks.Fig_examples.fig1 ())
+  in
   let inner = Phpf_core.Compiler.inner_loop_comms c in
   check Alcotest.int "fig1: one inner comm (y)" 1 (List.length inner);
   check Alcotest.string "y" "y"

@@ -65,6 +65,7 @@ let test_all_flags_off () =
       reduction_alignment = false;
       privatize_arrays = false;
       privatize_control = false;
+      optimize = false;
     }
   in
   let trace = trace_of ~options (fig1 ()) in

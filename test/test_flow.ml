@@ -32,8 +32,11 @@ let benchmarks =
     ("appsp1d", fun () -> Appsp.program_1d ~n:8 ~niter:1 ~p:2);
   ]
 
+(* The dataflow suite audits phpf's verbatim schedule (the optimizer
+   would delete the very transfers the oracle exercises): compile with
+   the paper-faithful options. *)
 let compiled_of name prog =
-  match Compiler.compile prog with
+  match Compiler.compile ~options:Variants.selected prog with
   | Ok c -> c
   | Error ds -> fail (Fmt.str "%s does not compile: %a" name Diag.pp_list ds)
 

@@ -1,0 +1,533 @@
+(* Soundness property suite for the Sir optimizer (lib/ir/sir_opt).
+
+   Property layer, on every benchmark under the default (optimizing)
+   options: (a) the pass pipeline is a fixpoint — running it a second
+   time rewrites nothing; (b) the post-optimization verify-flow audit
+   reports zero W0606/W0607 — the optimizer consumed exactly what the
+   analysis proves removable; (c) the delete-and-diff oracle holds on
+   the optimized program — every surviving transfer is load-bearing,
+   so deleting any one of them trips E0612; (d) a pinned crash@0
+   failover on the optimized TOMCATV stays bit-identical to the
+   fault-free shadow memories (recovery plans are computed after
+   optimization, so they never reference deleted ops).
+
+   Unit layer: crafted programs exercising merge, hoist and combine
+   individually, plus the written_in / block_free_vars hooks.  The
+   measured-traffic regression pins Msg.stats as per-run state: two
+   identical runs in one process report identical counters. *)
+
+open Hpf_lang
+open Phpf_core
+open Phpf_ir
+open Phpf_verify
+open Hpf_spmd
+open Hpf_benchmarks
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let parse src = Sema.check (Parser.parse_string src)
+
+let benchmarks =
+  [
+    ("fig1", fun () -> Fig_examples.fig1 ~n:40 ~p:4 ());
+    ("fig2", fun () -> Fig_examples.fig2 ~n:16 ~np:4 ());
+    ("fig7", fun () -> Fig_examples.fig7 ~n:24 ~p:4 ());
+    ("tomcatv", fun () -> Tomcatv.program ~n:14 ~niter:2 ~p:4);
+    ("dgefa", fun () -> Dgefa.program ~n:12 ~p:4);
+    ("appsp2d", fun () -> Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2);
+    ("appsp1d", fun () -> Appsp.program_1d ~n:8 ~niter:1 ~p:2);
+  ]
+
+(* The system under test is the default pipeline: optimizer ON. *)
+let compiled_of name prog =
+  match Compiler.compile prog with
+  | Ok c -> c
+  | Error ds -> fail (Fmt.str "%s does not compile: %a" name Diag.pp_list ds)
+
+let sir_of name (c : Compiler.compiled) =
+  match c.Compiler.sir with
+  | Some s -> s
+  | None -> fail (Fmt.str "%s carries no lowered program" name)
+
+let codes ds = List.map (fun (d : Diag.t) -> d.Diag.code) ds
+let has_code c ds = List.mem c (codes ds)
+
+(* ---------------- (a) the pipeline is a fixpoint ---------------- *)
+
+let test_pipeline_fixpoint () =
+  List.iter
+    (fun (name, prog) ->
+      let c = compiled_of name (prog ()) in
+      let sir = sir_of name c in
+      check
+        Alcotest.(list string)
+        (name ^ ": the compile ran every pass")
+        Sir_opt.pass_names sir.Sir.opt_applied;
+      List.iter
+        (fun (pass, k) ->
+          check Alcotest.int
+            (Fmt.str "%s: second %s run rewrites nothing" name pass)
+            0 k)
+        (Sir_opt.run sir))
+    benchmarks
+
+(* ------------- (b) nothing removable survives the opt ------------- *)
+
+let test_no_removable_transfers_survive () =
+  List.iter
+    (fun (name, prog) ->
+      let c = compiled_of name (prog ()) in
+      match Sir_flow.analyze c with
+      | None -> fail (name ^ ": no analysis (missing sir)")
+      | Some a ->
+          check Alcotest.int
+            (name ^ ": zero dead transfers post-opt")
+            0
+            (List.length a.Sir_flow.dead);
+          check Alcotest.int
+            (name ^ ": zero redundant transfers post-opt")
+            0
+            (List.length a.Sir_flow.redundant);
+          check Alcotest.bool
+            (name ^ ": no W0606/W0607 findings post-opt")
+            false
+            (has_code Codes.w_dead_xfer a.Sir_flow.findings
+            || has_code Codes.w_redundant_xfer a.Sir_flow.findings);
+          check Alcotest.bool
+            (name ^ ": no stale reads introduced")
+            true
+            (a.Sir_flow.stale = []))
+    benchmarks
+
+(* --------- (c) delete-and-diff oracle on the optimized Sir --------- *)
+
+let delete_op (sir : Sir.program) (uid : int) : Sir.program =
+  let stmts = Hashtbl.copy sir.Sir.stmts in
+  Hashtbl.iter
+    (fun sid (ops : Sir.stmt_ops) ->
+      if List.exists (fun (o : Sir.comm_op) -> o.Sir.uid = uid) ops.Sir.comms
+      then
+        Hashtbl.replace stmts sid
+          {
+            ops with
+            Sir.comms =
+              List.filter
+                (fun (o : Sir.comm_op) -> o.Sir.uid <> uid)
+                ops.Sir.comms;
+          })
+    sir.Sir.stmts;
+  { sir with Sir.stmts = stmts }
+
+let transfer_ops (sir : Sir.program) : (Ast.stmt_id * Sir.comm_op) list =
+  List.concat_map
+    (fun (ops : Sir.stmt_ops) ->
+      List.filter_map
+        (fun (o : Sir.comm_op) ->
+          match o.Sir.xfer with
+          | Sir.Reduce_xfer -> None
+          | _ -> Some (ops.Sir.sid, o))
+        ops.Sir.comms)
+    (Sir.all_stmt_ops sir)
+
+let with_sir (c : Compiler.compiled) sir = { c with Compiler.sir = Some sir }
+
+let test_oracle_on_optimized (name, prog) () =
+  let c = compiled_of name (prog ()) in
+  let sir = sir_of name c in
+  (match Sir_flow.analyze c with
+  | None -> fail (name ^ ": no analysis")
+  | Some a ->
+      check Alcotest.int
+        (name ^ ": the optimizer left nothing removable")
+        0
+        (List.length (Sir_flow.removable a)));
+  (* every survivor is load-bearing: deleting it must be detected *)
+  List.iter
+    (fun ((_, op) : _ * Sir.comm_op) ->
+      check Alcotest.bool
+        (Fmt.str "%s: deleting surviving c%d (uid %d) trips E0612" name
+           op.Sir.pos op.Sir.uid)
+        true
+        (has_code Codes.e_stale_read
+           (Sir_flow.check (with_sir c (delete_op sir op.Sir.uid)))))
+    (transfer_ops sir)
+
+(* -------- (d) crash@0 failover on the optimized TOMCATV -------- *)
+
+let mem_equal (a : Memory.t) (b : Memory.t) =
+  let scalars_of (m : Memory.t) =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.Memory.scalars []
+    |> List.sort compare
+  in
+  let arrays_of (m : Memory.t) =
+    Hashtbl.fold
+      (fun name _ acc ->
+        let elems = ref [] in
+        Memory.iter_elems m name (fun idx v -> elems := (idx, v) :: !elems);
+        (name, List.rev !elems) :: acc)
+      m.Memory.arrays []
+    |> List.sort compare
+  in
+  scalars_of a = scalars_of b && arrays_of a = arrays_of b
+
+let test_optimized_crash_failover () =
+  let c = compiled_of "tomcatv" (Tomcatv.program ~n:14 ~niter:2 ~p:4) in
+  let sir = sir_of "tomcatv" c in
+  check Alcotest.bool "the optimizer rewrote the schedule" true
+    (sir.Sir.opt_applied <> []);
+  let init = Init.init c.Compiler.prog in
+  let clean = Spmd_interp.run ~init ~sir c in
+  (match Spmd_interp.validate clean with
+  | [] -> ()
+  | m :: _ -> fail (Fmt.str "fault-free run diverged: %a" Spmd_interp.pp_mismatch m));
+  let faults = Fault.make ~seed:1 ~oneshots:[ (Fault.Crash, 0) ] [] in
+  let recover_config =
+    { Recover.default_config with Recover.mode = Recover.Plan }
+  in
+  let st = Spmd_interp.run ~init ~faults ~recover_config ~sir c in
+  (match Spmd_interp.validate st with
+  | [] -> ()
+  | m :: _ -> fail (Fmt.str "crash@0 diverged: %a" Spmd_interp.pp_mismatch m));
+  let r = Spmd_interp.fault_report st in
+  check Alcotest.int "exactly one crash" 1 r.Recover.crashes;
+  check Alcotest.int "no full restores" 0 r.Recover.restores;
+  check Alcotest.bool "the plan fired on the optimized schedule" true
+    (r.Recover.plan_refetch + r.Recover.plan_reexec > 0);
+  Array.iteri
+    (fun pid m ->
+      check Alcotest.bool
+        (Fmt.str "processor %d bit-identical to the fault-free run" pid)
+        true
+        (mem_equal m clean.Spmd_interp.procs.(pid)))
+    st.Spmd_interp.procs
+
+(* ------------- Msg.stats is per-run state (regression) ------------- *)
+
+(* The bench harness A/B-compares optimized and --no-opt traffic inside
+   one process: stale counters leaking between runs would corrupt the
+   comparison.  Stats live in the per-run Recover/Msg instance, so two
+   identical runs must report identical numbers. *)
+let test_msg_stats_repeatable () =
+  let c = compiled_of "fig1" (Fig_examples.fig1 ~n:40 ~p:4 ()) in
+  let sir = sir_of "fig1" c in
+  let measure () =
+    let st = Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~sir c in
+    (match Spmd_interp.validate st with
+    | [] -> ()
+    | m :: _ -> fail (Fmt.str "diverged: %a" Spmd_interp.pp_mismatch m));
+    Spmd_interp.comm_stats st
+  in
+  let a = measure () in
+  let b = measure () in
+  check Alcotest.int "packets repeat" a.Msg.packets b.Msg.packets;
+  check Alcotest.int "blocks repeat" a.Msg.blocks b.Msg.blocks;
+  check Alcotest.int "elems repeat" a.Msg.elems b.Msg.elems;
+  check Alcotest.int "bytes repeat" a.Msg.bytes b.Msg.bytes;
+  check Alcotest.bool "the run actually communicated" true (a.Msg.packets > 0)
+
+(* ---------------------- unit: merge ---------------------- *)
+
+(* Two reads of the same shifted row differing only in a constant
+   column.  Both columns are rewritten each iteration, so neither
+   shift vectorizes: the lowering pins two same-(src, dst) element
+   transfers at the statement, and merge fuses them into one block. *)
+let merge_src =
+  {|
+program m
+parameter n = 16
+real u(17,2), b(16)
+!hpf$ processors p(4)
+!hpf$ distribute b(block) onto p
+!hpf$ align u(i,*) with b(i)
+do i = 1, n
+  b(i) = u(i+1,1) + u(i+1,2)
+  u(i,1) = b(i) * 0.5
+  u(i,2) = b(i) * 2.0
+end do
+end
+|}
+
+let test_merge_fuses_adjacent_elements () =
+  let c =
+    Compiler.compile_exn ~options:Variants.selected (parse merge_src)
+  in
+  let sir = sir_of "merge" c in
+  let before = Sir.op_counts sir in
+  check Alcotest.bool "lowering produced element-transfer pairs" true
+    (before.Sir.elem_xfers >= 2);
+  let fused = Sir_opt.merge sir in
+  let after = Sir.op_counts sir in
+  check Alcotest.bool "merge fused at least one pair" true (fused >= 1);
+  check Alcotest.int "each fusion consumes two element transfers"
+    (before.Sir.elem_xfers - (2 * fused))
+    after.Sir.elem_xfers;
+  check Alcotest.int "each fusion produces one block transfer"
+    (before.Sir.block_xfers + fused)
+    after.Sir.block_xfers;
+  check Alcotest.int "merge is locally idempotent" 0 (Sir_opt.merge sir);
+  (* the fused schedule still executes: the block walks its synthetic
+     %m index without clobbering program state *)
+  List.iter
+    (fun aggregate ->
+      let st =
+        Spmd_interp.run
+          ~init:(Init.init c.Compiler.prog)
+          ~aggregate ~sir c
+      in
+      check Alcotest.int
+        (Fmt.str "fused schedule validates clean (aggregate=%b)" aggregate)
+        0
+        (List.length (Spmd_interp.validate st)))
+    [ true; false ]
+
+(* ---------------------- unit: hoist ---------------------- *)
+
+(* The vectorized shift pinned inside an outer iteration loop.  When
+   the outer body rewrites the shifted array the prefix index is
+   load-bearing and hoist must keep it; when a hand-planted prefix
+   index controls nothing the block depends on, hoist drops it. *)
+let shift_src rewrite =
+  Fmt.str
+    {|
+program h
+parameter n = 32
+parameter niter = 5
+real a(32), b(32), c(32)
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ align b(i) with a(i)
+!hpf$ align c(i) with a(i)
+do it = 1, niter
+  do i = 2, n
+    b(i) = a(i - 1)
+  end do
+  do i = 1, n
+    %s = b(i) * 0.5
+  end do
+end do
+end
+|}
+    (if rewrite then "a(i)" else "c(i)")
+
+let find_block (sir : Sir.program) =
+  List.find_map
+    (fun (ops : Sir.stmt_ops) ->
+      List.find_map
+        (fun (op : Sir.comm_op) ->
+          match op.Sir.xfer with
+          | Sir.Block_xfer { data; dests; crossed; prefix_vars } ->
+              Some (ops.Sir.sid, op, data, dests, crossed, prefix_vars)
+          | _ -> None)
+        ops.Sir.comms)
+    (Sir.all_stmt_ops sir)
+
+let replace_comm (sir : Sir.program) sid uid (op' : Sir.comm_op) =
+  match Hashtbl.find_opt sir.Sir.stmts sid with
+  | None -> fail (Fmt.str "no stmt_ops for s%d" sid)
+  | Some ops ->
+      Hashtbl.replace sir.Sir.stmts sid
+        {
+          ops with
+          Sir.comms =
+            List.map
+              (fun (o : Sir.comm_op) -> if o.Sir.uid = uid then op' else o)
+              ops.Sir.comms;
+        }
+
+let test_hoist_keeps_loadbearing_prefix () =
+  let c =
+    Compiler.compile_exn ~options:Variants.selected (parse (shift_src true))
+  in
+  let sir = sir_of "hoist" c in
+  match find_block sir with
+  | None -> fail "no block transfer in the vectorized shift"
+  | Some (_, _, _, _, _, prefix_vars) ->
+      check Alcotest.bool "the shift is pinned under the outer loop" true
+        (List.mem "it" prefix_vars);
+      check Alcotest.int
+        "hoist keeps the prefix of a rewritten base" 0 (Sir_opt.hoist sir)
+
+let test_hoist_drops_redundant_prefix () =
+  let c =
+    Compiler.compile_exn ~options:Variants.selected (parse (shift_src false))
+  in
+  let sir = sir_of "hoist" c in
+  match find_block sir with
+  | None -> fail "no block transfer in the vectorized shift"
+  | Some (sid, op, data, dests, crossed, prefix_vars) ->
+      (* a is never rewritten, so the emitter already hoisted the shift
+         out of the it loop; hand-pin it back and let hoist prove the
+         pin useless *)
+      check Alcotest.bool "the emitter hoisted the shift fully" false
+        (List.mem "it" prefix_vars);
+      replace_comm sir sid op.Sir.uid
+        {
+          op with
+          Sir.xfer =
+            Sir.Block_xfer
+              { data; dests; crossed; prefix_vars = "it" :: prefix_vars };
+        };
+      check Alcotest.int "hoist drops the planted prefix index" 1
+        (Sir_opt.hoist sir);
+      let st =
+        Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~sir c
+      in
+      check Alcotest.int "the hoisted schedule validates clean" 0
+        (List.length (Spmd_interp.validate st))
+
+(* ---------------------- unit: combine ---------------------- *)
+
+(* Duplicate a reduction's combine step (paper Figure 5, the sum
+   reduction): the copy runs against an accumulator the original just
+   combined (provably clean), so the pass must drop exactly the copy —
+   and keep the reduction's wire transfer, which the surviving combine
+   still needs. *)
+let test_combine_drops_clean_duplicate () =
+  let c =
+    Compiler.compile_exn ~options:Variants.selected
+      (Fig_examples.fig5 ~n:16 ~p1:2 ~p2:2 ())
+  in
+  let sir = sir_of "combine" c in
+  let target =
+    List.find_map
+      (fun (ops : Sir.stmt_ops) ->
+        if
+          List.exists
+            (function Sir.R_combine _ -> true | Sir.R_mark _ -> false)
+            ops.Sir.red_steps
+        then Some ops
+        else None)
+      (Sir.all_stmt_ops sir)
+  in
+  match target with
+  | None -> fail "fig5 lowered no combine step"
+  | Some ops ->
+      let orig_steps = ops.Sir.red_steps in
+      let orig_reduce_ops = (Sir.op_counts sir).Sir.reduce_ops in
+      check Alcotest.bool "the program ships its reduction" true
+        (orig_reduce_ops > 0);
+      check Alcotest.int "the natural schedule has no clean combines" 0
+        (Sir_opt.combine sir);
+      let combines =
+        List.filter
+          (function Sir.R_combine _ -> true | Sir.R_mark _ -> false)
+          orig_steps
+      in
+      Hashtbl.replace sir.Sir.stmts ops.Sir.sid
+        { ops with Sir.red_steps = orig_steps @ combines };
+      check Alcotest.int "combine drops exactly the clean duplicates"
+        (List.length combines)
+        (Sir_opt.combine sir);
+      (match Hashtbl.find_opt sir.Sir.stmts ops.Sir.sid with
+      | None -> fail "statement vanished"
+      | Some ops' ->
+          check Alcotest.int "the original combine sequence survives"
+            (List.length orig_steps)
+            (List.length ops'.Sir.red_steps));
+      check Alcotest.int "the reduction transfer survives" orig_reduce_ops
+        (Sir.op_counts sir).Sir.reduce_ops;
+      let st =
+        Spmd_interp.run ~init:(Init.init c.Compiler.prog) ~sir c
+      in
+      check Alcotest.int "the deduplicated schedule validates clean" 0
+        (List.length (Spmd_interp.validate st))
+
+(* ---------------------- unit: the hooks ---------------------- *)
+
+let test_written_in () =
+  let prog =
+    parse
+      {|
+program w
+parameter n = 4
+real a(4), b(4)
+real x
+do i = 1, n
+  if (x > 0.0) then
+    a(i) = x
+  end if
+  b(i) = x
+end do
+x = 1.0
+end
+|}
+  in
+  let w = List.sort_uniq compare (Sir_opt.written_in prog.Ast.body) in
+  List.iter
+    (fun v ->
+      check Alcotest.bool (v ^ " is written") true (List.mem v w))
+    [ "a"; "b"; "i"; "x" ];
+  check Alcotest.bool "n is not written" false (List.mem "n" w)
+
+let test_block_free_vars () =
+  let owner =
+    [|
+      Sir.C_affine
+        {
+          fmt = Hpf_mapping.Dist.Block 8;
+          nprocs = 4;
+          stride = 1;
+          offset = 0;
+          dim_lo = 1;
+          sub = Ast.Var "j";
+        };
+    |]
+  in
+  let data =
+    Sir.X_elem { base = "a"; subs = [ Ast.Var "%m1"; Ast.Var "j" ]; owner }
+  in
+  let crossed =
+    [
+      {
+        Sir.index = "%m1";
+        lo = Ast.Var "k";
+        hi = Ast.Int 8;
+        step = Ast.Int 1;
+      };
+    ]
+  in
+  let free = Sir_opt.block_free_vars ~data ~dests:Sir.D_all ~crossed in
+  check Alcotest.bool "crossed index is bound, not free" false
+    (List.mem "%m1" free);
+  check Alcotest.bool "subscript/owner variable is free" true
+    (List.mem "j" free);
+  check Alcotest.bool "crossed bound variable is free" true
+    (List.mem "k" free)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "properties",
+        [
+          Alcotest.test_case "pipeline twice is a fixpoint" `Quick
+            test_pipeline_fixpoint;
+          Alcotest.test_case "nothing removable survives" `Quick
+            test_no_removable_transfers_survive;
+          Alcotest.test_case "optimized crash@0 failover bit-identical"
+            `Quick test_optimized_crash_failover;
+          Alcotest.test_case "Msg.stats repeats across runs" `Quick
+            test_msg_stats_repeatable;
+        ] );
+      ( "oracle",
+        List.map
+          (fun (name, prog) ->
+            Alcotest.test_case ("optimized delete-and-diff " ^ name) `Quick
+              (test_oracle_on_optimized (name, prog)))
+          benchmarks );
+      ( "passes",
+        [
+          Alcotest.test_case "merge fuses adjacent elements" `Quick
+            test_merge_fuses_adjacent_elements;
+          Alcotest.test_case "hoist keeps load-bearing prefixes" `Quick
+            test_hoist_keeps_loadbearing_prefix;
+          Alcotest.test_case "hoist drops redundant prefixes" `Quick
+            test_hoist_drops_redundant_prefix;
+          Alcotest.test_case "combine drops clean duplicates" `Quick
+            test_combine_drops_clean_duplicate;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "written_in" `Quick test_written_in;
+          Alcotest.test_case "block_free_vars" `Quick test_block_free_vars;
+        ] );
+    ]

@@ -10,7 +10,10 @@ open Hpf_benchmarks
 let check = Alcotest.check
 let fail = Alcotest.fail
 
-let compile ?options prog = Compiler.compile_exn ?options prog
+(* Paper-faithful by default: the figures assert phpf's own schedule,
+   so the Sir optimizer stays off ({!Variants.selected}). *)
+let compile ?(options = Variants.selected) prog =
+  Compiler.compile_exn ~options prog
 
 let scalar_mapping (c : Compiler.compiled) var =
   (* the first assignment to [var] inside a loop *)

@@ -7,6 +7,16 @@ open Hpf_lang
 open Phpf_core
 open Hpf_spmd
 
+(* The measured quantities under test are phpf's verbatim schedule:
+   compile with the paper-faithful options (Sir optimizer off). *)
+module Compiler = struct
+  include Compiler
+
+  let compile_exn ?grid_override
+      ?(options = Hpf_benchmarks.Variants.selected) p =
+    compile_exn ?grid_override ~options p
+end
+
 let check = Alcotest.check
 
 let parse src = Sema.check (Parser.parse_string src)

@@ -18,6 +18,15 @@ open Phpf_verify
 open Hpf_spmd
 open Hpf_benchmarks
 
+(* These suites pin down phpf's verbatim lowering: compile with the
+   paper-faithful options (Sir optimizer off) unless a case opts in. *)
+module Compiler = struct
+  include Compiler
+
+  let compile_exn ?grid_override ?(options = Variants.selected) p =
+    compile_exn ?grid_override ~options p
+end
+
 let check = Alcotest.check
 let fail = Alcotest.fail
 

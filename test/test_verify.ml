@@ -17,6 +17,16 @@ open Phpf_verify
 open Hpf_spmd
 open Hpf_benchmarks
 
+(* The corruption and differential seeds assume phpf's verbatim
+   schedule: compile with the paper-faithful options (Sir optimizer
+   off) unless a case opts in. *)
+module Compiler = struct
+  include Compiler
+
+  let compile_exn ?grid_override ?(options = Variants.selected) p =
+    compile_exn ?grid_override ~options p
+end
+
 let check = Alcotest.check
 let fail = Alcotest.fail
 let parse src = Sema.check (Parser.parse_string src)
