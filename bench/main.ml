@@ -181,14 +181,7 @@ let sweep_point (name : string) (mk : p:int -> Hpf_lang.Ast.program)
         Fmt.epr "bench %s (P=%d): %a@." name p Hpf_lang.Diag.pp_list ds;
         exit 1
   in
-  let lower_ms =
-    List.fold_left
-      (fun acc (e : Phpf_driver.Pipeline.entry) ->
-        if e.Phpf_driver.Pipeline.pass = "lower-spmd" then
-          acc +. (1000.0 *. e.Phpf_driver.Pipeline.time_s)
-        else acc)
-      0.0 trace.Phpf_driver.Pipeline.entries
-  in
+  let lower_ms = Phpf_driver.Pipeline.pass_time_ms trace "lower-spmd" in
   let ir_ops =
     match c.Compiler.sir with
     | Some sir -> Phpf_ir.Sir.op_counts sir
@@ -328,6 +321,58 @@ let recovery_bench () : recovery_bench =
     analytic_wall_ms;
   }
 
+(* The serve bench: replay >= 1000 generated requests (programs x
+   option sets x actions) through the phpfc-serve engine on 1, 2 and 8
+   domains — fresh engine and cache per leg.  The result digests of all
+   legs must agree (the determinism gate: a mismatch is always fatal);
+   the throughput ratio is reported honestly, and the >= 2x scaling
+   expectation is enforced only where the host can physically deliver
+   it (recommended_domain_count >= 2) and --check-serve asks for it. *)
+module Srv = Phpf_serve.Serve
+
+type serve_bench = {
+  serve_requests : int;
+  distinct_points : int;
+  legs : (int * Srv.replay_summary) list;
+  deterministic : bool;
+  ratio_8_vs_1 : float;
+  recommended_domains : int;
+}
+
+let serve_bench ~(requests : int) : serve_bench =
+  let programs =
+    List.map
+      (fun (name, mk) -> (name, Hpf_lang.Pp.program_to_string (mk ~p:4)))
+      json_benchmarks
+  in
+  let reqs = Srv.workload ~programs ~n:requests in
+  let distinct_points =
+    List.sort_uniq compare (List.map Phpf_serve.Engine.cache_key reqs)
+    |> List.length
+  in
+  let legs = List.map (fun d -> (d, Srv.replay ~domains:d reqs)) [ 1; 2; 8 ] in
+  List.iter
+    (fun ((d, s) : int * Srv.replay_summary) ->
+      if s.Srv.errors > 0 then begin
+        Fmt.epr "bench serve: %d error response(s) at %d domain(s)@."
+          s.Srv.errors d;
+        exit 1
+      end)
+    legs;
+  let digests =
+    List.sort_uniq compare (List.map (fun (_, s) -> s.Srv.digest) legs)
+  in
+  let throughput d = (List.assoc d legs).Srv.throughput_rps in
+  {
+    serve_requests = requests;
+    distinct_points;
+    legs;
+    deterministic = List.length digests = 1;
+    ratio_8_vs_1 =
+      (if throughput 1 > 0.0 then throughput 8 /. throughput 1 else 0.0);
+    recommended_domains = Domain.recommended_domain_count ();
+  }
+
 let run_json args =
   let open Hpf_spmd in
   let path = out_of_args ~default:"BENCH_phpf.json" args in
@@ -348,10 +393,29 @@ let run_json args =
       selected
   in
   let recov = recovery_bench () in
+  (* --no-serve skips the replay legs (the wall-clock-budgeted `scale`
+     CI job); everything else runs them and enforces determinism. *)
+  let srv =
+    if List.mem "--no-serve" args then None
+    else begin
+      let s = serve_bench ~requests:1000 in
+      if not s.deterministic then begin
+        Fmt.epr
+          "bench serve: NONDETERMINISM — replay digests differ across \
+           domain counts@.";
+        List.iter
+          (fun (d, (l : Srv.replay_summary)) ->
+            Fmt.epr "bench serve: domains=%d digest=%s@." d l.Srv.digest)
+          s.legs;
+        exit 1
+      end;
+      Some s
+    end
+  in
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
-  pf "  \"schema\": \"phpf-bench/5\",\n";
+  pf "  \"schema\": \"phpf-bench/6\",\n";
   pf "  \"procs\": [%s],\n"
     (String.concat ", " (List.map string_of_int procs));
   pf "  \"spmd_threshold\": %d,\n" spmd_threshold;
@@ -470,7 +534,34 @@ let run_json args =
   pf "      \"simulated_time\": %.6f,\n" recov.simulated_time;
   pf "      \"wall_ms\": %.2f\n" recov.analytic_wall_ms;
   pf "    }\n";
-  pf "  }\n";
+  pf "  },\n";
+  (match srv with
+  | None -> pf "  \"serve\": null\n"
+  | Some srv ->
+      pf "  \"serve\": {\n";
+      pf "    \"requests\": %d,\n" srv.serve_requests;
+      pf "    \"distinct_points\": %d,\n" srv.distinct_points;
+      pf "    \"recommended_domains\": %d,\n" srv.recommended_domains;
+      pf "    \"deterministic\": %b,\n" srv.deterministic;
+      pf "    \"digest\": %S,\n" (snd (List.hd srv.legs)).Srv.digest;
+      pf "    \"throughput_ratio_8_vs_1\": %.3f,\n" srv.ratio_8_vs_1;
+      pf "    \"legs\": [\n";
+      List.iteri
+        (fun i (d, (s : Srv.replay_summary)) ->
+          let c = s.Srv.cache in
+          pf
+            "      {\"domains\": %d, \"ok\": %d, \"errors\": %d, \
+             \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f, \
+             \"wall_s\": %.3f, \"throughput_rps\": %.1f, \"cache_hits\": \
+             %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f, \
+             \"computed\": %d}%s\n"
+            d s.Srv.ok s.Srv.errors s.Srv.p50_ms s.Srv.p99_ms s.Srv.mean_ms
+            s.Srv.wall_s s.Srv.throughput_rps c.Phpf_driver.Memo.hits
+            c.Phpf_driver.Memo.misses s.Srv.cache_hit_rate s.Srv.computed
+            (if i = List.length srv.legs - 1 then "" else ","))
+        srv.legs;
+      pf "    ]\n";
+      pf "  }\n");
   pf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -515,7 +606,29 @@ let run_json args =
     if List.mem "--check-opt" args then exit 1
   end
   else if List.mem "--check-opt" args then
-    Fmt.pr "check-opt: optimized traffic <= --no-opt on every point@."
+    Fmt.pr "check-opt: optimized traffic <= --no-opt on every point@.";
+  (* the serve gate: determinism is already fatal above; the >= 2x
+     domain-scaling expectation only binds where the host has cores to
+     scale onto — a 1-core container reports the honest ratio without
+     failing. *)
+  match (srv, List.mem "--check-serve" args) with
+  | None, true ->
+      Fmt.epr "bench: --check-serve is incompatible with --no-serve@.";
+      exit 2
+  | Some srv, true ->
+      if srv.recommended_domains >= 2 && srv.ratio_8_vs_1 < 2.0 then begin
+        Fmt.epr
+          "bench serve: throughput ratio %.2f < 2.0 at 8 vs 1 domains on a \
+           host with %d recommended domains@."
+          srv.ratio_8_vs_1 srv.recommended_domains;
+        exit 1
+      end
+      else
+        Fmt.pr
+          "check-serve: deterministic across 1/2/8 domains, throughput \
+           ratio %.2f (host recommends %d domains)@."
+          srv.ratio_8_vs_1 srv.recommended_domains
+  | _, false -> ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -388,11 +388,11 @@ let dump_after_hook (which : string option) (name : string)
     | Some d ->
         Fmt.pr "scalar mappings:@.";
         Report.pp_scalar_decisions Fmt.stdout d;
-        if Hashtbl.length d.Decisions.arrays > 0 then begin
+        if Decisions.array_count d > 0 then begin
           Fmt.pr "array privatization:@.";
           Report.pp_array_decisions Fmt.stdout d
         end;
-        if Hashtbl.length d.Decisions.ctrl > 0 then begin
+        if Decisions.ctrl_count d > 0 then begin
           Fmt.pr "control flow:@.";
           Report.pp_ctrl_decisions Fmt.stdout d
         end
@@ -803,6 +803,152 @@ let sweep_cmd =
       const run $ file_arg $ procs_list $ opt_flags $ topology_arg
       $ verbose_arg)
 
+let serve_cmd =
+  let run socket batch replay_dir requests domains timing verbose =
+    setup_logs verbose;
+    let domains =
+      match domains with
+      | Some d when d >= 1 -> d
+      | Some _ ->
+          render_diags
+            [ Diag.error ~code:"E0901" "--domains must be at least 1" ];
+          exit exit_usage
+      | None -> Domain.recommended_domain_count ()
+    in
+    guarded @@ fun () ->
+    match (batch, replay_dir, socket) with
+    | Some batch_file, None, None ->
+        (* one-shot driver: requests from a file or stdin, responses in
+           input order on stdout, summary on stderr *)
+        let lines =
+          if batch_file = "-" then Phpf_serve.Serve.read_lines stdin
+          else begin
+            let ic = open_in batch_file in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> Phpf_serve.Serve.read_lines ic)
+          end
+        in
+        let r = Phpf_serve.Serve.run_batch ~timing ~domains lines in
+        List.iter print_endline r.Phpf_serve.Serve.responses;
+        Fmt.epr "serve: %d request(s), %d ok, %d failed, %d malformed@."
+          r.Phpf_serve.Serve.requests r.Phpf_serve.Serve.succeeded
+          r.Phpf_serve.Serve.failed r.Phpf_serve.Serve.rejected;
+        r.Phpf_serve.Serve.exit_code
+    | None, Some dir, None ->
+        (* replay harness: deterministic generated workload over every
+           .hpfk program in the directory *)
+        let programs =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".hpfk")
+          |> List.sort compare
+          |> List.map (fun f ->
+                 let path = Filename.concat dir f in
+                 let ic = open_in_bin path in
+                 let n = in_channel_length ic in
+                 let src = really_input_string ic n in
+                 close_in ic;
+                 (Filename.remove_extension f, src))
+        in
+        if programs = [] then begin
+          render_diags
+            [
+              Diag.errorf ~code:"E0901" "no .hpfk programs under %s" dir;
+            ];
+          exit_usage
+        end
+        else begin
+          let reqs = Phpf_serve.Serve.workload ~programs ~n:requests in
+          let s = Phpf_serve.Serve.replay ~domains reqs in
+          Fmt.pr "%s@."
+            (Phpf_serve.Jsonx.to_string
+               (Phpf_serve.Serve.summary_to_json s));
+          if s.Phpf_serve.Serve.errors > 0 then exit_compile_error
+          else exit_ok
+        end
+    | None, None, Some socket ->
+        Fmt.epr "serve: listening on %s with %d domain(s)@." socket domains;
+        Phpf_serve.Serve.daemon ~socket ~domains ();
+        exit_ok
+    | _ ->
+        render_diags
+          [
+            Diag.error ~code:"E0901"
+              "serve needs exactly one of --batch FILE, --replay DIR or \
+               --socket PATH";
+          ];
+        exit_usage
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve forever on a Unix-domain socket at $(docv): one \
+             request per line, responses streamed back in completion \
+             order with timing/cache metadata.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:
+            "One-shot driver: read line-delimited requests from $(docv) \
+             ($(b,-) = stdin), print one response per line in input \
+             order, then exit.  Responses carry only deterministic \
+             fields, so the output is bit-identical for any \
+             $(b,--domains) value.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Replay a generated workload over every .hpfk program under \
+             $(docv) (programs × option sets × actions, round-robin) \
+             and print a JSON summary: latency percentiles, cache \
+             counters, throughput and the determinism digest.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Workload size for $(b,--replay) (default 1000).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker-domain count (default: the runtime's recommended \
+             domain count).")
+  in
+  let timing_arg =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Add per-response $(b,cached)/$(b,ms) metadata to \
+             $(b,--batch) output (makes it non-deterministic).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Compile service on a pool of OCaml 5 domains: accept \
+          programs as line-delimited JSON requests (compile, lint or \
+          simulate), evaluate them concurrently behind a \
+          content-addressed result cache, and stream structured JSON \
+          responses back.  The purity contract of the compiler core \
+          (docs/PIPELINE.md) is what makes concurrent requests safe; \
+          responses are bit-identical whatever the domain count.")
+    Term.(
+      const run $ socket_arg $ batch_arg $ replay_arg $ requests_arg
+      $ domains_arg $ timing_arg $ verbose_arg)
+
 let print_cmd =
   let run file =
     guarded @@ fun () ->
@@ -835,7 +981,7 @@ let () =
       (Cmd.group info
          [
            compile_cmd; lint_cmd; simulate_cmd; validate_cmd; sweep_cmd;
-           print_cmd;
+           serve_cmd; print_cmd;
          ])
   in
   exit (if code = Cmd.Exit.cli_error then exit_usage else code)

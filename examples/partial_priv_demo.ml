@@ -44,11 +44,11 @@ let () =
   Fmt.pr "  => full privatization invalid, partial privatization valid@.@.";
 
   Fmt.pr "decision taken by the compiler:@.";
-  Hashtbl.iter
-    (fun (a, loop_sid) m ->
+  List.iter
+    (fun ((a, loop_sid), m) ->
       Fmt.pr "  %s w.r.t. loop s%d: %a@." a loop_sid
         Decisions.pp_array_mapping m)
-    d.Decisions.arrays;
+    (Decisions.array_mappings d);
   Fmt.pr "@.";
 
   (* compare against disabling partial privatization *)

@@ -60,6 +60,30 @@ let pp ppf (c : t) =
     c.data c.placement_level c.stmt_level c.instances c.elems_per_instance
     (if vectorized c then " [vectorized]" else "")
 
+(* ------------------------------------------------------------------ *)
+(* Canonical signatures                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical one-line rendering of a descriptor: every field, fixed
+    field order, locale-independent formatting.  Two descriptors render
+    equal iff they are structurally equal, so the signature is safe to
+    hash and to compare across processes. *)
+let signature (c : t) : string =
+  Fmt.str "%a|%a|sl=%d|pl=%d|e=%d|i=%d|g=%s|agg=%s|sc=%d|bf=%h" pp_kind
+    c.kind Aref.pp c.data c.stmt_level c.placement_level
+    c.elems_per_instance c.instances
+    (match c.group with None -> "-" | Some g -> string_of_int g)
+    (String.concat "," c.agg_vars)
+    c.scale c.boundary_fraction
+
+(** Content digest of a whole schedule, order-sensitive (schedule order
+    is part of the compiler's deterministic output).  Equal digests ⇔
+    structurally equal schedules; used by the serve determinism checks
+    and the bench replay harness. *)
+let schedule_digest (cs : t list) : string =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" (List.map signature cs)))
+
 (** Estimated cost of one communication descriptor under a machine
     model. *)
 let cost (m : Cost_model.t) ~(nprocs : int) (c : t) : float =

@@ -45,6 +45,16 @@ val for_ref : t list -> Aref.t -> t list
 val total_elems : t -> int
 val pp : Format.formatter -> t -> unit
 
+(** Canonical one-line rendering: every field, fixed order,
+    locale-independent ([%h] for floats).  Equal signatures iff
+    structurally equal descriptors. *)
+val signature : t -> string
+
+(** Order-sensitive content digest (MD5 hex) of a schedule — equal
+    digests iff structurally equal schedules.  The serve determinism
+    checks and the bench replay harness compare these across runs. *)
+val schedule_digest : t list -> string
+
 (** Estimated cost of one descriptor. *)
 val cost : Cost_model.t -> nprocs:int -> t -> float
 

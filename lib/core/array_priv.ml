@@ -131,7 +131,7 @@ let run (d : Decisions.t) : unit =
       List.iter
         (fun (a, _source) ->
           let key = (a, li.Nest.loop_sid) in
-          if not (Hashtbl.mem d.Decisions.arrays key) then begin
+          if not (Decisions.mem_array_mapping d key) then begin
             let own_layout = Layout.layout_of d.Decisions.env a in
             match select_target d li a with
             | None ->
@@ -139,7 +139,7 @@ let run (d : Decisions.t) : unit =
                   Log.debug (fun f ->
                       f "%s @ loop s%d: privatized without alignment" a
                         li.Nest.loop_sid);
-                  Hashtbl.replace d.Decisions.arrays key
+                  Decisions.set_array_mapping d key
                     (Decisions.Arr_priv { target = None })
                 end
             | Some target ->
@@ -152,7 +152,7 @@ let run (d : Decisions.t) : unit =
                   Log.debug (fun f ->
                       f "%s @ loop s%d: fully privatized, aligned with %a"
                         a li.Nest.loop_sid Aref.pp target);
-                  Hashtbl.replace d.Decisions.arrays key
+                  Decisions.set_array_mapping d key
                     (Decisions.Arr_priv { target = Some target })
                 end
                 else if
@@ -170,12 +170,12 @@ let run (d : Decisions.t) : unit =
                           li.Nest.loop_sid
                           Fmt.(list ~sep:(any ", ") int)
                           priv_dims);
-                    Hashtbl.replace d.Decisions.arrays key
+                    Decisions.set_array_mapping d key
                       (Decisions.Arr_partial_priv
                          { target; priv_grid_dims = priv_dims })
                   end
                   else if priv_dims = all_dims && priv_dims <> [] then
-                    Hashtbl.replace d.Decisions.arrays key
+                    Decisions.set_array_mapping d key
                       (Decisions.Arr_priv { target = Some target })
                 end
           end)

@@ -37,15 +37,19 @@ module Pass = Phpf_driver.Pass
 module Pipeline = Phpf_driver.Pipeline
 module Stats = Phpf_driver.Stats
 
-(** Mutable state threaded through the passes.  (Declared before
-    {!compiled} so that unannotated [c.Compiler.prog]-style accesses in
-    client code resolve to the {!compiled} record's fields.) *)
+(** Immutable accumulator threaded through the passes: each pass
+    receives the context its predecessor returned and produces a new
+    record ([{ ctx with ... }]), so a compile in flight owns every value
+    it touches and many compiles can run concurrently on separate
+    domains.  (Declared before {!compiled} so that unannotated
+    [c.Compiler.prog]-style accesses in client code resolve to the
+    {!compiled} record's fields.) *)
 type context = {
-  mutable prog : Ast.program;
-  mutable ivs : Induction.iv list;
-  mutable decisions : Decisions.t option;  (** set by the decisions pass *)
-  mutable comms : Comm.t list;
-  mutable sir : Phpf_ir.Sir.program option;  (** set by lower-spmd *)
+  prog : Ast.program;
+  ivs : Induction.iv list;
+  decisions : Decisions.t option;  (** set by the decisions pass *)
+  comms : Comm.t list;
+  sir : Phpf_ir.Sir.program option;  (** set by lower-spmd *)
   grid_override : int list option;
   options : Decisions.options;
 }
@@ -75,14 +79,12 @@ let count_stmts (p : Ast.program) =
   !n
 
 let count_scalar (d : Decisions.t) pred =
-  Hashtbl.fold
-    (fun _ m acc -> if pred m then acc + 1 else acc)
-    d.Decisions.scalar 0
+  List.length
+    (List.filter (fun (_, m) -> pred m) (Decisions.scalar_mappings d))
 
 let count_arrays (d : Decisions.t) pred =
-  Hashtbl.fold
-    (fun _ m acc -> if pred m then acc + 1 else acc)
-    d.Decisions.arrays 0
+  List.length
+    (List.filter (fun (_, m) -> pred m) (Decisions.array_mappings d))
 
 (* ------------------------------------------------------------------ *)
 (* The registered pass list                                            *)
@@ -92,17 +94,17 @@ let passes : (Decisions.options, context) Pass.t list =
   [
     Pass.make "sema" ~descr:"semantic checks and statement renumbering"
       (fun (ctx : context) st ->
-        (match Sema.check_result ctx.prog with
-        | Ok p -> ctx.prog <- p
-        | Error ds -> raise (Diag.Fatal ds));
-        Stats.set st "program.stmts" (count_stmts ctx.prog));
+        match Sema.check_result ctx.prog with
+        | Error ds -> raise (Diag.Fatal ds)
+        | Ok p ->
+            Stats.set st "program.stmts" (count_stmts p);
+            { ctx with prog = p });
     Pass.make "induction"
       ~descr:"induction-variable recognition and closed-form rewriting"
       (fun (ctx : context) st ->
         let prog, ivs = Induction.run ctx.prog in
-        ctx.prog <- prog;
-        ctx.ivs <- ivs;
-        Stats.set st "ivs.rewritten" (List.length ivs));
+        Stats.set st "ivs.rewritten" (List.length ivs);
+        { ctx with prog; ivs });
     Pass.make "decisions"
       ~descr:"SSA, privatizability, layouts and reduction records"
       (fun (ctx : context) st ->
@@ -110,11 +112,11 @@ let passes : (Decisions.options, context) Pass.t list =
           Decisions.create ?grid_override:ctx.grid_override
             ~options:ctx.options ctx.prog
         in
-        ctx.decisions <- Some d;
         Stats.set st "grid.procs"
           (Hpf_mapping.Grid.size d.Decisions.env.Hpf_mapping.Layout.grid);
         Stats.set st "reductions.recognized"
-          (List.length d.Decisions.reductions));
+          (List.length d.Decisions.reductions);
+        { ctx with decisions = Some d });
     Pass.make "ctrl-priv"
       ~enabled:(fun (o : Decisions.options) -> o.Decisions.privatize_control)
       ~descr:"privatized execution of control flow (paper section 4)"
@@ -122,9 +124,9 @@ let passes : (Decisions.options, context) Pass.t list =
         let d = decisions_exn ctx in
         Ctrl_priv.run d;
         Stats.set st "ctrl.privatized"
-          (Hashtbl.fold
-             (fun _ priv acc -> if priv then acc + 1 else acc)
-             d.Decisions.ctrl 0));
+          (List.length
+             (List.filter (fun (_, priv) -> priv) (Decisions.ctrl_entries d)));
+        ctx);
     Pass.make "reduction-map"
       ~enabled:(fun (o : Decisions.options) -> o.Decisions.reduction_alignment)
       ~descr:"reduction-accumulator mapping (paper section 2.3)"
@@ -134,7 +136,8 @@ let passes : (Decisions.options, context) Pass.t list =
         Stats.set st "reductions.mapped"
           (count_scalar d (function
             | Decisions.Priv_reduction _ -> true
-            | _ -> false)));
+            | _ -> false));
+        ctx);
     Pass.make "array-priv"
       ~enabled:(fun (o : Decisions.options) -> o.Decisions.privatize_arrays)
       ~descr:"array privatization, full and partial (paper section 3)"
@@ -148,7 +151,8 @@ let passes : (Decisions.options, context) Pass.t list =
         Stats.set st "arrays.partial"
           (count_arrays d (function
             | Decisions.Arr_partial_priv _ -> true
-            | Decisions.Arr_priv _ -> false)));
+            | Decisions.Arr_priv _ -> false));
+        ctx);
     Pass.make "scalar-map"
       ~enabled:(fun (o : Decisions.options) -> o.Decisions.privatize_scalars)
       ~descr:"scalar mapping: DetermineMapping (paper Fig. 3)"
@@ -162,7 +166,8 @@ let passes : (Decisions.options, context) Pass.t list =
         Stats.set st "defs.no-align"
           (count_scalar d (function
             | Decisions.Priv_no_align -> true
-            | _ -> false)));
+            | _ -> false));
+        ctx);
     Pass.make "comm-analysis"
       ~descr:"communication analysis with message vectorization"
       (fun (ctx : context) st ->
@@ -173,7 +178,6 @@ let passes : (Decisions.options, context) Pass.t list =
             ~red_group:(Reduction_map.combine_group d)
             ~elide_unwritten:ctx.options.Decisions.optimize ()
         in
-        ctx.comms <- comms;
         Stats.set st "comms.total" (List.length comms);
         Stats.set st "comms.vectorized"
           (List.length (List.filter Comm.vectorized comms));
@@ -183,7 +187,8 @@ let passes : (Decisions.options, context) Pass.t list =
                 (fun (cm : Comm.t) ->
                   cm.Comm.stmt_level > 0
                   && cm.Comm.placement_level >= cm.Comm.stmt_level)
-                comms)));
+                comms));
+        { ctx with comms });
     Pass.make "lower-spmd"
       ~descr:"lowering to the explicit SPMD IR (guards, transfers, allocs)"
       (fun (ctx : context) st ->
@@ -192,14 +197,14 @@ let passes : (Decisions.options, context) Pass.t list =
           Lower_spmd.lower ~strict:true ~aggregate:true ~prog:ctx.prog
             ~decisions:d ~comms:ctx.comms ()
         in
-        ctx.sir <- Some sir;
         let k = Phpf_ir.Sir.op_counts sir in
         Stats.set st "sir.assigns" k.Phpf_ir.Sir.assigns;
         Stats.set st "sir.elem-xfers" k.Phpf_ir.Sir.elem_xfers;
         Stats.set st "sir.whole-xfers" k.Phpf_ir.Sir.whole_xfers;
         Stats.set st "sir.block-xfers" k.Phpf_ir.Sir.block_xfers;
         Stats.set st "sir.reduce-ops" k.Phpf_ir.Sir.reduce_ops;
-        Stats.set st "sir.allocs" k.Phpf_ir.Sir.alloc_ops);
+        Stats.set st "sir.allocs" k.Phpf_ir.Sir.alloc_ops;
+        { ctx with sir = Some sir });
   ]
   @ List.map
       (fun pname ->
@@ -214,7 +219,7 @@ let passes : (Decisions.options, context) Pass.t list =
             (Option.value ~default:"Sir optimizer pass"
                (Phpf_ir.Sir_opt.descr_of pname))
           (fun (ctx : context) st ->
-            match ctx.sir with
+            (match ctx.sir with
             | None -> ()
             | Some sir ->
                 let before = Phpf_ir.Sir.op_counts sir in
@@ -233,13 +238,14 @@ let passes : (Decisions.options, context) Pass.t list =
                   - before.Phpf_ir.Sir.block_xfers);
                 Stats.set st "delta.reduce-ops"
                   (after.Phpf_ir.Sir.reduce_ops
-                  - before.Phpf_ir.Sir.reduce_ops)))
+                  - before.Phpf_ir.Sir.reduce_ops));
+            ctx))
       Phpf_ir.Sir_opt.pass_names
   @ [
     Pass.make "recovery-plan"
       ~descr:"compile-time crash-recovery plan over the lowered IR"
       (fun (ctx : context) st ->
-        match ctx.sir with
+        (match ctx.sir with
         | None -> ()
         | Some sir ->
             let plan = Phpf_ir.Sir_recovery.plan sir in
@@ -260,6 +266,7 @@ let passes : (Decisions.options, context) Pass.t list =
                    e.Phpf_ir.Sir.source = Phpf_ir.Sir.R_checkpoint));
             Stats.set st "plan.checkpoints-needed"
               (if plan.Phpf_ir.Sir.checkpoints_needed then 1 else 0));
+        ctx);
   ]
 
 (** Names of the registered passes, in order. *)
@@ -285,11 +292,16 @@ let compile_traced ?grid_override ?(options = Decisions.default_options)
   in
   match Pipeline.run ~opts:options ?after passes ctx with
   | Error _ as e -> e
-  | Ok trace ->
+  | Ok (ctx, trace) ->
+      let d = decisions_exn ctx in
+      (* seal the decision tables: the compiled value is now a frozen,
+         shareable artifact — post-compile readers on any domain see the
+         same decisions, and accidental late mutation raises *)
+      Decisions.freeze d;
       Ok
         ( {
             prog = ctx.prog;
-            decisions = decisions_exn ctx;
+            decisions = d;
             comms = ctx.comms;
             ivs = ctx.ivs;
             sir = ctx.sir;

@@ -14,16 +14,19 @@ open Hpf_lang
 open Hpf_analysis
 open Hpf_comm
 
-(** Mutable state threaded through the passes (exposed for the
-    [--dump-after] hook and custom drivers).  Declared before
-    {!compiled} so that unannotated [c.Compiler.prog]-style accesses in
-    client code resolve to the {!compiled} record's fields. *)
+(** Immutable accumulator threaded through the passes (exposed for the
+    [--dump-after] hook and custom drivers): each pass maps the context
+    its predecessor returned to a new record, so a compile in flight
+    owns every value it touches and many compiles can run concurrently
+    on separate domains.  Declared before {!compiled} so that
+    unannotated [c.Compiler.prog]-style accesses in client code resolve
+    to the {!compiled} record's fields. *)
 type context = {
-  mutable prog : Ast.program;
-  mutable ivs : Induction.iv list;
-  mutable decisions : Decisions.t option;  (** set by the decisions pass *)
-  mutable comms : Comm.t list;
-  mutable sir : Phpf_ir.Sir.program option;  (** set by lower-spmd *)
+  prog : Ast.program;
+  ivs : Induction.iv list;
+  decisions : Decisions.t option;  (** set by the decisions pass *)
+  comms : Comm.t list;
+  sir : Phpf_ir.Sir.program option;  (** set by lower-spmd *)
   grid_override : int list option;
   options : Decisions.options;
 }

@@ -76,11 +76,11 @@ let run (d : Decisions.t) : unit =
           match Nest.innermost_loop d.Decisions.nest s.sid with
           | None ->
               (* outside all loops: executed by all processors *)
-              Hashtbl.replace d.Decisions.ctrl s.sid false
+              Decisions.set_ctrl d s.sid false
           | Some li ->
               let ok =
                 not (escapes d.Decisions.nest s ~l_sid:li.Nest.loop_sid)
               in
-              Hashtbl.replace d.Decisions.ctrl s.sid ok)
+              Decisions.set_ctrl d s.sid ok)
       | _ -> ())
     d.Decisions.prog

@@ -112,6 +112,27 @@ let default_options : options =
     opt_passes = None;
   }
 
+(* The decision tables are immutable maps behind a single mutable cell:
+   the mapping passes grow them through the setters below, the compiler
+   freezes the value at the end of the pipeline, and post-compile readers
+   can then share a [t] across domains without synchronization. *)
+module Def_map = Map.Make (Int)
+module Sid_map = Map.Make (Int)
+
+module Arr_map = Map.Make (struct
+  type t = string * Ast.stmt_id
+
+  let compare = compare
+end)
+
+type tables = {
+  t_scalar : scalar_mapping Def_map.t;
+  t_arrays : array_mapping Arr_map.t;  (** keyed by (array, loop sid) *)
+  t_ctrl : bool Sid_map.t;  (** If sid -> privatized *)
+  t_no_align_rev : Ssa.def_id list;
+      (** paper Fig. 3 deferred list, reverse push order *)
+}
+
 type t = {
   prog : Ast.program;
   nest : Nest.t;
@@ -120,11 +141,8 @@ type t = {
   env : Layout.env;
   reductions : Reduction.red list;
   options : options;
-  scalar : (Ssa.def_id, scalar_mapping) Hashtbl.t;
-  arrays : (string * Ast.stmt_id, array_mapping) Hashtbl.t;
-      (** keyed by (array, loop header sid) *)
-  ctrl : (Ast.stmt_id, bool) Hashtbl.t;  (** If sid -> privatized *)
-  no_align_exam : Ssa.def_id list ref;  (** paper Fig. 3 deferred list *)
+  mutable tables : tables;
+  mutable frozen : bool;
 }
 
 let create ?grid_override ?(options = default_options) (prog : Ast.program)
@@ -143,23 +161,52 @@ let create ?grid_override ?(options = default_options) (prog : Ast.program)
     env;
     reductions;
     options;
-    scalar = Hashtbl.create 32;
-    arrays = Hashtbl.create 8;
-    ctrl = Hashtbl.create 8;
-    no_align_exam = ref [];
+    tables =
+      {
+        t_scalar = Def_map.empty;
+        t_arrays = Arr_map.empty;
+        t_ctrl = Sid_map.empty;
+        t_no_align_rev = [];
+      };
+    frozen = false;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Freeze discipline                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let frozen (d : t) = d.frozen
+
+(** Seal the decision tables: any later setter call raises.  Done by
+    {!Compiler.compile_traced} once the pipeline finishes, making the
+    resulting [t] safe to share across domains. *)
+let freeze (d : t) = d.frozen <- true
+
+let check_unfrozen (d : t) op =
+  if d.frozen then
+    invalid_arg (Printf.sprintf "Decisions.%s: decisions are frozen" op)
 
 (* ------------------------------------------------------------------ *)
 (* Lookup helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
 let scalar_mapping_of_def (d : t) (def : Ssa.def_id) : scalar_mapping =
-  match Hashtbl.find_opt d.scalar def with
+  match Def_map.find_opt def d.tables.t_scalar with
   | Some m -> m
   | None -> Replicated
 
+let mem_scalar_mapping (d : t) (def : Ssa.def_id) : bool =
+  Def_map.mem def d.tables.t_scalar
+
 let set_scalar_mapping (d : t) (def : Ssa.def_id) (m : scalar_mapping) =
-  Hashtbl.replace d.scalar def m
+  check_unfrozen d "set_scalar_mapping";
+  d.tables <- { d.tables with t_scalar = Def_map.add def m d.tables.t_scalar }
+
+(** Corrupt a scalar decision {e bypassing} the freeze check — the
+    verifier tests' corruption hook; never call it from the compiler. *)
+let unsafe_set_scalar_mapping (d : t) (def : Ssa.def_id) (m : scalar_mapping)
+    =
+  d.tables <- { d.tables with t_scalar = Def_map.add def m d.tables.t_scalar }
 
 (** CFG node at which statement [sid] reads or writes variable [var]. *)
 let stmt_node_for_var (d : t) (sid : Ast.stmt_id) (var : string) :
@@ -195,13 +242,48 @@ let array_mapping_at (d : t) ~(sid : Ast.stmt_id) ~(base : string) :
   let loops = List.rev (Nest.enclosing_loops d.nest sid) in
   List.find_map
     (fun (li : Nest.loop_info) ->
-      match Hashtbl.find_opt d.arrays (base, li.loop_sid) with
+      match Arr_map.find_opt (base, li.loop_sid) d.tables.t_arrays with
       | Some m -> Some (li, m)
       | None -> None)
     loops
 
+let array_mapping_find (d : t) (key : string * Ast.stmt_id) :
+    array_mapping option =
+  Arr_map.find_opt key d.tables.t_arrays
+
+let mem_array_mapping (d : t) (key : string * Ast.stmt_id) : bool =
+  Arr_map.mem key d.tables.t_arrays
+
+let set_array_mapping (d : t) (key : string * Ast.stmt_id)
+    (m : array_mapping) =
+  check_unfrozen d "set_array_mapping";
+  d.tables <- { d.tables with t_arrays = Arr_map.add key m d.tables.t_arrays }
+
+(** Corrupt an array decision {e bypassing} the freeze check.  Exists
+    only so the static verifier's tests can plant inconsistent decisions
+    in a finished compile; never call it from the compiler. *)
+let unsafe_set_array_mapping (d : t) (key : string * Ast.stmt_id)
+    (m : array_mapping) =
+  d.tables <- { d.tables with t_arrays = Arr_map.add key m d.tables.t_arrays }
+
 let ctrl_privatized (d : t) (sid : Ast.stmt_id) : bool =
-  match Hashtbl.find_opt d.ctrl sid with Some b -> b | None -> false
+  match Sid_map.find_opt sid d.tables.t_ctrl with
+  | Some b -> b
+  | None -> false
+
+let set_ctrl (d : t) (sid : Ast.stmt_id) (priv : bool) =
+  check_unfrozen d "set_ctrl";
+  d.tables <- { d.tables with t_ctrl = Sid_map.add sid priv d.tables.t_ctrl }
+
+(** Defer a definition to the paper's Fig. 3 no-alignment examination
+    list; {!no_align_deferred} replays them in push order. *)
+let push_no_align (d : t) (def : Ssa.def_id) =
+  check_unfrozen d "push_no_align";
+  d.tables <-
+    { d.tables with t_no_align_rev = def :: d.tables.t_no_align_rev }
+
+let no_align_deferred (d : t) : Ssa.def_id list =
+  List.rev d.tables.t_no_align_rev
 
 (* ------------------------------------------------------------------ *)
 (* Owner specs under the current decisions                             *)
@@ -447,16 +529,61 @@ and all_stmts_in (body : Ast.stmt list) : Ast.stmt list =
   List.rev !acc
 
 (* Deterministic read-only views of the decision tables, for consumers
-   (reporting, the static verifier) that must not depend on hash order. *)
+   (reporting, the static verifier) that must not depend on table
+   internals.  Maps iterate in key order, so these are sorted for free. *)
 
 let scalar_mappings (d : t) : (Ssa.def_id * scalar_mapping) list =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.scalar []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Def_map.bindings d.tables.t_scalar
 
 let array_mappings (d : t) : ((string * Ast.stmt_id) * array_mapping) list =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.arrays []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Arr_map.bindings d.tables.t_arrays
 
 let ctrl_entries (d : t) : (Ast.stmt_id * bool) list =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.ctrl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Sid_map.bindings d.tables.t_ctrl
+
+let scalar_count (d : t) = Def_map.cardinal d.tables.t_scalar
+let array_count (d : t) = Arr_map.cardinal d.tables.t_arrays
+let ctrl_count (d : t) = Sid_map.cardinal d.tables.t_ctrl
+
+(** Per-array privatization summary across all loops: [`Full] if any
+    loop fully privatizes [base], otherwise the union of the partial
+    privatization grid dims, [`None] when no decision mentions it.
+    (Shared by the SPMD lowerer, the legacy executor and tests.) *)
+let array_priv_summary (d : t) (base : string) :
+    [ `Full | `Partial of int list | `None ] =
+  List.fold_left
+    (fun acc ((name, _), mapping) ->
+      if not (String.equal name base) then acc
+      else
+        match (mapping, acc) with
+        | Arr_priv _, _ | _, `Full -> `Full
+        | Arr_partial_priv { priv_grid_dims; _ }, `None ->
+            `Partial priv_grid_dims
+        | Arr_partial_priv { priv_grid_dims; _ }, `Partial ds ->
+            `Partial (List.sort_uniq compare (priv_grid_dims @ ds)))
+    `None (array_mappings d)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical option signature                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical one-line rendering of an option record, used as the
+    options component of content-addressed cache keys
+    ({!Phpf_driver.Memo.key}).  Two records have equal signatures iff
+    they are structurally equal, so requests differing in any knob can
+    never share a cache entry. *)
+let options_signature (o : options) : string =
+  let b bit = if bit then "1" else "0" in
+  Printf.sprintf "ps=%s;fpa=%s;ra=%s;pa=%s;pp=%s;pc=%s;aap=%s;cm=%s;opt=%s;passes=%s"
+    (b o.privatize_scalars)
+    (b o.force_producer_alignment)
+    (b o.reduction_alignment)
+    (b o.privatize_arrays)
+    (b o.partial_privatization)
+    (b o.privatize_control)
+    (b o.auto_array_priv)
+    (b o.combine_messages)
+    (b o.optimize)
+    (match o.opt_passes with
+    | None -> "*"
+    | Some ps -> String.concat "," ps)

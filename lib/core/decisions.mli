@@ -65,6 +65,12 @@ type options = {
 (** Everything on — the paper's "Selected Alignment" compiler. *)
 val default_options : options
 
+(** The decision tables: immutable maps behind one mutable cell.  The
+    mapping passes grow them through the setters below; the compiler
+    calls {!freeze} at the end of the pipeline, after which every setter
+    raises — a frozen [t] is safe to share across domains. *)
+type tables
+
 type t = {
   prog : Ast.program;
   nest : Nest.t;
@@ -73,21 +79,36 @@ type t = {
   env : Layout.env;
   reductions : Reduction.red list;
   options : options;
-  scalar : (Ssa.def_id, scalar_mapping) Hashtbl.t;
-  arrays : (string * Ast.stmt_id, array_mapping) Hashtbl.t;
-      (** keyed by (array, loop header sid) *)
-  ctrl : (Ast.stmt_id, bool) Hashtbl.t;  (** If sid -> privatized *)
-  no_align_exam : Ssa.def_id list ref;  (** paper Fig. 3's deferred list *)
+  mutable tables : tables;
+  mutable frozen : bool;
 }
 
 (** Build the analysis state for a (checked, IV-rewritten) program:
     SSA, privatizability, layouts, reduction records. *)
 val create : ?grid_override:int list -> ?options:options -> Ast.program -> t
 
-(** {2 Decision lookup} *)
+(** {2 Freeze discipline} *)
+
+val frozen : t -> bool
+
+(** Seal the decision tables: any later setter call raises
+    [Invalid_argument].  Done by {!Compiler.compile_traced} once the
+    pipeline finishes. *)
+val freeze : t -> unit
+
+(** {2 Decision lookup and recording} *)
 
 val scalar_mapping_of_def : t -> Ssa.def_id -> scalar_mapping
+
+(** Whether a mapping was explicitly recorded for this definition
+    ({!scalar_mapping_of_def} defaults to [Replicated]). *)
+val mem_scalar_mapping : t -> Ssa.def_id -> bool
+
 val set_scalar_mapping : t -> Ssa.def_id -> scalar_mapping -> unit
+
+(** Corrupt a scalar decision {e bypassing} the freeze check — the
+    verifier tests' corruption hook; never call it from the compiler. *)
+val unsafe_set_scalar_mapping : t -> Ssa.def_id -> scalar_mapping -> unit
 
 (** CFG node at which statement [sid] touches [var]. *)
 val stmt_node_for_var : t -> Ast.stmt_id -> string -> int option
@@ -103,7 +124,25 @@ val def_of_stmt : t -> sid:Ast.stmt_id -> var:string -> Ssa.def_id option
 val array_mapping_at :
   t -> sid:Ast.stmt_id -> base:string -> (Nest.loop_info * array_mapping) option
 
+(** Decision recorded for exactly this (array, loop sid) key, if any. *)
+val array_mapping_find : t -> string * Ast.stmt_id -> array_mapping option
+
+val mem_array_mapping : t -> string * Ast.stmt_id -> bool
+val set_array_mapping : t -> string * Ast.stmt_id -> array_mapping -> unit
+
+(** Corrupt an array decision {e bypassing} the freeze check.  Exists
+    only so the static verifier's tests can plant inconsistent decisions
+    in a finished compile; never call it from the compiler. *)
+val unsafe_set_array_mapping : t -> string * Ast.stmt_id -> array_mapping -> unit
+
 val ctrl_privatized : t -> Ast.stmt_id -> bool
+val set_ctrl : t -> Ast.stmt_id -> bool -> unit
+
+(** Defer a definition to the paper's Fig. 3 no-alignment examination
+    list; {!no_align_deferred} replays them in push order. *)
+val push_no_align : t -> Ssa.def_id -> unit
+
+val no_align_deferred : t -> Ssa.def_id list
 
 (** {2 Owner specs under the current decisions} *)
 
@@ -150,9 +189,23 @@ val all_stmts_in : Ast.stmt list -> Ast.stmt list
 (** {2 Deterministic read-only views}
 
     Sorted snapshots of the decision tables, for consumers (reporting,
-    the static verifier of {!Phpf_verify}) that must not depend on hash
-    order. *)
+    the static verifier of {!Phpf_verify}) that must not depend on the
+    table internals. *)
 
 val scalar_mappings : t -> (Ssa.def_id * scalar_mapping) list
 val array_mappings : t -> ((string * Ast.stmt_id) * array_mapping) list
 val ctrl_entries : t -> (Ast.stmt_id * bool) list
+val scalar_count : t -> int
+val array_count : t -> int
+val ctrl_count : t -> int
+
+(** Per-array privatization summary across all loops: [`Full] if any
+    loop fully privatizes the array, otherwise the union of the partial
+    privatization grid dims, [`None] when no decision mentions it. *)
+val array_priv_summary : t -> string -> [ `Full | `Partial of int list | `None ]
+
+(** Canonical one-line rendering of an option record — the options
+    component of content-addressed cache keys ({!Phpf_driver.Memo.key}).
+    Equal signatures iff structurally equal records, so requests
+    differing in any knob never share a cache entry. *)
+val options_signature : options -> string

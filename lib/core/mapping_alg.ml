@@ -259,7 +259,7 @@ and select_producer (d : Decisions.t) (s : Ast.stmt) : Aref.t option =
 
 and determine_mapping (d : Decisions.t) (visited : (Ssa.def_id, unit) Hashtbl.t)
     (def : Ssa.def_id) : unit =
-  if Hashtbl.mem visited def || Hashtbl.mem d.Decisions.scalar def then
+  if Hashtbl.mem visited def || Decisions.mem_scalar_mapping d def then
     (* already decided — possibly through the consistency propagation of
        another definition sharing a reached use; re-deciding could break
        the one-mapping-per-use guarantee *)
@@ -292,8 +292,7 @@ and determine_mapping (d : Decisions.t) (visited : (Ssa.def_id, unit) Hashtbl.t)
               let rhs_replicated = is_rhs_replicated d s in
               let unique = Privatizable.is_unique_def d.Decisions.priv ~def in
               if rhs_replicated && unique then
-                d.Decisions.no_align_exam :=
-                  def :: !(d.Decisions.no_align_exam);
+                Decisions.push_no_align d def;
               let align_ref =
                 if d.Decisions.options.Decisions.force_producer_alignment
                 then
@@ -409,4 +408,4 @@ let run (d : Decisions.t) : unit =
       | Some s when is_rhs_replicated d s ->
           mark_alignment d def Decisions.Priv_no_align
       | Some _ | None -> ())
-    (List.rev !(d.Decisions.no_align_exam))
+    (Decisions.no_align_deferred d)

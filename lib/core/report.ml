@@ -22,18 +22,18 @@ let pp_scalar_decisions ppf (d : Decisions.t) =
     d.Decisions.prog
 
 let pp_array_decisions ppf (d : Decisions.t) =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.Decisions.arrays []
-  |> List.sort compare
-  |> List.iter (fun ((a, loop_sid), m) ->
-         Fmt.pf ppf "  %-8s w.r.t. loop s%-3d : %a@." a loop_sid
-           Decisions.pp_array_mapping m)
+  List.iter
+    (fun ((a, loop_sid), m) ->
+      Fmt.pf ppf "  %-8s w.r.t. loop s%-3d : %a@." a loop_sid
+        Decisions.pp_array_mapping m)
+    (Decisions.array_mappings d)
 
 let pp_ctrl_decisions ppf (d : Decisions.t) =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.Decisions.ctrl []
-  |> List.sort compare
-  |> List.iter (fun (sid, priv) ->
-         Fmt.pf ppf "  if s%-3d : %s@." sid
-           (if priv then "privatized execution" else "executed by all"))
+  List.iter
+    (fun (sid, priv) ->
+      Fmt.pf ppf "  if s%-3d : %s@." sid
+        (if priv then "privatized execution" else "executed by all"))
+    (Decisions.ctrl_entries d)
 
 let pp_comms ppf (comms : Comm.t list) =
   List.iter (fun c -> Fmt.pf ppf "  %a@." Comm.pp c) comms
@@ -55,11 +55,11 @@ let pp_compiled ppf (c : Compiler.compiled) =
   end;
   Fmt.pf ppf "scalar mappings:@.";
   pp_scalar_decisions ppf d;
-  if Hashtbl.length d.Decisions.arrays > 0 then begin
+  if Decisions.array_count d > 0 then begin
     Fmt.pf ppf "array privatization:@.";
     pp_array_decisions ppf d
   end;
-  if Hashtbl.length d.Decisions.ctrl > 0 then begin
+  if Decisions.ctrl_count d > 0 then begin
     Fmt.pf ppf "control flow:@.";
     pp_ctrl_decisions ppf d
   end;
@@ -130,10 +130,10 @@ let pp_annotated ppf (c : Compiler.compiled) =
         Fmt.pf ppf "%send if@." (String.make indent ' ')
     | Ast.Do dl ->
         (match
-           Hashtbl.fold
-             (fun (a, loop_sid) m acc ->
-               if loop_sid = s.Ast.sid then (a, m) :: acc else acc)
-             d.Decisions.arrays []
+           List.filter_map
+             (fun ((a, loop_sid), m) ->
+               if loop_sid = s.Ast.sid then Some (a, m) else None)
+             (Decisions.array_mappings d)
          with
         | [] -> ()
         | decisions ->
@@ -142,7 +142,7 @@ let pp_annotated ppf (c : Compiler.compiled) =
                 Fmt.pf ppf "%s! array %s: %a@."
                   (String.make indent ' ')
                   a Decisions.pp_array_mapping m)
-              (List.sort compare decisions));
+              decisions);
         let name_prefix =
           match dl.Ast.loop_name with None -> "" | Some n -> n ^ ": "
         in

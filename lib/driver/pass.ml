@@ -1,20 +1,25 @@
 (** A single compilation pass.
 
-    A pass is a named unit of work over a mutable compilation context
-    ['ctx], gated by an enabled-predicate over the option record ['opts]
-    (for the compiler proper, {!Phpf_core.Decisions.options}).  Passes
-    are pure descriptions; {!Pipeline.run} executes them, timing each
-    run and collecting the counters it records.
+    A pass is a named unit of work that maps a compilation context
+    ['ctx] to its successor context, gated by an enabled-predicate over
+    the option record ['opts] (for the compiler proper,
+    {!Phpf_core.Decisions.options}).  Passes are pure descriptions;
+    {!Pipeline.run} executes them, timing each run and collecting the
+    counters it records.
 
-    A pass reports failure by raising {!Hpf_lang.Diag.Fatal}; the
+    [run] takes the context produced by the previous pass and returns
+    the context for the next one — contexts are immutable accumulators,
+    so a pass that changes nothing returns its argument unchanged.  A
+    pass reports failure by raising {!Hpf_lang.Diag.Fatal}; the
     pipeline converts that into a [result]. *)
 
 type ('opts, 'ctx) t = {
   name : string;  (** stable lowercase identifier, e.g. ["array-priv"] *)
   descr : string;  (** one-line description for docs and [--help] *)
   enabled : 'opts -> bool;  (** run only when this predicate holds *)
-  run : 'ctx -> Stats.t -> unit;
-      (** do the work; record counters into the given {!Stats.t} *)
+  run : 'ctx -> Stats.t -> 'ctx;
+      (** map the context to its successor; record counters into the
+          given {!Stats.t} *)
 }
 
 let always _ = true

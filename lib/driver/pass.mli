@@ -1,14 +1,16 @@
-(** A single compilation pass: a named unit of work over a mutable
-    compilation context ['ctx], gated by an enabled-predicate over an
-    option record ['opts].  Failures are reported by raising
-    {!Hpf_lang.Diag.Fatal}; {!Pipeline.run} catches them. *)
+(** A single compilation pass: a named unit of work mapping an immutable
+    compilation context ['ctx] to its successor, gated by an
+    enabled-predicate over an option record ['opts].  Failures are
+    reported by raising {!Hpf_lang.Diag.Fatal}; {!Pipeline.run} catches
+    them. *)
 
 type ('opts, 'ctx) t = {
   name : string;  (** stable lowercase identifier, e.g. ["array-priv"] *)
   descr : string;  (** one-line description for docs and [--help] *)
   enabled : 'opts -> bool;  (** run only when this predicate holds *)
-  run : 'ctx -> Stats.t -> unit;
-      (** do the work; record counters into the given {!Stats.t} *)
+  run : 'ctx -> Stats.t -> 'ctx;
+      (** map the context to its successor; record counters into the
+          given {!Stats.t} *)
 }
 
 (** Predicate that always holds (the default [enabled]). *)
@@ -18,7 +20,7 @@ val make :
   ?enabled:('opts -> bool) ->
   descr:string ->
   string ->
-  ('ctx -> Stats.t -> unit) ->
+  ('ctx -> Stats.t -> 'ctx) ->
   ('opts, 'ctx) t
 
 val name : ('opts, 'ctx) t -> string

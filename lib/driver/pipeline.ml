@@ -1,5 +1,10 @@
-(** The pass-manager: runs a registered pass list over a compilation
+(** The pass-manager: folds a registered pass list over a compilation
     context, recording per-pass wall time and statistics.
+
+    Contexts are immutable accumulators: each pass receives the context
+    produced by its predecessor and returns the context for its
+    successor, so a pipeline run touches no state outside the values it
+    threads — many runs can proceed concurrently on separate domains.
 
     The runner is the single place where {!Hpf_lang.Diag.Fatal} is
     caught: any pass that raises it aborts the pipeline and its
@@ -15,7 +20,8 @@ type entry = {
   stats : (string * int) list;  (** counters the pass recorded, sorted *)
 }
 
-(** Record of one pipeline execution. *)
+(** Record of one pipeline execution — a per-run value, merged across
+    runs with {!Stats.merge} over {!total_stats}. *)
 type trace = {
   entries : entry list;  (** executed passes, in execution order *)
   skipped : string list;  (** passes dropped by their enabled-predicate *)
@@ -36,36 +42,59 @@ let stats_of (tr : trace) name =
     (fun e -> if String.equal e.pass name then Some e.stats else None)
     tr.entries
 
-(** Run [passes] over [ctx] in order, skipping those whose
+(** Wall time one pass spent, in milliseconds; 0 when it did not run. *)
+let pass_time_ms (tr : trace) name =
+  List.fold_left
+    (fun acc e ->
+      if String.equal e.pass name then acc +. (1000.0 *. e.time_s) else acc)
+    0.0 tr.entries
+
+(** All counters of the trace merged into one set. *)
+let total_stats (tr : trace) : Stats.t =
+  Stats.merge_all (List.map (fun e -> Stats.of_list e.stats) tr.entries)
+
+(** Fold the passes over [ctx] in order, skipping those whose
     enabled-predicate rejects [opts].  [after] is invoked with the pass
-    name after each executed pass (the [--dump-after] hook).  Returns
-    the execution trace, or the diagnostics of the first failing pass. *)
-let run ~opts ?(after = fun _ _ -> ()) passes ctx : (trace, Diag.t list) result
-    =
+    name and the pass's result context after each executed pass (the
+    [--dump-after] hook).  Returns the final context and the execution
+    trace, or the diagnostics of the first failing pass. *)
+let run ~opts ?(after = fun _ _ -> ()) passes ctx :
+    ('ctx * trace, Diag.t list) result =
   let t0 = Unix.gettimeofday () in
   let entries = ref [] in
   let skipped = ref [] in
   try
-    List.iter
-      (fun (p : _ Pass.t) ->
-        if p.Pass.enabled opts then begin
-          let st = Stats.create () in
-          let s = Unix.gettimeofday () in
-          p.Pass.run ctx st;
-          let e = Unix.gettimeofday () in
-          entries :=
-            { pass = p.Pass.name; time_s = e -. s; stats = Stats.to_list st }
-            :: !entries;
-          after p.Pass.name ctx
-        end
-        else skipped := p.Pass.name :: !skipped)
-      passes;
+    let final =
+      List.fold_left
+        (fun ctx (p : _ Pass.t) ->
+          if p.Pass.enabled opts then begin
+            let st = Stats.create () in
+            let s = Unix.gettimeofday () in
+            let ctx' = p.Pass.run ctx st in
+            let e = Unix.gettimeofday () in
+            entries :=
+              {
+                pass = p.Pass.name;
+                time_s = e -. s;
+                stats = Stats.to_sorted_list st;
+              }
+              :: !entries;
+            after p.Pass.name ctx';
+            ctx'
+          end
+          else begin
+            skipped := p.Pass.name :: !skipped;
+            ctx
+          end)
+        ctx passes
+    in
     Ok
-      {
-        entries = List.rev !entries;
-        skipped = List.rev !skipped;
-        total_s = Unix.gettimeofday () -. t0;
-      }
+      ( final,
+        {
+          entries = List.rev !entries;
+          skipped = List.rev !skipped;
+          total_s = Unix.gettimeofday () -. t0;
+        } )
   with Diag.Fatal ds -> Error ds
 
 (* ------------------------------------------------------------------ *)

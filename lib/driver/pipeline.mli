@@ -1,6 +1,7 @@
-(** The pass-manager: runs a registered pass list over a compilation
-    context, recording per-pass wall time and statistics, and converting
-    {!Hpf_lang.Diag.Fatal} raised by any pass into a [result]. *)
+(** The pass-manager: folds a registered pass list over an immutable
+    compilation context, recording per-pass wall time and statistics,
+    and converting {!Hpf_lang.Diag.Fatal} raised by any pass into a
+    [result]. *)
 
 open Hpf_lang
 
@@ -11,7 +12,8 @@ type entry = {
   stats : (string * int) list;  (** counters the pass recorded, sorted *)
 }
 
-(** Record of one pipeline execution. *)
+(** Record of one pipeline execution — a per-run value, merged across
+    runs with {!Stats.merge} over {!total_stats}. *)
 type trace = {
   entries : entry list;  (** executed passes, in execution order *)
   skipped : string list;  (** passes dropped by their enabled-predicate *)
@@ -29,17 +31,23 @@ val executed : trace -> string list
 (** Stats of one executed pass, if it ran. *)
 val stats_of : trace -> string -> (string * int) list option
 
-(** Run the passes over [ctx] in order, skipping those whose
+(** Wall time one pass spent, in milliseconds; 0 when it did not run. *)
+val pass_time_ms : trace -> string -> float
+
+(** All counters of the trace merged into one set. *)
+val total_stats : trace -> Stats.t
+
+(** Fold the passes over [ctx] in order, skipping those whose
     enabled-predicate rejects [opts].  [after] is invoked with the pass
-    name and the context after each executed pass (the [--dump-after]
-    hook).  Returns the execution trace, or the diagnostics of the first
-    failing pass. *)
+    name and the pass's result context after each executed pass (the
+    [--dump-after] hook).  Returns the final context and the execution
+    trace, or the diagnostics of the first failing pass. *)
 val run :
   opts:'opts ->
   ?after:(string -> 'ctx -> unit) ->
   ('opts, 'ctx) Pass.t list ->
   'ctx ->
-  (trace, Diag.t list) result
+  ('ctx * trace, Diag.t list) result
 
 (** Per-pass timing table (the [--time-passes] view). *)
 val pp_timing : Format.formatter -> trace -> unit

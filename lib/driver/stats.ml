@@ -3,7 +3,11 @@
     Each pass run by {!Pipeline} gets a fresh counter set; the recorded
     values end up in the pipeline trace (rendered by
     [phpfc compile --stats]).  Keys are dotted lowercase names, e.g.
-    ["defs.aligned"] or ["comms.vectorized"]. *)
+    ["defs.aligned"] or ["comms.vectorized"].
+
+    A [Stats.t] is a {e per-run} value: every consumer creates its own
+    and aggregates with {!merge} — there is no process-global counter
+    table, so concurrent compiles on separate domains never share one. *)
 
 type t = (string, int) Hashtbl.t
 
@@ -18,11 +22,34 @@ let add (t : t) key n = set t key (get t key + n)
 let incr (t : t) key = add t key 1
 
 (** Sorted association list of all counters. *)
-let to_list (t : t) : (string * int) list =
+let to_sorted_list (t : t) : (string * int) list =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Counter set from an association list (repeated keys accumulate). *)
+let of_list (kvs : (string * int) list) : t =
+  let t = create () in
+  List.iter (fun (k, v) -> add t k v) kvs;
+  t
+
+(** [merge a b] is a fresh counter set with, for every key, the sum of
+    its values in [a] and [b].  Neither argument is modified. *)
+let merge (a : t) (b : t) : t =
+  let t = Hashtbl.copy a in
+  Hashtbl.iter (fun k v -> add t k v) b;
+  t
+
+(** [merge_into ~into b] accumulates [b]'s counters into [into]. *)
+let merge_into ~(into : t) (b : t) : unit =
+  Hashtbl.iter (fun k v -> add into k v) b
+
+(** Sum a list of counter sets (the serve / bench aggregator). *)
+let merge_all (ts : t list) : t =
+  let acc = create () in
+  List.iter (fun t -> merge_into ~into:acc t) ts;
+  acc
 
 let is_empty (t : t) = Hashtbl.length t = 0
 
 let pp ppf (t : t) =
-  List.iter (fun (k, v) -> Fmt.pf ppf "  %-24s %8d@." k v) (to_list t)
+  List.iter (fun (k, v) -> Fmt.pf ppf "  %-24s %8d@." k v) (to_sorted_list t)

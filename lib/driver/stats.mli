@@ -1,6 +1,11 @@
 (** Named integer counters recorded by compilation passes and surfaced
     in the pipeline trace ([phpfc compile --stats]).  Keys are dotted
-    lowercase names, e.g. ["defs.aligned"]. *)
+    lowercase names, e.g. ["defs.aligned"].
+
+    A [Stats.t] is a {e per-run} value: every consumer creates its own
+    and aggregates with {!merge} / {!merge_all} — there is no
+    process-global counter table, so concurrent compiles on separate
+    domains never share one. *)
 
 type t
 
@@ -14,7 +19,20 @@ val add : t -> string -> int -> unit
 val incr : t -> string -> unit
 
 (** Sorted association list of all counters. *)
-val to_list : t -> (string * int) list
+val to_sorted_list : t -> (string * int) list
+
+(** Counter set from an association list (repeated keys accumulate). *)
+val of_list : (string * int) list -> t
+
+(** [merge a b] is a fresh counter set with, for every key, the sum of
+    its values in [a] and [b].  Neither argument is modified. *)
+val merge : t -> t -> t
+
+(** [merge_into ~into b] accumulates [b]'s counters into [into]. *)
+val merge_into : into:t -> t -> unit
+
+(** Sum a list of counter sets (the serve / bench aggregator). *)
+val merge_all : t list -> t
 
 val is_empty : t -> bool
 val pp : Format.formatter -> t -> unit

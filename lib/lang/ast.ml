@@ -8,9 +8,12 @@
     [PROCESSORS] / [DISTRIBUTE] / [ALIGN].
 
     Statements carry a unique integer id ([sid]) used as the key by every
-    analysis.  Ids are assigned at construction from a global counter and
-    can be re-assigned deterministically with {!renumber} (which
-    {!Sema.check} does). *)
+    analysis.  Construction-time ids come from a {e per-program} allocator
+    ({!ids} / {!mk_in}); there is no global counter, so parsing and
+    building programs is safe from concurrent domains.  Ids are
+    re-assigned deterministically with {!renumber} (which {!Sema.check}
+    and {!Builder.program} do), so compiled programs carry preorder ids
+    [1..n] regardless of construction order. *)
 
 type binop =
   | Add
@@ -119,13 +122,24 @@ type program = {
 (* Statement id management                                             *)
 (* ------------------------------------------------------------------ *)
 
-let sid_counter = ref 0
+(** Per-program statement-id allocator.  Each parse / build owns one, so
+    two compiles never race on shared state and the same source always
+    yields the same construction-time ids. *)
+type ids = { mutable next_sid : int }
 
-let fresh_sid () =
-  incr sid_counter;
-  !sid_counter
+let ids () = { next_sid = 0 }
 
-let mk ?loc node = { sid = fresh_sid (); node; loc }
+let fresh_sid (t : ids) =
+  t.next_sid <- t.next_sid + 1;
+  t.next_sid
+
+(** Build an unnumbered statement ([sid = 0]).  Callers that need unique
+    construction-time ids use {!mk_in}; everyone else relies on
+    {!renumber} assigning the final preorder ids. *)
+let mk ?loc node = { sid = 0; node; loc }
+
+(** Build a statement numbered from the given per-program allocator. *)
+let mk_in (t : ids) ?loc node = { sid = fresh_sid t; node; loc }
 
 (** Reassign statement ids in deterministic preorder (1, 2, 3, ...).
     Run by {!Sema.check} so that analyses and tests see stable ids

@@ -133,5 +133,9 @@ let align_identity alignee target r =
 
 (* ---------- program ---------- *)
 
+(** Statements built by the combinators above are unnumbered ([sid = 0]);
+    [program] renumbers the whole body in deterministic preorder, so the
+    same builder calls always yield the same sids — independent of any
+    other program built before or concurrently. *)
 let program ?(params = []) ?(decls = []) ?(directives = []) pname body =
-  { pname; params; decls; directives; body }
+  Ast.renumber { pname; params; decls; directives; body }

@@ -33,9 +33,21 @@ type t = {
   mutable pos : int;
   mutable pending_independent : (bool * string list) option;
       (** set by a [!hpf$ independent] directive, consumed by the next DO *)
+  ids : Ast.ids;
+      (** per-parse statement-id allocator: each parse owns its own
+          counter, so concurrent parses never share mutable state *)
 }
 
-let create toks = { toks = Array.of_list toks; pos = 0; pending_independent = None }
+let create toks =
+  {
+    toks = Array.of_list toks;
+    pos = 0;
+    pending_independent = None;
+    ids = Ast.ids ();
+  }
+
+(* Construction-time ids come from this parse's own allocator. *)
+let mk ps ?loc node = Ast.mk_in ps.ids ?loc node
 
 let peek ps = fst ps.toks.(ps.pos)
 let peek_loc ps = snd ps.toks.(ps.pos)
@@ -553,7 +565,7 @@ and parse_stmt ps : stmt option =
         | _ -> None
       in
       expect_newline ps;
-      Some (mk ~loc (Exit name))
+      Some (mk ps ~loc (Exit name))
   | Lexer.IDENT "cycle" ->
       let loc = peek_loc ps in
       advance ps;
@@ -565,7 +577,7 @@ and parse_stmt ps : stmt option =
         | _ -> None
       in
       expect_newline ps;
-      Some (mk ~loc (Cycle name))
+      Some (mk ps ~loc (Cycle name))
   | Lexer.IDENT name when peek2 ps = Lexer.COLON ->
       (* named loop *)
       advance ps;
@@ -595,7 +607,7 @@ and parse_assign ps =
   expect ps Lexer.ASSIGN;
   let rhs = parse_expr ps in
   expect_newline ps;
-  mk ~loc (Assign (lhs, rhs))
+  mk ps ~loc (Assign (lhs, rhs))
 
 and parse_if ps =
   let loc = peek_loc ps in
@@ -620,12 +632,12 @@ and parse_if ps =
     expect_keyword ps "end";
     expect_keyword ps "if";
     expect_newline ps;
-    mk ~loc (If (cond, then_branch, else_branch))
+    mk ps ~loc (If (cond, then_branch, else_branch))
   end
   else begin
     (* one-line if *)
     match parse_stmt ps with
-    | Some s -> mk ~loc (If (cond, [ s ], []))
+    | Some s -> mk ps ~loc (If (cond, [ s ], []))
     | None -> error ps "expected statement after one-line if"
   end
 
@@ -657,7 +669,8 @@ and parse_do ps loop_name =
   expect_keyword ps "end";
   expect_keyword ps "do";
   expect_newline ps;
-  mk ~loc (Do { index; lo; hi; step; body; independent; new_vars; loop_name })
+  mk ps ~loc
+    (Do { index; lo; hi; step; body; independent; new_vars; loop_name })
 
 (* ------------------------------------------------------------------ *)
 (* Declarations and program                                             *)

@@ -1,0 +1,111 @@
+(** A fixed pool of OCaml 5 domains draining a shared job queue.
+
+    Jobs are thunks that carry their own result channel (a closure over
+    a slot, a connection writer, ...) — the pool only guarantees each
+    runs exactly once, on some domain, with exceptions contained.  The
+    purity refactor is what makes this safe: a compile in flight owns
+    every value it touches, so jobs need no coordination beyond the
+    queue itself. *)
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  domains : int;
+}
+
+let domains (p : t) = p.domains
+
+let worker_loop (p : t) () =
+  let rec next () =
+    Mutex.lock p.lock;
+    let rec wait () =
+      if not (Queue.is_empty p.queue) then Some (Queue.pop p.queue)
+      else if p.stop then None
+      else begin
+        Condition.wait p.nonempty p.lock;
+        wait ()
+      end
+    in
+    let job = wait () in
+    Mutex.unlock p.lock;
+    match job with
+    | None -> ()
+    | Some f ->
+        (* a job must never take the pool down; the job's own channel
+           is responsible for reporting its failure *)
+        (try f () with _ -> ());
+        next ()
+  in
+  next ()
+
+(** [create ~domains] spawns [max 1 domains] worker domains. *)
+let create ~domains:n =
+  let p =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+      domains = max 1 n;
+    }
+  in
+  p.workers <-
+    List.init (max 1 n) (fun _ -> Domain.spawn (worker_loop p));
+  p
+
+let submit (p : t) (job : unit -> unit) =
+  Mutex.lock p.lock;
+  if p.stop then begin
+    Mutex.unlock p.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job p.queue;
+  Condition.signal p.nonempty;
+  Mutex.unlock p.lock
+
+(** Drain the queue and join every worker; the pool is unusable
+    afterwards. *)
+let shutdown (p : t) =
+  Mutex.lock p.lock;
+  p.stop <- true;
+  Condition.broadcast p.nonempty;
+  Mutex.unlock p.lock;
+  List.iter Domain.join p.workers;
+  p.workers <- []
+
+(** Run [jobs] to completion on a fresh pool of [domains] workers,
+    returning results in input order.  The convenience entry the batch
+    driver and the tests use. *)
+let map_ordered ~domains:n (jobs : (unit -> 'a) list) : 'a list =
+  let jobs = Array.of_list jobs in
+  let results = Array.make (Array.length jobs) None in
+  let remaining = ref (Array.length jobs) in
+  let done_lock = Mutex.create () in
+  let done_cond = Condition.create () in
+  let p = create ~domains:n in
+  Array.iteri
+    (fun i job ->
+      submit p (fun () ->
+          let r = job () in
+          Mutex.lock done_lock;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.signal done_cond;
+          Mutex.unlock done_lock))
+    jobs;
+  Mutex.lock done_lock;
+  while !remaining > 0 do
+    Condition.wait done_cond done_lock
+  done;
+  Mutex.unlock done_lock;
+  shutdown p;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> assert false (* remaining = 0 ⇒ every slot filled *))
+       results)

@@ -1,0 +1,20 @@
+(** A fixed pool of OCaml 5 domains draining a shared job queue.  Jobs
+    carry their own result channel; the pool guarantees each runs
+    exactly once, with exceptions contained. *)
+
+type t
+
+(** Spawn [max 1 domains] worker domains. *)
+val create : domains:int -> t
+
+val domains : t -> int
+
+(** Enqueue a job.  @raise Invalid_argument after {!shutdown}. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Drain the queue and join every worker. *)
+val shutdown : t -> unit
+
+(** Run [jobs] to completion on a fresh pool, results in input order —
+    the batch driver's entry. *)
+val map_ordered : domains:int -> (unit -> 'a) list -> 'a list

@@ -1,0 +1,270 @@
+(** The [phpfc serve] request/response protocol.
+
+    One request per line, one JSON object per request:
+
+    {v
+    {"id": 7,                      // optional; echoed back
+     "action": "compile",          // compile | lint | simulate
+     "program": "program p\n...",  // kernel-language source text
+     "grid": [4, 2],               // optional PROCESSORS override
+     "options": {"privatize_arrays": false, ...}}  // optional knobs
+    v}
+
+    Malformed requests are [E0901] diagnostics; they never reach the
+    compiler.  Responses are emitted by {!Serve} around the
+    deterministic result payload built by {!Engine}. *)
+
+open Phpf_core
+
+type action = Compile | Lint | Simulate
+
+let action_to_string = function
+  | Compile -> "compile"
+  | Lint -> "lint"
+  | Simulate -> "simulate"
+
+let action_of_string = function
+  | "compile" -> Some Compile
+  | "lint" -> Some Lint
+  | "simulate" -> Some Simulate
+  | _ -> None
+
+type request = {
+  id : int;
+  action : action;
+  program : string;  (** source text, not a path *)
+  grid : int list option;
+  options : Decisions.options;
+}
+
+(** A malformed request: the E0901 usage-error family.  [id] is the
+    request id when the line parsed far enough to carry one. *)
+type reject = { rid : int option; reason : string }
+
+let code_malformed = "E0901"
+
+(* Per-knob option parsing: unknown keys are rejected (a typo silently
+   compiling with default options would poison determinism comparisons
+   between clients). *)
+let known_option_keys =
+  [
+    "privatize_scalars";
+    "force_producer_alignment";
+    "reduction_alignment";
+    "privatize_arrays";
+    "partial_privatization";
+    "privatize_control";
+    "auto_array_priv";
+    "combine_messages";
+    "optimize";
+    "opt_passes";
+  ]
+
+let options_of_json (j : Jsonx.t) : (Decisions.options, string) result =
+  match j with
+  | Jsonx.Obj fields -> (
+      let bad =
+        List.find_opt
+          (fun (k, _) -> not (List.mem k known_option_keys))
+          fields
+      in
+      match bad with
+      | Some (k, _) ->
+          Error
+            (Printf.sprintf "unknown option %S (known: %s)" k
+               (String.concat ", " known_option_keys))
+      | None -> (
+          let bool_of k dflt =
+            match Jsonx.member k j with
+            | None -> Ok dflt
+            | Some v -> (
+                match Jsonx.to_bool_opt v with
+                | Some b -> Ok b
+                | None -> Error (Printf.sprintf "option %S must be a bool" k))
+          in
+          let ( let* ) = Result.bind in
+          let* privatize_scalars =
+            bool_of "privatize_scalars"
+              Decisions.default_options.Decisions.privatize_scalars
+          in
+          let* force_producer_alignment =
+            bool_of "force_producer_alignment"
+              Decisions.default_options.Decisions.force_producer_alignment
+          in
+          let* reduction_alignment =
+            bool_of "reduction_alignment"
+              Decisions.default_options.Decisions.reduction_alignment
+          in
+          let* privatize_arrays =
+            bool_of "privatize_arrays"
+              Decisions.default_options.Decisions.privatize_arrays
+          in
+          let* partial_privatization =
+            bool_of "partial_privatization"
+              Decisions.default_options.Decisions.partial_privatization
+          in
+          let* privatize_control =
+            bool_of "privatize_control"
+              Decisions.default_options.Decisions.privatize_control
+          in
+          let* auto_array_priv =
+            bool_of "auto_array_priv"
+              Decisions.default_options.Decisions.auto_array_priv
+          in
+          let* combine_messages =
+            bool_of "combine_messages"
+              Decisions.default_options.Decisions.combine_messages
+          in
+          let* optimize =
+            bool_of "optimize" Decisions.default_options.Decisions.optimize
+          in
+          let* opt_passes =
+            match Jsonx.member "opt_passes" j with
+            | None | Some Jsonx.Null -> Ok None
+            | Some (Jsonx.List vs) -> (
+                let strs = List.filter_map Jsonx.to_str_opt vs in
+                if List.length strs = List.length vs then Ok (Some strs)
+                else Error "opt_passes must be a list of strings")
+            | Some _ -> Error "opt_passes must be a list of strings"
+          in
+          Ok
+            {
+              Decisions.privatize_scalars;
+              force_producer_alignment;
+              reduction_alignment;
+              privatize_arrays;
+              partial_privatization;
+              privatize_control;
+              auto_array_priv;
+              combine_messages;
+              optimize;
+              opt_passes;
+            }))
+  | _ -> Error "options must be an object"
+
+let options_to_json (o : Decisions.options) : Jsonx.t =
+  Jsonx.Obj
+    [
+      ("privatize_scalars", Jsonx.Bool o.Decisions.privatize_scalars);
+      ( "force_producer_alignment",
+        Jsonx.Bool o.Decisions.force_producer_alignment );
+      ("reduction_alignment", Jsonx.Bool o.Decisions.reduction_alignment);
+      ("privatize_arrays", Jsonx.Bool o.Decisions.privatize_arrays);
+      ("partial_privatization", Jsonx.Bool o.Decisions.partial_privatization);
+      ("privatize_control", Jsonx.Bool o.Decisions.privatize_control);
+      ("auto_array_priv", Jsonx.Bool o.Decisions.auto_array_priv);
+      ("combine_messages", Jsonx.Bool o.Decisions.combine_messages);
+      ("optimize", Jsonx.Bool o.Decisions.optimize);
+      ( "opt_passes",
+        match o.Decisions.opt_passes with
+        | None -> Jsonx.Null
+        | Some ps -> Jsonx.List (List.map (fun p -> Jsonx.Str p) ps) );
+    ]
+
+(** Parse one request line.  [default_id] numbers requests that carry
+    no explicit ["id"] (the batch driver passes the line number). *)
+let request_of_line ~(default_id : int) (line : string) :
+    (request, reject) result =
+  match Jsonx.of_string_result line with
+  | Error m -> Error { rid = None; reason = "invalid JSON: " ^ m }
+  | Ok j -> (
+      let rid =
+        Option.bind (Jsonx.member "id" j) Jsonx.to_int_opt
+      in
+      let id = Option.value rid ~default:default_id in
+      let reject reason = Error { rid = Some id; reason } in
+      match j with
+      | Jsonx.Obj _ -> (
+          match Jsonx.member "action" j with
+          | None -> reject "missing \"action\""
+          | Some a -> (
+              match Option.bind (Jsonx.to_str_opt a) action_of_string with
+              | None ->
+                  reject "\"action\" must be compile, lint or simulate"
+              | Some action -> (
+                  match Jsonx.member "program" j with
+                  | None -> reject "missing \"program\""
+                  | Some p -> (
+                      match Jsonx.to_str_opt p with
+                      | None -> reject "\"program\" must be a string"
+                      | Some program -> (
+                          let grid_r =
+                            match Jsonx.member "grid" j with
+                            | None | Some Jsonx.Null -> Ok None
+                            | Some (Jsonx.List vs) ->
+                                let ints =
+                                  List.filter_map Jsonx.to_int_opt vs
+                                in
+                                if
+                                  List.length ints = List.length vs
+                                  && ints <> []
+                                  && List.for_all (fun i -> i > 0) ints
+                                then Ok (Some ints)
+                                else
+                                  Error
+                                    "\"grid\" must be a non-empty list of \
+                                     positive ints"
+                            | Some _ ->
+                                Error
+                                  "\"grid\" must be a non-empty list of \
+                                   positive ints"
+                          in
+                          match grid_r with
+                          | Error m -> reject m
+                          | Ok grid -> (
+                              match
+                                match Jsonx.member "options" j with
+                                | None | Some Jsonx.Null ->
+                                    Ok Decisions.default_options
+                                | Some o -> options_of_json o
+                              with
+                              | Error m -> reject m
+                              | Ok options ->
+                                  Ok { id; action; program; grid; options })))
+                  )))
+      | _ -> reject "request must be a JSON object")
+
+let request_to_json (r : request) : Jsonx.t =
+  Jsonx.Obj
+    [
+      ("id", Jsonx.Int r.id);
+      ("action", Jsonx.Str (action_to_string r.action));
+      ("program", Jsonx.Str r.program);
+      ( "grid",
+        match r.grid with
+        | None -> Jsonx.Null
+        | Some g -> Jsonx.List (List.map (fun i -> Jsonx.Int i) g) );
+      ("options", options_to_json r.options);
+    ]
+
+let request_to_line (r : request) : string =
+  Jsonx.to_string (request_to_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical cache-key components                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** The grid component of the cache key ("-" = no override). *)
+let grid_signature (g : int list option) : string =
+  match g with
+  | None -> "-"
+  | Some dims -> String.concat "x" (List.map string_of_int dims)
+
+(** Diagnostics as JSON (the shared rendering of compile errors and
+    lint findings). *)
+let diag_to_json (d : Hpf_lang.Diag.t) : Jsonx.t =
+  Jsonx.Obj
+    [
+      ( "severity",
+        Jsonx.Str
+          (match d.Hpf_lang.Diag.severity with
+          | Hpf_lang.Diag.Error -> "error"
+          | Hpf_lang.Diag.Warning -> "warning"
+          | Hpf_lang.Diag.Note -> "note") );
+      ("code", Jsonx.Str d.Hpf_lang.Diag.code);
+      ( "loc",
+        match d.Hpf_lang.Diag.loc with
+        | None -> Jsonx.Null
+        | Some l -> Jsonx.Str (Hpf_lang.Loc.to_string l) );
+      ("message", Jsonx.Str d.Hpf_lang.Diag.message);
+    ]

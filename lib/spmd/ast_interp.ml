@@ -728,19 +728,7 @@ let validate ?(max_mismatches = 10) (st : t) : mismatch list =
   let d = st.compiled.Compiler.decisions in
   let env = d.Decisions.env in
   (* per-array privatization summary across all loops *)
-  let priv_of a =
-    Hashtbl.fold
-      (fun (name, _) mapping acc ->
-        if not (String.equal name a) then acc
-        else
-          match (mapping, acc) with
-          | Decisions.Arr_priv _, _ | _, `Full -> `Full
-          | Decisions.Arr_partial_priv { priv_grid_dims; _ }, `None ->
-              `Partial priv_grid_dims
-          | Decisions.Arr_partial_priv { priv_grid_dims; _ }, `Partial ds ->
-              `Partial (List.sort_uniq compare (priv_grid_dims @ ds)))
-      d.Decisions.arrays `None
-  in
+  let priv_of a = Decisions.array_priv_summary d a in
   let out = ref [] in
   let count = ref 0 in
   let record pid array index got expected =

@@ -55,13 +55,15 @@ let passes : (Decisions.options, vctx) Pass.t list =
         Stats.set st "mappings.array"
           (List.length (Decisions.array_mappings v.compiled.Compiler.decisions));
         record v st
-          (audit "verify-mapping" (fun () -> Mapping_check.check v.compiled)));
+          (audit "verify-mapping" (fun () -> Mapping_check.check v.compiled));
+        v);
     Pass.make "verify-race"
       ~descr:"write-write and divergent-replication race detection"
       (fun v st ->
         record v st
           (audit "verify-race" (fun () ->
-               Race_check.check ~diff:(diff_of v) v.compiled)));
+               Race_check.check ~diff:(diff_of v) v.compiled));
+        v);
     Pass.make "verify-comm"
       ~descr:"completeness and placement of the communication schedule"
       (fun v st ->
@@ -74,7 +76,8 @@ let passes : (Decisions.options, vctx) Pass.t list =
                  (List.length diff.Vutil.misplaced);
                Stats.set st "comm.redundant"
                  (List.length diff.Vutil.redundant);
-               Comm_check.check ~diff v.compiled)));
+               Comm_check.check ~diff v.compiled));
+        v);
     Pass.make "verify-sir"
       ~descr:"fidelity of the lowered SPMD IR against the decisions"
       (fun v st ->
@@ -87,7 +90,8 @@ let passes : (Decisions.options, vctx) Pass.t list =
           | _ -> 0);
         record v st
           (audit "verify-sir" (fun () ->
-               Sir_check.check v.compiled @ Plan_check.check v.compiled)));
+               Sir_check.check v.compiled @ Plan_check.check v.compiled));
+        v);
     Pass.make "verify-flow"
       ~descr:"dataflow audit of the lowered IR (dead/redundant/stale)"
       (fun v st ->
@@ -105,7 +109,8 @@ let passes : (Decisions.options, vctx) Pass.t list =
                    Stats.set st "flow.redundant"
                      (List.length a.Sir_flow.redundant);
                    Stats.set st "flow.stale" (List.length a.Sir_flow.stale);
-                   a.Sir_flow.findings)));
+                   a.Sir_flow.findings));
+        v);
   ]
 
 let pass_names = Pipeline.names passes
@@ -115,7 +120,7 @@ let verify ?(opts = Decisions.default_options) ?after
     =
   let v = create c in
   match Pipeline.run ~opts ?after passes v with
-  | Ok trace -> Ok (v.findings, trace)
+  | Ok (v, trace) -> Ok (v.findings, trace)
   | Error ds -> Error ds
 
 let errors ds = List.filter Diag.is_error ds

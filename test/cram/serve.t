@@ -1,0 +1,51 @@
+The serve batch driver: line-delimited JSON requests in, one response
+per line out, in input order.  Batch output carries no timing fields,
+so it is deterministic — bit-identical whatever --domains says.
+
+A compile request (the happy path):
+
+  $ printf '%s\n' '{"id":1,"action":"compile","program":"program tiny\nreal x\nx = 1.0\nend\n"}' > one.jsonl
+  $ ../../bin/phpfc.exe serve --batch one.jsonl --domains 1
+  {"id":1,"ok":true,"result":{"action":"compile","ok":true,"program":"tiny","grid":[1],"scalars":0,"arrays":0,"ctrl":0,"ivs":0,"comms":0,"vectorized":0,"schedule_digest":"d41d8cd98f00b204e9800998ecf8427e","sir_digest":"e3fcc0ffc13de95dc5959ba9d72e0421","est_comm_cost":0.0,"stats":{"arrays.partial":0,"arrays.privatized":0,"comms.inner-loop":0,"comms.total":0,"comms.vectorized":0,"ctrl.privatized":0,"defs.aligned":0,"defs.no-align":0,"delta.block-xfers":0,"delta.elem-xfers":0,"delta.reduce-ops":0,"delta.whole-xfers":0,"grid.procs":1,"ivs.rewritten":0,"plan.checkpoint":0,"plan.checkpoints-needed":0,"plan.reexec":0,"plan.replica":1,"program.stmts":1,"reductions.mapped":0,"reductions.recognized":0,"rewrites":0,"sir.allocs":0,"sir.assigns":1,"sir.block-xfers":0,"sir.elem-xfers":0,"sir.reduce-ops":0,"sir.whole-xfers":0}}}
+  serve: 1 request(s), 1 ok, 0 failed, 0 malformed
+
+A malformed request is an E0901 rejection and exit 1; well-formed
+requests on other lines are still answered:
+
+  $ printf '%s\n' \
+  >   '{"id":1,"action":"frobnicate","program":"x"}' \
+  >   'not json' \
+  >   '{"id":3,"action":"compile","program":"program ok\nreal x\nx = 2.0\nend\n"}' \
+  >   > bad.jsonl
+  $ ../../bin/phpfc.exe serve --batch bad.jsonl --domains 1 > bad.out
+  serve: 3 request(s), 1 ok, 0 failed, 2 malformed
+  [1]
+  $ sed 's/"result":.*/"result":.../' bad.out
+  {"id":1,"ok":false,"error":{"code":"E0901","message":"\"action\" must be compile, lint or simulate"}}
+  {"id":null,"ok":false,"error":{"code":"E0901","message":"invalid JSON: at offset 0: invalid literal"}}
+  {"id":3,"ok":true,"result":...
+
+A well-formed request whose program does not compile answers with the
+structured diagnostics and exits 2:
+
+  $ printf '%s\n' '{"id":1,"action":"compile","program":"program broken\nreal x\nx = y\nend\n"}' > failing.jsonl
+  $ ../../bin/phpfc.exe serve --batch failing.jsonl --domains 1
+  {"id":1,"ok":false,"result":{"action":"compile","ok":false,"diags":[{"severity":"error","code":"E0301","loc":null,"message":"undeclared variable y"}]}}
+  serve: 1 request(s), 0 ok, 1 failed, 0 malformed
+  [2]
+
+The same workload answered on 1 domain and on 4 domains is
+bit-identical:
+
+  $ for action in compile lint simulate; do
+  >   printf '%s\n' \
+  >     '{"action":"'$action'","program":"program tiny\nreal x\nx = 1.0\nend\n"}' \
+  >     '{"action":"'$action'","program":"program loopy\nparameter n = 8\nreal a(8), b(8)\n!hpf$ processors p(2)\n!hpf$ distribute a(block) onto p\n!hpf$ align b(i) with a(i)\ndo i = 1, n\n  a(i) = b(i)\nend do\nend\n"}' \
+  >     '{"action":"'$action'","program":"program shifty\nparameter n = 8\nreal a(8), b(8)\nreal y\n!hpf$ processors p(2)\n!hpf$ distribute a(block) onto p\n!hpf$ align b(i) with a(i)\ndo i = 2, n\n  y = b(i - 1)\n  a(i) = y\nend do\nend\n"}'
+  > done > work.jsonl
+  $ ../../bin/phpfc.exe serve --batch work.jsonl --domains 1 > d1.out 2> d1.log
+  $ ../../bin/phpfc.exe serve --batch work.jsonl --domains 4 > d4.out 2> d4.log
+  $ cmp d1.out d4.out && echo identical
+  identical
+  $ cat d1.log
+  serve: 9 request(s), 9 ok, 0 failed, 0 malformed

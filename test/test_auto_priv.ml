@@ -166,9 +166,9 @@ let test_pipeline_integration () =
   let c = Compiler.compile_exn ~options prog in
   let d = c.Compiler.decisions in
   let found =
-    Hashtbl.fold
-      (fun (a, _) m acc -> if a = "w" then Some m else acc)
-      d.Decisions.arrays None
+    List.fold_left
+      (fun acc ((a, _), m) -> if a = "w" then Some m else acc)
+      None (Decisions.array_mappings d)
   in
   (match found with
   | Some (Decisions.Arr_priv { target = Some t }) ->

@@ -327,7 +327,7 @@ let test_option_no_scalar_priv () =
       (Hpf_benchmarks.Fig_examples.fig1 ())
   in
   check Alcotest.int "no scalar decisions recorded" 0
-    (Hashtbl.length c.Compiler.decisions.Decisions.scalar)
+    (Decisions.scalar_count c.Compiler.decisions)
 
 let test_option_no_array_priv () =
   let c =
@@ -335,7 +335,7 @@ let test_option_no_array_priv () =
       (Hpf_benchmarks.Appsp.program_2d ~n:8 ~niter:1 ~p1:2 ~p2:2)
   in
   check Alcotest.int "no array decisions" 0
-    (Hashtbl.length c.Compiler.decisions.Decisions.arrays)
+    (Decisions.array_count c.Compiler.decisions)
 
 (* ------------------------------------------------------------------ *)
 (* Array privatization details                                          *)
@@ -366,9 +366,9 @@ end
   in
   let d = c.Compiler.decisions in
   let found =
-    Hashtbl.fold
-      (fun (a, _) m acc -> if a = "w" then Some m else acc)
-      d.Decisions.arrays None
+    List.fold_left
+      (fun acc ((a, _), m) -> if a = "w" then Some m else acc)
+      None (Decisions.array_mappings d)
   in
   match found with
   | Some (Decisions.Arr_priv { target = None }) -> ()
@@ -398,9 +398,9 @@ end
   in
   let d = c.Compiler.decisions in
   let found =
-    Hashtbl.fold
-      (fun (a, _) m acc -> if a = "w" then Some m else acc)
-      d.Decisions.arrays None
+    List.fold_left
+      (fun acc ((a, _), m) -> if a = "w" then Some m else acc)
+      None (Decisions.array_mappings d)
   in
   match found with
   | Some (Decisions.Arr_priv { target = Some t }) ->

@@ -124,6 +124,99 @@ let test_compile_error_result () =
   | Error (d :: _) -> check Alcotest.string "code" "E0301" d.Diag.code
   | Error [] -> fail "empty diagnostics"
 
+let kvs = Alcotest.(list (pair string int))
+
+let test_stats_merge () =
+  let a = Stats.of_list [ ("x", 1); ("y", 2) ] in
+  let b = Stats.of_list [ ("y", 3); ("z", 4) ] in
+  let m = Stats.merge a b in
+  check kvs "merge sums per key"
+    [ ("x", 1); ("y", 5); ("z", 4) ]
+    (Stats.to_sorted_list m);
+  check kvs "merge leaves a intact" [ ("x", 1); ("y", 2) ]
+    (Stats.to_sorted_list a);
+  check kvs "merge leaves b intact" [ ("y", 3); ("z", 4) ]
+    (Stats.to_sorted_list b);
+  Stats.merge_into ~into:a b;
+  check kvs "merge_into accumulates"
+    [ ("x", 1); ("y", 5); ("z", 4) ]
+    (Stats.to_sorted_list a);
+  check kvs "merge_all sums a list"
+    [ ("x", 3); ("y", 10); ("z", 8) ]
+    (Stats.merge_all [ Stats.of_list [ ("x", 1) ]; m; m ]
+    |> Stats.to_sorted_list);
+  check kvs "merge_all [] is empty" []
+    (Stats.to_sorted_list (Stats.merge_all []));
+  check kvs "of_list accumulates repeats" [ ("x", 3) ]
+    (Stats.to_sorted_list (Stats.of_list [ ("x", 1); ("x", 2) ]))
+
+let test_trace_helpers () =
+  let trace = trace_of (fig1 ()) in
+  check Alcotest.bool "pass_time_ms of an executed pass is >= 0" true
+    (Pipeline.pass_time_ms trace "sema" >= 0.0);
+  check (Alcotest.float 1e-9) "pass_time_ms of an unknown pass is 0" 0.0
+    (Pipeline.pass_time_ms trace "no-such-pass");
+  let total = Pipeline.total_stats trace in
+  check Alcotest.int "total_stats merges per-pass counters"
+    (stat trace "sema" "program.stmts")
+    (Stats.get total "program.stmts")
+
+(* ------------------------------------------------------------------ *)
+(* Memo: the content-addressed result cache                            *)
+(* ------------------------------------------------------------------ *)
+
+module Memo = Phpf_driver.Memo
+
+let test_memo_basic () =
+  let m = Memo.create () in
+  let k1 = Memo.key ~source:"src" ~options:"o1" ~grid:"-" ~pass:"compile" in
+  let k2 = Memo.key ~source:"src" ~options:"o2" ~grid:"-" ~pass:"compile" in
+  let k3 = Memo.key ~source:"src" ~options:"o1" ~grid:"4" ~pass:"compile" in
+  let k4 = Memo.key ~source:"src" ~options:"o1" ~grid:"-" ~pass:"lint" in
+  check Alcotest.bool "any key component separates entries" true
+    (List.length (List.sort_uniq compare [ k1; k2; k3; k4 ]) = 4);
+  check (Alcotest.option Alcotest.int) "miss" None (Memo.find_opt m k1);
+  Memo.add m k1 1;
+  check (Alcotest.option Alcotest.int) "hit" (Some 1) (Memo.find_opt m k1);
+  Memo.add m k1 99;
+  check (Alcotest.option Alcotest.int) "first insertion wins" (Some 1)
+    (Memo.find_opt m k1);
+  check Alcotest.int "find_or_add computes on miss" 2
+    (Memo.find_or_add m k2 (fun () -> 2));
+  check Alcotest.int "find_or_add returns cached" 2
+    (Memo.find_or_add m k2 (fun () -> 99));
+  let c = Memo.counters m in
+  check Alcotest.bool "counters track hits and misses" true
+    (c.Memo.hits >= 2 && c.Memo.misses >= 2 && c.Memo.entries = 2);
+  Memo.clear m;
+  check Alcotest.int "clear resets counters" 0 (Memo.counters m).Memo.misses;
+  check (Alcotest.option Alcotest.int) "clear drops entries" None
+    (Memo.find_opt m k1)
+
+let test_memo_concurrent () =
+  (* many domains hammering a small key space: every lookup must agree
+     with the first-inserted value for its key *)
+  let m = Memo.create () in
+  let keys =
+    Array.init 8 (fun i ->
+        Memo.key ~source:(string_of_int i) ~options:"o" ~grid:"-" ~pass:"p")
+  in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let bad = ref 0 in
+            for i = 0 to 999 do
+              let k = keys.(i mod 8) in
+              let v = Memo.find_or_add m k (fun () -> i mod 8) in
+              if v <> i mod 8 then incr bad
+            done;
+            ignore d;
+            !bad))
+  in
+  let bad = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  check Alcotest.int "no stale or torn values" 0 bad;
+  check Alcotest.int "one entry per key" 8 (Memo.counters m).Memo.entries
+
 let test_stats_counters () =
   let st = Stats.create () in
   check Alcotest.int "untouched is 0" 0 (Stats.get st "x");
@@ -134,7 +227,7 @@ let test_stats_counters () =
   check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
     "sorted listing"
     [ ("x", 3); ("y", 7) ]
-    (Stats.to_list st)
+    (Stats.to_sorted_list st)
 
 (* ------------------------------------------------------------------ *)
 
@@ -162,6 +255,15 @@ let () =
           Alcotest.test_case "grid override stat" `Quick
             test_grid_stat_tracks_override;
           Alcotest.test_case "counter primitives" `Quick test_stats_counters;
+          Alcotest.test_case "merge laws" `Quick test_stats_merge;
+          Alcotest.test_case "trace helpers" `Quick test_trace_helpers;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "key separation and counters" `Quick
+            test_memo_basic;
+          Alcotest.test_case "concurrent find_or_add" `Quick
+            test_memo_concurrent;
         ] );
       ( "api",
         [

@@ -542,6 +542,63 @@ let test_nest_loops () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Statement-id stability: sids are a per-program preorder numbering,
+   not draws from process-global state, so repeated compiles of the
+   same text — in any order, on any domain — agree on every sid. *)
+(* ------------------------------------------------------------------ *)
+
+let sid_src =
+  "program sids\n\
+   parameter n = 8\n\
+   real a(8), b(8)\n\
+   real x\n\
+   !hpf$ processors p(4)\n\
+   !hpf$ distribute a(block) onto p\n\
+   !hpf$ align b(i) with a(i)\n\
+   do i = 1, n\n\
+  \  x = b(i)\n\
+  \  if (x > 0.0) then\n\
+  \    a(i) = x\n\
+  \  end if\n\
+   end do\n\
+   end\n"
+
+let all_sids p =
+  let acc = ref [] in
+  Ast.iter_program (fun s -> acc := s.Ast.sid :: !acc) p;
+  List.rev !acc
+
+let test_sid_stability () =
+  let p1 = Sema.check (Parser.parse_string sid_src) in
+  let p2 = Sema.check (Parser.parse_string sid_src) in
+  check (Alcotest.list Alcotest.int) "same text, same sids" (all_sids p1)
+    (all_sids p2);
+  (* a different parse in between must not shift the numbering *)
+  let _other = Parser.parse_string "program o\nreal y\ny = 1.0\nend\n" in
+  let p3 = Sema.check (Parser.parse_string sid_src) in
+  check (Alcotest.list Alcotest.int) "interleaved parses do not shift sids"
+    (all_sids p1) (all_sids p3)
+
+let test_sid_preorder () =
+  let p = Sema.check (Parser.parse_string sid_src) in
+  let sids = all_sids p in
+  check (Alcotest.list Alcotest.int) "sids are the preorder 1..n"
+    (List.init (List.length sids) (fun i -> i + 1))
+    sids
+
+let test_mk_is_unnumbered () =
+  let s = Ast.mk (Ast.Exit None) in
+  check Alcotest.int "Ast.mk yields the unnumbered sid" 0 s.Ast.sid;
+  let ids = Ast.ids () in
+  let a = Ast.mk_in ids (Ast.Exit None) in
+  let b = Ast.mk_in ids (Ast.Exit None) in
+  check Alcotest.int "per-allocator numbering starts at 1" 1 a.Ast.sid;
+  check Alcotest.int "and increments" 2 b.Ast.sid;
+  let fresh = Ast.ids () in
+  let c = Ast.mk_in fresh (Ast.Exit None) in
+  check Alcotest.int "a fresh allocator restarts at 1" 1 c.Ast.sid
+
 let () =
   Alcotest.run "lang"
     [
@@ -577,6 +634,14 @@ let () =
             test_parse_error_reports_location;
           Alcotest.test_case "trailing garbage" `Quick
             test_parse_trailing_garbage;
+        ] );
+      ( "sids",
+        [
+          Alcotest.test_case "stable across repeated parses" `Quick
+            test_sid_stability;
+          Alcotest.test_case "preorder 1..n" `Quick test_sid_preorder;
+          Alcotest.test_case "mk unnumbered / per-allocator mk_in" `Quick
+            test_mk_is_unnumbered;
         ] );
       ( "pretty-printer",
         [

@@ -222,7 +222,7 @@ let test_fig5_default_variant_replicated () =
 let test_fig6_partial_privatization () =
   let c = compile (Fig_examples.fig6 ()) in
   let d = c.Compiler.decisions in
-  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.Decisions.arrays [] in
+  let entries = Decisions.array_mappings d in
   match entries with
   | [ ((("c", _), Decisions.Arr_partial_priv { target; priv_grid_dims })) ] ->
       check Alcotest.string "target rsd" "rsd" target.Aref.base;
@@ -237,19 +237,19 @@ let test_fig6_full_priv_fails_without_partial () =
   in
   let d = c.Compiler.decisions in
   check Alcotest.int "no array decision without partial priv" 0
-    (Hashtbl.length d.Decisions.arrays)
+    (Decisions.array_count d)
 
 let test_fig6_1d_full_privatization () =
   (* under the 1-D k-distribution, full privatization succeeds *)
   let c = compile (Appsp.program_1d ~n:10 ~niter:1 ~p:2) in
   let d = c.Compiler.decisions in
   let has_full =
-    Hashtbl.fold
-      (fun (a, _) m acc ->
+    List.fold_left
+      (fun acc ((a, _), m) ->
         acc
         || (a = "c"
            && match m with Decisions.Arr_priv { target = Some _ } -> true | _ -> false))
-      d.Decisions.arrays false
+      false (Decisions.array_mappings d)
   in
   check Alcotest.bool "c fully privatized (1-D)" true has_full
 

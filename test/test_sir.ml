@@ -221,7 +221,7 @@ let test_e0801_cyclic_alignment () =
         let self = { Aref.base = s_var; Aref.subs = []; Aref.sid } in
         List.iter
           (fun df ->
-            Decisions.set_scalar_mapping d df
+            Decisions.unsafe_set_scalar_mapping d df
               (Decisions.Priv_aligned { target = self; level }))
           (Ssa.defs_of_var d.Decisions.ssa s_var);
         self
@@ -335,7 +335,7 @@ let test_e0805_reduction_missing_stmt () =
               (fun df ->
                 match Decisions.scalar_mapping_of_def d df with
                 | Decisions.Priv_reduction { target; level; _ } ->
-                    Decisions.set_scalar_mapping d df
+                    Decisions.unsafe_set_scalar_mapping d df
                       (Decisions.Priv_reduction
                          { target; repl_grid_dims = [ 0 ]; level })
                 | _ -> ())
@@ -374,7 +374,7 @@ let test_e0806_bad_grid_dim () =
         (match red with
         | None -> fail "dgefa should have a reduction mapping"
         | Some (def, target, level) ->
-            Decisions.set_scalar_mapping d def
+            Decisions.unsafe_set_scalar_mapping d def
               (Decisions.Priv_reduction
                  { target; repl_grid_dims = [ 7 ]; level }));
         c)

@@ -104,13 +104,13 @@ let test_appsp_partial_priv_validated () =
   in
   let d = c.Compiler.decisions in
   let partial =
-    Hashtbl.fold
-      (fun (name, _) m acc ->
+    List.fold_left
+      (fun acc ((name, _), m) ->
         match m with
         | Decisions.Arr_partial_priv _ ->
             if List.mem name acc then acc else name :: acc
         | _ -> acc)
-      d.Decisions.arrays []
+      [] (Decisions.array_mappings d)
   in
   check Alcotest.bool "appsp 2d partially privatizes an array" true
     (partial <> []);

@@ -172,7 +172,7 @@ let test_replicate_aligned_flagged () =
   match first_aligned d with
   | None -> fail "fig1 should have an aligned scalar"
   | Some (def, _) ->
-      Decisions.set_scalar_mapping d def Decisions.Replicated;
+      Decisions.unsafe_set_scalar_mapping d def Decisions.Replicated;
       let errs = Verifier.errors (verify_exn c) in
       check Alcotest.bool "schedule no longer matches decisions" true
         (errs <> [])
@@ -184,7 +184,7 @@ let test_bad_align_level_flagged () =
   | None -> fail "fig1 should have an aligned scalar"
   | Some (def, Decisions.Priv_aligned { target; _ }) ->
       (* fig1's nest is 1 deep: level 3 cannot exist *)
-      Decisions.set_scalar_mapping d def
+      Decisions.unsafe_set_scalar_mapping d def
         (Decisions.Priv_aligned { target; level = 3 });
       let errs = Verifier.errors (verify_exn c) in
       check Alcotest.bool "impossible level is E0606" true
@@ -206,7 +206,7 @@ let test_bad_repl_dims_flagged () =
   match red with
   | None -> fail "dgefa should have a reduction mapping"
   | Some (def, target, level) ->
-      Decisions.set_scalar_mapping d def
+      Decisions.unsafe_set_scalar_mapping d def
         (Decisions.Priv_reduction { target; repl_grid_dims = [ 7 ]; level });
       let errs = Verifier.errors (verify_exn c) in
       check Alcotest.bool "out-of-range grid dim is E0605" true
@@ -248,7 +248,7 @@ end
         | None -> false)
       (Ssa.defs_of_var d.Decisions.ssa "s")
   in
-  Decisions.set_scalar_mapping d in_loop_def Decisions.Priv_no_align;
+  Decisions.unsafe_set_scalar_mapping d in_loop_def Decisions.Priv_no_align;
   let errs = Verifier.errors (verify_exn c) in
   check Alcotest.bool "escape or back-edge flagged" true
     (has_code "E0601" errs || has_code "E0602" errs)
@@ -263,7 +263,7 @@ let test_structural_array_entry_flagged () =
         match s.Ast.node with Ast.Do _ -> false | _ -> true)
       (Ast.all_stmts c.Compiler.prog)
   in
-  Hashtbl.replace d.Decisions.arrays ("c", non_loop.Ast.sid)
+  Decisions.unsafe_set_array_mapping d ("c", non_loop.Ast.sid)
     (Decisions.Arr_priv { target = None });
   let errs = Verifier.errors (verify_exn c) in
   check Alcotest.bool "non-loop key is E0606" true (has_code "E0606" errs)
@@ -361,7 +361,7 @@ let corruptions =
           match candidate with
           | None -> None
           | Some def ->
-              Decisions.set_scalar_mapping d def Decisions.Replicated;
+              Decisions.unsafe_set_scalar_mapping d def Decisions.Replicated;
               Some c);
       harmful = true;
       (* on TOMCATV / APPSP the replicated temporaries' divergence stays
